@@ -1,0 +1,47 @@
+//! # crowbar — run-time partitioning assistance (cb-log and cb-analyze)
+//!
+//! Crowbar is the second half of the Wedge system: "a pair of tools that
+//! analyzes the run-time memory access behavior of an application, and
+//! summarizes for the programmer which code requires which memory access
+//! privileges" (§3.4). Without it, default-deny compartments are impractical
+//! to retrofit onto legacy code — the paper's Apache partitioning alone
+//! required identifying 222 heap objects and 389 globals.
+//!
+//! The paper's `cb-log` instruments binaries with Pin; here the simulated
+//! kernel already mediates every tagged-memory, global and descriptor
+//! access, so [`CbLog`] simply plugs into the [`wedge_core::AccessSink`]
+//! hook and records, for every access: the compartment, the memory item,
+//! the access mode, and a **backtrace** reconstructed from a shadow call
+//! stack maintained from `SthreadCtx::trace_fn` events (the analogue of
+//! Pin's frame-pointer walk).
+//!
+//! [`analyze`] is `cb-analyze`: the three query types of §3.4 —
+//!
+//! 1. *Given a procedure, what memory items do it and all its descendants
+//!    access, and how?* → [`analyze::Trace::footprint_of`]
+//! 2. *Given a list of data items, which procedures use any of them?* →
+//!    [`analyze::Trace::users_of`]
+//! 3. *Given a procedure known to generate sensitive data, where do it and
+//!    its descendants write?* → [`analyze::Trace::written_by`]
+//!
+//! plus [`analyze::Trace::suggest_policy`], which turns a footprint into a
+//! ready-to-apply [`wedge_core::SecurityPolicy`] suggestion — the workflow
+//! the paper describes for deciding an sthread's grants. Traces from
+//! multiple innocuous runs can be merged ([`analyze::Trace::merge`]) to
+//! broaden coverage, and the sthread *emulation* mode of the kernel lets a
+//! whole run complete while violations are only logged (§3.4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod log;
+pub mod pinsim;
+pub mod report;
+pub mod static_analysis;
+
+pub use analyze::{FootprintEntry, ItemKey, SuggestedPolicy, Trace};
+pub use log::{AllocationSite, CbLog, TraceRecord};
+pub use pinsim::PinSim;
+pub use report::render_footprint;
+pub use static_analysis::{ProgramModel, StaticAccess, StaticDynamicComparison};

@@ -1,0 +1,92 @@
+//! Human-readable rendering of cb-analyze results (what the paper's
+//! programmer reads when deciding grants).
+
+use crate::analyze::{FootprintEntry, SuggestedPolicy};
+
+/// Render a Query-1 footprint as an aligned text table.
+pub fn render_footprint(procedure: &str, footprint: &[FootprintEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "memory footprint of `{procedure}` and its descendants ({} items)\n",
+        footprint.len()
+    ));
+    out.push_str(&format!(
+        "{:<40} {:>6} {:>6} {:>8}  {}\n",
+        "item", "read", "write", "accesses", "allocated at"
+    ));
+    for entry in footprint {
+        out.push_str(&format!(
+            "{:<40} {:>6} {:>6} {:>8}  {}\n",
+            entry.item.to_string(),
+            if entry.read { "yes" } else { "-" },
+            if entry.written { "yes" } else { "-" },
+            entry.access_count,
+            entry.allocation_site.as_deref().unwrap_or("-"),
+        ));
+    }
+    out
+}
+
+/// Render a policy suggestion as the `sc_*` calls the programmer would
+/// write.
+pub fn render_suggestion(compartment: &str, suggestion: &SuggestedPolicy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "suggested grants for compartment `{compartment}`:\n"
+    ));
+    for (tag, prot) in &suggestion.tags {
+        out.push_str(&format!("  sc_mem_add(sc, {tag}, {prot:?});\n"));
+    }
+    for global in &suggestion.globals {
+        out.push_str(&format!(
+            "  // global `{global}`: consider BOUNDARY_VAR tagging\n"
+        ));
+    }
+    for fd in &suggestion.fds {
+        out.push_str(&format!("  sc_fd_add(sc, open(\"{fd}\"), ...);\n"));
+    }
+    if suggestion.tags.is_empty() && suggestion.globals.is_empty() && suggestion.fds.is_empty() {
+        out.push_str("  (no grants required)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::ItemKey;
+    use wedge_core::{MemProt, Tag};
+
+    #[test]
+    fn footprint_rendering_mentions_items_and_modes() {
+        let fp = vec![FootprintEntry {
+            item: ItemKey::Alloc {
+                tag: Tag(4),
+                alloc_offset: 16,
+            },
+            read: true,
+            written: false,
+            access_count: 3,
+            allocation_site: Some("main > setup".to_string()),
+        }];
+        let text = render_footprint("handle_request", &fp);
+        assert!(text.contains("handle_request"));
+        assert!(text.contains("heap tag4+16"));
+        assert!(text.contains("main > setup"));
+    }
+
+    #[test]
+    fn suggestion_rendering_produces_sc_calls() {
+        let mut suggestion = SuggestedPolicy::default();
+        suggestion.tags.insert(Tag(2), MemProt::Read);
+        suggestion.globals.insert("ssl_ctx".to_string());
+        suggestion.fds.insert("/etc/passwd".to_string());
+        let text = render_suggestion("worker", &suggestion);
+        assert!(text.contains("sc_mem_add(sc, tag2, Read)"));
+        assert!(text.contains("ssl_ctx"));
+        assert!(text.contains("/etc/passwd"));
+
+        let empty = render_suggestion("idle", &SuggestedPolicy::default());
+        assert!(empty.contains("no grants required"));
+    }
+}

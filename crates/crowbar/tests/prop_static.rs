@@ -1,0 +1,212 @@
+//! Property tests for the static-analysis extension (paper §7).
+//!
+//! The central claim the paper makes about static analysis — that it yields
+//! a *superset* of the permissions any dynamic run requires — is checked
+//! here for arbitrary program models and arbitrary partial executions of
+//! those models.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use crowbar::static_analysis::ProgramModel;
+use crowbar::{ItemKey, Trace, TraceRecord};
+use wedge_core::{AccessMode, CompartmentId, FdId, MemRegion, Tag};
+
+const PROC_NAMES: [&str; 6] = ["root", "parse", "auth", "retr", "log", "helper"];
+const GLOBAL_NAMES: [&str; 4] = ["passwd_db", "uid", "config", "session_key"];
+
+fn arb_item() -> impl Strategy<Value = ItemKey> {
+    prop_oneof![
+        (0u64..4, prop_oneof![Just(0usize), Just(16), Just(32)]).prop_map(|(t, off)| {
+            ItemKey::Alloc {
+                tag: Tag(t),
+                alloc_offset: off,
+            }
+        }),
+        (0usize..GLOBAL_NAMES.len()).prop_map(|i| ItemKey::Global(GLOBAL_NAMES[i].to_string())),
+        (0usize..3).prop_map(|i| ItemKey::Fd(format!("fd{i}"))),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![Just(AccessMode::Read), Just(AccessMode::Write)]
+}
+
+/// A randomly shaped program: call edges between a fixed set of procedure
+/// names plus per-procedure access sites (some conditional).
+#[derive(Debug, Clone)]
+struct ModelSpec {
+    edges: Vec<(usize, usize)>,
+    accesses: Vec<(usize, ItemKey, AccessMode, bool)>,
+}
+
+fn arb_model_spec() -> impl Strategy<Value = ModelSpec> {
+    let edges = prop::collection::vec((0usize..PROC_NAMES.len(), 0usize..PROC_NAMES.len()), 0..12);
+    let accesses = prop::collection::vec(
+        (0usize..PROC_NAMES.len(), arb_item(), arb_mode(), any::<bool>()),
+        1..20,
+    );
+    (edges, accesses).prop_map(|(edges, accesses)| ModelSpec { edges, accesses })
+}
+
+fn build_model(spec: &ModelSpec) -> ProgramModel {
+    let mut model = ProgramModel::new();
+    for name in PROC_NAMES {
+        model.procedure(name);
+    }
+    for (from, to) in &spec.edges {
+        model.procedure(PROC_NAMES[*from]).calls(PROC_NAMES[*to]);
+    }
+    for (proc_idx, item, mode, conditional) in &spec.accesses {
+        let builder = model.procedure(PROC_NAMES[*proc_idx]);
+        match (mode, conditional) {
+            (AccessMode::Read, false) => builder.reads(item.clone()),
+            (AccessMode::Read, true) => builder.reads_if(item.clone()),
+            (AccessMode::Write, false) => builder.writes(item.clone()),
+            (AccessMode::Write, true) => builder.writes_if(item.clone()),
+        };
+    }
+    model
+}
+
+fn record_for(root: &str, procedure: &str, item: &ItemKey, mode: AccessMode) -> TraceRecord {
+    let region = match item {
+        ItemKey::Alloc { tag, alloc_offset } => MemRegion::Tagged {
+            tag: *tag,
+            alloc_offset: *alloc_offset,
+        },
+        ItemKey::Global(name) => MemRegion::Global { name: name.clone() },
+        ItemKey::Fd(name) => MemRegion::Fd {
+            fd: FdId(1),
+            name: name.clone(),
+        },
+    };
+    let backtrace = if procedure == root {
+        vec![root.to_string()]
+    } else {
+        vec![root.to_string(), procedure.to_string()]
+    };
+    TraceRecord {
+        compartment: CompartmentId(1),
+        compartment_name: "worker".to_string(),
+        region,
+        offset: 0,
+        len: 1,
+        mode,
+        allowed: true,
+        backtrace,
+    }
+}
+
+/// Build a dynamic trace that executes an arbitrary subset of the model's
+/// access sites, restricted to procedures reachable from `root` (a dynamic
+/// run can only execute code the root actually reaches).
+fn execute_subset(
+    model: &ProgramModel,
+    spec: &ModelSpec,
+    root: &str,
+    selector: &[bool],
+) -> Trace {
+    let reachable = model.reachable_from(root);
+    let mut records = Vec::new();
+    for (i, (proc_idx, item, mode, _conditional)) in spec.accesses.iter().enumerate() {
+        let name = PROC_NAMES[*proc_idx];
+        if !reachable.contains(name) {
+            continue;
+        }
+        if !selector.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        records.push(record_for(root, name, item, *mode));
+    }
+    Trace::from_parts(records, HashMap::new(), Vec::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §7: the static footprint is a superset of what any partial execution
+    /// of the modelled program touches.
+    #[test]
+    fn static_footprint_is_superset_of_any_execution(
+        spec in arb_model_spec(),
+        root_idx in 0usize..PROC_NAMES.len(),
+        selector in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        let model = build_model(&spec);
+        let root = PROC_NAMES[root_idx];
+        let trace = execute_subset(&model, &spec, root, &selector);
+        let cmp = model.compare_with_trace(root, &trace);
+        prop_assert!(cmp.is_superset(),
+            "static analysis missed dynamically touched items: {:?}", cmp.dynamic_only);
+    }
+
+    /// A model inferred from a trace always covers that trace.
+    #[test]
+    fn inferred_model_covers_its_own_trace(
+        spec in arb_model_spec(),
+        root_idx in 0usize..PROC_NAMES.len(),
+        selector in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        let model = build_model(&spec);
+        let root = PROC_NAMES[root_idx];
+        let trace = execute_subset(&model, &spec, root, &selector);
+        let inferred = ProgramModel::from_trace(&trace);
+        let cmp = inferred.compare_with_trace(root, &trace);
+        prop_assert!(cmp.is_superset());
+        prop_assert_eq!(cmp.excess_ratio(), 0.0,
+            "a model inferred from exactly one trace should not over-approximate it");
+    }
+
+    /// Merging models only ever widens the static footprint, and merging is
+    /// idempotent.
+    #[test]
+    fn merge_widens_and_is_idempotent(
+        spec_a in arb_model_spec(),
+        spec_b in arb_model_spec(),
+        root_idx in 0usize..PROC_NAMES.len(),
+    ) {
+        let a = build_model(&spec_a);
+        let b = build_model(&spec_b);
+        let root = PROC_NAMES[root_idx];
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let items = |m: &ProgramModel| -> std::collections::BTreeSet<ItemKey> {
+            m.static_footprint(root).into_iter().map(|e| e.item).collect()
+        };
+        let merged_items = items(&merged);
+        for item in items(&a) {
+            prop_assert!(merged_items.contains(&item));
+        }
+        for item in items(&b) {
+            prop_assert!(merged_items.contains(&item));
+        }
+
+        let mut merged_twice = merged.clone();
+        merged_twice.merge(&b);
+        prop_assert_eq!(items(&merged_twice), merged_items);
+    }
+
+    /// The excess-sensitive report never invents items: everything it flags
+    /// is both statically granted and absent from the dynamic run.
+    #[test]
+    fn excess_sensitive_is_sound(
+        spec in arb_model_spec(),
+        root_idx in 0usize..PROC_NAMES.len(),
+        selector in prop::collection::vec(any::<bool>(), 20),
+        sensitive in prop::collection::vec(arb_item(), 0..6),
+    ) {
+        let model = build_model(&spec);
+        let root = PROC_NAMES[root_idx];
+        let trace = execute_subset(&model, &spec, root, &selector);
+        let cmp = model.compare_with_trace(root, &trace);
+        for item in cmp.excess_sensitive(&sensitive) {
+            prop_assert!(sensitive.contains(&item));
+            prop_assert!(cmp.static_items.contains(&item));
+            prop_assert!(!cmp.dynamic_items.contains(&item));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # wedge-alloc — tag-segment allocator substrate
+//!
+//! The Wedge paper allocates *tagged memory* in two steps: `tag_new()`
+//! creates a memory segment (an anonymous `mmap` plus dlmalloc bookkeeping
+//! initialisation) and `smalloc(size, tag)` carves buffers out of that
+//! segment. Deleted tags are cached in userland and reused — scrubbed by
+//! copying pre-initialised bookkeeping structures rather than zeroing — to
+//! avoid the system-call cost of a fresh `mmap` (§4.1 of the paper).
+//!
+//! This crate provides that substrate for the Rust reproduction:
+//!
+//! * [`Arena`] — a boundary-tag, first-fit allocator (in the spirit of Doug
+//!   Lea's `dlmalloc`, which the paper's `smalloc` derives from) that manages
+//!   a single segment's payload space. Bookkeeping lives *inside* the
+//!   segment so that the paper's "scrub by template" reuse trick is
+//!   expressible.
+//! * [`Segment`] — a tag-sized memory region: backing bytes plus its arena.
+//! * [`TagCache`] — the userland free-list of deleted segments with
+//!   scrub-by-template reuse and reuse statistics.
+//! * [`AllocStats`] — counters used by the Figure 8 benchmark and by tests.
+//!
+//! The allocator is deliberately simple (first-fit with immediate
+//! coalescing); the evaluation cares about the *relative* cost of
+//! `malloc`-style allocation versus `tag_new` with and without reuse, and
+//! those cost drivers (header writes vs. full-segment initialisation) are
+//! preserved.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arena;
+pub mod segment;
+pub mod stats;
+pub mod tagcache;
+
+pub use arena::{AllocError, Arena, HEADER_SIZE, MIN_SEGMENT_SIZE};
+pub use segment::{Segment, SegmentId};
+pub use stats::AllocStats;
+pub use tagcache::{TagCache, TagCacheConfig};

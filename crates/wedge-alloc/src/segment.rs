@@ -1,0 +1,123 @@
+//! A [`Segment`] is the memory region behind a single Wedge tag: the
+//! backing bytes managed by an [`Arena`] plus identity and bookkeeping used
+//! by the tag cache.
+
+use crate::arena::{AllocError, Arena};
+
+/// Identifier of a segment. Segment ids are distinct from Wedge tag ids: a
+/// tag is the *security* name, a segment is the physical region currently
+/// backing it (a recycled segment may serve many tags over its lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u64);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A tag-backing memory region: arena-managed bytes plus identity.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    id: SegmentId,
+    arena: Arena,
+    /// How many times this physical segment has been handed out by the tag
+    /// cache (1 for a freshly "mmapped" segment).
+    generation: u64,
+}
+
+impl Segment {
+    /// Create a fresh segment of `capacity` bytes (the simulated `mmap`).
+    pub fn new(id: SegmentId, capacity: usize) -> Result<Self, AllocError> {
+        Ok(Segment {
+            id,
+            arena: Arena::new(capacity)?,
+            generation: 1,
+        })
+    }
+
+    /// This segment's identifier.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// Reuse generation (1 = fresh, >1 = recycled by the tag cache).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// The allocator managing this segment.
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Mutable access to the allocator managing this segment.
+    pub fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
+    }
+
+    /// Scrub the segment from a pristine template and bump the generation;
+    /// called by the tag cache when recycling.
+    pub(crate) fn recycle_from_template(
+        &mut self,
+        new_id: SegmentId,
+        template: &[u8],
+    ) -> Result<(), AllocError> {
+        self.arena.reset_from_template(template)?;
+        self.id = new_id;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Scrub the segment by zeroing and bump the generation.
+    pub(crate) fn recycle_zeroed(&mut self, new_id: SegmentId) {
+        self.arena.reset_zeroed();
+        self.id = new_id;
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_segment_has_generation_one() {
+        let s = Segment::new(SegmentId(7), 1024).unwrap();
+        assert_eq!(s.id(), SegmentId(7));
+        assert_eq!(s.generation(), 1);
+        assert!(s.capacity() >= 1024);
+    }
+
+    #[test]
+    fn recycle_changes_identity_and_scrubs() {
+        let mut s = Segment::new(SegmentId(1), 1024).unwrap();
+        let p = s.arena_mut().alloc(32).unwrap();
+        s.arena_mut().data_mut()[p..p + 4].copy_from_slice(b"key!");
+        let template = Arena::template(s.capacity()).unwrap();
+        s.recycle_from_template(SegmentId(2), &template).unwrap();
+        assert_eq!(s.id(), SegmentId(2));
+        assert_eq!(s.generation(), 2);
+        assert!(!s.arena().data().windows(4).any(|w| w == b"key!"));
+    }
+
+    #[test]
+    fn recycle_zeroed_scrubs() {
+        let mut s = Segment::new(SegmentId(1), 512).unwrap();
+        let p = s.arena_mut().alloc(16).unwrap();
+        s.arena_mut().data_mut()[p..p + 4].copy_from_slice(b"pwd1");
+        s.recycle_zeroed(SegmentId(9));
+        assert_eq!(s.generation(), 2);
+        assert!(!s.arena().data().windows(4).any(|w| w == b"pwd1"));
+    }
+
+    #[test]
+    fn display_formats_id() {
+        assert_eq!(SegmentId(42).to_string(), "seg42");
+    }
+}

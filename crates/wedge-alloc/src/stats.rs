@@ -1,0 +1,67 @@
+//! Allocation statistics used by benches, tests and the Figure 8 harness.
+
+/// Counters describing allocator and tag-cache activity.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `tag_new`-style acquisitions satisfied from the reuse cache.
+    pub tag_reuse_hits: u64,
+    /// Number of acquisitions that had to create a fresh segment.
+    pub tag_reuse_misses: u64,
+    /// Number of simulated `mmap` calls (fresh segment creations).
+    pub mmap_calls: u64,
+    /// Number of simulated `munmap` calls (segments actually dropped).
+    pub munmap_calls: u64,
+    /// Number of tags deleted (released to the cache or dropped).
+    pub tags_deleted: u64,
+}
+
+impl AllocStats {
+    /// Fraction of acquisitions served from the reuse cache, in `[0, 1]`.
+    /// Returns `None` if there were no acquisitions.
+    pub fn reuse_ratio(&self) -> Option<f64> {
+        let total = self.tag_reuse_hits + self.tag_reuse_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.tag_reuse_hits as f64 / total as f64)
+        }
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.tag_reuse_hits += other.tag_reuse_hits;
+        self.tag_reuse_misses += other.tag_reuse_misses;
+        self.mmap_calls += other.mmap_calls;
+        self.munmap_calls += other.munmap_calls;
+        self.tags_deleted += other.tags_deleted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ratio_handles_empty_and_nonempty() {
+        let mut s = AllocStats::default();
+        assert_eq!(s.reuse_ratio(), None);
+        s.tag_reuse_hits = 3;
+        s.tag_reuse_misses = 1;
+        assert!((s.reuse_ratio().unwrap() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = AllocStats {
+            tag_reuse_hits: 1,
+            tag_reuse_misses: 2,
+            mmap_calls: 3,
+            munmap_calls: 4,
+            tags_deleted: 5,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.tag_reuse_hits, 2);
+        assert_eq!(a.tags_deleted, 10);
+    }
+}

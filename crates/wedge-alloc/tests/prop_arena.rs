@@ -1,0 +1,99 @@
+//! Property-based tests for the arena allocator and tag cache: live
+//! allocations never overlap, the chunk list always tiles the segment, and
+//! recycled segments never leak prior contents.
+
+use proptest::prelude::*;
+use wedge_alloc::{Arena, TagCache, TagCacheConfig};
+
+/// A randomly generated allocator operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    /// Free the i-th (mod len) live allocation.
+    Free(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..512).prop_map(Op::Alloc),
+        (0usize..64).prop_map(Op::Free),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_never_overlaps_and_stays_consistent(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut arena = Arena::new(64 * 1024).unwrap();
+        let mut live: Vec<(usize, usize)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(sz) => {
+                    if let Ok(p) = arena.alloc(sz) {
+                        live.push((p, sz));
+                    }
+                }
+                Op::Free(idx) => {
+                    if !live.is_empty() {
+                        let (p, _) = live.remove(idx % live.len());
+                        arena.free(p).unwrap();
+                    }
+                }
+            }
+
+            // The chunk list must always tile the segment exactly.
+            arena.check_consistency().unwrap();
+            // Every allocation we believe is live must be recognised and
+            // large enough.
+            for (p, sz) in &live {
+                prop_assert!(arena.contains_live_range(*p, *sz));
+            }
+            // Live ranges reported by the arena must be disjoint and sorted.
+            let ranges = arena.live_ranges();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+            }
+            prop_assert_eq!(ranges.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn freeing_everything_restores_one_free_chunk(sizes in prop::collection::vec(1usize..300, 1..40)) {
+        let mut arena = Arena::new(64 * 1024).unwrap();
+        let baseline = arena.largest_free();
+        let mut ptrs = Vec::new();
+        for sz in &sizes {
+            ptrs.push(arena.alloc(*sz).unwrap());
+        }
+        for p in ptrs {
+            arena.free(p).unwrap();
+        }
+        prop_assert_eq!(arena.live_allocations(), 0);
+        prop_assert_eq!(arena.largest_free(), baseline);
+        prop_assert_eq!(arena.check_consistency().unwrap(), 1);
+    }
+
+    #[test]
+    fn recycled_segments_never_leak_contents(secret in prop::collection::vec(1u8..255, 8..64)) {
+        let mut cache = TagCache::new(TagCacheConfig::default());
+        let mut seg = cache.acquire(8192).unwrap();
+        let p = seg.arena_mut().alloc(secret.len()).unwrap();
+        seg.arena_mut().data_mut()[p..p + secret.len()].copy_from_slice(&secret);
+        cache.release(seg);
+
+        let recycled = cache.acquire(8192).unwrap();
+        prop_assert!(recycled.generation() > 1, "expected a cache hit");
+        // The secret must not survive recycling anywhere in the segment.
+        let data = recycled.arena().data();
+        prop_assert!(!data.windows(secret.len()).any(|w| w == &secret[..]));
+    }
+
+    #[test]
+    fn usable_size_at_least_requested(sz in 1usize..2048) {
+        let mut arena = Arena::new(16 * 1024).unwrap();
+        let p = arena.alloc(sz).unwrap();
+        prop_assert!(arena.usable_size(p).unwrap() >= sz);
+    }
+}

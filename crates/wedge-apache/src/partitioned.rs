@@ -1,0 +1,861 @@
+//! The §5.1.2 (man-in-the-middle-hardened) partitioning of Apache/OpenSSL.
+//!
+//! Per connection, a master coordinates two sequential phases (Figure 3):
+//!
+//! 1. **`ssl_handshake` sthread** — network-facing, reads and writes the
+//!    cleartext handshake messages, but holds *no* access to the session-key
+//!    or private-key regions. It drives four callgates:
+//!    `begin_handshake` (chooses the server random, handles resumption),
+//!    `setup_session_key` (the only code that can read the private key;
+//!    decrypts the premaster and installs the derived keys into the
+//!    session-key region), `receive_finished` (verifies the client's
+//!    Finished using the session key, records `finished_state`; returns only
+//!    a boolean) and `send_finished` (produces the sealed server Finished
+//!    from `finished_state`; takes no attacker-influenced input).
+//! 2. **`client_handler` sthread** — started by the master only after the
+//!    handshake sthread exits successfully. It has *no* network access and
+//!    *no* session-key access; it sees plaintext requests through the
+//!    `ssl_read` callgate and sends responses through `ssl_write` (which is
+//!    the only compartment pair able to use the session key on application
+//!    data, Figure 5).
+//!
+//! The [`ApacheConfig::recycled`] flag switches every callgate invocation to
+//! the recycled fast path — the Table 2 "Recycled" column. As in the paper,
+//! recycled callgates are long-lived and serve successive connections, so
+//! they trade some isolation (a compromised recycled gate could mix state
+//! across principals) for throughput; this reproduction consequently serves
+//! connections sequentially per server instance.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use wedge_core::callgate::typed_entry;
+use wedge_core::{
+    CgEntryId, CgInput, MemProt, SBuf, SecurityPolicy, SthreadCtx, Tag, TrustedArg, Wedge,
+    WedgeError,
+};
+use wedge_crypto::{RsaKeyPair, WedgeRng};
+use wedge_net::{Duplex, RecvTimeout};
+use wedge_tls::handshake::{
+    finished_verify_data, fresh_random, fresh_session_id, transcript_hash, CLIENT_FINISHED_LABEL,
+    HANDSHAKE_TIMEOUT, SERVER_FINISHED_LABEL,
+};
+use wedge_tls::messages::{ClientHello, ClientKeyExchange, Finished, ServerHello};
+use wedge_tls::record::RecordLayer;
+use wedge_tls::{SessionCache, SessionId, SessionKeys};
+
+use crate::http::{HttpRequest, PageStore};
+use crate::state::{FinishedState, SessionState, FINISHED_STATE_SIZE, SESSION_STATE_SIZE};
+use crate::vanilla::serialize_private_key;
+
+/// Configuration of the partitioned server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApacheConfig {
+    /// Use recycled callgates (the throughput optimisation of §3.3/Table 2).
+    pub recycled: bool,
+}
+
+/// Report returned for each served connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnectionReport {
+    /// Did the handshake phase complete?
+    pub handshake_ok: bool,
+    /// Was the session resumed from the cache?
+    pub resumed: bool,
+    /// Number of requests served by the client handler.
+    pub requests: u32,
+    /// Number of records the `ssl_read` callgate rejected (failed MAC) —
+    /// injected traffic never reaches the client handler.
+    pub rejected_records: u32,
+}
+
+// ---------------------------------------------------------------------
+// Callgate argument / reply types
+// ---------------------------------------------------------------------
+
+/// The master-controlled slot naming the connection currently being served
+/// (the `ssl_read`/`ssl_write` callgates fetch the live network endpoint
+/// from here — callers never hold it).
+type LinkSlot = Arc<Mutex<Option<Arc<Duplex>>>>;
+
+/// Trusted argument shared by `begin_handshake` and `setup_session_key`.
+struct KeyGateTrusted {
+    key_buf: SBuf,
+    session_state: SBuf,
+    cache: Arc<Mutex<SessionCache>>,
+}
+
+/// Trusted argument shared by `receive_finished` and `send_finished`.
+struct FinishedGateTrusted {
+    session_state: SBuf,
+    finished_state: SBuf,
+}
+
+/// Trusted argument shared by `ssl_read` and `ssl_write`.
+struct IoGateTrusted {
+    session_state: SBuf,
+    link: LinkSlot,
+}
+
+/// Input of `begin_handshake`.
+#[derive(Debug, Clone)]
+struct BeginRequest {
+    session_offer: Option<SessionId>,
+    client_random: [u8; 32],
+}
+
+/// Output of `begin_handshake`.
+#[derive(Debug, Clone)]
+struct BeginReply {
+    server_random: [u8; 32],
+    session_id: SessionId,
+    resumed: bool,
+}
+
+/// Input of `setup_session_key`.
+#[derive(Debug, Clone)]
+struct SetupKeyRequest {
+    client_random: [u8; 32],
+    encrypted_premaster: Vec<u8>,
+    session_id: SessionId,
+}
+
+/// Input of `receive_finished`.
+#[derive(Debug, Clone)]
+struct ReceiveFinishedRequest {
+    /// The cleartext handshake messages so far (hello, server hello, and —
+    /// unless resumed — the key exchange).
+    transcript: Vec<Vec<u8>>,
+    /// The sealed client Finished record.
+    sealed_client_finished: Vec<u8>,
+}
+
+/// Output of `ssl_read`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SslReadReply {
+    /// A verified plaintext record.
+    Data(Vec<u8>),
+    /// A record arrived but failed MAC verification (dropped).
+    Rejected,
+    /// The connection closed or timed out.
+    Closed,
+}
+
+/// The registered callgate entry points.
+#[derive(Clone, Copy)]
+struct Gates {
+    begin_handshake: CgEntryId,
+    setup_session_key: CgEntryId,
+    receive_finished: CgEntryId,
+    send_finished: CgEntryId,
+    ssl_read: CgEntryId,
+    ssl_write: CgEntryId,
+}
+
+/// The §5.1.2-partitioned HTTPS server.
+pub struct WedgeApache {
+    wedge: Wedge,
+    pages: PageStore,
+    config: ApacheConfig,
+    cache: Arc<Mutex<SessionCache>>,
+    key_tag: Tag,
+    key_buf: SBuf,
+    session_tag: Tag,
+    finished_tag: Tag,
+    session_state: SBuf,
+    finished_state: SBuf,
+    current_link: LinkSlot,
+    public_key: wedge_crypto::RsaPublicKey,
+    gates: Gates,
+}
+
+impl WedgeApache {
+    /// Build the server: allocate the private-key, session-key and
+    /// finished-state regions, and register all six callgate entry points.
+    pub fn new(
+        wedge: Wedge,
+        keypair: RsaKeyPair,
+        pages: PageStore,
+        config: ApacheConfig,
+    ) -> Result<WedgeApache, WedgeError> {
+        let root = wedge.root();
+        let key_tag = root.tag_new()?;
+        let key_buf = root.smalloc_init(key_tag, &serialize_private_key(&keypair))?;
+        let session_tag = root.tag_new()?;
+        let finished_tag = root.tag_new()?;
+        let session_state = root.smalloc(SESSION_STATE_SIZE, session_tag)?;
+        let finished_state = root.smalloc(FINISHED_STATE_SIZE, finished_tag)?;
+
+        let kernel = wedge.kernel();
+        let gates = Gates {
+            begin_handshake: kernel.cgate_register(
+                "begin_handshake",
+                typed_entry(|ctx: &SthreadCtx, trusted, req: BeginRequest| {
+                    let _f = ctx.trace_fn("begin_handshake");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<KeyGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    begin_handshake(ctx, t, req)
+                }),
+            ),
+            setup_session_key: kernel.cgate_register(
+                "setup_session_key",
+                typed_entry(|ctx: &SthreadCtx, trusted, req: SetupKeyRequest| {
+                    let _f = ctx.trace_fn("setup_session_key");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<KeyGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    setup_session_key(ctx, t, req)
+                }),
+            ),
+            receive_finished: kernel.cgate_register(
+                "receive_finished",
+                typed_entry(|ctx: &SthreadCtx, trusted, req: ReceiveFinishedRequest| {
+                    let _f = ctx.trace_fn("receive_finished");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<FinishedGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    receive_finished(ctx, t, req)
+                }),
+            ),
+            send_finished: kernel.cgate_register(
+                "send_finished",
+                typed_entry(|ctx: &SthreadCtx, trusted, _req: ()| {
+                    let _f = ctx.trace_fn("send_finished");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<FinishedGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    send_finished(ctx, t)
+                }),
+            ),
+            ssl_read: kernel.cgate_register(
+                "ssl_read",
+                typed_entry(|ctx: &SthreadCtx, trusted, _req: ()| {
+                    let _f = ctx.trace_fn("ssl_read");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<IoGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    ssl_read(ctx, t)
+                }),
+            ),
+            ssl_write: kernel.cgate_register(
+                "ssl_write",
+                typed_entry(|ctx: &SthreadCtx, trusted, plaintext: Vec<u8>| {
+                    let _f = ctx.trace_fn("ssl_write");
+                    let t = trusted
+                        .and_then(|t| t.downcast::<IoGateTrusted>())
+                        .ok_or(WedgeError::BadCallgateValue)?;
+                    ssl_write(ctx, t, &plaintext)
+                }),
+            ),
+        };
+
+        Ok(WedgeApache {
+            wedge,
+            pages,
+            config,
+            cache: Arc::new(Mutex::new(SessionCache::new())),
+            key_tag,
+            key_buf,
+            session_tag,
+            finished_tag,
+            session_state,
+            finished_state,
+            current_link: Arc::new(Mutex::new(None)),
+            public_key: keypair.public,
+            gates,
+        })
+    }
+
+    /// The server's public key.
+    pub fn public_key(&self) -> wedge_crypto::RsaPublicKey {
+        self.public_key
+    }
+
+    /// The private-key region (for attack tests).
+    pub fn key_buf(&self) -> SBuf {
+        self.key_buf
+    }
+
+    /// The session-key region (for attack tests).
+    pub fn session_state_buf(&self) -> SBuf {
+        self.session_state
+    }
+
+    /// The finished-state region (for attack tests).
+    pub fn finished_state_buf(&self) -> SBuf {
+        self.finished_state
+    }
+
+    /// The Wedge runtime backing the server.
+    pub fn wedge(&self) -> &Wedge {
+        &self.wedge
+    }
+
+    /// Whether this instance uses recycled callgates.
+    pub fn config(&self) -> ApacheConfig {
+        self.config
+    }
+
+    /// Scrub the per-connection regions before a new connection.
+    fn reset_regions(&self) -> Result<(), WedgeError> {
+        let root = self.wedge.root();
+        root.write(&self.session_state, 0, &SessionState::default().to_bytes())?;
+        root.write(&self.finished_state, 0, &FinishedState::default().to_bytes())?;
+        Ok(())
+    }
+
+    /// The `ssl_handshake` sthread policy (attack tests build exploited
+    /// sthreads with exactly this policy).
+    pub fn handshake_policy(&self) -> SecurityPolicy {
+        let mut key_gate = SecurityPolicy::deny_all();
+        key_gate.sc_mem_add(self.key_tag, MemProt::Read);
+        key_gate.sc_mem_add(self.session_tag, MemProt::ReadWrite);
+
+        let mut finished_gate = SecurityPolicy::deny_all();
+        finished_gate.sc_mem_add(self.session_tag, MemProt::ReadWrite);
+        finished_gate.sc_mem_add(self.finished_tag, MemProt::ReadWrite);
+
+        let key_trusted = || {
+            TrustedArg::new(KeyGateTrusted {
+                key_buf: self.key_buf,
+                session_state: self.session_state,
+                cache: self.cache.clone(),
+            })
+        };
+        let finished_trusted = || {
+            TrustedArg::new(FinishedGateTrusted {
+                session_state: self.session_state,
+                finished_state: self.finished_state,
+            })
+        };
+
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_cgate_add(self.gates.begin_handshake, key_gate.clone(), Some(key_trusted()));
+        policy.sc_cgate_add(self.gates.setup_session_key, key_gate, Some(key_trusted()));
+        policy.sc_cgate_add(
+            self.gates.receive_finished,
+            finished_gate.clone(),
+            Some(finished_trusted()),
+        );
+        policy.sc_cgate_add(self.gates.send_finished, finished_gate, Some(finished_trusted()));
+        policy
+    }
+
+    /// The `client_handler` sthread policy.
+    pub fn client_handler_policy(&self) -> SecurityPolicy {
+        let mut io_gate = SecurityPolicy::deny_all();
+        io_gate.sc_mem_add(self.session_tag, MemProt::ReadWrite);
+        let io_trusted = || {
+            TrustedArg::new(IoGateTrusted {
+                session_state: self.session_state,
+                link: self.current_link.clone(),
+            })
+        };
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_cgate_add(self.gates.ssl_read, io_gate.clone(), Some(io_trusted()));
+        policy.sc_cgate_add(self.gates.ssl_write, io_gate, Some(io_trusted()));
+        policy
+    }
+
+    /// Serve one connection end to end (master logic, Figure 3): run the
+    /// handshake sthread, and only if it exits successfully start the client
+    /// handler sthread.
+    pub fn serve_connection(&self, link: Duplex) -> Result<ConnectionReport, WedgeError> {
+        let link = Arc::new(link);
+        self.reset_regions()?;
+        *self.current_link.lock() = Some(link.clone());
+        let mut report = ConnectionReport::default();
+
+        // Phase 1: the SSL handshake sthread.
+        let handshake_policy = self.handshake_policy();
+        let gates = self.gates;
+        let recycled = self.config.recycled;
+        let handshake_link = link.clone();
+        let handshake = self.wedge.root().sthread_create(
+            "ssl-handshake",
+            &handshake_policy,
+            move |ctx| handshake_main(ctx, &handshake_link, gates, recycled),
+        )?;
+        let outcome = handshake.join()?;
+        let Ok(outcome) = outcome else {
+            *self.current_link.lock() = None;
+            return Ok(report);
+        };
+        report.handshake_ok = true;
+        report.resumed = outcome.resumed;
+
+        // Phase 2: the client handler sthread (no network, no session key).
+        let handler_policy = self.client_handler_policy();
+        let pages = self.pages.clone();
+        let handler = self.wedge.root().sthread_create(
+            "client-handler",
+            &handler_policy,
+            move |ctx| client_handler_main(ctx, gates, recycled, &pages),
+        )?;
+        let (served, rejected) = handler.join()?;
+        report.requests = served;
+        report.rejected_records = rejected;
+        *self.current_link.lock() = None;
+        Ok(report)
+    }
+}
+
+/// Outcome of the handshake sthread.
+#[derive(Debug, Clone)]
+struct HandshakeOutcome {
+    resumed: bool,
+}
+
+fn call<T: std::any::Any>(
+    ctx: &SthreadCtx,
+    recycled: bool,
+    entry: CgEntryId,
+    input: CgInput,
+) -> Result<T, WedgeError> {
+    let no_extra = SecurityPolicy::deny_all();
+    if recycled {
+        ctx.cgate_recycled_expect::<T>(entry, &no_extra, input)
+    } else {
+        ctx.cgate_expect::<T>(entry, &no_extra, input)
+    }
+}
+
+/// The network-facing handshake sthread (phase 1).
+fn handshake_main(
+    ctx: &SthreadCtx,
+    link: &Duplex,
+    gates: Gates,
+    recycled: bool,
+) -> Result<HandshakeOutcome, String> {
+    let _frame = ctx.trace_fn("ssl_handshake");
+    let recv = |_what: &str| -> Result<Vec<u8>, String> {
+        link.recv(RecvTimeout::After(HANDSHAKE_TIMEOUT))
+            .map_err(|e| e.to_string())
+    };
+
+    let hello_bytes = recv("client hello")?;
+    let hello = ClientHello::decode(&hello_bytes).map_err(|e| e.to_string())?;
+
+    let begin: BeginReply = call(
+        ctx,
+        recycled,
+        gates.begin_handshake,
+        Box::new(BeginRequest {
+            session_offer: hello.session_id,
+            client_random: hello.client_random,
+        }),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let server_hello = ServerHello {
+        server_random: begin.server_random,
+        session_id: begin.session_id,
+        resumed: begin.resumed,
+    };
+    let server_hello_bytes = server_hello.encode();
+    link.send(&server_hello_bytes).map_err(|e| e.to_string())?;
+    let mut transcript = vec![hello_bytes, server_hello_bytes];
+
+    if !begin.resumed {
+        let kx_bytes = recv("client key exchange")?;
+        let kx = ClientKeyExchange::decode(&kx_bytes).map_err(|e| e.to_string())?;
+        transcript.push(kx_bytes);
+        let ok: bool = call(
+            ctx,
+            recycled,
+            gates.setup_session_key,
+            Box::new(SetupKeyRequest {
+                client_random: hello.client_random,
+                encrypted_premaster: kx.encrypted_premaster,
+                session_id: begin.session_id,
+            }),
+        )
+        .map_err(|e| e.to_string())?;
+        if !ok {
+            return Err("setup_session_key rejected the premaster".to_string());
+        }
+    }
+
+    let sealed_client_finished = recv("client finished")?;
+    let verified: bool = call(
+        ctx,
+        recycled,
+        gates.receive_finished,
+        Box::new(ReceiveFinishedRequest {
+            transcript: transcript.clone(),
+            sealed_client_finished,
+        }),
+    )
+    .map_err(|e| e.to_string())?;
+    if !verified {
+        return Err("client Finished did not verify".to_string());
+    }
+
+    let sealed_server_finished: Vec<u8> = call(ctx, recycled, gates.send_finished, Box::new(()))
+        .map_err(|e| e.to_string())?;
+    link.send(&sealed_server_finished)
+        .map_err(|e| e.to_string())?;
+
+    Ok(HandshakeOutcome {
+        resumed: begin.resumed,
+    })
+}
+
+/// The client handler sthread (phase 2). It reads verified plaintext
+/// through `ssl_read` until the connection closes; records that fail MAC
+/// verification (e.g. attacker-injected data) are counted and dropped and
+/// never reach the request-handling code.
+fn client_handler_main(
+    ctx: &SthreadCtx,
+    gates: Gates,
+    recycled: bool,
+    pages: &PageStore,
+) -> (u32, u32) {
+    let _frame = ctx.trace_fn("client_handler");
+    let mut served = 0u32;
+    let mut rejected = 0u32;
+    loop {
+        match call::<SslReadReply>(ctx, recycled, gates.ssl_read, Box::new(())) {
+            Ok(SslReadReply::Data(plaintext)) => {
+                if let Some(request) = HttpRequest::parse(&plaintext) {
+                    let response = pages.respond(&request);
+                    if call::<bool>(ctx, recycled, gates.ssl_write, Box::new(response))
+                        .unwrap_or(false)
+                    {
+                        served += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            Ok(SslReadReply::Rejected) => rejected += 1,
+            Ok(SslReadReply::Closed) | Err(_) => break,
+        }
+    }
+    (served, rejected)
+}
+
+// ---------------------------------------------------------------------
+// Callgate bodies
+// ---------------------------------------------------------------------
+
+fn load_session(ctx: &SthreadCtx, buf: &SBuf) -> Result<SessionState, WedgeError> {
+    let bytes = ctx.read_all(buf)?;
+    SessionState::from_bytes(&bytes).ok_or(WedgeError::BadCallgateValue)
+}
+
+fn store_session(ctx: &SthreadCtx, buf: &SBuf, state: &SessionState) -> Result<(), WedgeError> {
+    ctx.write(buf, 0, &state.to_bytes())
+}
+
+fn begin_handshake(
+    ctx: &SthreadCtx,
+    trusted: &KeyGateTrusted,
+    request: BeginRequest,
+) -> Result<BeginReply, WedgeError> {
+    let mut rng = WedgeRng::from_entropy();
+    // The callgate — not the caller — generates the server's random
+    // contribution (the §5.1.1 defence against session-key influence).
+    let server_random = fresh_random(&mut rng);
+    let mut state = SessionState {
+        server_random,
+        ..SessionState::default()
+    };
+
+    let mut cache = trusted.cache.lock();
+    let resumed_premaster = request.session_offer.and_then(|id| cache.lookup(&id));
+    drop(cache);
+    let resumed = resumed_premaster.is_some();
+    let session_id = request
+        .session_offer
+        .filter(|_| resumed)
+        .unwrap_or_else(|| fresh_session_id(&mut rng));
+    if let Some(premaster) = resumed_premaster {
+        let keys = SessionKeys::derive(&premaster, &request.client_random, &server_random);
+        state.install_keys(&premaster, &keys);
+    }
+    store_session(ctx, &trusted.session_state, &state)?;
+    Ok(BeginReply {
+        server_random,
+        session_id,
+        resumed,
+    })
+}
+
+fn parse_private_key(bytes: &[u8]) -> Option<wedge_crypto::RsaPrivateKey> {
+    let rest = bytes.strip_prefix(b"RSA-PRIVATE-KEY:")?;
+    if rest.len() < 16 {
+        return None;
+    }
+    Some(wedge_crypto::RsaPrivateKey {
+        n: u64::from_le_bytes(rest[0..8].try_into().ok()?),
+        d: u64::from_le_bytes(rest[8..16].try_into().ok()?),
+    })
+}
+
+fn setup_session_key(
+    ctx: &SthreadCtx,
+    trusted: &KeyGateTrusted,
+    request: SetupKeyRequest,
+) -> Result<bool, WedgeError> {
+    let mut state = load_session(ctx, &trusted.session_state)?;
+    // Only this callgate's policy includes the private-key tag.
+    let key_bytes = ctx.read_all(&trusted.key_buf)?;
+    let Some(private) = parse_private_key(&key_bytes) else {
+        return Ok(false);
+    };
+    let Ok(premaster) = private.decrypt(&request.encrypted_premaster) else {
+        return Ok(false);
+    };
+    let keys = SessionKeys::derive(&premaster, &request.client_random, &state.server_random);
+    state.install_keys(&premaster, &keys);
+    store_session(ctx, &trusted.session_state, &state)?;
+    trusted.cache.lock().insert(request.session_id, premaster);
+    Ok(true)
+}
+
+fn receive_finished(
+    ctx: &SthreadCtx,
+    trusted: &FinishedGateTrusted,
+    request: ReceiveFinishedRequest,
+) -> Result<bool, WedgeError> {
+    let mut state = load_session(ctx, &trusted.session_state)?;
+    if !state.established {
+        return Ok(false);
+    }
+    let keys = state.keys();
+    let mut from_client = RecordLayer::resume(
+        &keys.material.client_write_key,
+        &keys.material.client_mac_key,
+        0,
+        state.recv_seq,
+    );
+    let Ok(plaintext) = from_client.open(&request.sealed_client_finished) else {
+        // An exploited handshake sthread passing arbitrary ciphertext (e.g.
+        // traffic captured from the legitimate client) learns nothing: the
+        // cleartext is never returned.
+        return Ok(false);
+    };
+    let Ok(finished) = Finished::decode(&plaintext) else {
+        return Ok(false);
+    };
+    let th = transcript_hash(&request.transcript);
+    let expected = finished_verify_data(&keys.master_secret, CLIENT_FINISHED_LABEL, &th);
+    if finished.verify_data != expected {
+        return Ok(false);
+    }
+    // Record the post-client-Finished transcript hash for send_finished.
+    let mut full_transcript = request.transcript.clone();
+    full_transcript.push(plaintext);
+    let final_hash = transcript_hash(&full_transcript);
+    state.recv_seq = from_client.received();
+    store_session(ctx, &trusted.session_state, &state)?;
+    ctx.write(
+        &trusted.finished_state,
+        0,
+        &FinishedState {
+            transcript_hash: final_hash,
+            client_verified: true,
+        }
+        .to_bytes(),
+    )?;
+    Ok(true)
+}
+
+fn send_finished(ctx: &SthreadCtx, trusted: &FinishedGateTrusted) -> Result<Vec<u8>, WedgeError> {
+    let mut state = load_session(ctx, &trusted.session_state)?;
+    let finished_bytes = ctx.read_all(&trusted.finished_state)?;
+    let finished_state =
+        FinishedState::from_bytes(&finished_bytes).ok_or(WedgeError::BadCallgateValue)?;
+    if !state.established || !finished_state.client_verified {
+        return Err(WedgeError::InvalidOperation(
+            "send_finished before receive_finished".to_string(),
+        ));
+    }
+    let keys = state.keys();
+    let verify_data = finished_verify_data(
+        &keys.master_secret,
+        SERVER_FINISHED_LABEL,
+        &finished_state.transcript_hash,
+    );
+    let mut to_client = RecordLayer::resume(
+        &keys.material.server_write_key,
+        &keys.material.server_mac_key,
+        state.send_seq,
+        0,
+    );
+    let sealed = to_client.seal(&Finished { verify_data }.encode());
+    state.send_seq = to_client.sent();
+    store_session(ctx, &trusted.session_state, &state)?;
+    Ok(sealed)
+}
+
+fn ssl_read(ctx: &SthreadCtx, trusted: &IoGateTrusted) -> Result<SslReadReply, WedgeError> {
+    let mut state = load_session(ctx, &trusted.session_state)?;
+    if !state.established {
+        return Ok(SslReadReply::Closed);
+    }
+    let Some(link) = trusted.link.lock().clone() else {
+        return Ok(SslReadReply::Closed);
+    };
+    let keys = state.keys();
+    let Ok(record) = link.recv(RecvTimeout::After(HANDSHAKE_TIMEOUT)) else {
+        return Ok(SslReadReply::Closed);
+    };
+    let mut from_client = RecordLayer::resume(
+        &keys.material.client_write_key,
+        &keys.material.client_mac_key,
+        0,
+        state.recv_seq,
+    );
+    match from_client.open(&record) {
+        Ok(plaintext) => {
+            state.recv_seq = from_client.received();
+            store_session(ctx, &trusted.session_state, &state)?;
+            Ok(SslReadReply::Data(plaintext))
+        }
+        Err(_) => Ok(SslReadReply::Rejected),
+    }
+}
+
+fn ssl_write(ctx: &SthreadCtx, trusted: &IoGateTrusted, plaintext: &[u8]) -> Result<bool, WedgeError> {
+    let mut state = load_session(ctx, &trusted.session_state)?;
+    if !state.established {
+        return Ok(false);
+    }
+    let Some(link) = trusted.link.lock().clone() else {
+        return Ok(false);
+    };
+    let keys = state.keys();
+    let mut to_client = RecordLayer::resume(
+        &keys.material.server_write_key,
+        &keys.material.server_mac_key,
+        state.send_seq,
+        0,
+    );
+    let sealed = to_client.seal(plaintext);
+    state.send_seq = to_client.sent();
+    store_session(ctx, &trusted.session_state, &state)?;
+    Ok(link.send(&sealed).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_core::Exploit;
+    use wedge_net::duplex_pair;
+    use wedge_tls::TlsClient;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(&mut WedgeRng::from_seed(seed))
+    }
+
+    fn run_one_request(
+        server: &WedgeApache,
+        client: &mut TlsClient,
+        path: &str,
+    ) -> (ConnectionReport, Vec<u8>) {
+        let (client_link, server_link) = duplex_pair("client", "server");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_connection(server_link).unwrap());
+            let mut conn = client.connect(&client_link).unwrap();
+            conn.send(&client_link, format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+                .unwrap();
+            let response = conn.recv(&client_link).unwrap();
+            drop(conn);
+            drop(client_link);
+            (handle.join().unwrap(), response)
+        })
+    }
+
+    #[test]
+    fn full_connection_with_standard_callgates() {
+        let server = WedgeApache::new(
+            Wedge::init(),
+            keypair(1),
+            PageStore::sample(),
+            ApacheConfig { recycled: false },
+        )
+        .unwrap();
+        let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(2));
+        let (report, response) = run_one_request(&server, &mut client, "/index.html");
+        assert!(report.handshake_ok);
+        assert!(!report.resumed);
+        assert_eq!(report.requests, 1);
+        assert!(response.starts_with(b"HTTP/1.0 200 OK"));
+        // Each request creates two sthreads and invokes several callgates.
+        let stats = server.wedge().kernel().stats();
+        assert_eq!(stats.sthreads_created, 2);
+        assert!(stats.callgate_invocations >= 5);
+    }
+
+    #[test]
+    fn full_connection_with_recycled_callgates_and_resumption() {
+        let server = WedgeApache::new(
+            Wedge::init(),
+            keypair(3),
+            PageStore::sample(),
+            ApacheConfig { recycled: true },
+        )
+        .unwrap();
+        let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(4));
+        let (first, response) = run_one_request(&server, &mut client, "/");
+        assert!(first.handshake_ok, "first recycled connection must work");
+        assert!(!first.resumed);
+        assert!(response.starts_with(b"HTTP/1.0 200 OK"));
+        let (second, response2) = run_one_request(&server, &mut client, "/account");
+        assert!(second.handshake_ok);
+        assert!(second.resumed, "second connection must hit the session cache");
+        assert!(response2.windows(7).any(|w| w == b"balance"));
+        assert!(server.wedge().kernel().stats().recycled_invocations > 0);
+    }
+
+    #[test]
+    fn exploited_handshake_sthread_cannot_reach_key_or_session_state() {
+        let server = WedgeApache::new(
+            Wedge::init(),
+            keypair(5),
+            PageStore::sample(),
+            ApacheConfig::default(),
+        )
+        .unwrap();
+        let policy = server.handshake_policy();
+        let key_buf = server.key_buf();
+        let session_state = server.session_state_buf();
+        let finished_state = server.finished_state_buf();
+        let handle = server
+            .wedge()
+            .root()
+            .sthread_create("exploited-handshake", &policy, move |ctx| {
+                let mut exploit = Exploit::seize(ctx);
+                (
+                    exploit.try_read(&key_buf).is_err(),
+                    exploit.try_read(&session_state).is_err(),
+                    exploit.try_read(&finished_state).is_err(),
+                )
+            })
+            .unwrap();
+        let (key_denied, session_denied, finished_denied) = handle.join().unwrap();
+        assert!(key_denied, "private key must be unreachable");
+        assert!(session_denied, "session key region must be unreachable");
+        assert!(finished_denied, "finished_state must be unreachable");
+    }
+
+    #[test]
+    fn client_handler_has_no_network_and_no_session_key() {
+        let server = WedgeApache::new(
+            Wedge::init(),
+            keypair(6),
+            PageStore::sample(),
+            ApacheConfig::default(),
+        )
+        .unwrap();
+        let policy = server.client_handler_policy();
+        // The policy grants no memory at all; only the two IO callgates.
+        assert!(policy.mem_grants().is_empty());
+        assert_eq!(policy.callgate_grants().len(), 2);
+        assert!(policy.mem_grant(server.session_state_buf().tag).is_none());
+    }
+}

@@ -1,0 +1,191 @@
+//! Ablations of the design choices the paper calls out in §3.3/§4.1/§6:
+//!
+//! * tag-reuse cache on vs off ("this mechanism improved the throughput of
+//!   our partitioned Apache server by 20%"),
+//! * standard vs recycled callgate invocation (the 8× of Figure 7),
+//! * scrub-by-template vs scrub-by-zeroing on tag reuse,
+//! * enforcement vs emulation mode (the cost of the Crowbar workflow's
+//!   "grant everything, log violations" library),
+//! * copy-on-write vs read-write grants on the write path,
+//! * bare context vs the resource-quota wrapper (the DoS-mitigation
+//!   extension of `wedge_core::resource`, not part of the published system).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::channel::unbounded;
+
+use wedge_alloc::{TagCache, TagCacheConfig};
+use wedge_core::callgate::typed_entry;
+use wedge_core::{LimitedCtx, MemProt, ResourceLimits, SecurityPolicy, Wedge};
+
+fn ablation_tag_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tag_reuse");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (label, reuse, template) in [
+        ("reuse_template_scrub", true, true),
+        ("reuse_zero_scrub", true, false),
+        ("no_reuse", false, true),
+    ] {
+        group.bench_function(label, |b| {
+            let mut cache = TagCache::new(TagCacheConfig {
+                reuse_enabled: reuse,
+                scrub_with_template: template,
+                ..TagCacheConfig::default()
+            });
+            // Warm the cache so the reuse configurations can hit.
+            let seg = cache.acquire(64 * 1024).expect("segment");
+            cache.release(seg);
+            b.iter(|| {
+                let segment = cache.acquire(64 * 1024).expect("segment");
+                cache.release(segment);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_callgate_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_callgate_modes");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let entry = wedge
+        .kernel()
+        .cgate_register("ablation_noop", typed_entry(|_ctx, _t, n: u64| Ok(n * 2)));
+    let mut caller_policy = SecurityPolicy::deny_all();
+    caller_policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+
+    for (label, recycled) in [("standard_callgate", false), ("recycled_callgate", true)] {
+        let (cmd_tx, cmd_rx) = unbounded::<()>();
+        let (done_tx, done_rx) = unbounded::<u64>();
+        let _caller = root
+            .sthread_create("ablation-caller", &caller_policy, move |ctx| {
+                while cmd_rx.recv().is_ok() {
+                    let value = if recycled {
+                        ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(3u64))
+                    } else {
+                        ctx.cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(3u64))
+                    }
+                    .unwrap_or(0);
+                    if done_tx.send(value).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("caller");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                cmd_tx.send(()).expect("cmd");
+                done_rx.recv().expect("reply")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_enforcement_vs_emulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_enforcement");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (label, emulation) in [("enforcing", false), ("emulation_mode", true)] {
+        group.bench_function(label, |b| {
+            let wedge = Wedge::init();
+            wedge.kernel().set_emulation(emulation);
+            let root = wedge.root();
+            let tag = root.tag_new().expect("tag");
+            let buf = root.smalloc_init(tag, &[0u8; 256]).expect("buf");
+            b.iter(|| {
+                root.write(&buf, 0, &[1u8; 64]).expect("write");
+                root.read(&buf, 0, 64).expect("read")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_cow_vs_rw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cow_write_path");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (label, prot) in [("read_write_grant", MemProt::ReadWrite), ("cow_grant", MemProt::CopyOnWrite)] {
+        group.bench_function(label, |b| {
+            let wedge = Wedge::init();
+            let root = wedge.root();
+            let tag = root.tag_new().expect("tag");
+            let buf = root.smalloc_init(tag, &[0u8; 1024]).expect("buf");
+            let mut policy = SecurityPolicy::deny_all();
+            policy.sc_mem_add(tag, prot);
+            let (cmd_tx, cmd_rx) = unbounded::<()>();
+            let (done_tx, done_rx) = unbounded::<()>();
+            let _writer = root
+                .sthread_create("cow-writer", &policy, move |ctx| {
+                    while cmd_rx.recv().is_ok() {
+                        ctx.write(&buf, 0, &[7u8; 128]).expect("write");
+                        if done_tx.send(()).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("writer");
+            b.iter(|| {
+                cmd_tx.send(()).expect("cmd");
+                done_rx.recv().expect("done")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_resource_quota(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resource_quota");
+    group.sample_size(40);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // Allocate/write/read/free cycle through the bare context vs through the
+    // quota wrapper: the accounting cost of the DoS-mitigation extension.
+    group.bench_function("bare_ctx", |b| {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().expect("tag");
+        b.iter(|| {
+            let buf = root.smalloc(256, tag).expect("smalloc");
+            root.write(&buf, 0, &[1u8; 128]).expect("write");
+            root.read(&buf, 0, 128).expect("read");
+            root.sfree(&buf).expect("sfree");
+        })
+    });
+    group.bench_function("quota_wrapped_ctx", |b| {
+        let wedge = Wedge::init();
+        let limited = LimitedCtx::new(
+            wedge.root(),
+            ResourceLimits::unlimited()
+                .with_tagged_bytes(1 << 30)
+                .with_cpu_ticks(u64::MAX / 2),
+        );
+        let tag = limited.tag_new().expect("tag");
+        b.iter(|| {
+            let buf = limited.smalloc(256, tag).expect("smalloc");
+            limited.write(&buf, 0, &[1u8; 128]).expect("write");
+            limited.read(&buf, 0, 128).expect("read");
+            limited.sfree(&buf).expect("sfree");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_tag_reuse,
+    ablation_callgate_modes,
+    ablation_enforcement_vs_emulation,
+    ablation_cow_vs_rw,
+    ablation_resource_quota
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figure 7: creation/invocation latency of the isolation and concurrency
+//! primitives — pthread, recycled callgate, sthread, callgate, fork.
+//!
+//! The paper's finding: sthreads and callgates cost about as much as fork,
+//! recycled callgates cost about as much as a pthread (≈8× cheaper than a
+//! standard callgate), and pthreads are the cheapest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::channel::unbounded;
+
+use wedge_core::callgate::typed_entry;
+use wedge_core::procsim::{ForkSim, PthreadSim};
+use wedge_core::{SecurityPolicy, Wedge};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_primitives");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // pthread: bare thread create + join.
+    group.bench_function("pthread", |b| {
+        b.iter(|| PthreadSim::spawn_and_join(|| std::hint::black_box(1 + 1)))
+    });
+
+    // fork: thread create + full address-space image copy (4 MiB parent).
+    let parent = ForkSim::new(4 * 1024 * 1024, 32);
+    group.bench_function("fork", |b| {
+        b.iter(|| parent.fork_and_wait(|image, fds| std::hint::black_box(image.len() + fds.len())))
+    });
+
+    // sthread: default-deny compartment create + join.
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    group.bench_function("sthread", |b| {
+        b.iter(|| {
+            let handle = root
+                .sthread_create("bench-sthread", &SecurityPolicy::deny_all(), |_ctx| 1u32)
+                .expect("sthread");
+            handle.join().expect("join")
+        })
+    });
+
+    // callgate and recycled callgate: invoked from a persistent caller
+    // sthread so only the invocation itself is measured.
+    let entry = wedge
+        .kernel()
+        .cgate_register("bench_noop", typed_entry(|_ctx, _t, n: u64| Ok(n + 1)));
+    let mut caller_policy = SecurityPolicy::deny_all();
+    caller_policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+
+    for (label, recycled) in [("callgate", false), ("recycled_callgate", true)] {
+        let (cmd_tx, cmd_rx) = unbounded::<()>();
+        let (done_tx, done_rx) = unbounded::<u64>();
+        let _caller = root
+            .sthread_create("bench-caller", &caller_policy, move |ctx| {
+                while cmd_rx.recv().is_ok() {
+                    let result = if recycled {
+                        ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
+                    } else {
+                        ctx.cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
+                    }
+                    .unwrap_or(0);
+                    if done_tx.send(result).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("caller sthread");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                cmd_tx.send(()).expect("command");
+                done_rx.recv().expect("reply")
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

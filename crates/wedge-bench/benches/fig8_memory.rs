@@ -1,0 +1,64 @@
+//! Figure 8: memory-call latency — `malloc` vs `tag_new` (best case, with
+//! reuse) vs `mmap` (the fresh-segment path).
+//!
+//! The paper's finding: smalloc/malloc are essentially identical; creating a
+//! tag costs ≈4× malloc when a deleted tag can be reused (scrub by copying
+//! pre-initialised bookkeeping) and ≈mmap cost (≈22× malloc) when it cannot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use wedge_alloc::{Arena, Segment, SegmentId, TagCache, TagCacheConfig};
+use wedge_core::Wedge;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_memory");
+    group.sample_size(60);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // malloc: a plain allocate + free inside an existing segment (the
+    // dlmalloc-equivalent path smalloc shares).
+    let mut arena = Arena::new(256 * 1024).expect("arena");
+    group.bench_function("malloc", |b| {
+        b.iter(|| {
+            let p = arena.alloc(64).expect("alloc");
+            arena.free(p).expect("free");
+        })
+    });
+
+    // smalloc through the kernel (policy check + arena allocation).
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let tag = root.tag_new().expect("tag");
+    group.bench_function("smalloc", |b| {
+        b.iter(|| {
+            let buf = root.smalloc(64, tag).expect("smalloc");
+            root.sfree(&buf).expect("sfree");
+        })
+    });
+
+    // tag_new with reuse: acquire/release against a warm cache.
+    let mut cache = TagCache::new(TagCacheConfig::default());
+    let warm = cache.acquire(64 * 1024).expect("segment");
+    cache.release(warm);
+    group.bench_function("tag_new_reuse", |b| {
+        b.iter(|| {
+            let segment = cache.acquire(64 * 1024).expect("segment");
+            cache.release(segment);
+        })
+    });
+
+    // mmap path: a fresh segment every time (no reuse possible).
+    let mut fresh_id = 0u64;
+    group.bench_function("mmap_fresh_segment", |b| {
+        b.iter(|| {
+            fresh_id += 1;
+            Segment::new(SegmentId(fresh_id), 64 * 1024).expect("segment")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Figure 9: run-time overhead of Crowbar's `cb-log` instrumentation.
+//!
+//! Each workload (an SSH login, an Apache request, and the synthetic
+//! SPEC-like kernels) runs three times: *native* (no tracer installed),
+//! *pin* (the [`crowbar::PinSim`] per-event tax, modelling Pin with no
+//! instrumentation), and *crowbar* (the full [`crowbar::CbLog`] tracer).
+//! The paper's finding: cb-log ≈96× native and ≈27× Pin-only on average,
+//! with much smaller ratios for OpenSSH and Apache than for the SPEC codes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crowbar::{CbLog, PinSim};
+use wedge_bench::spec::{run_spec, spec_workloads};
+use wedge_bench::ApacheVariant;
+use wedge_core::{AccessSink, Wedge};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Native,
+    Pin,
+    Crowbar,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Native => "native",
+            Mode::Pin => "pin",
+            Mode::Crowbar => "crowbar",
+        }
+    }
+
+    fn all() -> [Mode; 3] {
+        [Mode::Native, Mode::Pin, Mode::Crowbar]
+    }
+}
+
+fn install(wedge: &Wedge, mode: Mode) -> Option<Arc<CbLog>> {
+    match mode {
+        Mode::Native => {
+            wedge.kernel().set_tracer(None);
+            None
+        }
+        Mode::Pin => {
+            wedge.kernel().set_tracer(Some(Arc::new(PinSim::new())));
+            None
+        }
+        Mode::Crowbar => {
+            let log = CbLog::new();
+            log.install(wedge.kernel());
+            Some(log)
+        }
+    }
+}
+
+fn fig9_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_crowbar_spec");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for workload in spec_workloads() {
+        for mode in Mode::all() {
+            group.bench_with_input(
+                BenchmarkId::new(workload.name, mode.label()),
+                &mode,
+                |b, &mode| {
+                    let wedge = Wedge::init();
+                    let log = install(&wedge, mode);
+                    let root = wedge.root();
+                    b.iter(|| run_spec(&root, workload).expect("workload"));
+                    if let Some(log) = log {
+                        // Keep the trace alive so the work is not elided.
+                        std::hint::black_box(log.record_count());
+                    }
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn install_on_kernel(kernel: &wedge_core::Kernel, mode: Mode) {
+    match mode {
+        Mode::Native => kernel.set_tracer(None),
+        Mode::Pin => kernel.set_tracer(Some(Arc::new(PinSim::new()))),
+        Mode::Crowbar => {
+            let log = CbLog::new();
+            kernel.set_tracer(Some(log as Arc<dyn AccessSink>));
+        }
+    }
+}
+
+fn fig9_applications(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_crowbar_apps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // OpenSSH login under each instrumentation mode: the tracer is installed
+    // on the *server's* kernel, so every compartment of the Wedge-partitioned
+    // sshd runs instrumented (the client is uninstrumented, as in the paper).
+    for mode in Mode::all() {
+        group.bench_with_input(BenchmarkId::new("ssh_login", mode.label()), &mode, |b, &mode| {
+            let bed = wedge_bench::SshBed::new(21);
+            install_on_kernel(&bed.kernel(), mode);
+            b.iter(|| bed.login())
+        });
+    }
+
+    // Apache request under each instrumentation mode.
+    for mode in Mode::all() {
+        group.bench_with_input(
+            BenchmarkId::new("apache_request", mode.label()),
+            &mode,
+            |b, &mode| {
+                let mut bed = wedge_bench::ApacheBed::new(ApacheVariant::Wedge, 22);
+                install_on_kernel(&bed.kernel(), mode);
+                bed.forget_session();
+                b.iter(|| bed.request("/index.html"))
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, fig9_spec, fig9_applications);
+criterion_main!(benches);

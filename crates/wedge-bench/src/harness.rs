@@ -1,0 +1,318 @@
+//! End-to-end drivers for the Table 2 experiments: one HTTPS request against
+//! each Apache variant, and one SSH login / scp transfer against each SSH
+//! variant.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wedge_apache::{ApacheConfig, PageStore, SimpleApache, VanillaApache, WedgeApache};
+use wedge_core::{Kernel, Wedge};
+use wedge_crypto::{RsaKeyPair, WedgeRng};
+use wedge_net::duplex_pair;
+use wedge_ssh::authdb::ServerConfig;
+use wedge_ssh::{AuthDb, SshClient, VanillaSsh, WedgeSsh};
+use wedge_tls::TlsClient;
+
+/// Which Apache server implementation to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApacheVariant {
+    /// The monolithic baseline.
+    Vanilla,
+    /// The §5.1.1 partitioning (per-connection worker + key callgate).
+    Simple,
+    /// The §5.1.2 partitioning with standard callgates.
+    Wedge,
+    /// The §5.1.2 partitioning with recycled callgates.
+    Recycled,
+}
+
+/// A reusable Apache test bed: one server plus a client that may or may not
+/// hold a cached session.
+pub struct ApacheBed {
+    variant: ApacheVariant,
+    vanilla: Option<VanillaApache>,
+    simple: Option<SimpleApache>,
+    partitioned: Option<WedgeApache>,
+    client: TlsClient,
+}
+
+impl ApacheBed {
+    /// Build a server of the requested variant plus a fresh client.
+    pub fn new(variant: ApacheVariant, seed: u64) -> ApacheBed {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(seed));
+        let pages = PageStore::sample();
+        let (vanilla, simple, partitioned) = match variant {
+            ApacheVariant::Vanilla => (
+                Some(VanillaApache::new(Wedge::init(), keypair, pages).expect("vanilla server")),
+                None,
+                None,
+            ),
+            ApacheVariant::Simple => (
+                None,
+                Some(SimpleApache::new(Wedge::init(), keypair, pages).expect("simple server")),
+                None,
+            ),
+            ApacheVariant::Wedge => (
+                None,
+                None,
+                Some(
+                    WedgeApache::new(Wedge::init(), keypair, pages, ApacheConfig { recycled: false })
+                        .expect("wedge server"),
+                ),
+            ),
+            ApacheVariant::Recycled => (
+                None,
+                None,
+                Some(
+                    WedgeApache::new(Wedge::init(), keypair, pages, ApacheConfig { recycled: true })
+                        .expect("recycled server"),
+                ),
+            ),
+        };
+        let client = TlsClient::new(keypair.public, WedgeRng::from_seed(seed.wrapping_add(1)));
+        ApacheBed {
+            variant,
+            vanilla,
+            simple,
+            partitioned,
+            client,
+        }
+    }
+
+    /// The simulated kernel of whichever server variant backs this bed
+    /// (used by the Figure 9 bench to install a tracer on the server side).
+    pub fn kernel(&self) -> Arc<Kernel> {
+        if let Some(server) = &self.vanilla {
+            server.wedge().kernel().clone()
+        } else if let Some(server) = &self.simple {
+            server.wedge().kernel().clone()
+        } else {
+            self.partitioned
+                .as_ref()
+                .expect("some server exists")
+                .wedge()
+                .kernel()
+                .clone()
+        }
+    }
+
+    /// Drop the client's cached session so the next request performs a full
+    /// handshake (the "not cached" workload of Table 2).
+    pub fn forget_session(&mut self) {
+        self.client.cached_session = None;
+    }
+
+    /// Warm the session cache (run one request and keep the ticket).
+    pub fn warm(&mut self) {
+        let _ = self.request("/index.html");
+    }
+
+    /// Serve one full connection (handshake + one request) and return the
+    /// elapsed wall-clock time.
+    pub fn request(&mut self, path: &str) -> Duration {
+        let (client_link, server_link) = duplex_pair("bench-client", "bench-server");
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let variant = self.variant;
+            let vanilla = self.vanilla.as_ref();
+            let simple = self.simple.as_ref();
+            let partitioned = self.partitioned.as_ref();
+            let server = scope.spawn(move || match variant {
+                ApacheVariant::Vanilla => {
+                    let _ = vanilla.expect("vanilla").serve_connection(&server_link);
+                }
+                ApacheVariant::Simple => {
+                    let handle = simple
+                        .expect("simple")
+                        .serve_connection(server_link)
+                        .expect("spawn worker");
+                    let _ = handle.join();
+                }
+                ApacheVariant::Wedge | ApacheVariant::Recycled => {
+                    let _ = partitioned.expect("partitioned").serve_connection(server_link);
+                }
+            });
+            let mut conn = self.client.connect(&client_link).expect("handshake");
+            conn.send(&client_link, format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+                .expect("send request");
+            let response = conn.recv(&client_link).expect("response");
+            assert!(response.starts_with(b"HTTP/1.0 200"), "request must succeed");
+            drop(conn);
+            drop(client_link);
+            server.join().expect("server thread");
+        });
+        started.elapsed()
+    }
+}
+
+/// A reusable Wedge-partitioned SSH test bed (login + scp against one
+/// long-lived server), used by the Figure 9 and Table 2 benches.
+pub struct SshBed {
+    server: WedgeSsh,
+}
+
+impl SshBed {
+    /// Build the bed.
+    pub fn new(seed: u64) -> SshBed {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(seed));
+        let server = WedgeSsh::new(
+            Wedge::init(),
+            keypair,
+            &AuthDb::sample(),
+            &ServerConfig::default(),
+        )
+        .expect("wedge sshd");
+        SshBed { server }
+    }
+
+    /// The server-side kernel (for installing tracers).
+    pub fn kernel(&self) -> Arc<Kernel> {
+        self.server.wedge().kernel().clone()
+    }
+
+    /// One password login; returns the elapsed time.
+    pub fn login(&self) -> Duration {
+        let (client_link, server_link) = duplex_pair("ssh-client", "sshd");
+        let started = Instant::now();
+        let handle = self.server.serve_connection(server_link).expect("worker");
+        let mut client = SshClient::new();
+        client.connect(&client_link).expect("hello");
+        let (ok, _, _) = client
+            .auth_password(&client_link, "alice", "correct horse battery")
+            .expect("auth");
+        assert!(ok);
+        let elapsed = started.elapsed();
+        let _ = client.disconnect(&client_link);
+        let _ = handle.join();
+        elapsed
+    }
+}
+
+/// Convenience: one request against a freshly built server (used by tests).
+pub fn apache_request(variant: ApacheVariant, cached: bool) -> Duration {
+    let mut bed = ApacheBed::new(variant, 7);
+    if cached {
+        bed.warm();
+    } else {
+        bed.forget_session();
+    }
+    bed.request("/index.html")
+}
+
+/// One SSH password login against the requested variant. Returns the
+/// elapsed time from connection start to successful authentication.
+pub fn ssh_login(wedged: bool) -> Duration {
+    let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(11));
+    let db = AuthDb::sample();
+    let config = ServerConfig::default();
+    let (client_link, server_link) = duplex_pair("ssh-client", "sshd");
+    let started = Instant::now();
+    if wedged {
+        let server = WedgeSsh::new(Wedge::init(), keypair, &db, &config).expect("wedge sshd");
+        let handle = server.serve_connection(server_link).expect("worker");
+        let mut client = SshClient::new();
+        client.connect(&client_link).expect("hello");
+        let (ok, _, _) = client
+            .auth_password(&client_link, "alice", "correct horse battery")
+            .expect("auth");
+        assert!(ok);
+        let elapsed = started.elapsed();
+        let _ = client.disconnect(&client_link);
+        let _ = handle.join();
+        elapsed
+    } else {
+        let server = VanillaSsh::new(Wedge::init(), keypair, db, config).expect("vanilla sshd");
+        std::thread::scope(|scope| {
+            let server_ref = &server;
+            let handle = scope.spawn(move || server_ref.serve_connection(&server_link));
+            let mut client = SshClient::new();
+            client.connect(&client_link).expect("hello");
+            let (ok, _, _) = client
+                .auth_password(&client_link, "alice", "correct horse battery")
+                .expect("auth");
+            assert!(ok);
+            let elapsed = started.elapsed();
+            let _ = client.disconnect(&client_link);
+            let _ = handle.join();
+            elapsed
+        })
+    }
+}
+
+/// An scp-style upload of `bytes` bytes after a password login. Returns the
+/// elapsed transfer time (excluding login).
+pub fn ssh_scp(wedged: bool, bytes: usize) -> Duration {
+    let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(13));
+    let db = AuthDb::sample();
+    let config = ServerConfig::default();
+    let (client_link, server_link) = duplex_pair("scp-client", "sshd");
+    let chunk = 64 * 1024;
+    if wedged {
+        let server = WedgeSsh::new(Wedge::init(), keypair, &db, &config).expect("wedge sshd");
+        let handle = server.serve_connection(server_link).expect("worker");
+        let mut client = SshClient::new();
+        client.connect(&client_link).expect("hello");
+        client
+            .auth_password(&client_link, "alice", "correct horse battery")
+            .expect("auth");
+        let started = Instant::now();
+        let acked = client.scp_upload(&client_link, bytes, chunk).expect("scp");
+        let elapsed = started.elapsed();
+        assert_eq!(acked as usize, bytes);
+        let _ = client.disconnect(&client_link);
+        let _ = handle.join();
+        elapsed
+    } else {
+        let server = VanillaSsh::new(Wedge::init(), keypair, db, config).expect("vanilla sshd");
+        std::thread::scope(|scope| {
+            let server_ref = &server;
+            let handle = scope.spawn(move || server_ref.serve_connection(&server_link));
+            let mut client = SshClient::new();
+            client.connect(&client_link).expect("hello");
+            client
+                .auth_password(&client_link, "alice", "correct horse battery")
+                .expect("auth");
+            let started = Instant::now();
+            let acked = client.scp_upload(&client_link, bytes, chunk).expect("scp");
+            let elapsed = started.elapsed();
+            assert_eq!(acked as usize, bytes);
+            let _ = client.disconnect(&client_link);
+            let _ = handle.join();
+            elapsed
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_apache_variant_serves_a_request() {
+        for variant in [
+            ApacheVariant::Vanilla,
+            ApacheVariant::Simple,
+            ApacheVariant::Wedge,
+            ApacheVariant::Recycled,
+        ] {
+            let elapsed = apache_request(variant, false);
+            assert!(elapsed > Duration::ZERO, "{variant:?} must serve");
+        }
+    }
+
+    #[test]
+    fn cached_sessions_work_for_vanilla_and_wedge() {
+        for variant in [ApacheVariant::Vanilla, ApacheVariant::Wedge] {
+            let elapsed = apache_request(variant, true);
+            assert!(elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn ssh_login_and_scp_run_for_both_variants() {
+        assert!(ssh_login(false) > Duration::ZERO);
+        assert!(ssh_login(true) > Duration::ZERO);
+        assert!(ssh_scp(false, 256 * 1024) > Duration::ZERO);
+        assert!(ssh_scp(true, 256 * 1024) > Duration::ZERO);
+    }
+}

@@ -1,0 +1,16 @@
+//! # wedge-bench — shared harness code for the evaluation benchmarks
+//!
+//! Each Criterion bench target under `benches/` regenerates one figure or
+//! table of the paper's evaluation (§6); this library holds the pieces they
+//! share: synthetic SPEC-like workloads for the Crowbar overhead experiment
+//! (Figure 9) and end-to-end drivers for the Apache and OpenSSH case
+//! studies (Table 2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod spec;
+pub mod harness;
+
+pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, SshBed};
+pub use spec::{spec_workloads, SpecWorkload};

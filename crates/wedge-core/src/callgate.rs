@@ -1,0 +1,125 @@
+//! Callgate types.
+//!
+//! A callgate is "a portion of code that runs with different (typically
+//! higher) privileges than its caller", defined by an entry point, a set of
+//! permissions and a *trusted argument* supplied by the callgate's creator
+//! and held by the kernel so the caller cannot tamper with it (§3.3).
+//!
+//! In the reproduction an entry point is a registered closure
+//! ([`CallgateFn`]); permissions are a [`crate::SecurityPolicy`]; and the
+//! trusted argument is an arbitrary `Send + Sync` value wrapped in
+//! [`TrustedArg`]. Invocation (`SthreadCtx::cgate`) creates a fresh
+//! compartment with the callgate's permissions and runs the entry point on
+//! its own thread while the caller blocks — mirroring the paper's
+//! implementation of callgates as separate sthreads. *Recycled* callgates
+//! keep a long-lived worker thread per instance and exchange arguments over
+//! channels, the analogue of the paper's futex-based fast path.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::error::WedgeError;
+use crate::sthread::SthreadCtx;
+
+/// Identifier of a registered callgate entry point (program text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CgEntryId(pub u64);
+
+impl std::fmt::Display for CgEntryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cgate{}", self.0)
+    }
+}
+
+/// The caller-supplied (untrusted) argument to a callgate invocation.
+pub type CgInput = Box<dyn Any + Send>;
+
+/// The value returned by a callgate to its caller.
+pub type CgOutput = Box<dyn Any + Send>;
+
+/// The kernel-held trusted argument of a callgate instance. The creator
+/// supplies it when granting the callgate; the kernel passes it to the entry
+/// point on every invocation; callers can neither read nor replace it.
+#[derive(Clone)]
+pub struct TrustedArg(Arc<dyn Any + Send + Sync>);
+
+impl TrustedArg {
+    /// Wrap a value as a trusted argument.
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        TrustedArg(Arc::new(value))
+    }
+
+    /// Downcast to the concrete type the creator stored.
+    pub fn downcast<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for TrustedArg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TrustedArg(<kernel-held>)")
+    }
+}
+
+/// A registered callgate entry point.
+///
+/// The entry point receives the callgate compartment's context (carrying the
+/// callgate's — not the caller's — privileges), the kernel-held trusted
+/// argument if any, and the caller's untrusted input.
+pub type CallgateFn = Arc<
+    dyn Fn(&SthreadCtx, Option<&TrustedArg>, CgInput) -> Result<CgOutput, WedgeError>
+        + Send
+        + Sync,
+>;
+
+/// Helper: build a [`CallgateFn`] from a typed closure, boxing the result.
+///
+/// ```
+/// use wedge_core::callgate::typed_entry;
+/// let entry = typed_entry(|_ctx, _trusted, n: u32| Ok(n + 1));
+/// ```
+pub fn typed_entry<I, O, F>(f: F) -> CallgateFn
+where
+    I: Any + Send,
+    O: Any + Send,
+    F: Fn(&SthreadCtx, Option<&TrustedArg>, I) -> Result<O, WedgeError> + Send + Sync + 'static,
+{
+    Arc::new(move |ctx, trusted, input: CgInput| {
+        let input = input
+            .downcast::<I>()
+            .map_err(|_| WedgeError::BadCallgateValue)?;
+        let out = f(ctx, trusted, *input)?;
+        Ok(Box::new(out) as CgOutput)
+    })
+}
+
+/// Helper: downcast a callgate's output to a concrete type.
+pub fn downcast_output<T: Any>(out: CgOutput) -> Result<T, WedgeError> {
+    out.downcast::<T>()
+        .map(|b| *b)
+        .map_err(|_| WedgeError::BadCallgateValue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trusted_arg_downcasts_to_creator_type() {
+        let arg = TrustedArg::new(String::from("private-key"));
+        assert_eq!(arg.downcast::<String>().unwrap(), "private-key");
+        assert!(arg.downcast::<u32>().is_none());
+        assert!(format!("{arg:?}").contains("kernel-held"));
+    }
+
+    #[test]
+    fn downcast_output_errors_on_type_mismatch() {
+        let out: CgOutput = Box::new(42u32);
+        assert_eq!(downcast_output::<u32>(out).unwrap(), 42);
+        let out: CgOutput = Box::new("str");
+        assert!(matches!(
+            downcast_output::<u64>(out),
+            Err(WedgeError::BadCallgateValue)
+        ));
+    }
+}

@@ -1,0 +1,1602 @@
+//! The simulated kernel: the trusted arbiter of every Wedge privilege check.
+//!
+//! The paper implements sthreads and callgates as ~2000 lines of kernel
+//! support code in Linux 2.6.19. This module is the reproduction's
+//! equivalent: it owns all compartments, tagged segments, callgate entry
+//! points and instances, file descriptors and globals, and performs every
+//! policy check. Application code never touches segment bytes directly; it
+//! holds [`SBuf`] names and goes through a [`crate::SthreadCtx`], which
+//! forwards to the methods here.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use wedge_alloc::{Segment, TagCache, TagCacheConfig};
+
+use crate::callgate::{CallgateFn, CgEntryId, TrustedArg};
+use crate::error::WedgeError;
+use crate::fdtable::{FdEntry, FdId, FdProt};
+use crate::memory::SBuf;
+use crate::policy::{SecurityPolicy, Uid};
+use crate::sthread::SthreadCtx;
+use crate::syscall::{DomainTransitions, Syscall};
+use crate::tag::{AccessMode, CompartmentId, MemProt, Tag};
+use crate::trace::{
+    AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent,
+};
+
+/// Counters describing kernel activity, used by tests and by the experiment
+/// harnesses (e.g. "each request creates two sthreads and invokes eight
+/// callgates", §6).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Sthreads created (excluding callgate activations).
+    pub sthreads_created: u64,
+    /// Standard callgate invocations.
+    pub callgate_invocations: u64,
+    /// Recycled callgate invocations.
+    pub recycled_invocations: u64,
+    /// Tags created via `tag_new` (including boundary tags).
+    pub tags_created: u64,
+    /// Tags deleted.
+    pub tags_deleted: u64,
+    /// `smalloc` allocations from shared (grantable) tags.
+    pub smallocs: u64,
+    /// Allocations that went to per-compartment private segments.
+    pub private_allocs: u64,
+    /// Tagged-memory reads that were checked.
+    pub mem_reads: u64,
+    /// Tagged-memory writes that were checked.
+    pub mem_writes: u64,
+    /// Protection faults raised (denied accesses, not counting emulated).
+    pub faults: u64,
+    /// Violations permitted because emulation mode was active.
+    pub emulated_violations: u64,
+    /// File-descriptor reads.
+    pub fd_reads: u64,
+    /// File-descriptor writes.
+    pub fd_writes: u64,
+}
+
+/// A recorded protection violation (kept by the kernel so Crowbar's
+/// emulation workflow can enumerate every violation after a run, §3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// The offending compartment.
+    pub compartment: CompartmentId,
+    /// Its name.
+    pub compartment_name: String,
+    /// Where the denied access landed.
+    pub region: MemRegion,
+    /// The attempted access mode.
+    pub mode: AccessMode,
+    /// Whether emulation mode let the access proceed.
+    pub emulated: bool,
+}
+
+/// A registered global variable (part of the pre-`main` snapshot).
+#[derive(Debug, Clone)]
+struct GlobalVar {
+    initial: Vec<u8>,
+    /// If the global was declared with `BOUNDARY_VAR`, the tag protecting it.
+    boundary: Option<(u32, SBuf)>,
+}
+
+/// A segment backing a tag.
+struct SegmentEntry {
+    segment: Segment,
+    /// The compartment that created the tag.
+    owner: CompartmentId,
+    /// Private segments back untagged allocations; they can never be named
+    /// in another compartment's policy.
+    private: bool,
+}
+
+/// A compartment known to the kernel.
+struct CompartmentEntry {
+    name: String,
+    parent: Option<CompartmentId>,
+    policy: SecurityPolicy,
+    /// Lazily created private segment for untagged allocations.
+    private_tag: Option<Tag>,
+    alive: bool,
+}
+
+/// A callgate instance: created when a policy containing a
+/// [`crate::CallgateGrant`] is bound to a new sthread.
+#[derive(Clone)]
+struct CallgateInstance {
+    policy: SecurityPolicy,
+    trusted: Option<TrustedArg>,
+    creator: CompartmentId,
+}
+
+/// Everything the caller needs to actually run a callgate (returned by
+/// [`Kernel::cgate_prepare`]; the spawn happens in `SthreadCtx`).
+pub(crate) struct PreparedCall {
+    pub(crate) entry_fn: CallgateFn,
+    pub(crate) policy: SecurityPolicy,
+    pub(crate) trusted: Option<TrustedArg>,
+    pub(crate) creator: CompartmentId,
+}
+
+/// A long-lived worker backing a recycled callgate.
+pub(crate) struct RecycledWorker {
+    /// Serialises callers of the same recycled gate.
+    pub(crate) call_lock: Mutex<()>,
+    pub(crate) tx: crossbeam::channel::Sender<crate::callgate::CgInput>,
+    pub(crate) rx: crossbeam::channel::Receiver<Result<crate::callgate::CgOutput, WedgeError>>,
+    /// The persistent activation compartment.
+    pub(crate) activation: CompartmentId,
+}
+
+struct KernelState {
+    compartments: HashMap<CompartmentId, CompartmentEntry>,
+    segments: HashMap<Tag, SegmentEntry>,
+    tag_cache: TagCache,
+    /// Per-(compartment, tag) copy-on-write overlays.
+    cow_overlays: HashMap<(CompartmentId, Tag), Vec<u8>>,
+    callgate_entries: HashMap<CgEntryId, (String, CallgateFn)>,
+    callgate_instances: HashMap<(CompartmentId, CgEntryId), CallgateInstance>,
+    recycled: HashMap<(CompartmentId, CgEntryId), Arc<RecycledWorker>>,
+    fds: HashMap<FdId, FdEntry>,
+    globals: HashMap<String, GlobalVar>,
+    boundary_tags: HashMap<u32, Tag>,
+    /// Per-(compartment, global) private copies (the COW snapshot view).
+    global_overlays: HashMap<(CompartmentId, String), Vec<u8>>,
+    transitions: DomainTransitions,
+    emulation: bool,
+    violations: Vec<ViolationRecord>,
+    stats: KernelStats,
+    next_compartment: u64,
+    next_tag: u64,
+    next_fd: u64,
+    next_entry: u64,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    state: Mutex<KernelState>,
+    tracer: RwLock<Option<Arc<dyn AccessSink>>>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// Create a fresh kernel with no compartments, tags or globals.
+    pub fn new() -> Kernel {
+        Kernel {
+            state: Mutex::new(KernelState {
+                compartments: HashMap::new(),
+                segments: HashMap::new(),
+                tag_cache: TagCache::new(TagCacheConfig::default()),
+                cow_overlays: HashMap::new(),
+                callgate_entries: HashMap::new(),
+                callgate_instances: HashMap::new(),
+                recycled: HashMap::new(),
+                fds: HashMap::new(),
+                globals: HashMap::new(),
+                boundary_tags: HashMap::new(),
+                global_overlays: HashMap::new(),
+                transitions: DomainTransitions::new(),
+                emulation: false,
+                violations: Vec::new(),
+                stats: KernelStats::default(),
+                next_compartment: 1,
+                next_tag: 1,
+                next_fd: 1,
+                next_entry: 1,
+            }),
+            tracer: RwLock::new(None),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration and inspection
+    // ------------------------------------------------------------------
+
+    /// Install (or remove) the instrumentation sink used by Crowbar.
+    pub fn set_tracer(&self, tracer: Option<Arc<dyn AccessSink>>) {
+        *self.tracer.write() = tracer;
+    }
+
+    fn tracer(&self) -> Option<Arc<dyn AccessSink>> {
+        self.tracer.read().clone()
+    }
+
+    /// Enable or disable emulation mode (§3.4's sthread emulation library):
+    /// protection violations are recorded but the access is allowed, so a
+    /// whole run can be observed without crashing.
+    pub fn set_emulation(&self, enabled: bool) {
+        self.state.lock().emulation = enabled;
+    }
+
+    /// Is emulation mode active?
+    pub fn emulation_enabled(&self) -> bool {
+        self.state.lock().emulation
+    }
+
+    /// All protection violations recorded so far.
+    pub fn violations(&self) -> Vec<ViolationRecord> {
+        self.state.lock().violations.clone()
+    }
+
+    /// Forget recorded violations.
+    pub fn clear_violations(&self) {
+        self.state.lock().violations.clear();
+    }
+
+    /// Kernel activity counters.
+    pub fn stats(&self) -> KernelStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Reset kernel activity counters (used between experiment phases).
+    pub fn reset_stats(&self) {
+        self.state.lock().stats = KernelStats::default();
+    }
+
+    /// Permit an SELinux-style domain transition from `from` to `to`.
+    pub fn allow_domain_transition(&self, from: &str, to: &str) {
+        self.state.lock().transitions.allow(from, to);
+    }
+
+    /// Number of live (not yet exited) compartments.
+    pub fn live_compartments(&self) -> usize {
+        self.state
+            .lock()
+            .compartments
+            .values()
+            .filter(|c| c.alive)
+            .count()
+    }
+
+    /// The stored policy of a compartment.
+    pub fn policy_of(&self, id: CompartmentId) -> Result<SecurityPolicy, WedgeError> {
+        let st = self.state.lock();
+        st.compartments
+            .get(&id)
+            .map(|c| c.policy.clone())
+            .ok_or(WedgeError::UnknownCompartment(id))
+    }
+
+    /// The name of a compartment.
+    pub fn name_of(&self, id: CompartmentId) -> Result<String, WedgeError> {
+        let st = self.state.lock();
+        st.compartments
+            .get(&id)
+            .map(|c| c.name.clone())
+            .ok_or(WedgeError::UnknownCompartment(id))
+    }
+
+    /// The parent of a compartment (`None` for the root compartment).
+    pub fn parent_of(&self, id: CompartmentId) -> Result<Option<CompartmentId>, WedgeError> {
+        let st = self.state.lock();
+        st.compartments
+            .get(&id)
+            .map(|c| c.parent)
+            .ok_or(WedgeError::UnknownCompartment(id))
+    }
+
+    // ------------------------------------------------------------------
+    // Compartment lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create the unconfined root compartment and return its context.
+    pub fn create_root_compartment(self: &Arc<Self>, name: &str) -> SthreadCtx {
+        let id = {
+            let mut st = self.state.lock();
+            let id = CompartmentId(st.next_compartment);
+            st.next_compartment += 1;
+            st.compartments.insert(
+                id,
+                CompartmentEntry {
+                    name: name.to_string(),
+                    parent: None,
+                    policy: SecurityPolicy::unconfined(),
+                    private_tag: None,
+                    alive: true,
+                },
+            );
+            id
+        };
+        SthreadCtx::new(self.clone(), id, name)
+    }
+
+    /// Register a new child compartment. Validates the subset rule and
+    /// instantiates the callgate grants carried by `policy`.
+    pub(crate) fn register_child(
+        &self,
+        parent: CompartmentId,
+        name: &str,
+        policy: &SecurityPolicy,
+        is_activation: bool,
+    ) -> Result<CompartmentId, WedgeError> {
+        let mut st = self.state.lock();
+        let parent_entry = st
+            .compartments
+            .get(&parent)
+            .ok_or(WedgeError::UnknownCompartment(parent))?;
+        let parent_policy = parent_entry.policy.clone();
+
+        if !is_activation {
+            parent_policy
+                .validate_child(policy, &st.transitions)
+                .map_err(|detail| WedgeError::PrivilegeEscalation { detail })?;
+            // Private tags can never be named in a grant.
+            for tag in policy.mem_grants().keys() {
+                if let Some(seg) = st.segments.get(tag) {
+                    if seg.private {
+                        return Err(WedgeError::PrivateTag(*tag));
+                    }
+                }
+            }
+        }
+
+        // Inherit uid / fs_root from the parent when the child policy kept
+        // the defaults (mirrors fork semantics).
+        let mut child_policy = policy.clone();
+        if child_policy.uid == Uid::ROOT && !parent_policy.uid.is_root() {
+            child_policy.uid = parent_policy.uid;
+        }
+        if child_policy.fs_root == "/" && parent_policy.fs_root != "/" {
+            child_policy.fs_root = parent_policy.fs_root.clone();
+        }
+
+        let id = CompartmentId(st.next_compartment);
+        st.next_compartment += 1;
+
+        // Instantiate callgate grants: the instance's permissions were
+        // validated against the *creator* (the parent) above.
+        for grant in policy.callgate_grants() {
+            if !st.callgate_entries.contains_key(&grant.entry) {
+                return Err(WedgeError::UnknownCallgate(grant.entry));
+            }
+            st.callgate_instances.insert(
+                (id, grant.entry),
+                CallgateInstance {
+                    policy: (*grant.policy).clone(),
+                    trusted: grant.trusted.clone(),
+                    creator: parent,
+                },
+            );
+        }
+
+        st.compartments.insert(
+            id,
+            CompartmentEntry {
+                name: name.to_string(),
+                parent: Some(parent),
+                policy: child_policy,
+                private_tag: None,
+                alive: true,
+            },
+        );
+        if is_activation {
+            st.stats.callgate_invocations += 1;
+        } else {
+            st.stats.sthreads_created += 1;
+        }
+        Ok(id)
+    }
+
+    /// Mark a compartment as exited.
+    pub(crate) fn compartment_exited(&self, id: CompartmentId) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.compartments.get_mut(&id) {
+            c.alive = false;
+        }
+    }
+
+    /// Change a compartment's uid and filesystem root. Only a caller whose
+    /// own uid is root may do this — the idiom used by the OpenSSH
+    /// authentication callgates ("the callgate, upon successful
+    /// authentication, changes the worker's user ID and filesystem root").
+    pub(crate) fn transition_identity(
+        &self,
+        caller: CompartmentId,
+        target: CompartmentId,
+        new_uid: Uid,
+        new_fs_root: Option<&str>,
+    ) -> Result<(), WedgeError> {
+        let mut st = self.state.lock();
+        let caller_uid = st
+            .compartments
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?
+            .policy
+            .uid;
+        if !caller_uid.is_root() {
+            return Err(WedgeError::IdentityDenied(format!(
+                "caller uid {} is not root",
+                caller_uid.0
+            )));
+        }
+        let target_entry = st
+            .compartments
+            .get_mut(&target)
+            .ok_or(WedgeError::UnknownCompartment(target))?;
+        target_entry.policy.uid = new_uid;
+        if let Some(root) = new_fs_root {
+            target_entry.policy.fs_root = root.to_string();
+        }
+        Ok(())
+    }
+
+    /// The uid a compartment currently runs as.
+    pub fn uid_of(&self, id: CompartmentId) -> Result<Uid, WedgeError> {
+        Ok(self.policy_of(id)?.uid)
+    }
+
+    // ------------------------------------------------------------------
+    // Tagged memory
+    // ------------------------------------------------------------------
+
+    fn fresh_tag(st: &mut KernelState) -> Tag {
+        let tag = Tag(st.next_tag);
+        st.next_tag += 1;
+        tag
+    }
+
+    /// `tag_new()`: create a tag backed by a (possibly recycled) segment and
+    /// grant the creating compartment read-write access to it.
+    pub(crate) fn tag_new(&self, caller: CompartmentId) -> Result<Tag, WedgeError> {
+        self.tag_new_inner(caller, false)
+    }
+
+    fn tag_new_inner(&self, caller: CompartmentId, private: bool) -> Result<Tag, WedgeError> {
+        let mut st = self.state.lock();
+        if !st.compartments.contains_key(&caller) {
+            return Err(WedgeError::UnknownCompartment(caller));
+        }
+        let segment = st
+            .tag_cache
+            .acquire_default()
+            .map_err(|e| WedgeError::Alloc(e.to_string()))?;
+        let tag = Self::fresh_tag(&mut st);
+        st.segments.insert(
+            tag,
+            SegmentEntry {
+                segment,
+                owner: caller,
+                private,
+            },
+        );
+        st.stats.tags_created += 1;
+        // The creator implicitly gains read-write access (it created the
+        // region, exactly as mmap would map it into the caller).
+        if let Some(entry) = st.compartments.get_mut(&caller) {
+            if !entry.policy.is_unconfined() {
+                entry.policy.sc_mem_add(tag, MemProt::ReadWrite);
+            }
+        }
+        Ok(tag)
+    }
+
+    /// `tag_delete()`: release a tag's segment back to the userland cache.
+    pub(crate) fn tag_delete(&self, caller: CompartmentId, tag: Tag) -> Result<(), WedgeError> {
+        let mut st = self.state.lock();
+        let entry = st.segments.get(&tag).ok_or(WedgeError::UnknownTag(tag))?;
+        if entry.owner != caller && !Self::policy_of_locked(&st, caller)?.is_unconfined() {
+            return Err(WedgeError::ProtectionFault {
+                compartment: caller,
+                tag,
+                mode: AccessMode::Write,
+            });
+        }
+        let entry = st.segments.remove(&tag).expect("checked above");
+        st.tag_cache.release(entry.segment);
+        st.cow_overlays.retain(|(_, t), _| *t != tag);
+        st.stats.tags_deleted += 1;
+        Ok(())
+    }
+
+    fn policy_of_locked(
+        st: &KernelState,
+        id: CompartmentId,
+    ) -> Result<&SecurityPolicy, WedgeError> {
+        st.compartments
+            .get(&id)
+            .map(|c| &c.policy)
+            .ok_or(WedgeError::UnknownCompartment(id))
+    }
+
+    /// `smalloc()`: allocate from a tagged segment.
+    pub(crate) fn smalloc(
+        &self,
+        caller: CompartmentId,
+        size: usize,
+        tag: Tag,
+    ) -> Result<SBuf, WedgeError> {
+        let event = {
+            let mut st = self.state.lock();
+            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(tag);
+            let seg_exists = st.segments.contains_key(&tag);
+            if !seg_exists {
+                return Err(WedgeError::UnknownTag(tag));
+            }
+            match grant {
+                Some(prot) if prot.permits(AccessMode::Write) || prot.permits(AccessMode::Read) => {}
+                _ => {
+                    return Err(WedgeError::ProtectionFault {
+                        compartment: caller,
+                        tag,
+                        mode: AccessMode::Write,
+                    })
+                }
+            }
+            let private = st.segments.get(&tag).map(|s| s.private).unwrap_or(false);
+            let entry = st.segments.get_mut(&tag).expect("checked above");
+            let offset = entry
+                .segment
+                .arena_mut()
+                .alloc(size)
+                .map_err(|e| WedgeError::Alloc(e.to_string()))?;
+            if private {
+                st.stats.private_allocs += 1;
+            } else {
+                st.stats.smallocs += 1;
+            }
+            AllocEvent {
+                compartment: caller,
+                tag,
+                alloc_offset: offset,
+                size,
+                private,
+            }
+        };
+        if let Some(tracer) = self.tracer() {
+            tracer.on_alloc(&event);
+        }
+        Ok(SBuf::new(event.tag, event.alloc_offset, event.size))
+    }
+
+    /// Allocate from the caller's private (untagged) segment, creating it on
+    /// first use. Private segments can never be granted to other
+    /// compartments.
+    pub(crate) fn private_alloc(
+        &self,
+        caller: CompartmentId,
+        size: usize,
+    ) -> Result<SBuf, WedgeError> {
+        let existing = {
+            let st = self.state.lock();
+            st.compartments
+                .get(&caller)
+                .ok_or(WedgeError::UnknownCompartment(caller))?
+                .private_tag
+        };
+        let tag = match existing {
+            Some(tag) => tag,
+            None => {
+                let tag = self.tag_new_inner(caller, true)?;
+                let mut st = self.state.lock();
+                if let Some(c) = st.compartments.get_mut(&caller) {
+                    c.private_tag = Some(tag);
+                }
+                tag
+            }
+        };
+        self.smalloc(caller, size, tag)
+    }
+
+    /// `sfree()`: free an allocation.
+    pub(crate) fn sfree(&self, caller: CompartmentId, buf: &SBuf) -> Result<(), WedgeError> {
+        let mut st = self.state.lock();
+        let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
+        if grant.is_none() {
+            return Err(WedgeError::ProtectionFault {
+                compartment: caller,
+                tag: buf.tag,
+                mode: AccessMode::Write,
+            });
+        }
+        let entry = st
+            .segments
+            .get_mut(&buf.tag)
+            .ok_or(WedgeError::UnknownTag(buf.tag))?;
+        entry
+            .segment
+            .arena_mut()
+            .free(buf.offset)
+            .map_err(|e| WedgeError::Alloc(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Record a violation and decide whether the access proceeds (emulation
+    /// mode) or faults.
+    fn deny(
+        &self,
+        st: &mut KernelState,
+        caller: CompartmentId,
+        region: MemRegion,
+        mode: AccessMode,
+    ) -> Result<(), WedgeError> {
+        let name = st
+            .compartments
+            .get(&caller)
+            .map(|c| c.name.clone())
+            .unwrap_or_else(|| "<unknown>".to_string());
+        let emulated = st.emulation;
+        st.violations.push(ViolationRecord {
+            compartment: caller,
+            compartment_name: name.clone(),
+            region: region.clone(),
+            mode,
+            emulated,
+        });
+        if emulated {
+            st.stats.emulated_violations += 1;
+        } else {
+            st.stats.faults += 1;
+        }
+        let event = ViolationEvent {
+            compartment: caller,
+            compartment_name: name,
+            region: region.clone(),
+            mode,
+            emulated,
+        };
+        if let Some(tracer) = self.tracer() {
+            tracer.on_violation(&event);
+        }
+        if emulated {
+            Ok(())
+        } else {
+            match region {
+                MemRegion::Tagged { tag, .. } => Err(WedgeError::ProtectionFault {
+                    compartment: caller,
+                    tag,
+                    mode,
+                }),
+                MemRegion::Fd { fd, .. } => Err(WedgeError::FdFault {
+                    compartment: caller,
+                    fd,
+                    mode,
+                }),
+                MemRegion::Global { .. } => Err(WedgeError::ProtectionFault {
+                    compartment: caller,
+                    tag: Tag(0),
+                    mode,
+                }),
+            }
+        }
+    }
+
+    fn emit_access(
+        &self,
+        caller: CompartmentId,
+        caller_name: &str,
+        region: MemRegion,
+        offset: usize,
+        len: usize,
+        mode: AccessMode,
+        allowed: bool,
+    ) {
+        if let Some(tracer) = self.tracer() {
+            tracer.on_access(&MemAccessEvent {
+                compartment: caller,
+                compartment_name: caller_name.to_string(),
+                region,
+                offset,
+                len,
+                mode,
+                allowed,
+            });
+        }
+    }
+
+    /// Read `len` bytes at `offset` within a tagged buffer.
+    pub(crate) fn mem_read(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, WedgeError> {
+        let (result, caller_name, allowed) = {
+            let mut st = self.state.lock();
+            st.stats.mem_reads += 1;
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
+            let region = MemRegion::Tagged {
+                tag: buf.tag,
+                alloc_offset: buf.offset,
+            };
+            let permitted = grant.map(|g| g.permits(AccessMode::Read)).unwrap_or(false);
+            if !permitted {
+                let denied = self.deny(&mut st, caller, region.clone(), AccessMode::Read);
+                if let Err(e) = denied {
+                    self.emit_access(caller, &caller_name, region, offset, len, AccessMode::Read, false);
+                    return Err(e);
+                }
+            }
+            // Bounds checks against the live allocation.
+            if offset.checked_add(len).map(|end| end > buf.len).unwrap_or(true) {
+                return Err(WedgeError::OutOfBounds {
+                    tag: buf.tag,
+                    offset: buf.offset + offset,
+                    len,
+                });
+            }
+            let entry = st
+                .segments
+                .get(&buf.tag)
+                .ok_or(WedgeError::UnknownTag(buf.tag))?;
+            if !entry
+                .segment
+                .arena()
+                .contains_live_range(buf.offset, buf.len)
+            {
+                return Err(WedgeError::OutOfBounds {
+                    tag: buf.tag,
+                    offset: buf.offset,
+                    len: buf.len,
+                });
+            }
+            let start = buf.offset + offset;
+            // Copy-on-write view: if this compartment has a private overlay
+            // for the tag, reads come from it.
+            let data = if let Some(overlay) = st.cow_overlays.get(&(caller, buf.tag)) {
+                overlay[start..start + len].to_vec()
+            } else {
+                entry.segment.arena().data()[start..start + len].to_vec()
+            };
+            (data, caller_name, permitted)
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Tagged {
+                tag: buf.tag,
+                alloc_offset: buf.offset,
+            },
+            offset,
+            len,
+            AccessMode::Read,
+            allowed,
+        );
+        Ok(result)
+    }
+
+    /// Write `data` at `offset` within a tagged buffer.
+    pub(crate) fn mem_write(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), WedgeError> {
+        let (caller_name, allowed) = {
+            let mut st = self.state.lock();
+            st.stats.mem_writes += 1;
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
+            let region = MemRegion::Tagged {
+                tag: buf.tag,
+                alloc_offset: buf.offset,
+            };
+            let permitted = grant.map(|g| g.permits(AccessMode::Write)).unwrap_or(false);
+            if !permitted {
+                let denied = self.deny(&mut st, caller, region.clone(), AccessMode::Write);
+                if let Err(e) = denied {
+                    self.emit_access(
+                        caller,
+                        &caller_name,
+                        region,
+                        offset,
+                        data.len(),
+                        AccessMode::Write,
+                        false,
+                    );
+                    return Err(e);
+                }
+            }
+            if offset
+                .checked_add(data.len())
+                .map(|end| end > buf.len)
+                .unwrap_or(true)
+            {
+                return Err(WedgeError::OutOfBounds {
+                    tag: buf.tag,
+                    offset: buf.offset + offset,
+                    len: data.len(),
+                });
+            }
+            let writes_shared = grant.map(|g| g.writes_shared()).unwrap_or(true);
+            let start = buf.offset + offset;
+            if writes_shared {
+                let entry = st
+                    .segments
+                    .get_mut(&buf.tag)
+                    .ok_or(WedgeError::UnknownTag(buf.tag))?;
+                if !entry
+                    .segment
+                    .arena()
+                    .contains_live_range(buf.offset, buf.len)
+                {
+                    return Err(WedgeError::OutOfBounds {
+                        tag: buf.tag,
+                        offset: buf.offset,
+                        len: buf.len,
+                    });
+                }
+                entry.segment.arena_mut().data_mut()[start..start + data.len()]
+                    .copy_from_slice(data);
+            } else {
+                // Copy-on-write: materialise the overlay on first write.
+                let base = {
+                    let entry = st
+                        .segments
+                        .get(&buf.tag)
+                        .ok_or(WedgeError::UnknownTag(buf.tag))?;
+                    entry.segment.arena().data().to_vec()
+                };
+                let overlay = st
+                    .cow_overlays
+                    .entry((caller, buf.tag))
+                    .or_insert(base);
+                overlay[start..start + data.len()].copy_from_slice(data);
+            }
+            (caller_name, permitted)
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Tagged {
+                tag: buf.tag,
+                alloc_offset: buf.offset,
+            },
+            offset,
+            data.len(),
+            AccessMode::Write,
+            allowed,
+        );
+        Ok(())
+    }
+
+    /// Is the tag private (backing untagged allocations)?
+    pub fn is_private_tag(&self, tag: Tag) -> bool {
+        self.state
+            .lock()
+            .segments
+            .get(&tag)
+            .map(|s| s.private)
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Globals and boundary variables (the pre-main snapshot)
+    // ------------------------------------------------------------------
+
+    /// Register a global variable as part of the pre-`main` snapshot. Every
+    /// compartment receives a copy-on-write view of it by default.
+    pub fn register_global(&self, name: &str, initial: &[u8]) {
+        let mut st = self.state.lock();
+        st.globals.insert(
+            name.to_string(),
+            GlobalVar {
+                initial: initial.to_vec(),
+                boundary: None,
+            },
+        );
+    }
+
+    /// Declare a global with `BOUNDARY_VAR`: the variable is carved out of
+    /// the snapshot and placed in tagged memory shared by all globals with
+    /// the same `boundary_id`. Compartments need an explicit grant on the
+    /// boundary tag to touch it.
+    pub(crate) fn boundary_var(
+        &self,
+        caller: CompartmentId,
+        name: &str,
+        initial: &[u8],
+        boundary_id: u32,
+    ) -> Result<SBuf, WedgeError> {
+        // Look up the existing tag in its own statement so the state guard is
+        // dropped before `tag_new` / the re-lock below (holding it across the
+        // `None` arm would self-deadlock).
+        let existing = self.state.lock().boundary_tags.get(&boundary_id).copied();
+        let tag = match existing {
+            Some(tag) => tag,
+            None => {
+                let tag = self.tag_new(caller)?;
+                self.state.lock().boundary_tags.insert(boundary_id, tag);
+                tag
+            }
+        };
+        let buf = self.smalloc(caller, initial.len().max(1), tag)?;
+        self.mem_write(caller, &buf, 0, initial)?;
+        let mut st = self.state.lock();
+        st.globals.insert(
+            name.to_string(),
+            GlobalVar {
+                initial: initial.to_vec(),
+                boundary: Some((boundary_id, buf)),
+            },
+        );
+        Ok(buf)
+    }
+
+    /// `BOUNDARY_TAG`: the tag protecting all globals declared with the
+    /// given boundary id.
+    pub fn boundary_tag(&self, boundary_id: u32) -> Result<Tag, WedgeError> {
+        self.state
+            .lock()
+            .boundary_tags
+            .get(&boundary_id)
+            .copied()
+            .ok_or_else(|| WedgeError::UnknownGlobal(format!("boundary {boundary_id}")))
+    }
+
+    /// The tagged buffer behind a boundary global.
+    pub fn boundary_buf(&self, name: &str) -> Result<SBuf, WedgeError> {
+        let st = self.state.lock();
+        let var = st
+            .globals
+            .get(name)
+            .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
+        var.boundary
+            .map(|(_, buf)| buf)
+            .ok_or_else(|| WedgeError::UnknownGlobal(format!("{name} is not a boundary var")))
+    }
+
+    /// Read a snapshot global. Ordinary globals are readable by every
+    /// compartment (each sees its own COW view); boundary globals must be
+    /// read through their tag instead.
+    pub(crate) fn global_read(
+        &self,
+        caller: CompartmentId,
+        name: &str,
+    ) -> Result<Vec<u8>, WedgeError> {
+        let (data, caller_name) = {
+            let st = self.state.lock();
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let var = st
+                .globals
+                .get(name)
+                .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
+            if let Some((_, buf)) = var.boundary {
+                drop(st);
+                return self.mem_read(caller, &buf, 0, buf.len);
+            }
+            let data = st
+                .global_overlays
+                .get(&(caller, name.to_string()))
+                .cloned()
+                .unwrap_or_else(|| var.initial.clone());
+            (data, caller_name)
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Global { name: name.to_string() },
+            0,
+            data.len(),
+            AccessMode::Read,
+            true,
+        );
+        Ok(data)
+    }
+
+    /// Write a snapshot global. Writes always go to the calling
+    /// compartment's private COW view (the snapshot itself is immutable
+    /// after `main` starts).
+    pub(crate) fn global_write(
+        &self,
+        caller: CompartmentId,
+        name: &str,
+        value: &[u8],
+    ) -> Result<(), WedgeError> {
+        let caller_name = {
+            let mut st = self.state.lock();
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let var = st
+                .globals
+                .get(name)
+                .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
+            if let Some((_, buf)) = var.boundary {
+                drop(st);
+                return self.mem_write(caller, &buf, 0, value);
+            }
+            st.global_overlays
+                .insert((caller, name.to_string()), value.to_vec());
+            caller_name
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Global { name: name.to_string() },
+            0,
+            value.len(),
+            AccessMode::Write,
+            true,
+        );
+        Ok(())
+    }
+
+    /// Names of all registered globals (used by Crowbar reports).
+    pub fn global_names(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut names: Vec<String> = st.globals.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // File descriptors
+    // ------------------------------------------------------------------
+
+    /// Create a file-backed descriptor and grant the creator read-write
+    /// access to it.
+    pub(crate) fn fd_create_file(
+        &self,
+        caller: CompartmentId,
+        name: &str,
+        data: Vec<u8>,
+    ) -> Result<FdId, WedgeError> {
+        self.fd_create(caller, FdEntry::file(name, data))
+    }
+
+    /// Create a stream-backed descriptor and grant the creator read-write
+    /// access to it.
+    pub(crate) fn fd_create_stream(
+        &self,
+        caller: CompartmentId,
+        name: &str,
+    ) -> Result<FdId, WedgeError> {
+        self.fd_create(caller, FdEntry::stream(name))
+    }
+
+    fn fd_create(&self, caller: CompartmentId, entry: FdEntry) -> Result<FdId, WedgeError> {
+        let mut st = self.state.lock();
+        if !st.compartments.contains_key(&caller) {
+            return Err(WedgeError::UnknownCompartment(caller));
+        }
+        let fd = FdId(st.next_fd);
+        st.next_fd += 1;
+        st.fds.insert(fd, entry);
+        if let Some(c) = st.compartments.get_mut(&caller) {
+            if !c.policy.is_unconfined() {
+                c.policy.sc_fd_add(fd, FdProt::ReadWrite);
+            }
+        }
+        Ok(fd)
+    }
+
+    fn fd_check(
+        &self,
+        st: &mut KernelState,
+        caller: CompartmentId,
+        fd: FdId,
+        mode: AccessMode,
+    ) -> Result<FdEntry, WedgeError> {
+        let grant = Self::policy_of_locked(st, caller)?.fd_grant(fd);
+        let entry = st.fds.get(&fd).ok_or(WedgeError::UnknownFd(fd))?.clone();
+        let permitted = match (grant, mode) {
+            (Some(g), AccessMode::Read) => g.can_read(),
+            (Some(g), AccessMode::Write) => g.can_write(),
+            (None, _) => false,
+        };
+        if !permitted {
+            let region = MemRegion::Fd {
+                fd,
+                name: entry.name(),
+            };
+            self.deny(st, caller, region, mode)?;
+        }
+        Ok(entry)
+    }
+
+    /// Read up to `len` bytes from a descriptor.
+    pub(crate) fn fd_read(
+        &self,
+        caller: CompartmentId,
+        fd: FdId,
+        len: usize,
+    ) -> Result<Vec<u8>, WedgeError> {
+        let (data, name, caller_name) = {
+            let mut st = self.state.lock();
+            st.stats.fd_reads += 1;
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let entry = self.fd_check(&mut st, caller, fd, AccessMode::Read)?;
+            (entry.read(len), entry.name(), caller_name)
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Fd { fd, name },
+            0,
+            data.len(),
+            AccessMode::Read,
+            true,
+        );
+        Ok(data)
+    }
+
+    /// Write bytes to a descriptor.
+    pub(crate) fn fd_write(
+        &self,
+        caller: CompartmentId,
+        fd: FdId,
+        data: &[u8],
+    ) -> Result<usize, WedgeError> {
+        let (written, name, caller_name) = {
+            let mut st = self.state.lock();
+            st.stats.fd_writes += 1;
+            let caller_name = st
+                .compartments
+                .get(&caller)
+                .map(|c| c.name.clone())
+                .unwrap_or_default();
+            let entry = self.fd_check(&mut st, caller, fd, AccessMode::Write)?;
+            (entry.write(data), entry.name(), caller_name)
+        };
+        self.emit_access(
+            caller,
+            &caller_name,
+            MemRegion::Fd { fd, name },
+            0,
+            data.len(),
+            AccessMode::Write,
+            true,
+        );
+        Ok(written)
+    }
+
+    /// Peek at a descriptor's full contents without policy checks. Reserved
+    /// for experiment harnesses (the "omniscient observer"), never used by
+    /// application compartments.
+    pub fn fd_peek_unchecked(&self, fd: FdId) -> Result<Vec<u8>, WedgeError> {
+        let st = self.state.lock();
+        st.fds
+            .get(&fd)
+            .map(|e| e.peek_all())
+            .ok_or(WedgeError::UnknownFd(fd))
+    }
+
+    // ------------------------------------------------------------------
+    // Syscalls
+    // ------------------------------------------------------------------
+
+    /// Check a syscall against the caller's allow-list.
+    pub(crate) fn syscall_check(
+        &self,
+        caller: CompartmentId,
+        syscall: Syscall,
+    ) -> Result<(), WedgeError> {
+        let st = self.state.lock();
+        let policy = Self::policy_of_locked(&st, caller)?;
+        if policy.is_unconfined() || policy.syscalls.permits(syscall) {
+            Ok(())
+        } else {
+            Err(WedgeError::SyscallDenied { compartment: caller, syscall })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Callgates
+    // ------------------------------------------------------------------
+
+    /// Register a callgate entry point (program text). Returns the id used
+    /// in `sc_cgate_add` and `cgate`.
+    pub fn cgate_register(&self, name: &str, entry: CallgateFn) -> CgEntryId {
+        let mut st = self.state.lock();
+        let id = CgEntryId(st.next_entry);
+        st.next_entry += 1;
+        st.callgate_entries.insert(id, (name.to_string(), entry));
+        id
+    }
+
+    /// The human-readable name of a callgate entry point.
+    pub fn cgate_name(&self, entry: CgEntryId) -> Option<String> {
+        self.state
+            .lock()
+            .callgate_entries
+            .get(&entry)
+            .map(|(n, _)| n.clone())
+    }
+
+    /// Validate an invocation and return what the caller needs to run it:
+    /// the entry function, the effective policy (instance policy plus the
+    /// caller's extra argument-reading grants), the trusted argument and the
+    /// instance creator.
+    pub(crate) fn cgate_prepare(
+        &self,
+        caller: CompartmentId,
+        entry: CgEntryId,
+        extra: &SecurityPolicy,
+        recycled: bool,
+    ) -> Result<PreparedCall, WedgeError> {
+        let mut st = self.state.lock();
+        let caller_policy = Self::policy_of_locked(&st, caller)?.clone();
+        let instance = st
+            .callgate_instances
+            .get(&(caller, entry))
+            .cloned()
+            .ok_or(WedgeError::CallgateDenied { compartment: caller, entry })?;
+        // The extra, argument-accessing permissions must be a subset of the
+        // caller's current permissions (§4.1).
+        for (tag, prot) in extra.mem_grants() {
+            match caller_policy.mem_grant(*tag) {
+                Some(have) if have.allows_delegation_of(*prot) => {}
+                _ => {
+                    return Err(WedgeError::PrivilegeEscalation {
+                        detail: format!("extra grant {tag}:{prot:?} exceeds caller's privileges"),
+                    })
+                }
+            }
+        }
+        for (fd, prot) in extra.fd_grants() {
+            match caller_policy.fd_grant(*fd) {
+                Some(have) if have.allows_delegation_of(*prot) => {}
+                _ => {
+                    return Err(WedgeError::PrivilegeEscalation {
+                        detail: format!("extra grant {fd}:{prot:?} exceeds caller's privileges"),
+                    })
+                }
+            }
+        }
+        let (_, entry_fn) = st
+            .callgate_entries
+            .get(&entry)
+            .cloned()
+            .ok_or(WedgeError::UnknownCallgate(entry))?;
+        let mut effective = instance.policy.clone();
+        effective.merge_grants(extra);
+        if recycled {
+            st.stats.recycled_invocations += 1;
+        }
+        Ok(PreparedCall {
+            entry_fn,
+            policy: effective,
+            trusted: instance.trusted.clone(),
+            creator: instance.creator,
+        })
+    }
+
+    /// Look up an existing recycled worker for `(caller, entry)`.
+    pub(crate) fn recycled_worker(
+        &self,
+        caller: CompartmentId,
+        entry: CgEntryId,
+    ) -> Option<Arc<RecycledWorker>> {
+        self.state.lock().recycled.get(&(caller, entry)).cloned()
+    }
+
+    /// Store a newly created recycled worker.
+    pub(crate) fn store_recycled_worker(
+        &self,
+        caller: CompartmentId,
+        entry: CgEntryId,
+        worker: Arc<RecycledWorker>,
+    ) {
+        self.state.lock().recycled.insert((caller, entry), worker);
+    }
+
+    /// Merge additional grants into an existing compartment's policy (used
+    /// by recycled callgates, which trade some isolation for speed).
+    pub(crate) fn widen_policy(&self, id: CompartmentId, extra: &SecurityPolicy) {
+        let mut st = self.state.lock();
+        if let Some(c) = st.compartments.get_mut(&id) {
+            c.policy.merge_grants(extra);
+        }
+    }
+
+    /// Emit a function-boundary event to the tracer (used for Crowbar's
+    /// shadow backtraces).
+    pub(crate) fn emit_call(&self, compartment: CompartmentId, function: &str, entering: bool) {
+        if let Some(tracer) = self.tracer() {
+            tracer.on_call(&CallEvent {
+                compartment,
+                function: function.to_string(),
+                entering,
+            });
+        }
+    }
+
+    /// Emit a free event to the tracer.
+    pub(crate) fn emit_free(&self, compartment: CompartmentId, tag: Tag, alloc_offset: usize) {
+        if let Some(tracer) = self.tracer() {
+            tracer.on_free(compartment, tag, alloc_offset);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_and_root() -> (Arc<Kernel>, SthreadCtx) {
+        let kernel = Arc::new(Kernel::new());
+        let root = kernel.create_root_compartment("root");
+        (kernel, root)
+    }
+
+    #[test]
+    fn tag_new_grants_creator_rw() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 16, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"abcd").unwrap();
+        assert_eq!(kernel.mem_read(root.id(), &buf, 0, 4).unwrap(), b"abcd");
+        assert_eq!(kernel.stats().tags_created, 1);
+    }
+
+    #[test]
+    fn unknown_tag_is_reported() {
+        let (kernel, root) = kernel_and_root();
+        assert!(matches!(
+            kernel.smalloc(root.id(), 8, Tag(999)),
+            Err(WedgeError::UnknownTag(Tag(999)))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_reads_rejected() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        assert!(matches!(
+            kernel.mem_read(root.id(), &buf, 4, 8),
+            Err(WedgeError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            kernel.mem_write(root.id(), &buf, 7, b"toolong"),
+            Err(WedgeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_delete_recycles_segment() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        kernel.tag_delete(root.id(), tag).unwrap();
+        assert!(matches!(
+            kernel.smalloc(root.id(), 8, tag),
+            Err(WedgeError::UnknownTag(_))
+        ));
+        // A subsequent tag_new reuses the cached segment (generation > 1 is
+        // internal, but the stats show no extra mmap).
+        let _tag2 = kernel.tag_new(root.id()).unwrap();
+        assert_eq!(kernel.stats().tags_created, 2);
+        assert_eq!(kernel.stats().tags_deleted, 1);
+    }
+
+    #[test]
+    fn globals_have_per_compartment_cow_views() {
+        let (kernel, root) = kernel_and_root();
+        kernel.register_global("config", b"initial");
+        assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"initial");
+        kernel.global_write(root.id(), "config", b"changed").unwrap();
+        assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"changed");
+
+        // A second compartment still sees the pristine snapshot value.
+        let child = kernel
+            .register_child(root.id(), "child", &SecurityPolicy::deny_all(), false)
+            .unwrap();
+        assert_eq!(kernel.global_read(child, "config").unwrap(), b"initial");
+    }
+
+    #[test]
+    fn unknown_global_is_an_error() {
+        let (kernel, root) = kernel_and_root();
+        assert!(matches!(
+            kernel.global_read(root.id(), "nope"),
+            Err(WedgeError::UnknownGlobal(_))
+        ));
+    }
+
+    #[test]
+    fn fd_permissions_are_enforced() {
+        let (kernel, root) = kernel_and_root();
+        let fd = kernel
+            .fd_create_file(root.id(), "/etc/shadow", b"root:x".to_vec())
+            .unwrap();
+        // Root (unconfined) may read.
+        assert_eq!(kernel.fd_read(root.id(), fd, 4).unwrap(), b"root");
+
+        // A default-deny child may not.
+        let child = kernel
+            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .unwrap();
+        assert!(matches!(
+            kernel.fd_read(child, fd, 4),
+            Err(WedgeError::FdFault { .. })
+        ));
+
+        // A child granted read-only access may read but not write.
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_fd_add(fd, FdProt::Read);
+        let reader = kernel
+            .register_child(root.id(), "reader", &policy, false)
+            .unwrap();
+        assert_eq!(kernel.fd_read(reader, fd, 2), Ok(b":x".to_vec()));
+        assert!(matches!(
+            kernel.fd_write(reader, fd, b"evil"),
+            Err(WedgeError::FdFault { .. })
+        ));
+    }
+
+    #[test]
+    fn emulation_mode_records_but_allows() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"secret!!").unwrap();
+
+        let child = kernel
+            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .unwrap();
+        // Without emulation: fault.
+        assert!(kernel.mem_read(child, &buf, 0, 8).is_err());
+        assert_eq!(kernel.stats().faults, 1);
+
+        // With emulation: allowed, recorded.
+        kernel.set_emulation(true);
+        assert_eq!(kernel.mem_read(child, &buf, 0, 8).unwrap(), b"secret!!");
+        let violations = kernel.violations();
+        assert_eq!(violations.len(), 2);
+        assert!(violations[1].emulated);
+        assert_eq!(kernel.stats().emulated_violations, 1);
+    }
+
+    #[test]
+    fn private_allocations_cannot_be_granted() {
+        let (kernel, root) = kernel_and_root();
+        let child = kernel
+            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .unwrap();
+        let private = kernel.private_alloc(child, 32).unwrap();
+        assert!(kernel.is_private_tag(private.tag));
+
+        // Another compartment cannot be granted that tag.
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(private.tag, MemProt::Read);
+        // The root is unconfined so subset validation passes, but the
+        // private-tag check still refuses.
+        assert!(matches!(
+            kernel.register_child(root.id(), "spy", &policy, false),
+            Err(WedgeError::PrivateTag(_))
+        ));
+    }
+
+    #[test]
+    fn subset_violations_surface_as_privilege_escalation() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let mut parent_policy = SecurityPolicy::deny_all();
+        parent_policy.sc_mem_add(tag, MemProt::Read);
+        let parent = kernel
+            .register_child(root.id(), "parent", &parent_policy, false)
+            .unwrap();
+
+        let mut child_policy = SecurityPolicy::deny_all();
+        child_policy.sc_mem_add(tag, MemProt::ReadWrite);
+        assert!(matches!(
+            kernel.register_child(parent, "child", &child_policy, false),
+            Err(WedgeError::PrivilegeEscalation { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_transition_requires_root_caller() {
+        let (kernel, root) = kernel_and_root();
+        let worker = kernel
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all().with_uid(Uid(1000)),
+                false,
+            )
+            .unwrap();
+        // Root caller may change the worker's identity.
+        kernel
+            .transition_identity(root.id(), worker, Uid(42), Some("/home/user"))
+            .unwrap();
+        assert_eq!(kernel.uid_of(worker).unwrap(), Uid(42));
+        assert_eq!(kernel.policy_of(worker).unwrap().fs_root, "/home/user");
+
+        // The (now uid 42) worker cannot change identities itself.
+        assert!(kernel
+            .transition_identity(worker, worker, Uid(0), None)
+            .is_err());
+    }
+
+    #[test]
+    fn syscall_checks_respect_policy() {
+        let (kernel, root) = kernel_and_root();
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_sel_context(crate::syscall::SyscallPolicy::allowing(
+            "net_t",
+            &[Syscall::Send, Syscall::Recv],
+        ));
+        // Need a domain transition from the parent's allow-all context.
+        kernel.allow_domain_transition("wedge_u:wedge_r:unconfined_t", "net_t");
+        let child = kernel
+            .register_child(root.id(), "net", &policy, false)
+            .unwrap();
+        assert!(kernel.syscall_check(child, Syscall::Send).is_ok());
+        assert!(matches!(
+            kernel.syscall_check(child, Syscall::Open),
+            Err(WedgeError::SyscallDenied { .. })
+        ));
+        assert!(kernel.syscall_check(root.id(), Syscall::Open).is_ok());
+    }
+
+    #[test]
+    fn boundary_vars_require_grants() {
+        let (kernel, root) = kernel_and_root();
+        kernel
+            .boundary_var(root.id(), "secret_global", b"hunter2", 7)
+            .unwrap();
+        let tag = kernel.boundary_tag(7).unwrap();
+        let buf = kernel.boundary_buf("secret_global").unwrap();
+        assert_eq!(buf.tag, tag);
+
+        // Default-deny child cannot read it.
+        let child = kernel
+            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .unwrap();
+        assert!(kernel.mem_read(child, &buf, 0, 7).is_err());
+
+        // Ordinary global_read on a boundary var goes through the tag check
+        // as well.
+        assert!(kernel.global_read(child, "secret_global").is_err());
+
+        // A granted child can.
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::Read);
+        let reader = kernel
+            .register_child(root.id(), "reader", &policy, false)
+            .unwrap();
+        assert_eq!(kernel.mem_read(reader, &buf, 0, 7).unwrap(), b"hunter2");
+    }
+
+    #[test]
+    fn cow_grants_isolate_writes() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"original").unwrap();
+
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::CopyOnWrite);
+        let child = kernel
+            .register_child(root.id(), "cow", &policy, false)
+            .unwrap();
+
+        // The child reads the shared value, writes privately.
+        assert_eq!(kernel.mem_read(child, &buf, 0, 8).unwrap(), b"original");
+        kernel.mem_write(child, &buf, 0, b"mutated!").unwrap();
+        assert_eq!(kernel.mem_read(child, &buf, 0, 8).unwrap(), b"mutated!");
+        // The shared copy (and the root's view) is untouched.
+        assert_eq!(kernel.mem_read(root.id(), &buf, 0, 8).unwrap(), b"original");
+    }
+}

@@ -1,0 +1,91 @@
+//! Tagged-memory handles.
+//!
+//! An [`SBuf`] names a buffer returned by `smalloc`: the tag it was
+//! allocated under, its payload offset within the tag's segment, and its
+//! length. An `SBuf` is only a *name* — possessing one conveys no access;
+//! every read or write goes through a [`crate::SthreadCtx`], which asks the
+//! simulated kernel to check the calling compartment's policy. This mirrors
+//! the paper, where a pointer into tagged memory is meaningless to an
+//! sthread whose page tables do not map the tag's pages.
+
+use crate::tag::Tag;
+
+/// A handle to a buffer allocated from a tagged segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SBuf {
+    /// The tag of the segment the buffer lives in.
+    pub tag: Tag,
+    /// Payload offset of the buffer within the segment.
+    pub offset: usize,
+    /// Length of the buffer in bytes.
+    pub len: usize,
+}
+
+impl SBuf {
+    /// Construct a handle (normally done by the kernel's `smalloc`).
+    pub fn new(tag: Tag, offset: usize, len: usize) -> Self {
+        SBuf { tag, offset, len }
+    }
+
+    /// Length of the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the buffer zero-length?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-range of this buffer (relative offset), if it fits.
+    pub fn slice(&self, offset: usize, len: usize) -> Option<SBuf> {
+        if offset.checked_add(len)? <= self.len {
+            Some(SBuf {
+                tag: self.tag,
+                offset: self.offset + offset,
+                len,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for SBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}..{}", self.tag, self.offset, self.offset + self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_within_bounds() {
+        let b = SBuf::new(Tag(1), 100, 50);
+        let s = b.slice(10, 20).unwrap();
+        assert_eq!(s.tag, Tag(1));
+        assert_eq!(s.offset, 110);
+        assert_eq!(s.len, 20);
+    }
+
+    #[test]
+    fn slice_out_of_bounds_rejected() {
+        let b = SBuf::new(Tag(1), 0, 10);
+        assert!(b.slice(5, 6).is_none());
+        assert!(b.slice(11, 0).is_none());
+        assert!(b.slice(usize::MAX, 1).is_none());
+    }
+
+    #[test]
+    fn empty_and_len() {
+        assert!(SBuf::new(Tag(1), 0, 0).is_empty());
+        assert_eq!(SBuf::new(Tag(1), 0, 5).len(), 5);
+    }
+
+    #[test]
+    fn display_mentions_tag_and_range() {
+        assert_eq!(SBuf::new(Tag(2), 16, 8).to_string(), "tag2+16..24");
+    }
+}

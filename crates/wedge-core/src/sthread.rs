@@ -1,0 +1,773 @@
+//! Sthreads: the compartment API application code programs against.
+//!
+//! [`SthreadCtx`] is the reproduction's stand-in for "executing inside a
+//! compartment": it names the current compartment and forwards every
+//! privileged operation (tagged-memory access, descriptor I/O, syscalls,
+//! sthread creation, callgate invocation) to the simulated kernel, which
+//! checks the compartment's policy. The API mirrors Table 1 of the paper:
+//! `sthread_create`/`sthread_join`, `tag_new`/`tag_delete`,
+//! `smalloc`/`sfree`, `smalloc_on`/`smalloc_off`,
+//! `BOUNDARY_VAR`/`BOUNDARY_TAG`, `sc_*` policy calls (on
+//! [`crate::SecurityPolicy`]) and `cgate`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::callgate::{downcast_output, CgEntryId, CgInput, CgOutput};
+use crate::error::WedgeError;
+use crate::fdtable::FdId;
+use crate::kernel::{Kernel, RecycledWorker};
+use crate::memory::SBuf;
+use crate::policy::{SecurityPolicy, Uid};
+use crate::syscall::Syscall;
+use crate::tag::{CompartmentId, Tag};
+
+/// Extract a readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Marks a compartment as exited when the sthread body finishes or unwinds.
+struct ExitGuard {
+    kernel: Arc<Kernel>,
+    id: CompartmentId,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        self.kernel.compartment_exited(self.id);
+    }
+}
+
+/// The execution context of a compartment (an sthread or a callgate
+/// activation).
+#[derive(Clone)]
+pub struct SthreadCtx {
+    kernel: Arc<Kernel>,
+    id: CompartmentId,
+    name: String,
+    /// The `smalloc_on` redirection state (per sthread, as in the paper).
+    smalloc_redirect: Arc<Mutex<Option<Tag>>>,
+}
+
+impl std::fmt::Debug for SthreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SthreadCtx")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl SthreadCtx {
+    pub(crate) fn new(kernel: Arc<Kernel>, id: CompartmentId, name: &str) -> Self {
+        SthreadCtx {
+            kernel,
+            id,
+            name: name.to_string(),
+            smalloc_redirect: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// This compartment's identifier.
+    pub fn id(&self) -> CompartmentId {
+        self.id
+    }
+
+    /// This compartment's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated kernel this compartment belongs to.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The compartment's current policy as stored by the kernel.
+    pub fn policy(&self) -> SecurityPolicy {
+        self.kernel
+            .policy_of(self.id)
+            .expect("compartment must exist while its ctx is alive")
+    }
+
+    /// The uid this compartment currently runs as.
+    pub fn uid(&self) -> Uid {
+        self.policy().uid
+    }
+
+    // ------------------------------------------------------------------
+    // Tagged memory
+    // ------------------------------------------------------------------
+
+    /// `tag_new()`: create a tag (a fresh or recycled memory segment). The
+    /// creating compartment is granted read-write access.
+    pub fn tag_new(&self) -> Result<Tag, WedgeError> {
+        self.kernel.tag_new(self.id)
+    }
+
+    /// `tag_delete()`: delete a tag and recycle its segment.
+    pub fn tag_delete(&self, tag: Tag) -> Result<(), WedgeError> {
+        self.kernel.tag_delete(self.id, tag)
+    }
+
+    /// `smalloc()`: allocate `size` bytes from the segment with `tag`.
+    pub fn smalloc(&self, size: usize, tag: Tag) -> Result<SBuf, WedgeError> {
+        self.kernel.smalloc(self.id, size, tag)
+    }
+
+    /// `sfree()`: free a buffer obtained from `smalloc` / `malloc`.
+    pub fn sfree(&self, buf: &SBuf) -> Result<(), WedgeError> {
+        self.kernel.sfree(self.id, buf)?;
+        self.kernel.emit_free(self.id, buf.tag, buf.offset);
+        Ok(())
+    }
+
+    /// `malloc()`: the legacy allocation entry point. If `smalloc_on` is
+    /// active the allocation is redirected to the designated tag; otherwise
+    /// it goes to the compartment's private (untagged) segment, which can
+    /// never be granted to another compartment.
+    pub fn malloc(&self, size: usize) -> Result<SBuf, WedgeError> {
+        let redirect = *self.smalloc_redirect.lock();
+        match redirect {
+            Some(tag) => self.smalloc(size, tag),
+            None => self.kernel.private_alloc(self.id, size),
+        }
+    }
+
+    /// `smalloc_on()`: redirect subsequent `malloc` calls to `tag`.
+    pub fn smalloc_on(&self, tag: Tag) {
+        *self.smalloc_redirect.lock() = Some(tag);
+    }
+
+    /// `smalloc_off()`: stop redirecting `malloc`.
+    pub fn smalloc_off(&self) {
+        *self.smalloc_redirect.lock() = None;
+    }
+
+    /// Is `malloc` redirection currently active, and to which tag?
+    pub fn smalloc_state(&self) -> Option<Tag> {
+        *self.smalloc_redirect.lock()
+    }
+
+    /// Read `len` bytes at `offset` within a tagged buffer.
+    pub fn read(&self, buf: &SBuf, offset: usize, len: usize) -> Result<Vec<u8>, WedgeError> {
+        self.kernel.mem_read(self.id, buf, offset, len)
+    }
+
+    /// Read the whole buffer.
+    pub fn read_all(&self, buf: &SBuf) -> Result<Vec<u8>, WedgeError> {
+        self.read(buf, 0, buf.len)
+    }
+
+    /// Write `data` at `offset` within a tagged buffer.
+    pub fn write(&self, buf: &SBuf, offset: usize, data: &[u8]) -> Result<(), WedgeError> {
+        self.kernel.mem_write(self.id, buf, offset, data)
+    }
+
+    /// Allocate a tagged buffer and initialise it with `data`.
+    pub fn smalloc_init(&self, tag: Tag, data: &[u8]) -> Result<SBuf, WedgeError> {
+        let buf = self.smalloc(data.len().max(1), tag)?;
+        if !data.is_empty() {
+            self.write(&buf, 0, data)?;
+        }
+        Ok(buf)
+    }
+
+    // ------------------------------------------------------------------
+    // Globals / boundary variables
+    // ------------------------------------------------------------------
+
+    /// Read a snapshot global (every compartment holds a COW view).
+    pub fn global_read(&self, name: &str) -> Result<Vec<u8>, WedgeError> {
+        self.kernel.global_read(self.id, name)
+    }
+
+    /// Write this compartment's COW view of a snapshot global.
+    pub fn global_write(&self, name: &str, value: &[u8]) -> Result<(), WedgeError> {
+        self.kernel.global_write(self.id, name, value)
+    }
+
+    /// `BOUNDARY_VAR`: declare a global protected by the boundary tag
+    /// `boundary_id` instead of living in the default snapshot.
+    pub fn boundary_var(
+        &self,
+        name: &str,
+        initial: &[u8],
+        boundary_id: u32,
+    ) -> Result<SBuf, WedgeError> {
+        self.kernel.boundary_var(self.id, name, initial, boundary_id)
+    }
+
+    /// `BOUNDARY_TAG`: the tag protecting globals declared with
+    /// `boundary_id`.
+    pub fn boundary_tag(&self, boundary_id: u32) -> Result<Tag, WedgeError> {
+        self.kernel.boundary_tag(boundary_id)
+    }
+
+    /// The tagged buffer behind a boundary global.
+    pub fn boundary_buf(&self, name: &str) -> Result<SBuf, WedgeError> {
+        self.kernel.boundary_buf(name)
+    }
+
+    // ------------------------------------------------------------------
+    // File descriptors and syscalls
+    // ------------------------------------------------------------------
+
+    /// Create a file-backed descriptor; the creator gets read-write access.
+    pub fn fd_create_file(&self, name: &str, data: &[u8]) -> Result<FdId, WedgeError> {
+        self.kernel.fd_create_file(self.id, name, data.to_vec())
+    }
+
+    /// Create a stream-backed descriptor; the creator gets read-write
+    /// access.
+    pub fn fd_create_stream(&self, name: &str) -> Result<FdId, WedgeError> {
+        self.kernel.fd_create_stream(self.id, name)
+    }
+
+    /// Read up to `len` bytes from a descriptor.
+    pub fn fd_read(&self, fd: FdId, len: usize) -> Result<Vec<u8>, WedgeError> {
+        self.kernel.fd_read(self.id, fd, len)
+    }
+
+    /// Read everything currently available on a descriptor.
+    pub fn fd_read_all(&self, fd: FdId) -> Result<Vec<u8>, WedgeError> {
+        self.kernel.fd_read(self.id, fd, usize::MAX / 2)
+    }
+
+    /// Write bytes to a descriptor.
+    pub fn fd_write(&self, fd: FdId, data: &[u8]) -> Result<usize, WedgeError> {
+        self.kernel.fd_write(self.id, fd, data)
+    }
+
+    /// Check a system call against this compartment's allow-list.
+    pub fn syscall(&self, syscall: Syscall) -> Result<(), WedgeError> {
+        self.kernel.syscall_check(self.id, syscall)
+    }
+
+    // ------------------------------------------------------------------
+    // Crowbar instrumentation helpers
+    // ------------------------------------------------------------------
+
+    /// Record a function entry for Crowbar's shadow backtraces; the returned
+    /// guard records the exit when dropped.
+    pub fn trace_fn(&self, function: &str) -> FrameGuard {
+        self.kernel.emit_call(self.id, function, true);
+        FrameGuard {
+            ctx: self.clone(),
+            function: function.to_string(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sthreads
+    // ------------------------------------------------------------------
+
+    /// `sthread_create()`: spawn a new compartment running `body` under
+    /// `policy`. The policy must not exceed this compartment's privileges.
+    pub fn sthread_create<R, F>(
+        &self,
+        name: &str,
+        policy: &SecurityPolicy,
+        body: F,
+    ) -> Result<SthreadHandle<R>, WedgeError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&SthreadCtx) -> R + Send + 'static,
+    {
+        let child_id = self.kernel.register_child(self.id, name, policy, false)?;
+        let child_ctx = SthreadCtx::new(self.kernel.clone(), child_id, name);
+        let kernel = self.kernel.clone();
+        let join = thread::spawn(move || {
+            let _guard = ExitGuard {
+                kernel,
+                id: child_id,
+            };
+            body(&child_ctx)
+        });
+        Ok(SthreadHandle {
+            id: child_id,
+            join: Some(join),
+        })
+    }
+
+    /// Change another compartment's uid / filesystem root. Only permitted if
+    /// this compartment runs as root — the idiom used by authentication
+    /// callgates to "log the user in".
+    pub fn transition_identity(
+        &self,
+        target: CompartmentId,
+        new_uid: Uid,
+        new_fs_root: Option<&str>,
+    ) -> Result<(), WedgeError> {
+        self.kernel
+            .transition_identity(self.id, target, new_uid, new_fs_root)
+    }
+
+    // ------------------------------------------------------------------
+    // Callgates
+    // ------------------------------------------------------------------
+
+    /// `cgate()`: invoke a callgate this compartment has been granted. The
+    /// callgate runs as a separate compartment with *its own* permissions
+    /// (plus `extra` argument-reading grants, which must be a subset of the
+    /// caller's); the caller blocks until it returns.
+    pub fn cgate(
+        &self,
+        entry: CgEntryId,
+        extra: &SecurityPolicy,
+        input: CgInput,
+    ) -> Result<CgOutput, WedgeError> {
+        let prepared = self.kernel.cgate_prepare(self.id, entry, extra, false)?;
+        let gate_name = self
+            .kernel
+            .cgate_name(entry)
+            .unwrap_or_else(|| format!("entry{}", entry.0));
+        let act_name = format!("cgate:{gate_name}");
+        let act_id =
+            self.kernel
+                .register_child(prepared.creator, &act_name, &prepared.policy, true)?;
+        let act_ctx = SthreadCtx::new(self.kernel.clone(), act_id, &act_name);
+        let entry_fn = prepared.entry_fn;
+        let trusted = prepared.trusted;
+        let kernel = self.kernel.clone();
+        let join = thread::spawn(move || {
+            let _guard = ExitGuard { kernel, id: act_id };
+            entry_fn(&act_ctx, trusted.as_ref(), input)
+        });
+        match join.join() {
+            Ok(result) => result,
+            Err(payload) => Err(WedgeError::SthreadPanicked(panic_message(payload))),
+        }
+    }
+
+    /// Invoke a callgate and downcast its result to `T`.
+    pub fn cgate_expect<T: std::any::Any>(
+        &self,
+        entry: CgEntryId,
+        extra: &SecurityPolicy,
+        input: CgInput,
+    ) -> Result<T, WedgeError> {
+        downcast_output(self.cgate(entry, extra, input)?)
+    }
+
+    /// Invoke a *recycled* callgate: the first invocation creates a
+    /// long-lived worker compartment; later invocations reuse it, paying
+    /// only a message round trip (the paper's futex fast path). Extra
+    /// argument grants widen the worker's policy monotonically — the
+    /// isolation-for-throughput trade-off §3.3 warns about.
+    pub fn cgate_recycled(
+        &self,
+        entry: CgEntryId,
+        extra: &SecurityPolicy,
+        input: CgInput,
+    ) -> Result<CgOutput, WedgeError> {
+        let prepared = self.kernel.cgate_prepare(self.id, entry, extra, true)?;
+        // Recycled workers are keyed by (creator, entry): as in the paper,
+        // a recycled callgate is a long-lived sthread that successive
+        // callers — potentially acting for different principals — reuse.
+        let worker_key = prepared.creator;
+        let worker = match self.kernel.recycled_worker(worker_key, entry) {
+            Some(worker) => {
+                self.kernel.widen_policy(worker.activation, extra);
+                worker
+            }
+            None => {
+                let gate_name = self
+                    .kernel
+                    .cgate_name(entry)
+                    .unwrap_or_else(|| format!("entry{}", entry.0));
+                let act_name = format!("recycled:{gate_name}");
+                let act_id = self.kernel.register_child(
+                    prepared.creator,
+                    &act_name,
+                    &prepared.policy,
+                    true,
+                )?;
+                let act_ctx = SthreadCtx::new(self.kernel.clone(), act_id, &act_name);
+                let (in_tx, in_rx) = crossbeam::channel::unbounded::<CgInput>();
+                let (out_tx, out_rx) =
+                    crossbeam::channel::unbounded::<Result<CgOutput, WedgeError>>();
+                let entry_fn = prepared.entry_fn.clone();
+                let trusted = prepared.trusted.clone();
+                let kernel = self.kernel.clone();
+                thread::spawn(move || {
+                    while let Ok(input) = in_rx.recv() {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            entry_fn(&act_ctx, trusted.as_ref(), input)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(WedgeError::SthreadPanicked(panic_message(payload)))
+                        });
+                        if out_tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                    kernel.compartment_exited(act_id);
+                });
+                let worker = Arc::new(RecycledWorker {
+                    call_lock: Mutex::new(()),
+                    tx: in_tx,
+                    rx: out_rx,
+                    activation: act_id,
+                });
+                self.kernel
+                    .store_recycled_worker(worker_key, entry, worker.clone());
+                worker
+            }
+        };
+        let _serialise = worker.call_lock.lock();
+        worker
+            .tx
+            .send(input)
+            .map_err(|_| WedgeError::InvalidOperation("recycled callgate worker exited".into()))?;
+        worker
+            .rx
+            .recv()
+            .map_err(|_| WedgeError::InvalidOperation("recycled callgate worker exited".into()))?
+    }
+
+    /// Invoke a recycled callgate and downcast its result to `T`.
+    pub fn cgate_recycled_expect<T: std::any::Any>(
+        &self,
+        entry: CgEntryId,
+        extra: &SecurityPolicy,
+        input: CgInput,
+    ) -> Result<T, WedgeError> {
+        downcast_output(self.cgate_recycled(entry, extra, input)?)
+    }
+}
+
+/// RAII guard recording a function exit for Crowbar backtraces.
+pub struct FrameGuard {
+    ctx: SthreadCtx,
+    function: String,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        self.ctx
+            .kernel
+            .emit_call(self.ctx.id, &self.function, false);
+    }
+}
+
+/// Handle to a running sthread; `join` retrieves the body's return value
+/// (the analogue of `sthread_join`).
+pub struct SthreadHandle<R> {
+    id: CompartmentId,
+    join: Option<thread::JoinHandle<R>>,
+}
+
+impl<R> SthreadHandle<R> {
+    /// The spawned compartment's id.
+    pub fn id(&self) -> CompartmentId {
+        self.id
+    }
+
+    /// Wait for the sthread to finish and collect its return value. A panic
+    /// in the sthread body surfaces as [`WedgeError::SthreadPanicked`].
+    pub fn join(mut self) -> Result<R, WedgeError> {
+        let handle = self
+            .join
+            .take()
+            .ok_or_else(|| WedgeError::InvalidOperation("sthread already joined".into()))?;
+        handle
+            .join()
+            .map_err(|payload| WedgeError::SthreadPanicked(panic_message(payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgate::typed_entry;
+    use crate::callgate::TrustedArg;
+    use crate::policy::SecurityPolicy;
+    use crate::tag::MemProt;
+    use crate::Wedge;
+
+    #[test]
+    fn default_deny_child_cannot_read_parents_tag() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+        let secret = root.smalloc_init(tag, b"rsa-private-key").unwrap();
+
+        let handle = root
+            .sthread_create("worker", &SecurityPolicy::deny_all(), move |ctx| {
+                ctx.read(&secret, 0, 15)
+            })
+            .unwrap();
+        let result = handle.join().unwrap();
+        assert!(matches!(result, Err(WedgeError::ProtectionFault { .. })));
+    }
+
+    #[test]
+    fn granted_child_reads_but_cannot_escalate_to_write() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+        let buf = root.smalloc_init(tag, b"configuration").unwrap();
+
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::Read);
+        let handle = root
+            .sthread_create("reader", &policy, move |ctx| {
+                let read = ctx.read(&buf, 0, 13)?;
+                let write_attempt = ctx.write(&buf, 0, b"overwritten!!");
+                Ok::<_, WedgeError>((read, write_attempt.is_err()))
+            })
+            .unwrap();
+        let (read, write_denied) = handle.join().unwrap().unwrap();
+        assert_eq!(read, b"configuration");
+        assert!(write_denied);
+    }
+
+    #[test]
+    fn child_cannot_spawn_grandchild_with_more_privileges() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+
+        let mut child_policy = SecurityPolicy::deny_all();
+        child_policy.sc_mem_add(tag, MemProt::Read);
+        let handle = root
+            .sthread_create("child", &child_policy, move |ctx| {
+                let mut grandchild = SecurityPolicy::deny_all();
+                grandchild.sc_mem_add(tag, MemProt::ReadWrite);
+                ctx.sthread_create("grandchild", &grandchild, |_ctx| ())
+                    .map(|_| ())
+            })
+            .unwrap();
+        let result = handle.join().unwrap();
+        assert!(matches!(
+            result,
+            Err(WedgeError::PrivilegeEscalation { .. })
+        ));
+    }
+
+    #[test]
+    fn sthread_panics_are_reported() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let handle = root
+            .sthread_create("crasher", &SecurityPolicy::deny_all(), |_ctx| {
+                panic!("exploit crashed the worker");
+            })
+            .unwrap();
+        match handle.join() {
+            Err(WedgeError::SthreadPanicked(msg)) => assert!(msg.contains("exploit")),
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malloc_respects_smalloc_on_redirection() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+
+        // Without redirection: private allocation.
+        let private = root.malloc(16).unwrap();
+        assert!(root.kernel().is_private_tag(private.tag));
+
+        // With redirection: allocation lands in the designated tag.
+        root.smalloc_on(tag);
+        let redirected = root.malloc(16).unwrap();
+        assert_eq!(redirected.tag, tag);
+        root.smalloc_off();
+        let private_again = root.malloc(16).unwrap();
+        assert!(root.kernel().is_private_tag(private_again.tag));
+        assert_eq!(root.smalloc_state(), None);
+    }
+
+    #[test]
+    fn callgate_runs_with_its_own_privileges() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let key_tag = root.tag_new().unwrap();
+        let key = root.smalloc_init(key_tag, b"private-key-bytes").unwrap();
+
+        // The callgate may read the key and returns only its length.
+        let entry = wedge.kernel().cgate_register(
+            "key_len",
+            typed_entry(move |ctx, trusted, _input: ()| {
+                let key_buf = trusted
+                    .and_then(|t| t.downcast::<SBuf>())
+                    .copied()
+                    .expect("trusted arg is the key buffer");
+                let key = ctx.read_all(&key_buf)?;
+                Ok(key.len())
+            }),
+        );
+
+        let mut cg_policy = SecurityPolicy::deny_all();
+        cg_policy.sc_mem_add(key_tag, MemProt::Read);
+        let mut worker_policy = SecurityPolicy::deny_all();
+        worker_policy.sc_cgate_add(entry, cg_policy, Some(TrustedArg::new(key)));
+
+        let handle = root
+            .sthread_create("worker", &worker_policy, move |ctx| {
+                // The worker itself cannot read the key...
+                let direct = ctx.read(&key, 0, 5);
+                // ...but may learn its length through the callgate.
+                let len = ctx.cgate_expect::<usize>(entry, &SecurityPolicy::deny_all(), Box::new(()))?;
+                Ok::<_, WedgeError>((direct.is_err(), len))
+            })
+            .unwrap();
+        let (direct_denied, len) = handle.join().unwrap().unwrap();
+        assert!(direct_denied);
+        assert_eq!(len, b"private-key-bytes".len());
+    }
+
+    #[test]
+    fn callgate_invocation_requires_a_grant() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge
+            .kernel()
+            .cgate_register("noop", typed_entry(|_ctx, _t, _i: ()| Ok(0u32)));
+
+        // Worker policy does NOT include the callgate.
+        let handle = root
+            .sthread_create("worker", &SecurityPolicy::deny_all(), move |ctx| {
+                ctx.cgate(entry, &SecurityPolicy::deny_all(), Box::new(()))
+                    .map(|_| ())
+            })
+            .unwrap();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(WedgeError::CallgateDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn extra_argument_grants_must_be_subset_of_caller() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let arg_tag = root.tag_new().unwrap();
+        let secret_tag = root.tag_new().unwrap();
+        let _secret = root.smalloc_init(secret_tag, b"secret").unwrap();
+
+        let entry = wedge
+            .kernel()
+            .cgate_register("consume", typed_entry(|_ctx, _t, _i: ()| Ok(())));
+
+        let mut worker_policy = SecurityPolicy::deny_all();
+        worker_policy.sc_mem_add(arg_tag, MemProt::ReadWrite);
+        worker_policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+
+        let handle = root
+            .sthread_create("worker", &worker_policy, move |ctx| {
+                // Granting the callgate access to a tag the worker itself
+                // cannot touch must be refused.
+                let mut extra = SecurityPolicy::deny_all();
+                extra.sc_mem_add(secret_tag, MemProt::Read);
+                let escalate = ctx.cgate(entry, &extra, Box::new(()));
+                // Granting access to the worker's own argument tag is fine.
+                let mut ok_extra = SecurityPolicy::deny_all();
+                ok_extra.sc_mem_add(arg_tag, MemProt::Read);
+                let ok = ctx.cgate(entry, &ok_extra, Box::new(()));
+                (escalate.is_err(), ok.is_ok())
+            })
+            .unwrap();
+        let (escalation_refused, legitimate_ok) = handle.join().unwrap();
+        assert!(escalation_refused);
+        assert!(legitimate_ok);
+    }
+
+    #[test]
+    fn recycled_callgates_reuse_a_worker() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge.kernel().cgate_register(
+            "increment",
+            typed_entry(|_ctx, _t, n: u64| Ok(n + 1)),
+        );
+        let mut worker_policy = SecurityPolicy::deny_all();
+        worker_policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+
+        let handle = root
+            .sthread_create("worker", &worker_policy, move |ctx| {
+                let mut results = Vec::new();
+                for i in 0..5u64 {
+                    results.push(
+                        ctx.cgate_recycled_expect::<u64>(
+                            entry,
+                            &SecurityPolicy::deny_all(),
+                            Box::new(i),
+                        )
+                        .unwrap(),
+                    );
+                }
+                results
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), vec![1, 2, 3, 4, 5]);
+        let stats = wedge.kernel().stats();
+        assert_eq!(stats.recycled_invocations, 5);
+        // Only one activation compartment was ever created for the gate.
+        assert_eq!(stats.callgate_invocations, 1);
+    }
+
+    #[test]
+    fn trusted_argument_is_not_forgeable_by_caller() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge.kernel().cgate_register(
+            "reveal_trusted",
+            typed_entry(|_ctx, trusted, _caller_input: String| {
+                Ok(trusted
+                    .and_then(|t| t.downcast::<String>())
+                    .cloned()
+                    .unwrap_or_default())
+            }),
+        );
+        let mut worker_policy = SecurityPolicy::deny_all();
+        worker_policy.sc_cgate_add(
+            entry,
+            SecurityPolicy::deny_all(),
+            Some(TrustedArg::new(String::from("creator-chosen"))),
+        );
+        let handle = root
+            .sthread_create("worker", &worker_policy, move |ctx| {
+                // The caller supplies its own input, but the trusted value the
+                // callgate sees is the creator's, fetched from the kernel.
+                ctx.cgate_expect::<String>(
+                    entry,
+                    &SecurityPolicy::deny_all(),
+                    Box::new("attacker-chosen".to_string()),
+                )
+                .unwrap()
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap(), "creator-chosen");
+    }
+
+    #[test]
+    fn frame_guard_emits_call_events() {
+        let wedge = Wedge::init();
+        let sink = Arc::new(crate::trace::CountingSink::default());
+        wedge.kernel().set_tracer(Some(sink.clone()));
+        let root = wedge.root();
+        {
+            let _frame = root.trace_fn("handle_request");
+            let _inner = root.trace_fn("parse_headers");
+        }
+        assert_eq!(
+            sink.calls.load(std::sync::atomic::Ordering::Relaxed),
+            4,
+            "two entries and two exits"
+        );
+    }
+}

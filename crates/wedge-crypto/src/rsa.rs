@@ -1,0 +1,383 @@
+//! Toy RSA: a structure-faithful trapdoor permutation for the reproduction.
+//!
+//! The paper's defences are about *possession* of the private key (which
+//! compartment can decrypt the premaster secret, which compartment can sign
+//! the host-key challenge), not about cryptographic strength. We therefore
+//! implement textbook RSA over 64-bit moduli and apply it block-wise to
+//! longer messages. **Do not use this for anything real.**
+//!
+//! Key generation uses Miller-Rabin primality testing over 32-bit candidate
+//! primes, `e = 65537`, and `d = e⁻¹ mod λ(n)`.
+
+use crate::prng::WedgeRng;
+
+/// Public exponent used by all generated keys.
+pub const PUBLIC_EXPONENT: u64 = 65537;
+
+/// Plaintext block size in bytes. Must keep block values below the modulus,
+/// so we use 7 bytes per 64-bit modulus block.
+pub const PLAIN_BLOCK: usize = 7;
+/// Ciphertext block size in bytes (a full 64-bit word).
+pub const CIPHER_BLOCK: usize = 8;
+
+/// An RSA public key (modulus + public exponent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RsaPublicKey {
+    /// Modulus `n = p·q`.
+    pub n: u64,
+    /// Public exponent `e`.
+    pub e: u64,
+}
+
+/// An RSA private key (modulus + private exponent). Holding a value of this
+/// type is the reproduction's stand-in for "having the server's private key
+/// in readable memory".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RsaPrivateKey {
+    /// Modulus `n = p·q`.
+    pub n: u64,
+    /// Private exponent `d`.
+    pub d: u64,
+}
+
+/// A generated keypair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsaKeyPair {
+    /// The public half.
+    pub public: RsaPublicKey,
+    /// The private half.
+    pub private: RsaPrivateKey,
+}
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Ciphertext length is not a multiple of [`CIPHER_BLOCK`].
+    BadCiphertextLength(usize),
+    /// A decrypted block did not carry the expected padding byte.
+    BadPadding,
+    /// Signature verification failed.
+    BadSignature,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::BadCiphertextLength(n) => write!(f, "ciphertext length {n} is not a block multiple"),
+            RsaError::BadPadding => write!(f, "bad block padding"),
+            RsaError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+fn mulmod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn powmod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut result = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mulmod(result, base, m);
+        }
+        base = mulmod(base, base, m);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Deterministic Miller-Rabin, valid for all `n < 3.3·10^24` with these
+/// witnesses — far beyond our 64-bit range.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mulmod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if a == 0 {
+        (b, 0, 1)
+    } else {
+        let (g, x, y) = egcd(b % a, a);
+        (g, y - (b / a) * x, x)
+    }
+}
+
+fn modinv(a: u64, m: u64) -> Option<u64> {
+    let (g, x, _) = egcd(a as i128, m as i128);
+    if g != 1 {
+        None
+    } else {
+        Some(((x % m as i128 + m as i128) % m as i128) as u64)
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn random_prime(rng: &mut WedgeRng) -> u64 {
+    loop {
+        // 31-bit candidates so that p·q fits comfortably in 62 bits.
+        let candidate = (rng.next_u64() >> 33) | (1 << 30) | 1;
+        if is_prime(candidate) {
+            return candidate;
+        }
+    }
+}
+
+impl RsaKeyPair {
+    /// Generate a keypair from the given RNG (deterministic for a seeded RNG).
+    pub fn generate(rng: &mut WedgeRng) -> RsaKeyPair {
+        loop {
+            let p = random_prime(rng);
+            let q = random_prime(rng);
+            if p == q {
+                continue;
+            }
+            let n = p * q;
+            let lambda = (p - 1) / gcd(p - 1, q - 1) * (q - 1);
+            if gcd(PUBLIC_EXPONENT, lambda) != 1 {
+                continue;
+            }
+            let Some(d) = modinv(PUBLIC_EXPONENT, lambda) else {
+                continue;
+            };
+            return RsaKeyPair {
+                public: RsaPublicKey {
+                    n,
+                    e: PUBLIC_EXPONENT,
+                },
+                private: RsaPrivateKey { n, d },
+            };
+        }
+    }
+}
+
+fn encrypt_block(block: u64, key: &RsaPublicKey) -> u64 {
+    powmod(block, key.e, key.n)
+}
+
+fn decrypt_block(block: u64, key: &RsaPrivateKey) -> u64 {
+    powmod(block, key.d, key.n)
+}
+
+impl RsaPublicKey {
+    /// Encrypt arbitrary-length data. Each [`PLAIN_BLOCK`]-byte chunk is
+    /// padded with its length byte and encrypted independently.
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len().div_ceil(PLAIN_BLOCK) * CIPHER_BLOCK + CIPHER_BLOCK);
+        let chunks: Vec<&[u8]> = plaintext.chunks(PLAIN_BLOCK).collect();
+        for chunk in &chunks {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            // Top byte carries the chunk length (1..=7), keeping the block
+            // value below 2^60 and hence below any generated modulus.
+            word[7] = chunk.len() as u8;
+            let value = u64::from_le_bytes(word) % self.n;
+            out.extend_from_slice(&encrypt_block(value, self).to_le_bytes());
+        }
+        if chunks.is_empty() {
+            // Encode the empty message as a single zero-length block.
+            let value = u64::from_le_bytes([0, 0, 0, 0, 0, 0, 0, 0]);
+            out.extend_from_slice(&encrypt_block(value, self).to_le_bytes());
+        }
+        out
+    }
+
+    /// Verify `signature` over `digest` (as produced by
+    /// [`RsaPrivateKey::sign_digest`]).
+    pub fn verify_digest(&self, digest: &[u8], signature: &[u8]) -> Result<(), RsaError> {
+        if signature.len() % CIPHER_BLOCK != 0 {
+            return Err(RsaError::BadSignature);
+        }
+        let mut recovered = Vec::new();
+        for chunk in signature.chunks(CIPHER_BLOCK) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            let value = encrypt_block(word, self);
+            let bytes = value.to_le_bytes();
+            let len = bytes[7] as usize;
+            if len > PLAIN_BLOCK {
+                return Err(RsaError::BadSignature);
+            }
+            recovered.extend_from_slice(&bytes[..len]);
+        }
+        if recovered == digest {
+            Ok(())
+        } else {
+            Err(RsaError::BadSignature)
+        }
+    }
+}
+
+impl RsaPrivateKey {
+    /// Decrypt data produced by [`RsaPublicKey::encrypt`].
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        if ciphertext.len() % CIPHER_BLOCK != 0 || ciphertext.is_empty() {
+            return Err(RsaError::BadCiphertextLength(ciphertext.len()));
+        }
+        let mut out = Vec::new();
+        for chunk in ciphertext.chunks(CIPHER_BLOCK) {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            let value = decrypt_block(word, self);
+            let bytes = value.to_le_bytes();
+            let len = bytes[7] as usize;
+            if len > PLAIN_BLOCK {
+                return Err(RsaError::BadPadding);
+            }
+            out.extend_from_slice(&bytes[..len]);
+        }
+        Ok(out)
+    }
+
+    /// Sign a digest: the "RSA signature" is the block-wise private-key
+    /// transformation of the digest bytes.
+    pub fn sign_digest(&self, digest: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for chunk in digest.chunks(PLAIN_BLOCK) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            word[7] = chunk.len() as u8;
+            let value = u64::from_le_bytes(word) % self.n;
+            out.extend_from_slice(&decrypt_block(value, self).to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        RsaKeyPair::generate(&mut WedgeRng::from_seed(seed))
+    }
+
+    #[test]
+    fn primality_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(7919));
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1, Mersenne prime
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(!is_prime(561)); // Carmichael number
+        assert!(!is_prime(2_147_483_649));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = keypair(1);
+        let msg = b"premaster secret material 0123456789";
+        let ct = kp.public.encrypt(msg);
+        assert_ne!(&ct[..], &msg[..]);
+        let pt = kp.private.decrypt(&ct).unwrap();
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let kp = keypair(2);
+        let ct = kp.public.encrypt(b"");
+        let pt = kp.private.decrypt(&ct).unwrap();
+        assert_eq!(pt, b"");
+    }
+
+    #[test]
+    fn wrong_key_fails_or_garbles() {
+        let kp1 = keypair(3);
+        let kp2 = keypair(4);
+        let msg = b"attack at dawn";
+        let ct = kp1.public.encrypt(msg);
+        match kp2.private.decrypt(&ct) {
+            Ok(pt) => assert_ne!(pt, msg),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = keypair(5);
+        let digest = sha256(b"host key challenge");
+        let sig = kp.private.sign_digest(&digest);
+        kp.public.verify_digest(&digest, &sig).unwrap();
+        // Tampered digest fails.
+        let other = sha256(b"different");
+        assert_eq!(
+            kp.public.verify_digest(&other, &sig),
+            Err(RsaError::BadSignature)
+        );
+        // Tampered signature fails.
+        let mut bad = sig.clone();
+        bad[0] ^= 1;
+        assert!(kp.public.verify_digest(&digest, &bad).is_err());
+    }
+
+    #[test]
+    fn signature_from_other_key_rejected() {
+        let kp1 = keypair(6);
+        let kp2 = keypair(7);
+        let digest = sha256(b"msg");
+        let sig = kp1.private.sign_digest(&digest);
+        assert!(kp2.public.verify_digest(&digest, &sig).is_err());
+    }
+
+    #[test]
+    fn bad_ciphertext_length_rejected() {
+        let kp = keypair(8);
+        assert!(matches!(
+            kp.private.decrypt(&[1, 2, 3]),
+            Err(RsaError::BadCiphertextLength(3))
+        ));
+        assert!(kp.private.decrypt(&[]).is_err());
+    }
+
+    #[test]
+    fn keygen_is_deterministic_per_seed() {
+        assert_eq!(keypair(11), keypair(11));
+        assert_ne!(keypair(11), keypair(12));
+    }
+
+    #[test]
+    fn modulus_is_product_of_two_primes_well_above_block_values() {
+        let kp = keypair(13);
+        assert!(kp.public.n > (1u64 << 59), "modulus must exceed max block value");
+    }
+}

@@ -1,0 +1,111 @@
+//! Analytical link cost model.
+//!
+//! The paper's Table 2 measurements run over "a 1 Gbps Ethernet" with four
+//! client machines. Our links are in-memory and effectively free, so the
+//! Table 2 harness uses this model to convert the *observed* message counts
+//! and byte volumes of a run into a simulated network time, which is then
+//! added to the measured CPU time. Only the relative comparison between the
+//! vanilla and Wedge-partitioned servers matters; both use the same model.
+
+use std::time::Duration;
+
+use crate::duplex::TrafficCounters;
+
+/// A simple latency + bandwidth link model.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCostModel {
+    /// One-way propagation + per-message processing latency.
+    pub per_message_latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl Default for LinkCostModel {
+    fn default() -> Self {
+        LinkCostModel::gigabit_lan()
+    }
+}
+
+impl LinkCostModel {
+    /// A 1 Gbps LAN with ~60 µs per-message overhead, approximating the
+    /// paper's testbed.
+    pub fn gigabit_lan() -> Self {
+        LinkCostModel {
+            per_message_latency: Duration::from_micros(60),
+            bandwidth_bytes_per_sec: 125_000_000,
+        }
+    }
+
+    /// An ideal, free link (used to isolate CPU cost in ablations).
+    pub fn free() -> Self {
+        LinkCostModel {
+            per_message_latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+        }
+    }
+
+    /// Simulated time to move `bytes` across the link in `messages` messages.
+    pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
+        let serialization = if self.bandwidth_bytes_per_sec == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec as f64)
+        };
+        self.per_message_latency * (messages as u32) + serialization
+    }
+
+    /// Simulated time for the traffic an endpoint has sent.
+    pub fn send_time(&self, counters: &TrafficCounters) -> Duration {
+        self.transfer_time(counters.messages_sent, counters.bytes_sent)
+    }
+
+    /// Simulated time for an endpoint's total traffic (sent + received).
+    pub fn total_time(&self, counters: &TrafficCounters) -> Duration {
+        self.transfer_time(
+            counters.messages_sent + counters.messages_received,
+            counters.bytes_sent + counters.bytes_received,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_link_costs_nothing() {
+        let m = LinkCostModel::free();
+        assert_eq!(m.transfer_time(100, 1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn gigabit_costs_scale_with_messages_and_bytes() {
+        let m = LinkCostModel::gigabit_lan();
+        let small = m.transfer_time(1, 100);
+        let more_messages = m.transfer_time(10, 100);
+        let more_bytes = m.transfer_time(1, 10_000_000);
+        assert!(more_messages > small);
+        assert!(more_bytes > small);
+    }
+
+    #[test]
+    fn ten_megabytes_takes_under_a_second_on_gigabit() {
+        // Sanity check against the paper's 10 MB scp taking ~0.37 s.
+        let m = LinkCostModel::gigabit_lan();
+        let t = m.transfer_time(200, 10 * 1024 * 1024);
+        assert!(t < Duration::from_secs(1));
+        assert!(t > Duration::from_millis(10));
+    }
+
+    #[test]
+    fn endpoint_counter_helpers() {
+        let m = LinkCostModel::gigabit_lan();
+        let counters = TrafficCounters {
+            messages_sent: 2,
+            bytes_sent: 2000,
+            messages_received: 1,
+            bytes_received: 500,
+        };
+        assert!(m.total_time(&counters) > m.send_time(&counters));
+    }
+}

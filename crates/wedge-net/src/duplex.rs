@@ -1,0 +1,308 @@
+//! Bidirectional, message-oriented in-memory links.
+//!
+//! A [`Duplex`] endpoint sends discrete messages (byte vectors) to its peer
+//! and receives the peer's messages in FIFO order. Endpoints are cheap to
+//! move across threads, which is how server compartments (sthreads) in the
+//! application reproductions own "their" connection file descriptor.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Errors produced by link operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The peer endpoint has been dropped; no more data will ever arrive.
+    Disconnected,
+    /// A blocking receive timed out.
+    Timeout,
+    /// The endpoint has no queued message (non-blocking receive only).
+    WouldBlock,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::WouldBlock => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// How long a blocking receive may wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout {
+    /// Wait indefinitely (until the peer disconnects).
+    Forever,
+    /// Wait at most this long.
+    After(Duration),
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    messages: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// One direction of a duplex link.
+#[derive(Debug)]
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Arc<Self> {
+        Arc::new(Queue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn push(&self, msg: Vec<u8>) -> Result<(), NetError> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(NetError::Disconnected);
+        }
+        st.messages.push_back(msg);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self, timeout: RecvTimeout) -> Result<Vec<u8>, NetError> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(msg) = st.messages.pop_front() {
+                return Ok(msg);
+            }
+            if st.closed {
+                return Err(NetError::Disconnected);
+            }
+            match timeout {
+                RecvTimeout::Forever => self.ready.wait(&mut st),
+                RecvTimeout::After(d) => {
+                    if self.ready.wait_for(&mut st, d).timed_out() {
+                        return if st.messages.is_empty() && !st.closed {
+                            Err(NetError::Timeout)
+                        } else {
+                            continue;
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_pop(&self) -> Result<Vec<u8>, NetError> {
+        let mut st = self.state.lock();
+        if let Some(msg) = st.messages.pop_front() {
+            Ok(msg)
+        } else if st.closed {
+            Err(NetError::Disconnected)
+        } else {
+            Err(NetError::WouldBlock)
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.ready.notify_all();
+    }
+
+    fn pending(&self) -> usize {
+        self.state.lock().messages.len()
+    }
+}
+
+/// Per-endpoint traffic counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficCounters {
+    /// Messages sent from this endpoint.
+    pub messages_sent: u64,
+    /// Bytes sent from this endpoint.
+    pub bytes_sent: u64,
+    /// Messages received by this endpoint.
+    pub messages_received: u64,
+    /// Bytes received by this endpoint.
+    pub bytes_received: u64,
+}
+
+/// One endpoint of a bidirectional message link.
+#[derive(Debug)]
+pub struct Duplex {
+    /// Messages we send travel to the peer through this queue.
+    outgoing: Arc<Queue>,
+    /// Messages from the peer arrive here.
+    incoming: Arc<Queue>,
+    counters: Mutex<TrafficCounters>,
+    /// Human-readable endpoint name, used in traces.
+    name: String,
+}
+
+impl Duplex {
+    /// Send one message to the peer.
+    pub fn send(&self, msg: &[u8]) -> Result<(), NetError> {
+        self.outgoing.push(msg.to_vec())?;
+        let mut c = self.counters.lock();
+        c.messages_sent += 1;
+        c.bytes_sent += msg.len() as u64;
+        Ok(())
+    }
+
+    /// Receive the next message, blocking according to `timeout`.
+    pub fn recv(&self, timeout: RecvTimeout) -> Result<Vec<u8>, NetError> {
+        let msg = self.incoming.pop(timeout)?;
+        let mut c = self.counters.lock();
+        c.messages_received += 1;
+        c.bytes_received += msg.len() as u64;
+        Ok(msg)
+    }
+
+    /// Receive the next message without blocking.
+    pub fn try_recv(&self) -> Result<Vec<u8>, NetError> {
+        let msg = self.incoming.try_pop()?;
+        let mut c = self.counters.lock();
+        c.messages_received += 1;
+        c.bytes_received += msg.len() as u64;
+        Ok(msg)
+    }
+
+    /// Number of messages queued and not yet received by this endpoint.
+    pub fn pending(&self) -> usize {
+        self.incoming.pending()
+    }
+
+    /// Close this endpoint: the peer's receives will drain remaining
+    /// messages and then report [`NetError::Disconnected`].
+    pub fn close(&self) {
+        self.outgoing.close();
+        self.incoming.close();
+    }
+
+    /// Traffic counters accumulated by this endpoint.
+    pub fn counters(&self) -> TrafficCounters {
+        *self.counters.lock()
+    }
+
+    /// The endpoint's name (for traces and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Drop for Duplex {
+    fn drop(&mut self) {
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+/// Create a connected pair of endpoints, `(a, b)`: everything sent on `a`
+/// arrives at `b` and vice versa.
+pub fn duplex_pair(name_a: &str, name_b: &str) -> (Duplex, Duplex) {
+    let ab = Queue::new();
+    let ba = Queue::new();
+    (
+        Duplex {
+            outgoing: ab.clone(),
+            incoming: ba.clone(),
+            counters: Mutex::new(TrafficCounters::default()),
+            name: name_a.to_string(),
+        },
+        Duplex {
+            outgoing: ba,
+            incoming: ab,
+            counters: Mutex::new(TrafficCounters::default()),
+            name: name_b.to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn messages_flow_both_ways_in_order() {
+        let (a, b) = duplex_pair("client", "server");
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"ack").unwrap();
+        assert_eq!(b.recv(RecvTimeout::Forever).unwrap(), b"one");
+        assert_eq!(b.recv(RecvTimeout::Forever).unwrap(), b"two");
+        assert_eq!(a.recv(RecvTimeout::Forever).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn try_recv_reports_would_block() {
+        let (a, b) = duplex_pair("a", "b");
+        assert_eq!(a.try_recv(), Err(NetError::WouldBlock));
+        b.send(b"x").unwrap();
+        assert_eq!(a.try_recv().unwrap(), b"x");
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let (a, _b) = duplex_pair("a", "b");
+        let err = a
+            .recv(RecvTimeout::After(Duration::from_millis(10)))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn dropping_peer_disconnects() {
+        let (a, b) = duplex_pair("a", "b");
+        b.send(b"last").unwrap();
+        drop(b);
+        // Already-queued data still drains...
+        assert_eq!(a.recv(RecvTimeout::Forever).unwrap(), b"last");
+        // ...then the disconnect is visible.
+        assert_eq!(a.recv(RecvTimeout::Forever), Err(NetError::Disconnected));
+        assert_eq!(a.send(b"x"), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (a, b) = duplex_pair("a", "b");
+        a.send(&[0u8; 100]).unwrap();
+        a.send(&[0u8; 50]).unwrap();
+        b.recv(RecvTimeout::Forever).unwrap();
+        let ca = a.counters();
+        assert_eq!(ca.messages_sent, 2);
+        assert_eq!(ca.bytes_sent, 150);
+        let cb = b.counters();
+        assert_eq!(cb.messages_received, 1);
+        assert_eq!(cb.bytes_received, 100);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (a, b) = duplex_pair("client", "server");
+        let handle = std::thread::spawn(move || {
+            let req = b.recv(RecvTimeout::Forever).unwrap();
+            b.send(&[req, b" world".to_vec()].concat()).unwrap();
+        });
+        a.send(b"hello").unwrap();
+        assert_eq!(a.recv(RecvTimeout::Forever).unwrap(), b"hello world");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pending_counts_queued_messages() {
+        let (a, b) = duplex_pair("a", "b");
+        assert_eq!(b.pending(), 0);
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        assert_eq!(b.pending(), 2);
+        b.recv(RecvTimeout::Forever).unwrap();
+        assert_eq!(b.pending(), 1);
+    }
+}

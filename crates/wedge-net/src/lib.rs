@@ -1,0 +1,38 @@
+//! # wedge-net — simulated network substrate
+//!
+//! The Wedge evaluation runs its partitioned servers against real clients on
+//! a 1 Gbps LAN and, for the §5.1.2 threat model, against an attacker who
+//! can "eavesdrop on, forward, and inject messages" as a man in the middle.
+//! This crate provides an in-memory stand-in with exactly those
+//! capabilities:
+//!
+//! * [`Duplex`] / [`duplex_pair`] — a bidirectional, message-oriented link
+//!   between two endpoints (the client's socket and the server's accepted
+//!   connection). Endpoints are `Send`, so a server compartment running on
+//!   its own sthread can own one end.
+//! * [`mitm::Mitm`] — an interposer that owns both halves of a split link
+//!   and can forward, observe, drop, or inject messages in either direction
+//!   — the paper's man-in-the-middle attacker.
+//! * [`wiretap::Wiretap`] — a passive eavesdropper that records copies of
+//!   every message (the paper's simpler threat model: "the attacker can
+//!   eavesdrop on entire SSL connections").
+//! * [`trace::NetTrace`] — a pcap-like record of messages for debugging and
+//!   for the experiment harnesses.
+//! * [`cost::LinkCostModel`] — an analytical latency/throughput model used
+//!   by the Table 2 harness to translate message counts and byte volumes
+//!   into simulated wall-clock time on the paper's 1 Gbps testbed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod duplex;
+pub mod mitm;
+pub mod trace;
+pub mod wiretap;
+
+pub use cost::LinkCostModel;
+pub use duplex::{duplex_pair, Duplex, NetError, RecvTimeout};
+pub use mitm::{Direction, Mitm};
+pub use trace::{NetTrace, TraceEntry};
+pub use wiretap::Wiretap;

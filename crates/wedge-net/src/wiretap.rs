@@ -1,0 +1,112 @@
+//! Passive eavesdropper.
+//!
+//! §5.1.1 threat model: "the attacker can eavesdrop on entire SSL
+//! connections". A [`Wiretap`] copies every message that flows across a
+//! link without being able to modify or inject anything. It is implemented
+//! as a tap inserted between the two real endpoints; the test harness pumps
+//! it like the [`crate::mitm::Mitm`] but it can only ever forward verbatim.
+
+use crate::duplex::{duplex_pair, Duplex, NetError};
+use crate::mitm::Direction;
+use crate::trace::{NetTrace, TraceEntry};
+
+/// A passive wiretap on a client↔server path.
+#[derive(Debug)]
+pub struct Wiretap {
+    to_client: Duplex,
+    to_server: Duplex,
+    capture: NetTrace,
+}
+
+impl Wiretap {
+    /// Insert a tap on a fresh path. Returns `(client_endpoint, tap,
+    /// server_endpoint)`.
+    pub fn tap() -> (Duplex, Wiretap, Duplex) {
+        let (client_end, tap_client_side) = duplex_pair("client", "tap-facing-client");
+        let (tap_server_side, server_end) = duplex_pair("tap-facing-server", "server");
+        (
+            client_end,
+            Wiretap {
+                to_client: tap_client_side,
+                to_server: tap_server_side,
+                capture: NetTrace::new(),
+            },
+            server_end,
+        )
+    }
+
+    /// Copy-and-forward every pending message in both directions. Returns
+    /// the number of messages relayed.
+    pub fn relay_all_pending(&mut self) -> usize {
+        let mut count = 0;
+        loop {
+            let mut progressed = false;
+            match self.to_client.try_recv() {
+                Ok(msg) => {
+                    self.capture
+                        .record(TraceEntry::forwarded(Direction::ClientToServer, &msg));
+                    let _ = self.to_server.send(&msg);
+                    count += 1;
+                    progressed = true;
+                }
+                Err(NetError::WouldBlock) | Err(NetError::Disconnected) => {}
+                Err(NetError::Timeout) => {}
+            }
+            match self.to_server.try_recv() {
+                Ok(msg) => {
+                    self.capture
+                        .record(TraceEntry::forwarded(Direction::ServerToClient, &msg));
+                    let _ = self.to_client.send(&msg);
+                    count += 1;
+                    progressed = true;
+                }
+                Err(NetError::WouldBlock) | Err(NetError::Disconnected) => {}
+                Err(NetError::Timeout) => {}
+            }
+            if !progressed {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Everything captured so far.
+    pub fn capture(&self) -> &NetTrace {
+        &self.capture
+    }
+
+    /// Did the eavesdropper ever see `needle` on the wire?
+    pub fn saw_bytes(&self, needle: &[u8]) -> bool {
+        !needle.is_empty()
+            && self
+                .capture
+                .entries()
+                .iter()
+                .any(|e| e.payload.windows(needle.len()).any(|w| w == needle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relays_and_captures_traffic() {
+        let (client, mut tap, server) = Wiretap::tap();
+        client.send(b"GET /").unwrap();
+        server.send(b"200 OK").unwrap();
+        assert_eq!(tap.relay_all_pending(), 2);
+        assert_eq!(server.try_recv().unwrap(), b"GET /");
+        assert_eq!(client.try_recv().unwrap(), b"200 OK");
+        assert!(tap.saw_bytes(b"GET /"));
+        assert!(tap.saw_bytes(b"200 OK"));
+        assert!(!tap.saw_bytes(b"private-key"));
+        assert_eq!(tap.capture().entries().len(), 2);
+    }
+
+    #[test]
+    fn empty_needle_is_never_seen() {
+        let (_c, tap, _s) = Wiretap::tap();
+        assert!(!tap.saw_bytes(b""));
+    }
+}

@@ -1,0 +1,198 @@
+//! The SSH client used by tests, examples and the Table 2 latency bench.
+
+use std::time::Duration;
+
+use wedge_crypto::sha256::sha256;
+use wedge_crypto::{RsaPrivateKey, RsaPublicKey};
+use wedge_net::{Duplex, RecvTimeout};
+
+use crate::protocol::{ClientMessage, ServerMessage};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+/// What the client learned from the server's hello.
+#[derive(Debug, Clone)]
+pub struct ServerHelloInfo {
+    /// The server's version banner.
+    pub version: String,
+    /// The host public key presented.
+    pub host_key: RsaPublicKey,
+    /// Whether the host-key proof verified against the nonce.
+    pub host_proof_valid: bool,
+    /// The nonce to sign for public-key authentication.
+    pub nonce: Vec<u8>,
+}
+
+/// A small SSH client. All methods operate on a caller-provided link so one
+/// client value can be reused across connections.
+#[derive(Debug, Default)]
+pub struct SshClient {
+    nonce: Vec<u8>,
+}
+
+impl SshClient {
+    /// Create a client.
+    pub fn new() -> SshClient {
+        SshClient::default()
+    }
+
+    fn transact(&self, link: &Duplex, message: &ClientMessage) -> Result<ServerMessage, String> {
+        link.send(&message.encode()).map_err(|e| e.to_string())?;
+        let raw = link
+            .recv(RecvTimeout::After(TIMEOUT))
+            .map_err(|e| e.to_string())?;
+        ServerMessage::decode(&raw).ok_or_else(|| "undecodable server message".to_string())
+    }
+
+    /// Exchange hellos and validate the host-key proof.
+    pub fn connect(&mut self, link: &Duplex) -> Result<ServerHelloInfo, String> {
+        let reply = self.transact(
+            link,
+            &ClientMessage::Hello {
+                version: "SSH-2.0-wedge_client_0.1".to_string(),
+            },
+        )?;
+        match reply {
+            ServerMessage::Hello {
+                version,
+                host_key,
+                host_proof,
+                nonce,
+            } => {
+                let host_proof_valid = host_key
+                    .verify_digest(&sha256(&nonce), &host_proof)
+                    .is_ok();
+                self.nonce = nonce.clone();
+                Ok(ServerHelloInfo {
+                    version,
+                    host_key,
+                    host_proof_valid,
+                    nonce,
+                })
+            }
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    fn auth(&self, link: &Duplex, message: ClientMessage) -> Result<(bool, u32, String), String> {
+        match self.transact(link, &message)? {
+            ServerMessage::AuthResult {
+                success,
+                uid,
+                detail,
+            } => Ok((success, uid, detail)),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// Password authentication. Returns `(success, uid, detail)`.
+    pub fn auth_password(
+        &self,
+        link: &Duplex,
+        user: &str,
+        password: &str,
+    ) -> Result<(bool, u32, String), String> {
+        self.auth(
+            link,
+            ClientMessage::AuthPassword {
+                user: user.to_string(),
+                password: password.to_string(),
+            },
+        )
+    }
+
+    /// Public-key authentication: signs the server nonce with `key`.
+    pub fn auth_pubkey(
+        &self,
+        link: &Duplex,
+        user: &str,
+        key: &RsaPrivateKey,
+    ) -> Result<(bool, u32, String), String> {
+        let mut challenge = user.as_bytes().to_vec();
+        challenge.extend_from_slice(&self.nonce);
+        let signature = key.sign_digest(&sha256(&challenge));
+        self.auth(
+            link,
+            ClientMessage::AuthPubkey {
+                user: user.to_string(),
+                signature,
+            },
+        )
+    }
+
+    /// S/Key one-time-password authentication.
+    pub fn auth_skey(
+        &self,
+        link: &Duplex,
+        user: &str,
+        otp: &str,
+    ) -> Result<(bool, u32, String), String> {
+        self.auth(
+            link,
+            ClientMessage::AuthSkey {
+                user: user.to_string(),
+                otp: otp.to_string(),
+            },
+        )
+    }
+
+    /// Run a command and return its output.
+    pub fn exec(&self, link: &Duplex, command: &str) -> Result<String, String> {
+        match self.transact(
+            link,
+            &ClientMessage::Exec {
+                command: command.to_string(),
+            },
+        )? {
+            ServerMessage::ExecOutput { output } => Ok(output),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// Upload `total` bytes in `chunk_size` chunks (the scp stand-in).
+    /// Returns the byte count acknowledged by the server.
+    pub fn scp_upload(
+        &self,
+        link: &Duplex,
+        total: usize,
+        chunk_size: usize,
+    ) -> Result<u64, String> {
+        let mut sent = 0usize;
+        let mut acknowledged = 0u64;
+        while sent < total {
+            let this_chunk = chunk_size.min(total - sent);
+            sent += this_chunk;
+            let reply = self.transact(
+                link,
+                &ClientMessage::ScpChunk {
+                    data: vec![0xC5u8; this_chunk],
+                    last: sent >= total,
+                },
+            )?;
+            match reply {
+                ServerMessage::ScpAck { received } => acknowledged = received,
+                other => return Err(format!("unexpected reply: {other:?}")),
+            }
+        }
+        Ok(acknowledged)
+    }
+
+    /// Close the session.
+    pub fn disconnect(&self, link: &Duplex) -> Result<(), String> {
+        match self.transact(link, &ClientMessage::Disconnect)? {
+            ServerMessage::Goodbye => Ok(()),
+            other => Err(format!("unexpected reply: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_client_has_empty_nonce() {
+        let client = SshClient::new();
+        assert!(client.nonce.is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! The SSH-like wire protocol used by every server variant.
+//!
+//! It is a deliberately small, message-per-link-message protocol: the §5.2
+//! experiments are about *which compartment holds which credential* and
+//! *how authentication changes privilege*, not about the SSH transport
+//! layer, so messages travel as tagged text/binary frames. The host-key
+//! proof and the three authentication methods mirror the paper's callgates.
+
+use wedge_crypto::RsaPublicKey;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMessage {
+    /// Protocol + software version announcement.
+    Hello {
+        /// Client version banner.
+        version: String,
+    },
+    /// Password authentication attempt.
+    AuthPassword {
+        /// Claimed username.
+        user: String,
+        /// Supplied password.
+        password: String,
+    },
+    /// Public-key authentication attempt: a signature over the server's
+    /// nonce made with the user's private key.
+    AuthPubkey {
+        /// Claimed username.
+        user: String,
+        /// Signature over SHA-256(user ‖ nonce).
+        signature: Vec<u8>,
+    },
+    /// S/Key one-time-password attempt.
+    AuthSkey {
+        /// Claimed username.
+        user: String,
+        /// The one-time password.
+        otp: String,
+    },
+    /// Run a command in the established session.
+    Exec {
+        /// The command line.
+        command: String,
+    },
+    /// Upload a blob (the scp stand-in).
+    ScpChunk {
+        /// Chunk payload.
+        data: Vec<u8>,
+        /// Is this the final chunk?
+        last: bool,
+    },
+    /// Close the session.
+    Disconnect,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMessage {
+    /// Version banner, host public key and the session nonce to sign for
+    /// public-key authentication.
+    Hello {
+        /// Server version banner.
+        version: String,
+        /// The host public key.
+        host_key: RsaPublicKey,
+        /// Signature by the host key over this session's nonce (the host
+        /// authentication step — produced by the `host_sign` callgate).
+        host_proof: Vec<u8>,
+        /// The nonce clients sign for public-key auth.
+        nonce: Vec<u8>,
+    },
+    /// Result of an authentication attempt.
+    AuthResult {
+        /// Did authentication succeed?
+        success: bool,
+        /// The uid granted (0 when failed).
+        uid: u32,
+        /// Human-readable detail. For failed attempts this is identical
+        /// whether or not the username exists (the anti-probing fix).
+        detail: String,
+    },
+    /// Output of an `Exec` command.
+    ExecOutput {
+        /// Command output.
+        output: String,
+    },
+    /// Acknowledgement of uploaded scp bytes.
+    ScpAck {
+        /// Total bytes received so far.
+        received: u64,
+    },
+    /// The server is closing the session.
+    Goodbye,
+}
+
+fn put(out: &mut Vec<u8>, data: &[u8]) {
+    out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    out.extend_from_slice(data);
+}
+
+fn get<'a>(input: &mut &'a [u8]) -> Option<&'a [u8]> {
+    if input.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(input[..4].try_into().ok()?) as usize;
+    if input.len() < 4 + len {
+        return None;
+    }
+    let (data, rest) = input[4..].split_at(len);
+    *input = rest;
+    Some(data)
+}
+
+fn get_string(input: &mut &[u8]) -> Option<String> {
+    Some(String::from_utf8_lossy(get(input)?).to_string())
+}
+
+impl ClientMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ClientMessage::Hello { version } => {
+                out.push(1);
+                put(&mut out, version.as_bytes());
+            }
+            ClientMessage::AuthPassword { user, password } => {
+                out.push(2);
+                put(&mut out, user.as_bytes());
+                put(&mut out, password.as_bytes());
+            }
+            ClientMessage::AuthPubkey { user, signature } => {
+                out.push(3);
+                put(&mut out, user.as_bytes());
+                put(&mut out, signature);
+            }
+            ClientMessage::AuthSkey { user, otp } => {
+                out.push(4);
+                put(&mut out, user.as_bytes());
+                put(&mut out, otp.as_bytes());
+            }
+            ClientMessage::Exec { command } => {
+                out.push(5);
+                put(&mut out, command.as_bytes());
+            }
+            ClientMessage::ScpChunk { data, last } => {
+                out.push(6);
+                put(&mut out, data);
+                out.push(u8::from(*last));
+            }
+            ClientMessage::Disconnect => out.push(7),
+        }
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(input: &[u8]) -> Option<ClientMessage> {
+        let (&tag, mut rest) = input.split_first()?;
+        match tag {
+            1 => Some(ClientMessage::Hello {
+                version: get_string(&mut rest)?,
+            }),
+            2 => Some(ClientMessage::AuthPassword {
+                user: get_string(&mut rest)?,
+                password: get_string(&mut rest)?,
+            }),
+            3 => Some(ClientMessage::AuthPubkey {
+                user: get_string(&mut rest)?,
+                signature: get(&mut rest)?.to_vec(),
+            }),
+            4 => Some(ClientMessage::AuthSkey {
+                user: get_string(&mut rest)?,
+                otp: get_string(&mut rest)?,
+            }),
+            5 => Some(ClientMessage::Exec {
+                command: get_string(&mut rest)?,
+            }),
+            6 => {
+                let data = get(&mut rest)?.to_vec();
+                let last = *rest.first()? != 0;
+                Some(ClientMessage::ScpChunk { data, last })
+            }
+            7 => Some(ClientMessage::Disconnect),
+            _ => None,
+        }
+    }
+}
+
+impl ServerMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            ServerMessage::Hello {
+                version,
+                host_key,
+                host_proof,
+                nonce,
+            } => {
+                out.push(101);
+                put(&mut out, version.as_bytes());
+                out.extend_from_slice(&host_key.n.to_be_bytes());
+                out.extend_from_slice(&host_key.e.to_be_bytes());
+                put(&mut out, host_proof);
+                put(&mut out, nonce);
+            }
+            ServerMessage::AuthResult {
+                success,
+                uid,
+                detail,
+            } => {
+                out.push(102);
+                out.push(u8::from(*success));
+                out.extend_from_slice(&uid.to_be_bytes());
+                put(&mut out, detail.as_bytes());
+            }
+            ServerMessage::ExecOutput { output } => {
+                out.push(103);
+                put(&mut out, output.as_bytes());
+            }
+            ServerMessage::ScpAck { received } => {
+                out.push(104);
+                out.extend_from_slice(&received.to_be_bytes());
+            }
+            ServerMessage::Goodbye => out.push(105),
+        }
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(input: &[u8]) -> Option<ServerMessage> {
+        let (&tag, mut rest) = input.split_first()?;
+        match tag {
+            101 => {
+                let version = get_string(&mut rest)?;
+                if rest.len() < 16 {
+                    return None;
+                }
+                let n = u64::from_be_bytes(rest[..8].try_into().ok()?);
+                let e = u64::from_be_bytes(rest[8..16].try_into().ok()?);
+                rest = &rest[16..];
+                Some(ServerMessage::Hello {
+                    version,
+                    host_key: RsaPublicKey { n, e },
+                    host_proof: get(&mut rest)?.to_vec(),
+                    nonce: get(&mut rest)?.to_vec(),
+                })
+            }
+            102 => {
+                let success = *rest.first()? != 0;
+                rest = &rest[1..];
+                if rest.len() < 4 {
+                    return None;
+                }
+                let uid = u32::from_be_bytes(rest[..4].try_into().ok()?);
+                rest = &rest[4..];
+                Some(ServerMessage::AuthResult {
+                    success,
+                    uid,
+                    detail: get_string(&mut rest)?,
+                })
+            }
+            103 => Some(ServerMessage::ExecOutput {
+                output: get_string(&mut rest)?,
+            }),
+            104 => Some(ServerMessage::ScpAck {
+                received: u64::from_be_bytes(rest.get(..8)?.try_into().ok()?),
+            }),
+            105 => Some(ServerMessage::Goodbye),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_messages_roundtrip() {
+        let messages = vec![
+            ClientMessage::Hello { version: "SSH-2.0-test".into() },
+            ClientMessage::AuthPassword { user: "alice".into(), password: "pw".into() },
+            ClientMessage::AuthPubkey { user: "bob".into(), signature: vec![1, 2, 3] },
+            ClientMessage::AuthSkey { user: "alice".into(), otp: "otp-one".into() },
+            ClientMessage::Exec { command: "echo hi".into() },
+            ClientMessage::ScpChunk { data: vec![0u8; 100], last: true },
+            ClientMessage::Disconnect,
+        ];
+        for msg in messages {
+            assert_eq!(ClientMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_messages_roundtrip() {
+        let messages = vec![
+            ServerMessage::Hello {
+                version: "SSH-2.0-wedge".into(),
+                host_key: RsaPublicKey { n: 12345, e: 65537 },
+                host_proof: vec![9; 16],
+                nonce: vec![7; 32],
+            },
+            ServerMessage::AuthResult { success: true, uid: 1001, detail: "ok".into() },
+            ServerMessage::ExecOutput { output: "hi".into() },
+            ServerMessage::ScpAck { received: 10 * 1024 * 1024 },
+            ServerMessage::Goodbye,
+        ];
+        for msg in messages {
+            assert_eq!(ServerMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert!(ClientMessage::decode(&[]).is_none());
+        assert!(ClientMessage::decode(&[99, 1, 2]).is_none());
+        assert!(ServerMessage::decode(&[1, 2, 3]).is_none());
+        assert!(ServerMessage::decode(&[102]).is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! The monolithic SSH baseline (pre-privilege-separation OpenSSH 3.1p1).
+//!
+//! One compartment parses network input *and* holds the host private key,
+//! the shadow file and every other credential store — so an exploit of the
+//! network-facing code discloses all of them. It exists for the Table 2
+//! latency comparison and as the attack baseline.
+
+use wedge_core::{MemProt, SBuf, SecurityPolicy, Tag, Wedge, WedgeError};
+use wedge_crypto::sha256::sha256;
+use wedge_crypto::{RsaKeyPair, WedgeRng};
+use wedge_net::{Duplex, RecvTimeout};
+
+use crate::authdb::{AuthDb, ServerConfig};
+use crate::protocol::{ClientMessage, ServerMessage};
+use crate::server::SESSION_TIMEOUT;
+
+/// Report for one monolithic session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VanillaReport {
+    /// Did the client authenticate?
+    pub authenticated: bool,
+    /// Commands served.
+    pub commands: u32,
+    /// Bytes accepted over the scp path.
+    pub scp_bytes: u64,
+}
+
+/// The monolithic SSH server.
+pub struct VanillaSsh {
+    wedge: Wedge,
+    keypair: RsaKeyPair,
+    db: AuthDb,
+    config: ServerConfig,
+    key_tag: Tag,
+    key_buf: SBuf,
+    shadow_tag: Tag,
+    shadow_buf: SBuf,
+}
+
+impl VanillaSsh {
+    /// Build the baseline server. The private key and shadow file are placed
+    /// in regions the (single) worker compartment can read — the monolithic
+    /// arrangement.
+    pub fn new(
+        wedge: Wedge,
+        keypair: RsaKeyPair,
+        db: AuthDb,
+        config: ServerConfig,
+    ) -> Result<VanillaSsh, WedgeError> {
+        let root = wedge.root();
+        let key_tag = root.tag_new()?;
+        let mut key_bytes = b"HOST-PRIVATE-KEY:".to_vec();
+        key_bytes.extend_from_slice(&keypair.private.n.to_le_bytes());
+        key_bytes.extend_from_slice(&keypair.private.d.to_le_bytes());
+        let key_buf = root.smalloc_init(key_tag, &key_bytes)?;
+        let shadow_tag = root.tag_new()?;
+        let shadow_buf = root.smalloc_init(shadow_tag, &db.serialize_shadow())?;
+        Ok(VanillaSsh {
+            wedge,
+            keypair,
+            db,
+            config,
+            key_tag,
+            key_buf,
+            shadow_tag,
+            shadow_buf,
+        })
+    }
+
+    /// The Wedge runtime backing the server.
+    pub fn wedge(&self) -> &Wedge {
+        &self.wedge
+    }
+
+    /// The host public key.
+    pub fn host_public(&self) -> wedge_crypto::RsaPublicKey {
+        self.keypair.public
+    }
+
+    /// The private-key region.
+    pub fn key_buf(&self) -> SBuf {
+        self.key_buf
+    }
+
+    /// The shadow-file region.
+    pub fn shadow_buf(&self) -> SBuf {
+        self.shadow_buf
+    }
+
+    /// The single monolithic compartment's policy: everything is readable.
+    pub fn worker_policy(&self) -> SecurityPolicy {
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(self.key_tag, MemProt::ReadWrite);
+        policy.sc_mem_add(self.shadow_tag, MemProt::ReadWrite);
+        policy
+    }
+
+    /// Serve one connection inline (the baseline has no per-connection
+    /// compartment to create, which is exactly why its latency is the
+    /// reference point in Table 2).
+    pub fn serve_connection(&self, link: &Duplex) -> VanillaReport {
+        let mut report = VanillaReport::default();
+        let mut authenticated_uid: Option<u32> = None;
+        let shadow = AuthDb::parse_shadow(&self.db.serialize_shadow());
+
+        let Ok(first) = link.recv(RecvTimeout::After(SESSION_TIMEOUT)) else {
+            return report;
+        };
+        if !matches!(ClientMessage::decode(&first), Some(ClientMessage::Hello { .. })) {
+            return report;
+        }
+        let mut rng = WedgeRng::from_entropy();
+        let nonce = rng.bytes(32);
+        let hello = ServerMessage::Hello {
+            version: self.config.version_banner.clone(),
+            host_key: self.keypair.public,
+            host_proof: self.keypair.private.sign_digest(&sha256(&nonce)),
+            nonce: nonce.clone(),
+        };
+        if link.send(&hello.encode()).is_err() {
+            return report;
+        }
+
+        while let Ok(raw) = link.recv(RecvTimeout::After(SESSION_TIMEOUT)) {
+            let Some(message) = ClientMessage::decode(&raw) else {
+                continue;
+            };
+            match message {
+                ClientMessage::Hello { .. } => {}
+                ClientMessage::AuthPassword { user, password } => {
+                    let result = AuthDb::check_password(&shadow, &user, &password);
+                    let (success, uid) = match result {
+                        Some((uid, _)) => {
+                            authenticated_uid = Some(uid);
+                            report.authenticated = true;
+                            (true, uid)
+                        }
+                        None => (false, 0),
+                    };
+                    let _ = link.send(
+                        &ServerMessage::AuthResult {
+                            success,
+                            uid,
+                            detail: if success { "ok" } else { "permission denied" }.to_string(),
+                        }
+                        .encode(),
+                    );
+                }
+                ClientMessage::AuthPubkey { user, signature } => {
+                    // The monolithic baseline only supports password and
+                    // S/Key in this reproduction; reject politely.
+                    let _ = (user, signature);
+                    let _ = link.send(
+                        &ServerMessage::AuthResult {
+                            success: false,
+                            uid: 0,
+                            detail: "permission denied".to_string(),
+                        }
+                        .encode(),
+                    );
+                }
+                ClientMessage::AuthSkey { user, otp } => {
+                    let skey = AuthDb::parse_skey(&self.db.serialize_skey());
+                    let success = skey
+                        .get(&user)
+                        .map(|otps| otps.iter().any(|o| *o == otp))
+                        .unwrap_or(false);
+                    if success {
+                        report.authenticated = true;
+                        authenticated_uid = shadow.iter().find(|e| e.user == user).map(|e| e.uid);
+                    }
+                    let _ = link.send(
+                        &ServerMessage::AuthResult {
+                            success,
+                            uid: authenticated_uid.unwrap_or(0),
+                            detail: if success { "ok" } else { "permission denied" }.to_string(),
+                        }
+                        .encode(),
+                    );
+                }
+                ClientMessage::Exec { command } => {
+                    let output = if let Some(uid) = authenticated_uid {
+                        report.commands += 1;
+                        match command.split_once(' ') {
+                            Some(("echo", rest)) => rest.to_string(),
+                            _ if command == "whoami" => format!("uid={uid}"),
+                            _ => format!("unknown command: {command}"),
+                        }
+                    } else {
+                        "permission denied".to_string()
+                    };
+                    let _ = link.send(&ServerMessage::ExecOutput { output }.encode());
+                }
+                ClientMessage::ScpChunk { data, last } => {
+                    if authenticated_uid.is_some() {
+                        report.scp_bytes += data.len() as u64;
+                    }
+                    let _ = link.send(
+                        &ServerMessage::ScpAck {
+                            received: report.scp_bytes,
+                        }
+                        .encode(),
+                    );
+                    if last && authenticated_uid.is_none() {
+                        break;
+                    }
+                }
+                ClientMessage::Disconnect => {
+                    let _ = link.send(&ServerMessage::Goodbye.encode());
+                    break;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SshClient;
+    use wedge_core::Exploit;
+    use wedge_net::duplex_pair;
+
+    fn server() -> VanillaSsh {
+        VanillaSsh::new(
+            Wedge::init(),
+            RsaKeyPair::generate(&mut WedgeRng::from_seed(1)),
+            AuthDb::sample(),
+            ServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn login_and_scp_work() {
+        let server = server();
+        let (client_link, server_link) = duplex_pair("client", "sshd");
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_connection(&server_link));
+            let mut client = SshClient::new();
+            let hello = client.connect(&client_link).unwrap();
+            assert!(hello.host_proof_valid);
+            let (ok, uid, _) = client
+                .auth_password(&client_link, "bob", "hunter2")
+                .unwrap();
+            assert!(ok);
+            assert_eq!(uid, 1002);
+            let acked = client.scp_upload(&client_link, 256 * 1024, 64 * 1024).unwrap();
+            assert_eq!(acked, 256 * 1024);
+            client.disconnect(&client_link).unwrap();
+            let report = handle.join().unwrap();
+            assert!(report.authenticated);
+            assert_eq!(report.scp_bytes, 256 * 1024);
+        });
+    }
+
+    #[test]
+    fn exploited_monolithic_worker_reads_everything() {
+        let server = server();
+        let key_buf = server.key_buf();
+        let shadow_buf = server.shadow_buf();
+        let policy = server.worker_policy();
+        let handle = server
+            .wedge()
+            .root()
+            .sthread_create("exploited-monolith", &policy, move |ctx| {
+                let mut exploit = Exploit::seize(ctx);
+                let key = exploit.try_read(&key_buf).is_ok();
+                let shadow = exploit.try_read(&shadow_buf).is_ok();
+                (key, shadow, exploit.loot_contains(b"HOST-PRIVATE-KEY"))
+            })
+            .unwrap();
+        let (key, shadow, leaked) = handle.join().unwrap();
+        assert!(key && shadow && leaked, "the monolithic server leaks everything");
+    }
+}

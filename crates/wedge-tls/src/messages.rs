@@ -1,0 +1,331 @@
+//! Handshake messages and their wire encoding.
+//!
+//! Encoding is a minimal hand-rolled format (1-byte message tag followed by
+//! length-prefixed fields); nothing about the evaluation depends on the
+//! exact bytes, only on which *values* cross the network in the clear
+//! (client/server randoms, session ids) and which cross it encrypted (the
+//! premaster secret, the Finished payloads).
+
+use crate::session::SessionId;
+
+/// Length of the client/server random contributions, as in SSL.
+pub const RANDOM_LEN: usize = 32;
+/// Length of the premaster secret, as in SSL/RSA.
+pub const PREMASTER_LEN: usize = 48;
+
+/// Errors from decoding a handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer was shorter than the encoding requires.
+    Truncated,
+    /// The leading tag byte did not match the expected message type.
+    WrongTag {
+        /// The tag we expected.
+        expected: u8,
+        /// The tag we found.
+        found: u8,
+    },
+    /// A length field was inconsistent with the buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::WrongTag { expected, found } => {
+                write!(f, "wrong message tag: expected {expected}, found {found}")
+            }
+            DecodeError::BadLength => write!(f, "inconsistent length field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn get_bytes<'a>(input: &mut &'a [u8]) -> Result<&'a [u8], DecodeError> {
+    if input.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = u32::from_be_bytes([input[0], input[1], input[2], input[3]]) as usize;
+    if input.len() < 4 + len {
+        return Err(DecodeError::BadLength);
+    }
+    let (bytes, rest) = input[4..].split_at(len);
+    *input = rest;
+    Ok(bytes)
+}
+
+/// Message tags on the wire.
+pub mod tags {
+    /// ClientHello tag.
+    pub const CLIENT_HELLO: u8 = 1;
+    /// ServerHello tag.
+    pub const SERVER_HELLO: u8 = 2;
+    /// ClientKeyExchange tag.
+    pub const CLIENT_KEY_EXCHANGE: u8 = 3;
+    /// Finished tag (carried inside a sealed record).
+    pub const FINISHED: u8 = 4;
+    /// Application data tag (carried inside a sealed record).
+    pub const APPLICATION_DATA: u8 = 5;
+    /// Fatal alert tag.
+    pub const ALERT: u8 = 6;
+}
+
+/// The client's opening message: its random contribution and, when
+/// attempting resumption, a cached session id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// The client's random contribution to key derivation (cleartext).
+    pub client_random: [u8; RANDOM_LEN],
+    /// The session the client wants to resume, if any.
+    pub session_id: Option<SessionId>,
+}
+
+impl ClientHello {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![tags::CLIENT_HELLO];
+        put_bytes(&mut out, &self.client_random);
+        match &self.session_id {
+            Some(id) => put_bytes(&mut out, id.as_bytes()),
+            None => put_bytes(&mut out, &[]),
+        }
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut input: &[u8]) -> Result<ClientHello, DecodeError> {
+        let tag = *input.first().ok_or(DecodeError::Truncated)?;
+        if tag != tags::CLIENT_HELLO {
+            return Err(DecodeError::WrongTag {
+                expected: tags::CLIENT_HELLO,
+                found: tag,
+            });
+        }
+        input = &input[1..];
+        let random = get_bytes(&mut input)?;
+        if random.len() != RANDOM_LEN {
+            return Err(DecodeError::BadLength);
+        }
+        let mut client_random = [0u8; RANDOM_LEN];
+        client_random.copy_from_slice(random);
+        let sid = get_bytes(&mut input)?;
+        let session_id = if sid.is_empty() {
+            None
+        } else {
+            Some(SessionId::from_bytes(sid).ok_or(DecodeError::BadLength)?)
+        };
+        Ok(ClientHello {
+            client_random,
+            session_id,
+        })
+    }
+}
+
+/// The server's reply: its random contribution, the session id it assigned
+/// (or accepted), and whether it agreed to resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The server's random contribution to key derivation (cleartext).
+    pub server_random: [u8; RANDOM_LEN],
+    /// The session id for this connection.
+    pub session_id: SessionId,
+    /// Did the server accept the client's resumption offer?
+    pub resumed: bool,
+}
+
+impl ServerHello {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![tags::SERVER_HELLO];
+        put_bytes(&mut out, &self.server_random);
+        put_bytes(&mut out, self.session_id.as_bytes());
+        out.push(u8::from(self.resumed));
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut input: &[u8]) -> Result<ServerHello, DecodeError> {
+        let tag = *input.first().ok_or(DecodeError::Truncated)?;
+        if tag != tags::SERVER_HELLO {
+            return Err(DecodeError::WrongTag {
+                expected: tags::SERVER_HELLO,
+                found: tag,
+            });
+        }
+        input = &input[1..];
+        let random = get_bytes(&mut input)?;
+        if random.len() != RANDOM_LEN {
+            return Err(DecodeError::BadLength);
+        }
+        let mut server_random = [0u8; RANDOM_LEN];
+        server_random.copy_from_slice(random);
+        let sid = get_bytes(&mut input)?;
+        let session_id = SessionId::from_bytes(sid).ok_or(DecodeError::BadLength)?;
+        let resumed = *input.first().ok_or(DecodeError::Truncated)? != 0;
+        Ok(ServerHello {
+            server_random,
+            session_id,
+            resumed,
+        })
+    }
+}
+
+/// The client's RSA-encrypted premaster secret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientKeyExchange {
+    /// The premaster secret encrypted under the server's public key.
+    pub encrypted_premaster: Vec<u8>,
+}
+
+impl ClientKeyExchange {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![tags::CLIENT_KEY_EXCHANGE];
+        put_bytes(&mut out, &self.encrypted_premaster);
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut input: &[u8]) -> Result<ClientKeyExchange, DecodeError> {
+        let tag = *input.first().ok_or(DecodeError::Truncated)?;
+        if tag != tags::CLIENT_KEY_EXCHANGE {
+            return Err(DecodeError::WrongTag {
+                expected: tags::CLIENT_KEY_EXCHANGE,
+                found: tag,
+            });
+        }
+        input = &input[1..];
+        Ok(ClientKeyExchange {
+            encrypted_premaster: get_bytes(&mut input)?.to_vec(),
+        })
+    }
+}
+
+/// A Finished message: proof that the sender derived the session keys and
+/// saw the same handshake transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finished {
+    /// `HMAC(master_secret, label ‖ transcript_hash)`.
+    pub verify_data: Vec<u8>,
+}
+
+impl Finished {
+    /// Encode to wire bytes (these bytes are then sealed in a record).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![tags::FINISHED];
+        put_bytes(&mut out, &self.verify_data);
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(mut input: &[u8]) -> Result<Finished, DecodeError> {
+        let tag = *input.first().ok_or(DecodeError::Truncated)?;
+        if tag != tags::FINISHED {
+            return Err(DecodeError::WrongTag {
+                expected: tags::FINISHED,
+                found: tag,
+            });
+        }
+        input = &input[1..];
+        Ok(Finished {
+            verify_data: get_bytes(&mut input)?.to_vec(),
+        })
+    }
+}
+
+/// Any handshake message (used by transcripts and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// A ClientHello.
+    ClientHello(ClientHello),
+    /// A ServerHello.
+    ServerHello(ServerHello),
+    /// A ClientKeyExchange.
+    ClientKeyExchange(ClientKeyExchange),
+    /// A Finished message.
+    Finished(Finished),
+}
+
+impl HandshakeMessage {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            HandshakeMessage::ClientHello(m) => m.encode(),
+            HandshakeMessage::ServerHello(m) => m.encode(),
+            HandshakeMessage::ClientKeyExchange(m) => m.encode(),
+            HandshakeMessage::Finished(m) => m.encode(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_hello_roundtrip_with_and_without_session() {
+        let hello = ClientHello {
+            client_random: [7u8; RANDOM_LEN],
+            session_id: None,
+        };
+        assert_eq!(ClientHello::decode(&hello.encode()).unwrap(), hello);
+
+        let resuming = ClientHello {
+            client_random: [9u8; RANDOM_LEN],
+            session_id: Some(SessionId::from_bytes(&[3u8; 16]).unwrap()),
+        };
+        assert_eq!(ClientHello::decode(&resuming.encode()).unwrap(), resuming);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let hello = ServerHello {
+            server_random: [1u8; RANDOM_LEN],
+            session_id: SessionId::from_bytes(&[5u8; 16]).unwrap(),
+            resumed: true,
+        };
+        assert_eq!(ServerHello::decode(&hello.encode()).unwrap(), hello);
+    }
+
+    #[test]
+    fn key_exchange_and_finished_roundtrip() {
+        let kx = ClientKeyExchange {
+            encrypted_premaster: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(ClientKeyExchange::decode(&kx.encode()).unwrap(), kx);
+        let fin = Finished {
+            verify_data: vec![9; 32],
+        };
+        assert_eq!(Finished::decode(&fin.encode()).unwrap(), fin);
+    }
+
+    #[test]
+    fn wrong_tag_is_detected() {
+        let hello = ClientHello {
+            client_random: [7u8; RANDOM_LEN],
+            session_id: None,
+        };
+        assert!(matches!(
+            ServerHello::decode(&hello.encode()),
+            Err(DecodeError::WrongTag { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_messages_are_detected() {
+        let hello = ClientHello {
+            client_random: [7u8; RANDOM_LEN],
+            session_id: None,
+        };
+        let bytes = hello.encode();
+        assert!(ClientHello::decode(&bytes[..bytes.len() - 3]).is_err());
+        assert!(ClientHello::decode(&[]).is_err());
+    }
+}

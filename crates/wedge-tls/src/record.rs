@@ -1,0 +1,198 @@
+//! The encrypt-then-MAC record layer.
+//!
+//! After the handshake, application data flows in records encrypted with a
+//! direction-specific write key and authenticated with a direction-specific
+//! MAC key and a sequence number. The MAC is what makes the §5.1.2 argument
+//! work: "Data injected by the attacker will be rejected by the client
+//! handler sthread" because without the MAC key an attacker cannot produce
+//! acceptable records.
+
+use wedge_crypto::{hmac_sha256, StreamCipher};
+
+/// Errors from opening a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The record was too short to contain a MAC.
+    Truncated,
+    /// MAC verification failed (corruption, injection, or wrong keys).
+    BadMac,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "record truncated"),
+            RecordError::BadMac => write!(f, "record MAC verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+const MAC_LEN: usize = 32;
+
+/// One direction of a record channel: encrypts and MACs outgoing plaintext,
+/// or verifies and decrypts incoming records.
+#[derive(Debug, Clone)]
+pub struct RecordLayer {
+    cipher_key: Vec<u8>,
+    mac_key: Vec<u8>,
+    /// Sequence number of the next record to seal.
+    send_seq: u64,
+    /// Sequence number expected on the next opened record.
+    recv_seq: u64,
+}
+
+impl RecordLayer {
+    /// Create a record layer from a write key and a MAC key. Both endpoints
+    /// of one direction construct it with the same keys.
+    pub fn new(cipher_key: &[u8], mac_key: &[u8]) -> RecordLayer {
+        RecordLayer {
+            cipher_key: cipher_key.to_vec(),
+            mac_key: mac_key.to_vec(),
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
+    /// Seal a plaintext into `seq ‖ ciphertext ‖ mac`.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let mut cipher = StreamCipher::new(&self.per_record_key(seq));
+        let ciphertext = cipher.process(plaintext);
+        let mut out = Vec::with_capacity(8 + ciphertext.len() + MAC_LEN);
+        out.extend_from_slice(&seq.to_be_bytes());
+        out.extend_from_slice(&ciphertext);
+        let mac = self.mac(seq, &ciphertext);
+        out.extend_from_slice(&mac);
+        out
+    }
+
+    /// Verify and decrypt a record produced by the peer's `seal`.
+    pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, RecordError> {
+        if record.len() < 8 + MAC_LEN {
+            return Err(RecordError::Truncated);
+        }
+        let seq = u64::from_be_bytes(record[..8].try_into().expect("8 bytes"));
+        let ciphertext = &record[8..record.len() - MAC_LEN];
+        let mac = &record[record.len() - MAC_LEN..];
+        let expected = self.mac(seq, ciphertext);
+        if !wedge_crypto::ct_eq(&expected, mac) || seq != self.recv_seq {
+            return Err(RecordError::BadMac);
+        }
+        self.recv_seq += 1;
+        let mut cipher = StreamCipher::new(&self.per_record_key(seq));
+        Ok(cipher.process(ciphertext))
+    }
+
+    fn per_record_key(&self, seq: u64) -> Vec<u8> {
+        let mut key = self.cipher_key.clone();
+        key.extend_from_slice(&seq.to_be_bytes());
+        key
+    }
+
+    fn mac(&self, seq: u64, ciphertext: &[u8]) -> [u8; MAC_LEN] {
+        let mut message = seq.to_be_bytes().to_vec();
+        message.extend_from_slice(ciphertext);
+        hmac_sha256(&self.mac_key, &message)
+    }
+
+    /// Reconstruct a record layer at a given sequence position. Used by the
+    /// partitioned server's `ssl_read`/`ssl_write` callgates, which persist
+    /// the sequence numbers in tagged memory between invocations.
+    pub fn resume(cipher_key: &[u8], mac_key: &[u8], send_seq: u64, recv_seq: u64) -> RecordLayer {
+        RecordLayer {
+            cipher_key: cipher_key.to_vec(),
+            mac_key: mac_key.to_vec(),
+            send_seq,
+            recv_seq,
+        }
+    }
+
+    /// Number of records sealed so far.
+    pub fn sent(&self) -> u64 {
+        self.send_seq
+    }
+
+    /// Number of records successfully opened so far.
+    pub fn received(&self) -> u64 {
+        self.recv_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (RecordLayer, RecordLayer) {
+        (
+            RecordLayer::new(b"write-key", b"mac-key"),
+            RecordLayer::new(b"write-key", b"mac-key"),
+        )
+    }
+
+    #[test]
+    fn seal_open_roundtrip_preserves_order() {
+        let (mut tx, mut rx) = pair();
+        for i in 0..10 {
+            let msg = format!("record {i}");
+            let sealed = tx.seal(msg.as_bytes());
+            assert_eq!(rx.open(&sealed).unwrap(), msg.as_bytes());
+        }
+        assert_eq!(tx.sent(), 10);
+        assert_eq!(rx.received(), 10);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let (mut tx, _) = pair();
+        let sealed = tx.seal(b"secret payload");
+        assert!(!sealed.windows(14).any(|w| w == b"secret payload"));
+    }
+
+    #[test]
+    fn any_corruption_is_rejected() {
+        let (mut tx, mut rx) = pair();
+        let sealed = tx.seal(b"important");
+        for i in 0..sealed.len() {
+            let mut corrupted = sealed.clone();
+            corrupted[i] ^= 0x01;
+            let mut rx_clone = rx.clone();
+            assert!(rx_clone.open(&corrupted).is_err(), "byte {i} corruption accepted");
+        }
+        // The untouched record still opens.
+        assert_eq!(rx.open(&sealed).unwrap(), b"important");
+    }
+
+    #[test]
+    fn wrong_keys_are_rejected() {
+        let mut tx = RecordLayer::new(b"key-a", b"mac-a");
+        let mut rx = RecordLayer::new(b"key-b", b"mac-b");
+        assert_eq!(rx.open(&tx.seal(b"hello")), Err(RecordError::BadMac));
+    }
+
+    #[test]
+    fn replayed_records_are_rejected() {
+        let (mut tx, mut rx) = pair();
+        let sealed = tx.seal(b"once");
+        assert!(rx.open(&sealed).is_ok());
+        assert_eq!(rx.open(&sealed), Err(RecordError::BadMac));
+    }
+
+    #[test]
+    fn reordered_records_are_rejected() {
+        let (mut tx, mut rx) = pair();
+        let first = tx.seal(b"first");
+        let second = tx.seal(b"second");
+        assert_eq!(rx.open(&second), Err(RecordError::BadMac));
+        assert!(rx.open(&first).is_ok());
+    }
+
+    #[test]
+    fn truncated_records_are_rejected() {
+        let (mut tx, mut rx) = pair();
+        let sealed = tx.seal(b"data");
+        assert_eq!(rx.open(&sealed[..10]), Err(RecordError::Truncated));
+    }
+}

@@ -1,0 +1,161 @@
+//! Session secrets, derived key material, and the server-side session cache.
+
+use std::collections::HashMap;
+
+use wedge_crypto::kdf;
+use wedge_crypto::KeyMaterial;
+
+/// A session identifier assigned by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId([u8; 16]);
+
+impl SessionId {
+    /// Build a session id from exactly 16 bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<SessionId> {
+        if bytes.len() == 16 {
+            let mut id = [0u8; 16];
+            id.copy_from_slice(bytes);
+            Some(SessionId(id))
+        } else {
+            None
+        }
+    }
+
+    /// The raw bytes of the id.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sess-{}", wedge_crypto::sha256::to_hex(&self.0[..4]))
+    }
+}
+
+/// Everything derived from a completed handshake: the master secret and the
+/// per-direction encryption and MAC keys. In the paper's partitioning this
+/// is exactly the data that must be confined to the `session key` tagged
+/// memory region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// The 48-byte master secret.
+    pub master_secret: Vec<u8>,
+    /// The derived per-direction keys.
+    pub material: KeyMaterial,
+}
+
+impl SessionKeys {
+    /// Derive all session keys from the premaster secret and the two
+    /// handshake randoms (the hash over "three inputs that traverse the
+    /// network" of §5.1.1).
+    pub fn derive(premaster: &[u8], client_random: &[u8], server_random: &[u8]) -> SessionKeys {
+        SessionKeys {
+            master_secret: kdf::derive_master_secret(premaster, client_random, server_random),
+            material: kdf::derive_key_block(premaster, client_random, server_random),
+        }
+    }
+
+    /// A compact fingerprint of the derived keys (for comparing both sides
+    /// in tests without exposing the keys).
+    pub fn fingerprint(&self) -> [u8; 32] {
+        self.material.fingerprint()
+    }
+}
+
+/// The server-side session cache: session id → premaster secret. A cache
+/// hit lets the server skip the RSA key exchange (the workload distinction
+/// in Table 2).
+#[derive(Debug, Default)]
+pub struct SessionCache {
+    entries: HashMap<SessionId, Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SessionCache {
+    /// Create an empty cache.
+    pub fn new() -> SessionCache {
+        SessionCache::default()
+    }
+
+    /// Store the premaster secret for a session id.
+    pub fn insert(&mut self, id: SessionId, premaster: Vec<u8>) {
+        self.entries.insert(id, premaster);
+    }
+
+    /// Look up a session; counts hits and misses.
+    pub fn lookup(&mut self, id: &SessionId) -> Option<Vec<u8>> {
+        match self.entries.get(id) {
+            Some(premaster) => {
+                self.hits += 1;
+                Some(premaster.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_id_requires_16_bytes() {
+        assert!(SessionId::from_bytes(&[0u8; 16]).is_some());
+        assert!(SessionId::from_bytes(&[0u8; 15]).is_none());
+        assert!(SessionId::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_sensitive_to_all_inputs() {
+        let a = SessionKeys::derive(b"premaster", b"cr", b"sr");
+        let b = SessionKeys::derive(b"premaster", b"cr", b"sr");
+        assert_eq!(a, b);
+        assert_ne!(
+            a.fingerprint(),
+            SessionKeys::derive(b"premaster", b"cr", b"sr2").fingerprint()
+        );
+        assert_ne!(
+            a.fingerprint(),
+            SessionKeys::derive(b"other", b"cr", b"sr").fingerprint()
+        );
+        assert_eq!(a.master_secret.len(), 48);
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let mut cache = SessionCache::new();
+        let id = SessionId::from_bytes(&[1u8; 16]).unwrap();
+        assert!(cache.lookup(&id).is_none());
+        cache.insert(id, b"premaster".to_vec());
+        assert_eq!(cache.lookup(&id).unwrap(), b"premaster");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let id = SessionId::from_bytes(&[0xAB; 16]).unwrap();
+        assert_eq!(id.to_string(), "sess-abababab");
+    }
+}

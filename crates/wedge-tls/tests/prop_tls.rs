@@ -1,0 +1,168 @@
+//! Property tests for the SSL-like substrate: the MAC'd record layer that the
+//! man-in-the-middle defence of §5.1.2 relies on ("Data injected by the
+//! attacker will be rejected by the client handler sthread"), and the wire
+//! codecs used by the handshake compartments.
+
+use proptest::prelude::*;
+
+use wedge_tls::messages::{
+    ClientHello, ClientKeyExchange, Finished, ServerHello, RANDOM_LEN,
+};
+use wedge_tls::{RecordLayer, SessionId, SessionKeys};
+
+fn arb_keys() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        prop::collection::vec(any::<u8>(), 1..48),
+        prop::collection::vec(any::<u8>(), 1..48),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Sealing at one endpoint and opening at the other returns the original
+    /// plaintext, for any key material and any message sequence.
+    #[test]
+    fn record_seal_open_roundtrip(
+        (cipher_key, mac_key) in arb_keys(),
+        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..8),
+    ) {
+        let mut sender = RecordLayer::new(&cipher_key, &mac_key);
+        let mut receiver = RecordLayer::new(&cipher_key, &mac_key);
+        for plaintext in &messages {
+            let record = sender.seal(plaintext);
+            let opened = receiver.open(&record).expect("genuine record opens");
+            prop_assert_eq!(&opened, plaintext);
+        }
+        prop_assert_eq!(sender.sent(), messages.len() as u64);
+        prop_assert_eq!(receiver.received(), messages.len() as u64);
+    }
+
+    /// Any single-byte corruption of a sealed record — in the sequence
+    /// prefix, the ciphertext, or the MAC — is rejected. This is the
+    /// integrity property the client-handler compartment depends on.
+    #[test]
+    fn record_rejects_any_single_byte_corruption(
+        (cipher_key, mac_key) in arb_keys(),
+        plaintext in prop::collection::vec(any::<u8>(), 0..256),
+        corrupt_at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut sender = RecordLayer::new(&cipher_key, &mac_key);
+        let mut receiver = RecordLayer::new(&cipher_key, &mac_key);
+        let mut record = sender.seal(&plaintext);
+        let index = corrupt_at.index(record.len());
+        record[index] ^= flip;
+        prop_assert!(receiver.open(&record).is_err());
+    }
+
+    /// Records cannot be replayed or reordered: each must arrive exactly at
+    /// the sequence position it was sealed for.
+    #[test]
+    fn record_rejects_replay_and_reorder(
+        (cipher_key, mac_key) in arb_keys(),
+        first in prop::collection::vec(any::<u8>(), 0..64),
+        second in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut sender = RecordLayer::new(&cipher_key, &mac_key);
+        let mut receiver = RecordLayer::new(&cipher_key, &mac_key);
+        let r1 = sender.seal(&first);
+        let r2 = sender.seal(&second);
+
+        // Reorder: the second record cannot be opened first.
+        prop_assert!(receiver.open(&r2).is_err());
+
+        // In order both open...
+        prop_assert_eq!(receiver.open(&r1).expect("first"), first);
+        prop_assert_eq!(receiver.open(&r2).expect("second"), second);
+
+        // ...and replaying either afterwards is rejected.
+        prop_assert!(receiver.open(&r1).is_err());
+        prop_assert!(receiver.open(&r2).is_err());
+    }
+
+    /// A record layer resumed at explicit sequence positions (the
+    /// ssl_read/ssl_write callgates persist these in tagged memory between
+    /// invocations) interoperates with a continuously used peer.
+    #[test]
+    fn resumed_record_layer_continues_the_stream(
+        (cipher_key, mac_key) in arb_keys(),
+        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 2..6),
+    ) {
+        let mut sender = RecordLayer::new(&cipher_key, &mac_key);
+        let mut opened = 0u64;
+        for plaintext in &messages {
+            let record = sender.seal(plaintext);
+            // Each open happens in a freshly resumed layer, as a short-lived
+            // callgate activation would do.
+            let mut gate = RecordLayer::resume(&cipher_key, &mac_key, 0, opened);
+            prop_assert_eq!(&gate.open(&record).expect("opens"), plaintext);
+            opened += 1;
+        }
+    }
+
+    /// Handshake message codecs round-trip and never panic on truncation.
+    #[test]
+    fn handshake_codecs_roundtrip_and_reject_truncation(
+        client_random in any::<[u8; RANDOM_LEN]>(),
+        server_random in any::<[u8; RANDOM_LEN]>(),
+        session_bytes in any::<[u8; 16]>(),
+        resumed in any::<bool>(),
+        offer_resumption in any::<bool>(),
+        premaster in prop::collection::vec(any::<u8>(), 1..96),
+        verify in prop::collection::vec(any::<u8>(), 1..64),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let session_id = SessionId::from_bytes(&session_bytes).expect("16-byte id");
+
+        let ch = ClientHello {
+            client_random,
+            session_id: if offer_resumption { Some(session_id) } else { None },
+        };
+        prop_assert_eq!(ClientHello::decode(&ch.encode()).expect("ch"), ch.clone());
+
+        let sh = ServerHello { server_random, session_id, resumed };
+        prop_assert_eq!(ServerHello::decode(&sh.encode()).expect("sh"), sh.clone());
+
+        let cke = ClientKeyExchange { encrypted_premaster: premaster };
+        prop_assert_eq!(
+            ClientKeyExchange::decode(&cke.encode()).expect("cke"),
+            cke.clone()
+        );
+
+        let fin = Finished { verify_data: verify };
+        prop_assert_eq!(Finished::decode(&fin.encode()).expect("fin"), fin.clone());
+
+        // Truncating any encoding strictly is an error, never a panic.
+        for encoded in [ch.encode(), sh.encode(), cke.encode(), fin.encode()] {
+            let len = cut.index(encoded.len().max(1));
+            if len < encoded.len() {
+                let truncated = &encoded[..len];
+                prop_assert!(ClientHello::decode(truncated).is_err());
+                prop_assert!(ServerHello::decode(truncated).is_err());
+                prop_assert!(ClientKeyExchange::decode(truncated).is_err());
+                prop_assert!(Finished::decode(truncated).is_err());
+            }
+        }
+    }
+
+    /// Session-key derivation is deterministic in its inputs and sensitive to
+    /// every one of them — the reason the setup_session_key callgate can deny
+    /// the exploited worker any useful influence (§5.1.1): changing the
+    /// server random (which the callgate generates itself) changes the keys.
+    #[test]
+    fn session_key_derivation_is_deterministic_and_input_sensitive(
+        premaster in prop::collection::vec(any::<u8>(), 1..64),
+        client_random in any::<[u8; RANDOM_LEN]>(),
+        server_random in any::<[u8; RANDOM_LEN]>(),
+        other_server_random in any::<[u8; RANDOM_LEN]>(),
+    ) {
+        let a = SessionKeys::derive(&premaster, &client_random, &server_random);
+        let b = SessionKeys::derive(&premaster, &client_random, &server_random);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+
+        prop_assume!(server_random != other_server_random);
+        let c = SessionKeys::derive(&premaster, &client_random, &other_server_random);
+        prop_assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,55 @@
+//! The §5.1.2-partitioned HTTPS server serving a real request from a real
+//! (simulated-network) client, with the kernel statistics the paper quotes
+//! ("each request creates two sthreads and invokes eight callgates").
+//!
+//! Run with `cargo run --example apache_ssl`.
+
+use wedge::apache::{ApacheConfig, PageStore, WedgeApache};
+use wedge::core::Wedge;
+use wedge::crypto::{RsaKeyPair, WedgeRng};
+use wedge::net::duplex_pair;
+use wedge::tls::TlsClient;
+
+fn main() {
+    let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(2026));
+    let server = WedgeApache::new(
+        Wedge::init(),
+        keypair,
+        PageStore::sample(),
+        ApacheConfig { recycled: false },
+    )
+    .expect("server");
+
+    let mut client = TlsClient::new(server.public_key(), WedgeRng::from_entropy());
+
+    for round in 0..2 {
+        let (client_link, server_link) = duplex_pair("browser", "apache");
+        let report = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.serve_connection(server_link).expect("serve"));
+            let mut conn = client.connect(&client_link).expect("handshake");
+            conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n")
+                .expect("request");
+            let response = conn.recv(&client_link).expect("response");
+            println!(
+                "round {round}: resumed={} response={:?}...",
+                conn.resumed,
+                String::from_utf8_lossy(&response[..40.min(response.len())])
+            );
+            drop(conn);
+            drop(client_link);
+            handle.join().expect("server thread")
+        });
+        println!(
+            "  server report: handshake_ok={} resumed={} requests={}",
+            report.handshake_ok, report.resumed, report.requests
+        );
+    }
+
+    let stats = server.wedge().kernel().stats();
+    println!("kernel stats after two connections: {stats:?}");
+    println!(
+        "  sthreads per connection ≈ {}, callgate activations per connection ≈ {}",
+        stats.sthreads_created / 2,
+        stats.callgate_invocations / 2
+    );
+}

@@ -1,0 +1,59 @@
+//! The Wedge-partitioned SSH server: unprivileged worker, authentication
+//! callgates, uid escalation on success, and the anti-probing behaviour.
+//!
+//! Run with `cargo run --example openssh_login`.
+
+use wedge::core::Wedge;
+use wedge::crypto::{RsaKeyPair, WedgeRng};
+use wedge::net::duplex_pair;
+use wedge::ssh::authdb::ServerConfig;
+use wedge::ssh::{AuthDb, SshClient, WedgeSsh};
+
+fn main() {
+    let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(7));
+    let server = WedgeSsh::new(
+        Wedge::init(),
+        keypair,
+        &AuthDb::sample(),
+        &ServerConfig::default(),
+    )
+    .expect("sshd");
+
+    let (client_link, server_link) = duplex_pair("ssh-client", "sshd");
+    let handle = server.serve_connection(server_link).expect("worker");
+    let mut client = SshClient::new();
+
+    let hello = client.connect(&client_link).expect("hello");
+    println!(
+        "server: {} (host key proof valid: {})",
+        hello.version, hello.host_proof_valid
+    );
+
+    // A failed attempt against an unknown user and against a known user look
+    // identical to the client — the dummy-passwd anti-probing fix.
+    let unknown = client
+        .auth_password(&client_link, "mallory", "guess")
+        .expect("auth");
+    let wrong = client
+        .auth_password(&client_link, "alice", "guess")
+        .expect("auth");
+    println!("unknown user:   success={} detail={:?}", unknown.0, unknown.2);
+    println!("wrong password: success={} detail={:?}", wrong.0, wrong.2);
+
+    let ok = client
+        .auth_password(&client_link, "alice", "correct horse battery")
+        .expect("auth");
+    println!("correct login:  success={} uid={}", ok.0, ok.1);
+
+    println!("whoami → {}", client.exec(&client_link, "whoami").expect("exec"));
+    println!("echo   → {}", client.exec(&client_link, "echo hello wedge").expect("exec"));
+
+    let acked = client
+        .scp_upload(&client_link, 1024 * 1024, 64 * 1024)
+        .expect("scp");
+    println!("scp upload acknowledged: {acked} bytes");
+
+    client.disconnect(&client_link).expect("bye");
+    let report = handle.join().expect("worker exit");
+    println!("worker report: {report:?}");
+}

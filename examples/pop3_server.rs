@@ -1,0 +1,52 @@
+//! The partitioned POP3 server of Figure 1: client handler sthread, login
+//! callgate, e-mail retriever callgate.
+//!
+//! Run with `cargo run --example pop3_server`.
+
+use std::time::Duration;
+
+use wedge::core::Wedge;
+use wedge::net::{duplex_pair, RecvTimeout};
+use wedge::pop3::{MailDb, Pop3Server};
+
+fn command(client: &wedge::net::Duplex, cmd: &str) -> String {
+    client.send(cmd.as_bytes()).expect("send");
+    String::from_utf8_lossy(
+        &client
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .expect("reply"),
+    )
+    .to_string()
+}
+
+fn main() {
+    let server = Pop3Server::new(Wedge::init(), &MailDb::sample()).expect("server");
+    let (client, server_link) = duplex_pair("pop3-client", "pop3-server");
+    let handle = server.serve_connection(server_link).expect("connection");
+
+    let greeting = client
+        .recv(RecvTimeout::After(Duration::from_secs(5)))
+        .expect("greeting");
+    println!("S: {}", String::from_utf8_lossy(&greeting));
+
+    for cmd in [
+        "USER alice",
+        "PASS wonderland",
+        "STAT",
+        "RETR 1",
+        "QUIT",
+    ] {
+        println!("C: {cmd}");
+        println!("S: {}", command(&client, cmd));
+    }
+
+    let stats = handle.join().expect("join").expect("session");
+    println!(
+        "session: {} commands, logged_in={}, retrieved={}",
+        stats.commands, stats.logged_in, stats.retrieved
+    );
+    println!(
+        "kernel stats: {:?}",
+        server.wedge().kernel().stats()
+    );
+}

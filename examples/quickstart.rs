@@ -1,0 +1,53 @@
+//! Quickstart: the Wedge primitives in ~60 lines.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wedge::core::callgate::typed_entry;
+use wedge::core::{MemProt, SBuf, SecurityPolicy, TrustedArg, Wedge, WedgeError};
+
+fn main() -> Result<(), WedgeError> {
+    // 1. Initialise the runtime; `root` is the unconfined first compartment.
+    let wedge = Wedge::init();
+    let root = wedge.root();
+
+    // 2. Put a secret in tagged memory.
+    let secret_tag = root.tag_new()?;
+    let secret = root.smalloc_init(secret_tag, b"the launch codes")?;
+
+    // 3. A default-deny sthread cannot read it.
+    let denied = root
+        .sthread_create("untrusted-worker", &SecurityPolicy::deny_all(), move |ctx| {
+            ctx.read_all(&secret)
+        })?
+        .join()?;
+    println!("untrusted worker read attempt: {denied:?}");
+    assert!(denied.is_err());
+
+    // 4. A callgate can use the secret on the worker's behalf, revealing
+    //    only what its creator intends (here: the secret's length).
+    let entry = wedge.kernel().cgate_register(
+        "secret_len",
+        typed_entry(|ctx, trusted, _input: ()| {
+            let buf = trusted
+                .and_then(|t| t.downcast::<SBuf>())
+                .copied()
+                .expect("trusted arg");
+            Ok(ctx.read_all(&buf)?.len())
+        }),
+    );
+    let mut gate_policy = SecurityPolicy::deny_all();
+    gate_policy.sc_mem_add(secret_tag, MemProt::Read);
+    let mut worker_policy = SecurityPolicy::deny_all();
+    worker_policy.sc_cgate_add(entry, gate_policy, Some(TrustedArg::new(secret)));
+
+    let len = root
+        .sthread_create("worker-with-gate", &worker_policy, move |ctx| {
+            ctx.cgate_expect::<usize>(entry, &SecurityPolicy::deny_all(), Box::new(()))
+        })?
+        .join()??;
+    println!("secret length via callgate: {len}");
+    assert_eq!(len, b"the launch codes".len());
+
+    println!("quickstart OK: default-deny held, the callgate mediated access");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # wedge — a Rust reproduction of *Wedge: Splitting Applications into
+//! Reduced-Privilege Compartments* (Bittau, Marchenko, Handley, Karp; NSDI
+//! 2008)
+//!
+//! This facade crate re-exports the workspace's pieces so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`core`] — sthreads, tagged memory, callgates, default-deny policies
+//!   and the simulated kernel (the paper's contribution).
+//! * [`crowbar`] — the cb-log/cb-analyze partitioning-assistance tools.
+//! * [`alloc`] — the tag-segment allocator substrate.
+//! * [`crypto`] / [`tls`] / [`net`] — the substrates behind the case
+//!   studies (toy crypto, the SSL-like protocol, the simulated network with
+//!   its man-in-the-middle attacker).
+//! * [`apache`] / [`ssh`] / [`pop3`] — the partitioned applications of §2,
+//!   §5.1 and §5.2, each with its monolithic baseline.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory
+//! and substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record
+//! of every figure and table.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use crowbar;
+pub use wedge_alloc as alloc;
+pub use wedge_apache as apache;
+pub use wedge_core as core;
+pub use wedge_crypto as crypto;
+pub use wedge_net as net;
+pub use wedge_pop3 as pop3;
+pub use wedge_ssh as ssh;
+pub use wedge_tls as tls;
+
+/// The version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        let wedge = crate::core::Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+        let buf = root.smalloc_init(tag, b"facade").unwrap();
+        assert_eq!(root.read_all(&buf).unwrap(), b"facade");
+        assert!(!crate::VERSION.is_empty());
+    }
+}

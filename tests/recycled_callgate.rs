@@ -1,0 +1,199 @@
+//! The recycled-callgate trade-off of §3.3, end to end.
+//!
+//! The paper: *"Because they are reused, recycled callgates do trade some
+//! isolation for performance, and must be used carefully; should a recycled
+//! callgate be exploited, and called by sthreads acting on behalf of
+//! different principals, sensitive arguments from one caller may become
+//! visible to another."*
+//!
+//! These tests drive the same (deliberately exploitable) callgate entry in
+//! both modes and check that the residue of one principal's call is visible
+//! to the next principal **only** in the recycled mode: a standard callgate
+//! activation is a fresh compartment, so the previous activation's private
+//! scratch memory is gone by the time the second caller arrives.
+
+use std::sync::{Arc, Mutex};
+
+use wedge::core::callgate::typed_entry;
+use wedge::core::{SBuf, SecurityPolicy, Wedge, WedgeError};
+
+/// Register a callgate that stashes each caller's argument in its own
+/// *private* (untagged) memory and — modelling an exploited callgate — dumps
+/// the previous caller's stash when asked to.
+///
+/// The `stash` holds only the `SBuf` *handle*; whether the bytes behind it
+/// are still reachable is decided entirely by the kernel (the compartment
+/// that allocated them must still exist and must be the one reading).
+fn register_leaky_gate(
+    wedge: &Wedge,
+) -> (
+    wedge::core::CgEntryId,
+    Arc<Mutex<Option<SBuf>>>,
+) {
+    let stash: Arc<Mutex<Option<SBuf>>> = Arc::new(Mutex::new(None));
+    let stash_for_gate = stash.clone();
+    let entry = wedge.kernel().cgate_register(
+        "leaky_processor",
+        typed_entry(move |ctx, _trusted, input: Vec<u8>| {
+            let mut stash = stash_for_gate.lock().expect("stash lock");
+            if input == b"__exploit_dump__" {
+                // The "exploited" path: try to disclose whatever the previous
+                // invocation left behind.
+                let leaked = match stash.as_ref() {
+                    Some(previous) => ctx.read_all(previous).unwrap_or_default(),
+                    None => Vec::new(),
+                };
+                return Ok(leaked);
+            }
+            // The benign path: process the argument, leaving a copy in the
+            // activation's private scratch memory (the PAM-style sloppiness
+            // the paper warns about).
+            let scratch = ctx.malloc(input.len().max(1))?;
+            ctx.write(&scratch, 0, &input)?;
+            *stash = Some(scratch);
+            Ok(Vec::<u8>::new())
+        }),
+    );
+    (entry, stash)
+}
+
+fn caller_policy(entry: wedge::core::CgEntryId) -> SecurityPolicy {
+    let mut policy = SecurityPolicy::deny_all();
+    policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+    policy
+}
+
+/// Run principal A (submits a secret) then principal B (runs the exploit
+/// dump) against the gate, in either standard or recycled mode, and return
+/// what principal B managed to read.
+fn run_two_principals(recycled: bool) -> Vec<u8> {
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let (entry, _stash) = register_leaky_gate(&wedge);
+    let policy = caller_policy(entry);
+
+    let secret = b"principal-A credit card 4111-1111".to_vec();
+    let submit = {
+        let secret = secret.clone();
+        root.sthread_create("principal-a", &policy, move |ctx| {
+            if recycled {
+                ctx.cgate_recycled_expect::<Vec<u8>>(
+                    entry,
+                    &SecurityPolicy::deny_all(),
+                    Box::new(secret),
+                )
+            } else {
+                ctx.cgate_expect::<Vec<u8>>(entry, &SecurityPolicy::deny_all(), Box::new(secret))
+            }
+        })
+        .expect("principal A sthread")
+    };
+    submit.join().expect("join A").expect("gate call A");
+
+    let probe = root
+        .sthread_create("principal-b", &policy, move |ctx| {
+            let payload = b"__exploit_dump__".to_vec();
+            if recycled {
+                ctx.cgate_recycled_expect::<Vec<u8>>(
+                    entry,
+                    &SecurityPolicy::deny_all(),
+                    Box::new(payload),
+                )
+            } else {
+                ctx.cgate_expect::<Vec<u8>>(entry, &SecurityPolicy::deny_all(), Box::new(payload))
+            }
+        })
+        .expect("principal B sthread");
+    probe.join().expect("join B").expect("gate call B")
+}
+
+#[test]
+fn recycled_callgate_exposes_previous_callers_arguments_when_exploited() {
+    let leaked = run_two_principals(true);
+    assert_eq!(
+        leaked, b"principal-A credit card 4111-1111",
+        "a recycled callgate reuses one activation, so an exploit in it can see residue"
+    );
+}
+
+#[test]
+fn standard_callgate_leaves_no_residue_between_principals() {
+    let leaked = run_two_principals(false);
+    assert!(
+        leaked.is_empty(),
+        "each standard callgate activation is a fresh compartment; the previous \
+         activation's private scratch is unreachable, got {leaked:?}"
+    );
+}
+
+#[test]
+fn recycled_and_standard_callgates_compute_the_same_results() {
+    // The trade-off is isolation vs. cost, not functionality: both modes give
+    // callers the same answers for benign workloads.
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let entry = wedge.kernel().cgate_register(
+        "sum",
+        typed_entry(|_ctx, _trusted, input: Vec<u8>| {
+            Ok(input.iter().map(|b| *b as u64).sum::<u64>())
+        }),
+    );
+    let policy = caller_policy(entry);
+
+    let handle = root
+        .sthread_create("caller", &policy, move |ctx| {
+            let data = vec![1u8, 2, 3, 4, 5];
+            let fresh = ctx
+                .cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(data.clone()))?;
+            let recycled = ctx.cgate_recycled_expect::<u64>(
+                entry,
+                &SecurityPolicy::deny_all(),
+                Box::new(data),
+            )?;
+            Ok::<_, WedgeError>((fresh, recycled))
+        })
+        .expect("caller");
+    let (fresh, recycled) = handle.join().expect("join").expect("calls");
+    assert_eq!(fresh, 15);
+    assert_eq!(recycled, 15);
+}
+
+#[test]
+fn recycled_callgate_is_cheaper_than_standard_over_many_invocations() {
+    // The reason recycled callgates exist at all (§3.3, Figure 7): amortise
+    // activation creation over many invocations. We only assert the ordering,
+    // not a ratio — absolute costs belong to the Criterion benches.
+    use std::time::Instant;
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let entry = wedge
+        .kernel()
+        .cgate_register("noop", typed_entry(|_ctx, _t, n: u64| Ok(n)));
+    let policy = caller_policy(entry);
+
+    let handle = root
+        .sthread_create("timing-caller", &policy, move |ctx| {
+            const N: u32 = 40;
+            let start = Instant::now();
+            for _ in 0..N {
+                ctx.cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
+                    .expect("standard call");
+            }
+            let standard = start.elapsed();
+
+            let start = Instant::now();
+            for _ in 0..N {
+                ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
+                    .expect("recycled call");
+            }
+            let recycled = start.elapsed();
+            (standard, recycled)
+        })
+        .expect("caller");
+    let (standard, recycled) = handle.join().expect("join");
+    assert!(
+        recycled < standard,
+        "recycled ({recycled:?}) should be cheaper than standard ({standard:?}) over many calls"
+    );
+}

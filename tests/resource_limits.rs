@@ -1,0 +1,197 @@
+//! Integration tests for the resource-quota extension (`wedge_core::resource`).
+//!
+//! §7 of the paper concedes that "an exploited sthread may maliciously
+//! consume CPU and memory"; these tests exercise the reproduction's
+//! quota-based mitigation across compartments: a compromised, quota-bounded
+//! worker cannot starve the rest of the application, and the quotas do not
+//! interfere with the isolation semantics the rest of the suite checks.
+
+use wedge::core::{
+    Exploit, LimitedCtx, MemProt, ResourceKind, ResourceLimits, SecurityPolicy, Wedge, WedgeError,
+};
+
+fn is_exhausted(err: &WedgeError) -> bool {
+    matches!(err, WedgeError::ResourceExhausted { .. })
+}
+
+#[test]
+fn exploited_worker_memory_hog_is_bounded_and_siblings_keep_working() {
+    let wedge = Wedge::init();
+    let root = wedge.root();
+
+    // Shared application state the legitimate sibling needs.
+    let state_tag = root.tag_new().unwrap();
+    let state = root.smalloc_init(state_tag, b"application state").unwrap();
+
+    // The network-facing worker gets a 64 KiB memory budget.
+    let worker_limits = ResourceLimits::unlimited()
+        .with_tagged_bytes(64 * 1024)
+        .with_tags(8);
+    let worker = root
+        .sthread_create("exploited-worker", &SecurityPolicy::deny_all(), move |ctx| {
+            let limited = LimitedCtx::new(ctx.clone(), worker_limits);
+            // The exploit tries to allocate without bound.
+            let mut allocated = 0u64;
+            let mut refused = false;
+            for _ in 0..1_000 {
+                let tag = match limited.tag_new() {
+                    Ok(tag) => tag,
+                    Err(e) => {
+                        refused = is_exhausted(&e);
+                        break;
+                    }
+                };
+                match limited.smalloc(16 * 1024, tag) {
+                    Ok(_) => allocated += 16 * 1024,
+                    Err(e) => {
+                        refused = is_exhausted(&e);
+                        break;
+                    }
+                }
+            }
+            (allocated, refused, limited.usage())
+        })
+        .unwrap();
+    let (allocated, refused, usage) = worker.join().unwrap();
+
+    assert!(refused, "the hog must eventually hit the quota");
+    assert!(
+        allocated <= 64 * 1024,
+        "live allocations stayed within the budget (got {allocated})"
+    );
+    assert!(usage.tagged_bytes <= 64 * 1024);
+
+    // The rest of the application is unaffected: the root still reads its
+    // state and can spawn further compartments.
+    assert_eq!(root.read_all(&state).unwrap(), b"application state");
+    let sibling = root
+        .sthread_create("sibling", &SecurityPolicy::deny_all(), |ctx| {
+            let tag = ctx.tag_new()?;
+            let buf = ctx.smalloc_init(tag, b"sibling works")?;
+            ctx.read_all(&buf)
+        })
+        .unwrap();
+    assert_eq!(sibling.join().unwrap().unwrap(), b"sibling works");
+}
+
+#[test]
+fn spawn_storm_is_bounded_across_the_subtree() {
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let limits = ResourceLimits::unlimited().with_sthreads(8);
+    let limited = LimitedCtx::new(root.clone(), limits);
+
+    // Each spawned child immediately tries to spawn two more.
+    fn storm(ctx: &LimitedCtx, depth: u32) -> u64 {
+        if depth == 0 {
+            return 0;
+        }
+        let mut descendants = 0;
+        for i in 0..2 {
+            match ctx.sthread_create(
+                &format!("storm-{depth}-{i}"),
+                &SecurityPolicy::deny_all(),
+                move |child| storm(child, depth - 1),
+            ) {
+                Ok(handle) => descendants += 1 + handle.join().unwrap_or(0),
+                Err(err) => {
+                    assert!(
+                        matches!(err, WedgeError::ResourceExhausted { .. }),
+                        "unexpected error: {err}"
+                    );
+                    break;
+                }
+            }
+        }
+        descendants
+    }
+
+    let spawned = storm(&limited, 6);
+    assert!(spawned <= 8, "subtree spawn count bounded by quota, got {spawned}");
+    assert_eq!(limited.usage().sthreads, spawned);
+    assert_eq!(limited.remaining(ResourceKind::Sthreads), 8 - spawned);
+}
+
+#[test]
+fn quotas_do_not_weaken_default_deny() {
+    // A quota-wrapped compartment still cannot touch memory outside its
+    // policy: the wrapper is accounting, not a bypass.
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let secret_tag = root.tag_new().unwrap();
+    let secret = root.smalloc_init(secret_tag, b"host private key").unwrap();
+
+    let worker = root
+        .sthread_create("metered-worker", &SecurityPolicy::deny_all(), move |ctx| {
+            let limited = LimitedCtx::new(ctx.clone(), ResourceLimits::unlimited());
+            let direct = limited.read(&secret, 0, 5);
+            let mut exploit = Exploit::seize(limited.ctx());
+            let via_exploit = exploit.try_read(&secret);
+            (direct, via_exploit)
+        })
+        .unwrap();
+    let (direct, via_exploit) = worker.join().unwrap();
+    assert!(direct.unwrap_err().is_access_denial());
+    assert!(via_exploit.unwrap_err().is_access_denial());
+}
+
+#[test]
+fn granted_memory_remains_usable_under_a_quota() {
+    // The quota meters volume, not privilege: a worker that *is* granted a
+    // tag can keep using it until the budget runs out, and freeing returns
+    // headroom.
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let shared_tag = root.tag_new().unwrap();
+
+    let mut policy = SecurityPolicy::deny_all();
+    policy.sc_mem_add(shared_tag, MemProt::ReadWrite);
+    let worker = root
+        .sthread_create("bounded-writer", &policy, move |ctx| {
+            let limited = LimitedCtx::new(
+                ctx.clone(),
+                ResourceLimits::unlimited().with_tagged_bytes(4096),
+            );
+            let a = limited.smalloc(3000, shared_tag)?;
+            limited.write(&a, 0, b"hello")?;
+            // A second large allocation exceeds the budget...
+            let refused = limited.smalloc(3000, shared_tag).unwrap_err();
+            assert!(matches!(refused, WedgeError::ResourceExhausted { .. }));
+            // ...but freeing the first makes room again.
+            limited.sfree(&a)?;
+            let b = limited.smalloc(3000, shared_tag)?;
+            limited.write(&b, 0, b"again")?;
+            limited.read(&b, 0, 5)
+        })
+        .unwrap();
+    assert_eq!(worker.join().unwrap().unwrap(), b"again");
+}
+
+#[test]
+fn cpu_budget_stops_a_runaway_loop() {
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let worker = root
+        .sthread_create("spinner", &SecurityPolicy::deny_all(), |ctx| {
+            let limited = LimitedCtx::new(
+                ctx.clone(),
+                ResourceLimits::unlimited().with_cpu_ticks(10_000),
+            );
+            // A cooperative compute loop that accounts its work; the budget
+            // cuts it off long before the nominal 1M iterations.
+            let mut iterations = 0u64;
+            loop {
+                if limited.charge_ticks(100).is_err() {
+                    break;
+                }
+                iterations += 1;
+                if iterations >= 1_000_000 {
+                    break;
+                }
+            }
+            iterations
+        })
+        .unwrap();
+    let iterations = worker.join().unwrap();
+    assert_eq!(iterations, 100, "10_000 tick budget / 100 ticks per iteration");
+}

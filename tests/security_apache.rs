@@ -1,0 +1,197 @@
+//! End-to-end security properties of the Apache/OpenSSL case study (§5.1):
+//! what an exploit can and cannot reach under each partitioning, and what a
+//! man-in-the-middle attacker gains in combination with an exploit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use wedge::apache::attacks::{decrypt_observed_client_records, plaintexts_contain};
+use wedge::apache::{ApacheConfig, PageStore, SimpleApache, VanillaApache, WedgeApache};
+use wedge::core::{Exploit, Wedge};
+use wedge::crypto::{RsaKeyPair, WedgeRng};
+use wedge::net::{duplex_pair, Mitm};
+use wedge::tls::TlsClient;
+
+fn keypair(seed: u64) -> RsaKeyPair {
+    RsaKeyPair::generate(&mut WedgeRng::from_seed(seed))
+}
+
+#[test]
+fn vanilla_apache_exploit_discloses_the_private_key() {
+    let server = VanillaApache::new(Wedge::init(), keypair(1), PageStore::sample()).unwrap();
+    let key_buf = server.key_buf();
+    let policy = server.worker_policy();
+    let leaked = server
+        .wedge()
+        .root()
+        .sthread_create("exploited-monolith", &policy, move |ctx| {
+            let mut exploit = Exploit::seize(ctx);
+            let _ = exploit.try_read(&key_buf);
+            exploit.loot_contains(b"RSA-PRIVATE-KEY")
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(leaked, "the monolithic server's worker holds the private key");
+}
+
+#[test]
+fn simple_partitioning_protects_the_private_key_but_leaks_the_session_key() {
+    let server = SimpleApache::new(Wedge::init(), keypair(2), PageStore::sample()).unwrap();
+    let key_buf = server.key_buf();
+    let policy = server.worker_policy();
+    // Exploited worker: no path to the private key.
+    let key_denied = server
+        .wedge()
+        .root()
+        .sthread_create("exploited-worker", &policy, move |ctx| {
+            Exploit::seize(ctx).try_read(&key_buf).is_err()
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(key_denied);
+
+    // But the worker legitimately holds the session keys, so under a passive
+    // man in the middle the attacker who exploits it can decrypt the
+    // client's traffic — the residual weakness §5.1.2 addresses.
+    let (client_link, mitm, server_link) = Mitm::interpose();
+    let mitm = Arc::new(parking_lot::Mutex::new(mitm));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let mitm = mitm.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                mitm.lock().forward_all_pending();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    let handle = server.serve_connection(server_link).unwrap();
+    let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(3));
+    let mut conn = client.connect(&client_link).unwrap();
+    conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n").unwrap();
+    let response = conn.recv(&client_link).unwrap();
+    assert!(response.starts_with(b"HTTP/1.0 200"));
+    drop(conn);
+    drop(client_link);
+    let (report, leaked_keys) = handle.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    pump.join().unwrap();
+    assert!(report.handshake_ok);
+
+    let mitm = Arc::try_unwrap(mitm).expect("sole owner").into_inner();
+    assert!(mitm.observed().entries().len() >= 5, "the attacker saw the whole exchange");
+    let keys = leaked_keys.expect("the worker holds the session keys");
+    let recovered = decrypt_observed_client_records(&keys.material, &mitm);
+    assert!(
+        plaintexts_contain(&recovered, b"GET /account"),
+        "with the leaked session key the attacker reads the client's request"
+    );
+}
+
+#[test]
+fn hardened_partitioning_denies_the_attacker_key_material_and_oracles() {
+    let server = WedgeApache::new(
+        Wedge::init(),
+        keypair(4),
+        PageStore::sample(),
+        ApacheConfig::default(),
+    )
+    .unwrap();
+
+    // The exploited network-facing compartment can reach neither the private
+    // key nor the session-key region nor the finished state.
+    let policy = server.handshake_policy();
+    let key_buf = server.key_buf();
+    let session_buf = server.session_state_buf();
+    let finished_buf = server.finished_state_buf();
+    let (key_denied, session_denied, finished_denied) = server
+        .wedge()
+        .root()
+        .sthread_create("exploited-handshake", &policy, move |ctx| {
+            let mut exploit = Exploit::seize(ctx);
+            (
+                exploit.try_read(&key_buf).is_err(),
+                exploit.try_read(&session_buf).is_err(),
+                exploit.try_read(&finished_buf).is_err(),
+            )
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(key_denied && session_denied && finished_denied);
+
+    // End to end through a passive MITM: the handshake completes, the client
+    // is served, and nothing the attacker observed decrypts without keys it
+    // never obtained.
+    let (client_link, mitm, server_link) = Mitm::interpose();
+    let mitm = Arc::new(parking_lot::Mutex::new(mitm));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let mitm = mitm.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                mitm.lock().forward_all_pending();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        })
+    };
+    let report = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let handle = scope.spawn(move || server_ref.serve_connection(server_link).unwrap());
+        let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(5));
+        let mut conn = client.connect(&client_link).unwrap();
+        conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n").unwrap();
+        let response = conn.recv(&client_link).unwrap();
+        assert!(response.starts_with(b"HTTP/1.0 200"));
+        drop(conn);
+        drop(client_link);
+        handle.join().unwrap()
+    });
+    stop.store(true, Ordering::Relaxed);
+    pump.join().unwrap();
+    assert!(report.handshake_ok);
+    assert_eq!(report.requests, 1);
+
+    let mitm = Arc::try_unwrap(mitm).expect("sole owner").into_inner();
+    // The attacker saw everything on the wire but holds no keys; a guess at
+    // key material recovers nothing.
+    let wrong_keys = wedge::crypto::kdf::derive_key_block(b"guess", b"cr", b"sr");
+    let recovered = decrypt_observed_client_records(&wrong_keys, &mitm);
+    assert!(!plaintexts_contain(&recovered, b"GET /account"));
+    // The plaintext never crossed the wire in the clear either.
+    assert!(!mitm.saw_bytes(b"account balance"));
+}
+
+#[test]
+fn injected_records_are_rejected_before_reaching_the_client_handler() {
+    let server = WedgeApache::new(
+        Wedge::init(),
+        keypair(6),
+        PageStore::sample(),
+        ApacheConfig::default(),
+    )
+    .unwrap();
+    let (client_link, server_link) = duplex_pair("client", "server");
+    let report = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let handle = scope.spawn(move || server_ref.serve_connection(server_link).unwrap());
+        let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(7));
+        let mut conn = client.connect(&client_link).unwrap();
+        // The attacker injects garbage "ciphertext" into the established
+        // connection before the real request.
+        client_link.send(b"attacker-injected-record-without-a-valid-mac").unwrap();
+        conn.send(&client_link, b"GET /index.html HTTP/1.0\r\n\r\n").unwrap();
+        let response = conn.recv(&client_link).unwrap();
+        assert!(response.starts_with(b"HTTP/1.0 200"));
+        drop(conn);
+        drop(client_link);
+        handle.join().unwrap()
+    });
+    assert!(report.handshake_ok);
+    assert_eq!(report.rejected_records, 1, "the injected record was dropped by ssl_read");
+    assert_eq!(report.requests, 1, "the legitimate request was still served");
+}

@@ -1,0 +1,159 @@
+//! End-to-end security properties of the OpenSSH case study (§5.2).
+
+use wedge::core::{Exploit, Uid, Wedge};
+use wedge::crypto::{RsaKeyPair, WedgeRng};
+use wedge::net::duplex_pair;
+use wedge::ssh::authdb::ServerConfig;
+use wedge::ssh::privsep::{demonstrate_scratch_leak, monitor_lookup_user, probing_leak_exists, wedge_lookup_user};
+use wedge::ssh::{AuthDb, SshClient, VanillaSsh, WedgeSsh};
+
+fn wedged_server(seed: u64) -> WedgeSsh {
+    WedgeSsh::new(
+        Wedge::init(),
+        RsaKeyPair::generate(&mut WedgeRng::from_seed(seed)),
+        &AuthDb::sample(),
+        &ServerConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn monolithic_sshd_exploit_discloses_key_and_shadow_but_wedge_does_not() {
+    // Baseline: everything readable.
+    let vanilla = VanillaSsh::new(
+        Wedge::init(),
+        RsaKeyPair::generate(&mut WedgeRng::from_seed(1)),
+        AuthDb::sample(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let key = vanilla.key_buf();
+    let shadow = vanilla.shadow_buf();
+    let policy = vanilla.worker_policy();
+    let (got_key, got_shadow) = vanilla
+        .wedge()
+        .root()
+        .sthread_create("exploited-monolith", &policy, move |ctx| {
+            let mut e = Exploit::seize(ctx);
+            (e.try_read(&key).is_ok(), e.try_read(&shadow).is_ok())
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(got_key && got_shadow);
+
+    // Wedge partitioning: the worker reaches neither.
+    let server = wedged_server(2);
+    let key = server.host_key_buf();
+    let shadow = server.shadow_buf();
+    let policy = server.worker_policy();
+    let (key_denied, shadow_denied) = server
+        .wedge()
+        .root()
+        .sthread_create("exploited-worker", &policy, move |ctx| {
+            let mut e = Exploit::seize(ctx);
+            (e.try_read(&key).is_err(), e.try_read(&shadow).is_err())
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(key_denied && shadow_denied);
+}
+
+#[test]
+fn authentication_cannot_be_bypassed_by_an_exploited_worker() {
+    let server = wedged_server(3);
+    let (client_link, server_link) = duplex_pair("client", "sshd");
+    let handle = server.serve_connection(server_link).unwrap();
+    let mut client = SshClient::new();
+    client.connect(&client_link).unwrap();
+
+    // "Skipping" authentication by never invoking a callgate leaves the
+    // worker at the unprivileged uid, so commands are refused.
+    let refused = client.exec(&client_link, "echo give me a shell").unwrap();
+    assert_eq!(refused, "permission denied");
+
+    // A failed authentication leaves it unprivileged too.
+    let (ok, uid, _) = client.auth_password(&client_link, "alice", "nope").unwrap();
+    assert!(!ok);
+    assert_eq!(uid, 0);
+    let refused = client.exec(&client_link, "whoami").unwrap();
+    assert_eq!(refused, "permission denied");
+
+    // Only a successful callgate authentication escalates the worker.
+    let (ok, uid, _) = client
+        .auth_password(&client_link, "alice", "correct horse battery")
+        .unwrap();
+    assert!(ok);
+    assert_eq!(uid, 1001);
+    let whoami = client.exec(&client_link, "whoami").unwrap();
+    assert!(whoami.contains("uid=1001"));
+    assert!(whoami.contains("/home/alice"));
+
+    client.disconnect(&client_link).unwrap();
+    let report = handle.join().unwrap();
+    assert!(report.authenticated);
+    // The kernel's view agrees: the worker's uid was changed by the callgate.
+    assert_ne!(report.uid, 0);
+}
+
+#[test]
+fn worker_runs_unprivileged_with_an_empty_filesystem_root() {
+    let server = wedged_server(4);
+    let policy = server.worker_policy();
+    assert_eq!(policy.uid, wedge::ssh::server::UNPRIVILEGED_UID);
+    assert_eq!(policy.fs_root, "/var/empty");
+    assert!(policy.mem_grants().is_empty(), "no credential store is directly granted");
+    assert_eq!(policy.callgate_grants().len(), 4);
+
+    // And it cannot escalate itself.
+    let escalated = server
+        .wedge()
+        .root()
+        .sthread_create("worker", &policy, |ctx| {
+            ctx.transition_identity(ctx.id(), Uid::ROOT, Some("/")).is_ok()
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+    assert!(!escalated);
+}
+
+#[test]
+fn username_probing_and_pam_scratch_lessons_hold() {
+    let db = AuthDb::sample();
+    let shadow = AuthDb::parse_shadow(&db.serialize_shadow());
+    // Privilege-separated OpenSSH's monitor leaks username validity...
+    assert!(probing_leak_exists(
+        |user| monitor_lookup_user(&shadow, user),
+        "alice",
+        "mallory"
+    ));
+    // ...the Wedge password callgate does not.
+    assert!(!probing_leak_exists(
+        |user| Some(wedge_lookup_user(&shadow, user)),
+        "alice",
+        "mallory"
+    ));
+
+    // Fork-inherited scratch memory leaks; callgate-private scratch does not.
+    let outcome = demonstrate_scratch_leak(&Wedge::init()).unwrap();
+    assert!(outcome.forked_child_reads_scratch);
+    assert!(!outcome.sthread_reads_callgate_scratch);
+}
+
+#[test]
+fn host_key_is_used_only_through_the_signing_callgate() {
+    let server = wedged_server(5);
+    let (client_link, server_link) = duplex_pair("client", "sshd");
+    let handle = server.serve_connection(server_link).unwrap();
+    let mut client = SshClient::new();
+    let hello = client.connect(&client_link).unwrap();
+    // The host proof verifies against the advertised public key, so the
+    // worker did obtain a signature — but only over a hash the callgate
+    // computed, never the key itself.
+    assert!(hello.host_proof_valid);
+    assert_eq!(hello.host_key, server.host_public());
+    client.disconnect(&client_link).unwrap();
+    handle.join().unwrap();
+}

@@ -1,0 +1,208 @@
+//! The §7 static-vs-dynamic analysis comparison as an end-to-end workflow.
+//!
+//! The paper argues for run-time analysis: a trace from an innocuous
+//! workload yields only the privileges needed for correct execution of that
+//! workload, while static analysis yields the exhaustive superset — which
+//! "could well include privileges for sensitive data that could allow an
+//! exploit to leak that data". These tests run a small legacy-style
+//! application under cb-log, build static program models from its traces,
+//! and check both halves of that argument against the live kernel:
+//!
+//! 1. the static grant set always covers the dynamic one (no protection
+//!    violations under the static policy), and
+//! 2. the static policy hands an exploited worker the sensitive tag that the
+//!    dynamic (innocuous-workload) policy withholds.
+
+use wedge::core::{Exploit, Wedge, WedgeError};
+use wedge::crowbar::static_analysis::ProgramModel;
+use wedge::crowbar::{CbLog, ItemKey};
+
+/// The "legacy application": a request handler that always touches the
+/// request buffer and the session state, and only on the (rare) admin path
+/// reads the private key to re-sign the configuration.
+struct LegacyApp {
+    wedge: Wedge,
+    request_tag: wedge::core::Tag,
+    session_tag: wedge::core::Tag,
+    key_tag: wedge::core::Tag,
+    request: wedge::core::SBuf,
+    session: wedge::core::SBuf,
+    key: wedge::core::SBuf,
+}
+
+impl LegacyApp {
+    fn new() -> LegacyApp {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let request_tag = root.tag_new().unwrap();
+        let session_tag = root.tag_new().unwrap();
+        let key_tag = root.tag_new().unwrap();
+        let request = root.smalloc_init(request_tag, b"GET /index.html").unwrap();
+        let session = root.smalloc(64, session_tag).unwrap();
+        let key = root.smalloc_init(key_tag, b"-----PRIVATE KEY-----").unwrap();
+        LegacyApp {
+            wedge,
+            request_tag,
+            session_tag,
+            key_tag,
+            request,
+            session,
+            key,
+        }
+    }
+
+    /// One request, as the monolithic code would run it.
+    fn handle_request(&self, ctx: &wedge::core::SthreadCtx, admin: bool) -> Result<(), WedgeError> {
+        let _f = ctx.trace_fn("handle_request");
+        {
+            let _p = ctx.trace_fn("parse_request");
+            ctx.read_all(&self.request)?;
+        }
+        {
+            let _s = ctx.trace_fn("update_session");
+            ctx.write(&self.session, 0, b"session-state")?;
+        }
+        if admin {
+            let _a = ctx.trace_fn("resign_config");
+            ctx.read_all(&self.key)?;
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn static_policy_covers_every_workload_but_grants_the_sensitive_tag() {
+    let app = LegacyApp::new();
+    let root = app.wedge.root();
+    let log = CbLog::new();
+    log.install(app.wedge.kernel());
+
+    // Trace an ordinary workload and (separately) the rare admin workload.
+    app.handle_request(&root, false).unwrap();
+    let innocuous_trace = log.snapshot();
+    log.clear();
+    app.handle_request(&root, true).unwrap();
+    let admin_trace = log.snapshot();
+    CbLog::uninstall(app.wedge.kernel());
+
+    // Static model: the union of everything any workload can do — what a
+    // whole-program static analysis would see in the source.
+    let mut model = ProgramModel::from_trace(&innocuous_trace);
+    model.merge(&ProgramModel::from_trace(&admin_trace));
+
+    // (1) Superset property against the innocuous run.
+    let cmp = model.compare_with_trace("handle_request", &innocuous_trace);
+    assert!(cmp.is_superset());
+
+    // (2) The over-approximation is exactly the sensitive item: the private
+    // key the innocuous workload never touched.
+    let sensitive: Vec<ItemKey> = cmp
+        .static_only
+        .iter()
+        .filter(|item| matches!(item, ItemKey::Alloc { tag, .. } if *tag == app.key_tag))
+        .cloned()
+        .collect();
+    assert_eq!(
+        cmp.excess_sensitive(&sensitive).len(),
+        1,
+        "static analysis grants the key tag even though the innocuous run never needed it"
+    );
+
+    // Dynamic policy (paper's recommendation): derived from the innocuous
+    // trace only. Static policy: derived from the exhaustive model.
+    let dynamic_policy = innocuous_trace
+        .suggest_policy("handle_request")
+        .to_security_policy();
+    let static_policy = model.suggest_policy("handle_request").to_security_policy();
+
+    assert!(dynamic_policy.mem_grant(app.request_tag).is_some());
+    assert!(dynamic_policy.mem_grant(app.session_tag).is_some());
+    assert!(dynamic_policy.mem_grant(app.key_tag).is_none());
+    assert!(static_policy.mem_grant(app.key_tag).is_some());
+
+    // Both policies let the ordinary request path run without faults...
+    for (name, policy) in [
+        ("worker-dynamic", dynamic_policy.clone()),
+        ("worker-static", static_policy.clone()),
+    ] {
+        let request = app.request;
+        let session = app.session;
+        let handle = root
+            .sthread_create(name, &policy, move |ctx| {
+                let _f = ctx.trace_fn("handle_request");
+                ctx.read_all(&request)?;
+                ctx.write(&session, 0, b"fresh")?;
+                Ok::<_, WedgeError>(())
+            })
+            .unwrap();
+        assert!(handle.join().unwrap().is_ok(), "{name} must run cleanly");
+    }
+
+    // ...but an exploited worker leaks the private key only under the static
+    // policy. This is the paper's §7 argument in executable form.
+    let key = app.key;
+    for (name, policy, expect_leak) in [
+        ("exploited-dynamic", dynamic_policy, false),
+        ("exploited-static", static_policy, true),
+    ] {
+        let handle = root
+            .sthread_create(name, &policy, move |ctx| {
+                let mut exploit = Exploit::seize(ctx);
+                exploit.try_read(&key).is_ok()
+            })
+            .unwrap();
+        let leaked = handle.join().unwrap();
+        assert_eq!(
+            leaked, expect_leak,
+            "{name}: key readable={leaked}, expected {expect_leak}"
+        );
+    }
+}
+
+#[test]
+fn unresolved_library_calls_are_surfaced_to_the_programmer() {
+    // When the traced code calls into something the model has no body for
+    // (the analogue of a binary-only library), the analyser reports it so the
+    // programmer knows the static footprint may be incomplete.
+    let mut model = ProgramModel::new();
+    model
+        .procedure("handle_request")
+        .calls("parse_request")
+        .calls("libssl_EVP_DigestSign");
+    model.procedure("parse_request");
+    let unresolved = model.unresolved_calls("handle_request");
+    assert_eq!(unresolved.len(), 1);
+    assert!(unresolved.contains("libssl_EVP_DigestSign"));
+}
+
+#[test]
+fn per_workload_models_merge_like_traces_do() {
+    // The static analogue of "run the application on diverse innocuous
+    // workloads and aggregate": models inferred from separate runs merge
+    // into one whose footprint covers both runs.
+    let app = LegacyApp::new();
+    let root = app.wedge.root();
+    let log = CbLog::new();
+    log.install(app.wedge.kernel());
+
+    app.handle_request(&root, false).unwrap();
+    let run_a = log.snapshot();
+    log.clear();
+    app.handle_request(&root, true).unwrap();
+    let run_b = log.snapshot();
+    CbLog::uninstall(app.wedge.kernel());
+
+    let model_a = ProgramModel::from_trace(&run_a);
+    let model_b = ProgramModel::from_trace(&run_b);
+    assert!(model_a
+        .compare_with_trace("handle_request", &run_b)
+        .dynamic_only
+        .iter()
+        .any(|item| matches!(item, ItemKey::Alloc { tag, .. } if *tag == app.key_tag)),
+        "the innocuous-run model alone does not cover the admin run");
+
+    let mut merged = model_a;
+    merged.merge(&model_b);
+    assert!(merged.compare_with_trace("handle_request", &run_a).is_superset());
+    assert!(merged.compare_with_trace("handle_request", &run_b).is_superset());
+}
