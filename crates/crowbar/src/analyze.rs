@@ -471,10 +471,17 @@ mod tests {
     #[test]
     fn itemkey_display_is_readable() {
         assert_eq!(
-            ItemKey::Alloc { tag: Tag(3), alloc_offset: 16 }.to_string(),
+            ItemKey::Alloc {
+                tag: Tag(3),
+                alloc_offset: 16
+            }
+            .to_string(),
             "heap tag3+16"
         );
         assert_eq!(ItemKey::Global("cfg".into()).to_string(), "global cfg");
-        assert_eq!(ItemKey::Fd("/etc/shadow".into()).to_string(), "fd /etc/shadow");
+        assert_eq!(
+            ItemKey::Fd("/etc/shadow".into()).to_string(),
+            "fd /etc/shadow"
+        );
     }
 }

@@ -118,7 +118,11 @@ impl CbLog {
 
     /// The allocation site (if known) for a given tag + allocation offset.
     pub fn site_for(&self, tag: Tag, alloc_offset: usize) -> Option<AllocationSite> {
-        self.state.lock().allocations.get(&(tag, alloc_offset)).cloned()
+        self.state
+            .lock()
+            .allocations
+            .get(&(tag, alloc_offset))
+            .cloned()
     }
 
     /// All violations observed (both denied and emulation-permitted).

@@ -532,7 +532,10 @@ mod tests {
     #[test]
     fn unresolved_callees_are_reported() {
         let mut model = ProgramModel::new();
-        model.procedure("main").calls("helper").calls("libssl_internal");
+        model
+            .procedure("main")
+            .calls("helper")
+            .calls("libssl_internal");
         model.procedure("helper").calls("libz_inflate");
         let unresolved = model.unresolved_calls("main");
         assert!(unresolved.contains("libssl_internal"));
@@ -599,11 +602,7 @@ mod tests {
     /// the password database and mailbox are never touched.
     fn innocuous_trace() -> Trace {
         let records = vec![
-            record(
-                &["client_handler"],
-                &heap(1, 0),
-                AccessMode::Write,
-            ),
+            record(&["client_handler"], &heap(1, 0), AccessMode::Write),
             record(
                 &["client_handler", "parse_command"],
                 &heap(1, 0),

@@ -44,7 +44,12 @@ struct ModelSpec {
 fn arb_model_spec() -> impl Strategy<Value = ModelSpec> {
     let edges = prop::collection::vec((0usize..PROC_NAMES.len(), 0usize..PROC_NAMES.len()), 0..12);
     let accesses = prop::collection::vec(
-        (0usize..PROC_NAMES.len(), arb_item(), arb_mode(), any::<bool>()),
+        (
+            0usize..PROC_NAMES.len(),
+            arb_item(),
+            arb_mode(),
+            any::<bool>(),
+        ),
         1..20,
     );
     (edges, accesses).prop_map(|(edges, accesses)| ModelSpec { edges, accesses })
@@ -102,12 +107,7 @@ fn record_for(root: &str, procedure: &str, item: &ItemKey, mode: AccessMode) -> 
 /// Build a dynamic trace that executes an arbitrary subset of the model's
 /// access sites, restricted to procedures reachable from `root` (a dynamic
 /// run can only execute code the root actually reaches).
-fn execute_subset(
-    model: &ProgramModel,
-    spec: &ModelSpec,
-    root: &str,
-    selector: &[bool],
-) -> Trace {
+fn execute_subset(model: &ProgramModel, spec: &ModelSpec, root: &str, selector: &[bool]) -> Trace {
     let reachable = model.reachable_from(root);
     let mut records = Vec::new();
     for (i, (proc_idx, item, mode, _conditional)) in spec.accesses.iter().enumerate() {

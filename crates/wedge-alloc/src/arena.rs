@@ -63,10 +63,15 @@ impl fmt::Display for AllocError {
             ),
             AllocError::ZeroSize => write!(f, "zero-sized allocation"),
             AllocError::SegmentTooSmall(sz) => {
-                write!(f, "segment of {sz} bytes is smaller than the {MIN_SEGMENT_SIZE}-byte minimum")
+                write!(
+                    f,
+                    "segment of {sz} bytes is smaller than the {MIN_SEGMENT_SIZE}-byte minimum"
+                )
             }
             AllocError::InvalidPointer(off) => write!(f, "invalid pointer at offset {off}"),
-            AllocError::Corrupted { offset } => write!(f, "corrupted chunk header at offset {offset}"),
+            AllocError::Corrupted { offset } => {
+                write!(f, "corrupted chunk header at offset {offset}")
+            }
         }
     }
 }
@@ -487,7 +492,10 @@ mod tests {
         let mut a = Arena::new(256).unwrap();
         let err = a.alloc(10_000).unwrap_err();
         match err {
-            AllocError::OutOfMemory { requested, largest_free } => {
+            AllocError::OutOfMemory {
+                requested,
+                largest_free,
+            } => {
                 assert_eq!(requested, 10_000);
                 assert!(largest_free > 0);
             }

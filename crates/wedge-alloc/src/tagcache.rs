@@ -106,9 +106,8 @@ impl TagCache {
     }
 
     fn template_for(&mut self, capacity: usize) -> Result<&[u8], AllocError> {
-        if !self.templates.contains_key(&capacity) {
-            let template = Arena::template(capacity)?;
-            self.templates.insert(capacity, template);
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.templates.entry(capacity) {
+            slot.insert(Arena::template(capacity)?);
         }
         Ok(self.templates.get(&capacity).expect("just inserted"))
     }
@@ -194,7 +193,11 @@ mod tests {
         cache.release(seg);
 
         let seg2 = cache.acquire(4096).unwrap();
-        assert_ne!(seg2.id(), old_id, "recycled segment must get a fresh identity");
+        assert_ne!(
+            seg2.id(),
+            old_id,
+            "recycled segment must get a fresh identity"
+        );
         assert_eq!(seg2.generation(), 2);
         assert!(
             !seg2.arena().data().windows(7).any(|w| w == b"privkey"),

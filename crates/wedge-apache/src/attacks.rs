@@ -49,7 +49,8 @@ pub fn decrypt_observed_client_records(keys: &KeyMaterial, mitm: &Mitm) -> Vec<V
     // it tries every message at every plausible sequence number.
     for record in &records {
         for seq in 0..records.len() as u64 {
-            let mut layer = RecordLayer::resume(&keys.client_write_key, &keys.client_mac_key, 0, seq);
+            let mut layer =
+                RecordLayer::resume(&keys.client_write_key, &keys.client_mac_key, 0, seq);
             if let Ok(plaintext) = layer.open(record) {
                 recovered.push(plaintext);
                 break;

@@ -1,0 +1,271 @@
+//! The pooled-concurrent HTTPS front-end.
+//!
+//! A single [`WedgeApache`] instance owns per-connection tagged regions
+//! (`session_state`, the current-link slot), so it can only drive one
+//! connection at a time — the sequential-service limitation called out in
+//! the scheduler issue. [`ConcurrentApache`] lifts that limit with
+//! `wedge-sched`: it pre-builds a pool of N partitioned server instances
+//! (all sharing one certificate keypair, each with recycled callgates kept
+//! warm across the connections it serves — the single-machine analogue of
+//! one worker process per core) and drives incoming connections through a
+//! work-stealing [`Scheduler`] whose admission control rejects load the
+//! pool cannot absorb.
+//!
+//! Isolation is unchanged: every instance still enforces the full §5.1.2
+//! partitioning inside its own simulated kernel. What is shared across
+//! connections is only what the recycled mode already shares — and
+//! `wedge-sched`'s checkin zeroization story applies to the pooled-worker
+//! layer underneath (see `crates/wedge-sched/README.md`).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use wedge_core::{KernelStats, Wedge, WedgeError};
+use wedge_crypto::{RsaKeyPair, RsaPublicKey};
+use wedge_net::Duplex;
+use wedge_sched::{InstancePool, JobHandle, SchedStats, Scheduler, SchedulerConfig};
+
+use crate::http::PageStore;
+use crate::partitioned::{ApacheConfig, ConnectionReport, WedgeApache};
+
+/// Configuration of the pooled-concurrent front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentApacheConfig {
+    /// Server instances in the pool — also the scheduler worker count, so a
+    /// running connection job can always claim an instance.
+    pub workers: usize,
+    /// Bounded per-worker run-queue capacity.
+    pub queue_capacity: usize,
+    /// Admission limit on in-flight connections (`None`: only the bounded
+    /// queues push back).
+    pub max_pending: Option<u64>,
+    /// Run each instance's callgates in recycled mode (the Table 2 fast
+    /// path; the default for the pooled front-end).
+    pub recycled: bool,
+}
+
+impl Default for ConcurrentApacheConfig {
+    fn default() -> Self {
+        ConcurrentApacheConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_pending: None,
+            recycled: true,
+        }
+    }
+}
+
+/// N partitioned HTTPS servers behind one scheduler.
+pub struct ConcurrentApache {
+    servers: Vec<Arc<WedgeApache>>,
+    pool: Arc<InstancePool>,
+    sched: Scheduler,
+    public_key: RsaPublicKey,
+}
+
+impl ConcurrentApache {
+    /// Build `config.workers` partitioned instances sharing `keypair` and
+    /// `pages`, plus the scheduler that multiplexes connections over them.
+    pub fn new(
+        keypair: RsaKeyPair,
+        pages: PageStore,
+        config: ConcurrentApacheConfig,
+    ) -> Result<ConcurrentApache, WedgeError> {
+        let workers = config.workers.max(1);
+        let mut servers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            servers.push(Arc::new(WedgeApache::new(
+                Wedge::init(),
+                keypair,
+                pages.clone(),
+                ApacheConfig {
+                    recycled: config.recycled,
+                },
+            )?));
+        }
+        Ok(ConcurrentApache {
+            servers,
+            pool: Arc::new(InstancePool::new(workers)),
+            sched: Scheduler::new(SchedulerConfig {
+                workers,
+                queue_capacity: config.queue_capacity,
+                max_pending: config.max_pending,
+            }),
+            public_key: keypair.public,
+        })
+    }
+
+    /// The shared certificate public key clients pin.
+    pub fn public_key(&self) -> RsaPublicKey {
+        self.public_key
+    }
+
+    /// Pool width (instances == scheduler workers).
+    pub fn workers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Scheduler counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Kernel counters summed across every pooled instance.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for server in &self.servers {
+            total += &server.wedge().kernel().stats();
+        }
+        total
+    }
+
+    /// The one connection-job body: claim an instance (guard releases it
+    /// even if `serve_connection` panics), serve, return the report. The
+    /// link lives in a shared slot so a rejected submission does not consume
+    /// it and the submit can be retried.
+    fn submit_slot(
+        &self,
+        slot: Arc<Mutex<Option<Duplex>>>,
+    ) -> Result<JobHandle<Result<ConnectionReport, WedgeError>>, WedgeError> {
+        let servers = self.servers.clone();
+        let pool = self.pool.clone();
+        self.sched.submit(move || {
+            let link = slot.lock().take().expect("link present when job runs");
+            let claim = pool.claim();
+            servers[claim.index()].serve_connection(link)
+        })
+    }
+
+    /// Submit one connection for service. The job claims a free instance
+    /// (always available to a *running* job, since instances == workers),
+    /// serves the connection end to end, and returns the instance.
+    ///
+    /// Fails with [`WedgeError::ResourceExhausted`] when admission control
+    /// rejects the connection — the caller sheds the connection instead of
+    /// queuing it unboundedly.
+    pub fn serve(
+        &self,
+        link: Duplex,
+    ) -> Result<JobHandle<Result<ConnectionReport, WedgeError>>, WedgeError> {
+        self.submit_slot(Arc::new(Mutex::new(Some(link))))
+    }
+
+    /// Convenience driver: serve every link, backing off briefly whenever
+    /// admission pushes back (blocking semantics for batch callers like the
+    /// benches), and return the per-connection outcomes in submit order.
+    pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<ConnectionReport, WedgeError>> {
+        let mut handles = Vec::with_capacity(links.len());
+        for link in links {
+            let slot = Arc::new(Mutex::new(Some(link)));
+            let handle = loop {
+                match self.submit_slot(slot.clone()) {
+                    Ok(handle) => break Ok(handle),
+                    Err(WedgeError::ResourceExhausted { .. }) => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Err(other) => break Err(other),
+                }
+            };
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|handle| handle.and_then(|h| h.join()).and_then(|report| report))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_crypto::WedgeRng;
+    use wedge_net::duplex_pair;
+    use wedge_tls::TlsClient;
+
+    fn run_connections(server: &ConcurrentApache, count: usize) -> Vec<ConnectionReport> {
+        let mut client_links = Vec::new();
+        let mut server_links = Vec::new();
+        for i in 0..count {
+            let (c, s) = duplex_pair(&format!("client-{i}"), &format!("server-{i}"));
+            client_links.push(c);
+            server_links.push(s);
+        }
+        let public_key = server.public_key();
+        let clients: Vec<_> = client_links
+            .into_iter()
+            .enumerate()
+            .map(|(i, link)| {
+                std::thread::spawn(move || {
+                    let mut client =
+                        TlsClient::new(public_key, WedgeRng::from_seed(100 + i as u64));
+                    let mut conn = client.connect(&link).expect("handshake");
+                    conn.send(&link, b"GET /index.html HTTP/1.0\r\n\r\n")
+                        .expect("send");
+                    let response = conn.recv(&link).expect("response");
+                    assert!(response.starts_with(b"HTTP/1.0 200 OK"));
+                })
+            })
+            .collect();
+        let reports: Vec<_> = server
+            .serve_all(server_links)
+            .into_iter()
+            .map(|r| r.expect("connection served"))
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        reports
+    }
+
+    #[test]
+    fn pool_serves_many_simultaneous_connections() {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(41));
+        let server = ConcurrentApache::new(
+            keypair,
+            PageStore::sample(),
+            ConcurrentApacheConfig {
+                workers: 4,
+                ..ConcurrentApacheConfig::default()
+            },
+        )
+        .unwrap();
+        let reports = run_connections(&server, 12);
+        assert_eq!(reports.len(), 12);
+        assert!(reports.iter().all(|r| r.handshake_ok && r.requests == 1));
+
+        let sched = server.sched_stats();
+        assert_eq!(sched.submitted, 12);
+        assert_eq!(sched.completed, 12);
+        assert_eq!(sched.rejected, 0);
+
+        // Each connection runs the two-phase §5.1.2 partitioning.
+        let kernel = server.kernel_stats();
+        assert_eq!(kernel.sthreads_created, 24);
+        assert!(kernel.recycled_invocations > 0, "pool runs recycled gates");
+    }
+
+    #[test]
+    fn admission_limit_rejects_direct_serves() {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(43));
+        let server = ConcurrentApache::new(
+            keypair,
+            PageStore::sample(),
+            ConcurrentApacheConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_pending: Some(1),
+                recycled: true,
+            },
+        )
+        .unwrap();
+        // One connection whose client never speaks occupies the only slot
+        // until its handshake times out.
+        let (_idle_client, idle_server) = duplex_pair("idle-client", "idle-server");
+        let _busy = server.serve(idle_server).unwrap();
+        let (_c2, s2) = duplex_pair("c2", "s2");
+        let err = server.serve(s2).unwrap_err();
+        assert!(matches!(err, WedgeError::ResourceExhausted { .. }));
+        assert_eq!(server.sched_stats().rejected, 1);
+    }
+}

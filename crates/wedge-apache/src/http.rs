@@ -53,8 +53,14 @@ impl PageStore {
     /// The sample site used by tests and benchmarks.
     pub fn sample() -> PageStore {
         let mut store = PageStore::new();
-        store.add("/", b"<html><body>wedge-apache index</body></html>".to_vec());
-        store.add("/index.html", b"<html><body>wedge-apache index</body></html>".to_vec());
+        store.add(
+            "/",
+            b"<html><body>wedge-apache index</body></html>".to_vec(),
+        );
+        store.add(
+            "/index.html",
+            b"<html><body>wedge-apache index</body></html>".to_vec(),
+        );
         store.add(
             "/account",
             b"<html><body>account balance: 1234.56</body></html>".to_vec(),
@@ -85,11 +91,9 @@ impl PageStore {
         }
         match self.pages.get(&request.path) {
             Some(body) => {
-                let mut response = format!(
-                    "HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n",
-                    body.len()
-                )
-                .into_bytes();
+                let mut response =
+                    format!("HTTP/1.0 200 OK\r\nContent-Length: {}\r\n\r\n", body.len())
+                        .into_bytes();
                 response.extend_from_slice(body);
                 response
             }

@@ -23,6 +23,11 @@
 //!   A constructor flag selects standard or *recycled* callgates (the
 //!   Table 2 "Wedge" vs "Recycled" columns).
 //!
+//! [`concurrent::ConcurrentApache`] is the pooled-concurrent front-end: a
+//! pool of partitioned instances behind a `wedge-sched` work-stealing
+//! scheduler, serving many connections simultaneously with admission
+//! control — the production-scale path the sequential variants lack.
+//!
 //! [`attacks`] drives the exploit and man-in-the-middle scenarios against
 //! each variant, and [`metrics`] reports the partitioning metrics of §5.1.
 
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod attacks;
+pub mod concurrent;
 pub mod http;
 pub mod metrics;
 pub mod partitioned;
@@ -37,6 +43,7 @@ pub mod simple;
 pub mod state;
 pub mod vanilla;
 
+pub use concurrent::{ConcurrentApache, ConcurrentApacheConfig};
 pub use http::{HttpRequest, PageStore};
 pub use partitioned::{ApacheConfig, WedgeApache};
 pub use simple::SimpleApache;

@@ -94,16 +94,29 @@ pub fn measured_apache() -> PartitioningMetrics {
 
     // Callgate code: from the "Callgate bodies" marker to the test module.
     let callgate_loc = lines_between(partitioned, "// Callgate bodies", "#[cfg(test)]")
-        + lines_between(simple, "/// The privileged callgate body.", "/// The unprivileged per-connection worker.");
+        + lines_between(
+            simple,
+            "/// The privileged callgate body.",
+            "/// The unprivileged per-connection worker.",
+        );
     // Sthread code: the handshake and client-handler sthread bodies plus the
     // protocol-parsing code they use.
-    let sthread_loc = lines_between(partitioned, "/// The network-facing handshake sthread", "// Callgate bodies")
-        + lines_between(simple, "/// The unprivileged per-connection worker.", "#[cfg(test)]")
-        + count_lines(http);
+    let sthread_loc = lines_between(
+        partitioned,
+        "/// The network-facing handshake sthread",
+        "// Callgate bodies",
+    ) + lines_between(
+        simple,
+        "/// The unprivileged per-connection worker.",
+        "#[cfg(test)]",
+    ) + count_lines(http);
     // "Changed" lines: the partitioning-specific glue (policies, regions,
     // state serialisation) as opposed to protocol logic shared with vanilla.
-    let changed_loc = lines_between(partitioned, "impl WedgeApache {", "/// Outcome of the handshake sthread.")
-        + count_lines(state);
+    let changed_loc = lines_between(
+        partitioned,
+        "impl WedgeApache {",
+        "/// Outcome of the handshake sthread.",
+    ) + count_lines(state);
     let total_loc = count_lines(partitioned)
         + count_lines(simple)
         + count_lines(vanilla)

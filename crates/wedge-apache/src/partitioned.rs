@@ -302,7 +302,11 @@ impl WedgeApache {
     fn reset_regions(&self) -> Result<(), WedgeError> {
         let root = self.wedge.root();
         root.write(&self.session_state, 0, &SessionState::default().to_bytes())?;
-        root.write(&self.finished_state, 0, &FinishedState::default().to_bytes())?;
+        root.write(
+            &self.finished_state,
+            0,
+            &FinishedState::default().to_bytes(),
+        )?;
         Ok(())
     }
 
@@ -332,14 +336,22 @@ impl WedgeApache {
         };
 
         let mut policy = SecurityPolicy::deny_all();
-        policy.sc_cgate_add(self.gates.begin_handshake, key_gate.clone(), Some(key_trusted()));
+        policy.sc_cgate_add(
+            self.gates.begin_handshake,
+            key_gate.clone(),
+            Some(key_trusted()),
+        );
         policy.sc_cgate_add(self.gates.setup_session_key, key_gate, Some(key_trusted()));
         policy.sc_cgate_add(
             self.gates.receive_finished,
             finished_gate.clone(),
             Some(finished_trusted()),
         );
-        policy.sc_cgate_add(self.gates.send_finished, finished_gate, Some(finished_trusted()));
+        policy.sc_cgate_add(
+            self.gates.send_finished,
+            finished_gate,
+            Some(finished_trusted()),
+        );
         policy
     }
 
@@ -373,11 +385,12 @@ impl WedgeApache {
         let gates = self.gates;
         let recycled = self.config.recycled;
         let handshake_link = link.clone();
-        let handshake = self.wedge.root().sthread_create(
-            "ssl-handshake",
-            &handshake_policy,
-            move |ctx| handshake_main(ctx, &handshake_link, gates, recycled),
-        )?;
+        let handshake =
+            self.wedge
+                .root()
+                .sthread_create("ssl-handshake", &handshake_policy, move |ctx| {
+                    handshake_main(ctx, &handshake_link, gates, recycled)
+                })?;
         let outcome = handshake.join()?;
         let Ok(outcome) = outcome else {
             *self.current_link.lock() = None;
@@ -389,11 +402,12 @@ impl WedgeApache {
         // Phase 2: the client handler sthread (no network, no session key).
         let handler_policy = self.client_handler_policy();
         let pages = self.pages.clone();
-        let handler = self.wedge.root().sthread_create(
-            "client-handler",
-            &handler_policy,
-            move |ctx| client_handler_main(ctx, gates, recycled, &pages),
-        )?;
+        let handler =
+            self.wedge
+                .root()
+                .sthread_create("client-handler", &handler_policy, move |ctx| {
+                    client_handler_main(ctx, gates, recycled, &pages)
+                })?;
         let (served, rejected) = handler.join()?;
         report.requests = served;
         report.rejected_records = rejected;
@@ -493,8 +507,8 @@ fn handshake_main(
         return Err("client Finished did not verify".to_string());
     }
 
-    let sealed_server_finished: Vec<u8> = call(ctx, recycled, gates.send_finished, Box::new(()))
-        .map_err(|e| e.to_string())?;
+    let sealed_server_finished: Vec<u8> =
+        call(ctx, recycled, gates.send_finished, Box::new(())).map_err(|e| e.to_string())?;
     link.send(&sealed_server_finished)
         .map_err(|e| e.to_string())?;
 
@@ -720,7 +734,11 @@ fn ssl_read(ctx: &SthreadCtx, trusted: &IoGateTrusted) -> Result<SslReadReply, W
     }
 }
 
-fn ssl_write(ctx: &SthreadCtx, trusted: &IoGateTrusted, plaintext: &[u8]) -> Result<bool, WedgeError> {
+fn ssl_write(
+    ctx: &SthreadCtx,
+    trusted: &IoGateTrusted,
+    plaintext: &[u8],
+) -> Result<bool, WedgeError> {
     let mut state = load_session(ctx, &trusted.session_state)?;
     if !state.established {
         return Ok(false);
@@ -761,8 +779,11 @@ mod tests {
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| server.serve_connection(server_link).unwrap());
             let mut conn = client.connect(&client_link).unwrap();
-            conn.send(&client_link, format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
-                .unwrap();
+            conn.send(
+                &client_link,
+                format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes(),
+            )
+            .unwrap();
             let response = conn.recv(&client_link).unwrap();
             drop(conn);
             drop(client_link);
@@ -807,7 +828,10 @@ mod tests {
         assert!(response.starts_with(b"HTTP/1.0 200 OK"));
         let (second, response2) = run_one_request(&server, &mut client, "/account");
         assert!(second.handshake_ok);
-        assert!(second.resumed, "second connection must hit the session cache");
+        assert!(
+            second.resumed,
+            "second connection must hit the session cache"
+        );
         assert!(response2.windows(7).any(|w| w == b"balance"));
         assert!(server.wedge().kernel().stats().recycled_invocations > 0);
     }

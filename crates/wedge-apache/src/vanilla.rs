@@ -51,7 +51,11 @@ impl VanillaApache {
     /// Build the server. The private key is written into ordinary server
     /// memory (a tagged region the whole server can read) — the monolithic
     /// arrangement Wedge is designed to replace.
-    pub fn new(wedge: Wedge, keypair: RsaKeyPair, pages: PageStore) -> Result<VanillaApache, WedgeError> {
+    pub fn new(
+        wedge: Wedge,
+        keypair: RsaKeyPair,
+        pages: PageStore,
+    ) -> Result<VanillaApache, WedgeError> {
         let root = wedge.root();
         let key_tag = root.tag_new()?;
         let key_buf = root.smalloc_init(key_tag, &serialize_private_key(&keypair))?;
@@ -132,7 +136,8 @@ mod tests {
         let handle = std::thread::spawn(move || {
             let mut client = TlsClient::new(public, WedgeRng::from_seed(2));
             let mut conn = client.connect(&client_link).unwrap();
-            conn.send(&client_link, b"GET /index.html HTTP/1.0\r\n\r\n").unwrap();
+            conn.send(&client_link, b"GET /index.html HTTP/1.0\r\n\r\n")
+                .unwrap();
             let response = conn.recv(&client_link).unwrap();
             drop(client_link);
             response
@@ -173,11 +178,7 @@ mod tests {
     fn key_region_contains_the_private_key_material() {
         let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(5));
         let server = VanillaApache::new(Wedge::init(), keypair, PageStore::sample()).unwrap();
-        let data = server
-            .wedge()
-            .root()
-            .read_all(&server.key_buf())
-            .unwrap();
+        let data = server.wedge().root().read_all(&server.key_buf()).unwrap();
         assert!(data.starts_with(b"RSA-PRIVATE-KEY:"));
         // The worker policy grants access to it — that is the vulnerability.
         assert!(server

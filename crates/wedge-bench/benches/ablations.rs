@@ -66,7 +66,11 @@ fn ablation_callgate_modes(c: &mut Criterion) {
             .sthread_create("ablation-caller", &caller_policy, move |ctx| {
                 while cmd_rx.recv().is_ok() {
                     let value = if recycled {
-                        ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(3u64))
+                        ctx.cgate_recycled_expect::<u64>(
+                            entry,
+                            &SecurityPolicy::deny_all(),
+                            Box::new(3u64),
+                        )
                     } else {
                         ctx.cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(3u64))
                     }
@@ -113,7 +117,10 @@ fn ablation_cow_vs_rw(c: &mut Criterion) {
     group.sample_size(40);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1200));
-    for (label, prot) in [("read_write_grant", MemProt::ReadWrite), ("cow_grant", MemProt::CopyOnWrite)] {
+    for (label, prot) in [
+        ("read_write_grant", MemProt::ReadWrite),
+        ("cow_grant", MemProt::CopyOnWrite),
+    ] {
         group.bench_function(label, |b| {
             let wedge = Wedge::init();
             let root = wedge.root();

@@ -56,7 +56,11 @@ fn fig7(c: &mut Criterion) {
             .sthread_create("bench-caller", &caller_policy, move |ctx| {
                 while cmd_rx.recv().is_ok() {
                     let result = if recycled {
-                        ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
+                        ctx.cgate_recycled_expect::<u64>(
+                            entry,
+                            &SecurityPolicy::deny_all(),
+                            Box::new(1u64),
+                        )
                     } else {
                         ctx.cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
                     }

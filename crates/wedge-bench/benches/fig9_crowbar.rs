@@ -102,11 +102,15 @@ fn fig9_applications(c: &mut Criterion) {
     // on the *server's* kernel, so every compartment of the Wedge-partitioned
     // sshd runs instrumented (the client is uninstrumented, as in the paper).
     for mode in Mode::all() {
-        group.bench_with_input(BenchmarkId::new("ssh_login", mode.label()), &mode, |b, &mode| {
-            let bed = wedge_bench::SshBed::new(21);
-            install_on_kernel(&bed.kernel(), mode);
-            b.iter(|| bed.login())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ssh_login", mode.label()),
+            &mode,
+            |b, &mode| {
+                let bed = wedge_bench::SshBed::new(21);
+                install_on_kernel(&bed.kernel(), mode);
+                b.iter(|| bed.login())
+            },
+        );
     }
 
     // Apache request under each instrumentation mode.

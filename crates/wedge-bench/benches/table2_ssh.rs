@@ -18,9 +18,11 @@ fn table2_ssh(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(1200));
 
     for (label, wedged) in [("vanilla", false), ("wedge", true)] {
-        group.bench_with_input(BenchmarkId::new("login_delay", label), &wedged, |b, &wedged| {
-            b.iter(|| ssh_login(wedged))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("login_delay", label),
+            &wedged,
+            |b, &wedged| b.iter(|| ssh_login(wedged)),
+        );
     }
 
     // 10 MB upload, as in the paper. The in-memory link is much faster than

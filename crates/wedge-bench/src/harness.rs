@@ -56,16 +56,26 @@ impl ApacheBed {
                 None,
                 None,
                 Some(
-                    WedgeApache::new(Wedge::init(), keypair, pages, ApacheConfig { recycled: false })
-                        .expect("wedge server"),
+                    WedgeApache::new(
+                        Wedge::init(),
+                        keypair,
+                        pages,
+                        ApacheConfig { recycled: false },
+                    )
+                    .expect("wedge server"),
                 ),
             ),
             ApacheVariant::Recycled => (
                 None,
                 None,
                 Some(
-                    WedgeApache::new(Wedge::init(), keypair, pages, ApacheConfig { recycled: true })
-                        .expect("recycled server"),
+                    WedgeApache::new(
+                        Wedge::init(),
+                        keypair,
+                        pages,
+                        ApacheConfig { recycled: true },
+                    )
+                    .expect("recycled server"),
                 ),
             ),
         };
@@ -129,14 +139,22 @@ impl ApacheBed {
                     let _ = handle.join();
                 }
                 ApacheVariant::Wedge | ApacheVariant::Recycled => {
-                    let _ = partitioned.expect("partitioned").serve_connection(server_link);
+                    let _ = partitioned
+                        .expect("partitioned")
+                        .serve_connection(server_link);
                 }
             });
             let mut conn = self.client.connect(&client_link).expect("handshake");
-            conn.send(&client_link, format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
-                .expect("send request");
+            conn.send(
+                &client_link,
+                format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes(),
+            )
+            .expect("send request");
             let response = conn.recv(&client_link).expect("response");
-            assert!(response.starts_with(b"HTTP/1.0 200"), "request must succeed");
+            assert!(
+                response.starts_with(b"HTTP/1.0 200"),
+                "request must succeed"
+            );
             drop(conn);
             drop(client_link);
             server.join().expect("server thread");

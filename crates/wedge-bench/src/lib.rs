@@ -9,8 +9,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod spec;
 pub mod harness;
+pub mod pooled;
+pub mod spec;
 
 pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, SshBed};
+pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
 pub use spec::{spec_workloads, SpecWorkload};

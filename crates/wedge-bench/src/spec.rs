@@ -26,13 +26,34 @@ pub struct SpecWorkload {
 /// for brevity; so do we).
 pub fn spec_workloads() -> Vec<SpecWorkload> {
     vec![
-        SpecWorkload { name: "mcf", scale: 200 },
-        SpecWorkload { name: "gobmk", scale: 150 },
-        SpecWorkload { name: "quantum", scale: 200 },
-        SpecWorkload { name: "hmmer", scale: 150 },
-        SpecWorkload { name: "sjeng", scale: 150 },
-        SpecWorkload { name: "bzip2", scale: 120 },
-        SpecWorkload { name: "h264ref", scale: 120 },
+        SpecWorkload {
+            name: "mcf",
+            scale: 200,
+        },
+        SpecWorkload {
+            name: "gobmk",
+            scale: 150,
+        },
+        SpecWorkload {
+            name: "quantum",
+            scale: 200,
+        },
+        SpecWorkload {
+            name: "hmmer",
+            scale: 150,
+        },
+        SpecWorkload {
+            name: "sjeng",
+            scale: 150,
+        },
+        SpecWorkload {
+            name: "bzip2",
+            scale: 120,
+        },
+        SpecWorkload {
+            name: "h264ref",
+            scale: 120,
+        },
     ]
 }
 
@@ -78,7 +99,8 @@ fn table_lookup(ctx: &SthreadCtx, tag: Tag, scale: usize) -> Result<u64, WedgeEr
     for i in 0..scale {
         let index = (i * 97) % 1000;
         let value = ctx.read(&buf, index, 4)?;
-        checksum = checksum.wrapping_add(u32::from_le_bytes(value.try_into().expect("4 bytes")) as u64);
+        checksum =
+            checksum.wrapping_add(u32::from_le_bytes(value.try_into().expect("4 bytes")) as u64);
         if i % 7 == 0 {
             ctx.write(&buf, index, &(i as u32).to_le_bytes())?;
         }
@@ -94,7 +116,8 @@ fn streaming_scan(ctx: &SthreadCtx, tag: Tag, scale: usize) -> Result<u64, Wedge
     let mut checksum = 0u64;
     for round in 0..scale / 8 {
         let chunk = ctx.read(&buf, 0, len)?;
-        checksum = checksum.wrapping_add(chunk.iter().map(|&b| b as u64).sum::<u64>() + round as u64);
+        checksum =
+            checksum.wrapping_add(chunk.iter().map(|&b| b as u64).sum::<u64>() + round as u64);
         ctx.write(&buf, (round * 13) % (len - 8), &checksum.to_le_bytes())?;
     }
     Ok(checksum)
@@ -139,7 +162,14 @@ mod tests {
         let sink = std::sync::Arc::new(wedge_core::trace::CountingSink::default());
         wedge.kernel().set_tracer(Some(sink.clone()));
         let root = wedge.root();
-        run_spec(&root, SpecWorkload { name: "mcf", scale: 50 }).unwrap();
+        run_spec(
+            &root,
+            SpecWorkload {
+                name: "mcf",
+                scale: 50,
+            },
+        )
+        .unwrap();
         assert!(
             sink.accesses.load(std::sync::atomic::Ordering::Relaxed) > 50,
             "the tracer must observe the workload's memory accesses"

@@ -67,9 +67,7 @@ impl std::fmt::Debug for TrustedArg {
 /// callgate's — not the caller's — privileges), the kernel-held trusted
 /// argument if any, and the caller's untrusted input.
 pub type CallgateFn = Arc<
-    dyn Fn(&SthreadCtx, Option<&TrustedArg>, CgInput) -> Result<CgOutput, WedgeError>
-        + Send
-        + Sync,
+    dyn Fn(&SthreadCtx, Option<&TrustedArg>, CgInput) -> Result<CgOutput, WedgeError> + Send + Sync,
 >;
 
 /// Helper: build a [`CallgateFn`] from a typed closure, boxing the result.

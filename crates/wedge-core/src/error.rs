@@ -96,17 +96,35 @@ pub enum WedgeError {
 impl std::fmt::Display for WedgeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WedgeError::ProtectionFault { compartment, tag, mode } => {
-                write!(f, "protection fault: {compartment} attempted {mode} on {tag}")
+            WedgeError::ProtectionFault {
+                compartment,
+                tag,
+                mode,
+            } => {
+                write!(
+                    f,
+                    "protection fault: {compartment} attempted {mode} on {tag}"
+                )
             }
-            WedgeError::FdFault { compartment, fd, mode } => {
+            WedgeError::FdFault {
+                compartment,
+                fd,
+                mode,
+            } => {
                 write!(f, "fd fault: {compartment} attempted {mode} on fd{}", fd.0)
             }
-            WedgeError::SyscallDenied { compartment, syscall } => {
+            WedgeError::SyscallDenied {
+                compartment,
+                syscall,
+            } => {
                 write!(f, "syscall denied: {compartment} attempted {syscall:?}")
             }
             WedgeError::CallgateDenied { compartment, entry } => {
-                write!(f, "callgate denied: {compartment} attempted to invoke entry {}", entry.0)
+                write!(
+                    f,
+                    "callgate denied: {compartment} attempted to invoke entry {}",
+                    entry.0
+                )
             }
             WedgeError::PrivilegeEscalation { detail } => {
                 write!(f, "privilege escalation refused: {detail}")
@@ -117,12 +135,17 @@ impl std::fmt::Display for WedgeError {
             WedgeError::UnknownCallgate(e) => write!(f, "unknown callgate entry {}", e.0),
             WedgeError::UnknownGlobal(name) => write!(f, "unknown global '{name}'"),
             WedgeError::OutOfBounds { tag, offset, len } => {
-                write!(f, "out-of-bounds access on {tag}: offset {offset}, len {len}")
+                write!(
+                    f,
+                    "out-of-bounds access on {tag}: offset {offset}, len {len}"
+                )
             }
             WedgeError::Alloc(msg) => write!(f, "allocation failure: {msg}"),
             WedgeError::PrivateTag(t) => write!(f, "{t} is private and cannot be granted"),
             WedgeError::SthreadPanicked(msg) => write!(f, "sthread panicked: {msg}"),
-            WedgeError::BadCallgateValue => write!(f, "callgate returned a value of unexpected type"),
+            WedgeError::BadCallgateValue => {
+                write!(f, "callgate returned a value of unexpected type")
+            }
             WedgeError::IdentityDenied(msg) => write!(f, "identity change denied: {msg}"),
             WedgeError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
             WedgeError::ResourceExhausted {

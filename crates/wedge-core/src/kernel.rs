@@ -23,9 +23,7 @@ use crate::policy::{SecurityPolicy, Uid};
 use crate::sthread::SthreadCtx;
 use crate::syscall::{DomainTransitions, Syscall};
 use crate::tag::{AccessMode, CompartmentId, MemProt, Tag};
-use crate::trace::{
-    AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent,
-};
+use crate::trace::{AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent};
 
 /// Counters describing kernel activity, used by tests and by the experiment
 /// harnesses (e.g. "each request creates two sthreads and invokes eight
@@ -58,6 +56,48 @@ pub struct KernelStats {
     pub fd_reads: u64,
     /// File-descriptor writes.
     pub fd_writes: u64,
+    /// Private-scratch scrubs (zeroize-between-principals on pooled
+    /// recycled workers; see [`crate::RecycledWorkerHandle::scrub`]).
+    pub private_scrubs: u64,
+}
+
+impl std::ops::AddAssign<&KernelStats> for KernelStats {
+    /// Field-wise accumulation, used to aggregate counters across the
+    /// independent kernels of a pooled-instance front-end. The exhaustive
+    /// destructuring (no `..`) makes adding a `KernelStats` field without
+    /// extending this impl a compile error.
+    fn add_assign(&mut self, other: &KernelStats) {
+        let KernelStats {
+            sthreads_created,
+            callgate_invocations,
+            recycled_invocations,
+            tags_created,
+            tags_deleted,
+            smallocs,
+            private_allocs,
+            mem_reads,
+            mem_writes,
+            faults,
+            emulated_violations,
+            fd_reads,
+            fd_writes,
+            private_scrubs,
+        } = other;
+        self.sthreads_created += sthreads_created;
+        self.callgate_invocations += callgate_invocations;
+        self.recycled_invocations += recycled_invocations;
+        self.tags_created += tags_created;
+        self.tags_deleted += tags_deleted;
+        self.smallocs += smallocs;
+        self.private_allocs += private_allocs;
+        self.mem_reads += mem_reads;
+        self.mem_writes += mem_writes;
+        self.faults += faults;
+        self.emulated_violations += emulated_violations;
+        self.fd_reads += fd_reads;
+        self.fd_writes += fd_writes;
+        self.private_scrubs += private_scrubs;
+    }
 }
 
 /// A recorded protection violation (kept by the kernel so Crowbar's
@@ -113,6 +153,21 @@ struct CallgateInstance {
     creator: CompartmentId,
 }
 
+/// How a new child compartment is created, deciding subset validation and
+/// which [`KernelStats`] counter it lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChildKind {
+    /// An application sthread: subset-validated, counts `sthreads_created`.
+    Sthread,
+    /// A callgate activation running an instance policy already validated
+    /// against its creator: no subset check, counts `callgate_invocations`.
+    Activation,
+    /// A pooled recycled worker spawned under an instance policy: no subset
+    /// check, but it is a long-lived sthread, so counts `sthreads_created`
+    /// (invocations are counted per `invoke`, not at pre-warm).
+    PooledWorker,
+}
+
 /// Everything the caller needs to actually run a callgate (returned by
 /// [`Kernel::cgate_prepare`]; the spawn happens in `SthreadCtx`).
 pub(crate) struct PreparedCall {
@@ -142,6 +197,9 @@ struct KernelState {
     callgate_instances: HashMap<(CompartmentId, CgEntryId), CallgateInstance>,
     recycled: HashMap<(CompartmentId, CgEntryId), Arc<RecycledWorker>>,
     fds: HashMap<FdId, FdEntry>,
+    /// Which compartment created each descriptor (scrub removes a pooled
+    /// principal's descriptors on checkin).
+    fd_owners: HashMap<FdId, CompartmentId>,
     globals: HashMap<String, GlobalVar>,
     boundary_tags: HashMap<u32, Tag>,
     /// Per-(compartment, global) private copies (the COW snapshot view).
@@ -181,6 +239,7 @@ impl Kernel {
                 callgate_instances: HashMap::new(),
                 recycled: HashMap::new(),
                 fds: HashMap::new(),
+                fd_owners: HashMap::new(),
                 globals: HashMap::new(),
                 boundary_tags: HashMap::new(),
                 global_overlays: HashMap::new(),
@@ -316,7 +375,7 @@ impl Kernel {
         parent: CompartmentId,
         name: &str,
         policy: &SecurityPolicy,
-        is_activation: bool,
+        kind: ChildKind,
     ) -> Result<CompartmentId, WedgeError> {
         let mut st = self.state.lock();
         let parent_entry = st
@@ -325,7 +384,7 @@ impl Kernel {
             .ok_or(WedgeError::UnknownCompartment(parent))?;
         let parent_policy = parent_entry.policy.clone();
 
-        if !is_activation {
+        if kind == ChildKind::Sthread {
             parent_policy
                 .validate_child(policy, &st.transitions)
                 .map_err(|detail| WedgeError::PrivilegeEscalation { detail })?;
@@ -378,10 +437,9 @@ impl Kernel {
                 alive: true,
             },
         );
-        if is_activation {
-            st.stats.callgate_invocations += 1;
-        } else {
-            st.stats.sthreads_created += 1;
+        match kind {
+            ChildKind::Activation => st.stats.callgate_invocations += 1,
+            ChildKind::Sthread | ChildKind::PooledWorker => st.stats.sthreads_created += 1,
         }
         Ok(id)
     }
@@ -522,7 +580,8 @@ impl Kernel {
                 return Err(WedgeError::UnknownTag(tag));
             }
             match grant {
-                Some(prot) if prot.permits(AccessMode::Write) || prot.permits(AccessMode::Read) => {}
+                Some(prot) if prot.permits(AccessMode::Write) || prot.permits(AccessMode::Read) => {
+                }
                 _ => {
                     return Err(WedgeError::ProtectionFault {
                         compartment: caller,
@@ -669,6 +728,7 @@ impl Kernel {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn emit_access(
         &self,
         caller: CompartmentId,
@@ -717,12 +777,24 @@ impl Kernel {
             if !permitted {
                 let denied = self.deny(&mut st, caller, region.clone(), AccessMode::Read);
                 if let Err(e) = denied {
-                    self.emit_access(caller, &caller_name, region, offset, len, AccessMode::Read, false);
+                    self.emit_access(
+                        caller,
+                        &caller_name,
+                        region,
+                        offset,
+                        len,
+                        AccessMode::Read,
+                        false,
+                    );
                     return Err(e);
                 }
             }
             // Bounds checks against the live allocation.
-            if offset.checked_add(len).map(|end| end > buf.len).unwrap_or(true) {
+            if offset
+                .checked_add(len)
+                .map(|end| end > buf.len)
+                .unwrap_or(true)
+            {
                 return Err(WedgeError::OutOfBounds {
                     tag: buf.tag,
                     offset: buf.offset + offset,
@@ -846,10 +918,7 @@ impl Kernel {
                         .ok_or(WedgeError::UnknownTag(buf.tag))?;
                     entry.segment.arena().data().to_vec()
                 };
-                let overlay = st
-                    .cow_overlays
-                    .entry((caller, buf.tag))
-                    .or_insert(base);
+                let overlay = st.cow_overlays.entry((caller, buf.tag)).or_insert(base);
                 overlay[start..start + data.len()].copy_from_slice(data);
             }
             (caller_name, permitted)
@@ -988,7 +1057,9 @@ impl Kernel {
         self.emit_access(
             caller,
             &caller_name,
-            MemRegion::Global { name: name.to_string() },
+            MemRegion::Global {
+                name: name.to_string(),
+            },
             0,
             data.len(),
             AccessMode::Read,
@@ -1028,7 +1099,9 @@ impl Kernel {
         self.emit_access(
             caller,
             &caller_name,
-            MemRegion::Global { name: name.to_string() },
+            MemRegion::Global {
+                name: name.to_string(),
+            },
             0,
             value.len(),
             AccessMode::Write,
@@ -1078,6 +1151,7 @@ impl Kernel {
         let fd = FdId(st.next_fd);
         st.next_fd += 1;
         st.fds.insert(fd, entry);
+        st.fd_owners.insert(fd, caller);
         if let Some(c) = st.compartments.get_mut(&caller) {
             if !c.policy.is_unconfined() {
                 c.policy.sc_fd_add(fd, FdProt::ReadWrite);
@@ -1196,7 +1270,10 @@ impl Kernel {
         if policy.is_unconfined() || policy.syscalls.permits(syscall) {
             Ok(())
         } else {
-            Err(WedgeError::SyscallDenied { compartment: caller, syscall })
+            Err(WedgeError::SyscallDenied {
+                compartment: caller,
+                syscall,
+            })
         }
     }
 
@@ -1236,11 +1313,12 @@ impl Kernel {
     ) -> Result<PreparedCall, WedgeError> {
         let mut st = self.state.lock();
         let caller_policy = Self::policy_of_locked(&st, caller)?.clone();
-        let instance = st
-            .callgate_instances
-            .get(&(caller, entry))
-            .cloned()
-            .ok_or(WedgeError::CallgateDenied { compartment: caller, entry })?;
+        let instance = st.callgate_instances.get(&(caller, entry)).cloned().ok_or(
+            WedgeError::CallgateDenied {
+                compartment: caller,
+                entry,
+            },
+        )?;
         // The extra, argument-accessing permissions must be a subset of the
         // caller's current permissions (§4.1).
         for (tag, prot) in extra.mem_grants() {
@@ -1279,6 +1357,78 @@ impl Kernel {
             trusted: instance.trusted.clone(),
             creator: instance.creator,
         })
+    }
+
+    /// Zeroize a compartment's per-principal state: **every** segment it
+    /// created (its private scratch and any tags it made with `tag_new`) is
+    /// wiped and recycled, every descriptor it created is removed from the
+    /// fd table, its copy-on-write views of tagged memory and snapshot
+    /// globals are dropped, and its policy is reset to `baseline` (the
+    /// spawn-time policy), undoing the implicit grants `tag_new` /
+    /// `fd_create` accumulate. Used between principals on pooled recycled
+    /// workers — the §3.3 residue a reused activation could otherwise leak
+    /// to the next caller.
+    pub(crate) fn scrub_compartment(
+        &self,
+        id: CompartmentId,
+        baseline: &SecurityPolicy,
+    ) -> Result<(), WedgeError> {
+        let mut st = self.state.lock();
+        {
+            let entry = st
+                .compartments
+                .get_mut(&id)
+                .ok_or(WedgeError::UnknownCompartment(id))?;
+            entry.private_tag = None;
+            entry.policy = baseline.clone();
+        }
+        let owned: Vec<Tag> = st
+            .segments
+            .iter()
+            .filter(|(_, seg)| seg.owner == id)
+            .map(|(tag, _)| *tag)
+            .collect();
+        for tag in owned {
+            if let Some(mut seg) = st.segments.remove(&tag) {
+                // The tag cache only scrubs on *reuse*; zero eagerly so the
+                // parked segment never holds the previous principal's bytes.
+                seg.segment.arena_mut().data_mut().fill(0);
+                st.tag_cache.release(seg.segment);
+                st.stats.tags_deleted += 1;
+            }
+            st.cow_overlays.retain(|(_, t), _| *t != tag);
+        }
+        // Descriptors the principal created go too — their buffered bytes
+        // are per-principal state the next checkout must not inherit.
+        let owned_fds: Vec<FdId> = st
+            .fd_owners
+            .iter()
+            .filter(|(_, owner)| **owner == id)
+            .map(|(fd, _)| *fd)
+            .collect();
+        for fd in owned_fds {
+            st.fds.remove(&fd);
+            st.fd_owners.remove(&fd);
+        }
+        st.cow_overlays.retain(|(c, _), _| *c != id);
+        st.global_overlays.retain(|(c, _), _| *c != id);
+        st.stats.private_scrubs += 1;
+        Ok(())
+    }
+
+    /// The registered entry function of a callgate (pooled-worker spawning).
+    pub(crate) fn cgate_entry_fn(&self, entry: CgEntryId) -> Option<CallgateFn> {
+        self.state
+            .lock()
+            .callgate_entries
+            .get(&entry)
+            .map(|(_, f)| f.clone())
+    }
+
+    /// Count one recycled-callgate invocation (pooled workers invoke without
+    /// going through `cgate_prepare`, so they account here instead).
+    pub(crate) fn note_recycled_invocation(&self) {
+        self.state.lock().stats.recycled_invocations += 1;
     }
 
     /// Look up an existing recycled worker for `(caller, entry)`.
@@ -1394,12 +1544,19 @@ mod tests {
         let (kernel, root) = kernel_and_root();
         kernel.register_global("config", b"initial");
         assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"initial");
-        kernel.global_write(root.id(), "config", b"changed").unwrap();
+        kernel
+            .global_write(root.id(), "config", b"changed")
+            .unwrap();
         assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"changed");
 
         // A second compartment still sees the pristine snapshot value.
         let child = kernel
-            .register_child(root.id(), "child", &SecurityPolicy::deny_all(), false)
+            .register_child(
+                root.id(),
+                "child",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
             .unwrap();
         assert_eq!(kernel.global_read(child, "config").unwrap(), b"initial");
     }
@@ -1424,7 +1581,12 @@ mod tests {
 
         // A default-deny child may not.
         let child = kernel
-            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
             .unwrap();
         assert!(matches!(
             kernel.fd_read(child, fd, 4),
@@ -1435,7 +1597,7 @@ mod tests {
         let mut policy = SecurityPolicy::deny_all();
         policy.sc_fd_add(fd, FdProt::Read);
         let reader = kernel
-            .register_child(root.id(), "reader", &policy, false)
+            .register_child(root.id(), "reader", &policy, ChildKind::Sthread)
             .unwrap();
         assert_eq!(kernel.fd_read(reader, fd, 2), Ok(b":x".to_vec()));
         assert!(matches!(
@@ -1452,7 +1614,12 @@ mod tests {
         kernel.mem_write(root.id(), &buf, 0, b"secret!!").unwrap();
 
         let child = kernel
-            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
             .unwrap();
         // Without emulation: fault.
         assert!(kernel.mem_read(child, &buf, 0, 8).is_err());
@@ -1471,7 +1638,12 @@ mod tests {
     fn private_allocations_cannot_be_granted() {
         let (kernel, root) = kernel_and_root();
         let child = kernel
-            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
             .unwrap();
         let private = kernel.private_alloc(child, 32).unwrap();
         assert!(kernel.is_private_tag(private.tag));
@@ -1482,7 +1654,7 @@ mod tests {
         // The root is unconfined so subset validation passes, but the
         // private-tag check still refuses.
         assert!(matches!(
-            kernel.register_child(root.id(), "spy", &policy, false),
+            kernel.register_child(root.id(), "spy", &policy, ChildKind::Sthread),
             Err(WedgeError::PrivateTag(_))
         ));
     }
@@ -1494,13 +1666,13 @@ mod tests {
         let mut parent_policy = SecurityPolicy::deny_all();
         parent_policy.sc_mem_add(tag, MemProt::Read);
         let parent = kernel
-            .register_child(root.id(), "parent", &parent_policy, false)
+            .register_child(root.id(), "parent", &parent_policy, ChildKind::Sthread)
             .unwrap();
 
         let mut child_policy = SecurityPolicy::deny_all();
         child_policy.sc_mem_add(tag, MemProt::ReadWrite);
         assert!(matches!(
-            kernel.register_child(parent, "child", &child_policy, false),
+            kernel.register_child(parent, "child", &child_policy, ChildKind::Sthread),
             Err(WedgeError::PrivilegeEscalation { .. })
         ));
     }
@@ -1513,7 +1685,7 @@ mod tests {
                 root.id(),
                 "worker",
                 &SecurityPolicy::deny_all().with_uid(Uid(1000)),
-                false,
+                ChildKind::Sthread,
             )
             .unwrap();
         // Root caller may change the worker's identity.
@@ -1540,7 +1712,7 @@ mod tests {
         // Need a domain transition from the parent's allow-all context.
         kernel.allow_domain_transition("wedge_u:wedge_r:unconfined_t", "net_t");
         let child = kernel
-            .register_child(root.id(), "net", &policy, false)
+            .register_child(root.id(), "net", &policy, ChildKind::Sthread)
             .unwrap();
         assert!(kernel.syscall_check(child, Syscall::Send).is_ok());
         assert!(matches!(
@@ -1562,7 +1734,12 @@ mod tests {
 
         // Default-deny child cannot read it.
         let child = kernel
-            .register_child(root.id(), "worker", &SecurityPolicy::deny_all(), false)
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
             .unwrap();
         assert!(kernel.mem_read(child, &buf, 0, 7).is_err());
 
@@ -1574,7 +1751,7 @@ mod tests {
         let mut policy = SecurityPolicy::deny_all();
         policy.sc_mem_add(tag, MemProt::Read);
         let reader = kernel
-            .register_child(root.id(), "reader", &policy, false)
+            .register_child(root.id(), "reader", &policy, ChildKind::Sthread)
             .unwrap();
         assert_eq!(kernel.mem_read(reader, &buf, 0, 7).unwrap(), b"hunter2");
     }
@@ -1589,7 +1766,7 @@ mod tests {
         let mut policy = SecurityPolicy::deny_all();
         policy.sc_mem_add(tag, MemProt::CopyOnWrite);
         let child = kernel
-            .register_child(root.id(), "cow", &policy, false)
+            .register_child(root.id(), "cow", &policy, ChildKind::Sthread)
             .unwrap();
 
         // The child reads the shared value, writes privately.

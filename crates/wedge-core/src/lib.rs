@@ -85,7 +85,7 @@ pub use kernel::{Kernel, KernelStats, ViolationRecord};
 pub use memory::SBuf;
 pub use policy::{CallgateGrant, SecurityPolicy, Uid};
 pub use resource::{LimitedCtx, ResourceKind, ResourceLimits, ResourceUsage};
-pub use sthread::{SthreadCtx, SthreadHandle};
+pub use sthread::{panic_message, RecycledWorkerHandle, SthreadCtx, SthreadHandle};
 pub use syscall::{Syscall, SyscallPolicy};
 pub use tag::{AccessMode, CompartmentId, MemProt, Tag};
 pub use trace::{AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent};

@@ -53,7 +53,13 @@ impl SBuf {
 
 impl std::fmt::Display for SBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}+{}..{}", self.tag, self.offset, self.offset + self.len)
+        write!(
+            f,
+            "{}+{}..{}",
+            self.tag,
+            self.offset,
+            self.offset + self.len
+        )
     }
 }
 

@@ -219,7 +219,9 @@ impl SecurityPolicy {
         for (fd, child_prot) in &child.fds {
             match self.fds.get(fd) {
                 Some(parent_prot) if parent_prot.allows_delegation_of(*child_prot) => {}
-                Some(_) => return Err(format!("fd grant {fd}:{child_prot:?} exceeds parent grant")),
+                Some(_) => {
+                    return Err(format!("fd grant {fd}:{child_prot:?} exceeds parent grant"))
+                }
                 None => return Err(format!("parent holds no grant for {fd}")),
             }
         }
@@ -227,7 +229,9 @@ impl SecurityPolicy {
         // subset of the *creator's* (i.e. self's) privileges.
         for grant in &child.callgates {
             self.validate_child(&grant.policy, transitions)
-                .map_err(|e| format!("callgate {} permissions exceed creator's: {e}", grant.entry))?;
+                .map_err(|e| {
+                    format!("callgate {} permissions exceed creator's: {e}", grant.entry)
+                })?;
         }
         // UNIX semantics for uid / root changes: only a superuser parent may
         // change them.
@@ -386,9 +390,7 @@ mod tests {
         let child_chroot = SecurityPolicy::deny_all()
             .with_uid(Uid(1000))
             .with_fs_root("/jail");
-        assert!(parent_nonroot
-            .validate_child(&child_chroot, &dt())
-            .is_err());
+        assert!(parent_nonroot.validate_child(&child_chroot, &dt()).is_err());
     }
 
     #[test]

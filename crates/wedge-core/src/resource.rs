@@ -309,7 +309,8 @@ impl LimitedCtx {
         match self.inner.smalloc(size, tag) {
             Ok(buf) => Ok(buf),
             Err(e) => {
-                self.accountant.release(ResourceKind::TaggedBytes, size as u64);
+                self.accountant
+                    .release(ResourceKind::TaggedBytes, size as u64);
                 Err(e)
             }
         }
@@ -331,7 +332,8 @@ impl LimitedCtx {
         match self.inner.malloc(size) {
             Ok(buf) => Ok(buf),
             Err(e) => {
-                self.accountant.release(ResourceKind::TaggedBytes, size as u64);
+                self.accountant
+                    .release(ResourceKind::TaggedBytes, size as u64);
                 Err(e)
             }
         }
@@ -546,11 +548,7 @@ mod tests {
                 let limited = LimitedCtx::new(ctx.clone(), limits);
                 let mut results = Vec::new();
                 for _ in 0..3 {
-                    results.push(limited.cgate(
-                        entry,
-                        &SecurityPolicy::deny_all(),
-                        Box::new(1u32),
-                    ));
+                    results.push(limited.cgate(entry, &SecurityPolicy::deny_all(), Box::new(1u32)));
                 }
                 results
             })

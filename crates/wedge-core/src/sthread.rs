@@ -16,17 +16,18 @@ use std::thread;
 
 use parking_lot::Mutex;
 
-use crate::callgate::{downcast_output, CgEntryId, CgInput, CgOutput};
+use crate::callgate::{downcast_output, CgEntryId, CgInput, CgOutput, TrustedArg};
 use crate::error::WedgeError;
 use crate::fdtable::FdId;
-use crate::kernel::{Kernel, RecycledWorker};
+use crate::kernel::{ChildKind, Kernel, RecycledWorker};
 use crate::memory::SBuf;
 use crate::policy::{SecurityPolicy, Uid};
 use crate::syscall::Syscall;
 use crate::tag::{CompartmentId, Tag};
 
-/// Extract a readable message from a panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Extract a readable message from a panic payload (shared by sthread
+/// joins, recycled workers and the `wedge-sched` scheduler).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -205,7 +206,8 @@ impl SthreadCtx {
         initial: &[u8],
         boundary_id: u32,
     ) -> Result<SBuf, WedgeError> {
-        self.kernel.boundary_var(self.id, name, initial, boundary_id)
+        self.kernel
+            .boundary_var(self.id, name, initial, boundary_id)
     }
 
     /// `BOUNDARY_TAG`: the tag protecting globals declared with
@@ -284,7 +286,9 @@ impl SthreadCtx {
         R: Send + 'static,
         F: FnOnce(&SthreadCtx) -> R + Send + 'static,
     {
-        let child_id = self.kernel.register_child(self.id, name, policy, false)?;
+        let child_id = self
+            .kernel
+            .register_child(self.id, name, policy, ChildKind::Sthread)?;
         let child_ctx = SthreadCtx::new(self.kernel.clone(), child_id, name);
         let kernel = self.kernel.clone();
         let join = thread::spawn(move || {
@@ -333,9 +337,12 @@ impl SthreadCtx {
             .cgate_name(entry)
             .unwrap_or_else(|| format!("entry{}", entry.0));
         let act_name = format!("cgate:{gate_name}");
-        let act_id =
-            self.kernel
-                .register_child(prepared.creator, &act_name, &prepared.policy, true)?;
+        let act_id = self.kernel.register_child(
+            prepared.creator,
+            &act_name,
+            &prepared.policy,
+            ChildKind::Activation,
+        )?;
         let act_ctx = SthreadCtx::new(self.kernel.clone(), act_id, &act_name);
         let entry_fn = prepared.entry_fn;
         let trusted = prepared.trusted;
@@ -391,35 +398,15 @@ impl SthreadCtx {
                     prepared.creator,
                     &act_name,
                     &prepared.policy,
-                    true,
+                    ChildKind::Activation,
                 )?;
                 let act_ctx = SthreadCtx::new(self.kernel.clone(), act_id, &act_name);
-                let (in_tx, in_rx) = crossbeam::channel::unbounded::<CgInput>();
-                let (out_tx, out_rx) =
-                    crossbeam::channel::unbounded::<Result<CgOutput, WedgeError>>();
-                let entry_fn = prepared.entry_fn.clone();
-                let trusted = prepared.trusted.clone();
-                let kernel = self.kernel.clone();
-                thread::spawn(move || {
-                    while let Ok(input) = in_rx.recv() {
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            entry_fn(&act_ctx, trusted.as_ref(), input)
-                        }))
-                        .unwrap_or_else(|payload| {
-                            Err(WedgeError::SthreadPanicked(panic_message(payload)))
-                        });
-                        if out_tx.send(result).is_err() {
-                            break;
-                        }
-                    }
-                    kernel.compartment_exited(act_id);
-                });
-                let worker = Arc::new(RecycledWorker {
-                    call_lock: Mutex::new(()),
-                    tx: in_tx,
-                    rx: out_rx,
-                    activation: act_id,
-                });
+                let worker = spawn_worker_loop(
+                    self.kernel.clone(),
+                    act_ctx,
+                    prepared.entry_fn.clone(),
+                    prepared.trusted.clone(),
+                );
                 self.kernel
                     .store_recycled_worker(worker_key, entry, worker.clone());
                 worker
@@ -444,6 +431,191 @@ impl SthreadCtx {
         input: CgInput,
     ) -> Result<T, WedgeError> {
         downcast_output(self.cgate_recycled(entry, extra, input)?)
+    }
+
+    /// Spawn a *pooled* recycled worker: a long-lived sthread running
+    /// `entry`'s code under `policy`, owned by the caller instead of being
+    /// stored in the kernel's per-`(creator, entry)` slot. Pools of these
+    /// workers are what `wedge-sched` checks out per connection.
+    ///
+    /// An **unconfined** caller plays the role a `sc_cgate_add` creator
+    /// plays for ordinary callgates: it chooses the worker's policy
+    /// (subset-validated) and the kernel-held trusted argument. A
+    /// **confined** caller may only pre-warm workers for entries it was
+    /// granted via `sc_cgate_add`, and the worker then runs with the
+    /// *instance's* creator-fixed policy and trusted argument — the caller
+    /// cannot substitute its own (callers can neither read nor replace a
+    /// trusted argument, §3.3), so `policy` must be `deny_all` and `trusted`
+    /// must be `None` on that path. Unlike [`SthreadCtx::cgate_recycled`],
+    /// nothing here widens the worker's policy per call — a pooled worker's
+    /// privileges are fixed at pre-warm time.
+    pub fn recycled_worker_spawn(
+        &self,
+        entry: CgEntryId,
+        policy: &SecurityPolicy,
+        trusted: Option<TrustedArg>,
+    ) -> Result<RecycledWorkerHandle, WedgeError> {
+        let entry_fn = self
+            .kernel
+            .cgate_entry_fn(entry)
+            .ok_or(WedgeError::UnknownCallgate(entry))?;
+        let gate_name = self
+            .kernel
+            .cgate_name(entry)
+            .unwrap_or_else(|| format!("entry{}", entry.0));
+        let act_name = format!("pooled:{gate_name}");
+        let act_id;
+        let worker_trusted;
+        if self.policy().is_unconfined() {
+            // The caller is the trusted creator: its policy choice is
+            // subset-validated like any child sthread, and it supplies the
+            // trusted argument.
+            act_id = self
+                .kernel
+                .register_child(self.id, &act_name, policy, ChildKind::Sthread)?;
+            worker_trusted = trusted;
+        } else {
+            // A confined caller runs the gate exactly as granted: the
+            // kernel-stored instance fixes both policy and trusted argument.
+            let prepared =
+                self.kernel
+                    .cgate_prepare(self.id, entry, &SecurityPolicy::deny_all(), false)?;
+            let baseline = SecurityPolicy::deny_all();
+            let policy_deviates = !policy.mem_grants().is_empty()
+                || !policy.fd_grants().is_empty()
+                || !policy.callgate_grants().is_empty()
+                || policy.is_unconfined()
+                || policy.uid != baseline.uid
+                || policy.fs_root != baseline.fs_root
+                || policy.syscalls != baseline.syscalls;
+            if trusted.is_some() || policy_deviates {
+                return Err(WedgeError::PrivilegeEscalation {
+                    detail: "pooled workers for a granted gate run with the creator's \
+                             policy and trusted argument; pass deny_all and None"
+                        .to_string(),
+                });
+            }
+            act_id = self.kernel.register_child(
+                prepared.creator,
+                &act_name,
+                &prepared.policy,
+                ChildKind::PooledWorker,
+            )?;
+            worker_trusted = prepared.trusted;
+        }
+        let act_ctx = SthreadCtx::new(self.kernel.clone(), act_id, &act_name);
+        // The stored policy (after uid/fs_root inheritance) is the scrub
+        // baseline: checkin resets the worker to exactly this.
+        let baseline = self.kernel.policy_of(act_id)?;
+        let worker = spawn_worker_loop(self.kernel.clone(), act_ctx, entry_fn, worker_trusted);
+        Ok(RecycledWorkerHandle {
+            kernel: self.kernel.clone(),
+            entry,
+            baseline,
+            worker,
+        })
+    }
+}
+
+/// Start the long-lived thread behind a recycled worker: a loop that
+/// receives inputs, runs the entry function inside the activation
+/// compartment (catching panics), and sends results back.
+fn spawn_worker_loop(
+    kernel: Arc<Kernel>,
+    act_ctx: SthreadCtx,
+    entry_fn: crate::callgate::CallgateFn,
+    trusted: Option<TrustedArg>,
+) -> Arc<RecycledWorker> {
+    let act_id = act_ctx.id();
+    let (in_tx, in_rx) = crossbeam::channel::unbounded::<CgInput>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<Result<CgOutput, WedgeError>>();
+    let loop_kernel = kernel.clone();
+    thread::spawn(move || {
+        while let Ok(input) = in_rx.recv() {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                entry_fn(&act_ctx, trusted.as_ref(), input)
+            }))
+            .unwrap_or_else(|payload| Err(WedgeError::SthreadPanicked(panic_message(payload))));
+            if out_tx.send(result).is_err() {
+                break;
+            }
+        }
+        loop_kernel.compartment_exited(act_id);
+    });
+    Arc::new(RecycledWorker {
+        call_lock: Mutex::new(()),
+        tx: in_tx,
+        rx: out_rx,
+        activation: act_id,
+    })
+}
+
+/// Owner handle to a pooled recycled worker (see
+/// [`SthreadCtx::recycled_worker_spawn`]). Dropping the handle shuts the
+/// worker down: its input channel closes, the loop exits, and the kernel
+/// marks the activation compartment as exited.
+pub struct RecycledWorkerHandle {
+    kernel: Arc<Kernel>,
+    entry: CgEntryId,
+    /// The spawn-time policy [`RecycledWorkerHandle::scrub`] resets to.
+    baseline: SecurityPolicy,
+    worker: Arc<RecycledWorker>,
+}
+
+impl std::fmt::Debug for RecycledWorkerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecycledWorkerHandle")
+            .field("entry", &self.entry)
+            .field("activation", &self.worker.activation)
+            .finish()
+    }
+}
+
+impl RecycledWorkerHandle {
+    /// The worker's long-lived activation compartment.
+    pub fn activation(&self) -> CompartmentId {
+        self.worker.activation
+    }
+
+    /// The callgate entry this worker runs.
+    pub fn entry(&self) -> CgEntryId {
+        self.entry
+    }
+
+    /// Invoke the worker: send `input`, block for the result. Concurrent
+    /// invocations of the same worker are serialised, exactly like the
+    /// single-slot recycled fast path.
+    pub fn invoke(&self, input: CgInput) -> Result<CgOutput, WedgeError> {
+        let _serialise = self.worker.call_lock.lock();
+        self.kernel.note_recycled_invocation();
+        self.worker
+            .tx
+            .send(input)
+            .map_err(|_| WedgeError::InvalidOperation("pooled worker exited".into()))?;
+        self.worker
+            .rx
+            .recv()
+            .map_err(|_| WedgeError::InvalidOperation("pooled worker exited".into()))?
+    }
+
+    /// Invoke the worker and downcast its result to `T`.
+    pub fn invoke_expect<T: std::any::Any>(&self, input: CgInput) -> Result<T, WedgeError> {
+        downcast_output(self.invoke(input)?)
+    }
+
+    /// Zeroize the worker's per-principal state between principals: every
+    /// segment it created (private scratch *and* tags from `tag_new`) is
+    /// wiped and recycled, every copy-on-write view it accumulated is
+    /// dropped, and its policy is reset to the spawn-time baseline (undoing
+    /// the implicit grants `tag_new`/`fd_create` add). This is the
+    /// pool-checkin mitigation for the §3.3 recycled-callgate residue leak.
+    pub fn scrub(&self) -> Result<(), WedgeError> {
+        // Serialise against invoke(): scrubbing under a running gate would
+        // either fault the gate (segments vanish mid-call) or, worse, let
+        // the gate stash post-scrub residue for the next principal.
+        let _serialise = self.worker.call_lock.lock();
+        self.kernel
+            .scrub_compartment(self.worker.activation, &self.baseline)
     }
 }
 
@@ -621,7 +793,8 @@ mod tests {
                 // The worker itself cannot read the key...
                 let direct = ctx.read(&key, 0, 5);
                 // ...but may learn its length through the callgate.
-                let len = ctx.cgate_expect::<usize>(entry, &SecurityPolicy::deny_all(), Box::new(()))?;
+                let len =
+                    ctx.cgate_expect::<usize>(entry, &SecurityPolicy::deny_all(), Box::new(()))?;
                 Ok::<_, WedgeError>((direct.is_err(), len))
             })
             .unwrap();
@@ -690,10 +863,9 @@ mod tests {
     fn recycled_callgates_reuse_a_worker() {
         let wedge = Wedge::init();
         let root = wedge.root();
-        let entry = wedge.kernel().cgate_register(
-            "increment",
-            typed_entry(|_ctx, _t, n: u64| Ok(n + 1)),
-        );
+        let entry = wedge
+            .kernel()
+            .cgate_register("increment", typed_entry(|_ctx, _t, n: u64| Ok(n + 1)));
         let mut worker_policy = SecurityPolicy::deny_all();
         worker_policy.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
 
@@ -752,6 +924,237 @@ mod tests {
             })
             .unwrap();
         assert_eq!(handle.join().unwrap(), "creator-chosen");
+    }
+
+    #[test]
+    fn pooled_worker_invokes_and_scrub_erases_private_residue() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let stash: Arc<parking_lot::Mutex<Option<crate::SBuf>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let stash_for_gate = stash.clone();
+        let entry = wedge.kernel().cgate_register(
+            "stash_or_dump",
+            typed_entry(move |ctx, _t, input: Vec<u8>| {
+                let mut stash = stash_for_gate.lock();
+                if input.is_empty() {
+                    // Dump whatever the previous invocation left in scratch.
+                    return Ok(match stash.as_ref() {
+                        Some(prev) => ctx.read_all(prev).unwrap_or_default(),
+                        None => Vec::new(),
+                    });
+                }
+                let scratch = ctx.malloc(input.len())?;
+                ctx.write(&scratch, 0, &input)?;
+                *stash = Some(scratch);
+                Ok(Vec::<u8>::new())
+            }),
+        );
+
+        let worker = root
+            .recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+            .unwrap();
+        worker
+            .invoke_expect::<Vec<u8>>(Box::new(b"principal-a secret".to_vec()))
+            .unwrap();
+        // Without a scrub the residue is visible (the §3.3 trade-off).
+        let leaked = worker
+            .invoke_expect::<Vec<u8>>(Box::new(Vec::<u8>::new()))
+            .unwrap();
+        assert_eq!(leaked, b"principal-a secret");
+
+        // After a scrub (pool checkin) the residue is gone.
+        worker.scrub().unwrap();
+        let leaked = worker
+            .invoke_expect::<Vec<u8>>(Box::new(Vec::<u8>::new()))
+            .unwrap();
+        assert!(
+            leaked.is_empty(),
+            "scrub must erase residue, got {leaked:?}"
+        );
+
+        let stats = wedge.kernel().stats();
+        assert_eq!(stats.private_scrubs, 1);
+        assert_eq!(stats.recycled_invocations, 3);
+    }
+
+    #[test]
+    fn pooled_worker_policy_is_subset_validated() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let tag = root.tag_new().unwrap();
+        let entry = wedge
+            .kernel()
+            .cgate_register("noop", typed_entry(|_ctx, _t, _i: ()| Ok(0u8)));
+
+        // A confined sthread *with* the gate grant still cannot pre-warm a
+        // worker holding a memory grant the sthread itself lacks.
+        let mut granted = SecurityPolicy::deny_all();
+        granted.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+        let handle = root
+            .sthread_create("confined-granted", &granted, move |ctx| {
+                let mut wanted = SecurityPolicy::deny_all();
+                wanted.sc_mem_add(tag, MemProt::Read);
+                ctx.recycled_worker_spawn(entry, &wanted, None).map(|_| ())
+            })
+            .unwrap();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(WedgeError::PrivilegeEscalation { .. })
+        ));
+
+        // Unknown entries are refused.
+        assert!(matches!(
+            root.recycled_worker_spawn(crate::CgEntryId(9999), &SecurityPolicy::deny_all(), None),
+            Err(WedgeError::UnknownCallgate(_))
+        ));
+    }
+
+    #[test]
+    fn pooled_worker_spawn_requires_a_callgate_grant() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge
+            .kernel()
+            .cgate_register("noop", typed_entry(|_ctx, _t, n: u64| Ok(n)));
+
+        // A confined sthread without sc_cgate_add for the entry cannot run
+        // its code through a pooled worker (would bypass CallgateDenied).
+        let handle = root
+            .sthread_create("ungranted", &SecurityPolicy::deny_all(), move |ctx| {
+                ctx.recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+                    .map(|_| ())
+            })
+            .unwrap();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(WedgeError::CallgateDenied { .. })
+        ));
+
+        // With the grant, the same spawn succeeds.
+        let mut granted = SecurityPolicy::deny_all();
+        granted.sc_cgate_add(entry, SecurityPolicy::deny_all(), None);
+        let handle = root
+            .sthread_create("granted", &granted, move |ctx| {
+                let worker = ctx.recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)?;
+                worker.invoke_expect::<u64>(Box::new(7u64))
+            })
+            .unwrap();
+        assert_eq!(handle.join().unwrap().unwrap(), 7);
+    }
+
+    #[test]
+    fn pooled_worker_trusted_argument_is_not_forgeable_by_granted_caller() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge.kernel().cgate_register(
+            "reveal_trusted",
+            typed_entry(|_ctx, trusted, _i: ()| {
+                Ok(trusted
+                    .and_then(|t| t.downcast::<String>())
+                    .cloned()
+                    .unwrap_or_default())
+            }),
+        );
+        let mut granted = SecurityPolicy::deny_all();
+        granted.sc_cgate_add(
+            entry,
+            SecurityPolicy::deny_all(),
+            Some(TrustedArg::new(String::from("creator-chosen"))),
+        );
+        let handle = root
+            .sthread_create("granted", &granted, move |ctx| {
+                // Supplying a forged trusted argument is refused outright...
+                let forged = ctx.recycled_worker_spawn(
+                    entry,
+                    &SecurityPolicy::deny_all(),
+                    Some(TrustedArg::new(String::from("attacker-chosen"))),
+                );
+                let forged_refused = matches!(forged, Err(WedgeError::PrivilegeEscalation { .. }));
+                // ...and the legitimate spawn sees the creator's value.
+                let worker = ctx
+                    .recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+                    .unwrap();
+                let seen = worker.invoke_expect::<String>(Box::new(())).unwrap();
+                (forged_refused, seen)
+            })
+            .unwrap();
+        let (forged_refused, seen) = handle.join().unwrap();
+        assert!(forged_refused);
+        assert_eq!(seen, "creator-chosen");
+    }
+
+    #[test]
+    fn scrub_wipes_worker_created_tagged_segments_and_resets_policy() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let stash: Arc<parking_lot::Mutex<Option<crate::SBuf>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let stash_for_gate = stash.clone();
+        // The gate stashes secrets in a tag it creates itself (not private
+        // scratch) — the sneakier §3.3 residue channel.
+        let entry = wedge.kernel().cgate_register(
+            "tagged_stash_or_dump",
+            typed_entry(move |ctx, _t, input: Vec<u8>| {
+                let mut stash = stash_for_gate.lock();
+                if input.is_empty() {
+                    return Ok(match stash.as_ref() {
+                        Some(prev) => ctx.read_all(prev).unwrap_or_default(),
+                        None => Vec::new(),
+                    });
+                }
+                let tag = ctx.tag_new()?;
+                let buf = ctx.smalloc_init(tag, &input)?;
+                *stash = Some(buf);
+                Ok(Vec::<u8>::new())
+            }),
+        );
+        let worker = root
+            .recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+            .unwrap();
+        worker
+            .invoke_expect::<Vec<u8>>(Box::new(b"tagged secret".to_vec()))
+            .unwrap();
+        let leaked = worker
+            .invoke_expect::<Vec<u8>>(Box::new(Vec::<u8>::new()))
+            .unwrap();
+        assert_eq!(leaked, b"tagged secret", "residue visible before scrub");
+
+        let policy_before = wedge.kernel().policy_of(worker.activation()).unwrap();
+        assert!(
+            !policy_before.mem_grants().is_empty(),
+            "tag_new granted the worker RW on its stash tag"
+        );
+        worker.scrub().unwrap();
+        let leaked = worker
+            .invoke_expect::<Vec<u8>>(Box::new(Vec::<u8>::new()))
+            .unwrap();
+        assert!(leaked.is_empty(), "scrub must wipe worker-created tags");
+        // The implicit tag grant was rolled back to the spawn baseline.
+        let policy_after = wedge.kernel().policy_of(worker.activation()).unwrap();
+        assert!(policy_after.mem_grants().is_empty());
+    }
+
+    #[test]
+    fn dropping_a_pooled_worker_handle_exits_its_compartment() {
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        let entry = wedge
+            .kernel()
+            .cgate_register("noop", typed_entry(|_ctx, _t, n: u64| Ok(n)));
+        let worker = root
+            .recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+            .unwrap();
+        let live_before = wedge.kernel().live_compartments();
+        drop(worker);
+        // The worker loop notices the closed channel asynchronously.
+        for _ in 0..100 {
+            if wedge.kernel().live_compartments() < live_before {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(wedge.kernel().live_compartments() < live_before);
     }
 
     #[test]

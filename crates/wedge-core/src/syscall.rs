@@ -192,10 +192,16 @@ mod tests {
     #[test]
     fn domain_transitions() {
         let mut dt = DomainTransitions::new();
-        assert!(dt.permits("worker_t", "worker_t"), "same domain always allowed");
+        assert!(
+            dt.permits("worker_t", "worker_t"),
+            "same domain always allowed"
+        );
         assert!(!dt.permits("worker_t", "auth_t"));
         dt.allow("worker_t", "auth_t");
         assert!(dt.permits("worker_t", "auth_t"));
-        assert!(!dt.permits("auth_t", "worker_t"), "transitions are directional");
+        assert!(
+            !dt.permits("auth_t", "worker_t"),
+            "transitions are directional"
+        );
     }
 }

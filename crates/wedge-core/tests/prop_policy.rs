@@ -27,7 +27,11 @@ fn arb_mem_prot() -> impl Strategy<Value = MemProt> {
 }
 
 fn arb_fd_prot() -> impl Strategy<Value = FdProt> {
-    prop_oneof![Just(FdProt::Read), Just(FdProt::Write), Just(FdProt::ReadWrite)]
+    prop_oneof![
+        Just(FdProt::Read),
+        Just(FdProt::Write),
+        Just(FdProt::ReadWrite)
+    ]
 }
 
 /// A randomly populated (confined) policy over small tag/fd pools.

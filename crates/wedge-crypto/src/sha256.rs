@@ -81,7 +81,7 @@ impl Sha256 {
         pad.push(0x80u8);
         let rem = (self.buffer_len + 1) % 64;
         let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
-        pad.extend(std::iter::repeat(0u8).take(zeros));
+        pad.extend(std::iter::repeat_n(0u8, zeros));
         pad.extend_from_slice(&bit_len.to_be_bytes());
         // Bypass total_len accounting while flushing the padding.
         let mut data: &[u8] = &pad;
@@ -196,7 +196,9 @@ mod tests {
     #[test]
     fn nist_vector_448_bits() {
         assert_eq!(
-            to_hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            to_hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

@@ -73,7 +73,11 @@ impl Mitm {
     }
 
     /// Forward one pending message, blocking until one arrives.
-    pub fn forward_one_blocking(&mut self, dir: Direction, timeout: RecvTimeout) -> Result<Vec<u8>, NetError> {
+    pub fn forward_one_blocking(
+        &mut self,
+        dir: Direction,
+        timeout: RecvTimeout,
+    ) -> Result<Vec<u8>, NetError> {
         let msg = match dir {
             Direction::ClientToServer => self.to_client.recv(timeout)?,
             Direction::ServerToClient => self.to_server.recv(timeout)?,
@@ -165,8 +169,14 @@ mod tests {
         let (client, mut mitm, server) = Mitm::interpose();
         client.send(b"hello").unwrap();
         client.send(b"again").unwrap();
-        assert_eq!(mitm.forward_one(Direction::ClientToServer).unwrap(), b"hello");
-        assert_eq!(mitm.forward_one(Direction::ClientToServer).unwrap(), b"again");
+        assert_eq!(
+            mitm.forward_one(Direction::ClientToServer).unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            mitm.forward_one(Direction::ClientToServer).unwrap(),
+            b"again"
+        );
         assert_eq!(server.try_recv().unwrap(), b"hello");
         assert_eq!(server.try_recv().unwrap(), b"again");
         server.send(b"resp").unwrap();
@@ -195,9 +205,11 @@ mod tests {
     #[test]
     fn injection_reaches_the_victim() {
         let (client, mut mitm, server) = Mitm::interpose();
-        mitm.inject(Direction::ClientToServer, b"evil request").unwrap();
+        mitm.inject(Direction::ClientToServer, b"evil request")
+            .unwrap();
         assert_eq!(server.try_recv().unwrap(), b"evil request");
-        mitm.inject(Direction::ServerToClient, b"fake response").unwrap();
+        mitm.inject(Direction::ServerToClient, b"fake response")
+            .unwrap();
         assert_eq!(client.try_recv().unwrap(), b"fake response");
     }
 

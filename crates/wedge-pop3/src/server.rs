@@ -255,11 +255,8 @@ fn client_handler(
             }
             "PASS" => {
                 let username = pending_user.clone().unwrap_or_default();
-                let ok = ctx.cgate_expect::<bool>(
-                    login_entry,
-                    &no_extra,
-                    Box::new((username, arg)),
-                )?;
+                let ok =
+                    ctx.cgate_expect::<bool>(login_entry, &no_extra, Box::new((username, arg)))?;
                 if ok {
                     stats.logged_in = true;
                     "+OK logged in".to_string()
@@ -323,7 +320,11 @@ mod tests {
         .to_string()
     }
 
-    fn start() -> (Pop3Server, Duplex, SthreadHandle<Result<Pop3Stats, WedgeError>>) {
+    fn start() -> (
+        Pop3Server,
+        Duplex,
+        SthreadHandle<Result<Pop3Stats, WedgeError>>,
+    ) {
         let server = Pop3Server::new(Wedge::init(), &MailDb::sample()).unwrap();
         let (client, server_link) = duplex_pair("pop3-client", "pop3-server");
         let handle = server.serve_connection(server_link).unwrap();
@@ -394,7 +395,10 @@ mod tests {
             .unwrap();
         let (pw_denied, mail_denied, leaked_password) = handle.join().unwrap();
         assert!(pw_denied, "password DB must be unreadable from the handler");
-        assert!(mail_denied, "mail store must be unreadable from the handler");
+        assert!(
+            mail_denied,
+            "mail store must be unreadable from the handler"
+        );
         assert!(!leaked_password);
     }
 

@@ -1,0 +1,42 @@
+//! # wedge-sched — a concurrent compartment scheduler for Wedge workloads
+//!
+//! The paper's recycled callgates (§3.3, Table 2) amortise compartment
+//! creation over successive invocations, but the reproduction's servers
+//! still served connections *sequentially per server instance*. This crate
+//! is the subsystem that lifts them to concurrent operation:
+//!
+//! * [`WorkerPool`] — per-workload pools of **pre-warmed pooled recycled
+//!   workers** ([`wedge_core::RecycledWorkerHandle`]). Workers are spawned
+//!   at pool creation, checked out per request, and **zeroized between
+//!   principals** on checkin (the kernel wipes the worker's private scratch
+//!   segment and COW views), closing the §3.3 residue leak that plain
+//!   recycled callgates accept.
+//! * [`Scheduler`] — a multi-worker job scheduler with **bounded per-worker
+//!   run queues** and **work stealing**: each worker drains its own queue in
+//!   FIFO order and steals from the back of siblings' queues when idle.
+//! * **Admission control and backpressure** — job slots are charged against
+//!   a [`wedge_core::resource::ResourceAccountant`], so exhaustion surfaces
+//!   as the same [`wedge_core::WedgeError::ResourceExhausted`] the resource
+//!   quotas use, and full run queues reject instead of growing without
+//!   bound.
+//! * [`SchedStats`] / [`PoolStats`] — `KernelStats`-style counters for every
+//!   scheduler and pool decision (submitted, completed, rejected, stolen,
+//!   checkouts, scrubs, peak depths).
+//!
+//! `wedge-apache` builds its concurrent front-end and `wedge-ssh` its
+//! pooled privsep monitors on top of this crate; `wedge-bench` measures the
+//! sequential-vs-pooled throughput gap. See `README.md` for the isolation
+//! trade-offs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+pub mod scheduler;
+
+pub use metrics::{PoolStats, SchedStats};
+pub use pool::{InstanceClaim, InstancePool, PoolCheckout, PoolConfig, WorkerPool};
+pub use queue::RunQueue;
+pub use scheduler::{JobHandle, Scheduler, SchedulerConfig};

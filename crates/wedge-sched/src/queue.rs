@@ -1,0 +1,106 @@
+//! Bounded per-worker run queues with a work-stealing discipline.
+//!
+//! Each scheduler worker owns one [`RunQueue`]. The owner drains its queue
+//! from the **front** (FIFO — oldest connection first, bounding per-job
+//! latency); idle workers steal from the **back** of a sibling's queue
+//! (newest job), the classic stealing end that minimises contention with
+//! the owner and tends to migrate the work most likely to still be cold.
+//!
+//! Queues are *bounded*: a full queue refuses the push, and the scheduler
+//! turns that refusal into backpressure at admission time rather than
+//! letting memory grow with offered load.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// A bounded double-ended job queue.
+#[derive(Debug)]
+pub struct RunQueue<T> {
+    capacity: usize,
+    jobs: Mutex<VecDeque<T>>,
+}
+
+impl<T> RunQueue<T> {
+    /// Create a queue holding at most `capacity` jobs.
+    pub fn new(capacity: usize) -> RunQueue<T> {
+        RunQueue {
+            capacity: capacity.max(1),
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Is the queue empty?
+    pub fn is_empty(&self) -> bool {
+        self.jobs.lock().is_empty()
+    }
+
+    /// Enqueue at the back. Returns the job back to the caller when the
+    /// queue is full (the backpressure signal), otherwise the new depth.
+    pub fn push(&self, job: T) -> Result<usize, T> {
+        let mut jobs = self.jobs.lock();
+        if jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        Ok(jobs.len())
+    }
+
+    /// Owner path: dequeue the oldest job.
+    pub fn pop_front(&self) -> Option<T> {
+        self.jobs.lock().pop_front()
+    }
+
+    /// Thief path: dequeue the newest job.
+    pub fn steal_back(&self) -> Option<T> {
+        self.jobs.lock().pop_back()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_for_owner_lifo_for_thief() {
+        let q = RunQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop_front(), Some(0));
+        assert_eq!(q.steal_back(), Some(3));
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(2));
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.steal_back(), None);
+    }
+
+    #[test]
+    fn full_queue_returns_the_job() {
+        let q = RunQueue::new(2);
+        assert_eq!(q.push("a"), Ok(1));
+        assert_eq!(q.push("b"), Ok(2));
+        assert_eq!(q.push("c"), Err("c"));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = RunQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.push(7).unwrap();
+        assert!(!q.is_empty());
+        assert_eq!(q.pop_front(), Some(7));
+        assert!(q.is_empty());
+    }
+}

@@ -60,13 +60,18 @@ impl AuthDb {
 
     /// Register S/Key one-time passwords for a user.
     pub fn add_skey(&mut self, user: &str, otps: &[&str]) {
-        self.skey
-            .insert(user.to_string(), otps.iter().map(|s| s.to_string()).collect());
+        self.skey.insert(
+            user.to_string(),
+            otps.iter().map(|s| s.to_string()).collect(),
+        );
     }
 
     /// Register an authorized public key for a user.
     pub fn add_authorized_key(&mut self, user: &str, key: RsaPublicKey) {
-        self.authorized.entry(user.to_string()).or_default().push(key);
+        self.authorized
+            .entry(user.to_string())
+            .or_default()
+            .push(key);
     }
 
     /// Look up a shadow entry.
@@ -167,7 +172,11 @@ impl AuthDb {
 
     /// Check a password against the shadow data. Free function form so both
     /// the monolithic server and the password callgate share it.
-    pub fn check_password(shadow: &[ShadowEntry], user: &str, password: &str) -> Option<(u32, String)> {
+    pub fn check_password(
+        shadow: &[ShadowEntry],
+        user: &str,
+        password: &str,
+    ) -> Option<(u32, String)> {
         let entry = shadow.iter().find(|e| e.user == user)?;
         if entry.password_hash == to_hex(&sha256(password.as_bytes())) {
             Some((entry.uid, entry.home.clone()))

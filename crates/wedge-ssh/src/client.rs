@@ -59,9 +59,7 @@ impl SshClient {
                 host_proof,
                 nonce,
             } => {
-                let host_proof_valid = host_key
-                    .verify_digest(&sha256(&nonce), &host_proof)
-                    .is_ok();
+                let host_proof_valid = host_key.verify_digest(&sha256(&nonce), &host_proof).is_ok();
                 self.nonce = nonce.clone();
                 Ok(ServerHelloInfo {
                     version,

@@ -21,6 +21,11 @@
 //!   worker's uid and filesystem root). Authentication cannot be bypassed:
 //!   the only way for the worker to change its uid is a successful callgate.
 //!
+//! [`pooled::PooledWedgeSsh`] pools N partitioned monitors behind a
+//! `wedge-sched` scheduler so many logins proceed simultaneously with
+//! admission control — the concurrent front-end the sequential server
+//! lacks.
+//!
 //! [`client::SshClient`] is the test/bench client, including the 10 MB
 //! `scp`-style upload used by Table 2.
 
@@ -29,6 +34,7 @@
 
 pub mod authdb;
 pub mod client;
+pub mod pooled;
 pub mod privsep;
 pub mod protocol;
 pub mod server;
@@ -36,5 +42,6 @@ pub mod vanilla;
 
 pub use authdb::{AuthDb, ShadowEntry};
 pub use client::SshClient;
-pub use server::{AuthMethod, WedgeSsh};
+pub use pooled::{PooledSshConfig, PooledWedgeSsh};
+pub use server::{AuthMethod, SkeyLedger, WedgeSsh};
 pub use vanilla::VanillaSsh;

@@ -1,0 +1,253 @@
+//! Pooled privilege-separated monitors.
+//!
+//! In privilege-separated OpenSSH the *monitor* is the privileged process
+//! that holds the credential stores and answers the slave's authentication
+//! requests; in the Wedge partitioning that role is played by the auth
+//! callgates of a [`WedgeSsh`] instance. One instance can only serve one
+//! connection at a time (its `worker_slot` names the compartment the auth
+//! gates escalate), so the reproduction's sshd was sequential.
+//!
+//! [`PooledWedgeSsh`] pools N fully partitioned monitor instances (all
+//! sharing one host keypair and auth database) behind a `wedge-sched`
+//! work-stealing scheduler: each incoming connection job claims a free
+//! monitor, serves login + session on it, and returns it. Admission
+//! control bounds in-flight connections, and each monitor's isolation
+//! story — credential stores in tagged memory reachable only by their
+//! gate, dummy-passwd responses, uid escalation only through successful
+//! authentication — is exactly that of the sequential server.
+
+use std::sync::Arc;
+
+use wedge_core::{KernelStats, Wedge, WedgeError};
+use wedge_crypto::{RsaKeyPair, RsaPublicKey};
+use wedge_net::Duplex;
+use wedge_sched::{InstancePool, JobHandle, SchedStats, Scheduler, SchedulerConfig};
+
+use crate::authdb::{AuthDb, ServerConfig};
+use crate::server::{SessionReport, WedgeSsh};
+
+/// Configuration of the pooled sshd front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct PooledSshConfig {
+    /// Monitor instances in the pool — also the scheduler worker count.
+    pub workers: usize,
+    /// Bounded per-worker run-queue capacity.
+    pub queue_capacity: usize,
+    /// Admission limit on in-flight connections.
+    pub max_pending: Option<u64>,
+}
+
+impl Default for PooledSshConfig {
+    fn default() -> Self {
+        PooledSshConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_pending: None,
+        }
+    }
+}
+
+/// N Wedge-partitioned SSH monitors behind one scheduler.
+pub struct PooledWedgeSsh {
+    monitors: Vec<Arc<WedgeSsh>>,
+    pool: Arc<InstancePool>,
+    sched: Scheduler,
+    host_public: RsaPublicKey,
+}
+
+impl PooledWedgeSsh {
+    /// Build `config.workers` monitor instances sharing `host_keypair` and
+    /// `db`, plus the connection scheduler.
+    pub fn new(
+        host_keypair: RsaKeyPair,
+        db: &AuthDb,
+        server_config: &ServerConfig,
+        config: PooledSshConfig,
+    ) -> Result<PooledWedgeSsh, WedgeError> {
+        let workers = config.workers.max(1);
+        // One consumed-OTP ledger across the pool: an S/Key password spent
+        // on any monitor is spent on all of them, exactly as on the
+        // sequential server.
+        let skey_ledger: crate::SkeyLedger =
+            Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        let mut monitors = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            monitors.push(Arc::new(WedgeSsh::with_skey_ledger(
+                Wedge::init(),
+                host_keypair,
+                db,
+                server_config,
+                skey_ledger.clone(),
+            )?));
+        }
+        Ok(PooledWedgeSsh {
+            monitors,
+            pool: Arc::new(InstancePool::new(workers)),
+            sched: Scheduler::new(SchedulerConfig {
+                workers,
+                queue_capacity: config.queue_capacity,
+                max_pending: config.max_pending,
+            }),
+            host_public: host_keypair.public,
+        })
+    }
+
+    /// The host public key clients pin.
+    pub fn host_public(&self) -> RsaPublicKey {
+        self.host_public
+    }
+
+    /// Pool width.
+    pub fn workers(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Scheduler counters.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Kernel counters summed across every pooled monitor.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for monitor in &self.monitors {
+            total += &monitor.wedge().kernel().stats();
+        }
+        total
+    }
+
+    /// Submit one connection. The job claims a free monitor (the claim
+    /// guard releases it even on a panic), runs the whole session on it
+    /// (spawning that monitor's per-connection worker sthread and joining
+    /// it), and releases the monitor.
+    pub fn serve(
+        &self,
+        link: Duplex,
+    ) -> Result<JobHandle<Result<SessionReport, WedgeError>>, WedgeError> {
+        let monitors = self.monitors.clone();
+        let pool = self.pool.clone();
+        self.sched.submit(move || {
+            let claim = pool.claim();
+            monitors[claim.index()]
+                .serve_connection(link)
+                .and_then(|handle| handle.join())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SshClient;
+    use wedge_crypto::WedgeRng;
+    use wedge_net::duplex_pair;
+
+    #[test]
+    fn pooled_monitors_serve_simultaneous_logins() {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(61));
+        let server = PooledWedgeSsh::new(
+            keypair,
+            &AuthDb::sample(),
+            &ServerConfig::default(),
+            PooledSshConfig {
+                workers: 3,
+                ..PooledSshConfig::default()
+            },
+        )
+        .unwrap();
+
+        let connections = 9;
+        let mut clients = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..connections {
+            let (client_link, server_link) = duplex_pair(&format!("c{i}"), &format!("s{i}"));
+            handles.push(server.serve(server_link).unwrap());
+            clients.push(std::thread::spawn(move || {
+                let mut client = SshClient::new();
+                client.connect(&client_link).expect("hello");
+                let (ok, _, _) = client
+                    .auth_password(&client_link, "alice", "correct horse battery")
+                    .expect("auth");
+                assert!(ok, "login {i} must succeed");
+                client.disconnect(&client_link).expect("disconnect");
+            }));
+        }
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        for handle in handles {
+            let report = handle.join().expect("job").expect("session");
+            assert!(report.authenticated);
+            assert_eq!(report.uid, 1001);
+        }
+
+        let sched = server.sched_stats();
+        assert_eq!(sched.submitted, connections as u64);
+        assert_eq!(sched.completed, connections as u64);
+        // One worker sthread per connection across the monitor pool.
+        assert_eq!(server.kernel_stats().sthreads_created, connections as u64);
+    }
+
+    #[test]
+    fn skey_otp_spent_on_one_monitor_is_dead_on_every_other() {
+        // Two monitors built the way PooledWedgeSsh builds them: independent
+        // kernels, one shared consumed-OTP ledger. Each monitor's private
+        // S/Key store still lists "otp-one" after the other consumed it —
+        // the ledger is what keeps one-time passwords one-time pool-wide.
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(71));
+        let db = AuthDb::sample();
+        let config = ServerConfig::default();
+        let ledger: crate::SkeyLedger =
+            Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+        let monitor_a =
+            WedgeSsh::with_skey_ledger(Wedge::init(), keypair, &db, &config, ledger.clone())
+                .unwrap();
+        let monitor_b =
+            WedgeSsh::with_skey_ledger(Wedge::init(), keypair, &db, &config, ledger).unwrap();
+
+        let login = |monitor: &WedgeSsh, otp: &str| -> bool {
+            let (client_link, server_link) = duplex_pair("skey-client", "sshd");
+            let handle = monitor.serve_connection(server_link).unwrap();
+            let mut client = SshClient::new();
+            client.connect(&client_link).expect("hello");
+            let (ok, _, _) = client
+                .auth_skey(&client_link, "alice", otp)
+                .expect("skey auth");
+            client.disconnect(&client_link).expect("disconnect");
+            handle.join().expect("session");
+            ok
+        };
+
+        assert!(login(&monitor_a, "otp-one"), "first use must succeed");
+        assert!(
+            !login(&monitor_b, "otp-one"),
+            "replay on a sibling monitor must be refused"
+        );
+        assert!(
+            login(&monitor_b, "otp-two"),
+            "unspent OTPs still work everywhere"
+        );
+    }
+
+    #[test]
+    fn admission_limit_sheds_excess_logins() {
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(67));
+        let server = PooledWedgeSsh::new(
+            keypair,
+            &AuthDb::sample(),
+            &ServerConfig::default(),
+            PooledSshConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_pending: Some(1),
+            },
+        )
+        .unwrap();
+        let (_silent_client, silent_server) = duplex_pair("silent", "sshd");
+        let _busy = server.serve(silent_server).unwrap();
+        let (_c2, s2) = duplex_pair("c2", "s2");
+        let err = server.serve(s2).unwrap_err();
+        assert!(matches!(err, WedgeError::ResourceExhausted { .. }));
+        assert_eq!(server.sched_stats().rejected, 1);
+    }
+}

@@ -31,11 +31,14 @@ pub struct PasswdStruct {
 /// The privilege-separated monitor's behaviour: `None` for unknown users —
 /// an information leak usable by an exploited slave.
 pub fn monitor_lookup_user(shadow: &[ShadowEntry], user: &str) -> Option<PasswdStruct> {
-    shadow.iter().find(|e| e.user == user).map(|e| PasswdStruct {
-        name: e.user.clone(),
-        uid: e.uid,
-        home: e.home.clone(),
-    })
+    shadow
+        .iter()
+        .find(|e| e.user == user)
+        .map(|e| PasswdStruct {
+            name: e.user.clone(),
+            uid: e.uid,
+            home: e.home.clone(),
+        })
 }
 
 /// The Wedge password callgate's behaviour: a dummy structure for unknown

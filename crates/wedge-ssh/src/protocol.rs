@@ -280,12 +280,28 @@ mod tests {
     #[test]
     fn client_messages_roundtrip() {
         let messages = vec![
-            ClientMessage::Hello { version: "SSH-2.0-test".into() },
-            ClientMessage::AuthPassword { user: "alice".into(), password: "pw".into() },
-            ClientMessage::AuthPubkey { user: "bob".into(), signature: vec![1, 2, 3] },
-            ClientMessage::AuthSkey { user: "alice".into(), otp: "otp-one".into() },
-            ClientMessage::Exec { command: "echo hi".into() },
-            ClientMessage::ScpChunk { data: vec![0u8; 100], last: true },
+            ClientMessage::Hello {
+                version: "SSH-2.0-test".into(),
+            },
+            ClientMessage::AuthPassword {
+                user: "alice".into(),
+                password: "pw".into(),
+            },
+            ClientMessage::AuthPubkey {
+                user: "bob".into(),
+                signature: vec![1, 2, 3],
+            },
+            ClientMessage::AuthSkey {
+                user: "alice".into(),
+                otp: "otp-one".into(),
+            },
+            ClientMessage::Exec {
+                command: "echo hi".into(),
+            },
+            ClientMessage::ScpChunk {
+                data: vec![0u8; 100],
+                last: true,
+            },
             ClientMessage::Disconnect,
         ];
         for msg in messages {
@@ -302,9 +318,17 @@ mod tests {
                 host_proof: vec![9; 16],
                 nonce: vec![7; 32],
             },
-            ServerMessage::AuthResult { success: true, uid: 1001, detail: "ok".into() },
-            ServerMessage::ExecOutput { output: "hi".into() },
-            ServerMessage::ScpAck { received: 10 * 1024 * 1024 },
+            ServerMessage::AuthResult {
+                success: true,
+                uid: 1001,
+                detail: "ok".into(),
+            },
+            ServerMessage::ExecOutput {
+                output: "hi".into(),
+            },
+            ServerMessage::ScpAck {
+                received: 10 * 1024 * 1024,
+            },
             ServerMessage::Goodbye,
         ];
         for msg in messages {

@@ -113,12 +113,23 @@ struct SkeyTrusted {
     skey: SBuf,
     shadow: SBuf,
     worker: WorkerSlot,
+    ledger: SkeyLedger,
 }
+
+/// Cross-server ledger of consumed one-time passwords, shared by every
+/// monitor of a pooled front-end. Each `WedgeSsh` consumes OTPs in its own
+/// tagged S/Key region; without a shared ledger, an OTP spent on one pooled
+/// monitor would still be listed — and accepted — by its siblings. The
+/// ledger is creator-held state inside the skey callgate's trusted argument
+/// (the same pattern as the Apache session cache), so workers can neither
+/// read nor tamper with it.
+pub type SkeyLedger = Arc<Mutex<std::collections::HashSet<(String, String)>>>;
 
 /// The Wedge-partitioned SSH server.
 pub struct WedgeSsh {
     wedge: Wedge,
     host_public: RsaPublicKey,
+    skey_ledger: SkeyLedger,
     host_key_tag: Tag,
     host_key_buf: SBuf,
     shadow_tag: Tag,
@@ -149,9 +160,29 @@ impl WedgeSsh {
         db: &AuthDb,
         config: &ServerConfig,
     ) -> Result<WedgeSsh, WedgeError> {
+        Self::with_skey_ledger(
+            wedge,
+            host_keypair,
+            db,
+            config,
+            Arc::new(Mutex::new(std::collections::HashSet::new())),
+        )
+    }
+
+    /// Like [`WedgeSsh::new`], but sharing a consumed-OTP [`SkeyLedger`]
+    /// with other server instances (pooled front-ends pass one ledger to
+    /// every monitor so one-time passwords stay one-time across the pool).
+    pub fn with_skey_ledger(
+        wedge: Wedge,
+        host_keypair: RsaKeyPair,
+        db: &AuthDb,
+        config: &ServerConfig,
+        skey_ledger: SkeyLedger,
+    ) -> Result<WedgeSsh, WedgeError> {
         let root = wedge.root();
         let host_key_tag = root.tag_new()?;
-        let host_key_buf = root.smalloc_init(host_key_tag, &serialize_private_key(&host_keypair))?;
+        let host_key_buf =
+            root.smalloc_init(host_key_tag, &serialize_private_key(&host_keypair))?;
         let shadow_tag = root.tag_new()?;
         let shadow_buf = root.smalloc_init(shadow_tag, &db.serialize_shadow())?;
         let skey_tag = root.tag_new()?;
@@ -159,7 +190,9 @@ impl WedgeSsh {
         let authorized_tag = root.tag_new()?;
         let authorized_buf = root.smalloc_init(authorized_tag, &db.serialize_authorized())?;
 
-        wedge.kernel().register_global("sshd_config", &config.serialize());
+        wedge
+            .kernel()
+            .register_global("sshd_config", &config.serialize());
         wedge.kernel().register_global(
             "host_public_key",
             format!("{},{}", host_keypair.public.n, host_keypair.public.e).as_bytes(),
@@ -214,6 +247,7 @@ impl WedgeSsh {
         Ok(WedgeSsh {
             wedge,
             host_public: host_keypair.public,
+            skey_ledger,
             host_key_tag,
             host_key_buf,
             shadow_tag,
@@ -299,6 +333,7 @@ impl WedgeSsh {
                 skey: self.skey_buf,
                 shadow: self.shadow_buf,
                 worker: self.worker_slot.clone(),
+                ledger: self.skey_ledger.clone(),
             })),
         );
         policy
@@ -327,7 +362,11 @@ impl WedgeSsh {
 // Callgate bodies
 // ---------------------------------------------------------------------
 
-fn host_sign(ctx: &SthreadCtx, trusted: &HostSignTrusted, data: &[u8]) -> Result<Vec<u8>, WedgeError> {
+fn host_sign(
+    ctx: &SthreadCtx,
+    trusted: &HostSignTrusted,
+    data: &[u8],
+) -> Result<Vec<u8>, WedgeError> {
     let key_bytes = ctx.read_all(&trusted.host_key)?;
     let Some(private) = parse_private_key(&key_bytes) else {
         return Err(WedgeError::BadCallgateValue);
@@ -385,7 +424,10 @@ fn pubkey_auth(
     let digest = sha256(&challenge);
     let valid = authorized
         .get(user)
-        .map(|keys| keys.iter().any(|k| k.verify_digest(&digest, signature).is_ok()))
+        .map(|keys| {
+            keys.iter()
+                .any(|k| k.verify_digest(&digest, signature).is_ok())
+        })
         .unwrap_or(false);
     if !valid {
         return Ok(AuthVerdict::denied());
@@ -419,7 +461,15 @@ fn skey_auth(
     let Some(position) = remaining.iter().position(|candidate| candidate == otp) else {
         return Ok(AuthVerdict::denied());
     };
-    // One-time passwords are consumed on use.
+    // One-time passwords are consumed on use — both in this server's tagged
+    // store and in the cross-server ledger, so a pooled sibling monitor
+    // (whose own store still lists the OTP) also refuses a replay.
+    {
+        let mut ledger = trusted.ledger.lock();
+        if !ledger.insert((user.to_string(), otp.to_string())) {
+            return Ok(AuthVerdict::denied());
+        }
+    }
     remaining.remove(position);
     let mut serialized = String::new();
     for (u, otps) in &skey {
@@ -455,7 +505,10 @@ fn worker_main(ctx: &SthreadCtx, link: &Duplex, gates: Gates) -> SessionReport {
     let Ok(first) = link.recv(RecvTimeout::After(SESSION_TIMEOUT)) else {
         return report;
     };
-    if !matches!(ClientMessage::decode(&first), Some(ClientMessage::Hello { .. })) {
+    if !matches!(
+        ClientMessage::decode(&first),
+        Some(ClientMessage::Hello { .. })
+    ) {
         return report;
     }
 
@@ -650,7 +703,10 @@ mod tests {
             .auth_password(&client_link, "mallory", "wrong")
             .unwrap();
         assert!(!wrong.0 && !unknown.0);
-        assert_eq!(wrong.2, unknown.2, "failure detail must not reveal user validity");
+        assert_eq!(
+            wrong.2, unknown.2,
+            "failure detail must not reveal user validity"
+        );
         // Unauthenticated exec is refused.
         let out = client.exec(&client_link, "echo hi").unwrap();
         assert_eq!(out, "permission denied");
@@ -667,9 +723,7 @@ mod tests {
             let handle = server.serve_connection(server_link).unwrap();
             let mut client = SshClient::new();
             client.connect(&client_link).unwrap();
-            let result = client
-                .auth_skey(&client_link, "alice", "otp-one")
-                .unwrap();
+            let result = client.auth_skey(&client_link, "alice", "otp-one").unwrap();
             assert_eq!(result.0, expect, "round {round}");
             client.disconnect(&client_link).unwrap();
             handle.join().unwrap();

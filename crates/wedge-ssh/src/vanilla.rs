@@ -106,7 +106,10 @@ impl VanillaSsh {
         let Ok(first) = link.recv(RecvTimeout::After(SESSION_TIMEOUT)) else {
             return report;
         };
-        if !matches!(ClientMessage::decode(&first), Some(ClientMessage::Hello { .. })) {
+        if !matches!(
+            ClientMessage::decode(&first),
+            Some(ClientMessage::Hello { .. })
+        ) {
             return report;
         }
         let mut rng = WedgeRng::from_entropy();
@@ -163,7 +166,7 @@ impl VanillaSsh {
                     let skey = AuthDb::parse_skey(&self.db.serialize_skey());
                     let success = skey
                         .get(&user)
-                        .map(|otps| otps.iter().any(|o| *o == otp))
+                        .map(|otps| otps.contains(&otp))
                         .unwrap_or(false);
                     if success {
                         report.authenticated = true;
@@ -246,7 +249,9 @@ mod tests {
                 .unwrap();
             assert!(ok);
             assert_eq!(uid, 1002);
-            let acked = client.scp_upload(&client_link, 256 * 1024, 64 * 1024).unwrap();
+            let acked = client
+                .scp_upload(&client_link, 256 * 1024, 64 * 1024)
+                .unwrap();
             assert_eq!(acked, 256 * 1024);
             client.disconnect(&client_link).unwrap();
             let report = handle.join().unwrap();
@@ -272,6 +277,9 @@ mod tests {
             })
             .unwrap();
         let (key, shadow, leaked) = handle.join().unwrap();
-        assert!(key && shadow && leaked, "the monolithic server leaks everything");
+        assert!(
+            key && shadow && leaked,
+            "the monolithic server leaks everything"
+        );
     }
 }

@@ -218,8 +218,7 @@ impl TlsClient {
         let server_finished_record = recv(link)?;
         let server_finished = Finished::decode(&recv_layer.open(&server_finished_record)?)?;
         let th_final = transcript_hash(&transcript);
-        let expected =
-            finished_verify_data(&keys.master_secret, SERVER_FINISHED_LABEL, &th_final);
+        let expected = finished_verify_data(&keys.master_secret, SERVER_FINISHED_LABEL, &th_final);
         if server_finished.verify_data != expected {
             return Err(TlsError::HandshakeFailed(
                 "server Finished did not verify".to_string(),
@@ -391,8 +390,9 @@ mod tests {
         let server = std::thread::spawn({
             let mut cache_local = std::mem::take(cache);
             move || {
-                let conn = server_handshake(&server_link, &keypair, &mut cache_local, &mut server_rng)
-                    .expect("server handshake");
+                let conn =
+                    server_handshake(&server_link, &keypair, &mut cache_local, &mut server_rng)
+                        .expect("server handshake");
                 (conn, cache_local, server_link)
             }
         });
@@ -408,7 +408,10 @@ mod tests {
         let mut client = TlsClient::new(keypair.public, WedgeRng::from_seed(2));
         let mut cache = SessionCache::new();
         let (client_conn, server_conn) = run_client_server(&mut client, keypair, &mut cache);
-        assert_eq!(client_conn.keys.fingerprint(), server_conn.keys.fingerprint());
+        assert_eq!(
+            client_conn.keys.fingerprint(),
+            server_conn.keys.fingerprint()
+        );
         assert!(!client_conn.resumed);
         assert_eq!(client_conn.session_id, server_conn.session_id);
     }
@@ -423,7 +426,8 @@ mod tests {
             let mut conn = server_handshake(&server_link, &keypair, &mut cache, &mut rng).unwrap();
             let request = conn.recv(&server_link).unwrap();
             assert_eq!(request, b"GET / HTTP/1.0");
-            conn.send(&server_link, b"HTTP/1.0 200 OK\r\n\r\nhello").unwrap();
+            conn.send(&server_link, b"HTTP/1.0 200 OK\r\n\r\nhello")
+                .unwrap();
         });
         let mut client = TlsClient::new(keypair.public, WedgeRng::from_seed(5));
         let mut conn = client.connect(&client_link).unwrap();
@@ -464,9 +468,18 @@ mod tests {
         let th1 = transcript_hash(&[b"m1".to_vec()]);
         let th2 = transcript_hash(&[b"m2".to_vec()]);
         let base = finished_verify_data(b"master", CLIENT_FINISHED_LABEL, &th1);
-        assert_ne!(base, finished_verify_data(b"other", CLIENT_FINISHED_LABEL, &th1));
-        assert_ne!(base, finished_verify_data(b"master", SERVER_FINISHED_LABEL, &th1));
-        assert_ne!(base, finished_verify_data(b"master", CLIENT_FINISHED_LABEL, &th2));
+        assert_ne!(
+            base,
+            finished_verify_data(b"other", CLIENT_FINISHED_LABEL, &th1)
+        );
+        assert_ne!(
+            base,
+            finished_verify_data(b"master", SERVER_FINISHED_LABEL, &th1)
+        );
+        assert_ne!(
+            base,
+            finished_verify_data(b"master", CLIENT_FINISHED_LABEL, &th2)
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
             let mut corrupted = sealed.clone();
             corrupted[i] ^= 0x01;
             let mut rx_clone = rx.clone();
-            assert!(rx_clone.open(&corrupted).is_err(), "byte {i} corruption accepted");
+            assert!(
+                rx_clone.open(&corrupted).is_err(),
+                "byte {i} corruption accepted"
+            );
         }
         // The untouched record still opens.
         assert_eq!(rx.open(&sealed).unwrap(), b"important");

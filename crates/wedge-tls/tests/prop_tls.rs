@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 
-use wedge_tls::messages::{
-    ClientHello, ClientKeyExchange, Finished, ServerHello, RANDOM_LEN,
-};
+use wedge_tls::messages::{ClientHello, ClientKeyExchange, Finished, ServerHello, RANDOM_LEN};
 use wedge_tls::{RecordLayer, SessionId, SessionKeys};
 
 fn arb_keys() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
@@ -90,14 +88,12 @@ proptest! {
         messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 2..6),
     ) {
         let mut sender = RecordLayer::new(&cipher_key, &mac_key);
-        let mut opened = 0u64;
-        for plaintext in &messages {
+        for (opened, plaintext) in messages.iter().enumerate() {
             let record = sender.seal(plaintext);
             // Each open happens in a freshly resumed layer, as a short-lived
             // callgate activation would do.
-            let mut gate = RecordLayer::resume(&cipher_key, &mac_key, 0, opened);
+            let mut gate = RecordLayer::resume(&cipher_key, &mac_key, 0, opened as u64);
             prop_assert_eq!(&gate.open(&record).expect("opens"), plaintext);
-            opened += 1;
         }
     }
 

@@ -244,7 +244,10 @@ fn fig9() {
     // Synthetic SPEC-like kernels.
     for workload in spec_workloads() {
         let mut results = [Duration::ZERO; 3];
-        for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar].into_iter().enumerate() {
+        for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar]
+            .into_iter()
+            .enumerate()
+        {
             let wedge = Wedge::init();
             install_on_kernel(wedge.kernel(), mode);
             let root = wedge.root();
@@ -257,7 +260,10 @@ fn fig9() {
 
     // The two end-to-end applications, instrumented server-side.
     let mut ssh_results = [Duration::ZERO; 3];
-    for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar].into_iter().enumerate() {
+    for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar]
+        .into_iter()
+        .enumerate()
+    {
         let bed = SshBed::new(21);
         install_on_kernel(&bed.kernel(), mode);
         ssh_results[i] = time_mean(10, || {
@@ -267,7 +273,10 @@ fn fig9() {
     print_fig9_row("ssh", ssh_results);
 
     let mut apache_results = [Duration::ZERO; 3];
-    for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar].into_iter().enumerate() {
+    for (i, mode) in [Mode::Native, Mode::Pin, Mode::Crowbar]
+        .into_iter()
+        .enumerate()
+    {
         let mut bed = ApacheBed::new(ApacheVariant::Wedge, 22);
         install_on_kernel(&bed.kernel(), mode);
         apache_results[i] = time_mean(10, || {
@@ -338,7 +347,10 @@ fn table2_ssh() {
     println!("== Table 2 (bottom): OpenSSH latency ==");
     println!("   paper: login 0.145 s vs 0.148 s; 10 MB scp 0.376 s vs 0.370 s (negligible)\n");
     const SCP_BYTES: usize = 10 * 1024 * 1024;
-    println!("   {:<12} {:>16} {:>16}", "variant", "login ms", "scp 10MB ms");
+    println!(
+        "   {:<12} {:>16} {:>16}",
+        "variant", "login ms", "scp 10MB ms"
+    );
     for (label, wedged) in [("vanilla", false), ("wedge", true)] {
         let login = time_mean(3, || {
             ssh_login(wedged);
@@ -375,7 +387,10 @@ fn metrics() {
             m.change_fraction() * 100.0,
         );
     };
-    row("paper: Apache/OpenSSL", &PartitioningMetrics::paper_apache());
+    row(
+        "paper: Apache/OpenSSL",
+        &PartitioningMetrics::paper_apache(),
+    );
     row("paper: OpenSSH", &PartitioningMetrics::paper_openssh());
     row("this repo: wedge-apache", &measured_apache());
     println!();

@@ -39,7 +39,8 @@ fn run_simple_through_mitm() -> (Mitm, Option<wedge::tls::SessionKeys>) {
     let handle = server.serve_connection(server_link).expect("serve");
     let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(42));
     let mut conn = client.connect(&client_link).expect("handshake");
-    conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n").expect("send");
+    conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n")
+        .expect("send");
     let _response = conn.recv(&client_link).expect("recv");
     drop(conn);
     drop(client_link);
@@ -59,7 +60,10 @@ fn main() {
     let recovered = decrypt_observed_client_records(&keys.material, &mitm);
     let got_plaintext = plaintexts_contain(&recovered, b"GET /account");
     println!("attacker decrypts the client's request: {got_plaintext}");
-    assert!(got_plaintext, "the simple partitioning falls to this attack");
+    assert!(
+        got_plaintext,
+        "the simple partitioning falls to this attack"
+    );
 
     println!();
     println!("=== §5.1.2 hardened partitioning: the exploited compartment has nothing to leak ===");
@@ -87,8 +91,14 @@ fn main() {
         .expect("spawn")
         .join()
         .expect("join");
-    println!("private key unreachable from the network-facing sthread: {}", outcome.0);
-    println!("session key unreachable from the network-facing sthread:  {}", outcome.1);
+    println!(
+        "private key unreachable from the network-facing sthread: {}",
+        outcome.0
+    );
+    println!(
+        "session key unreachable from the network-facing sthread:  {}",
+        outcome.1
+    );
     assert!(outcome.0 && outcome.1);
     println!();
     println!("Result: the attack that defeats the coarse partitioning is stopped by the fine-grained one.");

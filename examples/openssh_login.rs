@@ -37,7 +37,10 @@ fn main() {
     let wrong = client
         .auth_password(&client_link, "alice", "guess")
         .expect("auth");
-    println!("unknown user:   success={} detail={:?}", unknown.0, unknown.2);
+    println!(
+        "unknown user:   success={} detail={:?}",
+        unknown.0, unknown.2
+    );
     println!("wrong password: success={} detail={:?}", wrong.0, wrong.2);
 
     let ok = client
@@ -45,8 +48,14 @@ fn main() {
         .expect("auth");
     println!("correct login:  success={} uid={}", ok.0, ok.1);
 
-    println!("whoami → {}", client.exec(&client_link, "whoami").expect("exec"));
-    println!("echo   → {}", client.exec(&client_link, "echo hello wedge").expect("exec"));
+    println!(
+        "whoami → {}",
+        client.exec(&client_link, "whoami").expect("exec")
+    );
+    println!(
+        "echo   → {}",
+        client.exec(&client_link, "echo hello wedge").expect("exec")
+    );
 
     let acked = client
         .scp_upload(&client_link, 1024 * 1024, 64 * 1024)

@@ -26,7 +26,10 @@ fn main() {
         "{:<28} {:>9} {:>9} {:>9} {:>8} {:>8}",
         "", "LoC", "LoC", "LoC", "%", "%"
     );
-    row("paper: Apache/OpenSSL", &PartitioningMetrics::paper_apache());
+    row(
+        "paper: Apache/OpenSSL",
+        &PartitioningMetrics::paper_apache(),
+    );
     row("paper: OpenSSH", &PartitioningMetrics::paper_openssh());
     row("this repo: wedge-apache", &measured_apache());
     println!();

@@ -29,13 +29,7 @@ fn main() {
         .expect("greeting");
     println!("S: {}", String::from_utf8_lossy(&greeting));
 
-    for cmd in [
-        "USER alice",
-        "PASS wonderland",
-        "STAT",
-        "RETR 1",
-        "QUIT",
-    ] {
+    for cmd in ["USER alice", "PASS wonderland", "STAT", "RETR 1", "QUIT"] {
         println!("C: {cmd}");
         println!("S: {}", command(&client, cmd));
     }
@@ -45,8 +39,5 @@ fn main() {
         "session: {} commands, logged_in={}, retrieved={}",
         stats.commands, stats.logged_in, stats.retrieved
     );
-    println!(
-        "kernel stats: {:?}",
-        server.wedge().kernel().stats()
-    );
+    println!("kernel stats: {:?}", server.wedge().kernel().stats());
 }

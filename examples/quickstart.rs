@@ -16,9 +16,11 @@ fn main() -> Result<(), WedgeError> {
 
     // 3. A default-deny sthread cannot read it.
     let denied = root
-        .sthread_create("untrusted-worker", &SecurityPolicy::deny_all(), move |ctx| {
-            ctx.read_all(&secret)
-        })?
+        .sthread_create(
+            "untrusted-worker",
+            &SecurityPolicy::deny_all(),
+            move |ctx| ctx.read_all(&secret),
+        )?
         .join()?;
     println!("untrusted worker read attempt: {denied:?}");
     assert!(denied.is_err());

@@ -80,14 +80,10 @@ fn main() -> Result<(), WedgeError> {
     let static_policy = model.suggest_policy("handle_request").to_security_policy();
 
     for (label, policy) in [("dynamic", dynamic_policy), ("static", static_policy)] {
-        let handle = root.sthread_create(
-            &format!("worker-{label}"),
-            &policy,
-            move |ctx| {
-                let mut exploit = Exploit::seize(ctx);
-                exploit.try_read(&key).is_ok()
-            },
-        )?;
+        let handle = root.sthread_create(&format!("worker-{label}"), &policy, move |ctx| {
+            let mut exploit = Exploit::seize(ctx);
+            exploit.try_read(&key).is_ok()
+        })?;
         let key_leaks = handle.join()?;
         println!(
             "worker provisioned from {label:>7} analysis: exploited worker {} the private key",

@@ -7,6 +7,9 @@
 //!
 //! * [`core`] — sthreads, tagged memory, callgates, default-deny policies
 //!   and the simulated kernel (the paper's contribution).
+//! * [`sched`] — the concurrent compartment scheduler: recycled-sthread
+//!   pools with zeroize-on-checkin, bounded work-stealing run queues and
+//!   admission control (the production-scale extension).
 //! * [`crowbar`] — the cb-log/cb-analyze partitioning-assistance tools.
 //! * [`alloc`] — the tag-segment allocator substrate.
 //! * [`crypto`] / [`tls`] / [`net`] — the substrates behind the case
@@ -29,6 +32,7 @@ pub use wedge_core as core;
 pub use wedge_crypto as crypto;
 pub use wedge_net as net;
 pub use wedge_pop3 as pop3;
+pub use wedge_sched as sched;
 pub use wedge_ssh as ssh;
 pub use wedge_tls as tls;
 

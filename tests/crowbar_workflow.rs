@@ -34,7 +34,10 @@ fn trace_derive_apply_roundtrip() {
     let suggestion = trace.suggest_policy("handle_session");
     assert!(suggestion.tags.contains_key(&config_tag));
     assert!(suggestion.tags.contains_key(&session_tag));
-    assert!(!suggestion.tags.contains_key(&key_tag), "the key was never needed");
+    assert!(
+        !suggestion.tags.contains_key(&key_tag),
+        "the key was never needed"
+    );
 
     // Apply the derived policy: the partitioned sthread works, and the key
     // stays out of reach.
@@ -71,7 +74,9 @@ fn emulation_mode_enumerates_missing_grants_after_refactoring() {
     let old_tag = root.tag_new().unwrap();
     let new_tag = root.tag_new().unwrap();
     let old_buf = root.smalloc_init(old_tag, b"old state").unwrap();
-    let new_buf = root.smalloc_init(new_tag, b"state added by refactoring").unwrap();
+    let new_buf = root
+        .smalloc_init(new_tag, b"state added by refactoring")
+        .unwrap();
 
     // The sthread's policy was written before the refactoring and only
     // grants the old region. Under emulation the run completes anyway and

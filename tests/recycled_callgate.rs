@@ -24,12 +24,7 @@ use wedge::core::{SBuf, SecurityPolicy, Wedge, WedgeError};
 /// The `stash` holds only the `SBuf` *handle*; whether the bytes behind it
 /// are still reachable is decided entirely by the kernel (the compartment
 /// that allocated them must still exist and must be the one reading).
-fn register_leaky_gate(
-    wedge: &Wedge,
-) -> (
-    wedge::core::CgEntryId,
-    Arc<Mutex<Option<SBuf>>>,
-) {
+fn register_leaky_gate(wedge: &Wedge) -> (wedge::core::CgEntryId, Arc<Mutex<Option<SBuf>>>) {
     let stash: Arc<Mutex<Option<SBuf>>> = Arc::new(Mutex::new(None));
     let stash_for_gate = stash.clone();
     let entry = wedge.kernel().cgate_register(
@@ -143,8 +138,11 @@ fn recycled_and_standard_callgates_compute_the_same_results() {
     let handle = root
         .sthread_create("caller", &policy, move |ctx| {
             let data = vec![1u8, 2, 3, 4, 5];
-            let fresh = ctx
-                .cgate_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(data.clone()))?;
+            let fresh = ctx.cgate_expect::<u64>(
+                entry,
+                &SecurityPolicy::deny_all(),
+                Box::new(data.clone()),
+            )?;
             let recycled = ctx.cgate_recycled_expect::<u64>(
                 entry,
                 &SecurityPolicy::deny_all(),
@@ -156,6 +154,117 @@ fn recycled_and_standard_callgates_compute_the_same_results() {
     let (fresh, recycled) = handle.join().expect("join").expect("calls");
     assert_eq!(fresh, 15);
     assert_eq!(recycled, 15);
+}
+
+/// Concurrent pool safety: many OS threads hammer a small pool of
+/// zeroize-on-checkin workers with per-principal secrets and exploit dumps.
+/// Because every checkin scrubs the worker's private scratch, no thread may
+/// ever observe another principal's bytes — or even its own from a previous
+/// checkout.
+#[test]
+fn pooled_workers_leak_nothing_across_principals_under_concurrency() {
+    use wedge::sched::{PoolConfig, WorkerPool};
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let (entry, _stash) = register_leaky_gate(&wedge);
+
+    let pool = Arc::new(
+        WorkerPool::prewarm(
+            &root,
+            entry,
+            &SecurityPolicy::deny_all(),
+            None,
+            PoolConfig {
+                size: 4,
+                max_waiters: 64,
+                scrub_on_checkin: true,
+            },
+        )
+        .expect("prewarm pool"),
+    );
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 12;
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let secret = format!("principal-{t} round-{round} card 4111-{t:04}");
+                    {
+                        let worker = pool.checkout().expect("checkout for submit");
+                        worker
+                            .invoke_expect::<Vec<u8>>(Box::new(secret.into_bytes()))
+                            .expect("benign call");
+                        // Checkin (drop) zeroizes the worker's scratch.
+                    }
+                    let worker = pool.checkout().expect("checkout for probe");
+                    let leaked = worker
+                        .invoke_expect::<Vec<u8>>(Box::new(b"__exploit_dump__".to_vec()))
+                        .expect("exploit dump");
+                    assert!(
+                        leaked.is_empty(),
+                        "thread {t} round {round} observed residue: {:?}",
+                        String::from_utf8_lossy(&leaked)
+                    );
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("stress thread");
+    }
+
+    let stats = pool.stats();
+    assert_eq!(stats.checkouts, (THREADS * ROUNDS * 2) as u64);
+    assert_eq!(stats.checkins, stats.checkouts);
+    assert_eq!(stats.scrubs, stats.checkouts);
+    assert_eq!(stats.rejected, 0);
+    // Every checkin zeroized in the kernel.
+    assert_eq!(
+        wedge.kernel().stats().private_scrubs,
+        (THREADS * ROUNDS * 2) as u64
+    );
+}
+
+/// The control experiment: the same pool with zeroization disabled
+/// reproduces the §3.3 recycled-callgate residue leak, proving the scrub —
+/// not compartment boundaries alone — is what protects pooled principals.
+#[test]
+fn pool_without_scrub_reproduces_the_recycled_residue_leak() {
+    use wedge::sched::{PoolConfig, WorkerPool};
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let (entry, _stash) = register_leaky_gate(&wedge);
+    let pool = WorkerPool::prewarm(
+        &root,
+        entry,
+        &SecurityPolicy::deny_all(),
+        None,
+        PoolConfig {
+            size: 1,
+            max_waiters: 4,
+            scrub_on_checkin: false,
+        },
+    )
+    .expect("prewarm pool");
+
+    {
+        let worker = pool.checkout().expect("checkout A");
+        worker
+            .invoke_expect::<Vec<u8>>(Box::new(b"principal-A credit card 4111-1111".to_vec()))
+            .expect("benign call");
+    }
+    let worker = pool.checkout().expect("checkout B");
+    let leaked = worker
+        .invoke_expect::<Vec<u8>>(Box::new(b"__exploit_dump__".to_vec()))
+        .expect("exploit dump");
+    assert_eq!(
+        leaked, b"principal-A credit card 4111-1111",
+        "without zeroization the single pooled worker leaks across checkouts"
+    );
 }
 
 #[test]
@@ -184,8 +293,12 @@ fn recycled_callgate_is_cheaper_than_standard_over_many_invocations() {
 
             let start = Instant::now();
             for _ in 0..N {
-                ctx.cgate_recycled_expect::<u64>(entry, &SecurityPolicy::deny_all(), Box::new(1u64))
-                    .expect("recycled call");
+                ctx.cgate_recycled_expect::<u64>(
+                    entry,
+                    &SecurityPolicy::deny_all(),
+                    Box::new(1u64),
+                )
+                .expect("recycled call");
             }
             let recycled = start.elapsed();
             (standard, recycled)

@@ -28,29 +28,33 @@ fn exploited_worker_memory_hog_is_bounded_and_siblings_keep_working() {
         .with_tagged_bytes(64 * 1024)
         .with_tags(8);
     let worker = root
-        .sthread_create("exploited-worker", &SecurityPolicy::deny_all(), move |ctx| {
-            let limited = LimitedCtx::new(ctx.clone(), worker_limits);
-            // The exploit tries to allocate without bound.
-            let mut allocated = 0u64;
-            let mut refused = false;
-            for _ in 0..1_000 {
-                let tag = match limited.tag_new() {
-                    Ok(tag) => tag,
-                    Err(e) => {
-                        refused = is_exhausted(&e);
-                        break;
-                    }
-                };
-                match limited.smalloc(16 * 1024, tag) {
-                    Ok(_) => allocated += 16 * 1024,
-                    Err(e) => {
-                        refused = is_exhausted(&e);
-                        break;
+        .sthread_create(
+            "exploited-worker",
+            &SecurityPolicy::deny_all(),
+            move |ctx| {
+                let limited = LimitedCtx::new(ctx.clone(), worker_limits);
+                // The exploit tries to allocate without bound.
+                let mut allocated = 0u64;
+                let mut refused = false;
+                for _ in 0..1_000 {
+                    let tag = match limited.tag_new() {
+                        Ok(tag) => tag,
+                        Err(e) => {
+                            refused = is_exhausted(&e);
+                            break;
+                        }
+                    };
+                    match limited.smalloc(16 * 1024, tag) {
+                        Ok(_) => allocated += 16 * 1024,
+                        Err(e) => {
+                            refused = is_exhausted(&e);
+                            break;
+                        }
                     }
                 }
-            }
-            (allocated, refused, limited.usage())
-        })
+                (allocated, refused, limited.usage())
+            },
+        )
         .unwrap();
     let (allocated, refused, usage) = worker.join().unwrap();
 
@@ -107,7 +111,10 @@ fn spawn_storm_is_bounded_across_the_subtree() {
     }
 
     let spawned = storm(&limited, 6);
-    assert!(spawned <= 8, "subtree spawn count bounded by quota, got {spawned}");
+    assert!(
+        spawned <= 8,
+        "subtree spawn count bounded by quota, got {spawned}"
+    );
     assert_eq!(limited.usage().sthreads, spawned);
     assert_eq!(limited.remaining(ResourceKind::Sthreads), 8 - spawned);
 }
@@ -193,5 +200,8 @@ fn cpu_budget_stops_a_runaway_loop() {
         })
         .unwrap();
     let iterations = worker.join().unwrap();
-    assert_eq!(iterations, 100, "10_000 tick budget / 100 ticks per iteration");
+    assert_eq!(
+        iterations, 100,
+        "10_000 tick budget / 100 ticks per iteration"
+    );
 }

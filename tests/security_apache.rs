@@ -32,7 +32,10 @@ fn vanilla_apache_exploit_discloses_the_private_key() {
         .unwrap()
         .join()
         .unwrap();
-    assert!(leaked, "the monolithic server's worker holds the private key");
+    assert!(
+        leaked,
+        "the monolithic server's worker holds the private key"
+    );
 }
 
 #[test]
@@ -71,7 +74,8 @@ fn simple_partitioning_protects_the_private_key_but_leaks_the_session_key() {
     let handle = server.serve_connection(server_link).unwrap();
     let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(3));
     let mut conn = client.connect(&client_link).unwrap();
-    conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n").unwrap();
+    conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n")
+        .unwrap();
     let response = conn.recv(&client_link).unwrap();
     assert!(response.starts_with(b"HTTP/1.0 200"));
     drop(conn);
@@ -82,7 +86,10 @@ fn simple_partitioning_protects_the_private_key_but_leaks_the_session_key() {
     assert!(report.handshake_ok);
 
     let mitm = Arc::try_unwrap(mitm).expect("sole owner").into_inner();
-    assert!(mitm.observed().entries().len() >= 5, "the attacker saw the whole exchange");
+    assert!(
+        mitm.observed().entries().len() >= 5,
+        "the attacker saw the whole exchange"
+    );
     let keys = leaked_keys.expect("the worker holds the session keys");
     let recovered = decrypt_observed_client_records(&keys.material, &mitm);
     assert!(
@@ -144,7 +151,8 @@ fn hardened_partitioning_denies_the_attacker_key_material_and_oracles() {
         let handle = scope.spawn(move || server_ref.serve_connection(server_link).unwrap());
         let mut client = TlsClient::new(server.public_key(), WedgeRng::from_seed(5));
         let mut conn = client.connect(&client_link).unwrap();
-        conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n").unwrap();
+        conn.send(&client_link, b"GET /account HTTP/1.0\r\n\r\n")
+            .unwrap();
         let response = conn.recv(&client_link).unwrap();
         assert!(response.starts_with(b"HTTP/1.0 200"));
         drop(conn);
@@ -183,8 +191,11 @@ fn injected_records_are_rejected_before_reaching_the_client_handler() {
         let mut conn = client.connect(&client_link).unwrap();
         // The attacker injects garbage "ciphertext" into the established
         // connection before the real request.
-        client_link.send(b"attacker-injected-record-without-a-valid-mac").unwrap();
-        conn.send(&client_link, b"GET /index.html HTTP/1.0\r\n\r\n").unwrap();
+        client_link
+            .send(b"attacker-injected-record-without-a-valid-mac")
+            .unwrap();
+        conn.send(&client_link, b"GET /index.html HTTP/1.0\r\n\r\n")
+            .unwrap();
         let response = conn.recv(&client_link).unwrap();
         assert!(response.starts_with(b"HTTP/1.0 200"));
         drop(conn);
@@ -192,6 +203,12 @@ fn injected_records_are_rejected_before_reaching_the_client_handler() {
         handle.join().unwrap()
     });
     assert!(report.handshake_ok);
-    assert_eq!(report.rejected_records, 1, "the injected record was dropped by ssl_read");
-    assert_eq!(report.requests, 1, "the legitimate request was still served");
+    assert_eq!(
+        report.rejected_records, 1,
+        "the injected record was dropped by ssl_read"
+    );
+    assert_eq!(
+        report.requests, 1,
+        "the legitimate request was still served"
+    );
 }

@@ -4,7 +4,9 @@ use wedge::core::{Exploit, Uid, Wedge};
 use wedge::crypto::{RsaKeyPair, WedgeRng};
 use wedge::net::duplex_pair;
 use wedge::ssh::authdb::ServerConfig;
-use wedge::ssh::privsep::{demonstrate_scratch_leak, monitor_lookup_user, probing_leak_exists, wedge_lookup_user};
+use wedge::ssh::privsep::{
+    demonstrate_scratch_leak, monitor_lookup_user, probing_leak_exists, wedge_lookup_user,
+};
 use wedge::ssh::{AuthDb, SshClient, VanillaSsh, WedgeSsh};
 
 fn wedged_server(seed: u64) -> WedgeSsh {
@@ -103,7 +105,10 @@ fn worker_runs_unprivileged_with_an_empty_filesystem_root() {
     let policy = server.worker_policy();
     assert_eq!(policy.uid, wedge::ssh::server::UNPRIVILEGED_UID);
     assert_eq!(policy.fs_root, "/var/empty");
-    assert!(policy.mem_grants().is_empty(), "no credential store is directly granted");
+    assert!(
+        policy.mem_grants().is_empty(),
+        "no credential store is directly granted"
+    );
     assert_eq!(policy.callgate_grants().len(), 4);
 
     // And it cannot escalate itself.
@@ -111,7 +116,8 @@ fn worker_runs_unprivileged_with_an_empty_filesystem_root() {
         .wedge()
         .root()
         .sthread_create("worker", &policy, |ctx| {
-            ctx.transition_identity(ctx.id(), Uid::ROOT, Some("/")).is_ok()
+            ctx.transition_identity(ctx.id(), Uid::ROOT, Some("/"))
+                .is_ok()
         })
         .unwrap()
         .join()

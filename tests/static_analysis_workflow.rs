@@ -39,7 +39,9 @@ impl LegacyApp {
         let key_tag = root.tag_new().unwrap();
         let request = root.smalloc_init(request_tag, b"GET /index.html").unwrap();
         let session = root.smalloc(64, session_tag).unwrap();
-        let key = root.smalloc_init(key_tag, b"-----PRIVATE KEY-----").unwrap();
+        let key = root
+            .smalloc_init(key_tag, b"-----PRIVATE KEY-----")
+            .unwrap();
         LegacyApp {
             wedge,
             request_tag,
@@ -194,15 +196,21 @@ fn per_workload_models_merge_like_traces_do() {
 
     let model_a = ProgramModel::from_trace(&run_a);
     let model_b = ProgramModel::from_trace(&run_b);
-    assert!(model_a
-        .compare_with_trace("handle_request", &run_b)
-        .dynamic_only
-        .iter()
-        .any(|item| matches!(item, ItemKey::Alloc { tag, .. } if *tag == app.key_tag)),
-        "the innocuous-run model alone does not cover the admin run");
+    assert!(
+        model_a
+            .compare_with_trace("handle_request", &run_b)
+            .dynamic_only
+            .iter()
+            .any(|item| matches!(item, ItemKey::Alloc { tag, .. } if *tag == app.key_tag)),
+        "the innocuous-run model alone does not cover the admin run"
+    );
 
     let mut merged = model_a;
     merged.merge(&model_b);
-    assert!(merged.compare_with_trace("handle_request", &run_a).is_superset());
-    assert!(merged.compare_with_trace("handle_request", &run_b).is_superset());
+    assert!(merged
+        .compare_with_trace("handle_request", &run_a)
+        .is_superset());
+    assert!(merged
+        .compare_with_trace("handle_request", &run_b)
+        .is_superset());
 }

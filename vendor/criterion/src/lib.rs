@@ -1,0 +1,297 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the criterion API its benches use:
+//! `Criterion`, `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then collects `sample_size` samples (each an adaptively sized
+//! batch of iterations) within roughly the configured measurement time, and
+//! prints min / mean / max per-iteration latency. There is no statistical
+//! regression analysis, plotting, or baseline comparison — numbers are for
+//! eyeballing trends, which is all a 1-core CI container supports anyway.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A parameterised benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` plus a parameter rendered into the id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// Passed to benchmark closures; drives the timed iterations.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    /// Filled by `iter`: per-iteration nanoseconds for each sample.
+    samples: Vec<f64>,
+}
+
+impl<'a> Bencher<'a> {
+    /// Run `routine` repeatedly and record per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also used to size the per-sample batch.
+        let warmup_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warmup_iters: u64 = 0;
+        let warmup_started = Instant::now();
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+        }
+        let per_iter = warmup_started.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let time_budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = time_budget / samples as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let started = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = started.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.warm_up_time = duration;
+        self
+    }
+
+    /// Target total measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.measurement_time = duration;
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            config: &self.config,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+            return;
+        }
+        let min = bencher.samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = bencher.samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        println!(
+            "{}/{id}  time: [{} {} {}]",
+            self.name,
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        self.run_one(&id.name, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        self.run_one(&id.name, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    config: GroupConfig,
+}
+
+impl Criterion {
+    /// Accept and ignore criterion-style CLI arguments (`--bench`, filters).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let id = id.into();
+        let group = BenchmarkGroup {
+            name: "bench".to_string(),
+            config: self.config.clone(),
+            _criterion: self,
+        };
+        let mut f = f;
+        group.run_one(&id.name, |b| f(b));
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut runs = 0u64;
+        group.bench_function("incr", |b| b.iter(|| runs = black_box(runs + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(12_000_000_000.0).contains(" s"));
+    }
+}

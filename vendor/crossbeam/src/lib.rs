@@ -1,0 +1,312 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the crossbeam API the reproduction uses:
+//! `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`. Unlike
+//! `std::sync::mpsc`, these endpoints are `Sync` and cloneable on both
+//! sides (MPMC), which the recycled-callgate workers rely on — a
+//! `Receiver` is shared between caller threads through an `Arc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        messages: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel (MPMC: cloneable and `Sync`).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message, failing if every receiver has been dropped.
+        /// Bounded channels block while full (and a receiver still exists).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match st.capacity {
+                    Some(cap) if st.messages.len() >= cap => {
+                        st = self.inner.ready.wait(st).expect("channel lock");
+                    }
+                    _ => break,
+                }
+            }
+            st.messages.push_back(value);
+            self.inner.ready.notify_all();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a message, blocking while the channel is empty and at
+        /// least one sender remains.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = st.messages.pop_front() {
+                    self.inner.ready.notify_all();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.inner.ready.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            if let Some(msg) = st.messages.pop_front() {
+                self.inner.ready.notify_all();
+                Ok(msg)
+            } else if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeue, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = st.messages.pop_front() {
+                    self.inner.ready.notify_all();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .expect("channel lock");
+                st = guard;
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.inner
+                .queue
+                .lock()
+                .expect("channel lock")
+                .messages
+                .len()
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                messages: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Create a bounded channel with the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(capacity.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn receiver_is_shareable_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let rx = Arc::new(rx);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || rx.recv().unwrap()));
+        }
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        let mut got: Vec<i32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_channel_blocks_then_drains() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = thread::spawn(move || tx.send(3).unwrap());
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+}

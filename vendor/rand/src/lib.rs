@@ -1,0 +1,107 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides `RngCore` and `thread_rng()` — the only pieces the workspace
+//! uses (entropy-seeding `WedgeRng`). Entropy is gathered without `unsafe`
+//! from the OS-seeded `RandomState` hasher, the monotonic clock and the
+//! thread id, then expanded with splitmix64. This is *not* cryptographically
+//! strong randomness; the workspace's own deterministic `WedgeRng` performs
+//! all modelled-crypto duties, and seeds only need to be unpredictable
+//! enough to decorrelate test runs.
+
+#![forbid(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Core random-number-generation trait (API subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn os_entropy() -> u64 {
+    // RandomState is seeded by the standard library from OS entropy once
+    // per process; hashing per-call state decorrelates successive seeds.
+    let mut hasher = RandomState::new().build_hasher();
+    std::thread::current().id().hash(&mut hasher);
+    std::time::Instant::now().hash_slice_free(&mut hasher);
+    hasher.finish()
+}
+
+trait HashInstant {
+    fn hash_slice_free<H: Hasher>(&self, h: &mut H);
+}
+
+impl HashInstant for std::time::Instant {
+    fn hash_slice_free<H: Hasher>(&self, h: &mut H) {
+        // Instant has no stable Hash impl; fold in the elapsed-time ns.
+        h.write_u128(self.elapsed().as_nanos());
+        h.write_u64(std::process::id() as u64);
+    }
+}
+
+/// A per-thread RNG handle (API stand-in for `rand::rngs::ThreadRng`).
+#[derive(Debug, Clone)]
+pub struct ThreadRng;
+
+thread_local! {
+    static THREAD_STATE: RefCell<u64> = RefCell::new(os_entropy());
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        THREAD_STATE.with(|state| splitmix64(&mut state.borrow_mut()))
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// The per-thread RNG, seeded from OS entropy.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut rng = thread_rng();
+        let mut buf = [0u8; 64];
+        rng.fill_bytes(&mut buf);
+        // 64 zero bytes has probability 2^-512; treat as impossible.
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+
+    #[test]
+    fn successive_draws_differ() {
+        let mut rng = thread_rng();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(rng.next_u32(), 0u32.wrapping_sub(1));
+    }
+}
