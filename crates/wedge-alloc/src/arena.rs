@@ -403,6 +403,18 @@ impl Arena {
         }
     }
 
+    /// Validate that `payload_offset..payload_offset+len` is one live
+    /// allocation and return its bytes — the single-pass form of
+    /// [`Arena::contains_live_range`] + [`Arena::data`] the kernel's read
+    /// fast path uses (one header parse, one bounds check, no re-slicing).
+    pub fn live_slice(&self, payload_offset: usize, len: usize) -> Option<&[u8]> {
+        let usable = self.usable_size(payload_offset).ok()?;
+        if len > usable {
+            return None;
+        }
+        Some(&self.data[payload_offset..payload_offset + len])
+    }
+
     /// Iterate over `(payload_offset, payload_size)` pairs of live
     /// allocations, in address order.
     pub fn live_ranges(&self) -> Vec<(usize, usize)> {

@@ -144,6 +144,32 @@ impl TagCache {
         Segment::new(id, capacity)
     }
 
+    /// Pre-populate the free list with `count` default-size segments (paying
+    /// the simulated `mmap` up front), so a burst of `acquire_default`
+    /// callers — e.g. a pooled-worker pre-warm in the sharded kernel — hits
+    /// the recycle path instead of faulting in fresh segments one by one.
+    /// Returns how many segments were actually parked (bounded by
+    /// `max_cached_per_size`; zero when reuse is disabled).
+    pub fn prewarm(&mut self, count: usize) -> Result<usize, AllocError> {
+        if !self.config.reuse_enabled {
+            return Ok(0);
+        }
+        let capacity = self.config.default_segment_size;
+        let parked = self.free.get(&capacity).map(Vec::len).unwrap_or(0);
+        let room = self
+            .config
+            .max_cached_per_size
+            .saturating_sub(parked)
+            .min(count);
+        for _ in 0..room {
+            self.stats.mmap_calls += 1;
+            let id = self.next_id();
+            let segment = Segment::new(id, capacity)?;
+            self.free.entry(capacity).or_default().push(segment);
+        }
+        Ok(room)
+    }
+
     /// Release (delete) a tag's segment back to the cache. If the per-size
     /// cache is full the segment is dropped, which models `munmap`.
     pub fn release(&mut self, segment: Segment) {
@@ -263,6 +289,28 @@ mod tests {
         }
         assert!(cache.cached_segments() <= 2);
         assert!(cache.stats().munmap_calls >= 2);
+    }
+
+    #[test]
+    fn prewarm_fills_the_free_list_and_acquires_recycle() {
+        let mut cache = TagCache::default();
+        assert_eq!(cache.prewarm(3).unwrap(), 3);
+        assert_eq!(cache.cached_segments(), 3);
+        let seg = cache.acquire_default().unwrap();
+        assert_eq!(seg.generation(), 2, "prewarmed segment is recycled");
+        assert_eq!(cache.stats().tag_reuse_hits, 1);
+
+        // Prewarm respects the per-size cap and the reuse switch.
+        let mut capped = TagCache::new(TagCacheConfig {
+            max_cached_per_size: 2,
+            ..TagCacheConfig::default()
+        });
+        assert_eq!(capped.prewarm(10).unwrap(), 2);
+        let mut disabled = TagCache::new(TagCacheConfig {
+            reuse_enabled: false,
+            ..TagCacheConfig::default()
+        });
+        assert_eq!(disabled.prewarm(5).unwrap(), 0);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! The kernel fast-path experiment: concurrent tagged reads on the sharded,
+//! permission-cached kernel vs. the pre-refactor global-lock baseline.
+//!
+//! Expected shape: the legacy profile flatlines (every reader serialises on
+//! one mutex and allocates per read), while the sharded kernel's aggregate
+//! throughput holds as workers are added — its warm path is an epoch load,
+//! a cache hit and a shard read lock. The companion assertion
+//! (`cargo test -p wedge-bench fast_path`) pins the ≥3× criterion at 4
+//! workers.
+//!
+//! Set `WEDGE_FAST_PATH_SMOKE=1` to run a tiny workload — the CI smoke mode
+//! that keeps the harness compiling and running without burning minutes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wedge_bench::fast_path::{run_concurrent_reads, FastPathWorkload, KernelProfile};
+
+fn smoke() -> bool {
+    std::env::var_os("WEDGE_FAST_PATH_SMOKE").is_some()
+}
+
+fn workload(workers: usize) -> FastPathWorkload {
+    FastPathWorkload {
+        workers,
+        iters_per_worker: if smoke() { 200 } else { 5_000 },
+        payload: 64,
+    }
+}
+
+fn fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_path");
+    if smoke() {
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(10));
+        group.measurement_time(Duration::from_millis(50));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("legacy", workers),
+            &workers,
+            |b, workers| {
+                b.iter(|| run_concurrent_reads(KernelProfile::Legacy, workload(*workers)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sharded", workers),
+            &workers,
+            |b, workers| {
+                b.iter(|| run_concurrent_reads(KernelProfile::Sharded, workload(*workers)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fast_path);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! The kernel fast-path experiment: sharded, permission-cached tagged reads
+//! vs. the pre-refactor global-lock kernel.
+//!
+//! The workload is the paper's Figure 7 primitive cost, scaled out: `N`
+//! reader compartments hammer `mem_read` on buffers in shared tagged
+//! memory. The baseline runs on [`wedge_core::Kernel::legacy_baseline`],
+//! which reproduces the pre-sharding contention profile (one global lock
+//! around every access, a per-access compartment-name clone, no permission
+//! caches) — the same ablation idiom the tag cache uses for Figure 8. The
+//! fast variant runs on the sharded kernel through
+//! [`wedge_core::SthreadCtx::read_into`], whose warm path takes one epoch
+//! load, one cache-map hit and one shard read lock, and performs zero heap
+//! allocations when no tracer is installed (asserted by the
+//! `fast_path_alloc` integration test).
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use wedge_core::{Kernel, MemProt, SecurityPolicy, SthreadCtx};
+
+/// The concurrent tagged-read workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FastPathWorkload {
+    /// Concurrent reader compartments.
+    pub workers: usize,
+    /// `mem_read`s per reader.
+    pub iters_per_worker: usize,
+    /// Bytes per read.
+    pub payload: usize,
+}
+
+impl Default for FastPathWorkload {
+    fn default() -> Self {
+        FastPathWorkload {
+            workers: 4,
+            iters_per_worker: 10_000,
+            payload: 32,
+        }
+    }
+}
+
+/// Which kernel profile serves the readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelProfile {
+    /// The pre-refactor baseline: one global lock, per-access name clone,
+    /// no permission caches.
+    Legacy,
+    /// The sharded kernel with per-sthread permission caches and the
+    /// zero-copy `read_into` path.
+    Sharded,
+}
+
+fn build_root(profile: KernelProfile) -> SthreadCtx {
+    let kernel = match profile {
+        KernelProfile::Legacy => Arc::new(Kernel::legacy_baseline()),
+        KernelProfile::Sharded => Arc::new(Kernel::new()),
+    };
+    kernel.prewarm_tag_cache(2);
+    kernel.create_root_compartment("bench-root")
+}
+
+/// Run the workload on the given kernel profile; returns the wall time from
+/// the moment all readers are released to the last reader finishing.
+pub fn run_concurrent_reads(profile: KernelProfile, workload: FastPathWorkload) -> Duration {
+    let root = build_root(profile);
+    let tag = root.tag_new().expect("tag");
+    let payload: Vec<u8> = (0..workload.payload).map(|i| i as u8).collect();
+    let buf = root.smalloc_init(tag, &payload).expect("buf");
+
+    // One grant per reader; all readers share the tag (the Apache/SSH shape:
+    // many workers, few hot shared regions).
+    let barrier = Arc::new(Barrier::new(workload.workers + 1));
+    let mut policy = SecurityPolicy::deny_all();
+    policy.sc_mem_add(tag, MemProt::Read);
+
+    let handles: Vec<_> = (0..workload.workers)
+        .map(|i| {
+            let barrier = barrier.clone();
+            let expected = payload.clone();
+            root.sthread_create(&format!("reader-{i}"), &policy, move |ctx| {
+                barrier.wait();
+                let mut dst = vec![0u8; expected.len()];
+                let mut last = Vec::new();
+                for _ in 0..workload.iters_per_worker {
+                    match profile {
+                        KernelProfile::Legacy => {
+                            // The pre-refactor API: every read allocates its
+                            // result and re-walks the policy table.
+                            last = ctx.read(&buf, 0, expected.len()).expect("legacy read");
+                        }
+                        KernelProfile::Sharded => {
+                            ctx.read_into(&buf, 0, &mut dst).expect("fast read");
+                        }
+                    }
+                }
+                // Verify once, outside the timed loop (and keep the reads
+                // observable so the loop cannot be optimised away).
+                match profile {
+                    KernelProfile::Legacy => assert_eq!(last, expected),
+                    KernelProfile::Sharded => assert_eq!(dst, expected),
+                }
+            })
+            .expect("spawn reader")
+        })
+        .collect();
+
+    // Start the clock *before* releasing the barrier: on a 1-core box the
+    // released workers can run to completion before this thread is
+    // rescheduled, so a post-wait timestamp would miss the whole run.
+    let started = Instant::now();
+    barrier.wait();
+    for handle in handles {
+        handle.join().expect("reader");
+    }
+    started.elapsed()
+}
+
+/// Outcome of one legacy-vs-sharded comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct FastPathComparison {
+    /// Wall time on the legacy (global-lock) kernel.
+    pub legacy: Duration,
+    /// Wall time on the sharded kernel.
+    pub sharded: Duration,
+    /// `legacy / sharded` — how many times faster the sharded fast path is.
+    pub speedup: f64,
+}
+
+/// Run the same workload on both kernel profiles.
+pub fn compare_fast_path(workload: FastPathWorkload) -> FastPathComparison {
+    let legacy = run_concurrent_reads(KernelProfile::Legacy, workload);
+    let sharded = run_concurrent_reads(KernelProfile::Sharded, workload);
+    FastPathComparison {
+        legacy,
+        sharded,
+        speedup: legacy.as_secs_f64() / sharded.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noise-robust speedup estimate: scheduler noise on a loaded 1-core
+    /// runner only ever *adds* wall time, so the minimum over several
+    /// interleaved rounds is the best estimate of each profile's true cost.
+    fn measured_speedup(rounds: usize) -> (f64, Duration, Duration) {
+        let workload = FastPathWorkload::default();
+        let outcomes: Vec<_> = (0..rounds).map(|_| compare_fast_path(workload)).collect();
+        let legacy = outcomes.iter().map(|r| r.legacy).min().expect("rounds");
+        let sharded = outcomes.iter().map(|r| r.sharded).min().expect("rounds");
+        (
+            legacy.as_secs_f64() / sharded.as_secs_f64().max(f64::EPSILON),
+            legacy,
+            sharded,
+        )
+    }
+
+    /// The ISSUE acceptance criterion: the sharded fast path serves ≥3× the
+    /// throughput of the pre-refactor kernel on 4-worker concurrent tagged
+    /// reads. Release-only — an unoptimised build inflates both profiles
+    /// with fixed interpreter-grade overhead that hides the locking and
+    /// allocation deltas this measures (CI runs it via
+    /// `cargo test --release -p wedge-bench fast_path`).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn fast_path_beats_legacy_by_3x_at_4_workers() {
+        let (speedup, legacy, sharded) = measured_speedup(5);
+        assert!(
+            speedup >= 3.0,
+            "expected ≥3x over the legacy kernel at 4 workers, got {speedup:.2}x \
+             (legacy {legacy:?}, sharded {sharded:?})"
+        );
+    }
+
+    /// Debug-build sanity bound for the same workload, so plain
+    /// `cargo test` still guards against a fast-path regression.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fast_path_beats_legacy_even_unoptimised() {
+        let (speedup, legacy, sharded) = measured_speedup(3);
+        assert!(
+            speedup >= 1.5,
+            "expected ≥1.5x over the legacy kernel in a debug build, got {speedup:.2}x \
+             (legacy {legacy:?}, sharded {sharded:?})"
+        );
+    }
+
+    /// Both profiles enforce the same policy: a reader without a grant
+    /// faults identically on either kernel.
+    #[test]
+    fn profiles_agree_on_denials() {
+        for profile in [KernelProfile::Legacy, KernelProfile::Sharded] {
+            let root = build_root(profile);
+            let tag = root.tag_new().unwrap();
+            let buf = root.smalloc_init(tag, b"secret").unwrap();
+            let handle = root
+                .sthread_create("snoop", &SecurityPolicy::deny_all(), move |ctx| {
+                    ctx.read(&buf, 0, 6).is_err()
+                })
+                .unwrap();
+            assert!(handle.join().unwrap(), "denial must hold under {profile:?}");
+        }
+    }
+}

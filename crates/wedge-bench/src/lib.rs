@@ -9,10 +9,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fast_path;
 pub mod harness;
 pub mod pooled;
 pub mod spec;
 
+pub use fast_path::{
+    compare_fast_path, run_concurrent_reads, FastPathComparison, FastPathWorkload, KernelProfile,
+};
 pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, SshBed};
 pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
 pub use spec::{spec_workloads, SpecWorkload};

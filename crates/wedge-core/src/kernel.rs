@@ -7,11 +7,37 @@
 //! policy check. Application code never touches segment bytes directly; it
 //! holds [`SBuf`] names and goes through a [`crate::SthreadCtx`], which
 //! forwards to the methods here.
+//!
+//! ## Concurrency architecture (the lock-sharded fast path)
+//!
+//! Tagged-memory checks sit on *every* access, so the kernel's hot path is
+//! built for concurrency instead of a single state mutex:
+//!
+//! * the **segment table** is sharded by tag across [`SEGMENT_SHARDS`]
+//!   independent `RwLock`s (copy-on-write overlays live in the same shard
+//!   as their tag, so one guard covers both);
+//! * the **compartment/policy table** is a separate `RwLock`, read-locked
+//!   only on permission-cache misses;
+//! * **stats** are relaxed atomics, **violations** and all control-plane
+//!   tables (callgates, globals, fd ownership, the tag cache) live behind
+//!   their own locks, off the data path;
+//! * every compartment carries an **epoch** counter. A
+//!   [`crate::SthreadCtx`] keeps a per-sthread permission cache
+//!   (tag → [`MemProt`], fd → [`crate::FdProt`]) validated against that
+//!   epoch; policy mutations (grants, revocations, identity transitions,
+//!   scrubs) bump the epoch so cached grants are revalidated only when the
+//!   policy actually changed — mirroring the paper's observation that
+//!   grants change rarely relative to accesses.
+//!
+//! Lock order (outer → inner): `compartments` → segment shard → `fds` →
+//! `fd_owners` → `control` → `tag_cache` → `violations`. The tracer lock is
+//! a leaf and is never held while acquiring any other lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use wedge_alloc::{Segment, TagCache, TagCacheConfig};
 
@@ -22,8 +48,13 @@ use crate::memory::SBuf;
 use crate::policy::{SecurityPolicy, Uid};
 use crate::sthread::SthreadCtx;
 use crate::syscall::{DomainTransitions, Syscall};
-use crate::tag::{AccessMode, CompartmentId, MemProt, Tag};
+use crate::tag::{AccessMode, CompartmentId, IdHashMap, MemProt, Tag};
 use crate::trace::{AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent};
+
+/// Number of independently locked segment-table shards. Tags are assigned
+/// round-robin (`tag_new` increments the tag id), so consecutive tags land
+/// on different shards and concurrent compartments rarely contend.
+pub const SEGMENT_SHARDS: usize = 16;
 
 /// Counters describing kernel activity, used by tests and by the experiment
 /// harnesses (e.g. "each request creates two sthreads and invokes eight
@@ -100,6 +131,98 @@ impl std::ops::AddAssign<&KernelStats> for KernelStats {
     }
 }
 
+/// The kernel-internal counters: one relaxed atomic per [`KernelStats`]
+/// field, so the data path never takes a lock just to count.
+#[derive(Default)]
+struct StatCells {
+    sthreads_created: AtomicU64,
+    callgate_invocations: AtomicU64,
+    recycled_invocations: AtomicU64,
+    tags_created: AtomicU64,
+    tags_deleted: AtomicU64,
+    smallocs: AtomicU64,
+    private_allocs: AtomicU64,
+    mem_reads: AtomicU64,
+    mem_writes: AtomicU64,
+    faults: AtomicU64,
+    emulated_violations: AtomicU64,
+    fd_reads: AtomicU64,
+    fd_writes: AtomicU64,
+    private_scrubs: AtomicU64,
+}
+
+impl StatCells {
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn absorb(&self, counts: AccessCounts) {
+        self.mem_reads
+            .fetch_add(counts.mem_reads, Ordering::Relaxed);
+        self.mem_writes
+            .fetch_add(counts.mem_writes, Ordering::Relaxed);
+        self.fd_reads.fetch_add(counts.fd_reads, Ordering::Relaxed);
+        self.fd_writes
+            .fetch_add(counts.fd_writes, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KernelStats {
+        KernelStats {
+            sthreads_created: self.sthreads_created.load(Ordering::Relaxed),
+            callgate_invocations: self.callgate_invocations.load(Ordering::Relaxed),
+            recycled_invocations: self.recycled_invocations.load(Ordering::Relaxed),
+            tags_created: self.tags_created.load(Ordering::Relaxed),
+            tags_deleted: self.tags_deleted.load(Ordering::Relaxed),
+            smallocs: self.smallocs.load(Ordering::Relaxed),
+            private_allocs: self.private_allocs.load(Ordering::Relaxed),
+            mem_reads: self.mem_reads.load(Ordering::Relaxed),
+            mem_writes: self.mem_writes.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            emulated_violations: self.emulated_violations.load(Ordering::Relaxed),
+            fd_reads: self.fd_reads.load(Ordering::Relaxed),
+            fd_writes: self.fd_writes.load(Ordering::Relaxed),
+            private_scrubs: self.private_scrubs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        let StatCells {
+            sthreads_created,
+            callgate_invocations,
+            recycled_invocations,
+            tags_created,
+            tags_deleted,
+            smallocs,
+            private_allocs,
+            mem_reads,
+            mem_writes,
+            faults,
+            emulated_violations,
+            fd_reads,
+            fd_writes,
+            private_scrubs,
+        } = self;
+        for cell in [
+            sthreads_created,
+            callgate_invocations,
+            recycled_invocations,
+            tags_created,
+            tags_deleted,
+            smallocs,
+            private_allocs,
+            mem_reads,
+            mem_writes,
+            faults,
+            emulated_violations,
+            fd_reads,
+            fd_writes,
+            private_scrubs,
+        ] {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A recorded protection violation (kept by the kernel so Crowbar's
 /// emulation workflow can enumerate every violation after a run, §3.4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +257,16 @@ struct SegmentEntry {
     private: bool,
 }
 
+/// One shard of the segment table. Copy-on-write overlays are co-located
+/// with their tag so a single shard guard covers both the shared bytes and
+/// any per-compartment private view.
+#[derive(Default)]
+struct SegmentShard {
+    segments: IdHashMap<Tag, SegmentEntry>,
+    /// Per-(compartment, tag) copy-on-write overlays for tags in this shard.
+    overlays: IdHashMap<(CompartmentId, Tag), Vec<u8>>,
+}
+
 /// A compartment known to the kernel.
 struct CompartmentEntry {
     name: String,
@@ -142,6 +275,27 @@ struct CompartmentEntry {
     /// Lazily created private segment for untagged allocations.
     private_tag: Option<Tag>,
     alive: bool,
+    /// Bumped (under the `compartments` write lock) whenever this
+    /// compartment's policy changes; per-sthread permission caches
+    /// revalidate against it.
+    epoch: Arc<AtomicU64>,
+}
+
+impl CompartmentEntry {
+    fn new(name: &str, parent: Option<CompartmentId>, policy: SecurityPolicy) -> Self {
+        CompartmentEntry {
+            name: name.to_string(),
+            parent,
+            policy,
+            private_tag: None,
+            alive: true,
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 /// A callgate instance: created when a policy containing a
@@ -187,37 +341,187 @@ pub(crate) struct RecycledWorker {
     pub(crate) activation: CompartmentId,
 }
 
-struct KernelState {
-    compartments: HashMap<CompartmentId, CompartmentEntry>,
-    segments: HashMap<Tag, SegmentEntry>,
-    tag_cache: TagCache,
-    /// Per-(compartment, tag) copy-on-write overlays.
-    cow_overlays: HashMap<(CompartmentId, Tag), Vec<u8>>,
+/// Control-plane state: consulted on compartment/callgate lifecycle events,
+/// never on the tagged-memory data path.
+struct ControlState {
     callgate_entries: HashMap<CgEntryId, (String, CallgateFn)>,
     callgate_instances: HashMap<(CompartmentId, CgEntryId), CallgateInstance>,
     recycled: HashMap<(CompartmentId, CgEntryId), Arc<RecycledWorker>>,
-    fds: HashMap<FdId, FdEntry>,
-    /// Which compartment created each descriptor (scrub removes a pooled
-    /// principal's descriptors on checkin).
-    fd_owners: HashMap<FdId, CompartmentId>,
     globals: HashMap<String, GlobalVar>,
     boundary_tags: HashMap<u32, Tag>,
     /// Per-(compartment, global) private copies (the COW snapshot view).
     global_overlays: HashMap<(CompartmentId, String), Vec<u8>>,
     transitions: DomainTransitions,
-    emulation: bool,
-    violations: Vec<ViolationRecord>,
-    stats: KernelStats,
-    next_compartment: u64,
-    next_tag: u64,
-    next_fd: u64,
     next_entry: u64,
+}
+
+/// The per-sthread permission cache: positive grants keyed by tag/fd,
+/// validated against the owning compartment's epoch. Negative results
+/// (denials) are never cached, so every denied access still reaches the
+/// authoritative tables (and the violation log).
+pub(crate) struct PermCache {
+    /// The compartment's epoch cell, bound on first use.
+    epoch: Option<Arc<AtomicU64>>,
+    seen_epoch: u64,
+    unconfined: bool,
+    mem: IdHashMap<Tag, MemProt>,
+    fds: IdHashMap<FdId, FdProt>,
+    /// Per-cache access counters, bumped under the cache lock the hot path
+    /// already holds — no extra atomic per access. [`Kernel::stats`] sums
+    /// them across the registry; [`PermCache::drop`] flushes them into the
+    /// kernel's global cells so counts never go backwards.
+    counts: AccessCounts,
+    /// The kernel this cache is registered with (for the drop-time flush).
+    kernel: Option<std::sync::Weak<Kernel>>,
+}
+
+/// The four data-path counters a [`PermCache`] accumulates locally.
+#[derive(Debug, Default, Clone, Copy)]
+struct AccessCounts {
+    mem_reads: u64,
+    mem_writes: u64,
+    fd_reads: u64,
+    fd_writes: u64,
+}
+
+/// Which counter an access should land in (resolved while the cache lock is
+/// held, so counting is free on the cached fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StatKind {
+    MemRead,
+    MemWrite,
+    FdRead,
+    FdWrite,
+    /// Permission resolution that is not itself a counted access
+    /// (`smalloc`, `sfree`).
+    None,
+}
+
+impl PermCache {
+    pub(crate) fn new() -> Self {
+        PermCache {
+            epoch: None,
+            seen_epoch: 0,
+            unconfined: false,
+            mem: IdHashMap::default(),
+            fds: IdHashMap::default(),
+            counts: AccessCounts::default(),
+            kernel: None,
+        }
+    }
+
+    fn count(&mut self, kind: StatKind) {
+        match kind {
+            StatKind::MemRead => self.counts.mem_reads += 1,
+            StatKind::MemWrite => self.counts.mem_writes += 1,
+            StatKind::FdRead => self.counts.fd_reads += 1,
+            StatKind::FdWrite => self.counts.fd_writes += 1,
+            StatKind::None => {}
+        }
+    }
+
+    fn take_counts(&mut self) -> AccessCounts {
+        std::mem::take(&mut self.counts)
+    }
+}
+
+impl Drop for PermCache {
+    fn drop(&mut self) {
+        // Flush this cache's counts into the kernel's global cells so a
+        // finished sthread's accesses stay visible in `Kernel::stats`.
+        if let Some(kernel) = self.kernel.as_ref().and_then(std::sync::Weak::upgrade) {
+            kernel.stats.absorb(self.counts);
+        }
+    }
+}
+
+/// A borrowed, zero-copy view of a tagged buffer (see
+/// [`crate::SthreadCtx::read_guard`]). Holds the segment shard's read lock
+/// for its lifetime: cheap for short-lived borrows, but while one is held
+/// the current thread must not call back into ANY kernel operation. Writes,
+/// allocations, `sfree`, `tag_delete` and scrubs write-lock a shard, and
+/// even another *read* can deadlock behind a queued writer (the std
+/// `RwLock` backing the shim makes recursive reads unreliable) — and since
+/// tags hash across [`SEGMENT_SHARDS`] shards, an unrelated tag has a
+/// 1-in-16 chance of sharing this one's lock. Read the bytes, drop the
+/// guard, then do everything else. The same applies to [`AccessSink`]
+/// callbacks, which can run under this lock.
+pub struct MemReadGuard<'a> {
+    shard: RwLockReadGuard<'a, SegmentShard>,
+    /// `Some` when the reader has a copy-on-write overlay for the tag.
+    overlay: Option<(CompartmentId, Tag)>,
+    tag: Tag,
+    start: usize,
+    len: usize,
+}
+
+impl std::ops::Deref for MemReadGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        let bytes: &[u8] = match self.overlay {
+            Some(key) => self
+                .shard
+                .overlays
+                .get(&key)
+                .expect("overlay pinned by shard guard"),
+            None => self
+                .shard
+                .segments
+                .get(&self.tag)
+                .expect("segment pinned by shard guard")
+                .segment
+                .arena()
+                .data(),
+        };
+        &bytes[self.start..self.start + self.len]
+    }
+}
+
+impl std::fmt::Debug for MemReadGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemReadGuard")
+            .field("tag", &self.tag)
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .finish()
+    }
 }
 
 /// The simulated kernel.
 pub struct Kernel {
-    state: Mutex<KernelState>,
+    compartments: RwLock<HashMap<CompartmentId, CompartmentEntry>>,
+    segment_shards: Vec<RwLock<SegmentShard>>,
+    fds: RwLock<HashMap<FdId, FdEntry>>,
+    /// Which compartment created each descriptor (scrub removes a pooled
+    /// principal's descriptors on checkin).
+    fd_owners: Mutex<HashMap<FdId, CompartmentId>>,
+    control: Mutex<ControlState>,
+    tag_cache: Mutex<TagCache>,
+    /// Every per-sthread [`PermCache`] born of this kernel, so
+    /// [`Kernel::stats`] can sum the per-cache access counters exactly.
+    cache_registry: Mutex<Vec<std::sync::Weak<Mutex<PermCache>>>>,
+    violations: Mutex<Vec<ViolationRecord>>,
+    stats: StatCells,
+    emulation: AtomicBool,
+    next_compartment: AtomicU64,
+    next_tag: AtomicU64,
+    next_fd: AtomicU64,
     tracer: RwLock<Option<Arc<dyn AccessSink>>>,
+    /// Cheap data-path check: is a tracer installed at all? When false, no
+    /// event is constructed and no name is cloned anywhere on the fast path.
+    tracer_on: AtomicBool,
+    /// Pre-refactor contention profile (see [`Kernel::legacy_baseline`]).
+    legacy: bool,
+    legacy_gate: Mutex<()>,
+    /// Probe targets for the legacy profile: the pre-refactor kernel kept
+    /// its segment table and COW overlays in SipHash-keyed std `HashMap`s
+    /// and looked both up on every access. The sharded kernel's hot tables
+    /// are `IdHashMap`-keyed, so the baseline reproduces the original
+    /// per-access hash cost by probing these (one-sentinel, never-mutated)
+    /// std maps. Unused on the sharded profile.
+    legacy_segments_probe: HashMap<Tag, ()>,
+    legacy_overlays_probe: HashMap<(CompartmentId, Tag), ()>,
 }
 
 impl Default for Kernel {
@@ -229,30 +533,74 @@ impl Default for Kernel {
 impl Kernel {
     /// Create a fresh kernel with no compartments, tags or globals.
     pub fn new() -> Kernel {
+        Kernel::build(false)
+    }
+
+    /// Construct a kernel that reproduces the **pre-sharding contention
+    /// profile**: one global lock serialises every tagged-memory and
+    /// descriptor access, each access clones the caller's compartment name
+    /// (as the old tracing plumbing did), and per-sthread permission caches
+    /// are bypassed so every check re-walks the policy table. Kept as the
+    /// ablation baseline for the `fast_path` benchmark — the same role the
+    /// `reuse_enabled = false` switch plays for the Figure 8 tag cache.
+    pub fn legacy_baseline() -> Kernel {
+        Kernel::build(true)
+    }
+
+    fn build(legacy: bool) -> Kernel {
         Kernel {
-            state: Mutex::new(KernelState {
-                compartments: HashMap::new(),
-                segments: HashMap::new(),
-                tag_cache: TagCache::new(TagCacheConfig::default()),
-                cow_overlays: HashMap::new(),
+            compartments: RwLock::new(HashMap::new()),
+            segment_shards: (0..SEGMENT_SHARDS)
+                .map(|_| RwLock::new(SegmentShard::default()))
+                .collect(),
+            fds: RwLock::new(HashMap::new()),
+            fd_owners: Mutex::new(HashMap::new()),
+            control: Mutex::new(ControlState {
                 callgate_entries: HashMap::new(),
                 callgate_instances: HashMap::new(),
                 recycled: HashMap::new(),
-                fds: HashMap::new(),
-                fd_owners: HashMap::new(),
                 globals: HashMap::new(),
                 boundary_tags: HashMap::new(),
                 global_overlays: HashMap::new(),
                 transitions: DomainTransitions::new(),
-                emulation: false,
-                violations: Vec::new(),
-                stats: KernelStats::default(),
-                next_compartment: 1,
-                next_tag: 1,
-                next_fd: 1,
                 next_entry: 1,
             }),
+            tag_cache: Mutex::new(TagCache::new(TagCacheConfig::default())),
+            cache_registry: Mutex::new(Vec::new()),
+            violations: Mutex::new(Vec::new()),
+            stats: StatCells::default(),
+            emulation: AtomicBool::new(false),
+            next_compartment: AtomicU64::new(1),
+            next_tag: AtomicU64::new(1),
+            next_fd: AtomicU64::new(1),
             tracer: RwLock::new(None),
+            tracer_on: AtomicBool::new(false),
+            legacy,
+            legacy_gate: Mutex::new(()),
+            // One sentinel each: probing an empty std HashMap short-circuits
+            // before hashing, which would erase the cost being reproduced.
+            legacy_segments_probe: HashMap::from([(Tag(u64::MAX), ())]),
+            legacy_overlays_probe: HashMap::from([((CompartmentId(u64::MAX), Tag(u64::MAX)), ())]),
+        }
+    }
+
+    fn shard(&self, tag: Tag) -> &RwLock<SegmentShard> {
+        &self.segment_shards[(tag.0 as usize) % SEGMENT_SHARDS]
+    }
+
+    /// Serialise the whole operation when running the legacy contention
+    /// profile; a no-op (`None`) on the sharded kernel. The guard also
+    /// reproduces the pre-refactor per-access bookkeeping: the old tracing
+    /// plumbing cloned the caller's compartment name and probed the tracer
+    /// `RwLock` on every access, tracer installed or not.
+    fn legacy_section(&self, caller: CompartmentId) -> Option<parking_lot::MutexGuard<'_, ()>> {
+        if self.legacy {
+            let guard = self.legacy_gate.lock();
+            let _ = self.name_of(caller);
+            let _ = self.tracer.read().clone();
+            Some(guard)
+        } else {
+            None
         }
     }
 
@@ -262,10 +610,19 @@ impl Kernel {
 
     /// Install (or remove) the instrumentation sink used by Crowbar.
     pub fn set_tracer(&self, tracer: Option<Arc<dyn AccessSink>>) {
+        let installed = tracer.is_some();
         *self.tracer.write() = tracer;
+        self.tracer_on.store(installed, Ordering::SeqCst);
+    }
+
+    fn tracer_active(&self) -> bool {
+        self.tracer_on.load(Ordering::Relaxed)
     }
 
     fn tracer(&self) -> Option<Arc<dyn AccessSink>> {
+        if !self.tracer_active() {
+            return None;
+        }
         self.tracer.read().clone()
     }
 
@@ -273,44 +630,100 @@ impl Kernel {
     /// protection violations are recorded but the access is allowed, so a
     /// whole run can be observed without crashing.
     pub fn set_emulation(&self, enabled: bool) {
-        self.state.lock().emulation = enabled;
+        self.emulation.store(enabled, Ordering::SeqCst);
     }
 
     /// Is emulation mode active?
     pub fn emulation_enabled(&self) -> bool {
-        self.state.lock().emulation
+        self.emulation.load(Ordering::SeqCst)
     }
 
     /// All protection violations recorded so far.
     pub fn violations(&self) -> Vec<ViolationRecord> {
-        self.state.lock().violations.clone()
+        self.violations.lock().clone()
     }
 
     /// Forget recorded violations.
     pub fn clear_violations(&self) {
-        self.state.lock().violations.clear();
+        self.violations.lock().clear();
     }
 
-    /// Kernel activity counters.
+    /// Kernel activity counters. Data-path counts accumulate in the
+    /// per-sthread permission caches (under the lock the fast path already
+    /// holds, so counting costs no extra atomic); this sums them with the
+    /// kernel's global cells for an exact snapshot.
     pub fn stats(&self) -> KernelStats {
-        self.state.lock().stats.clone()
+        let mut snapshot = self.stats.snapshot();
+        let caches: Vec<_> = {
+            let mut registry = self.cache_registry.lock();
+            registry.retain(|w| w.strong_count() > 0);
+            registry
+                .iter()
+                .filter_map(std::sync::Weak::upgrade)
+                .collect()
+        };
+        for cache in caches {
+            let counts = cache.lock().counts;
+            snapshot.mem_reads += counts.mem_reads;
+            snapshot.mem_writes += counts.mem_writes;
+            snapshot.fd_reads += counts.fd_reads;
+            snapshot.fd_writes += counts.fd_writes;
+        }
+        snapshot
     }
 
     /// Reset kernel activity counters (used between experiment phases).
     pub fn reset_stats(&self) {
-        self.state.lock().stats = KernelStats::default();
+        self.stats.reset();
+        let caches: Vec<_> = self
+            .cache_registry
+            .lock()
+            .iter()
+            .filter_map(std::sync::Weak::upgrade)
+            .collect();
+        for cache in caches {
+            cache.lock().take_counts();
+        }
+    }
+
+    /// Bind a freshly created permission cache to this kernel: the drop-time
+    /// counter flush targets this kernel's cells, and the registry makes the
+    /// cache's live counters visible to [`Kernel::stats`].
+    pub(crate) fn adopt_cache(self: &Arc<Self>, cache: &Arc<Mutex<PermCache>>) {
+        cache.lock().kernel = Some(Arc::downgrade(self));
+        let mut registry = self.cache_registry.lock();
+        if registry.len() % 32 == 31 {
+            registry.retain(|w| w.strong_count() > 0);
+        }
+        registry.push(Arc::downgrade(cache));
+    }
+
+    fn count_uncached(&self, kind: StatKind) {
+        match kind {
+            StatKind::MemRead => StatCells::bump(&self.stats.mem_reads),
+            StatKind::MemWrite => StatCells::bump(&self.stats.mem_writes),
+            StatKind::FdRead => StatCells::bump(&self.stats.fd_reads),
+            StatKind::FdWrite => StatCells::bump(&self.stats.fd_writes),
+            StatKind::None => {}
+        }
+    }
+
+    /// Pre-populate the userland tag cache with `count` default-size
+    /// segments, so a pooled-worker spawn storm does not pay the simulated
+    /// `mmap` cost per worker. Returns how many segments were parked.
+    pub fn prewarm_tag_cache(&self, count: usize) -> usize {
+        self.tag_cache.lock().prewarm(count).unwrap_or(0)
     }
 
     /// Permit an SELinux-style domain transition from `from` to `to`.
     pub fn allow_domain_transition(&self, from: &str, to: &str) {
-        self.state.lock().transitions.allow(from, to);
+        self.control.lock().transitions.allow(from, to);
     }
 
     /// Number of live (not yet exited) compartments.
     pub fn live_compartments(&self) -> usize {
-        self.state
-            .lock()
-            .compartments
+        self.compartments
+            .read()
             .values()
             .filter(|c| c.alive)
             .count()
@@ -318,8 +731,8 @@ impl Kernel {
 
     /// The stored policy of a compartment.
     pub fn policy_of(&self, id: CompartmentId) -> Result<SecurityPolicy, WedgeError> {
-        let st = self.state.lock();
-        st.compartments
+        self.compartments
+            .read()
             .get(&id)
             .map(|c| c.policy.clone())
             .ok_or(WedgeError::UnknownCompartment(id))
@@ -327,8 +740,8 @@ impl Kernel {
 
     /// The name of a compartment.
     pub fn name_of(&self, id: CompartmentId) -> Result<String, WedgeError> {
-        let st = self.state.lock();
-        st.compartments
+        self.compartments
+            .read()
             .get(&id)
             .map(|c| c.name.clone())
             .ok_or(WedgeError::UnknownCompartment(id))
@@ -336,11 +749,121 @@ impl Kernel {
 
     /// The parent of a compartment (`None` for the root compartment).
     pub fn parent_of(&self, id: CompartmentId) -> Result<Option<CompartmentId>, WedgeError> {
-        let st = self.state.lock();
-        st.compartments
+        self.compartments
+            .read()
             .get(&id)
             .map(|c| c.parent)
             .ok_or(WedgeError::UnknownCompartment(id))
+    }
+
+    // ------------------------------------------------------------------
+    // The per-sthread permission cache
+    // ------------------------------------------------------------------
+
+    /// Bring `cache` up to date with the caller's current epoch. Cached
+    /// grants survive only while the epoch is unchanged; any policy
+    /// mutation flushes them on the next access.
+    fn cache_sync(&self, caller: CompartmentId, cache: &mut PermCache) -> Result<(), WedgeError> {
+        if let Some(epoch) = &cache.epoch {
+            if epoch.load(Ordering::SeqCst) == cache.seen_epoch {
+                return Ok(());
+            }
+        }
+        // Stale (or first use): rebind under the compartments lock so the
+        // recorded epoch matches the policy snapshot we read.
+        let comps = self.compartments.read();
+        let entry = comps
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        cache.epoch = Some(entry.epoch.clone());
+        cache.seen_epoch = entry.epoch.load(Ordering::SeqCst);
+        cache.unconfined = entry.policy.is_unconfined();
+        cache.mem.clear();
+        cache.fds.clear();
+        Ok(())
+    }
+
+    /// The caller's memory grant for `tag`, through the per-sthread cache
+    /// when one is supplied (and the kernel is not in the legacy profile).
+    pub(crate) fn resolve_mem_grant(
+        &self,
+        caller: CompartmentId,
+        tag: Tag,
+        cache: Option<&Mutex<PermCache>>,
+        count: StatKind,
+    ) -> Result<Option<MemProt>, WedgeError> {
+        let cache = match cache {
+            Some(cache) if !self.legacy => cache,
+            _ => {
+                self.count_uncached(count);
+                return self
+                    .compartments
+                    .read()
+                    .get(&caller)
+                    .map(|c| c.policy.mem_grant(tag))
+                    .ok_or(WedgeError::UnknownCompartment(caller));
+            }
+        };
+        let mut c = cache.lock();
+        self.cache_sync(caller, &mut c)?;
+        c.count(count);
+        if c.unconfined {
+            return Ok(Some(MemProt::ReadWrite));
+        }
+        if let Some(prot) = c.mem.get(&tag) {
+            return Ok(Some(*prot));
+        }
+        let grant = self
+            .compartments
+            .read()
+            .get(&caller)
+            .map(|e| e.policy.mem_grant(tag))
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        if let Some(prot) = grant {
+            c.mem.insert(tag, prot);
+        }
+        Ok(grant)
+    }
+
+    /// The caller's descriptor grant for `fd`, through the cache.
+    pub(crate) fn resolve_fd_grant(
+        &self,
+        caller: CompartmentId,
+        fd: FdId,
+        cache: Option<&Mutex<PermCache>>,
+        count: StatKind,
+    ) -> Result<Option<FdProt>, WedgeError> {
+        let cache = match cache {
+            Some(cache) if !self.legacy => cache,
+            _ => {
+                self.count_uncached(count);
+                return self
+                    .compartments
+                    .read()
+                    .get(&caller)
+                    .map(|c| c.policy.fd_grant(fd))
+                    .ok_or(WedgeError::UnknownCompartment(caller));
+            }
+        };
+        let mut c = cache.lock();
+        self.cache_sync(caller, &mut c)?;
+        c.count(count);
+        if c.unconfined {
+            return Ok(Some(FdProt::ReadWrite));
+        }
+        if let Some(prot) = c.fds.get(&fd) {
+            return Ok(Some(*prot));
+        }
+        let grant = self
+            .compartments
+            .read()
+            .get(&caller)
+            .map(|e| e.policy.fd_grant(fd))
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        if let Some(prot) = grant {
+            c.fds.insert(fd, prot);
+        }
+        Ok(grant)
     }
 
     // ------------------------------------------------------------------
@@ -349,22 +872,11 @@ impl Kernel {
 
     /// Create the unconfined root compartment and return its context.
     pub fn create_root_compartment(self: &Arc<Self>, name: &str) -> SthreadCtx {
-        let id = {
-            let mut st = self.state.lock();
-            let id = CompartmentId(st.next_compartment);
-            st.next_compartment += 1;
-            st.compartments.insert(
-                id,
-                CompartmentEntry {
-                    name: name.to_string(),
-                    parent: None,
-                    policy: SecurityPolicy::unconfined(),
-                    private_tag: None,
-                    alive: true,
-                },
-            );
-            id
-        };
+        let id = CompartmentId(self.next_compartment.fetch_add(1, Ordering::Relaxed));
+        self.compartments.write().insert(
+            id,
+            CompartmentEntry::new(name, None, SecurityPolicy::unconfined()),
+        );
         SthreadCtx::new(self.clone(), id, name)
     }
 
@@ -377,20 +889,21 @@ impl Kernel {
         policy: &SecurityPolicy,
         kind: ChildKind,
     ) -> Result<CompartmentId, WedgeError> {
-        let mut st = self.state.lock();
-        let parent_entry = st
-            .compartments
+        let mut comps = self.compartments.write();
+        let parent_entry = comps
             .get(&parent)
             .ok_or(WedgeError::UnknownCompartment(parent))?;
         let parent_policy = parent_entry.policy.clone();
 
         if kind == ChildKind::Sthread {
+            let transitions = self.control.lock().transitions.clone();
             parent_policy
-                .validate_child(policy, &st.transitions)
+                .validate_child(policy, &transitions)
                 .map_err(|detail| WedgeError::PrivilegeEscalation { detail })?;
-            // Private tags can never be named in a grant.
+            // Private tags can never be named in a grant. (Lock order:
+            // compartments → segment shard.)
             for tag in policy.mem_grants().keys() {
-                if let Some(seg) = st.segments.get(tag) {
+                if let Some(seg) = self.shard(*tag).read().segments.get(tag) {
                     if seg.private {
                         return Err(WedgeError::PrivateTag(*tag));
                     }
@@ -408,46 +921,40 @@ impl Kernel {
             child_policy.fs_root = parent_policy.fs_root.clone();
         }
 
-        let id = CompartmentId(st.next_compartment);
-        st.next_compartment += 1;
+        let id = CompartmentId(self.next_compartment.fetch_add(1, Ordering::Relaxed));
 
         // Instantiate callgate grants: the instance's permissions were
         // validated against the *creator* (the parent) above.
-        for grant in policy.callgate_grants() {
-            if !st.callgate_entries.contains_key(&grant.entry) {
-                return Err(WedgeError::UnknownCallgate(grant.entry));
+        {
+            let mut control = self.control.lock();
+            for grant in policy.callgate_grants() {
+                if !control.callgate_entries.contains_key(&grant.entry) {
+                    return Err(WedgeError::UnknownCallgate(grant.entry));
+                }
+                control.callgate_instances.insert(
+                    (id, grant.entry),
+                    CallgateInstance {
+                        policy: (*grant.policy).clone(),
+                        trusted: grant.trusted.clone(),
+                        creator: parent,
+                    },
+                );
             }
-            st.callgate_instances.insert(
-                (id, grant.entry),
-                CallgateInstance {
-                    policy: (*grant.policy).clone(),
-                    trusted: grant.trusted.clone(),
-                    creator: parent,
-                },
-            );
         }
 
-        st.compartments.insert(
-            id,
-            CompartmentEntry {
-                name: name.to_string(),
-                parent: Some(parent),
-                policy: child_policy,
-                private_tag: None,
-                alive: true,
-            },
-        );
+        comps.insert(id, CompartmentEntry::new(name, Some(parent), child_policy));
         match kind {
-            ChildKind::Activation => st.stats.callgate_invocations += 1,
-            ChildKind::Sthread | ChildKind::PooledWorker => st.stats.sthreads_created += 1,
+            ChildKind::Activation => StatCells::bump(&self.stats.callgate_invocations),
+            ChildKind::Sthread | ChildKind::PooledWorker => {
+                StatCells::bump(&self.stats.sthreads_created)
+            }
         }
         Ok(id)
     }
 
     /// Mark a compartment as exited.
     pub(crate) fn compartment_exited(&self, id: CompartmentId) {
-        let mut st = self.state.lock();
-        if let Some(c) = st.compartments.get_mut(&id) {
+        if let Some(c) = self.compartments.write().get_mut(&id) {
             c.alive = false;
         }
     }
@@ -463,9 +970,8 @@ impl Kernel {
         new_uid: Uid,
         new_fs_root: Option<&str>,
     ) -> Result<(), WedgeError> {
-        let mut st = self.state.lock();
-        let caller_uid = st
-            .compartments
+        let mut comps = self.compartments.write();
+        let caller_uid = comps
             .get(&caller)
             .ok_or(WedgeError::UnknownCompartment(caller))?
             .policy
@@ -476,14 +982,14 @@ impl Kernel {
                 caller_uid.0
             )));
         }
-        let target_entry = st
-            .compartments
+        let target_entry = comps
             .get_mut(&target)
             .ok_or(WedgeError::UnknownCompartment(target))?;
         target_entry.policy.uid = new_uid;
         if let Some(root) = new_fs_root {
             target_entry.policy.fs_root = root.to_string();
         }
+        target_entry.bump_epoch();
         Ok(())
     }
 
@@ -492,15 +998,81 @@ impl Kernel {
         Ok(self.policy_of(id)?.uid)
     }
 
+    /// Add a runtime memory grant to `target`'s policy (`policy_add`). The
+    /// granter must itself hold a grant that allows delegating `prot` (or
+    /// be unconfined), and private tags can never be named in another
+    /// compartment's policy. Bumps the target's epoch so its permission
+    /// cache revalidates.
+    pub(crate) fn policy_add(
+        &self,
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+        prot: MemProt,
+    ) -> Result<(), WedgeError> {
+        let mut comps = self.compartments.write();
+        let caller_entry = comps
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        if !caller_entry.policy.is_unconfined() {
+            match caller_entry.policy.mem_grant(tag) {
+                Some(have) if have.allows_delegation_of(prot) => {}
+                _ => {
+                    return Err(WedgeError::PrivilegeEscalation {
+                        detail: format!("runtime grant {tag}:{prot:?} exceeds caller's privileges"),
+                    })
+                }
+            }
+        }
+        if caller != target {
+            if let Some(seg) = self.shard(tag).read().segments.get(&tag) {
+                if seg.private {
+                    return Err(WedgeError::PrivateTag(tag));
+                }
+            }
+        }
+        let target_entry = comps
+            .get_mut(&target)
+            .ok_or(WedgeError::UnknownCompartment(target))?;
+        if !target_entry.policy.is_unconfined() {
+            target_entry.policy.sc_mem_add(tag, prot);
+        }
+        target_entry.bump_epoch();
+        Ok(())
+    }
+
+    /// Revoke a memory grant from `target`'s policy (`policy_del`). Allowed
+    /// for the unconfined root, the target's parent, or the target itself.
+    /// The epoch bump guarantees that once this returns, no access started
+    /// afterwards can succeed through a stale cached grant.
+    pub(crate) fn policy_del(
+        &self,
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+    ) -> Result<(), WedgeError> {
+        let mut comps = self.compartments.write();
+        let caller_unconfined = comps
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?
+            .policy
+            .is_unconfined();
+        let target_entry = comps
+            .get_mut(&target)
+            .ok_or(WedgeError::UnknownCompartment(target))?;
+        if !(caller_unconfined || caller == target || target_entry.parent == Some(caller)) {
+            return Err(WedgeError::PrivilegeEscalation {
+                detail: format!("{caller} may not revoke grants from {target}"),
+            });
+        }
+        target_entry.policy.sc_mem_del(tag);
+        target_entry.bump_epoch();
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Tagged memory
     // ------------------------------------------------------------------
-
-    fn fresh_tag(st: &mut KernelState) -> Tag {
-        let tag = Tag(st.next_tag);
-        st.next_tag += 1;
-        tag
-    }
 
     /// `tag_new()`: create a tag backed by a (possibly recycled) segment and
     /// grant the creating compartment read-write access to it.
@@ -509,16 +1081,29 @@ impl Kernel {
     }
 
     fn tag_new_inner(&self, caller: CompartmentId, private: bool) -> Result<Tag, WedgeError> {
-        let mut st = self.state.lock();
-        if !st.compartments.contains_key(&caller) {
-            return Err(WedgeError::UnknownCompartment(caller));
-        }
-        let segment = st
+        let mut comps = self.compartments.write();
+        let entry = comps
+            .get_mut(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        self.tag_new_locked(caller, entry, private)
+    }
+
+    /// The body of `tag_new`, for callers already holding the compartments
+    /// write lock (`entry` is the caller's table entry). Lock order:
+    /// compartments (held) → tag cache / segment shard.
+    fn tag_new_locked(
+        &self,
+        caller: CompartmentId,
+        entry: &mut CompartmentEntry,
+        private: bool,
+    ) -> Result<Tag, WedgeError> {
+        let segment = self
             .tag_cache
+            .lock()
             .acquire_default()
             .map_err(|e| WedgeError::Alloc(e.to_string()))?;
-        let tag = Self::fresh_tag(&mut st);
-        st.segments.insert(
+        let tag = Tag(self.next_tag.fetch_add(1, Ordering::Relaxed));
+        self.shard(tag).write().segments.insert(
             tag,
             SegmentEntry {
                 segment,
@@ -526,43 +1111,50 @@ impl Kernel {
                 private,
             },
         );
-        st.stats.tags_created += 1;
+        StatCells::bump(&self.stats.tags_created);
         // The creator implicitly gains read-write access (it created the
         // region, exactly as mmap would map it into the caller).
-        if let Some(entry) = st.compartments.get_mut(&caller) {
-            if !entry.policy.is_unconfined() {
-                entry.policy.sc_mem_add(tag, MemProt::ReadWrite);
-            }
+        if !entry.policy.is_unconfined() {
+            entry.policy.sc_mem_add(tag, MemProt::ReadWrite);
+            entry.bump_epoch();
         }
         Ok(tag)
     }
 
     /// `tag_delete()`: release a tag's segment back to the userland cache.
     pub(crate) fn tag_delete(&self, caller: CompartmentId, tag: Tag) -> Result<(), WedgeError> {
-        let mut st = self.state.lock();
-        let entry = st.segments.get(&tag).ok_or(WedgeError::UnknownTag(tag))?;
-        if entry.owner != caller && !Self::policy_of_locked(&st, caller)?.is_unconfined() {
-            return Err(WedgeError::ProtectionFault {
-                compartment: caller,
-                tag,
-                mode: AccessMode::Write,
-            });
+        // The caller's standing is read first (lock order: compartments
+        // before segment shards), but reported second, matching the
+        // pre-shard error precedence (unknown tag wins).
+        let caller_unconfined = self
+            .compartments
+            .read()
+            .get(&caller)
+            .map(|c| c.policy.is_unconfined());
+        let mut shard = self.shard(tag).write();
+        let entry = shard
+            .segments
+            .get(&tag)
+            .ok_or(WedgeError::UnknownTag(tag))?;
+        if entry.owner != caller {
+            match caller_unconfined {
+                None => return Err(WedgeError::UnknownCompartment(caller)),
+                Some(false) => {
+                    return Err(WedgeError::ProtectionFault {
+                        compartment: caller,
+                        tag,
+                        mode: AccessMode::Write,
+                    })
+                }
+                Some(true) => {}
+            }
         }
-        let entry = st.segments.remove(&tag).expect("checked above");
-        st.tag_cache.release(entry.segment);
-        st.cow_overlays.retain(|(_, t), _| *t != tag);
-        st.stats.tags_deleted += 1;
+        let entry = shard.segments.remove(&tag).expect("checked above");
+        shard.overlays.retain(|(_, t), _| *t != tag);
+        drop(shard);
+        self.tag_cache.lock().release(entry.segment);
+        StatCells::bump(&self.stats.tags_deleted);
         Ok(())
-    }
-
-    fn policy_of_locked(
-        st: &KernelState,
-        id: CompartmentId,
-    ) -> Result<&SecurityPolicy, WedgeError> {
-        st.compartments
-            .get(&id)
-            .map(|c| &c.policy)
-            .ok_or(WedgeError::UnknownCompartment(id))
     }
 
     /// `smalloc()`: allocate from a tagged segment.
@@ -572,13 +1164,24 @@ impl Kernel {
         size: usize,
         tag: Tag,
     ) -> Result<SBuf, WedgeError> {
+        self.smalloc_cached(caller, size, tag, None)
+    }
+
+    pub(crate) fn smalloc_cached(
+        &self,
+        caller: CompartmentId,
+        size: usize,
+        tag: Tag,
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<SBuf, WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let grant = self.resolve_mem_grant(caller, tag, cache, StatKind::None)?;
         let event = {
-            let mut st = self.state.lock();
-            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(tag);
-            let seg_exists = st.segments.contains_key(&tag);
-            if !seg_exists {
-                return Err(WedgeError::UnknownTag(tag));
-            }
+            let mut shard = self.shard(tag).write();
+            let entry = shard
+                .segments
+                .get_mut(&tag)
+                .ok_or(WedgeError::UnknownTag(tag))?;
             match grant {
                 Some(prot) if prot.permits(AccessMode::Write) || prot.permits(AccessMode::Read) => {
                 }
@@ -590,17 +1193,16 @@ impl Kernel {
                     })
                 }
             }
-            let private = st.segments.get(&tag).map(|s| s.private).unwrap_or(false);
-            let entry = st.segments.get_mut(&tag).expect("checked above");
+            let private = entry.private;
             let offset = entry
                 .segment
                 .arena_mut()
                 .alloc(size)
                 .map_err(|e| WedgeError::Alloc(e.to_string()))?;
             if private {
-                st.stats.private_allocs += 1;
+                StatCells::bump(&self.stats.private_allocs);
             } else {
-                st.stats.smallocs += 1;
+                StatCells::bump(&self.stats.smallocs);
             }
             AllocEvent {
                 compartment: caller,
@@ -623,32 +1225,37 @@ impl Kernel {
         &self,
         caller: CompartmentId,
         size: usize,
+        cache: Option<&Mutex<PermCache>>,
     ) -> Result<SBuf, WedgeError> {
-        let existing = {
-            let st = self.state.lock();
-            st.compartments
-                .get(&caller)
-                .ok_or(WedgeError::UnknownCompartment(caller))?
-                .private_tag
-        };
-        let tag = match existing {
-            Some(tag) => tag,
-            None => {
-                let tag = self.tag_new_inner(caller, true)?;
-                let mut st = self.state.lock();
-                if let Some(c) = st.compartments.get_mut(&caller) {
-                    c.private_tag = Some(tag);
+        // Check-and-create atomically under the compartments write lock:
+        // two threads racing the first allocation must not each create a
+        // private segment (the loser's would leak, unreachable, until the
+        // next scrub).
+        let tag = {
+            let mut comps = self.compartments.write();
+            let entry = comps
+                .get_mut(&caller)
+                .ok_or(WedgeError::UnknownCompartment(caller))?;
+            match entry.private_tag {
+                Some(tag) => tag,
+                None => {
+                    let tag = self.tag_new_locked(caller, entry, true)?;
+                    entry.private_tag = Some(tag);
+                    tag
                 }
-                tag
             }
         };
-        self.smalloc(caller, size, tag)
+        self.smalloc_cached(caller, size, tag, cache)
     }
 
     /// `sfree()`: free an allocation.
-    pub(crate) fn sfree(&self, caller: CompartmentId, buf: &SBuf) -> Result<(), WedgeError> {
-        let mut st = self.state.lock();
-        let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
+    pub(crate) fn sfree(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<(), WedgeError> {
+        let grant = self.resolve_mem_grant(caller, buf.tag, cache, StatKind::None)?;
         if grant.is_none() {
             return Err(WedgeError::ProtectionFault {
                 compartment: caller,
@@ -656,7 +1263,8 @@ impl Kernel {
                 mode: AccessMode::Write,
             });
         }
-        let entry = st
+        let mut shard = self.shard(buf.tag).write();
+        let entry = shard
             .segments
             .get_mut(&buf.tag)
             .ok_or(WedgeError::UnknownTag(buf.tag))?;
@@ -669,21 +1277,17 @@ impl Kernel {
     }
 
     /// Record a violation and decide whether the access proceeds (emulation
-    /// mode) or faults.
+    /// mode) or faults. A dangling `CompartmentId` fails loudly with
+    /// [`WedgeError::UnknownCompartment`] instead of tracing as `""`.
     fn deny(
         &self,
-        st: &mut KernelState,
         caller: CompartmentId,
         region: MemRegion,
         mode: AccessMode,
     ) -> Result<(), WedgeError> {
-        let name = st
-            .compartments
-            .get(&caller)
-            .map(|c| c.name.clone())
-            .unwrap_or_else(|| "<unknown>".to_string());
-        let emulated = st.emulation;
-        st.violations.push(ViolationRecord {
+        let name = self.name_of(caller)?;
+        let emulated = self.emulation.load(Ordering::Relaxed);
+        self.violations.lock().push(ViolationRecord {
             compartment: caller,
             compartment_name: name.clone(),
             region: region.clone(),
@@ -691,19 +1295,18 @@ impl Kernel {
             emulated,
         });
         if emulated {
-            st.stats.emulated_violations += 1;
+            StatCells::bump(&self.stats.emulated_violations);
         } else {
-            st.stats.faults += 1;
+            StatCells::bump(&self.stats.faults);
         }
-        let event = ViolationEvent {
-            compartment: caller,
-            compartment_name: name,
-            region: region.clone(),
-            mode,
-            emulated,
-        };
         if let Some(tracer) = self.tracer() {
-            tracer.on_violation(&event);
+            tracer.on_violation(&ViolationEvent {
+                compartment: caller,
+                compartment_name: name,
+                region: region.clone(),
+                mode,
+                emulated,
+            });
         }
         if emulated {
             Ok(())
@@ -728,31 +1331,157 @@ impl Kernel {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Report an access to the tracer. The region (and the caller-name
+    /// clone) is only constructed when a tracer is actually installed, so
+    /// the untraced fast path allocates nothing here.
     fn emit_access(
         &self,
         caller: CompartmentId,
-        caller_name: &str,
-        region: MemRegion,
+        region: impl FnOnce() -> MemRegion,
         offset: usize,
         len: usize,
         mode: AccessMode,
         allowed: bool,
     ) {
-        if let Some(tracer) = self.tracer() {
-            tracer.on_access(&MemAccessEvent {
-                compartment: caller,
-                compartment_name: caller_name.to_string(),
-                region,
-                offset,
+        let Some(tracer) = self.tracer() else { return };
+        // Compartments are never removed from the table (exit only clears
+        // `alive`), and every caller of this path has already been
+        // validated, so a missing name cannot happen here.
+        let Ok(name) = self.name_of(caller) else {
+            return;
+        };
+        tracer.on_access(&MemAccessEvent {
+            compartment: caller,
+            compartment_name: name,
+            region: region(),
+            offset,
+            len,
+            mode,
+            allowed,
+        });
+    }
+
+    /// The shared pre-shard pipeline for tagged accesses: resolve the grant
+    /// (through the cache), record/deny violations, and bounds-check the
+    /// request against the buffer — emitting an `allowed = false` trace
+    /// event on every failing exit. Returns the grant plus whether the
+    /// policy permitted the access (`false` only when emulation mode let a
+    /// violation proceed). Keeping this single-sourced keeps the trace
+    /// contract identical across reads, writes and borrowed guards.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn mem_access_check(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        len: usize,
+        mode: AccessMode,
+        cache: Option<&Mutex<PermCache>>,
+        kind: StatKind,
+    ) -> Result<(Option<MemProt>, bool), WedgeError> {
+        let region = MemRegion::Tagged {
+            tag: buf.tag,
+            alloc_offset: buf.offset,
+        };
+        if self.legacy {
+            // The old kernel's per-access segment + overlay lookups were
+            // SipHash probes; pay them here since the real tables moved to
+            // `IdHashMap`. `black_box` keeps the pure hashes from being
+            // optimised away.
+            std::hint::black_box(self.legacy_segments_probe.get(&buf.tag));
+            std::hint::black_box(self.legacy_overlays_probe.get(&(caller, buf.tag)));
+        }
+        let grant = self.resolve_mem_grant(caller, buf.tag, cache, kind)?;
+        let permitted = grant.map(|g| g.permits(mode)).unwrap_or(false);
+        if !permitted {
+            if let Err(e) = self.deny(caller, region.clone(), mode) {
+                self.emit_access(caller, || region, offset, len, mode, false);
+                return Err(e);
+            }
+        }
+        if offset
+            .checked_add(len)
+            .map(|end| end > buf.len)
+            .unwrap_or(true)
+        {
+            self.emit_access(caller, || region, offset, len, mode, false);
+            return Err(WedgeError::OutOfBounds {
+                tag: buf.tag,
+                offset: buf.offset + offset,
                 len,
-                mode,
-                allowed,
             });
         }
+        Ok((grant, permitted))
+    }
+
+    /// The shared permission/bounds pipeline for tagged reads: on success,
+    /// `sink` is invoked exactly once with the source bytes, under the
+    /// shard's read lock. Denied and out-of-bounds exits always produce a
+    /// trace event (allowed = false) before returning the error.
+    fn mem_read_core(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        len: usize,
+        cache: Option<&Mutex<PermCache>>,
+        sink: impl FnOnce(&[u8]),
+    ) -> Result<(), WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let region = MemRegion::Tagged {
+            tag: buf.tag,
+            alloc_offset: buf.offset,
+        };
+        let (_, permitted) = self.mem_access_check(
+            caller,
+            buf,
+            offset,
+            len,
+            AccessMode::Read,
+            cache,
+            StatKind::MemRead,
+        )?;
+        let start = buf.offset + offset;
+        {
+            let shard = self.shard(buf.tag).read();
+            let Some(entry) = shard.segments.get(&buf.tag) else {
+                drop(shard);
+                self.emit_access(caller, || region, offset, len, AccessMode::Read, false);
+                return Err(WedgeError::UnknownTag(buf.tag));
+            };
+            // One pass validates the allocation is live and yields its bytes.
+            let Some(alloc) = entry.segment.arena().live_slice(buf.offset, buf.len) else {
+                drop(shard);
+                self.emit_access(caller, || region, offset, len, AccessMode::Read, false);
+                return Err(WedgeError::OutOfBounds {
+                    tag: buf.tag,
+                    offset: buf.offset,
+                    len: buf.len,
+                });
+            };
+            // Copy-on-write view: if this compartment has a private overlay
+            // for the tag, reads come from it. The emptiness check keeps the
+            // common no-overlay case free of a second map lookup (the old
+            // kernel's unconditional overlay probe is reproduced for the
+            // legacy profile in `mem_access_check`).
+            let overlay = if shard.overlays.is_empty() {
+                None
+            } else {
+                shard.overlays.get(&(caller, buf.tag))
+            };
+            if let Some(overlay) = overlay {
+                sink(&overlay[start..start + len]);
+            } else {
+                sink(&alloc[offset..offset + len]);
+            }
+        }
+        self.emit_access(caller, || region, offset, len, AccessMode::Read, permitted);
+        Ok(())
     }
 
     /// Read `len` bytes at `offset` within a tagged buffer.
+    #[cfg_attr(not(test), allow(dead_code))] // uncached convenience, exercised by unit tests
     pub(crate) fn mem_read(
         &self,
         caller: CompartmentId,
@@ -760,85 +1489,117 @@ impl Kernel {
         offset: usize,
         len: usize,
     ) -> Result<Vec<u8>, WedgeError> {
-        let (result, caller_name, allowed) = {
-            let mut st = self.state.lock();
-            st.stats.mem_reads += 1;
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
-            let region = MemRegion::Tagged {
-                tag: buf.tag,
-                alloc_offset: buf.offset,
-            };
-            let permitted = grant.map(|g| g.permits(AccessMode::Read)).unwrap_or(false);
-            if !permitted {
-                let denied = self.deny(&mut st, caller, region.clone(), AccessMode::Read);
-                if let Err(e) = denied {
-                    self.emit_access(
-                        caller,
-                        &caller_name,
-                        region,
-                        offset,
-                        len,
-                        AccessMode::Read,
-                        false,
-                    );
-                    return Err(e);
-                }
+        self.mem_read_vec(caller, buf, offset, len, None)
+    }
+
+    /// [`Kernel::mem_read`] through a per-sthread permission cache.
+    pub(crate) fn mem_read_vec(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        len: usize,
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<Vec<u8>, WedgeError> {
+        let mut out = Vec::new();
+        self.mem_read_core(caller, buf, offset, len, cache, |src| {
+            out.extend_from_slice(src)
+        })?;
+        Ok(out)
+    }
+
+    /// Zero-copy read: fill `dst` from the tagged buffer. With a warm
+    /// permission cache and no tracer installed this performs no heap
+    /// allocation at all.
+    #[inline]
+    pub(crate) fn mem_read_into(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        dst: &mut [u8],
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<(), WedgeError> {
+        self.mem_read_core(caller, buf, offset, dst.len(), cache, |src| {
+            dst.copy_from_slice(src)
+        })
+    }
+
+    /// Borrowed zero-copy read: returns a guard dereferencing to the bytes,
+    /// holding the segment shard's read lock for its lifetime.
+    pub(crate) fn mem_read_guard(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        len: usize,
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<MemReadGuard<'_>, WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let region = MemRegion::Tagged {
+            tag: buf.tag,
+            alloc_offset: buf.offset,
+        };
+        let (_, permitted) = self.mem_access_check(
+            caller,
+            buf,
+            offset,
+            len,
+            AccessMode::Read,
+            cache,
+            StatKind::MemRead,
+        )?;
+        // Resolve the tracer + name BEFORE taking the shard lock: the lock
+        // order is compartments → segment shard, and the event must be
+        // emitted while the guard pins the shard.
+        let traced = match self.tracer() {
+            Some(tracer) => Some((tracer, self.name_of(caller)?)),
+            None => None,
+        };
+        let shard = self.shard(buf.tag).read();
+        let live = shard
+            .segments
+            .get(&buf.tag)
+            .map(|e| e.segment.arena().contains_live_range(buf.offset, buf.len));
+        match live {
+            None => {
+                drop(shard);
+                self.emit_access(caller, || region, offset, len, AccessMode::Read, false);
+                return Err(WedgeError::UnknownTag(buf.tag));
             }
-            // Bounds checks against the live allocation.
-            if offset
-                .checked_add(len)
-                .map(|end| end > buf.len)
-                .unwrap_or(true)
-            {
-                return Err(WedgeError::OutOfBounds {
-                    tag: buf.tag,
-                    offset: buf.offset + offset,
-                    len,
-                });
-            }
-            let entry = st
-                .segments
-                .get(&buf.tag)
-                .ok_or(WedgeError::UnknownTag(buf.tag))?;
-            if !entry
-                .segment
-                .arena()
-                .contains_live_range(buf.offset, buf.len)
-            {
+            Some(false) => {
+                drop(shard);
+                self.emit_access(caller, || region, offset, len, AccessMode::Read, false);
                 return Err(WedgeError::OutOfBounds {
                     tag: buf.tag,
                     offset: buf.offset,
                     len: buf.len,
                 });
             }
-            let start = buf.offset + offset;
-            // Copy-on-write view: if this compartment has a private overlay
-            // for the tag, reads come from it.
-            let data = if let Some(overlay) = st.cow_overlays.get(&(caller, buf.tag)) {
-                overlay[start..start + len].to_vec()
-            } else {
-                entry.segment.arena().data()[start..start + len].to_vec()
-            };
-            (data, caller_name, permitted)
-        };
-        self.emit_access(
-            caller,
-            &caller_name,
-            MemRegion::Tagged {
-                tag: buf.tag,
-                alloc_offset: buf.offset,
-            },
-            offset,
+            Some(true) => {}
+        }
+        let overlay = shard
+            .overlays
+            .contains_key(&(caller, buf.tag))
+            .then_some((caller, buf.tag));
+        if let Some((tracer, name)) = traced {
+            tracer.on_access(&MemAccessEvent {
+                compartment: caller,
+                compartment_name: name,
+                region,
+                offset,
+                len,
+                mode: AccessMode::Read,
+                allowed: permitted,
+            });
+        }
+        Ok(MemReadGuard {
+            shard,
+            overlay,
+            tag: buf.tag,
+            start: buf.offset + offset,
             len,
-            AccessMode::Read,
-            allowed,
-        );
-        Ok(result)
+        })
     }
 
     /// Write `data` at `offset` within a tagged buffer.
@@ -849,99 +1610,97 @@ impl Kernel {
         offset: usize,
         data: &[u8],
     ) -> Result<(), WedgeError> {
-        let (caller_name, allowed) = {
-            let mut st = self.state.lock();
-            st.stats.mem_writes += 1;
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let grant = Self::policy_of_locked(&st, caller)?.mem_grant(buf.tag);
-            let region = MemRegion::Tagged {
-                tag: buf.tag,
-                alloc_offset: buf.offset,
+        self.mem_write_cached(caller, buf, offset, data, None)
+    }
+
+    /// [`Kernel::mem_write`] through a per-sthread permission cache.
+    pub(crate) fn mem_write_cached(
+        &self,
+        caller: CompartmentId,
+        buf: &SBuf,
+        offset: usize,
+        data: &[u8],
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<(), WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let region = MemRegion::Tagged {
+            tag: buf.tag,
+            alloc_offset: buf.offset,
+        };
+        let (grant, permitted) = self.mem_access_check(
+            caller,
+            buf,
+            offset,
+            data.len(),
+            AccessMode::Write,
+            cache,
+            StatKind::MemWrite,
+        )?;
+        let writes_shared = grant.map(|g| g.writes_shared()).unwrap_or(true);
+        let start = buf.offset + offset;
+        {
+            let mut shard = self.shard(buf.tag).write();
+            let SegmentShard { segments, overlays } = &mut *shard;
+            let Some(entry) = segments.get_mut(&buf.tag) else {
+                drop(shard);
+                self.emit_access(
+                    caller,
+                    || region,
+                    offset,
+                    data.len(),
+                    AccessMode::Write,
+                    false,
+                );
+                return Err(WedgeError::UnknownTag(buf.tag));
             };
-            let permitted = grant.map(|g| g.permits(AccessMode::Write)).unwrap_or(false);
-            if !permitted {
-                let denied = self.deny(&mut st, caller, region.clone(), AccessMode::Write);
-                if let Err(e) = denied {
-                    self.emit_access(
-                        caller,
-                        &caller_name,
-                        region,
-                        offset,
-                        data.len(),
-                        AccessMode::Write,
-                        false,
-                    );
-                    return Err(e);
-                }
-            }
-            if offset
-                .checked_add(data.len())
-                .map(|end| end > buf.len)
-                .unwrap_or(true)
+            // Liveness covers both branches: a copy-on-write holder must not
+            // write through a freed allocation either.
+            if !entry
+                .segment
+                .arena()
+                .contains_live_range(buf.offset, buf.len)
             {
+                drop(shard);
+                self.emit_access(
+                    caller,
+                    || region,
+                    offset,
+                    data.len(),
+                    AccessMode::Write,
+                    false,
+                );
                 return Err(WedgeError::OutOfBounds {
                     tag: buf.tag,
-                    offset: buf.offset + offset,
-                    len: data.len(),
+                    offset: buf.offset,
+                    len: buf.len,
                 });
             }
-            let writes_shared = grant.map(|g| g.writes_shared()).unwrap_or(true);
-            let start = buf.offset + offset;
             if writes_shared {
-                let entry = st
-                    .segments
-                    .get_mut(&buf.tag)
-                    .ok_or(WedgeError::UnknownTag(buf.tag))?;
-                if !entry
-                    .segment
-                    .arena()
-                    .contains_live_range(buf.offset, buf.len)
-                {
-                    return Err(WedgeError::OutOfBounds {
-                        tag: buf.tag,
-                        offset: buf.offset,
-                        len: buf.len,
-                    });
-                }
                 entry.segment.arena_mut().data_mut()[start..start + data.len()]
                     .copy_from_slice(data);
             } else {
                 // Copy-on-write: materialise the overlay on first write.
-                let base = {
-                    let entry = st
-                        .segments
-                        .get(&buf.tag)
-                        .ok_or(WedgeError::UnknownTag(buf.tag))?;
-                    entry.segment.arena().data().to_vec()
-                };
-                let overlay = st.cow_overlays.entry((caller, buf.tag)).or_insert(base);
+                let overlay = overlays
+                    .entry((caller, buf.tag))
+                    .or_insert_with(|| entry.segment.arena().data().to_vec());
                 overlay[start..start + data.len()].copy_from_slice(data);
             }
-            (caller_name, permitted)
-        };
+        }
         self.emit_access(
             caller,
-            &caller_name,
-            MemRegion::Tagged {
-                tag: buf.tag,
-                alloc_offset: buf.offset,
-            },
+            || region,
             offset,
             data.len(),
             AccessMode::Write,
-            allowed,
+            permitted,
         );
         Ok(())
     }
 
     /// Is the tag private (backing untagged allocations)?
     pub fn is_private_tag(&self, tag: Tag) -> bool {
-        self.state
-            .lock()
+        self.shard(tag)
+            .read()
             .segments
             .get(&tag)
             .map(|s| s.private)
@@ -955,8 +1714,7 @@ impl Kernel {
     /// Register a global variable as part of the pre-`main` snapshot. Every
     /// compartment receives a copy-on-write view of it by default.
     pub fn register_global(&self, name: &str, initial: &[u8]) {
-        let mut st = self.state.lock();
-        st.globals.insert(
+        self.control.lock().globals.insert(
             name.to_string(),
             GlobalVar {
                 initial: initial.to_vec(),
@@ -976,22 +1734,18 @@ impl Kernel {
         initial: &[u8],
         boundary_id: u32,
     ) -> Result<SBuf, WedgeError> {
-        // Look up the existing tag in its own statement so the state guard is
-        // dropped before `tag_new` / the re-lock below (holding it across the
-        // `None` arm would self-deadlock).
-        let existing = self.state.lock().boundary_tags.get(&boundary_id).copied();
+        let existing = self.control.lock().boundary_tags.get(&boundary_id).copied();
         let tag = match existing {
             Some(tag) => tag,
             None => {
                 let tag = self.tag_new(caller)?;
-                self.state.lock().boundary_tags.insert(boundary_id, tag);
+                self.control.lock().boundary_tags.insert(boundary_id, tag);
                 tag
             }
         };
         let buf = self.smalloc(caller, initial.len().max(1), tag)?;
         self.mem_write(caller, &buf, 0, initial)?;
-        let mut st = self.state.lock();
-        st.globals.insert(
+        self.control.lock().globals.insert(
             name.to_string(),
             GlobalVar {
                 initial: initial.to_vec(),
@@ -1004,7 +1758,7 @@ impl Kernel {
     /// `BOUNDARY_TAG`: the tag protecting all globals declared with the
     /// given boundary id.
     pub fn boundary_tag(&self, boundary_id: u32) -> Result<Tag, WedgeError> {
-        self.state
+        self.control
             .lock()
             .boundary_tags
             .get(&boundary_id)
@@ -1014,8 +1768,8 @@ impl Kernel {
 
     /// The tagged buffer behind a boundary global.
     pub fn boundary_buf(&self, name: &str) -> Result<SBuf, WedgeError> {
-        let st = self.state.lock();
-        let var = st
+        let control = self.control.lock();
+        let var = control
             .globals
             .get(name)
             .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
@@ -1031,33 +1785,31 @@ impl Kernel {
         &self,
         caller: CompartmentId,
         name: &str,
+        cache: Option<&Mutex<PermCache>>,
     ) -> Result<Vec<u8>, WedgeError> {
-        let (data, caller_name) = {
-            let st = self.state.lock();
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let var = st
+        // A dangling caller fails loudly instead of tracing as "".
+        if !self.compartments.read().contains_key(&caller) {
+            return Err(WedgeError::UnknownCompartment(caller));
+        }
+        let data = {
+            let control = self.control.lock();
+            let var = control
                 .globals
                 .get(name)
                 .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
             if let Some((_, buf)) = var.boundary {
-                drop(st);
-                return self.mem_read(caller, &buf, 0, buf.len);
+                drop(control);
+                return self.mem_read_vec(caller, &buf, 0, buf.len, cache);
             }
-            let data = st
+            control
                 .global_overlays
                 .get(&(caller, name.to_string()))
                 .cloned()
-                .unwrap_or_else(|| var.initial.clone());
-            (data, caller_name)
+                .unwrap_or_else(|| var.initial.clone())
         };
         self.emit_access(
             caller,
-            &caller_name,
-            MemRegion::Global {
+            || MemRegion::Global {
                 name: name.to_string(),
             },
             0,
@@ -1076,30 +1828,28 @@ impl Kernel {
         caller: CompartmentId,
         name: &str,
         value: &[u8],
+        cache: Option<&Mutex<PermCache>>,
     ) -> Result<(), WedgeError> {
-        let caller_name = {
-            let mut st = self.state.lock();
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let var = st
+        if !self.compartments.read().contains_key(&caller) {
+            return Err(WedgeError::UnknownCompartment(caller));
+        }
+        {
+            let mut control = self.control.lock();
+            let var = control
                 .globals
                 .get(name)
                 .ok_or_else(|| WedgeError::UnknownGlobal(name.to_string()))?;
             if let Some((_, buf)) = var.boundary {
-                drop(st);
-                return self.mem_write(caller, &buf, 0, value);
+                drop(control);
+                return self.mem_write_cached(caller, &buf, 0, value, cache);
             }
-            st.global_overlays
+            control
+                .global_overlays
                 .insert((caller, name.to_string()), value.to_vec());
-            caller_name
-        };
+        }
         self.emit_access(
             caller,
-            &caller_name,
-            MemRegion::Global {
+            || MemRegion::Global {
                 name: name.to_string(),
             },
             0,
@@ -1112,8 +1862,7 @@ impl Kernel {
 
     /// Names of all registered globals (used by Crowbar reports).
     pub fn global_names(&self) -> Vec<String> {
-        let st = self.state.lock();
-        let mut names: Vec<String> = st.globals.keys().cloned().collect();
+        let mut names: Vec<String> = self.control.lock().globals.keys().cloned().collect();
         names.sort();
         names
     }
@@ -1144,102 +1893,122 @@ impl Kernel {
     }
 
     fn fd_create(&self, caller: CompartmentId, entry: FdEntry) -> Result<FdId, WedgeError> {
-        let mut st = self.state.lock();
-        if !st.compartments.contains_key(&caller) {
-            return Err(WedgeError::UnknownCompartment(caller));
-        }
-        let fd = FdId(st.next_fd);
-        st.next_fd += 1;
-        st.fds.insert(fd, entry);
-        st.fd_owners.insert(fd, caller);
-        if let Some(c) = st.compartments.get_mut(&caller) {
-            if !c.policy.is_unconfined() {
-                c.policy.sc_fd_add(fd, FdProt::ReadWrite);
-            }
+        let mut comps = self.compartments.write();
+        let comp = comps
+            .get_mut(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        let fd = FdId(self.next_fd.fetch_add(1, Ordering::Relaxed));
+        self.fds.write().insert(fd, entry);
+        self.fd_owners.lock().insert(fd, caller);
+        if !comp.policy.is_unconfined() {
+            comp.policy.sc_fd_add(fd, FdProt::ReadWrite);
+            comp.bump_epoch();
         }
         Ok(fd)
     }
 
-    fn fd_check(
-        &self,
-        st: &mut KernelState,
-        caller: CompartmentId,
-        fd: FdId,
-        mode: AccessMode,
-    ) -> Result<FdEntry, WedgeError> {
-        let grant = Self::policy_of_locked(st, caller)?.fd_grant(fd);
-        let entry = st.fds.get(&fd).ok_or(WedgeError::UnknownFd(fd))?.clone();
-        let permitted = match (grant, mode) {
-            (Some(g), AccessMode::Read) => g.can_read(),
-            (Some(g), AccessMode::Write) => g.can_write(),
-            (None, _) => false,
-        };
-        if !permitted {
-            let region = MemRegion::Fd {
-                fd,
-                name: entry.name(),
-            };
-            self.deny(st, caller, region, mode)?;
-        }
-        Ok(entry)
-    }
-
     /// Read up to `len` bytes from a descriptor.
+    #[cfg_attr(not(test), allow(dead_code))] // uncached convenience, exercised by unit tests
     pub(crate) fn fd_read(
         &self,
         caller: CompartmentId,
         fd: FdId,
         len: usize,
     ) -> Result<Vec<u8>, WedgeError> {
-        let (data, name, caller_name) = {
-            let mut st = self.state.lock();
-            st.stats.fd_reads += 1;
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let entry = self.fd_check(&mut st, caller, fd, AccessMode::Read)?;
-            (entry.read(len), entry.name(), caller_name)
-        };
+        self.fd_read_cached(caller, fd, len, None)
+    }
+
+    /// [`Kernel::fd_read`] through a per-sthread permission cache.
+    pub(crate) fn fd_read_cached(
+        &self,
+        caller: CompartmentId,
+        fd: FdId,
+        len: usize,
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<Vec<u8>, WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let grant = self.resolve_fd_grant(caller, fd, cache, StatKind::FdRead)?;
+        let entry = self
+            .fds
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or(WedgeError::UnknownFd(fd))?;
+        let permitted = grant.map(|g| g.can_read()).unwrap_or(false);
+        if !permitted {
+            let region = MemRegion::Fd {
+                fd,
+                name: entry.name(),
+            };
+            if let Err(e) = self.deny(caller, region.clone(), AccessMode::Read) {
+                self.emit_access(caller, || region, 0, len, AccessMode::Read, false);
+                return Err(e);
+            }
+        }
+        let data = entry.read(len);
         self.emit_access(
             caller,
-            &caller_name,
-            MemRegion::Fd { fd, name },
+            || MemRegion::Fd {
+                fd,
+                name: entry.name(),
+            },
             0,
             data.len(),
             AccessMode::Read,
-            true,
+            permitted,
         );
         Ok(data)
     }
 
     /// Write bytes to a descriptor.
+    #[cfg_attr(not(test), allow(dead_code))] // uncached convenience, exercised by unit tests
     pub(crate) fn fd_write(
         &self,
         caller: CompartmentId,
         fd: FdId,
         data: &[u8],
     ) -> Result<usize, WedgeError> {
-        let (written, name, caller_name) = {
-            let mut st = self.state.lock();
-            st.stats.fd_writes += 1;
-            let caller_name = st
-                .compartments
-                .get(&caller)
-                .map(|c| c.name.clone())
-                .unwrap_or_default();
-            let entry = self.fd_check(&mut st, caller, fd, AccessMode::Write)?;
-            (entry.write(data), entry.name(), caller_name)
-        };
+        self.fd_write_cached(caller, fd, data, None)
+    }
+
+    /// [`Kernel::fd_write`] through a per-sthread permission cache.
+    pub(crate) fn fd_write_cached(
+        &self,
+        caller: CompartmentId,
+        fd: FdId,
+        data: &[u8],
+        cache: Option<&Mutex<PermCache>>,
+    ) -> Result<usize, WedgeError> {
+        let _legacy = self.legacy_section(caller);
+        let grant = self.resolve_fd_grant(caller, fd, cache, StatKind::FdWrite)?;
+        let entry = self
+            .fds
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or(WedgeError::UnknownFd(fd))?;
+        let permitted = grant.map(|g| g.can_write()).unwrap_or(false);
+        if !permitted {
+            let region = MemRegion::Fd {
+                fd,
+                name: entry.name(),
+            };
+            if let Err(e) = self.deny(caller, region.clone(), AccessMode::Write) {
+                self.emit_access(caller, || region, 0, data.len(), AccessMode::Write, false);
+                return Err(e);
+            }
+        }
+        let written = entry.write(data);
         self.emit_access(
             caller,
-            &caller_name,
-            MemRegion::Fd { fd, name },
+            || MemRegion::Fd {
+                fd,
+                name: entry.name(),
+            },
             0,
             data.len(),
             AccessMode::Write,
-            true,
+            permitted,
         );
         Ok(written)
     }
@@ -1248,8 +2017,8 @@ impl Kernel {
     /// for experiment harnesses (the "omniscient observer"), never used by
     /// application compartments.
     pub fn fd_peek_unchecked(&self, fd: FdId) -> Result<Vec<u8>, WedgeError> {
-        let st = self.state.lock();
-        st.fds
+        self.fds
+            .read()
             .get(&fd)
             .map(|e| e.peek_all())
             .ok_or(WedgeError::UnknownFd(fd))
@@ -1265,8 +2034,11 @@ impl Kernel {
         caller: CompartmentId,
         syscall: Syscall,
     ) -> Result<(), WedgeError> {
-        let st = self.state.lock();
-        let policy = Self::policy_of_locked(&st, caller)?;
+        let comps = self.compartments.read();
+        let policy = &comps
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?
+            .policy;
         if policy.is_unconfined() || policy.syscalls.permits(syscall) {
             Ok(())
         } else {
@@ -1284,16 +2056,18 @@ impl Kernel {
     /// Register a callgate entry point (program text). Returns the id used
     /// in `sc_cgate_add` and `cgate`.
     pub fn cgate_register(&self, name: &str, entry: CallgateFn) -> CgEntryId {
-        let mut st = self.state.lock();
-        let id = CgEntryId(st.next_entry);
-        st.next_entry += 1;
-        st.callgate_entries.insert(id, (name.to_string(), entry));
+        let mut control = self.control.lock();
+        let id = CgEntryId(control.next_entry);
+        control.next_entry += 1;
+        control
+            .callgate_entries
+            .insert(id, (name.to_string(), entry));
         id
     }
 
     /// The human-readable name of a callgate entry point.
     pub fn cgate_name(&self, entry: CgEntryId) -> Option<String> {
-        self.state
+        self.control
             .lock()
             .callgate_entries
             .get(&entry)
@@ -1311,14 +2085,16 @@ impl Kernel {
         extra: &SecurityPolicy,
         recycled: bool,
     ) -> Result<PreparedCall, WedgeError> {
-        let mut st = self.state.lock();
-        let caller_policy = Self::policy_of_locked(&st, caller)?.clone();
-        let instance = st.callgate_instances.get(&(caller, entry)).cloned().ok_or(
-            WedgeError::CallgateDenied {
+        let caller_policy = self.policy_of(caller)?;
+        let control = self.control.lock();
+        let instance = control
+            .callgate_instances
+            .get(&(caller, entry))
+            .cloned()
+            .ok_or(WedgeError::CallgateDenied {
                 compartment: caller,
                 entry,
-            },
-        )?;
+            })?;
         // The extra, argument-accessing permissions must be a subset of the
         // caller's current permissions (§4.1).
         for (tag, prot) in extra.mem_grants() {
@@ -1341,7 +2117,7 @@ impl Kernel {
                 }
             }
         }
-        let (_, entry_fn) = st
+        let (_, entry_fn) = control
             .callgate_entries
             .get(&entry)
             .cloned()
@@ -1349,7 +2125,7 @@ impl Kernel {
         let mut effective = instance.policy.clone();
         effective.merge_grants(extra);
         if recycled {
-            st.stats.recycled_invocations += 1;
+            StatCells::bump(&self.stats.recycled_invocations);
         }
         Ok(PreparedCall {
             entry_fn,
@@ -1367,58 +2143,72 @@ impl Kernel {
     /// spawn-time policy), undoing the implicit grants `tag_new` /
     /// `fd_create` accumulate. Used between principals on pooled recycled
     /// workers — the §3.3 residue a reused activation could otherwise leak
-    /// to the next caller.
+    /// to the next caller. The epoch bump invalidates every cached grant
+    /// the worker accumulated before the scrub.
     pub(crate) fn scrub_compartment(
         &self,
         id: CompartmentId,
         baseline: &SecurityPolicy,
     ) -> Result<(), WedgeError> {
-        let mut st = self.state.lock();
         {
-            let entry = st
-                .compartments
+            let mut comps = self.compartments.write();
+            let entry = comps
                 .get_mut(&id)
                 .ok_or(WedgeError::UnknownCompartment(id))?;
             entry.private_tag = None;
             entry.policy = baseline.clone();
+            entry.bump_epoch();
         }
-        let owned: Vec<Tag> = st
-            .segments
-            .iter()
-            .filter(|(_, seg)| seg.owner == id)
-            .map(|(tag, _)| *tag)
-            .collect();
-        for tag in owned {
-            if let Some(mut seg) = st.segments.remove(&tag) {
-                // The tag cache only scrubs on *reuse*; zero eagerly so the
-                // parked segment never holds the previous principal's bytes.
-                seg.segment.arena_mut().data_mut().fill(0);
-                st.tag_cache.release(seg.segment);
-                st.stats.tags_deleted += 1;
+        for shard in &self.segment_shards {
+            let mut shard = shard.write();
+            let owned: Vec<Tag> = shard
+                .segments
+                .iter()
+                .filter(|(_, seg)| seg.owner == id)
+                .map(|(tag, _)| *tag)
+                .collect();
+            for tag in owned {
+                if let Some(mut seg) = shard.segments.remove(&tag) {
+                    // The tag cache only scrubs on *reuse*; zero eagerly so
+                    // the parked segment never holds the previous
+                    // principal's bytes.
+                    seg.segment.arena_mut().data_mut().fill(0);
+                    self.tag_cache.lock().release(seg.segment);
+                    StatCells::bump(&self.stats.tags_deleted);
+                }
+                shard.overlays.retain(|(_, t), _| *t != tag);
             }
-            st.cow_overlays.retain(|(_, t), _| *t != tag);
+            shard.overlays.retain(|(c, _), _| *c != id);
         }
         // Descriptors the principal created go too — their buffered bytes
         // are per-principal state the next checkout must not inherit.
-        let owned_fds: Vec<FdId> = st
-            .fd_owners
-            .iter()
-            .filter(|(_, owner)| **owner == id)
-            .map(|(fd, _)| *fd)
-            .collect();
-        for fd in owned_fds {
-            st.fds.remove(&fd);
-            st.fd_owners.remove(&fd);
+        let owned_fds: Vec<FdId> = {
+            let owners = self.fd_owners.lock();
+            owners
+                .iter()
+                .filter(|(_, owner)| **owner == id)
+                .map(|(fd, _)| *fd)
+                .collect()
+        };
+        if !owned_fds.is_empty() {
+            let mut fds = self.fds.write();
+            let mut owners = self.fd_owners.lock();
+            for fd in owned_fds {
+                fds.remove(&fd);
+                owners.remove(&fd);
+            }
         }
-        st.cow_overlays.retain(|(c, _), _| *c != id);
-        st.global_overlays.retain(|(c, _), _| *c != id);
-        st.stats.private_scrubs += 1;
+        self.control
+            .lock()
+            .global_overlays
+            .retain(|(c, _), _| *c != id);
+        StatCells::bump(&self.stats.private_scrubs);
         Ok(())
     }
 
     /// The registered entry function of a callgate (pooled-worker spawning).
     pub(crate) fn cgate_entry_fn(&self, entry: CgEntryId) -> Option<CallgateFn> {
-        self.state
+        self.control
             .lock()
             .callgate_entries
             .get(&entry)
@@ -1428,7 +2218,7 @@ impl Kernel {
     /// Count one recycled-callgate invocation (pooled workers invoke without
     /// going through `cgate_prepare`, so they account here instead).
     pub(crate) fn note_recycled_invocation(&self) {
-        self.state.lock().stats.recycled_invocations += 1;
+        StatCells::bump(&self.stats.recycled_invocations);
     }
 
     /// Look up an existing recycled worker for `(caller, entry)`.
@@ -1437,7 +2227,7 @@ impl Kernel {
         caller: CompartmentId,
         entry: CgEntryId,
     ) -> Option<Arc<RecycledWorker>> {
-        self.state.lock().recycled.get(&(caller, entry)).cloned()
+        self.control.lock().recycled.get(&(caller, entry)).cloned()
     }
 
     /// Store a newly created recycled worker.
@@ -1447,15 +2237,15 @@ impl Kernel {
         entry: CgEntryId,
         worker: Arc<RecycledWorker>,
     ) {
-        self.state.lock().recycled.insert((caller, entry), worker);
+        self.control.lock().recycled.insert((caller, entry), worker);
     }
 
     /// Merge additional grants into an existing compartment's policy (used
     /// by recycled callgates, which trade some isolation for speed).
     pub(crate) fn widen_policy(&self, id: CompartmentId, extra: &SecurityPolicy) {
-        let mut st = self.state.lock();
-        if let Some(c) = st.compartments.get_mut(&id) {
+        if let Some(c) = self.compartments.write().get_mut(&id) {
             c.policy.merge_grants(extra);
+            c.bump_epoch();
         }
     }
 
@@ -1543,11 +2333,17 @@ mod tests {
     fn globals_have_per_compartment_cow_views() {
         let (kernel, root) = kernel_and_root();
         kernel.register_global("config", b"initial");
-        assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"initial");
+        assert_eq!(
+            kernel.global_read(root.id(), "config", None).unwrap(),
+            b"initial"
+        );
         kernel
-            .global_write(root.id(), "config", b"changed")
+            .global_write(root.id(), "config", b"changed", None)
             .unwrap();
-        assert_eq!(kernel.global_read(root.id(), "config").unwrap(), b"changed");
+        assert_eq!(
+            kernel.global_read(root.id(), "config", None).unwrap(),
+            b"changed"
+        );
 
         // A second compartment still sees the pristine snapshot value.
         let child = kernel
@@ -1558,16 +2354,52 @@ mod tests {
                 ChildKind::Sthread,
             )
             .unwrap();
-        assert_eq!(kernel.global_read(child, "config").unwrap(), b"initial");
+        assert_eq!(
+            kernel.global_read(child, "config", None).unwrap(),
+            b"initial"
+        );
     }
 
     #[test]
     fn unknown_global_is_an_error() {
         let (kernel, root) = kernel_and_root();
         assert!(matches!(
-            kernel.global_read(root.id(), "nope"),
+            kernel.global_read(root.id(), "nope", None),
             Err(WedgeError::UnknownGlobal(_))
         ));
+    }
+
+    #[test]
+    fn dangling_compartment_fails_loudly_not_as_empty_name() {
+        let (kernel, _root) = kernel_and_root();
+        kernel.register_global("config", b"x");
+        let ghost = CompartmentId(9999);
+        assert!(matches!(
+            kernel.global_read(ghost, "config", None),
+            Err(WedgeError::UnknownCompartment(CompartmentId(9999)))
+        ));
+        assert!(matches!(
+            kernel.global_write(ghost, "config", b"y", None),
+            Err(WedgeError::UnknownCompartment(_))
+        ));
+        let buf = SBuf::new(Tag(1), 0, 4);
+        assert!(matches!(
+            kernel.mem_read(ghost, &buf, 0, 4),
+            Err(WedgeError::UnknownCompartment(_))
+        ));
+        assert!(matches!(
+            kernel.mem_write(ghost, &buf, 0, b"abcd"),
+            Err(WedgeError::UnknownCompartment(_))
+        ));
+        assert!(matches!(
+            kernel.fd_read(ghost, FdId(1), 4),
+            Err(WedgeError::UnknownCompartment(_))
+        ));
+        // No "" names leaked into the violation log.
+        assert!(kernel
+            .violations()
+            .iter()
+            .all(|v| !v.compartment_name.is_empty()));
     }
 
     #[test]
@@ -1645,7 +2477,7 @@ mod tests {
                 ChildKind::Sthread,
             )
             .unwrap();
-        let private = kernel.private_alloc(child, 32).unwrap();
+        let private = kernel.private_alloc(child, 32, None).unwrap();
         assert!(kernel.is_private_tag(private.tag));
 
         // Another compartment cannot be granted that tag.
@@ -1745,7 +2577,7 @@ mod tests {
 
         // Ordinary global_read on a boundary var goes through the tag check
         // as well.
-        assert!(kernel.global_read(child, "secret_global").is_err());
+        assert!(kernel.global_read(child, "secret_global", None).is_err());
 
         // A granted child can.
         let mut policy = SecurityPolicy::deny_all();
@@ -1775,5 +2607,207 @@ mod tests {
         assert_eq!(kernel.mem_read(child, &buf, 0, 8).unwrap(), b"mutated!");
         // The shared copy (and the root's view) is untouched.
         assert_eq!(kernel.mem_read(root.id(), &buf, 0, 8).unwrap(), b"original");
+    }
+
+    #[test]
+    fn cow_writes_through_freed_allocations_are_rejected() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::CopyOnWrite);
+        let cow = kernel
+            .register_child(root.id(), "cow", &policy, ChildKind::Sthread)
+            .unwrap();
+        kernel.sfree(root.id(), &buf, None).unwrap();
+        // The overlay path must hit the same liveness wall as shared writes.
+        assert!(matches!(
+            kernel.mem_write(cow, &buf, 0, b"ghost"),
+            Err(WedgeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn permission_cache_hits_and_is_invalidated_by_revocation() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"payload!").unwrap();
+
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::Read);
+        let reader = kernel
+            .register_child(root.id(), "reader", &policy, ChildKind::Sthread)
+            .unwrap();
+
+        let cache = Mutex::new(PermCache::new());
+        // Warm the cache, then read repeatedly through it.
+        for _ in 0..3 {
+            assert_eq!(
+                kernel
+                    .mem_read_vec(reader, &buf, 0, 8, Some(&cache))
+                    .unwrap(),
+                b"payload!"
+            );
+        }
+        // Revoke: the very next cached read must fault, not serve stale.
+        kernel.policy_del(root.id(), reader, tag).unwrap();
+        assert!(matches!(
+            kernel.mem_read_vec(reader, &buf, 0, 8, Some(&cache)),
+            Err(WedgeError::ProtectionFault { .. })
+        ));
+        // Re-grant: visible again through the same cache.
+        kernel
+            .policy_add(root.id(), reader, tag, MemProt::Read)
+            .unwrap();
+        assert_eq!(
+            kernel
+                .mem_read_vec(reader, &buf, 0, 8, Some(&cache))
+                .unwrap(),
+            b"payload!"
+        );
+    }
+
+    #[test]
+    fn policy_add_enforces_subset_and_private_tag_rules() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let mut granter_policy = SecurityPolicy::deny_all();
+        granter_policy.sc_mem_add(tag, MemProt::Read);
+        let granter = kernel
+            .register_child(root.id(), "granter", &granter_policy, ChildKind::Sthread)
+            .unwrap();
+        let target = kernel
+            .register_child(
+                root.id(),
+                "target",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
+            .unwrap();
+        // A read-only holder cannot delegate read-write.
+        assert!(matches!(
+            kernel.policy_add(granter, target, tag, MemProt::ReadWrite),
+            Err(WedgeError::PrivilegeEscalation { .. })
+        ));
+        // Read delegation is fine.
+        kernel
+            .policy_add(granter, target, tag, MemProt::Read)
+            .unwrap();
+        let buf = kernel.smalloc(root.id(), 4, tag).unwrap();
+        assert!(kernel.mem_read(target, &buf, 0, 4).is_ok());
+        // Private tags can never be granted to another compartment.
+        let private = kernel.private_alloc(target, 8, None).unwrap();
+        assert!(matches!(
+            kernel.policy_add(root.id(), granter, private.tag, MemProt::Read),
+            Err(WedgeError::PrivateTag(_))
+        ));
+        // Revocation is refused for unrelated confined compartments.
+        assert!(matches!(
+            kernel.policy_del(granter, target, tag),
+            Err(WedgeError::PrivilegeEscalation { .. })
+        ));
+    }
+
+    #[test]
+    fn denied_and_out_of_bounds_accesses_emit_trace_events() {
+        use std::sync::atomic::Ordering as AtomOrd;
+        let (kernel, root) = kernel_and_root();
+        let sink = Arc::new(crate::trace::CountingSink::default());
+        kernel.set_tracer(Some(sink.clone()));
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+
+        // Out-of-bounds read and write both trace (the pre-refactor kernel
+        // silently dropped these).
+        let before = sink.accesses.load(AtomOrd::Relaxed);
+        assert!(kernel.mem_read(root.id(), &buf, 4, 8).is_err());
+        assert!(kernel.mem_write(root.id(), &buf, 7, b"toolong").is_err());
+        assert_eq!(sink.accesses.load(AtomOrd::Relaxed), before + 2);
+
+        // A denied read traces an access event (and a violation).
+        let child = kernel
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
+            .unwrap();
+        let before = sink.accesses.load(AtomOrd::Relaxed);
+        assert!(kernel.mem_read(child, &buf, 0, 8).is_err());
+        assert_eq!(sink.accesses.load(AtomOrd::Relaxed), before + 1);
+        assert_eq!(sink.violations.load(AtomOrd::Relaxed), 1);
+
+        // Unknown-tag exits trace on the write path too (reads and writes
+        // share the same always-emit contract).
+        kernel.tag_delete(root.id(), tag).unwrap();
+        let before = sink.accesses.load(AtomOrd::Relaxed);
+        assert!(matches!(
+            kernel.mem_write(root.id(), &buf, 0, b"gone"),
+            Err(WedgeError::UnknownTag(_))
+        ));
+        assert!(matches!(
+            kernel.mem_read(root.id(), &buf, 0, 4),
+            Err(WedgeError::UnknownTag(_))
+        ));
+        assert_eq!(sink.accesses.load(AtomOrd::Relaxed), before + 2);
+    }
+
+    #[test]
+    fn read_guard_sees_shared_bytes_and_cow_overlays() {
+        let (kernel, root) = kernel_and_root();
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"borrowed").unwrap();
+        {
+            let guard = kernel.mem_read_guard(root.id(), &buf, 0, 8, None).unwrap();
+            assert_eq!(&*guard, b"borrowed");
+            assert_eq!(&guard[2..4], b"rr");
+        }
+        // COW overlay: the guard serves the private view.
+        let mut policy = SecurityPolicy::deny_all();
+        policy.sc_mem_add(tag, MemProt::CopyOnWrite);
+        let child = kernel
+            .register_child(root.id(), "cow", &policy, ChildKind::Sthread)
+            .unwrap();
+        kernel.mem_write(child, &buf, 0, b"private!").unwrap();
+        let guard = kernel.mem_read_guard(child, &buf, 0, 8, None).unwrap();
+        assert_eq!(&*guard, b"private!");
+    }
+
+    #[test]
+    fn legacy_baseline_enforces_the_same_policy() {
+        let kernel = Arc::new(Kernel::legacy_baseline());
+        let root = kernel.create_root_compartment("root");
+        let tag = kernel.tag_new(root.id()).unwrap();
+        let buf = kernel.smalloc(root.id(), 8, tag).unwrap();
+        kernel.mem_write(root.id(), &buf, 0, b"oldpath!").unwrap();
+        assert_eq!(kernel.mem_read(root.id(), &buf, 0, 8).unwrap(), b"oldpath!");
+        let child = kernel
+            .register_child(
+                root.id(),
+                "worker",
+                &SecurityPolicy::deny_all(),
+                ChildKind::Sthread,
+            )
+            .unwrap();
+        assert!(matches!(
+            kernel.mem_read(child, &buf, 0, 8),
+            Err(WedgeError::ProtectionFault { .. })
+        ));
+        assert_eq!(kernel.stats().mem_reads, 2);
+    }
+
+    #[test]
+    fn prewarm_parks_segments_for_reuse() {
+        let (kernel, root) = kernel_and_root();
+        let parked = kernel.prewarm_tag_cache(4);
+        assert_eq!(parked, 4);
+        // Subsequent tag_new calls recycle the parked segments.
+        for _ in 0..4 {
+            kernel.tag_new(root.id()).unwrap();
+        }
+        assert_eq!(kernel.stats().tags_created, 4);
     }
 }

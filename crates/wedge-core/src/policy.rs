@@ -110,6 +110,19 @@ impl SecurityPolicy {
         self
     }
 
+    /// Remove the memory grant for `tag` (`sc_mem_del`), returning the
+    /// revoked protection if one was held. Used by the kernel's runtime
+    /// `policy_del`; the kernel bumps the compartment epoch so per-sthread
+    /// permission caches drop the stale entry.
+    pub fn sc_mem_del(&mut self, tag: Tag) -> Option<MemProt> {
+        self.mem.remove(&tag)
+    }
+
+    /// Remove the descriptor grant for `fd` (`sc_fd_del`).
+    pub fn sc_fd_del(&mut self, fd: FdId) -> Option<FdProt> {
+        self.fds.remove(&fd)
+    }
+
     /// Attach an SELinux-style syscall policy (`sc_sel_context`).
     pub fn sc_sel_context(&mut self, syscalls: SyscallPolicy) -> &mut Self {
         self.syscalls = syscalls;
@@ -300,6 +313,18 @@ mod tests {
         assert_eq!(p.mem_grant(Tag(1)), Some(MemProt::Read));
         assert_eq!(p.mem_grant(Tag(2)), Some(MemProt::ReadWrite));
         assert_eq!(p.fd_grant(FdId(3)), Some(FdProt::Write));
+    }
+
+    #[test]
+    fn revocation_removes_grants() {
+        let mut p = SecurityPolicy::deny_all();
+        p.sc_mem_add(Tag(1), MemProt::Read)
+            .sc_fd_add(FdId(2), FdProt::Write);
+        assert_eq!(p.sc_mem_del(Tag(1)), Some(MemProt::Read));
+        assert_eq!(p.mem_grant(Tag(1)), None);
+        assert_eq!(p.sc_mem_del(Tag(1)), None);
+        assert_eq!(p.sc_fd_del(FdId(2)), Some(FdProt::Write));
+        assert_eq!(p.fd_grant(FdId(2)), None);
     }
 
     #[test]

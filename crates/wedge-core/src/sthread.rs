@@ -19,11 +19,11 @@ use parking_lot::Mutex;
 use crate::callgate::{downcast_output, CgEntryId, CgInput, CgOutput, TrustedArg};
 use crate::error::WedgeError;
 use crate::fdtable::FdId;
-use crate::kernel::{ChildKind, Kernel, RecycledWorker};
+use crate::kernel::{ChildKind, Kernel, MemReadGuard, PermCache, RecycledWorker};
 use crate::memory::SBuf;
 use crate::policy::{SecurityPolicy, Uid};
 use crate::syscall::Syscall;
-use crate::tag::{CompartmentId, Tag};
+use crate::tag::{CompartmentId, MemProt, Tag};
 
 /// Extract a readable message from a panic payload (shared by sthread
 /// joins, recycled workers and the `wedge-sched` scheduler).
@@ -58,6 +58,11 @@ pub struct SthreadCtx {
     name: String,
     /// The `smalloc_on` redirection state (per sthread, as in the paper).
     smalloc_redirect: Arc<Mutex<Option<Tag>>>,
+    /// Per-sthread permission cache (tag → `MemProt`, fd → `FdProt`),
+    /// revalidated against the compartment's policy epoch. Shared by clones
+    /// of the same context — they name the same compartment, so sharing
+    /// just warms the cache faster.
+    perm_cache: Arc<Mutex<PermCache>>,
 }
 
 impl std::fmt::Debug for SthreadCtx {
@@ -71,11 +76,14 @@ impl std::fmt::Debug for SthreadCtx {
 
 impl SthreadCtx {
     pub(crate) fn new(kernel: Arc<Kernel>, id: CompartmentId, name: &str) -> Self {
+        let perm_cache = Arc::new(Mutex::new(PermCache::new()));
+        kernel.adopt_cache(&perm_cache);
         SthreadCtx {
             kernel,
             id,
             name: name.to_string(),
             smalloc_redirect: Arc::new(Mutex::new(None)),
+            perm_cache,
         }
     }
 
@@ -123,12 +131,13 @@ impl SthreadCtx {
 
     /// `smalloc()`: allocate `size` bytes from the segment with `tag`.
     pub fn smalloc(&self, size: usize, tag: Tag) -> Result<SBuf, WedgeError> {
-        self.kernel.smalloc(self.id, size, tag)
+        self.kernel
+            .smalloc_cached(self.id, size, tag, Some(&self.perm_cache))
     }
 
     /// `sfree()`: free a buffer obtained from `smalloc` / `malloc`.
     pub fn sfree(&self, buf: &SBuf) -> Result<(), WedgeError> {
-        self.kernel.sfree(self.id, buf)?;
+        self.kernel.sfree(self.id, buf, Some(&self.perm_cache))?;
         self.kernel.emit_free(self.id, buf.tag, buf.offset);
         Ok(())
     }
@@ -141,7 +150,9 @@ impl SthreadCtx {
         let redirect = *self.smalloc_redirect.lock();
         match redirect {
             Some(tag) => self.smalloc(size, tag),
-            None => self.kernel.private_alloc(self.id, size),
+            None => self
+                .kernel
+                .private_alloc(self.id, size, Some(&self.perm_cache)),
         }
     }
 
@@ -161,8 +172,10 @@ impl SthreadCtx {
     }
 
     /// Read `len` bytes at `offset` within a tagged buffer.
+    #[inline]
     pub fn read(&self, buf: &SBuf, offset: usize, len: usize) -> Result<Vec<u8>, WedgeError> {
-        self.kernel.mem_read(self.id, buf, offset, len)
+        self.kernel
+            .mem_read_vec(self.id, buf, offset, len, Some(&self.perm_cache))
     }
 
     /// Read the whole buffer.
@@ -170,9 +183,32 @@ impl SthreadCtx {
         self.read(buf, 0, buf.len)
     }
 
+    /// Zero-copy read: fill `dst` from the tagged buffer starting at
+    /// `offset`. With a warm permission cache and no tracer installed this
+    /// performs no heap allocation — the fast path the `fast_path` bench
+    /// measures.
+    #[inline]
+    pub fn read_into(&self, buf: &SBuf, offset: usize, dst: &mut [u8]) -> Result<(), WedgeError> {
+        self.kernel
+            .mem_read_into(self.id, buf, offset, dst, Some(&self.perm_cache))
+    }
+
+    /// Borrowed zero-copy read: the returned guard dereferences to the
+    /// buffer's bytes without copying them out of kernel memory. The guard
+    /// holds the segment shard's read lock — keep it short-lived, and make
+    /// no other kernel calls from this thread while holding it (writes,
+    /// allocations, frees, tag lifecycle, scrubs, even further reads): tags
+    /// hash across 16 shards, so any of those can collide with this shard's
+    /// lock and self-deadlock. Read, drop the guard, then continue.
+    pub fn read_guard(&self, buf: &SBuf) -> Result<MemReadGuard<'_>, WedgeError> {
+        self.kernel
+            .mem_read_guard(self.id, buf, 0, buf.len, Some(&self.perm_cache))
+    }
+
     /// Write `data` at `offset` within a tagged buffer.
     pub fn write(&self, buf: &SBuf, offset: usize, data: &[u8]) -> Result<(), WedgeError> {
-        self.kernel.mem_write(self.id, buf, offset, data)
+        self.kernel
+            .mem_write_cached(self.id, buf, offset, data, Some(&self.perm_cache))
     }
 
     /// Allocate a tagged buffer and initialise it with `data`.
@@ -190,12 +226,14 @@ impl SthreadCtx {
 
     /// Read a snapshot global (every compartment holds a COW view).
     pub fn global_read(&self, name: &str) -> Result<Vec<u8>, WedgeError> {
-        self.kernel.global_read(self.id, name)
+        self.kernel
+            .global_read(self.id, name, Some(&self.perm_cache))
     }
 
     /// Write this compartment's COW view of a snapshot global.
     pub fn global_write(&self, name: &str, value: &[u8]) -> Result<(), WedgeError> {
-        self.kernel.global_write(self.id, name, value)
+        self.kernel
+            .global_write(self.id, name, value, Some(&self.perm_cache))
     }
 
     /// `BOUNDARY_VAR`: declare a global protected by the boundary tag
@@ -238,17 +276,19 @@ impl SthreadCtx {
 
     /// Read up to `len` bytes from a descriptor.
     pub fn fd_read(&self, fd: FdId, len: usize) -> Result<Vec<u8>, WedgeError> {
-        self.kernel.fd_read(self.id, fd, len)
+        self.kernel
+            .fd_read_cached(self.id, fd, len, Some(&self.perm_cache))
     }
 
     /// Read everything currently available on a descriptor.
     pub fn fd_read_all(&self, fd: FdId) -> Result<Vec<u8>, WedgeError> {
-        self.kernel.fd_read(self.id, fd, usize::MAX / 2)
+        self.fd_read(fd, usize::MAX / 2)
     }
 
     /// Write bytes to a descriptor.
     pub fn fd_write(&self, fd: FdId, data: &[u8]) -> Result<usize, WedgeError> {
-        self.kernel.fd_write(self.id, fd, data)
+        self.kernel
+            .fd_write_cached(self.id, fd, data, Some(&self.perm_cache))
     }
 
     /// Check a system call against this compartment's allow-list.
@@ -315,6 +355,29 @@ impl SthreadCtx {
     ) -> Result<(), WedgeError> {
         self.kernel
             .transition_identity(self.id, target, new_uid, new_fs_root)
+    }
+
+    /// Add a runtime memory grant to another compartment's policy
+    /// (`policy_add`). This compartment must itself hold a grant on `tag`
+    /// that allows delegating `prot` (or be unconfined); private tags can
+    /// never be granted. The target's permission cache revalidates on its
+    /// next access.
+    pub fn grant_mem(
+        &self,
+        target: CompartmentId,
+        tag: Tag,
+        prot: MemProt,
+    ) -> Result<(), WedgeError> {
+        self.kernel.policy_add(self.id, target, tag, prot)
+    }
+
+    /// Revoke a memory grant from another compartment's policy
+    /// (`policy_del`). Permitted for the unconfined root, the target's
+    /// parent, or the target itself. Once this returns, no access that
+    /// starts afterwards can succeed through a stale cached grant — the
+    /// epoch bump forces every per-sthread cache to revalidate.
+    pub fn revoke_mem(&self, target: CompartmentId, tag: Tag) -> Result<(), WedgeError> {
+        self.kernel.policy_del(self.id, target, tag)
     }
 
     // ------------------------------------------------------------------

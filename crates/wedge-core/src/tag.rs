@@ -1,5 +1,51 @@
 //! Core identifier and permission types: memory tags, compartment ids and
-//! memory protection modes.
+//! memory protection modes — plus the cheap integer hasher the kernel's
+//! hot-path tables are keyed with.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative (Fibonacci) hasher for the kernel's dense integer keys
+/// — tags, compartment ids, descriptor ids and tuples of them. These ids
+/// are small sequential counters, so SipHash's DoS resistance buys nothing
+/// here while costing a large share of each permission-cache and
+/// segment-shard lookup on the tagged-memory fast path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher {
+    state: u64,
+}
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; fold them
+        // down for the table's bucket-index (low-bit) use.
+        self.state ^ (self.state >> 32)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.state = (self.state ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`IdHasher`].
+pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed with [`IdHasher`] — the kernel's hot-path table type.
+pub type IdHashMap<K, V> = HashMap<K, V, IdHashBuilder>;
 
 /// A memory tag: the name under which privileges for a tagged segment are
 //  granted. The tag namespace is flat — privileges for one tag never imply
@@ -124,6 +170,24 @@ mod tests {
         assert!(MemProt::Read.allows_delegation_of(MemProt::Read));
         assert!(MemProt::Read.allows_delegation_of(MemProt::CopyOnWrite));
         assert!(MemProt::CopyOnWrite.allows_delegation_of(MemProt::Read));
+    }
+
+    #[test]
+    fn id_hash_map_distinguishes_keys() {
+        let mut map: IdHashMap<Tag, u32> = IdHashMap::default();
+        for i in 0..1000 {
+            map.insert(Tag(i), i as u32);
+        }
+        for i in 0..1000 {
+            assert_eq!(map.get(&Tag(i)), Some(&(i as u32)));
+        }
+        assert_eq!(map.get(&Tag(1000)), None);
+
+        let mut tuples: IdHashMap<(CompartmentId, Tag), u8> = IdHashMap::default();
+        tuples.insert((CompartmentId(1), Tag(2)), 1);
+        tuples.insert((CompartmentId(2), Tag(1)), 2);
+        assert_eq!(tuples.get(&(CompartmentId(1), Tag(2))), Some(&1));
+        assert_eq!(tuples.get(&(CompartmentId(2), Tag(1))), Some(&2));
     }
 
     #[test]

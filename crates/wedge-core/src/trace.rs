@@ -101,6 +101,11 @@ pub struct ViolationEvent {
 
 /// The sink interface Crowbar implements. All methods have default no-op
 /// implementations so simple sinks can override only what they need.
+///
+/// Callbacks run synchronously on the accessing thread, and some (the
+/// borrowed-guard read path) run while the kernel holds internal locks: a
+/// sink must record and return, never call back into kernel operations
+/// (reads, writes, allocations, tag lifecycle) from inside a callback.
 pub trait AccessSink: Send + Sync {
     /// A memory, global or descriptor access occurred.
     fn on_access(&self, _event: &MemAccessEvent) {}

@@ -368,6 +368,77 @@ mod tests {
         (wedge, pool)
     }
 
+    /// Several pools on ONE kernel drive tagged reads on distinct tags from
+    /// many OS threads at once — the workload the kernel's sharded segment
+    /// table and per-sthread permission caches exist for. Pre-sharding, all
+    /// of this serialised on a single `Mutex<KernelState>`; this pins the
+    /// concurrent-correctness half (every read sees its own tag's bytes,
+    /// no cross-pool interference), while `wedge-bench`'s `fast_path`
+    /// experiment pins the throughput half.
+    #[test]
+    fn pools_on_one_kernel_hit_sharded_tables_concurrently() {
+        use wedge_core::MemProt;
+
+        let wedge = Wedge::init();
+        let root = wedge.root();
+        const POOLS: usize = 3;
+        const THREADS_PER_POOL: usize = 2;
+        const ROUNDS: usize = 50;
+
+        let pools: Vec<(StdArc<WorkerPool>, u8)> = (0..POOLS)
+            .map(|i| {
+                let fill = b'a' + i as u8;
+                let tag = root.tag_new().unwrap();
+                let buf = root.smalloc_init(tag, &[fill; 32]).unwrap();
+                let entry = wedge.kernel().cgate_register(
+                    &format!("reader-{i}"),
+                    typed_entry(move |ctx, _t, _n: u64| ctx.read(&buf, 0, 32)),
+                );
+                let mut policy = SecurityPolicy::deny_all();
+                policy.sc_mem_add(tag, MemProt::Read);
+                let pool = WorkerPool::prewarm(
+                    &root,
+                    entry,
+                    &policy,
+                    None,
+                    PoolConfig {
+                        size: THREADS_PER_POOL,
+                        max_waiters: 16,
+                        scrub_on_checkin: false,
+                    },
+                )
+                .unwrap();
+                (StdArc::new(pool), fill)
+            })
+            .collect();
+
+        let threads: Vec<_> = pools
+            .iter()
+            .flat_map(|(pool, fill)| {
+                (0..THREADS_PER_POOL).map({
+                    let pool = pool.clone();
+                    let fill = *fill;
+                    move |_| {
+                        let pool = pool.clone();
+                        std::thread::spawn(move || {
+                            for _ in 0..ROUNDS {
+                                let worker = pool.checkout().expect("checkout");
+                                let bytes =
+                                    worker.invoke_expect::<Vec<u8>>(Box::new(1u64)).unwrap();
+                                assert_eq!(bytes, vec![fill; 32], "cross-tag interference");
+                            }
+                        })
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("pool reader thread");
+        }
+        let reads = wedge.kernel().stats().mem_reads;
+        assert!(reads >= (POOLS * THREADS_PER_POOL * ROUNDS) as u64);
+    }
+
     #[test]
     fn prewarm_creates_all_workers_up_front() {
         let (wedge, pool) = echo_pool(3, 8);

@@ -310,3 +310,112 @@ fn recycled_callgate_is_cheaper_than_standard_over_many_invocations() {
         "recycled ({recycled:?}) should be cheaper than standard ({standard:?}) over many calls"
     );
 }
+
+/// Cache-invalidation under concurrency (the sharded kernel's epoch
+/// protocol): N pooled workers hammer reads on a shared tag through warm
+/// per-sthread permission caches while the root revokes their grants. Any
+/// read that *starts* after `revoke_mem` returns must fault — a stale
+/// cached grant serving one more access would be a real TOCTOU hole.
+#[test]
+fn revoked_grant_is_immediately_invisible_to_concurrent_pooled_readers() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use wedge::core::MemProt;
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let tag = root.tag_new().expect("tag");
+    let buf = root.smalloc_init(tag, b"hot shared page").expect("buf");
+    let entry = wedge.kernel().cgate_register(
+        "read_probe",
+        typed_entry(move |ctx, _t, _i: ()| Ok(ctx.read(&buf, 0, 15).is_ok())),
+    );
+
+    const WORKERS: usize = 4;
+    let mut policy = SecurityPolicy::deny_all();
+    policy.sc_mem_add(tag, MemProt::Read);
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            root.recycled_worker_spawn(entry, &policy, None)
+                .expect("prewarm worker")
+        })
+        .collect();
+    let activations: Vec<_> = workers.iter().map(|w| w.activation()).collect();
+
+    let revoked = Arc::new(AtomicBool::new(false));
+    let successes = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = workers
+        .into_iter()
+        .map(|worker| {
+            let revoked = revoked.clone();
+            let successes = successes.clone();
+            std::thread::spawn(move || loop {
+                // Sample the flag *before* the read starts: if the revoke
+                // had already returned by then, the read must fault.
+                let revoke_returned = revoked.load(Ordering::SeqCst);
+                let ok = worker
+                    .invoke_expect::<bool>(Box::new(()))
+                    .expect("invoke probe");
+                if ok {
+                    successes.fetch_add(1, Ordering::SeqCst);
+                    assert!(
+                        !revoke_returned,
+                        "stale cached grant served a read that started after revoke returned"
+                    );
+                } else if revoke_returned {
+                    break;
+                }
+            })
+        })
+        .collect();
+
+    // Let every worker serve from a warm cache first.
+    while successes.load(Ordering::SeqCst) < (WORKERS * 5) as u64 {
+        std::thread::yield_now();
+    }
+    for activation in &activations {
+        root.revoke_mem(*activation, tag).expect("revoke");
+    }
+    revoked.store(true, Ordering::SeqCst);
+    for thread in threads {
+        thread.join().expect("reader thread");
+    }
+    assert!(successes.load(Ordering::SeqCst) >= (WORKERS * 5) as u64);
+}
+
+/// Scrub resets the policy epoch: a runtime grant cached by a pooled
+/// worker's permission cache must not survive `scrub()` (pool checkin).
+/// The segment itself stays live — the root owns it — so only the epoch
+/// bump can make the post-scrub read fault.
+#[test]
+fn scrub_resets_policy_epoch_and_drops_cached_grants() {
+    use wedge::core::MemProt;
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    let tag = root.tag_new().expect("tag");
+    let buf = root.smalloc_init(tag, b"grant-cached").expect("buf");
+    let entry = wedge.kernel().cgate_register(
+        "epoch_probe",
+        typed_entry(move |ctx, _t, _i: ()| Ok(ctx.read(&buf, 0, 12).is_ok())),
+    );
+    let worker = root
+        .recycled_worker_spawn(entry, &SecurityPolicy::deny_all(), None)
+        .expect("prewarm worker");
+
+    // Spawn baseline: no grant.
+    assert!(!worker.invoke_expect::<bool>(Box::new(())).unwrap());
+    // Runtime grant (policy_add) becomes visible, then serves from cache.
+    root.grant_mem(worker.activation(), tag, MemProt::Read)
+        .expect("grant");
+    assert!(worker.invoke_expect::<bool>(Box::new(())).unwrap());
+    assert!(worker.invoke_expect::<bool>(Box::new(())).unwrap());
+    // Scrub resets the policy to the spawn baseline and bumps the epoch;
+    // the cached grant must die with it.
+    worker.scrub().expect("scrub");
+    assert!(
+        !worker.invoke_expect::<bool>(Box::new(())).unwrap(),
+        "cached grant survived the scrub's epoch reset"
+    );
+    let policy_after = wedge.kernel().policy_of(worker.activation()).unwrap();
+    assert!(policy_after.mem_grants().is_empty());
+}
