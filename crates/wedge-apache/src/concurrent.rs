@@ -1,97 +1,134 @@
-//! The pooled-concurrent HTTPS front-end.
+//! The sharded HTTPS front-end.
 //!
 //! A single [`WedgeApache`] instance owns per-connection tagged regions
 //! (`session_state`, the current-link slot), so it can only drive one
-//! connection at a time — the sequential-service limitation called out in
-//! the scheduler issue. [`ConcurrentApache`] lifts that limit with
-//! `wedge-sched`: it pre-builds a pool of N partitioned server instances
-//! (all sharing one certificate keypair, each with recycled callgates kept
-//! warm across the connections it serves — the single-machine analogue of
-//! one worker process per core) and drives incoming connections through a
-//! work-stealing [`Scheduler`] whose admission control rejects load the
-//! pool cannot absorb.
+//! connection at a time. [`ConcurrentApache`] lifts that limit with
+//! `wedge-sched`'s multi-process sharding subsystem: a
+//! [`wedge_sched::ShardSet`] forks N shard workers, each booting its own
+//! fully partitioned server over an **independent simulated kernel**
+//! (paying the fork image-copy cost once at boot, amortised by
+//! pre-warming), and a shared [`wedge_sched::Acceptor`] distributes
+//! incoming links across the shards (round-robin, least-loaded or
+//! session-affinity placement) with per-shard health and admission
+//! backpressure — a saturated or killed shard is skipped, and
+//! [`WedgeError::ResourceExhausted`] surfaces only when *every* shard
+//! rejects.
 //!
-//! Isolation is unchanged: every instance still enforces the full §5.1.2
-//! partitioning inside its own simulated kernel. What is shared across
-//! connections is only what the recycled mode already shares — and
-//! `wedge-sched`'s checkin zeroization story applies to the pooled-worker
-//! layer underneath (see `crates/wedge-sched/README.md`).
+//! What crosses shard boundaries is exactly one thing: the
+//! [`SharedSessionCache`], a confined lookup service every shard's key
+//! callgates consult through a narrow insert/lookup API. A TLS client that
+//! handshakes on shard A and resumes on shard B still gets the abbreviated
+//! handshake, because the premaster shard A cached is visible to shard B's
+//! `begin_handshake` gate. No tagged memory is shared across shard
+//! kernels: each shard still enforces the full §5.1.2 partitioning inside
+//! its own kernel, so a compromised shard can at most replay cache lookups
+//! — it cannot walk a sibling's address space.
 
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use wedge_core::{KernelStats, Wedge, WedgeError};
 use wedge_crypto::{RsaKeyPair, RsaPublicKey};
 use wedge_net::Duplex;
-use wedge_sched::{InstancePool, JobHandle, SchedStats, Scheduler, SchedulerConfig};
+use wedge_sched::{
+    AcceptPolicy, Acceptor, SchedStats, ShardConfig, ShardJobHandle, ShardServer, ShardSet,
+    ShardStats,
+};
+use wedge_tls::SharedSessionCache;
 
 use crate::http::PageStore;
 use crate::partitioned::{ApacheConfig, ConnectionReport, WedgeApache};
 
-/// Configuration of the pooled-concurrent front-end.
+/// Configuration of the sharded front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct ConcurrentApacheConfig {
-    /// Server instances in the pool — also the scheduler worker count, so a
-    /// running connection job can always claim an instance.
-    pub workers: usize,
-    /// Bounded per-worker run-queue capacity.
+    /// Shard workers to fork — each an independent kernel running one
+    /// partitioned server instance.
+    pub shards: usize,
+    /// Bounded per-shard link-queue capacity.
     pub queue_capacity: usize,
-    /// Admission limit on in-flight connections (`None`: only the bounded
-    /// queues push back).
-    pub max_pending: Option<u64>,
-    /// Run each instance's callgates in recycled mode (the Table 2 fast
-    /// path; the default for the pooled front-end).
+    /// Per-shard admission limit on in-flight connections (`None`: only
+    /// the bounded queues push back).
+    pub max_inflight: Option<u64>,
+    /// Run each shard's callgates in recycled mode (the Table 2 fast
+    /// path; the default for the sharded front-end).
     pub recycled: bool,
+    /// How the acceptor places links on shards.
+    pub policy: AcceptPolicy,
 }
 
 impl Default for ConcurrentApacheConfig {
     fn default() -> Self {
         ConcurrentApacheConfig {
-            workers: 4,
+            shards: 4,
             queue_capacity: 64,
-            max_pending: None,
+            max_inflight: None,
             recycled: true,
+            policy: AcceptPolicy::RoundRobin,
         }
     }
 }
 
-/// N partitioned HTTPS servers behind one scheduler.
+impl ShardServer for WedgeApache {
+    type Report = ConnectionReport;
+
+    fn serve_link(&self, shard: usize, link: Duplex) -> Result<ConnectionReport, WedgeError> {
+        self.serve_connection(link).map(|mut report| {
+            report.shard = shard;
+            report
+        })
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.wedge().kernel().stats()
+    }
+}
+
+/// N forked, partitioned HTTPS shards behind one acceptor, sharing only
+/// the session-cache lookup service.
 pub struct ConcurrentApache {
-    servers: Vec<Arc<WedgeApache>>,
-    pool: Arc<InstancePool>,
-    sched: Scheduler,
+    set: ShardSet<WedgeApache>,
+    acceptor: Acceptor<WedgeApache>,
+    cache: Arc<SharedSessionCache>,
     public_key: RsaPublicKey,
 }
 
 impl ConcurrentApache {
-    /// Build `config.workers` partitioned instances sharing `keypair` and
-    /// `pages`, plus the scheduler that multiplexes connections over them.
+    /// Fork `config.shards` shard workers, each booting a partitioned
+    /// instance sharing `keypair` and `pages` — and one
+    /// [`SharedSessionCache`] — plus the acceptor that distributes
+    /// connections over them.
     pub fn new(
         keypair: RsaKeyPair,
         pages: PageStore,
         config: ConcurrentApacheConfig,
     ) -> Result<ConcurrentApache, WedgeError> {
-        let workers = config.workers.max(1);
-        let mut servers = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            servers.push(Arc::new(WedgeApache::new(
-                Wedge::init(),
-                keypair,
-                pages.clone(),
-                ApacheConfig {
-                    recycled: config.recycled,
-                },
-            )?));
-        }
-        Ok(ConcurrentApache {
-            servers,
-            pool: Arc::new(InstancePool::new(workers)),
-            sched: Scheduler::new(SchedulerConfig {
-                workers,
+        let cache = Arc::new(SharedSessionCache::new());
+        let factory_cache = cache.clone();
+        let apache_config = ApacheConfig {
+            recycled: config.recycled,
+        };
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: config.shards,
                 queue_capacity: config.queue_capacity,
-                max_pending: config.max_pending,
-            }),
+                max_inflight: config.max_inflight,
+                ..ShardConfig::default()
+            },
+            move |_shard| {
+                WedgeApache::with_session_cache(
+                    Wedge::init(),
+                    keypair,
+                    pages.clone(),
+                    apache_config,
+                    factory_cache.clone(),
+                )
+            },
+        )?;
+        let acceptor = Acceptor::new(&set, config.policy);
+        Ok(ConcurrentApache {
+            set,
+            acceptor,
+            cache,
             public_key: keypair.public,
         })
     }
@@ -101,78 +138,75 @@ impl ConcurrentApache {
         self.public_key
     }
 
-    /// Pool width (instances == scheduler workers).
-    pub fn workers(&self) -> usize {
-        self.servers.len()
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.set.shards()
     }
 
-    /// Scheduler counters.
+    /// The cross-shard session-cache service.
+    pub fn session_cache(&self) -> &Arc<SharedSessionCache> {
+        &self.cache
+    }
+
+    /// Front-end counters: every offered connection bumps `submitted` and
+    /// resolves into exactly one of `completed` / `rejected` — a
+    /// connection `serve_all` re-offers after backpressure counts as a
+    /// fresh offer, so `submitted == completed + rejected` always
+    /// balances; `stolen` counts placements away from the policy's first
+    /// choice (skips of saturated shards and post-kill re-routes).
     pub fn sched_stats(&self) -> SchedStats {
-        self.sched.stats()
+        self.set.stats()
     }
 
-    /// Kernel counters summed across every pooled instance.
+    /// Per-shard snapshots (health, boot cost, depth, counters, kernel).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.set.shard_stats()
+    }
+
+    /// Kernel counters summed across every shard.
     pub fn kernel_stats(&self) -> KernelStats {
-        let mut total = KernelStats::default();
-        for server in &self.servers {
-            total += &server.wedge().kernel().stats();
-        }
-        total
+        self.set.kernel_stats()
     }
 
-    /// The one connection-job body: claim an instance (guard releases it
-    /// even if `serve_connection` panics), serve, return the report. The
-    /// link lives in a shared slot so a rejected submission does not consume
-    /// it and the submit can be retried.
-    fn submit_slot(
-        &self,
-        slot: Arc<Mutex<Option<Duplex>>>,
-    ) -> Result<JobHandle<Result<ConnectionReport, WedgeError>>, WedgeError> {
-        let servers = self.servers.clone();
-        let pool = self.pool.clone();
-        self.sched.submit(move || {
-            let link = slot.lock().take().expect("link present when job runs");
-            let claim = pool.claim();
-            servers[claim.index()].serve_connection(link)
-        })
+    /// Kill shard `idx` (fault injection): queued links are re-routed to
+    /// healthy shards; the link it is serving right now finishes. Returns
+    /// `(rerouted, shed)`.
+    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
+        self.set.kill_shard(idx)
     }
 
-    /// Submit one connection for service. The job claims a free instance
-    /// (always available to a *running* job, since instances == workers),
-    /// serves the connection end to end, and returns the instance.
+    /// Submit one connection for service on whichever shard the acceptor
+    /// picks. The returned handle resolves to the connection report, whose
+    /// `shard` field names the shard that actually served it.
     ///
-    /// Fails with [`WedgeError::ResourceExhausted`] when admission control
-    /// rejects the connection — the caller sheds the connection instead of
+    /// Fails with [`WedgeError::ResourceExhausted`] only when **every**
+    /// shard rejects the link — the caller sheds the connection instead of
     /// queuing it unboundedly.
-    pub fn serve(
+    pub fn serve(&self, link: Duplex) -> Result<ShardJobHandle<ConnectionReport>, WedgeError> {
+        self.acceptor.submit(link)
+    }
+
+    /// [`ConcurrentApache::serve`] with an explicit affinity key (used by
+    /// [`wedge_sched::AcceptPolicy::SessionAffinity`]; ignored by the
+    /// other policies). Callers that know a client's identity — e.g. a
+    /// listener hashing the source address — pin repeat clients to the
+    /// shard holding their warm state.
+    pub fn serve_with_key(
         &self,
         link: Duplex,
-    ) -> Result<JobHandle<Result<ConnectionReport, WedgeError>>, WedgeError> {
-        self.submit_slot(Arc::new(Mutex::new(Some(link))))
+        key: u64,
+    ) -> Result<ShardJobHandle<ConnectionReport>, WedgeError> {
+        self.acceptor.submit_with_key(link, key)
     }
 
     /// Convenience driver: serve every link, backing off briefly whenever
-    /// admission pushes back (blocking semantics for batch callers like the
-    /// benches), and return the per-connection outcomes in submit order.
+    /// every shard pushes back (blocking semantics for batch callers like
+    /// the benches), and return the per-connection outcomes **in link
+    /// order** — `result[i]` is `links[i]`'s outcome, so callers can
+    /// attribute each failure to its connection (and, via
+    /// [`ConnectionReport::shard`], to the shard that served it).
     pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<ConnectionReport, WedgeError>> {
-        let mut handles = Vec::with_capacity(links.len());
-        for link in links {
-            let slot = Arc::new(Mutex::new(Some(link)));
-            let handle = loop {
-                match self.submit_slot(slot.clone()) {
-                    Ok(handle) => break Ok(handle),
-                    Err(WedgeError::ResourceExhausted { .. }) => {
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                    Err(other) => break Err(other),
-                }
-            };
-            handles.push(handle);
-        }
-        handles
-            .into_iter()
-            .map(|handle| handle.and_then(|h| h.join()).and_then(|report| report))
-            .collect()
+        self.acceptor.serve_all(links)
     }
 }
 
@@ -219,13 +253,13 @@ mod tests {
     }
 
     #[test]
-    fn pool_serves_many_simultaneous_connections() {
+    fn shards_serve_many_simultaneous_connections() {
         let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(41));
         let server = ConcurrentApache::new(
             keypair,
             PageStore::sample(),
             ConcurrentApacheConfig {
-                workers: 4,
+                shards: 4,
                 ..ConcurrentApacheConfig::default()
             },
         )
@@ -239,27 +273,46 @@ mod tests {
         assert_eq!(sched.completed, 12);
         assert_eq!(sched.rejected, 0);
 
-        // Each connection runs the two-phase §5.1.2 partitioning.
+        // Round-robin spreads the batch over every shard.
+        let used: std::collections::HashSet<usize> = reports.iter().map(|r| r.shard).collect();
+        assert_eq!(used.len(), 4, "all four shards must serve");
+
+        // Each connection runs the two-phase §5.1.2 partitioning, summed
+        // over the independent shard kernels.
         let kernel = server.kernel_stats();
         assert_eq!(kernel.sthreads_created, 24);
-        assert!(kernel.recycled_invocations > 0, "pool runs recycled gates");
+        assert!(kernel.recycled_invocations > 0, "shards run recycled gates");
+
+        // Per-shard snapshots aggregate (AddAssign) back to the totals.
+        let mut total = wedge_sched::ShardStats::default();
+        for stats in server.shard_stats() {
+            assert!(
+                stats.boot_cost > std::time::Duration::ZERO,
+                "fork cost charged"
+            );
+            total += &stats;
+        }
+        assert_eq!(total.sched.completed, 12);
+        assert_eq!(total.kernel.sthreads_created, 24);
+        assert!(total.healthy, "all shards healthy aggregates to healthy");
     }
 
     #[test]
-    fn admission_limit_rejects_direct_serves() {
+    fn admission_limit_rejects_direct_serves_when_all_shards_full() {
         let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(43));
         let server = ConcurrentApache::new(
             keypair,
             PageStore::sample(),
             ConcurrentApacheConfig {
-                workers: 1,
+                shards: 1,
                 queue_capacity: 1,
-                max_pending: Some(1),
+                max_inflight: Some(1),
                 recycled: true,
+                policy: AcceptPolicy::RoundRobin,
             },
         )
         .unwrap();
-        // One connection whose client never speaks occupies the only slot
+        // One connection whose client never speaks occupies the only shard
         // until its handshake times out.
         let (_idle_client, idle_server) = duplex_pair("idle-client", "idle-server");
         let _busy = server.serve(idle_server).unwrap();

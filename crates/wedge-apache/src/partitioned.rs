@@ -43,7 +43,7 @@ use wedge_tls::handshake::{
 };
 use wedge_tls::messages::{ClientHello, ClientKeyExchange, Finished, ServerHello};
 use wedge_tls::record::RecordLayer;
-use wedge_tls::{SessionCache, SessionId, SessionKeys};
+use wedge_tls::{SessionId, SessionKeys, SharedSessionCache};
 
 use crate::http::{HttpRequest, PageStore};
 use crate::state::{FinishedState, SessionState, FINISHED_STATE_SIZE, SESSION_STATE_SIZE};
@@ -68,6 +68,14 @@ pub struct ConnectionReport {
     /// Number of records the `ssl_read` callgate rejected (failed MAC) —
     /// injected traffic never reaches the client handler.
     pub rejected_records: u32,
+    /// The shard that served the connection (0 outside a sharded
+    /// front-end), so callers can attribute outcomes and failures.
+    pub shard: usize,
+    /// Fingerprint of the derived session keys (all zeros until the
+    /// handshake establishes them) — lets tests assert that a resumed
+    /// connection on a *different* shard derived the same keys the client
+    /// did, without exposing the keys.
+    pub key_fingerprint: [u8; 32],
 }
 
 // ---------------------------------------------------------------------
@@ -83,7 +91,7 @@ type LinkSlot = Arc<Mutex<Option<Arc<Duplex>>>>;
 struct KeyGateTrusted {
     key_buf: SBuf,
     session_state: SBuf,
-    cache: Arc<Mutex<SessionCache>>,
+    cache: Arc<SharedSessionCache>,
 }
 
 /// Trusted argument shared by `receive_finished` and `send_finished`.
@@ -158,7 +166,7 @@ pub struct WedgeApache {
     wedge: Wedge,
     pages: PageStore,
     config: ApacheConfig,
-    cache: Arc<Mutex<SessionCache>>,
+    cache: Arc<SharedSessionCache>,
     key_tag: Tag,
     key_buf: SBuf,
     session_tag: Tag,
@@ -171,13 +179,35 @@ pub struct WedgeApache {
 }
 
 impl WedgeApache {
-    /// Build the server: allocate the private-key, session-key and
-    /// finished-state regions, and register all six callgate entry points.
+    /// Build the server with its own private session cache.
     pub fn new(
         wedge: Wedge,
         keypair: RsaKeyPair,
         pages: PageStore,
         config: ApacheConfig,
+    ) -> Result<WedgeApache, WedgeError> {
+        WedgeApache::with_session_cache(
+            wedge,
+            keypair,
+            pages,
+            config,
+            Arc::new(SharedSessionCache::new()),
+        )
+    }
+
+    /// Build the server: allocate the private-key, session-key and
+    /// finished-state regions, and register all six callgate entry points.
+    /// `cache` is the session-cache *service* the key callgates consult —
+    /// pass one shared instance to every shard of a sharded front-end so
+    /// resumption survives landing on a different shard; the shards only
+    /// ever reach it through its narrow insert/lookup API, never through
+    /// tagged memory.
+    pub fn with_session_cache(
+        wedge: Wedge,
+        keypair: RsaKeyPair,
+        pages: PageStore,
+        config: ApacheConfig,
+        cache: Arc<SharedSessionCache>,
     ) -> Result<WedgeApache, WedgeError> {
         let root = wedge.root();
         let key_tag = root.tag_new()?;
@@ -255,7 +285,7 @@ impl WedgeApache {
             wedge,
             pages,
             config,
-            cache: Arc::new(Mutex::new(SessionCache::new())),
+            cache,
             key_tag,
             key_buf,
             session_tag,
@@ -291,6 +321,12 @@ impl WedgeApache {
     /// The Wedge runtime backing the server.
     pub fn wedge(&self) -> &Wedge {
         &self.wedge
+    }
+
+    /// The session-cache service this instance consults (shared across
+    /// shards in a sharded front-end).
+    pub fn session_cache(&self) -> &Arc<SharedSessionCache> {
+        &self.cache
     }
 
     /// Whether this instance uses recycled callgates.
@@ -411,6 +447,15 @@ impl WedgeApache {
         let (served, rejected) = handler.join()?;
         report.requests = served;
         report.rejected_records = rejected;
+        // The master (root) records the derived-key fingerprint so callers
+        // can compare both sides of a (possibly cross-shard-resumed)
+        // handshake without touching the keys themselves.
+        let state_bytes = self.wedge.root().read_all(&self.session_state)?;
+        if let Some(state) = SessionState::from_bytes(&state_bytes) {
+            if state.established {
+                report.key_fingerprint = state.keys().fingerprint();
+            }
+        }
         *self.current_link.lock() = None;
         Ok(report)
     }
@@ -578,9 +623,9 @@ fn begin_handshake(
         ..SessionState::default()
     };
 
-    let mut cache = trusted.cache.lock();
-    let resumed_premaster = request.session_offer.and_then(|id| cache.lookup(&id));
-    drop(cache);
+    let resumed_premaster = request
+        .session_offer
+        .and_then(|id| trusted.cache.lookup(&id));
     let resumed = resumed_premaster.is_some();
     let session_id = request
         .session_offer
@@ -626,7 +671,7 @@ fn setup_session_key(
     let keys = SessionKeys::derive(&premaster, &request.client_random, &state.server_random);
     state.install_keys(&premaster, &keys);
     store_session(ctx, &trusted.session_state, &state)?;
-    trusted.cache.lock().insert(request.session_id, premaster);
+    trusted.cache.insert(request.session_id, premaster);
     Ok(true)
 }
 

@@ -1,0 +1,56 @@
+//! Shard-count scaling of the forked-shard front-end: the same
+//! handshake + GET workload served through 1, 2, 4 and 8 shards.
+//!
+//! Expected shape: wall time falls (aggregate connections/sec rises)
+//! roughly with shard count while think time dominates, flattening once
+//! per-connection CPU serialises on the 1-core box. The companion
+//! assertion (`cargo test --release -p wedge-bench -q sharded`) pins the
+//! ≥1.8× criterion at 4 shards.
+//!
+//! Set `WEDGE_SHARDED_SMOKE=1` to run a tiny workload — the CI smoke mode
+//! that keeps the harness compiling and running without burning minutes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use wedge_bench::sharded::{run_sharded, ShardedWorkload};
+
+fn smoke() -> bool {
+    std::env::var_os("WEDGE_SHARDED_SMOKE").is_some()
+}
+
+fn workload() -> ShardedWorkload {
+    ShardedWorkload {
+        connections: if smoke() { 4 } else { 16 },
+        think_time: Duration::from_millis(if smoke() { 2 } else { 10 }),
+        seed: 91,
+    }
+}
+
+fn sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded");
+    if smoke() {
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(10));
+        group.measurement_time(Duration::from_millis(50));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(2000));
+    }
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("connections", shards),
+            &shards,
+            |b, shards| {
+                b.iter(|| run_sharded(workload(), *shards));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sharded);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 pub mod fast_path;
 pub mod harness;
 pub mod pooled;
+pub mod sharded;
 pub mod spec;
 
 pub use fast_path::{
@@ -19,4 +20,7 @@ pub use fast_path::{
 };
 pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, SshBed};
 pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
+pub use sharded::{
+    compare_sharded, run_sharded, ShardScalingComparison, ShardedRun, ShardedWorkload,
+};
 pub use spec::{spec_workloads, SpecWorkload};

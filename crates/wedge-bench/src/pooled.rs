@@ -1,22 +1,23 @@
-//! Sequential-vs-pooled throughput drivers for the `wedge-sched`
-//! experiment.
+//! Sequential-vs-concurrent-front-end throughput drivers.
 //!
 //! The workload is the simulated Apache one: full TLS handshake + one GET
 //! per connection against the §5.1.2 partitioned server with recycled
 //! callgates. Each client inserts a configurable **think time** between
 //! its handshake and its request — the WAN round-trip / slow-client
 //! latency that dominates real connection lifetimes. A sequential server
-//! eats that latency once per connection; the pooled front-end overlaps
-//! it across `workers` in-flight connections, which is exactly the
-//! regime the scheduler exists for (and the only honest source of
-//! speedup on a single-core CI box, where CPU-bound work cannot run in
-//! parallel).
+//! eats that latency once per connection; the concurrent front-end (today
+//! the forked-shard `ShardSet` behind an acceptor) overlaps it across
+//! `workers` in-flight connections — the only honest source of speedup on
+//! a single-core CI box, where CPU-bound work cannot run in parallel.
+//!
+//! This module pins the *sequential server vs front-end* gap; the
+//! [`crate::sharded`] module (whose harness the concurrent leg delegates
+//! to) pins how that front-end's aggregate throughput *scales with shard
+//! count*.
 
 use std::time::{Duration, Instant};
 
-use wedge_apache::{
-    ApacheConfig, ConcurrentApache, ConcurrentApacheConfig, PageStore, WedgeApache,
-};
+use wedge_apache::{ApacheConfig, PageStore, WedgeApache};
 use wedge_core::Wedge;
 use wedge_crypto::{RsaKeyPair, WedgeRng};
 use wedge_net::{duplex_pair, Duplex};
@@ -88,41 +89,20 @@ pub fn run_sequential(workload: PooledWorkload) -> Duration {
     started.elapsed()
 }
 
-/// Serve the workload through a [`ConcurrentApache`] pool of `workers`
-/// instances. Returns the elapsed wall time and the scheduler counters.
+/// Serve the workload through the concurrent front-end with `workers`
+/// shards (delegates to the [`crate::sharded`] harness — one driver for
+/// the shared front-end). Returns the elapsed wall time and the front-end
+/// counters.
 pub fn run_pooled(workload: PooledWorkload, workers: usize) -> (Duration, SchedStats) {
-    let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(workload.seed));
-    let server = ConcurrentApache::new(
-        keypair,
-        PageStore::sample(),
-        ConcurrentApacheConfig {
-            workers,
-            ..ConcurrentApacheConfig::default()
+    let run = crate::sharded::run_sharded(
+        crate::sharded::ShardedWorkload {
+            connections: workload.connections,
+            think_time: workload.think_time,
+            seed: workload.seed,
         },
-    )
-    .expect("pooled server");
-    let mut server_links = Vec::with_capacity(workload.connections);
-    let mut clients = Vec::with_capacity(workload.connections);
-    let started = Instant::now();
-    for i in 0..workload.connections {
-        let (client_link, server_link) = duplex_pair("pool-client", "pool-server");
-        clients.push(spawn_client(
-            server.public_key(),
-            client_link,
-            workload.think_time,
-            workload.seed + 2000 + i as u64,
-        ));
-        server_links.push(server_link);
-    }
-    for report in server.serve_all(server_links) {
-        let report = report.expect("serve");
-        assert!(report.handshake_ok && report.requests == 1);
-    }
-    let elapsed = started.elapsed();
-    for client in clients {
-        client.join().expect("client");
-    }
-    (elapsed, server.sched_stats())
+        workers,
+    );
+    (run.elapsed, run.sched)
 }
 
 /// Outcome of one sequential-vs-pooled comparison.

@@ -22,21 +22,32 @@
 //! * [`SchedStats`] / [`PoolStats`] — `KernelStats`-style counters for every
 //!   scheduler and pool decision (submitted, completed, rejected, stolen,
 //!   checkouts, scrubs, peak depths).
+//! * [`ShardSet`] + [`Acceptor`] — the **multi-process sharding front-end**:
+//!   N forked shard workers, each owning an independent simulated kernel
+//!   (the fork image/descriptor-copy cost is charged once at boot via
+//!   `wedge_core::procsim::ForkSim` and amortised by pre-warming), behind a
+//!   shared acceptor with pluggable placement policies (round-robin,
+//!   least-loaded, session-affinity hashing), per-shard health and
+//!   admission backpressure, and kill-time re-routing of queued links.
 //!
 //! `wedge-apache` builds its concurrent front-end and `wedge-ssh` its
 //! pooled privsep monitors on top of this crate; `wedge-bench` measures the
-//! sequential-vs-pooled throughput gap. See `README.md` for the isolation
-//! trade-offs.
+//! sequential-vs-pooled and single-vs-many-shard throughput gaps. See
+//! `README.md` for the isolation trade-offs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod acceptor;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
 pub mod scheduler;
+pub mod shard;
 
+pub use acceptor::{hash_name, shard_for_key, AcceptPolicy, Acceptor, ShardJobHandle};
 pub use metrics::{PoolStats, SchedStats};
-pub use pool::{InstanceClaim, InstancePool, PoolCheckout, PoolConfig, WorkerPool};
+pub use pool::{PoolCheckout, PoolConfig, WorkerPool};
 pub use queue::RunQueue;
 pub use scheduler::{JobHandle, Scheduler, SchedulerConfig};
+pub use shard::{ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats};

@@ -20,6 +20,27 @@ pub struct SchedStats {
     pub peak_queue_depth: u64,
 }
 
+impl std::ops::AddAssign<&SchedStats> for SchedStats {
+    /// Field-wise accumulation for aggregating per-shard counters, in the
+    /// `KernelStats` style: counters sum, peak depths take the max. The
+    /// exhaustive destructuring makes adding a field without extending
+    /// this impl a compile error.
+    fn add_assign(&mut self, other: &SchedStats) {
+        let SchedStats {
+            submitted,
+            completed,
+            rejected,
+            stolen,
+            peak_queue_depth,
+        } = other;
+        self.submitted += submitted;
+        self.completed += completed;
+        self.rejected += rejected;
+        self.stolen += stolen;
+        self.peak_queue_depth = self.peak_queue_depth.max(*peak_queue_depth);
+    }
+}
+
 /// A snapshot of worker-pool activity (see [`crate::WorkerPool::stats`]).
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct PoolStats {
@@ -120,5 +141,28 @@ mod tests {
         assert_eq!(snap.checkouts, 1);
         assert_eq!(snap.scrubs, 1);
         assert_eq!(snap.checkins, 0);
+    }
+
+    #[test]
+    fn sched_stats_aggregate_with_add_assign() {
+        let mut total = SchedStats {
+            submitted: 3,
+            completed: 2,
+            rejected: 1,
+            stolen: 0,
+            peak_queue_depth: 5,
+        };
+        total += &SchedStats {
+            submitted: 4,
+            completed: 4,
+            rejected: 0,
+            stolen: 2,
+            peak_queue_depth: 3,
+        };
+        assert_eq!(total.submitted, 7);
+        assert_eq!(total.completed, 6);
+        assert_eq!(total.rejected, 1);
+        assert_eq!(total.stolen, 2);
+        assert_eq!(total.peak_queue_depth, 5, "peak takes the max, not the sum");
     }
 }

@@ -242,111 +242,12 @@ impl Drop for PoolCheckout {
     }
 }
 
-/// A blocking pool of instance *indices* (0..size), for front-ends that
-/// pool whole server instances rather than individual workers (e.g.
-/// `ConcurrentApache`, `PooledWedgeSsh`). `claim` blocks until an index is
-/// free; callers size the pool to the scheduler's worker count so a
-/// *running* job can always claim one.
-pub struct InstancePool {
-    free: Mutex<Vec<usize>>,
-    available: Condvar,
-}
-
-impl std::fmt::Debug for InstancePool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InstancePool")
-            .field("free", &self.free.lock().len())
-            .finish()
-    }
-}
-
-impl InstancePool {
-    /// Create a pool over indices `0..size`.
-    pub fn new(size: usize) -> InstancePool {
-        InstancePool {
-            free: Mutex::new((0..size).collect()),
-            available: Condvar::new(),
-        }
-    }
-
-    /// Claim a free index, blocking until one is available. The guard
-    /// releases the index on drop — **including on unwind**, so a panicking
-    /// job cannot leak an index and starve the pool.
-    pub fn claim(self: &Arc<Self>) -> InstanceClaim {
-        let idx = {
-            let mut free = self.free.lock();
-            while free.is_empty() {
-                self.available.wait(&mut free);
-            }
-            free.pop().expect("non-empty after wait")
-        };
-        InstanceClaim {
-            pool: self.clone(),
-            idx,
-        }
-    }
-
-    fn release(&self, idx: usize) {
-        self.free.lock().push(idx);
-        self.available.notify_one();
-    }
-}
-
-/// RAII claim on an [`InstancePool`] index.
-#[derive(Debug)]
-pub struct InstanceClaim {
-    pool: Arc<InstancePool>,
-    idx: usize,
-}
-
-impl InstanceClaim {
-    /// The claimed index.
-    pub fn index(&self) -> usize {
-        self.idx
-    }
-}
-
-impl Drop for InstanceClaim {
-    fn drop(&mut self) {
-        self.pool.release(self.idx);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc as StdArc;
     use wedge_core::callgate::typed_entry;
     use wedge_core::Wedge;
-
-    #[test]
-    fn instance_pool_claims_and_releases() {
-        let pool = StdArc::new(InstancePool::new(2));
-        let a = pool.claim();
-        let b = pool.claim();
-        assert_ne!(a.index(), b.index());
-        let idx_a = a.index();
-        let waiter = {
-            let pool = pool.clone();
-            std::thread::spawn(move || pool.claim().index())
-        };
-        drop(a);
-        assert_eq!(waiter.join().unwrap(), idx_a);
-    }
-
-    #[test]
-    fn instance_pool_releases_on_unwind() {
-        let pool = StdArc::new(InstancePool::new(1));
-        let p = pool.clone();
-        let _ = std::thread::spawn(move || {
-            let _claim = p.claim();
-            panic!("job dies mid-claim");
-        })
-        .join();
-        // The index came back despite the panic.
-        let reclaimed = pool.claim();
-        assert_eq!(reclaimed.index(), 0);
-    }
 
     fn echo_pool(size: usize, max_waiters: usize) -> (Wedge, WorkerPool) {
         let wedge = Wedge::init();

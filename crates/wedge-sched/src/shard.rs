@@ -1,0 +1,848 @@
+//! Forked kernel shards behind a shared front-end.
+//!
+//! The instance pools of the first scheduler iteration sharded *within*
+//! one front-end object: N server instances, one work-stealing scheduler,
+//! one process. A [`ShardSet`] is the multi-process analogue: each shard
+//! boots its **own** server instance over an independent simulated kernel
+//! (paying [`wedge_core::procsim::ForkSim`]'s fork cost — the full
+//! image + descriptor-table copy a real `fork` would pay — once at boot,
+//! amortised by pre-warming every shard before the first connection), and
+//! runs a dedicated worker that drains the shard's bounded link queue.
+//!
+//! Per-shard **health and backpressure** ride the same admission path as
+//! everything else in the reproduction: each shard charges one slot per
+//! in-flight link on a [`ResourceAccountant`] (`Sthreads` axis), so a
+//! saturated shard refuses with [`WedgeError::ResourceExhausted`] and a
+//! killed shard refuses outright; the [`crate::Acceptor`] skips refusing
+//! shards and surfaces `ResourceExhausted` only when *every* shard
+//! rejects. Killing a shard drains its queued links and re-routes them to
+//! healthy siblings — a queued connection is never silently dropped; if no
+//! sibling can take it, its handle resolves to the same
+//! `ResourceExhausted` a fresh submission would have seen.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use wedge_core::procsim::ForkSim;
+use wedge_core::resource::{ResourceAccountant, ResourceKind, ResourceLimits};
+use wedge_core::{KernelStats, WedgeError};
+use wedge_net::Duplex;
+
+use crate::metrics::{SchedCounters, SchedStats};
+
+/// A server a shard can boot and drive. One instance per shard, each over
+/// its own independent kernel; the shard's worker thread is the only
+/// caller of [`ShardServer::serve_link`], but stats may be read from any
+/// thread.
+pub trait ShardServer: Send + Sync + 'static {
+    /// The per-connection report the server produces.
+    type Report: Send + 'static;
+
+    /// Serve one link end to end on this shard. `shard` is the serving
+    /// shard's id, for stamping into the report so callers can attribute
+    /// outcomes (and failures) to a shard.
+    fn serve_link(&self, shard: usize, link: Duplex) -> Result<Self::Report, WedgeError>;
+
+    /// The shard kernel's counters.
+    fn kernel_stats(&self) -> KernelStats;
+}
+
+/// Shard-set sizing, backpressure and boot-cost configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of shard workers (independent kernels) to fork.
+    pub shards: usize,
+    /// Bounded per-shard link-queue capacity.
+    pub queue_capacity: usize,
+    /// Per-shard admission limit on in-flight links (queued + serving);
+    /// `None` leaves the quota axis unlimited and only the bounded queue
+    /// pushes back.
+    pub max_inflight: Option<u64>,
+    /// Address-space image size the simulated fork copies at shard boot.
+    pub fork_image_bytes: usize,
+    /// Descriptor-table size the simulated fork copies at shard boot.
+    pub fork_fd_count: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            queue_capacity: 64,
+            max_inflight: None,
+            // A small server image: 1 MiB of address space and a handful
+            // of listening/log descriptors.
+            fork_image_bytes: 1 << 20,
+            fork_fd_count: 16,
+        }
+    }
+}
+
+/// Liveness of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Accepting links.
+    Healthy,
+    /// Killed (fault injection or operator action); accepts nothing.
+    Failed,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_FAILED: u8 = 1;
+
+/// One queued unit of work: a link plus the channel its report resolves
+/// through. Public only to the crate so the acceptor can build and
+/// re-route jobs.
+pub(crate) struct ShardJob<R> {
+    pub(crate) link: Duplex,
+    pub(crate) tx: crossbeam::channel::Sender<Result<R, WedgeError>>,
+}
+
+pub(crate) struct Shard<S: ShardServer> {
+    pub(crate) id: usize,
+    pub(crate) server: S,
+    queue: Mutex<VecDeque<ShardJob<S::Report>>>,
+    signal: Condvar,
+    admission: Arc<ResourceAccountant>,
+    health: AtomicU8,
+    /// Queued + currently-serving links (the least-loaded policy's load
+    /// signal).
+    depth: AtomicUsize,
+    pub(crate) counters: SchedCounters,
+    boot_cost: Duration,
+    queue_capacity: usize,
+}
+
+impl<S: ShardServer> Shard<S> {
+    pub(crate) fn health(&self) -> ShardHealth {
+        match self.health.load(Ordering::SeqCst) {
+            HEALTH_HEALTHY => ShardHealth::Healthy,
+            _ => ShardHealth::Failed,
+        }
+    }
+
+    /// Queued + in-flight links.
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Try to enqueue a job. `rerouted` marks jobs drained from a dead
+    /// sibling (counted as `stolen` on this shard instead of `submitted`,
+    /// so aggregate submissions count each link once).
+    pub(crate) fn try_enqueue(
+        &self,
+        job: ShardJob<S::Report>,
+        rerouted: bool,
+    ) -> Result<(), ShardJob<S::Report>> {
+        if self.health() != ShardHealth::Healthy {
+            return Err(job);
+        }
+        if self.admission.charge(ResourceKind::Sthreads, 1).is_err() {
+            SchedCounters::bump(&self.counters.rejected);
+            return Err(job);
+        }
+        let mut queue = self.queue.lock();
+        // Re-check under the queue lock: a kill drains the queue under this
+        // lock, so a job enqueued after the health flip would be stranded.
+        if self.health() != ShardHealth::Healthy || queue.len() >= self.queue_capacity {
+            drop(queue);
+            self.admission.release(ResourceKind::Sthreads, 1);
+            SchedCounters::bump(&self.counters.rejected);
+            return Err(job);
+        }
+        queue.push_back(job);
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.counters.observe_depth(depth as u64);
+        if rerouted {
+            SchedCounters::bump(&self.counters.stolen);
+        } else {
+            SchedCounters::bump(&self.counters.submitted);
+        }
+        drop(queue);
+        self.signal.notify_one();
+        Ok(())
+    }
+
+    /// Mark the shard failed and hand back every queued job for
+    /// re-routing.
+    fn fail_and_drain(&self) -> Vec<ShardJob<S::Report>> {
+        let mut queue = self.queue.lock();
+        self.health.store(HEALTH_FAILED, Ordering::SeqCst);
+        let drained: Vec<_> = queue.drain(..).collect();
+        drop(queue);
+        for _ in &drained {
+            self.admission.release(ResourceKind::Sthreads, 1);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+        }
+        self.signal.notify_all();
+        drained
+    }
+}
+
+pub(crate) struct ShardSetInner<S: ShardServer> {
+    pub(crate) shards: Vec<Shard<S>>,
+    /// Front-end-level counters: `submitted` counts every *offer* (a
+    /// batch driver re-offering a refused link counts again, matching the
+    /// `rejected` its refusal recorded — so `submitted == completed +
+    /// rejected` always balances), `completed` each served link,
+    /// `rejected` each offer refused by every shard (at submit time or
+    /// after a failed re-route), `stolen` each link placed somewhere other
+    /// than the acceptor policy's first choice.
+    pub(crate) aggregate: SchedCounters,
+    shutdown: AtomicBool,
+}
+
+impl<S: ShardServer> ShardSetInner<S> {
+    /// The front-end counter snapshot: the aggregate counters, with the
+    /// peak queue depth folded in from the per-shard observations (depth
+    /// is observed where the queue lives).
+    pub(crate) fn front_stats(&self) -> SchedStats {
+        let mut stats = self.aggregate.snapshot();
+        for shard in &self.shards {
+            stats.peak_queue_depth = stats
+                .peak_queue_depth
+                .max(shard.counters.snapshot().peak_queue_depth);
+        }
+        stats
+    }
+
+    /// Offer `job` to the shards in `order`; the first shard that admits
+    /// it wins. Returns the winning position within `order`, or the job
+    /// back when every shard refuses. A shut-down set refuses outright —
+    /// its workers are gone, so an enqueued job would never be served.
+    pub(crate) fn place(
+        &self,
+        mut job: ShardJob<S::Report>,
+        order: &[usize],
+        rerouted: bool,
+    ) -> Result<usize, ShardJob<S::Report>> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        for (position, &idx) in order.iter().enumerate() {
+            match self.shards[idx].try_enqueue(job, rerouted) {
+                Ok(()) => return Ok(position),
+                Err(back) => job = back,
+            }
+        }
+        Err(job)
+    }
+
+    /// `true` while the set can still make progress: not shut down, and
+    /// at least one shard healthy. When this turns `false` a refusal is
+    /// permanent — retrying cannot help.
+    pub(crate) fn alive(&self) -> bool {
+        !self.shutdown.load(Ordering::SeqCst)
+            && self
+                .shards
+                .iter()
+                .any(|s| s.health() == ShardHealth::Healthy)
+    }
+}
+
+fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
+    let shard = &inner.shards[me];
+    loop {
+        let job = {
+            let mut queue = shard.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shard.health() == ShardHealth::Failed || inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                shard.signal.wait_for(&mut queue, Duration::from_millis(20));
+            }
+        };
+        let Some(job) = job else {
+            // Killed (queue already drained by the kill) or shutting down
+            // with an empty queue: this worker is done.
+            return;
+        };
+        let ShardJob { link, tx } = job;
+        let outcome = catch_unwind(AssertUnwindSafe(|| shard.server.serve_link(me, link)));
+        shard.admission.release(ResourceKind::Sthreads, 1);
+        shard.depth.fetch_sub(1, Ordering::SeqCst);
+        SchedCounters::bump(&shard.counters.completed);
+        SchedCounters::bump(&inner.aggregate.completed);
+        let result = outcome.unwrap_or_else(|payload| {
+            Err(WedgeError::SthreadPanicked(wedge_core::panic_message(
+                payload,
+            )))
+        });
+        let _ = tx.send(result);
+    }
+}
+
+/// Per-shard observability snapshot. Aggregate a set with `+=`; the
+/// [`SchedStats`]/[`KernelStats`] `AddAssign` impls sum counters and take
+/// the max of peak depths.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard's id (meaningless after aggregation).
+    pub shard: usize,
+    /// Whether the shard is accepting links.
+    pub healthy: bool,
+    /// Simulated fork + prewarm cost paid when the shard booted.
+    pub boot_cost: Duration,
+    /// Links queued + currently serving.
+    pub depth: u64,
+    /// Scheduler-style counters for this shard (`submitted` = links first
+    /// accepted here, `stolen` = links re-routed here from a sibling).
+    pub sched: SchedStats,
+    /// The shard kernel's counters.
+    pub kernel: KernelStats,
+}
+
+impl Default for ShardStats {
+    /// The `+=` identity: counters zero and `healthy: true`, so folding
+    /// shard snapshots into a default-constructed accumulator reports
+    /// healthy exactly when every shard is.
+    fn default() -> Self {
+        ShardStats {
+            shard: 0,
+            healthy: true,
+            boot_cost: Duration::ZERO,
+            depth: 0,
+            sched: SchedStats::default(),
+            kernel: KernelStats::default(),
+        }
+    }
+}
+
+impl std::ops::AddAssign<&ShardStats> for ShardStats {
+    fn add_assign(&mut self, other: &ShardStats) {
+        self.healthy &= other.healthy;
+        self.boot_cost += other.boot_cost;
+        self.depth += other.depth;
+        self.sched += &other.sched;
+        self.kernel += &other.kernel;
+    }
+}
+
+/// N forked shard workers, each owning an independent kernel and serving
+/// its own bounded link queue. Build an [`crate::Acceptor`] over the set
+/// to distribute links.
+pub struct ShardSet<S: ShardServer> {
+    inner: Arc<ShardSetInner<S>>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl<S: ShardServer> std::fmt::Debug for ShardSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.inner.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<S: ShardServer> ShardSet<S> {
+    /// Fork and pre-warm `config.shards` shards. `factory` builds shard
+    /// `id`'s server; it runs inside the simulated forked child, so every
+    /// shard pays the full image + descriptor-table copy of a real `fork`
+    /// **once, at boot** — pre-warming amortises it across every
+    /// connection the shard will ever serve (the same trade the paper's
+    /// recycled callgates make for compartment creation).
+    pub fn new<F>(config: ShardConfig, factory: F) -> Result<ShardSet<S>, WedgeError>
+    where
+        F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
+    {
+        let shard_count = config.shards.max(1);
+        let factory = Arc::new(factory);
+        let mut shards = Vec::with_capacity(shard_count);
+        for id in 0..shard_count {
+            let parent = ForkSim::new(config.fork_image_bytes, config.fork_fd_count);
+            let factory = factory.clone();
+            // The child starts from a copy of the whole parent image (the
+            // defining fork cost) and then builds + prewarms its server.
+            let (server, boot_cost) = parent.fork_and_wait_timed(move |_image, _fds| factory(id));
+            let server = server?;
+            let mut limits = ResourceLimits::unlimited();
+            if let Some(max) = config.max_inflight {
+                limits = limits.with_sthreads(max);
+            }
+            shards.push(Shard {
+                id,
+                server,
+                queue: Mutex::new(VecDeque::new()),
+                signal: Condvar::new(),
+                admission: ResourceAccountant::new(limits),
+                health: AtomicU8::new(HEALTH_HEALTHY),
+                depth: AtomicUsize::new(0),
+                counters: SchedCounters::default(),
+                boot_cost,
+                queue_capacity: config.queue_capacity.max(1),
+            });
+        }
+        let inner = Arc::new(ShardSetInner {
+            shards,
+            aggregate: SchedCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = (0..shard_count)
+            .map(|me| {
+                let inner = inner.clone();
+                thread::Builder::new()
+                    .name(format!("wedge-shard-{me}"))
+                    .spawn(move || shard_worker(&inner, me))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Ok(ShardSet { inner, threads })
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<ShardSetInner<S>> {
+        &self.inner
+    }
+
+    /// Number of shards (healthy or not).
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Borrow shard `idx`'s server (e.g. for per-shard assertions).
+    pub fn server(&self, idx: usize) -> &S {
+        &self.inner.shards[idx].server
+    }
+
+    /// Shard `idx`'s health.
+    pub fn health(&self, idx: usize) -> ShardHealth {
+        self.inner.shards[idx].health()
+    }
+
+    /// Shard `idx`'s admission accountant (in-flight links are the
+    /// `Sthreads` axis).
+    pub fn admission(&self, idx: usize) -> &Arc<ResourceAccountant> {
+        &self.inner.shards[idx].admission
+    }
+
+    /// Front-end-level counters: every *offer* bumps `submitted` and
+    /// resolves into exactly one of `completed` or `rejected` (a batch
+    /// driver re-offering a refused link counts as a fresh offer, so the
+    /// balance holds even under backoff-and-retry); `stolen` counts links
+    /// that landed somewhere other than the acceptor's first choice
+    /// (skips and post-kill re-routes).
+    pub fn stats(&self) -> SchedStats {
+        self.inner.front_stats()
+    }
+
+    /// Per-shard snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| ShardStats {
+                shard: shard.id,
+                healthy: shard.health() == ShardHealth::Healthy,
+                boot_cost: shard.boot_cost,
+                depth: shard.depth() as u64,
+                sched: shard.counters.snapshot(),
+                kernel: shard.server.kernel_stats(),
+            })
+            .collect()
+    }
+
+    /// Kernel counters summed across every shard.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for shard in &self.inner.shards {
+            total += &shard.server.kernel_stats();
+        }
+        total
+    }
+
+    /// Kill shard `idx`: mark it failed, drain its queued links, and
+    /// re-route them to healthy siblings (ring order starting after the
+    /// dead shard). A link no sibling can admit resolves through its
+    /// handle with [`WedgeError::ResourceExhausted`] — nothing is silently
+    /// dropped. The link the shard is serving *right now* is allowed to
+    /// finish. Returns `(rerouted, shed)` counts.
+    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
+        let n = self.inner.shards.len();
+        let drained = self.inner.shards[idx].fail_and_drain();
+        let order: Vec<usize> = (1..n).map(|offset| (idx + offset) % n).collect();
+        let (mut rerouted, mut shed) = (0, 0);
+        for job in drained {
+            match self.inner.place(job, &order, true) {
+                Ok(_) => {
+                    SchedCounters::bump(&self.inner.aggregate.stolen);
+                    rerouted += 1;
+                }
+                Err(job) => {
+                    SchedCounters::bump(&self.inner.aggregate.rejected);
+                    shed += 1;
+                    let _ = job.tx.send(Err(all_shards_exhausted(n)));
+                }
+            }
+        }
+        (rerouted, shed)
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.signal.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // A submission can race the shutdown flag and land a job after its
+        // worker drained and exited. Flip each shard to Failed *under its
+        // queue lock* and drain stragglers in the same critical section:
+        // `try_enqueue` re-checks health under that lock, so a racing push
+        // either lands before the flip (and is drained here) or observes
+        // Failed and refuses — no job can be stranded, and every straggler
+        // fails through its handle instead of hanging its caller's join().
+        for shard in &self.inner.shards {
+            let drained: Vec<_> = {
+                let mut queue = shard.queue.lock();
+                shard.health.store(HEALTH_FAILED, Ordering::SeqCst);
+                queue.drain(..).collect()
+            };
+            for job in drained {
+                shard.admission.release(ResourceKind::Sthreads, 1);
+                shard.depth.fetch_sub(1, Ordering::SeqCst);
+                SchedCounters::bump(&self.inner.aggregate.rejected);
+                let _ = job.tx.send(Err(WedgeError::InvalidOperation(
+                    "shard set shut down before the link was served".to_string(),
+                )));
+            }
+        }
+    }
+}
+
+impl<S: ShardServer> Drop for ShardSet<S> {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The error surfaced when every shard refuses a link.
+pub(crate) fn all_shards_exhausted(shards: usize) -> WedgeError {
+    WedgeError::ResourceExhausted {
+        resource: "shard front-end (all shards rejected)".to_string(),
+        limit: shards as u64,
+        attempted: shards as u64 + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::{AcceptPolicy, Acceptor};
+    use wedge_net::{duplex_pair, RecvTimeout};
+
+    /// A shard server that serves a link by waiting for one client
+    /// message (or the client hanging up) and reporting which shard ran
+    /// it — so tests control exactly when a shard is busy.
+    struct HoldServer;
+
+    impl ShardServer for HoldServer {
+        type Report = usize;
+
+        fn serve_link(&self, shard: usize, link: Duplex) -> Result<usize, WedgeError> {
+            let _ = link.recv(RecvTimeout::Forever);
+            Ok(shard)
+        }
+
+        fn kernel_stats(&self) -> KernelStats {
+            KernelStats::default()
+        }
+    }
+
+    fn hold_set(config: ShardConfig) -> ShardSet<HoldServer> {
+        ShardSet::new(config, |_id| Ok(HoldServer)).expect("shard set")
+    }
+
+    /// A key whose affinity hash lands on `shard` of `n`.
+    fn affinity_key(shard: usize, n: usize) -> u64 {
+        (0u64..)
+            .find(|k| crate::acceptor::shard_for_key(*k, n) == shard)
+            .expect("key")
+    }
+
+    #[test]
+    fn boot_pays_fork_cost_once_per_shard() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        });
+        for stats in set.shard_stats() {
+            assert!(stats.boot_cost > Duration::ZERO, "fork copy cost charged");
+            assert!(stats.healthy);
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_across_shards() {
+        let set = hold_set(ShardConfig {
+            shards: 3,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        let mut clients = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let (client, server) = duplex_pair("c", "s");
+            client.send(format!("go-{i}").as_bytes()).unwrap();
+            clients.push(client);
+            handles.push(acceptor.submit(server).unwrap());
+        }
+        let served: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(served, vec![0, 1, 2, 0, 1, 2]);
+        let stats = set.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.stolen, 0);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_idle_shard() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::LeastLoaded);
+        // Pin shard 0 with a link whose client stays silent.
+        let (busy_client, busy_server) = duplex_pair("busy", "s");
+        let busy = acceptor
+            .submit_with_key(busy_server, affinity_key(0, 2))
+            .unwrap();
+        // Wait until the worker actually picked the link up is not needed:
+        // depth counts queued + serving either way.
+        for _ in 0..4 {
+            let (client, server) = duplex_pair("c", "s");
+            client.send(b"go").unwrap();
+            let handle = acceptor.submit(server).unwrap();
+            assert_eq!(handle.join().unwrap(), 1, "idle shard must be preferred");
+        }
+        busy_client.send(b"done").unwrap();
+        assert_eq!(busy.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn least_loaded_ignores_dead_shards() {
+        let set = hold_set(ShardConfig {
+            shards: 3,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::LeastLoaded);
+        // A killed shard drains to depth 0 — it must not become the
+        // permanently-preferred "least loaded" choice.
+        set.kill_shard(0);
+        for _ in 0..4 {
+            let (client, server) = duplex_pair("c", "s");
+            client.send(b"go").unwrap();
+            let handle = acceptor.submit(server).unwrap();
+            assert_ne!(handle.placed_on(), 0, "dead shard must never be preferred");
+            assert!(handle.join().is_ok());
+        }
+        // The dead shard was never the first choice, so nothing counts as
+        // skipped/re-routed.
+        assert_eq!(set.stats().stolen, 0);
+    }
+
+    #[test]
+    fn session_affinity_is_sticky_per_key() {
+        let set = hold_set(ShardConfig {
+            shards: 4,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::SessionAffinity);
+        let key = 0xFEED_F00Du64;
+        let mut served = Vec::new();
+        for _ in 0..5 {
+            let (client, server) = duplex_pair("repeat-client", "s");
+            client.send(b"go").unwrap();
+            served.push(
+                acceptor
+                    .submit_with_key(server, key)
+                    .unwrap()
+                    .join()
+                    .unwrap(),
+            );
+        }
+        assert!(
+            served.windows(2).all(|w| w[0] == w[1]),
+            "one key must always land on one shard: {served:?}"
+        );
+    }
+
+    #[test]
+    fn saturated_shard_is_skipped_and_only_total_exhaustion_rejects() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            queue_capacity: 1,
+            max_inflight: Some(1),
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::SessionAffinity);
+        let to_zero = affinity_key(0, 2);
+        // Saturate shard 0.
+        let (c0, s0) = duplex_pair("hold0", "s");
+        let h0 = acceptor.submit_with_key(s0, to_zero).unwrap();
+        assert_eq!(h0.placed_on(), 0);
+        // Wait for the worker to take it so the next affinity submission
+        // exercises the admission quota, not a still-queued link.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while set.shard_stats()[0].depth > 0 && std::time::Instant::now() < deadline {
+            // depth stays 1 while serving; what must drain is the queue.
+            if set.inner().shards[0].queue.lock().is_empty() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Preferring shard 0 now skips to shard 1 instead of failing.
+        let (c1, s1) = duplex_pair("hold1", "s");
+        let h1 = acceptor.submit_with_key(s1, to_zero).unwrap();
+        assert_eq!(h1.placed_on(), 1, "saturated shard must be skipped");
+        assert_eq!(set.stats().stolen, 1);
+        // Both shards saturated: now — and only now — the front door fails.
+        let (_c2, s2) = duplex_pair("extra", "s");
+        let err = acceptor.submit_with_key(s2, to_zero).unwrap_err();
+        assert!(matches!(err, WedgeError::ResourceExhausted { .. }));
+        c0.send(b"done").unwrap();
+        c1.send(b"done").unwrap();
+        assert_eq!(h0.join().unwrap(), 0);
+        assert_eq!(h1.join().unwrap(), 1);
+        let stats = set.stats();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed + stats.rejected, 3, "every link resolves");
+    }
+
+    #[test]
+    fn killing_a_shard_reroutes_its_queued_links() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            queue_capacity: 8,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::SessionAffinity);
+        let to_zero = affinity_key(0, 2);
+        // One link in service on shard 0 (client silent)...
+        let (held_client, held_server) = duplex_pair("held", "s");
+        let held = acceptor.submit_with_key(held_server, to_zero).unwrap();
+        // ...wait until the worker holds it, then queue three more behind it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !set.inner().shards[0].queue.lock().is_empty() || set.shard_stats()[0].depth == 0 {
+            assert!(std::time::Instant::now() < deadline, "worker never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let mut clients = Vec::new();
+        let mut queued = Vec::new();
+        for _ in 0..3 {
+            let (client, server) = duplex_pair("queued", "s");
+            client.send(b"go").unwrap();
+            clients.push(client);
+            queued.push(acceptor.submit_with_key(server, to_zero).unwrap());
+        }
+        let (rerouted, shed) = set.kill_shard(0);
+        assert_eq!(rerouted, 3, "all queued links move to the live shard");
+        assert_eq!(shed, 0);
+        assert_eq!(set.health(0), ShardHealth::Failed);
+        for handle in queued {
+            assert_eq!(
+                handle.join().unwrap(),
+                1,
+                "re-routed links serve on shard 1"
+            );
+        }
+        // The link shard 0 was serving at kill time is allowed to finish.
+        held_client.send(b"done").unwrap();
+        assert_eq!(held.join().unwrap(), 0);
+        let stats = set.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.stolen, 3);
+        // A dead shard refuses new links; with no healthy sibling left
+        // unsaturated the front door still works through shard 1.
+        let (client, server) = duplex_pair("after", "s");
+        client.send(b"go").unwrap();
+        assert_eq!(acceptor.submit(server).unwrap().join().unwrap(), 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_fail_fast_instead_of_hanging() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        // The acceptor outlives the set: its workers are joined and gone.
+        drop(set);
+        let (_client, server) = duplex_pair("late", "s");
+        let err = acceptor.submit(server).unwrap_err();
+        assert!(
+            matches!(err, WedgeError::InvalidOperation(_)),
+            "a dead set must refuse permanently (not retryable backpressure): {err:?}"
+        );
+    }
+
+    #[test]
+    fn fully_killed_set_refuses_permanently_and_serve_all_terminates() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        set.kill_shard(0);
+        set.kill_shard(1);
+        // Direct submission: permanent refusal, not ResourceExhausted.
+        let (_c, s) = duplex_pair("late", "s");
+        let err = acceptor.submit(s).unwrap_err();
+        assert!(matches!(err, WedgeError::InvalidOperation(_)));
+        // Batch driver: returns one error per link instead of spinning on
+        // the backoff-retry loop forever.
+        let outcomes = acceptor.serve_all((0..3).map(|_| duplex_pair("batch", "s").1).collect());
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Err(WedgeError::InvalidOperation(_)))));
+    }
+
+    #[test]
+    fn killing_the_only_shard_sheds_with_an_error_not_silence() {
+        let set = hold_set(ShardConfig {
+            shards: 1,
+            queue_capacity: 8,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        let (held_client, held_server) = duplex_pair("held", "s");
+        let held = acceptor.submit(held_server).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !set.inner().shards[0].queue.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "worker never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        let (_queued_client, queued_server) = duplex_pair("queued", "s");
+        let queued = acceptor.submit(queued_server).unwrap();
+        let (rerouted, shed) = set.kill_shard(0);
+        assert_eq!((rerouted, shed), (0, 1));
+        // The shed link resolves with the backpressure error — never
+        // silently dropped.
+        let err = queued.join().unwrap_err();
+        assert!(matches!(err, WedgeError::ResourceExhausted { .. }));
+        held_client.send(b"done").unwrap();
+        assert_eq!(held.join().unwrap(), 0);
+        let stats = set.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.rejected,
+            "every offered link resolves exactly once"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Pooled privilege-separated monitors.
+//! Sharded privilege-separated monitors.
 //!
 //! In privilege-separated OpenSSH the *monitor* is the privileged process
 //! that holds the credential stores and answers the slave's authentication
@@ -7,87 +7,120 @@
 //! connection at a time (its `worker_slot` names the compartment the auth
 //! gates escalate), so the reproduction's sshd was sequential.
 //!
-//! [`PooledWedgeSsh`] pools N fully partitioned monitor instances (all
-//! sharing one host keypair and auth database) behind a `wedge-sched`
-//! work-stealing scheduler: each incoming connection job claims a free
-//! monitor, serves login + session on it, and returns it. Admission
-//! control bounds in-flight connections, and each monitor's isolation
-//! story — credential stores in tagged memory reachable only by their
-//! gate, dummy-passwd responses, uid escalation only through successful
-//! authentication — is exactly that of the sequential server.
+//! [`PooledWedgeSsh`] forks N fully partitioned monitor shards (all
+//! sharing one host keypair and auth database) behind `wedge-sched`'s
+//! [`ShardSet`] + [`Acceptor`] front-end: each shard boots its own monitor
+//! over an independent simulated kernel (fork cost charged once at boot),
+//! and incoming connections are distributed with per-shard health and
+//! admission backpressure. Each monitor's isolation story — credential
+//! stores in tagged memory reachable only by their gate, dummy-passwd
+//! responses, uid escalation only through successful authentication — is
+//! exactly that of the sequential server.
+//!
+//! Exactly one piece of state deliberately crosses shard boundaries, as a
+//! narrow shared service rather than shared tagged memory: the
+//! [`crate::SkeyLedger`], so an S/Key password spent on any shard is spent
+//! on all of them. Everything else each shard holds (host keypair, auth
+//! database) is an independent copy inside its own kernel.
 
 use std::sync::Arc;
 
 use wedge_core::{KernelStats, Wedge, WedgeError};
 use wedge_crypto::{RsaKeyPair, RsaPublicKey};
 use wedge_net::Duplex;
-use wedge_sched::{InstancePool, JobHandle, SchedStats, Scheduler, SchedulerConfig};
+use wedge_sched::{
+    AcceptPolicy, Acceptor, SchedStats, ShardConfig, ShardJobHandle, ShardServer, ShardSet,
+    ShardStats,
+};
 
 use crate::authdb::{AuthDb, ServerConfig};
 use crate::server::{SessionReport, WedgeSsh};
 
-/// Configuration of the pooled sshd front-end.
+/// Configuration of the sharded sshd front-end.
 #[derive(Debug, Clone, Copy)]
 pub struct PooledSshConfig {
-    /// Monitor instances in the pool — also the scheduler worker count.
-    pub workers: usize,
-    /// Bounded per-worker run-queue capacity.
+    /// Monitor shards to fork — each an independent kernel.
+    pub shards: usize,
+    /// Bounded per-shard link-queue capacity.
     pub queue_capacity: usize,
-    /// Admission limit on in-flight connections.
-    pub max_pending: Option<u64>,
+    /// Per-shard admission limit on in-flight connections.
+    pub max_inflight: Option<u64>,
+    /// How the acceptor places links on shards.
+    pub policy: AcceptPolicy,
 }
 
 impl Default for PooledSshConfig {
     fn default() -> Self {
         PooledSshConfig {
-            workers: 4,
+            shards: 4,
             queue_capacity: 64,
-            max_pending: None,
+            max_inflight: None,
+            policy: AcceptPolicy::RoundRobin,
         }
     }
 }
 
-/// N Wedge-partitioned SSH monitors behind one scheduler.
+impl ShardServer for WedgeSsh {
+    type Report = SessionReport;
+
+    fn serve_link(&self, shard: usize, link: Duplex) -> Result<SessionReport, WedgeError> {
+        self.serve_connection(link)
+            .and_then(|handle| handle.join())
+            .map(|mut report| {
+                report.shard = shard;
+                report
+            })
+    }
+
+    fn kernel_stats(&self) -> KernelStats {
+        self.wedge().kernel().stats()
+    }
+}
+
+/// N Wedge-partitioned SSH monitor shards behind one acceptor.
 pub struct PooledWedgeSsh {
-    monitors: Vec<Arc<WedgeSsh>>,
-    pool: Arc<InstancePool>,
-    sched: Scheduler,
+    set: ShardSet<WedgeSsh>,
+    acceptor: Acceptor<WedgeSsh>,
     host_public: RsaPublicKey,
 }
 
 impl PooledWedgeSsh {
-    /// Build `config.workers` monitor instances sharing `host_keypair` and
-    /// `db`, plus the connection scheduler.
+    /// Fork `config.shards` monitor shards sharing `host_keypair`, `db`
+    /// and one consumed-OTP ledger, plus the connection acceptor.
     pub fn new(
         host_keypair: RsaKeyPair,
         db: &AuthDb,
         server_config: &ServerConfig,
         config: PooledSshConfig,
     ) -> Result<PooledWedgeSsh, WedgeError> {
-        let workers = config.workers.max(1);
-        // One consumed-OTP ledger across the pool: an S/Key password spent
-        // on any monitor is spent on all of them, exactly as on the
-        // sequential server.
+        // One consumed-OTP ledger across the shard set: an S/Key password
+        // spent on any monitor shard is spent on all of them, exactly as
+        // on the sequential server.
         let skey_ledger: crate::SkeyLedger =
             Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
-        let mut monitors = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            monitors.push(Arc::new(WedgeSsh::with_skey_ledger(
-                Wedge::init(),
-                host_keypair,
-                db,
-                server_config,
-                skey_ledger.clone(),
-            )?));
-        }
-        Ok(PooledWedgeSsh {
-            monitors,
-            pool: Arc::new(InstancePool::new(workers)),
-            sched: Scheduler::new(SchedulerConfig {
-                workers,
+        let db = db.clone();
+        let server_config = server_config.clone();
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: config.shards,
                 queue_capacity: config.queue_capacity,
-                max_pending: config.max_pending,
-            }),
+                max_inflight: config.max_inflight,
+                ..ShardConfig::default()
+            },
+            move |_shard| {
+                WedgeSsh::with_skey_ledger(
+                    Wedge::init(),
+                    host_keypair,
+                    &db,
+                    &server_config,
+                    skey_ledger.clone(),
+                )
+            },
+        )?;
+        let acceptor = Acceptor::new(&set, config.policy);
+        Ok(PooledWedgeSsh {
+            set,
+            acceptor,
             host_public: host_keypair.public,
         })
     }
@@ -97,41 +130,45 @@ impl PooledWedgeSsh {
         self.host_public
     }
 
-    /// Pool width.
-    pub fn workers(&self) -> usize {
-        self.monitors.len()
+    /// Number of monitor shards.
+    pub fn shards(&self) -> usize {
+        self.set.shards()
     }
 
-    /// Scheduler counters.
+    /// Front-end counters (see [`ShardSet::stats`]).
     pub fn sched_stats(&self) -> SchedStats {
-        self.sched.stats()
+        self.set.stats()
     }
 
-    /// Kernel counters summed across every pooled monitor.
+    /// Per-shard snapshots (health, boot cost, depth, counters, kernel).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.set.shard_stats()
+    }
+
+    /// Kernel counters summed across every monitor shard.
     pub fn kernel_stats(&self) -> KernelStats {
-        let mut total = KernelStats::default();
-        for monitor in &self.monitors {
-            total += &monitor.wedge().kernel().stats();
-        }
-        total
+        self.set.kernel_stats()
     }
 
-    /// Submit one connection. The job claims a free monitor (the claim
-    /// guard releases it even on a panic), runs the whole session on it
-    /// (spawning that monitor's per-connection worker sthread and joining
-    /// it), and releases the monitor.
-    pub fn serve(
-        &self,
-        link: Duplex,
-    ) -> Result<JobHandle<Result<SessionReport, WedgeError>>, WedgeError> {
-        let monitors = self.monitors.clone();
-        let pool = self.pool.clone();
-        self.sched.submit(move || {
-            let claim = pool.claim();
-            monitors[claim.index()]
-                .serve_connection(link)
-                .and_then(|handle| handle.join())
-        })
+    /// Kill shard `idx` (fault injection): queued links re-route to
+    /// healthy shards. Returns `(rerouted, shed)`.
+    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
+        self.set.kill_shard(idx)
+    }
+
+    /// Submit one connection; the handle resolves to the session report,
+    /// whose `shard` field names the monitor shard that served it. Fails
+    /// with [`WedgeError::ResourceExhausted`] only when every shard
+    /// rejects.
+    pub fn serve(&self, link: Duplex) -> Result<ShardJobHandle<SessionReport>, WedgeError> {
+        self.acceptor.submit(link)
+    }
+
+    /// Serve every link and return the outcomes **in link order** —
+    /// `result[i]` is `links[i]`'s outcome — backing off briefly whenever
+    /// every shard pushes back.
+    pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<SessionReport, WedgeError>> {
+        self.acceptor.serve_all(links)
     }
 }
 
@@ -143,14 +180,14 @@ mod tests {
     use wedge_net::duplex_pair;
 
     #[test]
-    fn pooled_monitors_serve_simultaneous_logins() {
+    fn sharded_monitors_serve_simultaneous_logins() {
         let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(61));
         let server = PooledWedgeSsh::new(
             keypair,
             &AuthDb::sample(),
             &ServerConfig::default(),
             PooledSshConfig {
-                workers: 3,
+                shards: 3,
                 ..PooledSshConfig::default()
             },
         )
@@ -175,17 +212,72 @@ mod tests {
         for client in clients {
             client.join().expect("client thread");
         }
+        let mut shards_used = std::collections::HashSet::new();
         for handle in handles {
-            let report = handle.join().expect("job").expect("session");
+            let report = handle.join().expect("session");
             assert!(report.authenticated);
             assert_eq!(report.uid, 1001);
+            shards_used.insert(report.shard);
         }
+        assert_eq!(shards_used.len(), 3, "round-robin uses every shard");
 
         let sched = server.sched_stats();
         assert_eq!(sched.submitted, connections as u64);
         assert_eq!(sched.completed, connections as u64);
-        // One worker sthread per connection across the monitor pool.
+        // One worker sthread per connection across the shard kernels.
         assert_eq!(server.kernel_stats().sthreads_created, connections as u64);
+    }
+
+    #[test]
+    fn serve_all_preserves_link_order() {
+        // Alternate alice/bob logins; the in-order reports must show the
+        // alternating uids even though shards complete out of order.
+        let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(62));
+        let server = PooledWedgeSsh::new(
+            keypair,
+            &AuthDb::sample(),
+            &ServerConfig::default(),
+            PooledSshConfig {
+                shards: 2,
+                ..PooledSshConfig::default()
+            },
+        )
+        .unwrap();
+        let users = ["alice", "bob", "alice", "bob", "alice", "bob"];
+        let mut clients = Vec::new();
+        let mut server_links = Vec::new();
+        for (i, user) in users.iter().enumerate() {
+            let (client_link, server_link) = duplex_pair(&format!("c{i}"), &format!("s{i}"));
+            server_links.push(server_link);
+            let user = user.to_string();
+            clients.push(std::thread::spawn(move || {
+                let password = if user == "alice" {
+                    "correct horse battery"
+                } else {
+                    "hunter2"
+                };
+                let mut client = SshClient::new();
+                client.connect(&client_link).expect("hello");
+                let (ok, _, _) = client
+                    .auth_password(&client_link, &user, password)
+                    .expect("auth");
+                assert!(ok);
+                client.disconnect(&client_link).expect("disconnect");
+            }));
+        }
+        let reports = server.serve_all(server_links);
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        let uids: Vec<u32> = reports
+            .into_iter()
+            .map(|r| r.expect("session").uid)
+            .collect();
+        assert_eq!(
+            uids,
+            vec![1001, 1002, 1001, 1002, 1001, 1002],
+            "reports must come back in link order"
+        );
     }
 
     #[test]
@@ -193,7 +285,7 @@ mod tests {
         // Two monitors built the way PooledWedgeSsh builds them: independent
         // kernels, one shared consumed-OTP ledger. Each monitor's private
         // S/Key store still lists "otp-one" after the other consumed it —
-        // the ledger is what keeps one-time passwords one-time pool-wide.
+        // the ledger is what keeps one-time passwords one-time shard-wide.
         let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(71));
         let db = AuthDb::sample();
         let config = ServerConfig::default();
@@ -237,9 +329,10 @@ mod tests {
             &AuthDb::sample(),
             &ServerConfig::default(),
             PooledSshConfig {
-                workers: 1,
+                shards: 1,
                 queue_capacity: 1,
-                max_pending: Some(1),
+                max_inflight: Some(1),
+                policy: AcceptPolicy::RoundRobin,
             },
         )
         .unwrap();

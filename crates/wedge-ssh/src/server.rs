@@ -69,6 +69,9 @@ pub struct SessionReport {
     pub commands: u32,
     /// Bytes accepted over the scp path.
     pub scp_bytes: u64,
+    /// The shard that served the session (0 outside a sharded front-end),
+    /// so callers can attribute outcomes and failures.
+    pub shard: usize,
 }
 
 fn serialize_private_key(keypair: &RsaKeyPair) -> Vec<u8> {

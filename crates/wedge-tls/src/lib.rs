@@ -19,7 +19,8 @@
 //!
 //! * [`messages`] — handshake message types and their wire encoding.
 //! * [`session`] — premaster/master secrets, derived key material, and the
-//!   server-side session cache.
+//!   server-side session caches (the single-owner [`SessionCache`] and the
+//!   concurrent, shard-shareable [`SharedSessionCache`]).
 //! * [`record`] — the encrypt-then-MAC record layer.
 //! * [`handshake`] — the individual handshake computations (kept as free
 //!   functions so the partitioned server can wrap each one in a callgate)
@@ -37,4 +38,6 @@ pub mod session;
 pub use handshake::{TlsClient, TlsClientConnection, TlsError};
 pub use messages::{ClientHello, ClientKeyExchange, Finished, HandshakeMessage, ServerHello};
 pub use record::RecordLayer;
-pub use session::{SessionCache, SessionId, SessionKeys};
+pub use session::{
+    SessionCache, SessionId, SessionKeys, SharedSessionCache, DEFAULT_SESSION_CACHE_CAPACITY,
+};

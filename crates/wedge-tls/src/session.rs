@@ -1,6 +1,12 @@
-//! Session secrets, derived key material, and the server-side session cache.
+//! Session secrets, derived key material, and the server-side session
+//! caches: the single-owner [`SessionCache`] used by the monolithic
+//! baseline, and the concurrent [`SharedSessionCache`] a sharded front-end
+//! consults from every shard.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
 
 use wedge_crypto::kdf;
 use wedge_crypto::KeyMaterial;
@@ -24,6 +30,15 @@ impl SessionId {
     /// The raw bytes of the id.
     pub fn as_bytes(&self) -> &[u8] {
         &self.0
+    }
+
+    /// A 64-bit Fibonacci-hash mix of the id, used to pick a cache bucket
+    /// (and usable as a shard-affinity key). The *high* bits of the product
+    /// are the well-mixed ones — consumers reducing this to a small range
+    /// should shift before taking a modulo, not use the low bits directly.
+    pub fn bucket_key(&self) -> u64 {
+        let word = u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"));
+        word.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 }
 
@@ -63,33 +78,137 @@ impl SessionKeys {
     }
 }
 
-/// The server-side session cache: session id → premaster secret. A cache
-/// hit lets the server skip the RSA key exchange (the workload distinction
-/// in Table 2).
+/// Default bound on cached sessions. Before the bound existed an attacker
+/// could flood the server with throwaway handshakes and grow the cache
+/// without limit — a memory DoS through the resumption path.
+pub const DEFAULT_SESSION_CACHE_CAPACITY: usize = 1024;
+
+/// The LRU map shared by [`SessionCache`] and each [`SharedSessionCache`]
+/// bucket: session id → premaster secret, with a logical clock for
+/// recency. Lookups refresh recency; inserts beyond capacity evict the
+/// least-recently-used entry. A `last_used → id` index keeps eviction and
+/// recency updates `O(log n)` — crucial because the eviction path runs on
+/// exactly the resumption-flood workload the bound defends against (a
+/// full-map minimum scan would make every flooded insert `O(capacity)`).
 #[derive(Debug, Default)]
+struct LruEntries {
+    entries: HashMap<SessionId, LruEntry>,
+    /// Recency index: logical timestamp → session id. Timestamps are
+    /// unique (the clock is strictly monotonic), so the first entry is
+    /// always the LRU victim.
+    by_age: std::collections::BTreeMap<u64, SessionId>,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct LruEntry {
+    premaster: Vec<u8>,
+    last_used: u64,
+}
+
+impl LruEntries {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Insert, evicting the LRU entry first when `capacity` is reached.
+    /// Returns how many entries were evicted (0 or 1).
+    fn insert(&mut self, id: SessionId, premaster: Vec<u8>, capacity: usize) -> u64 {
+        let now = self.tick();
+        if let Some(entry) = self.entries.get_mut(&id) {
+            self.by_age.remove(&entry.last_used);
+            entry.premaster = premaster;
+            entry.last_used = now;
+            self.by_age.insert(now, id);
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.entries.len() >= capacity.max(1) {
+            if let Some((_, oldest)) = self.by_age.pop_first() {
+                self.entries.remove(&oldest);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(
+            id,
+            LruEntry {
+                premaster,
+                last_used: now,
+            },
+        );
+        self.by_age.insert(now, id);
+        evicted
+    }
+
+    fn lookup(&mut self, id: &SessionId) -> Option<Vec<u8>> {
+        let now = self.tick();
+        let entry = self.entries.get_mut(id)?;
+        self.by_age.remove(&entry.last_used);
+        entry.last_used = now;
+        self.by_age.insert(now, *id);
+        Some(entry.premaster.clone())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The single-owner server-side session cache: session id → premaster
+/// secret. A cache hit lets the server skip the RSA key exchange (the
+/// workload distinction in Table 2). Bounded: inserts beyond the capacity
+/// evict the least-recently-used session.
+#[derive(Debug)]
 pub struct SessionCache {
-    entries: HashMap<SessionId, Vec<u8>>,
+    lru: LruEntries,
+    capacity: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for SessionCache {
+    fn default() -> Self {
+        SessionCache::with_capacity(DEFAULT_SESSION_CACHE_CAPACITY)
+    }
 }
 
 impl SessionCache {
-    /// Create an empty cache.
+    /// Create an empty cache with the default capacity.
     pub fn new() -> SessionCache {
         SessionCache::default()
     }
 
-    /// Store the premaster secret for a session id.
-    pub fn insert(&mut self, id: SessionId, premaster: Vec<u8>) {
-        self.entries.insert(id, premaster);
+    /// Create an empty cache bounded to `capacity` sessions (minimum 1).
+    pub fn with_capacity(capacity: usize) -> SessionCache {
+        SessionCache {
+            lru: LruEntries::default(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
-    /// Look up a session; counts hits and misses.
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Store the premaster secret for a session id, evicting the
+    /// least-recently-used session if the cache is full.
+    pub fn insert(&mut self, id: SessionId, premaster: Vec<u8>) {
+        self.evictions += self.lru.insert(id, premaster, self.capacity);
+    }
+
+    /// Look up a session; counts hits and misses and refreshes the
+    /// session's LRU position.
     pub fn lookup(&mut self, id: &SessionId) -> Option<Vec<u8>> {
-        match self.entries.get(id) {
+        match self.lru.lookup(id) {
             Some(premaster) => {
                 self.hits += 1;
-                Some(premaster.clone())
+                Some(premaster)
             }
             None => {
                 self.misses += 1;
@@ -100,23 +219,159 @@ impl SessionCache {
 
     /// Number of cached sessions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lru.len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lru.len() == 0
     }
 
     /// (hits, misses) so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Sessions evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Number of independent buckets in a [`SharedSessionCache`]. Sixteen
+/// matches the kernel's segment-table shard count: enough to keep
+/// concurrent shard front-ends off each other's locks, few enough that a
+/// small capacity still gives every bucket room.
+pub const SESSION_CACHE_BUCKETS: usize = 16;
+
+/// A concurrent, shareable session cache for sharded front-ends.
+///
+/// The Wedge paper's servers keep the session cache inside one process;
+/// once connections are distributed over independent shard kernels, a
+/// client that resumes on a different shard misses a per-shard cache every
+/// time. `SharedSessionCache` is the DiCuPIT-style shared lookup service
+/// that fixes this: one logical table, sharded into [`SESSION_CACHE_BUCKETS`]
+/// `RwLock` buckets (the same decomposition as the kernel's segment-table
+/// shards) so shards contend only when they hash to the same bucket.
+///
+/// It is deliberately a *confined* service in the Wedge spirit: shards
+/// reach it only through the narrow `insert`/`lookup` API — no tagged
+/// memory is shared across shard kernels, so a compromised shard can
+/// replay lookups but never walk another shard's address space.
+///
+/// Hit/miss/eviction counters are interior-mutable atomics, so the cache
+/// can be consulted through a plain `&self` from any number of shards.
+pub struct SharedSessionCache {
+    buckets: Vec<RwLock<LruEntries>>,
+    bucket_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SharedSessionCache {
+    fn default() -> Self {
+        SharedSessionCache::with_capacity(DEFAULT_SESSION_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for SharedSessionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSessionCache")
+            .field("sessions", &self.len())
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedSessionCache {
+    /// A shared cache with the default total capacity.
+    pub fn new() -> SharedSessionCache {
+        SharedSessionCache::default()
+    }
+
+    /// A shared cache bounded to roughly `capacity` sessions in total
+    /// (rounded up to a multiple of the bucket count; each bucket enforces
+    /// its share independently).
+    pub fn with_capacity(capacity: usize) -> SharedSessionCache {
+        SharedSessionCache {
+            buckets: (0..SESSION_CACHE_BUCKETS)
+                .map(|_| RwLock::new(LruEntries::default()))
+                .collect(),
+            bucket_capacity: capacity.div_ceil(SESSION_CACHE_BUCKETS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(&self, id: &SessionId) -> &RwLock<LruEntries> {
+        // High bits of the Fibonacci product: the low bits survive a plain
+        // modulo almost unmixed (ids sharing a low byte would all collide).
+        &self.buckets[((id.bucket_key() >> 32) % self.buckets.len() as u64) as usize]
+    }
+
+    /// Total capacity across all buckets.
+    pub fn capacity(&self) -> usize {
+        self.bucket_capacity * self.buckets.len()
+    }
+
+    /// Store the premaster secret for a session id; any shard may call this
+    /// and any shard will subsequently hit on a lookup.
+    pub fn insert(&self, id: SessionId, premaster: Vec<u8>) {
+        let evicted = self
+            .bucket(&id)
+            .write()
+            .insert(id, premaster, self.bucket_capacity);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Look up a session; counts hits and misses and refreshes recency.
+    pub fn lookup(&self, id: &SessionId) -> Option<Vec<u8>> {
+        match self.bucket(id).write().lookup(id) {
+            Some(premaster) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(premaster)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Number of cached sessions across all buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.read().len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far, across every consulting shard.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sessions evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn id(byte: u8) -> SessionId {
+        SessionId::from_bytes(&[byte; 16]).unwrap()
+    }
 
     #[test]
     fn session_id_requires_16_bytes() {
@@ -144,13 +399,91 @@ mod tests {
     #[test]
     fn cache_hits_and_misses_are_counted() {
         let mut cache = SessionCache::new();
-        let id = SessionId::from_bytes(&[1u8; 16]).unwrap();
+        let id = id(1);
         assert!(cache.lookup(&id).is_none());
         cache.insert(id, b"premaster".to_vec());
         assert_eq!(cache.lookup(&id).unwrap(), b"premaster");
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let mut cache = SessionCache::with_capacity(2);
+        cache.insert(id(1), b"one".to_vec());
+        cache.insert(id(2), b"two".to_vec());
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(cache.lookup(&id(1)).is_some());
+        cache.insert(id(3), b"three".to_vec());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup(&id(2)).is_none(), "LRU entry must be evicted");
+        assert!(cache.lookup(&id(1)).is_some(), "recently used entry stays");
+        assert!(cache.lookup(&id(3)).is_some(), "new entry stays");
+        // A resumption flood cannot grow the cache past its bound.
+        for byte in 10..200u8 {
+            cache.insert(id(byte), vec![byte]);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1 + 190);
+    }
+
+    #[test]
+    fn reinserting_an_existing_id_does_not_evict() {
+        let mut cache = SessionCache::with_capacity(2);
+        cache.insert(id(1), b"one".to_vec());
+        cache.insert(id(2), b"two".to_vec());
+        cache.insert(id(2), b"two-updated".to_vec());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.lookup(&id(2)).unwrap(), b"two-updated");
+    }
+
+    #[test]
+    fn shared_cache_is_visible_across_handles() {
+        let cache = SharedSessionCache::with_capacity(64);
+        // "Shard A" inserts...
+        cache.insert(id(7), b"premaster".to_vec());
+        // ..."shard B" (any other caller of the same service) hits.
+        assert_eq!(cache.lookup(&id(7)).unwrap(), b"premaster");
+        assert!(cache.lookup(&id(8)).is_none());
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_bounds_every_bucket() {
+        let cache = SharedSessionCache::with_capacity(SESSION_CACHE_BUCKETS);
+        // Far more distinct sessions than total capacity.
+        for byte in 0..255u8 {
+            cache.insert(id(byte), vec![byte]);
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn shared_cache_supports_concurrent_mixed_traffic() {
+        use std::sync::Arc;
+        let cache = Arc::new(SharedSessionCache::with_capacity(256));
+        let threads: Vec<_> = (0..4u8)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for round in 0..50u8 {
+                        let sid = id(t.wrapping_mul(50).wrapping_add(round));
+                        cache.insert(sid, vec![t, round]);
+                        assert_eq!(cache.lookup(&sid).unwrap(), vec![t, round]);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("cache thread");
+        }
+        let (hits, _misses) = cache.stats();
+        assert_eq!(hits, 200);
     }
 
     #[test]

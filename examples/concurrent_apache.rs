@@ -20,10 +20,11 @@ fn main() {
         keypair,
         PageStore::sample(),
         ConcurrentApacheConfig {
-            workers: WORKERS,
+            shards: WORKERS,
             queue_capacity: 32,
-            max_pending: Some(CONNECTIONS as u64),
+            max_inflight: Some(CONNECTIONS as u64),
             recycled: true,
+            policy: wedge::sched::AcceptPolicy::RoundRobin,
         },
     )
     .expect("build pooled server");
