@@ -2,17 +2,13 @@
 //!
 //! A single [`WedgeApache`] instance owns per-connection tagged regions
 //! (`session_state`, the current-link slot), so it can only drive one
-//! connection at a time. [`ConcurrentApache`] lifts that limit with
-//! `wedge-sched`'s multi-process sharding subsystem: a
-//! [`wedge_sched::ShardSet`] forks N shard workers, each booting its own
-//! fully partitioned server over an **independent simulated kernel**
-//! (paying the fork image-copy cost once at boot, amortised by
-//! pre-warming), and a shared [`wedge_sched::Acceptor`] distributes
-//! incoming links across the shards (round-robin, least-loaded or
-//! session-affinity placement) with per-shard health and admission
-//! backpressure — a saturated or killed shard is skipped, and
-//! [`WedgeError::ResourceExhausted`] surfaces only when *every* shard
-//! rejects.
+//! connection at a time. [`ConcurrentApache`] lifts that limit by putting
+//! N forked, fully partitioned instances behind `wedge-sched`'s generic
+//! [`ShardedFrontEnd`] — the shared serving stack (acceptor placement,
+//! per-shard health/backpressure, optional supervisor auto-restart,
+//! listener accept loop) lives there; this module only adds what is
+//! HTTPS-specific: the shared certificate keypair, the page store, and
+//! the cross-shard TLS session cache.
 //!
 //! What crosses shard boundaries is exactly one thing: the
 //! [`SharedSessionCache`], a confined lookup service every shard's key
@@ -25,13 +21,14 @@
 //! — it cannot walk a sibling's address space.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use wedge_core::{KernelStats, Wedge, WedgeError};
 use wedge_crypto::{RsaKeyPair, RsaPublicKey};
-use wedge_net::Duplex;
+use wedge_net::{Duplex, Listener};
 use wedge_sched::{
-    AcceptPolicy, Acceptor, SchedStats, ShardConfig, ShardJobHandle, ShardServer, ShardSet,
-    ShardStats,
+    AcceptPolicy, FrontEndConfig, KillReport, RestartStats, SchedStats, ShardJobHandle,
+    ShardServer, ShardStats, ShardedFrontEnd, SupervisorConfig,
 };
 use wedge_tls::SharedSessionCache;
 
@@ -54,6 +51,8 @@ pub struct ConcurrentApacheConfig {
     pub recycled: bool,
     /// How the acceptor places links on shards.
     pub policy: AcceptPolicy,
+    /// Enable the shard watchdog (auto-restart of killed shards).
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for ConcurrentApacheConfig {
@@ -64,6 +63,7 @@ impl Default for ConcurrentApacheConfig {
             max_inflight: None,
             recycled: true,
             policy: AcceptPolicy::RoundRobin,
+            supervisor: None,
         }
     }
 }
@@ -83,11 +83,10 @@ impl ShardServer for WedgeApache {
     }
 }
 
-/// N forked, partitioned HTTPS shards behind one acceptor, sharing only
-/// the session-cache lookup service.
+/// N forked, partitioned HTTPS shards behind the shared front-end,
+/// sharing only the session-cache lookup service.
 pub struct ConcurrentApache {
-    set: ShardSet<WedgeApache>,
-    acceptor: Acceptor<WedgeApache>,
+    front: ShardedFrontEnd<WedgeApache>,
     cache: Arc<SharedSessionCache>,
     public_key: RsaPublicKey,
 }
@@ -96,7 +95,7 @@ impl ConcurrentApache {
     /// Fork `config.shards` shard workers, each booting a partitioned
     /// instance sharing `keypair` and `pages` — and one
     /// [`SharedSessionCache`] — plus the acceptor that distributes
-    /// connections over them.
+    /// connections over them (and the supervisor, when configured).
     pub fn new(
         keypair: RsaKeyPair,
         pages: PageStore,
@@ -107,12 +106,14 @@ impl ConcurrentApache {
         let apache_config = ApacheConfig {
             recycled: config.recycled,
         };
-        let set = ShardSet::new(
-            ShardConfig {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
                 shards: config.shards,
                 queue_capacity: config.queue_capacity,
                 max_inflight: config.max_inflight,
-                ..ShardConfig::default()
+                policy: config.policy,
+                supervisor: config.supervisor,
+                ..FrontEndConfig::default()
             },
             move |_shard| {
                 WedgeApache::with_session_cache(
@@ -124,10 +125,8 @@ impl ConcurrentApache {
                 )
             },
         )?;
-        let acceptor = Acceptor::new(&set, config.policy);
         Ok(ConcurrentApache {
-            set,
-            acceptor,
+            front,
             cache,
             public_key: keypair.public,
         })
@@ -140,39 +139,52 @@ impl ConcurrentApache {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.set.shards()
+        self.front.shards()
     }
 
-    /// The cross-shard session-cache service.
+    /// The cross-shard session-cache service (its `stats`/`hit_rate`
+    /// expose resumption health).
     pub fn session_cache(&self) -> &Arc<SharedSessionCache> {
         &self.cache
     }
 
-    /// Front-end counters: every offered connection bumps `submitted` and
-    /// resolves into exactly one of `completed` / `rejected` — a
-    /// connection `serve_all` re-offers after backpressure counts as a
-    /// fresh offer, so `submitted == completed + rejected` always
-    /// balances; `stolen` counts placements away from the policy's first
-    /// choice (skips of saturated shards and post-kill re-routes).
+    /// Front-end counters (see [`ShardedFrontEnd::sched_stats`]).
     pub fn sched_stats(&self) -> SchedStats {
-        self.set.stats()
+        self.front.sched_stats()
     }
 
-    /// Per-shard snapshots (health, boot cost, depth, counters, kernel).
+    /// Per-shard snapshots (health, boot cost, restarts, depth, counters,
+    /// kernel).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.set.shard_stats()
+        self.front.shard_stats()
     }
 
     /// Kernel counters summed across every shard.
     pub fn kernel_stats(&self) -> KernelStats {
-        self.set.kernel_stats()
+        self.front.kernel_stats()
+    }
+
+    /// The supervisor's restart counters (`None` when unsupervised).
+    pub fn restart_stats(&self) -> Option<RestartStats> {
+        self.front.restart_stats()
     }
 
     /// Kill shard `idx` (fault injection): queued links are re-routed to
-    /// healthy shards; the link it is serving right now finishes. Returns
-    /// `(rerouted, shed)`.
-    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
-        self.set.kill_shard(idx)
+    /// healthy shards; the link it is serving right now finishes; a
+    /// configured supervisor respawns the shard.
+    pub fn kill_shard(&self, idx: usize) -> KillReport {
+        self.front.kill_shard(idx)
+    }
+
+    /// Manually revive killed shard `idx` (fresh kernel, old ring index).
+    pub fn restart_shard(&self, idx: usize) -> Result<Duration, WedgeError> {
+        self.front.restart_shard(idx)
+    }
+
+    /// Block until shard `idx` is healthy again (supervised restarts are
+    /// asynchronous), up to `timeout`.
+    pub fn await_healthy(&self, idx: usize, timeout: Duration) -> bool {
+        self.front.await_healthy(idx, timeout)
     }
 
     /// Submit one connection for service on whichever shard the acceptor
@@ -183,30 +195,37 @@ impl ConcurrentApache {
     /// shard rejects the link — the caller sheds the connection instead of
     /// queuing it unboundedly.
     pub fn serve(&self, link: Duplex) -> Result<ShardJobHandle<ConnectionReport>, WedgeError> {
-        self.acceptor.submit(link)
+        self.front.serve(link)
     }
 
     /// [`ConcurrentApache::serve`] with an explicit affinity key (used by
     /// [`wedge_sched::AcceptPolicy::SessionAffinity`]; ignored by the
-    /// other policies). Callers that know a client's identity — e.g. a
-    /// listener hashing the source address — pin repeat clients to the
-    /// shard holding their warm state.
+    /// other policies). Links accepted through a [`Listener`] already
+    /// carry a source-address key — this override is for callers with
+    /// richer identity.
     pub fn serve_with_key(
         &self,
         link: Duplex,
         key: u64,
     ) -> Result<ShardJobHandle<ConnectionReport>, WedgeError> {
-        self.acceptor.submit_with_key(link, key)
+        self.front.serve_with_key(link, key)
     }
 
-    /// Convenience driver: serve every link, backing off briefly whenever
-    /// every shard pushes back (blocking semantics for batch callers like
-    /// the benches), and return the per-connection outcomes **in link
-    /// order** — `result[i]` is `links[i]`'s outcome, so callers can
-    /// attribute each failure to its connection (and, via
-    /// [`ConnectionReport::shard`], to the shard that served it).
+    /// Serve every link and return the outcomes **in link order** (see
+    /// [`ShardedFrontEnd::serve_all`]).
     pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<ConnectionReport, WedgeError>> {
-        self.acceptor.serve_all(links)
+        self.front.serve_all(links)
+    }
+
+    /// Run the accept loop over `listener` until it closes, serving every
+    /// accepted connection with source-address affinity (see
+    /// [`ShardedFrontEnd::serve_listener`]).
+    pub fn serve_listener(
+        &self,
+        listener: &Listener,
+        batch: usize,
+    ) -> Vec<Result<ConnectionReport, WedgeError>> {
+        self.front.serve_listener(listener, batch)
     }
 }
 
@@ -307,8 +326,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 1,
                 max_inflight: Some(1),
-                recycled: true,
-                policy: AcceptPolicy::RoundRobin,
+                ..ConcurrentApacheConfig::default()
             },
         )
         .unwrap();

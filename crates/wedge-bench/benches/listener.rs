@@ -1,0 +1,77 @@
+//! Listener-front-end scaling and restart latency: the same POP3
+//! think-time workload accepted through a `wedge_net::Listener` and
+//! served by 1, 2 and 4 supervised shards.
+//!
+//! Besides the Criterion timings this bench emits the machine-readable
+//! artifact **`BENCH_listener.json`** — connections/sec at 1 vs 4 shards
+//! and the supervisor's kill-to-healthy restart latency — to the path in
+//! `WEDGE_BENCH_JSON` (default: `BENCH_listener.json` at the workspace
+//! root), so CI can trend the serving stack without scraping logs.
+//!
+//! Set `WEDGE_LISTENER_SMOKE=1` to run a tiny workload — the CI smoke
+//! mode that keeps the harness compiling and running without burning
+//! minutes.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+
+use wedge_bench::listener::{
+    listener_bench_json, measure_restart_latency, run_listener_pop3, ListenerWorkload,
+};
+
+fn smoke() -> bool {
+    std::env::var_os("WEDGE_LISTENER_SMOKE").is_some()
+}
+
+fn workload() -> ListenerWorkload {
+    ListenerWorkload {
+        connections: if smoke() { 6 } else { 32 },
+        think_time: Duration::from_millis(if smoke() { 2 } else { 10 }),
+        accept_batch: 8,
+    }
+}
+
+fn listener_scaling(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("listener");
+    if smoke() {
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(10));
+        group.measurement_time(Duration::from_millis(50));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(2000));
+    }
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("connections", shards),
+            &shards,
+            |b, shards| {
+                b.iter(|| run_listener_pop3(workload(), *shards));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn emit_json() {
+    let workload = workload();
+    let single = run_listener_pop3(workload, 1);
+    let sharded = run_listener_pop3(workload, 4);
+    let restart = measure_restart_latency(4);
+    let json = listener_bench_json(workload, 4, &single, &sharded, &restart);
+    let path = std::env::var("WEDGE_BENCH_JSON").unwrap_or_else(|_| {
+        // Cargo runs bench binaries with the *package* directory as CWD;
+        // anchor the default at the workspace root so CI finds it.
+        format!("{}/../../BENCH_listener.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    listener_scaling(&mut criterion);
+    emit_json();
+}

@@ -11,6 +11,7 @@
 
 pub mod fast_path;
 pub mod harness;
+pub mod listener;
 pub mod pooled;
 pub mod sharded;
 pub mod spec;
@@ -19,6 +20,10 @@ pub use fast_path::{
     compare_fast_path, run_concurrent_reads, FastPathComparison, FastPathWorkload, KernelProfile,
 };
 pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, SshBed};
+pub use listener::{
+    listener_bench_json, measure_restart_latency, run_listener_pop3, ListenerRun, ListenerWorkload,
+    RestartMeasurement,
+};
 pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
 pub use sharded::{
     compare_sharded, run_sharded, ShardScalingComparison, ShardedRun, ShardedWorkload,

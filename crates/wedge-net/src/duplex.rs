@@ -11,6 +11,8 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::listener::SourceAddr;
+
 /// Errors produced by link operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
@@ -20,6 +22,8 @@ pub enum NetError {
     Timeout,
     /// The endpoint has no queued message (non-blocking receive only).
     WouldBlock,
+    /// A listener refused the connection (backlog full).
+    Refused,
 }
 
 impl std::fmt::Display for NetError {
@@ -28,6 +32,7 @@ impl std::fmt::Display for NetError {
             NetError::Disconnected => write!(f, "peer disconnected"),
             NetError::Timeout => write!(f, "receive timed out"),
             NetError::WouldBlock => write!(f, "no message available"),
+            NetError::Refused => write!(f, "connection refused (backlog full)"),
         }
     }
 }
@@ -143,6 +148,9 @@ pub struct Duplex {
     counters: Mutex<TrafficCounters>,
     /// Human-readable endpoint name, used in traces.
     name: String,
+    /// The client's source address, when the link came through a
+    /// [`crate::Listener`]; `None` for bare `duplex_pair` links.
+    source: Option<SourceAddr>,
 }
 
 impl Duplex {
@@ -194,6 +202,35 @@ impl Duplex {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// The client's source address, when known (links accepted through a
+    /// [`crate::Listener`] always carry one).
+    pub fn source(&self) -> Option<SourceAddr> {
+        self.source
+    }
+
+    /// The affinity key placement layers should hash for this link: the
+    /// source address's host key when the link carries one, else FNV-1a
+    /// over the endpoint name (stable for clients that reconnect under the
+    /// same name).
+    pub fn affinity_key(&self) -> u64 {
+        match self.source {
+            Some(source) => source.affinity_key(),
+            None => fnv1a(self.name.as_bytes()),
+        }
+    }
+}
+
+/// FNV-1a over a byte string — the stable hash behind every affinity key
+/// in the stack (endpoint names here, host octets in
+/// [`SourceAddr::affinity_key`], explicit keys in `wedge-sched`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 impl Drop for Duplex {
@@ -206,6 +243,16 @@ impl Drop for Duplex {
 /// Create a connected pair of endpoints, `(a, b)`: everything sent on `a`
 /// arrives at `b` and vice versa.
 pub fn duplex_pair(name_a: &str, name_b: &str) -> (Duplex, Duplex) {
+    pair(name_a, name_b, None)
+}
+
+/// [`duplex_pair`], with both endpoints stamped with the client's
+/// [`SourceAddr`] — what [`crate::Listener::connect`] builds.
+pub fn duplex_pair_with_source(source: SourceAddr, name_a: &str, name_b: &str) -> (Duplex, Duplex) {
+    pair(name_a, name_b, Some(source))
+}
+
+fn pair(name_a: &str, name_b: &str, source: Option<SourceAddr>) -> (Duplex, Duplex) {
     let ab = Queue::new();
     let ba = Queue::new();
     (
@@ -214,12 +261,14 @@ pub fn duplex_pair(name_a: &str, name_b: &str) -> (Duplex, Duplex) {
             incoming: ba.clone(),
             counters: Mutex::new(TrafficCounters::default()),
             name: name_a.to_string(),
+            source,
         },
         Duplex {
             outgoing: ba,
             incoming: ab,
             counters: Mutex::new(TrafficCounters::default()),
             name: name_b.to_string(),
+            source,
         },
     )
 }

@@ -10,6 +10,11 @@
 //!   between two endpoints (the client's socket and the server's accepted
 //!   connection). Endpoints are `Send`, so a server compartment running on
 //!   its own sthread can own one end.
+//! * [`listener::Listener`] / [`listener::SourceAddr`] — the simulated
+//!   `accept(2)` loop in front of the serving stack: clients connect with a
+//!   source address, accepted links queue in a bounded backlog (full →
+//!   refused, like a SYN queue) and carry the source address so placement
+//!   layers can hash **source-affinity keys** without protocol help.
 //! * [`mitm::Mitm`] — an interposer that owns both halves of a split link
 //!   and can forward, observe, drop, or inject messages in either direction
 //!   — the paper's man-in-the-middle attacker.
@@ -27,12 +32,14 @@
 
 pub mod cost;
 pub mod duplex;
+pub mod listener;
 pub mod mitm;
 pub mod trace;
 pub mod wiretap;
 
 pub use cost::LinkCostModel;
-pub use duplex::{duplex_pair, Duplex, NetError, RecvTimeout};
+pub use duplex::{duplex_pair, duplex_pair_with_source, Duplex, NetError, RecvTimeout};
+pub use listener::{Listener, ListenerStats, SourceAddr};
 pub use mitm::{Direction, Mitm};
 pub use trace::{NetTrace, TraceEntry};
 pub use wiretap::Wiretap;

@@ -1,0 +1,304 @@
+//! The network-facing listener: a simulated accept loop in front of the
+//! serving stack.
+//!
+//! The Wedge evaluation fronts its partitioned servers with an ordinary
+//! `accept(2)` loop; the reproduction's equivalent is [`Listener`]. Clients
+//! call [`Listener::connect`] with their [`SourceAddr`] and get back their
+//! end of a fresh [`Duplex`] link; the server side lands in a **bounded
+//! backlog** (a full backlog refuses with [`NetError::Refused`], exactly
+//! like a saturated SYN queue) until the serving stack drains it with
+//! [`Listener::accept`] or — to amortise wakeups under load —
+//! [`Listener::accept_batch`].
+//!
+//! Every accepted link carries the client's source address, so placement
+//! layers can derive **source-address affinity keys**
+//! ([`SourceAddr::affinity_key`]) without any protocol cooperation: a
+//! client that reconnects from the same host hashes to the same shard even
+//! though its ephemeral port changed and it has not yet spoken a byte.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::duplex::{duplex_pair_with_source, Duplex, NetError, RecvTimeout};
+
+/// A simulated client source address (IPv4 host + ephemeral port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceAddr {
+    /// The client host's address octets.
+    pub host: [u8; 4],
+    /// The client's ephemeral port.
+    pub port: u16,
+}
+
+impl SourceAddr {
+    /// A source address from host octets and a port.
+    pub fn new(host: [u8; 4], port: u16) -> SourceAddr {
+        SourceAddr { host, port }
+    }
+
+    /// The affinity key placement layers hash to pick a shard: FNV-1a over
+    /// the **host only**. Reconnects from the same host (fresh ephemeral
+    /// port) keep the same key, which is what session-affinity placement
+    /// needs — the warm state (TLS session, auth context) belongs to the
+    /// host, not to one TCP connection.
+    pub fn affinity_key(&self) -> u64 {
+        crate::duplex::fnv1a(&self.host)
+    }
+}
+
+impl std::fmt::Display for SourceAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.host;
+        write!(f, "{a}.{b}.{c}.{d}:{}", self.port)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Backlog {
+    pending: VecDeque<Duplex>,
+    closed: bool,
+}
+
+/// Counters accumulated by a listener.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ListenerStats {
+    /// Connections handed to an accept call.
+    pub accepted: u64,
+    /// Connections refused because the backlog was full (or the listener
+    /// closed).
+    pub refused: u64,
+    /// Accept-batch calls that returned more than one connection (how
+    /// often batching actually amortised a wakeup).
+    pub batches: u64,
+    /// Connections sitting in the backlog right now.
+    pub pending: usize,
+}
+
+/// A simulated listening socket: clients connect with a [`SourceAddr`],
+/// accepted links queue in a bounded backlog.
+#[derive(Debug)]
+pub struct Listener {
+    name: String,
+    backlog: Mutex<Backlog>,
+    ready: Condvar,
+    capacity: usize,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    batches: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl Listener {
+    /// Bind a listener named `name` with a `backlog`-deep accept queue.
+    /// The handle is `Arc`-shared so client threads can connect while the
+    /// serving stack accepts.
+    pub fn bind(name: &str, backlog: usize) -> Arc<Listener> {
+        Arc::new(Listener {
+            name: name.to_string(),
+            backlog: Mutex::new(Backlog::default()),
+            ready: Condvar::new(),
+            capacity: backlog.max(1),
+            accepted: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The listener's name (used in accepted endpoints' trace names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Connect from `source`: creates a fresh link, queues the server end
+    /// in the backlog and returns the client end. Both ends carry
+    /// `source`. Refuses with [`NetError::Refused`] when the backlog is
+    /// full and with [`NetError::Disconnected`] once the listener closed.
+    pub fn connect(&self, source: SourceAddr) -> Result<Duplex, NetError> {
+        // Check the backlog before building anything: a connect flood
+        // against a full queue (the scenario the refusal models) must not
+        // pay the link-construction cost per refused attempt.
+        let mut backlog = self.backlog.lock();
+        if backlog.closed {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Disconnected);
+        }
+        if backlog.pending.len() >= self.capacity {
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::Refused);
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let (client, server) =
+            duplex_pair_with_source(source, &source.to_string(), &format!("{}#{seq}", self.name));
+        backlog.pending.push_back(server);
+        drop(backlog);
+        self.ready.notify_one();
+        Ok(client)
+    }
+
+    /// Accept one connection, blocking according to `timeout`. A closed
+    /// listener drains its remaining backlog first, then reports
+    /// [`NetError::Disconnected`] — no queued connection is ever lost.
+    pub fn accept(&self, timeout: RecvTimeout) -> Result<Duplex, NetError> {
+        self.accept_batch(1, timeout)
+            .map(|mut links| links.pop().expect("accept_batch(1, ..) returns one link"))
+    }
+
+    /// Accept up to `max` connections in one call: blocks (per `timeout`)
+    /// until at least one connection is available, then drains whatever
+    /// else is already queued, up to `max`. Batching amortises the
+    /// wakeup/submission cost of a busy accept loop.
+    pub fn accept_batch(&self, max: usize, timeout: RecvTimeout) -> Result<Vec<Duplex>, NetError> {
+        let max = max.max(1);
+        let mut backlog = self.backlog.lock();
+        loop {
+            if !backlog.pending.is_empty() {
+                let take = backlog.pending.len().min(max);
+                let links: Vec<Duplex> = backlog.pending.drain(..take).collect();
+                drop(backlog);
+                self.accepted
+                    .fetch_add(links.len() as u64, Ordering::Relaxed);
+                if links.len() > 1 {
+                    self.batches.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(links);
+            }
+            if backlog.closed {
+                return Err(NetError::Disconnected);
+            }
+            match timeout {
+                RecvTimeout::Forever => self.ready.wait(&mut backlog),
+                RecvTimeout::After(d) => {
+                    if self.ready.wait_for(&mut backlog, d).timed_out()
+                        && backlog.pending.is_empty()
+                        && !backlog.closed
+                    {
+                        return Err(NetError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Close the listener: new connects are refused; accepts drain the
+    /// remaining backlog and then report [`NetError::Disconnected`].
+    pub fn close(&self) {
+        let mut backlog = self.backlog.lock();
+        backlog.closed = true;
+        drop(backlog);
+        self.ready.notify_all();
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ListenerStats {
+        ListenerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            pending: self.backlog.lock().pending.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn addr(last: u8, port: u16) -> SourceAddr {
+        SourceAddr::new([10, 0, 0, last], port)
+    }
+
+    #[test]
+    fn connect_accept_round_trip_carries_the_source_addr() {
+        let listener = Listener::bind("pop3", 8);
+        let client = listener.connect(addr(7, 40001)).unwrap();
+        let server = listener.accept(RecvTimeout::Forever).unwrap();
+        assert_eq!(server.source(), Some(addr(7, 40001)));
+        assert_eq!(client.source(), Some(addr(7, 40001)));
+        client.send(b"hello").unwrap();
+        assert_eq!(server.recv(RecvTimeout::Forever).unwrap(), b"hello");
+        assert_eq!(listener.stats().accepted, 1);
+    }
+
+    #[test]
+    fn affinity_key_ignores_the_ephemeral_port() {
+        let first = addr(9, 40001).affinity_key();
+        let reconnect = addr(9, 51313).affinity_key();
+        let other_host = addr(10, 40001).affinity_key();
+        assert_eq!(first, reconnect, "same host, new port: same key");
+        assert_ne!(first, other_host, "different hosts must diverge");
+    }
+
+    #[test]
+    fn full_backlog_refuses_like_a_syn_queue() {
+        let listener = Listener::bind("busy", 2);
+        let _a = listener.connect(addr(1, 1)).unwrap();
+        let _b = listener.connect(addr(2, 2)).unwrap();
+        assert_eq!(listener.connect(addr(3, 3)).unwrap_err(), NetError::Refused);
+        assert_eq!(listener.stats().refused, 1);
+        // Draining the backlog frees a slot.
+        let _ = listener.accept(RecvTimeout::Forever).unwrap();
+        assert!(listener.connect(addr(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn accept_batch_drains_whatever_is_queued() {
+        let listener = Listener::bind("batchy", 16);
+        let _clients: Vec<_> = (0..5)
+            .map(|i| listener.connect(addr(i, 100 + u16::from(i))).unwrap())
+            .collect();
+        let batch = listener
+            .accept_batch(4, RecvTimeout::Forever)
+            .expect("batch");
+        assert_eq!(batch.len(), 4, "drains up to max in one call");
+        let rest = listener
+            .accept_batch(4, RecvTimeout::Forever)
+            .expect("rest");
+        assert_eq!(rest.len(), 1);
+        let stats = listener.stats();
+        assert_eq!(stats.accepted, 5);
+        assert_eq!(stats.batches, 1, "only the 4-link call counts as a batch");
+    }
+
+    #[test]
+    fn close_drains_the_backlog_before_disconnecting() {
+        let listener = Listener::bind("closing", 8);
+        let _c = listener.connect(addr(1, 1)).unwrap();
+        listener.close();
+        assert_eq!(
+            listener.connect(addr(2, 2)).unwrap_err(),
+            NetError::Disconnected
+        );
+        // The already-queued connection is still delivered...
+        assert!(listener.accept(RecvTimeout::Forever).is_ok());
+        // ...then the closure is visible.
+        assert_eq!(
+            listener.accept(RecvTimeout::Forever).unwrap_err(),
+            NetError::Disconnected
+        );
+    }
+
+    #[test]
+    fn accept_times_out_while_open_and_empty() {
+        let listener = Listener::bind("quiet", 4);
+        let err = listener
+            .accept(RecvTimeout::After(Duration::from_millis(10)))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn accept_unblocks_across_threads() {
+        let listener = Listener::bind("threaded", 4);
+        let acceptor = listener.clone();
+        let handle = std::thread::spawn(move || acceptor.accept(RecvTimeout::Forever));
+        std::thread::sleep(Duration::from_millis(10));
+        let _client = listener.connect(addr(4, 4)).unwrap();
+        let server = handle.join().unwrap().unwrap();
+        assert_eq!(server.source(), Some(addr(4, 4)));
+    }
+}

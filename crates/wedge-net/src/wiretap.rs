@@ -50,7 +50,7 @@ impl Wiretap {
                     progressed = true;
                 }
                 Err(NetError::WouldBlock) | Err(NetError::Disconnected) => {}
-                Err(NetError::Timeout) => {}
+                Err(NetError::Timeout) | Err(NetError::Refused) => {}
             }
             match self.to_server.try_recv() {
                 Ok(msg) => {
@@ -61,7 +61,7 @@ impl Wiretap {
                     progressed = true;
                 }
                 Err(NetError::WouldBlock) | Err(NetError::Disconnected) => {}
-                Err(NetError::Timeout) => {}
+                Err(NetError::Timeout) | Err(NetError::Refused) => {}
             }
             if !progressed {
                 break;

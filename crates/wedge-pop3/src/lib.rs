@@ -14,12 +14,17 @@
 //! * [`maildb`] — the password database and mail store formats.
 //! * [`server`] — the partitioned server, the callgates, and a tiny
 //!   POP3-ish command loop (USER/PASS/STAT/LIST/RETR/QUIT).
+//! * [`sharded`] — the sharded front-end: N forked server shards behind
+//!   `wedge-sched`'s protocol-agnostic [`ShardedPop3`] serving stack
+//!   (listener accept loop, placement, supervisor auto-restart).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod maildb;
 pub mod server;
+pub mod sharded;
 
 pub use maildb::{MailDb, UserRecord};
 pub use server::{Pop3Server, Pop3Stats};
+pub use sharded::{Pop3Report, ShardedPop3, ShardedPop3Config};

@@ -125,15 +125,33 @@ impl<S: ShardServer> Acceptor<S> {
                 .min_by_key(|(id, shard)| (shard.depth(), *id))
                 .map(|(id, _)| id)
                 .unwrap_or(0),
-            AcceptPolicy::SessionAffinity => shard_for_key(key.unwrap_or(0), n),
+            AcceptPolicy::SessionAffinity => {
+                // Rendezvous fallback: when the affinity-hashed shard is
+                // dead, deterministically prefer the next *healthy* shard
+                // in ring order — every connection carrying this key
+                // agrees on the same fallback home (so its warm state
+                // accumulates in one place), nothing counts as "stolen",
+                // and the moment the hashed shard rejoins the ring the key
+                // maps back to it.
+                let hashed = shard_for_key(key.unwrap_or(0), n);
+                (0..n)
+                    .map(|offset| (hashed + offset) % n)
+                    .find(|&idx| {
+                        self.inner.shards[idx].health() == crate::shard::ShardHealth::Healthy
+                    })
+                    .unwrap_or(hashed)
+            }
         };
         (0..n).map(|offset| (start + offset) % n).collect()
     }
 
-    /// Submit one link, using the link's endpoint name as the affinity key
-    /// under [`AcceptPolicy::SessionAffinity`].
+    /// Submit one link, using the link's own affinity key under
+    /// [`AcceptPolicy::SessionAffinity`]: the **source address** for links
+    /// accepted through a [`wedge_net::Listener`] (repeat clients land on
+    /// the shard holding their warm state with zero protocol
+    /// cooperation), else a hash of the endpoint name.
     pub fn submit(&self, link: Duplex) -> Result<ShardJobHandle<S::Report>, WedgeError> {
-        let key = hash_name(link.name());
+        let key = link.affinity_key();
         self.submit_with_key(link, key)
     }
 
@@ -150,10 +168,14 @@ impl<S: ShardServer> Acceptor<S> {
 
     /// [`Acceptor::submit_with_key`], but an all-shards-rejected outcome
     /// hands the link back so the caller can retry after backing off
-    /// (batch drivers like `serve_all` need this — a `Duplex` endpoint is
+    /// (the front-end's batch drivers need this — a `Duplex` endpoint is
     /// not clonable). Every offer is counted: a link offered three times
     /// before landing contributes 3 to `submitted` and 2 to `rejected`,
     /// so `submitted == completed + rejected` still balances.
+    // Handing the whole link back on refusal is the point of this API —
+    // a `Duplex` cannot be rebuilt by the caller — so the large Err
+    // variant is deliberate.
+    #[allow(clippy::result_large_err)]
     pub fn offer(
         &self,
         link: Duplex,
@@ -189,33 +211,6 @@ impl<S: ShardServer> Acceptor<S> {
             }
         }
     }
-
-    /// Batch driver: serve every link and return the outcomes **in link
-    /// order** — `result[i]` is `links[i]`'s outcome — backing off briefly
-    /// whenever every shard pushes back. A *permanent* refusal (the set is
-    /// shut down or every shard is killed) is returned as that link's
-    /// error instead of retried, so a dead set cannot spin this loop
-    /// forever.
-    pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<S::Report, WedgeError>> {
-        let handles: Vec<Result<ShardJobHandle<S::Report>, WedgeError>> = links
-            .into_iter()
-            .map(|mut link| loop {
-                let key = hash_name(link.name());
-                match self.offer(link, key) {
-                    Ok(handle) => break Ok(handle),
-                    Err((back, WedgeError::ResourceExhausted { .. })) => {
-                        link = back;
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                    }
-                    Err((_link, err)) => break Err(err),
-                }
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.and_then(|h| h.join()))
-            .collect()
-    }
 }
 
 /// The shard a key maps to under [`AcceptPolicy::SessionAffinity`]
@@ -228,12 +223,9 @@ pub fn shard_for_key(key: u64, shards: usize) -> usize {
 }
 
 /// FNV-1a over an endpoint name — a stable affinity key for clients that
-/// reconnect under the same name.
+/// reconnect under the same name. (Links accepted through a
+/// [`wedge_net::Listener`] prefer their source-address key; see
+/// [`wedge_net::Duplex::affinity_key`].)
 pub fn hash_name(name: &str) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in name.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
+    wedge_net::duplex::fnv1a(name.as_bytes())
 }

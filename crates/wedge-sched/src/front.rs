@@ -1,0 +1,506 @@
+//! One protocol-agnostic sharded front-end.
+//!
+//! Before this module every protocol crate hand-rolled the same
+//! scaffolding around [`ShardSet`] + [`Acceptor`]: a config struct, the
+//! submit/serve-all driver loop, report aggregation and shard
+//! attribution, kill-shard plumbing. [`ShardedFrontEnd`] is that
+//! scaffolding written once, generically over [`ShardServer`] — the
+//! Apache, SSH and POP3 front-ends are now thin wrappers that only add
+//! their protocol-specific state (certificate keys, session caches,
+//! OTP ledgers).
+//!
+//! The front-end composes the three serving-stack layers:
+//!
+//! 1. **Listener** ([`wedge_net::Listener`]) — [`Self::serve_listener`]
+//!    runs the accept loop, draining connection batches and submitting
+//!    each link with the **source-address affinity key** it arrived with,
+//!    so [`AcceptPolicy::SessionAffinity`] works without any protocol
+//!    cooperation.
+//! 2. **Supervision** ([`crate::Supervisor`]) — enabled with
+//!    [`FrontEndConfig::supervisor`], killed shards respawn automatically
+//!    (fresh kernel, old ring index) with bounded backoff and
+//!    restart-storm detection; [`Self::restart_stats`] exposes the
+//!    watchdog's counters.
+//! 3. **Placement** ([`Acceptor`]) — pluggable policy, per-shard health
+//!    and admission backpressure, kill-time re-routing.
+
+use std::time::Duration;
+
+use wedge_core::{KernelStats, WedgeError};
+use wedge_net::{Duplex, Listener, NetError, RecvTimeout};
+
+use crate::acceptor::{AcceptPolicy, Acceptor, ShardJobHandle};
+use crate::metrics::SchedStats;
+use crate::shard::{KillReport, ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats};
+use crate::supervisor::{RestartStats, Supervisor, SupervisorConfig};
+
+/// Configuration of a [`ShardedFrontEnd`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrontEndConfig {
+    /// Shard workers to fork — each an independent kernel running one
+    /// server instance.
+    pub shards: usize,
+    /// Bounded per-shard link-queue capacity.
+    pub queue_capacity: usize,
+    /// Per-shard admission limit on in-flight links (`None`: only the
+    /// bounded queues push back).
+    pub max_inflight: Option<u64>,
+    /// Address-space image size the simulated fork copies at shard boot.
+    pub fork_image_bytes: usize,
+    /// Descriptor-table size the simulated fork copies at shard boot.
+    pub fork_fd_count: usize,
+    /// How the acceptor places links on shards.
+    pub policy: AcceptPolicy,
+    /// Enable the auto-restart watchdog with this configuration.
+    pub supervisor: Option<SupervisorConfig>,
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        let shard = ShardConfig::default();
+        FrontEndConfig {
+            shards: shard.shards,
+            queue_capacity: shard.queue_capacity,
+            max_inflight: shard.max_inflight,
+            fork_image_bytes: shard.fork_image_bytes,
+            fork_fd_count: shard.fork_fd_count,
+            policy: AcceptPolicy::RoundRobin,
+            supervisor: None,
+        }
+    }
+}
+
+impl FrontEndConfig {
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            shards: self.shards,
+            queue_capacity: self.queue_capacity,
+            max_inflight: self.max_inflight,
+            fork_image_bytes: self.fork_image_bytes,
+            fork_fd_count: self.fork_fd_count,
+        }
+    }
+}
+
+/// The generic sharded front-end: N forked shards, one acceptor, an
+/// optional supervisor — shared by every protocol.
+pub struct ShardedFrontEnd<S: ShardServer> {
+    set: ShardSet<S>,
+    acceptor: Acceptor<S>,
+    supervisor: Option<Supervisor>,
+}
+
+impl<S: ShardServer> std::fmt::Debug for ShardedFrontEnd<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFrontEnd")
+            .field("shards", &self.set.shards())
+            .field("policy", &self.acceptor.policy())
+            .field("supervised", &self.supervisor.is_some())
+            .finish()
+    }
+}
+
+impl<S: ShardServer> ShardedFrontEnd<S> {
+    /// Fork `config.shards` shards via `factory` (one call per shard,
+    /// inside the simulated forked child; retained for restarts), build
+    /// the acceptor, and start the supervisor when configured.
+    pub fn new<F>(config: FrontEndConfig, factory: F) -> Result<ShardedFrontEnd<S>, WedgeError>
+    where
+        F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
+    {
+        let set = ShardSet::new(config.shard_config(), factory)?;
+        let acceptor = Acceptor::new(&set, config.policy);
+        let supervisor = config
+            .supervisor
+            .map(|sup_config| Supervisor::spawn(&set, sup_config));
+        Ok(ShardedFrontEnd {
+            set,
+            acceptor,
+            supervisor,
+        })
+    }
+
+    /// The underlying shard set (per-shard admission, health, servers).
+    pub fn set(&self) -> &ShardSet<S> {
+        &self.set
+    }
+
+    /// The configured placement policy.
+    pub fn policy(&self) -> AcceptPolicy {
+        self.acceptor.policy()
+    }
+
+    /// Number of shards (healthy or not).
+    pub fn shards(&self) -> usize {
+        self.set.shards()
+    }
+
+    /// Shard `idx`'s health.
+    pub fn health(&self, idx: usize) -> ShardHealth {
+        self.set.health(idx)
+    }
+
+    /// Front-end counters: every offered link bumps `submitted` and
+    /// resolves into exactly one of `completed` / `rejected` — a link the
+    /// batch drivers re-offer after backpressure counts as a fresh offer,
+    /// so `submitted == completed + rejected` always balances; `stolen`
+    /// counts placements away from the policy's first choice (skips of
+    /// saturated shards and post-kill re-routes).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.set.stats()
+    }
+
+    /// Per-shard snapshots (health, boot cost, restarts, depth, counters,
+    /// kernel), in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.set.shard_stats()
+    }
+
+    /// The per-shard snapshots folded into one aggregate (counters sum,
+    /// `healthy` only when every shard is).
+    pub fn aggregate_stats(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for stats in self.set.shard_stats() {
+            total += &stats;
+        }
+        total
+    }
+
+    /// Kernel counters summed across every shard.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.set.kernel_stats()
+    }
+
+    /// The supervisor's restart counters; `None` when the front-end runs
+    /// unsupervised.
+    pub fn restart_stats(&self) -> Option<RestartStats> {
+        self.supervisor.as_ref().map(Supervisor::stats)
+    }
+
+    /// Kill shard `idx` (fault injection): queued links re-route to
+    /// healthy shards, the link in service finishes, and — when a
+    /// supervisor is configured — the shard respawns automatically.
+    pub fn kill_shard(&self, idx: usize) -> KillReport {
+        self.set.kill_shard(idx)
+    }
+
+    /// Manually revive killed shard `idx` (the supervisor does this
+    /// automatically when configured). Returns the respawn's boot cost.
+    pub fn restart_shard(&self, idx: usize) -> Result<Duration, WedgeError> {
+        self.set.restart_shard(idx)
+    }
+
+    /// Block until shard `idx` reports healthy, up to `timeout`. Returns
+    /// whether it did — the test/demo helper for "the shard rejoined the
+    /// ring".
+    pub fn await_healthy(&self, idx: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.set.health(idx) == ShardHealth::Healthy {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    /// Submit one link for service on whichever shard the acceptor picks
+    /// (the link's source-address affinity key is used under
+    /// [`AcceptPolicy::SessionAffinity`]). The handle resolves to the
+    /// report, whose shard attribution names the shard that served it.
+    pub fn serve(&self, link: Duplex) -> Result<ShardJobHandle<S::Report>, WedgeError> {
+        self.acceptor.submit(link)
+    }
+
+    /// [`Self::serve`] with an explicit affinity key (ignored by the
+    /// non-affinity policies).
+    pub fn serve_with_key(
+        &self,
+        link: Duplex,
+        key: u64,
+    ) -> Result<ShardJobHandle<S::Report>, WedgeError> {
+        self.acceptor.submit_with_key(link, key)
+    }
+
+    /// Batch driver: serve every link and return the outcomes **in link
+    /// order** — `result[i]` is `links[i]`'s outcome — backing off
+    /// briefly whenever every shard pushes back. On a supervised
+    /// front-end a transiently all-dead set (every shard killed, restarts
+    /// pending) is also waited out; only a shut-down set fails the link.
+    pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<S::Report, WedgeError>> {
+        let handles: Vec<Result<ShardJobHandle<S::Report>, WedgeError>> = links
+            .into_iter()
+            .map(|link| self.submit_with_backoff(link))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.and_then(ShardJobHandle::join))
+            .collect()
+    }
+
+    /// The accept loop: drain `listener` in batches of up to `batch`
+    /// links, submit each with the source-address affinity key it arrived
+    /// with, and — once the listener closes and its backlog is drained —
+    /// return every outcome **in arrival order**. No accepted connection
+    /// is ever silently dropped: each either serves or resolves with an
+    /// error.
+    pub fn serve_listener(
+        &self,
+        listener: &Listener,
+        batch: usize,
+    ) -> Vec<Result<S::Report, WedgeError>> {
+        let mut handles: Vec<Result<ShardJobHandle<S::Report>, WedgeError>> = Vec::new();
+        loop {
+            match listener.accept_batch(batch, RecvTimeout::After(Duration::from_millis(20))) {
+                Ok(links) => {
+                    for link in links {
+                        handles.push(self.submit_with_backoff(link));
+                    }
+                }
+                Err(NetError::Timeout) => continue,
+                Err(_) => break,
+            }
+        }
+        handles
+            .into_iter()
+            .map(|handle| handle.and_then(ShardJobHandle::join))
+            .collect()
+    }
+
+    /// Offer a link until something admits it: backpressure
+    /// (`ResourceExhausted`) always backs off and retries; an all-dead
+    /// set is retried only while a supervisor exists that can still
+    /// revive a shard; a shut-down set — or one whose every shard the
+    /// supervisor has abandoned to the restart-storm guard — fails
+    /// immediately.
+    fn submit_with_backoff(&self, link: Duplex) -> Result<ShardJobHandle<S::Report>, WedgeError> {
+        let key = link.affinity_key();
+        let mut link = link;
+        loop {
+            match self.acceptor.offer(link, key) {
+                Ok(handle) => return Ok(handle),
+                Err((back, WedgeError::ResourceExhausted { .. })) => {
+                    link = back;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err((back, err)) => {
+                    let shut_down = self
+                        .set
+                        .inner()
+                        .shutdown
+                        .load(std::sync::atomic::Ordering::SeqCst);
+                    // `abandoned_shards` gauges shards the watchdog has
+                    // currently written off; once it covers the whole
+                    // ring nothing will come back, so waiting would spin
+                    // forever.
+                    let revivable = self.supervisor.as_ref().is_some_and(|supervisor| {
+                        (supervisor.stats().abandoned_shards as usize) < self.set.shards()
+                    });
+                    if revivable && !shut_down {
+                        // Every shard is dead but the watchdog will bring
+                        // one back: wait it out instead of shedding.
+                        link = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    } else {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+    use wedge_net::SourceAddr;
+
+    /// Echo-style test server: waits for one message, reports the serving
+    /// shard and the link's source host (so tests can match connections
+    /// to outcomes).
+    struct TagServer;
+
+    #[derive(Debug)]
+    struct TagReport {
+        shard: usize,
+        host: u8,
+    }
+
+    impl ShardServer for TagServer {
+        type Report = TagReport;
+
+        fn serve_link(&self, shard: usize, link: Duplex) -> Result<TagReport, WedgeError> {
+            let _ = link.recv(RecvTimeout::Forever);
+            Ok(TagReport {
+                shard,
+                host: link.source().map(|s| s.host[3]).unwrap_or(0),
+            })
+        }
+
+        fn kernel_stats(&self) -> KernelStats {
+            KernelStats::default()
+        }
+    }
+
+    #[test]
+    fn serve_listener_uses_source_affinity_without_protocol_help() {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 4,
+                policy: AcceptPolicy::SessionAffinity,
+                ..FrontEndConfig::default()
+            },
+            |_id| Ok(TagServer),
+        )
+        .expect("front");
+        let listener = Listener::bind("svc", 64);
+
+        // Three hosts, three connections each (fresh ephemeral ports).
+        let mut clients = Vec::new();
+        for host in 1u8..=3 {
+            for conn in 0u16..3 {
+                let client = listener
+                    .connect(SourceAddr::new([10, 0, 0, host], 40_000 + conn))
+                    .expect("connect");
+                client.send(b"go").unwrap();
+                clients.push(client);
+            }
+        }
+        listener.close();
+        let outcomes = front.serve_listener(&listener, 4);
+        assert_eq!(outcomes.len(), 9);
+        // Same host ⇒ same shard, every time, with zero protocol bytes
+        // examined (the ephemeral ports all differ).
+        let mut host_shards: std::collections::HashMap<u8, Vec<usize>> =
+            std::collections::HashMap::new();
+        for outcome in outcomes {
+            let report = outcome.expect("served");
+            host_shards
+                .entry(report.host)
+                .or_default()
+                .push(report.shard);
+        }
+        assert_eq!(host_shards.len(), 3);
+        for (host, shards) in host_shards {
+            assert!(
+                shards.windows(2).all(|w| w[0] == w[1]),
+                "host {host} must stick to one shard: {shards:?}"
+            );
+        }
+        let stats = front.sched_stats();
+        assert_eq!(stats.submitted, 9);
+        assert_eq!(stats.completed, 9);
+        assert_eq!(listener.stats().accepted, 9);
+        assert!(listener.stats().batches > 0, "accepts were batched");
+    }
+
+    #[test]
+    fn supervised_front_end_waits_out_a_fully_dead_set() {
+        let front = Arc::new(
+            ShardedFrontEnd::new(
+                FrontEndConfig {
+                    shards: 1,
+                    supervisor: Some(SupervisorConfig {
+                        poll_interval: Duration::from_millis(1),
+                        backoff_base: Duration::from_millis(1),
+                        ..SupervisorConfig::default()
+                    }),
+                    ..FrontEndConfig::default()
+                },
+                |_id| Ok(TagServer),
+            )
+            .expect("front"),
+        );
+        front.kill_shard(0);
+        // With every shard dead, an unsupervised front would fail the
+        // link permanently; the supervised one blocks until the watchdog
+        // revives shard 0 and then serves.
+        let (client, server) = wedge_net::duplex_pair("c", "s");
+        client.send(b"go").unwrap();
+        let submitter = {
+            let front = front.clone();
+            std::thread::spawn(move || front.serve_all(vec![server]))
+        };
+        let outcomes = submitter.join().expect("submitter");
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].as_ref().expect("served").shard, 0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while front.restart_stats().expect("supervised").restarts == 0 {
+            assert!(Instant::now() < deadline, "restart never counted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(front.restart_stats().expect("supervised").restarts, 1);
+    }
+
+    #[test]
+    fn fully_abandoned_front_end_fails_submissions_instead_of_spinning() {
+        // The retained factory fails every respawn: the storm guard must
+        // abandon the only shard, after which submissions return an error
+        // promptly instead of waiting forever for a revival that cannot
+        // come.
+        let boots = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let factory_boots = boots.clone();
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 1,
+                supervisor: Some(SupervisorConfig {
+                    poll_interval: Duration::from_millis(1),
+                    backoff_base: Duration::from_millis(1),
+                    storm_threshold: 2,
+                    ..SupervisorConfig::default()
+                }),
+                ..FrontEndConfig::default()
+            },
+            move |_id| {
+                if factory_boots.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                    Ok(TagServer)
+                } else {
+                    Err(WedgeError::InvalidOperation("respawn always fails".into()))
+                }
+            },
+        )
+        .expect("front");
+        front.kill_shard(0);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while front.restart_stats().expect("supervised").storms == 0 {
+            assert!(Instant::now() < deadline, "storm guard never tripped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = front.restart_stats().expect("supervised");
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.failed_restarts, 2, "both respawn attempts failed");
+        // serve_all must resolve with an error, not hang.
+        let (_client, server) = wedge_net::duplex_pair("late", "s");
+        let outcomes = front.serve_all(vec![server]);
+        assert_eq!(outcomes.len(), 1);
+        assert!(matches!(outcomes[0], Err(WedgeError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn await_healthy_reports_the_rejoin() {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 2,
+                supervisor: Some(SupervisorConfig {
+                    poll_interval: Duration::from_millis(1),
+                    backoff_base: Duration::from_millis(1),
+                    ..SupervisorConfig::default()
+                }),
+                ..FrontEndConfig::default()
+            },
+            |_id| Ok(TagServer),
+        )
+        .expect("front");
+        let started = Instant::now();
+        front.kill_shard(1);
+        assert!(
+            front.await_healthy(1, Duration::from_secs(5)),
+            "supervisor must revive shard 1"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(front.shard_stats()[1].restarts, 1);
+        assert_eq!(front.aggregate_stats().restarts, 1);
+    }
+}

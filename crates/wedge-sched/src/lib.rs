@@ -27,8 +27,19 @@
 //!   (the fork image/descriptor-copy cost is charged once at boot via
 //!   `wedge_core::procsim::ForkSim` and amortised by pre-warming), behind a
 //!   shared acceptor with pluggable placement policies (round-robin,
-//!   least-loaded, session-affinity hashing), per-shard health and
-//!   admission backpressure, and kill-time re-routing of queued links.
+//!   least-loaded, session-affinity hashing with deterministic
+//!   next-healthy fallback), per-shard health and admission backpressure,
+//!   and kill-time re-routing of queued links ([`KillReport`]).
+//! * [`Supervisor`] — the shard watchdog: auto-restarts killed shards
+//!   (fresh kernel via the retained factory, old ring index) with bounded
+//!   exponential backoff and restart-storm detection; [`RestartStats`]
+//!   counts revivals and kill-to-healthy latency.
+//! * [`ShardedFrontEnd`] — the protocol-agnostic serving front-end tying
+//!   the layers together: one generic config/serve-loop/aggregation shell
+//!   over `ShardSet` + `Acceptor` + `Supervisor`, including
+//!   [`front::ShardedFrontEnd::serve_listener`], the accept loop over a
+//!   [`wedge_net::Listener`] that derives source-address affinity keys.
+//!   The Apache, SSH and POP3 front-ends are thin wrappers around it.
 //!
 //! `wedge-apache` builds its concurrent front-end and `wedge-ssh` its
 //! pooled privsep monitors on top of this crate; `wedge-bench` measures the
@@ -39,15 +50,19 @@
 #![forbid(unsafe_code)]
 
 pub mod acceptor;
+pub mod front;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
 pub mod scheduler;
 pub mod shard;
+pub mod supervisor;
 
 pub use acceptor::{hash_name, shard_for_key, AcceptPolicy, Acceptor, ShardJobHandle};
+pub use front::{FrontEndConfig, ShardedFrontEnd};
 pub use metrics::{PoolStats, SchedStats};
 pub use pool::{PoolCheckout, PoolConfig, WorkerPool};
 pub use queue::RunQueue;
 pub use scheduler::{JobHandle, Scheduler, SchedulerConfig};
-pub use shard::{ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats};
+pub use shard::{KillReport, ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats};
+pub use supervisor::{RestartStats, Supervisor, SupervisorConfig};

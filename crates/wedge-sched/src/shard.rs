@@ -19,15 +19,24 @@
 //! healthy siblings — a queued connection is never silently dropped; if no
 //! sibling can take it, its handle resolves to the same
 //! `ResourceExhausted` a fresh submission would have seen.
+//!
+//! A killed shard is no longer dead forever: [`ShardSet::restart_shard`]
+//! respawns it **with its old ring index** — a fresh simulated kernel via
+//! [`ForkSim`] (the same image + descriptor copy the original boot paid),
+//! the factory re-run inside the forked child, the server swapped in and a
+//! new queue worker started — after which placement policies see it
+//! healthy again and session-affinity keys that hash to it come home. The
+//! [`crate::Supervisor`] automates this with bounded exponential backoff
+//! and restart-storm detection.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use wedge_core::procsim::ForkSim;
 use wedge_core::resource::{ResourceAccountant, ResourceKind, ResourceLimits};
@@ -91,10 +100,24 @@ pub enum ShardHealth {
     Healthy,
     /// Killed (fault injection or operator action); accepts nothing.
     Failed,
+    /// A restart is respawning the shard's kernel; accepts nothing yet.
+    Restarting,
 }
 
 const HEALTH_HEALTHY: u8 = 0;
 const HEALTH_FAILED: u8 = 1;
+const HEALTH_RESTARTING: u8 = 2;
+
+/// What [`ShardSet::kill_shard`] did with the dead shard's queued links.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KillReport {
+    /// Queued links re-routed to a healthy sibling.
+    pub rerouted: usize,
+    /// Queued links no sibling could admit; each resolved through its
+    /// handle with [`WedgeError::ResourceExhausted`] — failed loudly,
+    /// never silently dropped.
+    pub failed: usize,
+}
 
 /// One queued unit of work: a link plus the channel its report resolves
 /// through. Public only to the crate so the acceptor can build and
@@ -106,8 +129,11 @@ pub(crate) struct ShardJob<R> {
 
 pub(crate) struct Shard<S: ShardServer> {
     pub(crate) id: usize,
-    pub(crate) server: S,
-    queue: Mutex<VecDeque<ShardJob<S::Report>>>,
+    /// The shard's server instance. Swapped for a freshly forked one on
+    /// restart; the worker holds the read side while serving, restart
+    /// takes the write side only after the old worker has been joined.
+    pub(crate) server: RwLock<S>,
+    pub(crate) queue: Mutex<VecDeque<ShardJob<S::Report>>>,
     signal: Condvar,
     admission: Arc<ResourceAccountant>,
     health: AtomicU8,
@@ -115,7 +141,15 @@ pub(crate) struct Shard<S: ShardServer> {
     /// signal).
     depth: AtomicUsize,
     pub(crate) counters: SchedCounters,
-    boot_cost: Duration,
+    /// Simulated fork + prewarm cost of the most recent boot.
+    boot_cost: Mutex<Duration>,
+    /// Times this shard has been restarted after a kill.
+    restarts: AtomicU64,
+    /// The queue worker's join handle. Taken by restart (to wait out the
+    /// in-flight link) and by shutdown.
+    worker: Mutex<Option<thread::JoinHandle<()>>>,
+    /// Claimed (CAS) by the one caller allowed to run a restart at a time.
+    restart_claim: AtomicBool,
     queue_capacity: usize,
 }
 
@@ -123,6 +157,7 @@ impl<S: ShardServer> Shard<S> {
     pub(crate) fn health(&self) -> ShardHealth {
         match self.health.load(Ordering::SeqCst) {
             HEALTH_HEALTHY => ShardHealth::Healthy,
+            HEALTH_RESTARTING => ShardHealth::Restarting,
             _ => ShardHealth::Failed,
         }
     }
@@ -195,7 +230,12 @@ pub(crate) struct ShardSetInner<S: ShardServer> {
     /// after a failed re-route), `stolen` each link placed somewhere other
     /// than the acceptor policy's first choice.
     pub(crate) aggregate: SchedCounters,
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
+    /// The per-shard server factory, kept so a restart can re-run it
+    /// inside a freshly forked child.
+    factory: Arc<dyn Fn(usize) -> Result<S, WedgeError> + Send + Sync>,
+    fork_image_bytes: usize,
+    fork_fd_count: usize,
 }
 
 impl<S: ShardServer> ShardSetInner<S> {
@@ -236,7 +276,8 @@ impl<S: ShardServer> ShardSetInner<S> {
 
     /// `true` while the set can still make progress: not shut down, and
     /// at least one shard healthy. When this turns `false` a refusal is
-    /// permanent — retrying cannot help.
+    /// permanent for an unsupervised set — retrying cannot help (a
+    /// [`crate::Supervisor`] can still bring shards back).
     pub(crate) fn alive(&self) -> bool {
         !self.shutdown.load(Ordering::SeqCst)
             && self
@@ -244,6 +285,134 @@ impl<S: ShardServer> ShardSetInner<S> {
                 .iter()
                 .any(|s| s.health() == ShardHealth::Healthy)
     }
+
+    fn spawn_worker(inner: &Arc<ShardSetInner<S>>, me: usize) {
+        let worker = {
+            let inner = inner.clone();
+            thread::Builder::new()
+                .name(format!("wedge-shard-{me}"))
+                .spawn(move || shard_worker(&inner, me))
+                .expect("spawn shard worker")
+        };
+        *inner.shards[me].worker.lock() = Some(worker);
+    }
+
+    /// Respawn a killed shard in place: wait out its old worker (the link
+    /// it was serving at kill time is allowed to finish), fork a fresh
+    /// kernel and re-run the factory inside the child, swap the new server
+    /// in, start a new queue worker and rejoin the ring **with the old
+    /// index** — placement policies (and affinity keys that hash here)
+    /// see the shard healthy again.
+    ///
+    /// The outcome distinguishes a restart that was never *attempted*
+    /// (lost the claim to a concurrent restart, shard not failed, set
+    /// shutting down) from one whose respawn genuinely failed — the
+    /// supervisor only counts the latter against the shard.
+    pub(crate) fn try_restart_shard(self: &Arc<Self>, idx: usize) -> RestartOutcome {
+        if idx >= self.shards.len() {
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(format!(
+                "no shard {idx} to restart"
+            )));
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(
+                "shard set is shut down".to_string(),
+            ));
+        }
+        let shard = &self.shards[idx];
+        if shard.health() != ShardHealth::Failed {
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(format!(
+                "shard {idx} is not failed (restart only revives killed shards)"
+            )));
+        }
+        // Exactly one caller revives the shard at a time.
+        if shard
+            .restart_claim
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(format!(
+                "shard {idx} restart already in progress"
+            )));
+        }
+        // Re-check under the claim: a racing restart may have completed
+        // between the health check above and winning the CAS — without
+        // this, the loser would join the *healthy* shard's fresh worker
+        // (which only exits on Failed) and block forever.
+        if shard.health() != ShardHealth::Failed {
+            shard.restart_claim.store(false, Ordering::SeqCst);
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(format!(
+                "shard {idx} is not failed (restart only revives killed shards)"
+            )));
+        }
+        let outcome = self.restart_claimed(idx);
+        shard.restart_claim.store(false, Ordering::SeqCst);
+        outcome
+    }
+
+    /// The body of [`Self::try_restart_shard`], run while holding the
+    /// shard's restart claim.
+    fn restart_claimed(self: &Arc<Self>, idx: usize) -> RestartOutcome {
+        let shard = &self.shards[idx];
+        // The old worker exits once it observes Failed — after finishing
+        // the link it was serving at kill time. (A previous failed respawn
+        // leaves no handle: the dead worker was already joined then.)
+        let old_worker = shard.worker.lock().take();
+        if let Some(old_worker) = old_worker {
+            let _ = old_worker.join();
+        }
+        shard.health.store(HEALTH_RESTARTING, Ordering::SeqCst);
+
+        // The same boot a cold shard pays: fork the full image +
+        // descriptor table and build (pre-warm) the server in the child.
+        let parent = ForkSim::new(self.fork_image_bytes, self.fork_fd_count);
+        let factory = self.factory.clone();
+        let (server, boot_cost) = parent.fork_and_wait_timed(move |_image, _fds| factory(idx));
+        let server = match server {
+            Ok(server) => server,
+            Err(err) => {
+                // Failed respawn: the shard stays dead; a later restart
+                // attempt can claim it again.
+                shard.health.store(HEALTH_FAILED, Ordering::SeqCst);
+                return RestartOutcome::FactoryFailed(err);
+            }
+        };
+        *shard.server.write() = server;
+        *shard.boot_cost.lock() = boot_cost;
+        if self.shutdown.load(Ordering::SeqCst) {
+            shard.health.store(HEALTH_FAILED, Ordering::SeqCst);
+            return RestartOutcome::Skipped(WedgeError::InvalidOperation(
+                "shard set shut down during restart".to_string(),
+            ));
+        }
+        // Counted only once the revival is actually going to land, so the
+        // per-shard counter agrees with the reported outcome.
+        shard.restarts.fetch_add(1, Ordering::SeqCst);
+        Self::spawn_worker(self, idx);
+        // A kill that raced the restart flipped Restarting → Failed; honour
+        // it — the fresh worker sees Failed and exits.
+        let _ = shard.health.compare_exchange(
+            HEALTH_RESTARTING,
+            HEALTH_HEALTHY,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        RestartOutcome::Restarted(boot_cost)
+    }
+}
+
+/// How one restart attempt ended (crate-internal: the public
+/// [`ShardSet::restart_shard`] flattens this to a `Result`).
+pub(crate) enum RestartOutcome {
+    /// The shard was revived; carries the respawn's boot cost.
+    Restarted(Duration),
+    /// The retained factory refused to build a replacement server; the
+    /// shard stays dead. Counts as a failed respawn.
+    FactoryFailed(WedgeError),
+    /// Nothing was attempted: the claim was lost to a concurrent restart,
+    /// the shard was not failed, or the set is shutting down. Not a
+    /// respawn failure — the supervisor must not count it as one.
+    Skipped(WedgeError),
 }
 
 fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
@@ -267,7 +436,9 @@ fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
             return;
         };
         let ShardJob { link, tx } = job;
-        let outcome = catch_unwind(AssertUnwindSafe(|| shard.server.serve_link(me, link)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shard.server.read().serve_link(me, link)
+        }));
         shard.admission.release(ResourceKind::Sthreads, 1);
         shard.depth.fetch_sub(1, Ordering::SeqCst);
         SchedCounters::bump(&shard.counters.completed);
@@ -290,8 +461,10 @@ pub struct ShardStats {
     pub shard: usize,
     /// Whether the shard is accepting links.
     pub healthy: bool,
-    /// Simulated fork + prewarm cost paid when the shard booted.
+    /// Simulated fork + prewarm cost paid at the most recent boot.
     pub boot_cost: Duration,
+    /// Times the shard has been restarted after a kill.
+    pub restarts: u64,
     /// Links queued + currently serving.
     pub depth: u64,
     /// Scheduler-style counters for this shard (`submitted` = links first
@@ -310,6 +483,7 @@ impl Default for ShardStats {
             shard: 0,
             healthy: true,
             boot_cost: Duration::ZERO,
+            restarts: 0,
             depth: 0,
             sched: SchedStats::default(),
             kernel: KernelStats::default(),
@@ -321,6 +495,7 @@ impl std::ops::AddAssign<&ShardStats> for ShardStats {
     fn add_assign(&mut self, other: &ShardStats) {
         self.healthy &= other.healthy;
         self.boot_cost += other.boot_cost;
+        self.restarts += other.restarts;
         self.depth += other.depth;
         self.sched += &other.sched;
         self.kernel += &other.kernel;
@@ -332,7 +507,6 @@ impl std::ops::AddAssign<&ShardStats> for ShardStats {
 /// to distribute links.
 pub struct ShardSet<S: ShardServer> {
     inner: Arc<ShardSetInner<S>>,
-    threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl<S: ShardServer> std::fmt::Debug for ShardSet<S> {
@@ -350,13 +524,15 @@ impl<S: ShardServer> ShardSet<S> {
     /// shard pays the full image + descriptor-table copy of a real `fork`
     /// **once, at boot** — pre-warming amortises it across every
     /// connection the shard will ever serve (the same trade the paper's
-    /// recycled callgates make for compartment creation).
+    /// recycled callgates make for compartment creation). The factory is
+    /// retained: [`ShardSet::restart_shard`] re-runs it inside a fresh
+    /// fork to revive a killed shard.
     pub fn new<F>(config: ShardConfig, factory: F) -> Result<ShardSet<S>, WedgeError>
     where
         F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
     {
         let shard_count = config.shards.max(1);
-        let factory = Arc::new(factory);
+        let factory: Arc<dyn Fn(usize) -> Result<S, WedgeError> + Send + Sync> = Arc::new(factory);
         let mut shards = Vec::with_capacity(shard_count);
         for id in 0..shard_count {
             let parent = ForkSim::new(config.fork_image_bytes, config.fork_fd_count);
@@ -371,14 +547,17 @@ impl<S: ShardServer> ShardSet<S> {
             }
             shards.push(Shard {
                 id,
-                server,
+                server: RwLock::new(server),
                 queue: Mutex::new(VecDeque::new()),
                 signal: Condvar::new(),
                 admission: ResourceAccountant::new(limits),
                 health: AtomicU8::new(HEALTH_HEALTHY),
                 depth: AtomicUsize::new(0),
                 counters: SchedCounters::default(),
-                boot_cost,
+                boot_cost: Mutex::new(boot_cost),
+                restarts: AtomicU64::new(0),
+                worker: Mutex::new(None),
+                restart_claim: AtomicBool::new(false),
                 queue_capacity: config.queue_capacity.max(1),
             });
         }
@@ -386,17 +565,14 @@ impl<S: ShardServer> ShardSet<S> {
             shards,
             aggregate: SchedCounters::default(),
             shutdown: AtomicBool::new(false),
+            factory,
+            fork_image_bytes: config.fork_image_bytes,
+            fork_fd_count: config.fork_fd_count,
         });
-        let threads = (0..shard_count)
-            .map(|me| {
-                let inner = inner.clone();
-                thread::Builder::new()
-                    .name(format!("wedge-shard-{me}"))
-                    .spawn(move || shard_worker(&inner, me))
-                    .expect("spawn shard worker")
-            })
-            .collect();
-        Ok(ShardSet { inner, threads })
+        for me in 0..shard_count {
+            ShardSetInner::spawn_worker(&inner, me);
+        }
+        Ok(ShardSet { inner })
     }
 
     pub(crate) fn inner(&self) -> &Arc<ShardSetInner<S>> {
@@ -408,9 +584,11 @@ impl<S: ShardServer> ShardSet<S> {
         self.inner.shards.len()
     }
 
-    /// Borrow shard `idx`'s server (e.g. for per-shard assertions).
-    pub fn server(&self, idx: usize) -> &S {
-        &self.inner.shards[idx].server
+    /// Run `f` against shard `idx`'s server (e.g. for per-shard
+    /// assertions). The server may be swapped by a restart, so only a
+    /// scoped borrow is offered.
+    pub fn with_server<R>(&self, idx: usize, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.shards[idx].server.read())
     }
 
     /// Shard `idx`'s health.
@@ -442,10 +620,11 @@ impl<S: ShardServer> ShardSet<S> {
             .map(|shard| ShardStats {
                 shard: shard.id,
                 healthy: shard.health() == ShardHealth::Healthy,
-                boot_cost: shard.boot_cost,
+                boot_cost: *shard.boot_cost.lock(),
+                restarts: shard.restarts.load(Ordering::SeqCst),
                 depth: shard.depth() as u64,
                 sched: shard.counters.snapshot(),
-                kernel: shard.server.kernel_stats(),
+                kernel: shard.server.read().kernel_stats(),
             })
             .collect()
     }
@@ -454,7 +633,7 @@ impl<S: ShardServer> ShardSet<S> {
     pub fn kernel_stats(&self) -> KernelStats {
         let mut total = KernelStats::default();
         for shard in &self.inner.shards {
-            total += &shard.server.kernel_stats();
+            total += &shard.server.read().kernel_stats();
         }
         total
     }
@@ -464,26 +643,38 @@ impl<S: ShardServer> ShardSet<S> {
     /// dead shard). A link no sibling can admit resolves through its
     /// handle with [`WedgeError::ResourceExhausted`] — nothing is silently
     /// dropped. The link the shard is serving *right now* is allowed to
-    /// finish. Returns `(rerouted, shed)` counts.
-    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
+    /// finish.
+    pub fn kill_shard(&self, idx: usize) -> KillReport {
         let n = self.inner.shards.len();
         let drained = self.inner.shards[idx].fail_and_drain();
         let order: Vec<usize> = (1..n).map(|offset| (idx + offset) % n).collect();
-        let (mut rerouted, mut shed) = (0, 0);
+        let mut report = KillReport::default();
         for job in drained {
             match self.inner.place(job, &order, true) {
                 Ok(_) => {
                     SchedCounters::bump(&self.inner.aggregate.stolen);
-                    rerouted += 1;
+                    report.rerouted += 1;
                 }
                 Err(job) => {
                     SchedCounters::bump(&self.inner.aggregate.rejected);
-                    shed += 1;
+                    report.failed += 1;
                     let _ = job.tx.send(Err(all_shards_exhausted(n)));
                 }
             }
         }
-        (rerouted, shed)
+        report
+    }
+
+    /// Revive killed shard `idx` in place (fresh kernel via the retained
+    /// factory, old ring index). Returns the respawn's boot cost. Fails if
+    /// the shard is not killed, a restart is already in progress, the
+    /// factory errors, or the set is shutting down. The
+    /// [`crate::Supervisor`] calls this automatically.
+    pub fn restart_shard(&self, idx: usize) -> Result<Duration, WedgeError> {
+        match self.inner.try_restart_shard(idx) {
+            RestartOutcome::Restarted(boot_cost) => Ok(boot_cost),
+            RestartOutcome::FactoryFailed(err) | RestartOutcome::Skipped(err) => Err(err),
+        }
     }
 
     fn shutdown_inner(&mut self) {
@@ -491,8 +682,11 @@ impl<S: ShardServer> ShardSet<S> {
         for shard in &self.inner.shards {
             shard.signal.notify_all();
         }
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
+        for shard in &self.inner.shards {
+            let handle = shard.worker.lock().take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
         }
         // A submission can race the shutdown flag and land a job after its
         // worker drained and exited. Flip each shard to Failed *under its
@@ -578,6 +772,7 @@ mod tests {
         for stats in set.shard_stats() {
             assert!(stats.boot_cost > Duration::ZERO, "fork copy cost charged");
             assert!(stats.healthy);
+            assert_eq!(stats.restarts, 0);
         }
     }
 
@@ -745,9 +940,12 @@ mod tests {
             clients.push(client);
             queued.push(acceptor.submit_with_key(server, to_zero).unwrap());
         }
-        let (rerouted, shed) = set.kill_shard(0);
-        assert_eq!(rerouted, 3, "all queued links move to the live shard");
-        assert_eq!(shed, 0);
+        let report = set.kill_shard(0);
+        assert_eq!(
+            report.rerouted, 3,
+            "all queued links move to the live shard"
+        );
+        assert_eq!(report.failed, 0);
         assert_eq!(set.health(0), ShardHealth::Failed);
         for handle in queued {
             assert_eq!(
@@ -772,6 +970,81 @@ mod tests {
     }
 
     #[test]
+    fn restart_revives_a_killed_shard_with_its_old_index() {
+        let set = hold_set(ShardConfig {
+            shards: 2,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::SessionAffinity);
+        let to_zero = affinity_key(0, 2);
+        set.kill_shard(0);
+        assert_eq!(set.health(0), ShardHealth::Failed);
+        // While dead, links for shard 0 fall over to shard 1.
+        let (fallback_client, fallback_server) = duplex_pair("fall", "s");
+        fallback_client.send(b"go").unwrap();
+        assert_eq!(
+            acceptor
+                .submit_with_key(fallback_server, to_zero)
+                .unwrap()
+                .join()
+                .unwrap(),
+            1
+        );
+        // Restarting cannot revive a healthy shard.
+        assert!(set.restart_shard(1).is_err());
+        // Revive shard 0: fresh kernel, old ring index.
+        let boot_cost = set.restart_shard(0).expect("restart");
+        assert!(boot_cost > Duration::ZERO, "respawn pays the fork cost");
+        assert_eq!(set.health(0), ShardHealth::Healthy);
+        let stats = set.shard_stats();
+        assert_eq!(stats[0].restarts, 1);
+        assert_eq!(stats[1].restarts, 0);
+        // Affinity keys that hash to shard 0 land on it again.
+        let (client, server) = duplex_pair("home", "s");
+        client.send(b"go").unwrap();
+        assert_eq!(
+            acceptor
+                .submit_with_key(server, to_zero)
+                .unwrap()
+                .join()
+                .unwrap(),
+            0,
+            "post-restart links land on the revived shard"
+        );
+        // A second restart of the (now healthy) shard is refused.
+        assert!(set.restart_shard(0).is_err());
+    }
+
+    #[test]
+    fn restart_waits_for_the_in_flight_link_to_finish() {
+        let set = hold_set(ShardConfig {
+            shards: 1,
+            ..ShardConfig::default()
+        });
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        let (held_client, held_server) = duplex_pair("held", "s");
+        let held = acceptor.submit(held_server).unwrap();
+        // Wait until the worker is serving the link.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !set.inner().shards[0].queue.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "worker never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        set.kill_shard(0);
+        // The restart must block on the in-flight link; release it from a
+        // sibling thread after a beat.
+        let release = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(50));
+            held_client.send(b"done").unwrap();
+            held_client
+        });
+        set.restart_shard(0).expect("restart");
+        assert_eq!(set.health(0), ShardHealth::Healthy);
+        assert_eq!(held.join().unwrap(), 0, "in-flight link finished first");
+        drop(release.join().unwrap());
+    }
+
+    #[test]
     fn submissions_after_shutdown_fail_fast_instead_of_hanging() {
         let set = hold_set(ShardConfig {
             shards: 2,
@@ -790,20 +1063,25 @@ mod tests {
 
     #[test]
     fn fully_killed_set_refuses_permanently_and_serve_all_terminates() {
-        let set = hold_set(ShardConfig {
-            shards: 2,
-            ..ShardConfig::default()
-        });
-        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
-        set.kill_shard(0);
-        set.kill_shard(1);
+        // The batch driver lives on the front-end now; drive it through
+        // one to pin the dead-set semantics of the one shared retry loop.
+        let front = crate::front::ShardedFrontEnd::new(
+            crate::front::FrontEndConfig {
+                shards: 2,
+                ..crate::front::FrontEndConfig::default()
+            },
+            |_id| Ok(HoldServer),
+        )
+        .expect("front");
+        front.kill_shard(0);
+        front.kill_shard(1);
         // Direct submission: permanent refusal, not ResourceExhausted.
         let (_c, s) = duplex_pair("late", "s");
-        let err = acceptor.submit(s).unwrap_err();
+        let err = front.serve(s).unwrap_err();
         assert!(matches!(err, WedgeError::InvalidOperation(_)));
-        // Batch driver: returns one error per link instead of spinning on
-        // the backoff-retry loop forever.
-        let outcomes = acceptor.serve_all((0..3).map(|_| duplex_pair("batch", "s").1).collect());
+        // Batch driver: an unsupervised dead set returns one error per
+        // link instead of spinning on the backoff-retry loop forever.
+        let outcomes = front.serve_all((0..3).map(|_| duplex_pair("batch", "s").1).collect());
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes
             .iter()
@@ -827,8 +1105,14 @@ mod tests {
         }
         let (_queued_client, queued_server) = duplex_pair("queued", "s");
         let queued = acceptor.submit(queued_server).unwrap();
-        let (rerouted, shed) = set.kill_shard(0);
-        assert_eq!((rerouted, shed), (0, 1));
+        let report = set.kill_shard(0);
+        assert_eq!(
+            report,
+            KillReport {
+                rerouted: 0,
+                failed: 1
+            }
+        );
         // The shed link resolves with the backpressure error — never
         // silently dropped.
         let err = queued.join().unwrap_err();

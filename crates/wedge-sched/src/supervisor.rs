@@ -1,0 +1,650 @@
+//! The shard supervisor: automatic restart of killed shards.
+//!
+//! A [`crate::ShardSet`] kills loudly — queued links re-route, the
+//! in-flight link finishes — but before this module a killed shard stayed
+//! dead until an operator called [`crate::ShardSet::restart_shard`] by
+//! hand. The [`Supervisor`] is the watchdog that does it automatically:
+//! a monitor thread polls every shard's [`crate::ShardHealth`] and revives
+//! failed shards (fresh kernel via the retained factory, old ring index)
+//! with two production guard rails:
+//!
+//! * **Bounded exponential backoff** — consecutive restarts of the same
+//!   shard wait `backoff_base * 2^n`, capped at `backoff_cap`, so a shard
+//!   that dies the moment it boots does not hot-loop the fork path. A
+//!   shard that stays healthy for `healthy_reset` gets its attempt counter
+//!   (and backoff) reset.
+//! * **Restart-storm detection** — `storm_threshold` or more restart
+//!   attempts on one shard inside `storm_window` abandon it (it stays dead,
+//!   [`RestartStats::storms`] counts it) instead of burning the box
+//!   re-forking a server that cannot stay up. The rest of the ring keeps
+//!   serving.
+//!
+//! The supervisor exits on its own when the shard set shuts down.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::shard::{RestartOutcome, ShardHealth, ShardServer, ShardSet, ShardSetInner};
+
+/// Supervisor cadence, backoff and storm guard-rail configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// How often the monitor thread scans shard health.
+    pub poll_interval: Duration,
+    /// Backoff before the first re-restart of a shard that failed again.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Duration,
+    /// A shard healthy this long gets its backoff attempt counter reset.
+    pub healthy_reset: Duration,
+    /// Restarts of one shard within [`SupervisorConfig::storm_window`]
+    /// before the supervisor abandons it.
+    pub storm_threshold: u32,
+    /// The sliding window for restart-storm detection.
+    pub storm_window: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            poll_interval: Duration::from_millis(2),
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            healthy_reset: Duration::from_secs(1),
+            storm_threshold: 5,
+            storm_window: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Counters the supervisor accumulates (snapshot via
+/// [`Supervisor::stats`]). Counters are updated by the restart-attempt
+/// thread just **after** the shard's health flips, so a reader that
+/// polls health can observe the flip a moment before the counter —
+/// re-read after a beat rather than asserting both atomically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestartStats {
+    /// Successful shard restarts.
+    pub restarts: u64,
+    /// Restart attempts whose respawn failed (factory error); the shard
+    /// stays dead until the next backed-off attempt.
+    pub failed_restarts: u64,
+    /// Times the storm guard abandoned a shard (cumulative).
+    pub storms: u64,
+    /// Shards currently abandoned — a manually revived shard that holds
+    /// healthy for `healthy_reset` is forgiven and leaves this gauge.
+    pub abandoned_shards: u64,
+    /// Nanoseconds from first observing a shard dead to it serving again,
+    /// for the most recent successful restart.
+    pub last_restart_latency_nanos: u64,
+}
+
+impl RestartStats {
+    /// The most recent kill-to-healthy restart latency.
+    pub fn last_restart_latency(&self) -> Duration {
+        Duration::from_nanos(self.last_restart_latency_nanos)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SupervisorCounters {
+    restarts: AtomicU64,
+    failed_restarts: AtomicU64,
+    storms: AtomicU64,
+    /// Gauge, not counter: shards currently written off by the storm
+    /// guard. The front-end's retry loop reads this to know whether an
+    /// all-dead set can still come back.
+    abandoned_shards: AtomicU64,
+    last_restart_latency_nanos: AtomicU64,
+}
+
+/// Per-shard bookkeeping private to the monitor thread.
+struct WatchState {
+    /// When the supervisor first saw this shard dead (restart latency is
+    /// measured from here — detection plus backoff plus respawn).
+    first_failed_at: Option<Instant>,
+    /// Earliest instant the next restart attempt may run.
+    next_attempt_at: Instant,
+    /// Consecutive attempts since the shard last held healthy.
+    attempts: u32,
+    /// Completion timestamps of recent restart attempts, successful or
+    /// not (the storm window).
+    recent: VecDeque<Instant>,
+    /// Continuously healthy since this instant.
+    healthy_since: Option<Instant>,
+    /// Storm-detected: the supervisor gave up on this shard.
+    abandoned: bool,
+    /// A restart attempt currently running on its own thread — a restart
+    /// blocks until the dead shard's in-flight link finishes, and one
+    /// stuck link must not freeze supervision of every other shard.
+    in_flight: Option<thread::JoinHandle<RestartOutcome>>,
+}
+
+impl WatchState {
+    fn new(now: Instant) -> WatchState {
+        WatchState {
+            first_failed_at: None,
+            next_attempt_at: now,
+            attempts: 0,
+            recent: VecDeque::new(),
+            healthy_since: Some(now),
+            abandoned: false,
+            in_flight: None,
+        }
+    }
+}
+
+/// The watchdog thread reviving killed shards. Holds the shard set's
+/// inner state — dropping the [`crate::ShardSet`] (which shuts the set
+/// down) makes the supervisor exit on its own; dropping the supervisor
+/// stops the watchdog without touching the set.
+pub struct Supervisor {
+    monitor: Option<thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<SupervisorCounters>,
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Supervisor {
+    /// Start supervising `set` with `config`.
+    pub fn spawn<S: ShardServer>(set: &ShardSet<S>, config: SupervisorConfig) -> Supervisor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(SupervisorCounters::default());
+        let inner = set.inner().clone();
+        let monitor = {
+            let stop = stop.clone();
+            let counters = counters.clone();
+            thread::Builder::new()
+                .name("wedge-supervisor".to_string())
+                .spawn(move || monitor_loop(&inner, &config, &stop, &counters))
+                .expect("spawn supervisor")
+        };
+        Supervisor {
+            monitor: Some(monitor),
+            stop,
+            counters,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RestartStats {
+        RestartStats {
+            restarts: self.counters.restarts.load(Ordering::Relaxed),
+            failed_restarts: self.counters.failed_restarts.load(Ordering::Relaxed),
+            storms: self.counters.storms.load(Ordering::Relaxed),
+            abandoned_shards: self.counters.abandoned_shards.load(Ordering::Relaxed),
+            last_restart_latency_nanos: self
+                .counters
+                .last_restart_latency_nanos
+                .load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+    }
+}
+
+fn backoff(config: &SupervisorConfig, attempts: u32) -> Duration {
+    let factor = 1u32 << attempts.min(16);
+    config
+        .backoff_base
+        .saturating_mul(factor)
+        .min(config.backoff_cap)
+}
+
+/// Reap a finished restart attempt, feeding the storm window (counters
+/// were already updated by the attempt thread itself). Returns `true`
+/// while the attempt is still running.
+fn reap_attempt(state: &mut WatchState) -> bool {
+    let Some(handle) = state.in_flight.take() else {
+        return false;
+    };
+    if !handle.is_finished() {
+        state.in_flight = Some(handle);
+        return true;
+    }
+    match handle.join() {
+        // Every real attempt — revival or failed respawn — counts toward
+        // the storm window, so a factory that fails every respawn also
+        // trips the guard instead of retrying forever. A Skipped attempt
+        // (lost the claim to a concurrent manual restart, racing
+        // kill/shutdown) attempted nothing and counts nothing.
+        Ok(RestartOutcome::Restarted(_)) => {
+            state.recent.push_back(Instant::now());
+            state.first_failed_at = None;
+        }
+        Ok(RestartOutcome::FactoryFailed(_)) | Err(_) => {
+            state.recent.push_back(Instant::now());
+        }
+        Ok(RestartOutcome::Skipped(_)) => {}
+    }
+    false
+}
+
+fn monitor_loop<S: ShardServer>(
+    inner: &Arc<ShardSetInner<S>>,
+    config: &SupervisorConfig,
+    stop: &AtomicBool,
+    counters: &Arc<SupervisorCounters>,
+) {
+    let now = Instant::now();
+    let mut watch: Vec<WatchState> = (0..inner.shards.len())
+        .map(|_| WatchState::new(now))
+        .collect();
+    while !stop.load(Ordering::SeqCst) && !inner.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for (idx, state) in watch.iter_mut().enumerate() {
+            // An attempt still blocked (e.g. waiting out the dead shard's
+            // in-flight link) must not freeze supervision of the others.
+            if reap_attempt(state) {
+                continue;
+            }
+            match inner.shards[idx].health() {
+                ShardHealth::Healthy => {
+                    state.first_failed_at = None;
+                    let healthy_since = *state.healthy_since.get_or_insert(now);
+                    if now - healthy_since >= config.healthy_reset {
+                        // Held healthy long enough: forgive the history so
+                        // the next failure starts from the base backoff —
+                        // including a storm abandonment, so a shard an
+                        // operator manually revived is supervised again.
+                        state.attempts = 0;
+                        if state.abandoned {
+                            state.abandoned = false;
+                            state.recent.clear();
+                            counters.abandoned_shards.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                ShardHealth::Restarting => {}
+                ShardHealth::Failed => {
+                    state.healthy_since = None;
+                    if state.abandoned {
+                        continue;
+                    }
+                    state.first_failed_at.get_or_insert(now);
+                    if now < state.next_attempt_at {
+                        continue;
+                    }
+                    // Storm guard: too many restart attempts inside the
+                    // window means the shard cannot stay up — stop
+                    // feeding it.
+                    while let Some(oldest) = state.recent.front() {
+                        if now - *oldest > config.storm_window {
+                            state.recent.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    if state.recent.len() >= config.storm_threshold as usize {
+                        state.abandoned = true;
+                        counters.storms.fetch_add(1, Ordering::Relaxed);
+                        counters.abandoned_shards.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // First retry waits backoff_base, then the ladder
+                    // doubles, capped.
+                    state.next_attempt_at = now + backoff(config, state.attempts);
+                    state.attempts = state.attempts.saturating_add(1);
+                    // The attempt thread updates the counters itself, so
+                    // stats lag the health flip by nanoseconds rather
+                    // than a whole poll interval.
+                    let inner = inner.clone();
+                    let counters = counters.clone();
+                    let first_failed_at = state.first_failed_at.unwrap_or(now);
+                    state.in_flight = Some(
+                        thread::Builder::new()
+                            .name(format!("wedge-restart-{idx}"))
+                            .spawn(move || {
+                                let outcome = inner.try_restart_shard(idx);
+                                match &outcome {
+                                    RestartOutcome::Restarted(_boot_cost) => {
+                                        counters.last_restart_latency_nanos.store(
+                                            first_failed_at.elapsed().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                        counters.restarts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    RestartOutcome::FactoryFailed(_) => {
+                                        // The backed-off next_attempt_at
+                                        // throttles the retry.
+                                        counters.failed_restarts.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    // Lost the claim to a concurrent manual
+                                    // restart, or a racing kill/shutdown:
+                                    // nothing was respawned, count nothing.
+                                    RestartOutcome::Skipped(_) => {}
+                                }
+                                outcome
+                            })
+                            .expect("spawn restart attempt"),
+                    );
+                }
+            }
+        }
+        thread::sleep(config.poll_interval);
+    }
+    // Exiting (stop or set shutdown): in-flight attempts are left to
+    // finish on their own — restart_shard itself refuses to resurrect a
+    // shut-down set, so a straggler can at worst complete a legitimate
+    // revival.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::{AcceptPolicy, Acceptor};
+    use crate::shard::ShardConfig;
+    use std::sync::atomic::AtomicUsize;
+    use wedge_core::{KernelStats, WedgeError};
+    use wedge_net::{duplex_pair, Duplex, RecvTimeout};
+
+    struct EchoServer;
+
+    impl ShardServer for EchoServer {
+        type Report = usize;
+
+        fn serve_link(&self, shard: usize, link: Duplex) -> Result<usize, WedgeError> {
+            let _ = link.recv(RecvTimeout::Forever);
+            Ok(shard)
+        }
+
+        fn kernel_stats(&self) -> KernelStats {
+            KernelStats::default()
+        }
+    }
+
+    fn await_health<S: ShardServer>(
+        set: &ShardSet<S>,
+        idx: usize,
+        want: ShardHealth,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if set.health(idx) == want {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    /// The restart counter is bumped by the attempt thread just *after*
+    /// the health flip, so a reader racing `await_health` polls briefly.
+    fn await_restarts(supervisor: &Supervisor, want: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if supervisor.stats().restarts >= want {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn supervisor_revives_a_killed_shard() {
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 2,
+                ..ShardConfig::default()
+            },
+            |_id| Ok(EchoServer),
+        )
+        .expect("set");
+        let supervisor = Supervisor::spawn(&set, SupervisorConfig::default());
+        set.kill_shard(0);
+        assert!(
+            await_health(&set, 0, ShardHealth::Healthy, Duration::from_secs(5)),
+            "supervisor must revive the killed shard"
+        );
+        assert!(await_restarts(&supervisor, 1, Duration::from_secs(5)));
+        let stats = supervisor.stats();
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.storms, 0);
+        assert!(
+            stats.last_restart_latency() > Duration::ZERO,
+            "restart latency is measured"
+        );
+        assert_eq!(set.shard_stats()[0].restarts, 1);
+        // The revived shard serves again.
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        let (client, server) = duplex_pair("c", "s");
+        client.send(b"go").unwrap();
+        assert!(acceptor.submit(server).unwrap().join().is_ok());
+    }
+
+    #[test]
+    fn repeated_kills_back_off_and_eventually_trip_the_storm_guard() {
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 2,
+                ..ShardConfig::default()
+            },
+            |_id| Ok(EchoServer),
+        )
+        .expect("set");
+        let config = SupervisorConfig {
+            poll_interval: Duration::from_millis(1),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(5),
+            storm_threshold: 3,
+            storm_window: Duration::from_secs(30),
+            ..SupervisorConfig::default()
+        };
+        let supervisor = Supervisor::spawn(&set, config);
+        // Kill the shard every time it comes back: the storm guard must
+        // abandon it after `storm_threshold` revivals.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while supervisor.stats().storms == 0 {
+            assert!(Instant::now() < deadline, "storm guard never tripped");
+            if set.health(0) == ShardHealth::Healthy {
+                set.kill_shard(0);
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        let stats = supervisor.stats();
+        assert_eq!(stats.storms, 1);
+        assert_eq!(
+            stats.restarts, 3,
+            "exactly storm_threshold revivals before giving up"
+        );
+        // The abandoned shard stays dead; the ring keeps serving on the
+        // survivor.
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(set.health(0), ShardHealth::Failed);
+        let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
+        let (client, server) = duplex_pair("c", "s");
+        client.send(b"go").unwrap();
+        assert_eq!(acceptor.submit(server).unwrap().join().unwrap(), 1);
+    }
+
+    #[test]
+    fn a_manually_revived_abandoned_shard_is_supervised_again() {
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 1,
+                ..ShardConfig::default()
+            },
+            |_id| Ok(EchoServer),
+        )
+        .expect("set");
+        let supervisor = Supervisor::spawn(
+            &set,
+            SupervisorConfig {
+                poll_interval: Duration::from_millis(1),
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(5),
+                healthy_reset: Duration::from_millis(50),
+                storm_threshold: 2,
+                storm_window: Duration::from_secs(30),
+            },
+        );
+        // Storm-abandon the only shard by killing it whenever it returns.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while supervisor.stats().storms == 0 {
+            assert!(Instant::now() < deadline, "storm guard never tripped");
+            if set.health(0) == ShardHealth::Healthy {
+                set.kill_shard(0);
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(set.health(0), ShardHealth::Failed);
+        assert_eq!(supervisor.stats().abandoned_shards, 1);
+        // An operator revives it by hand and it holds healthy past
+        // healthy_reset: the watchdog must forgive the abandonment...
+        set.restart_shard(0).expect("manual revival");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while supervisor.stats().abandoned_shards > 0 {
+            assert!(Instant::now() < deadline, "abandonment never forgiven");
+            thread::sleep(Duration::from_millis(1));
+        }
+        // ...and supervise the next failure again.
+        let revivals_so_far = supervisor.stats().restarts;
+        set.kill_shard(0);
+        assert!(
+            await_health(&set, 0, ShardHealth::Healthy, Duration::from_secs(5)),
+            "a forgiven shard must be auto-revived again"
+        );
+        assert!(await_restarts(
+            &supervisor,
+            revivals_so_far + 1,
+            Duration::from_secs(5)
+        ));
+        assert_eq!(supervisor.stats().storms, 1, "the old storm stays counted");
+    }
+
+    #[test]
+    fn failed_respawns_are_counted_and_retried() {
+        // A factory that fails its first post-boot invocation for shard 0,
+        // then succeeds: the supervisor must count the failure and still
+        // revive the shard on the backed-off retry.
+        let boots = Arc::new(AtomicUsize::new(0));
+        let factory_boots = boots.clone();
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 1,
+                ..ShardConfig::default()
+            },
+            move |_id| {
+                // Boot 0 is the cold boot; boot 1 (first restart attempt)
+                // fails; boot 2 succeeds.
+                if factory_boots.fetch_add(1, Ordering::SeqCst) == 1 {
+                    Err(WedgeError::InvalidOperation("flaky respawn".into()))
+                } else {
+                    Ok(EchoServer)
+                }
+            },
+        )
+        .expect("set");
+        let supervisor = Supervisor::spawn(
+            &set,
+            SupervisorConfig {
+                poll_interval: Duration::from_millis(1),
+                backoff_base: Duration::from_millis(1),
+                ..SupervisorConfig::default()
+            },
+        );
+        set.kill_shard(0);
+        assert!(
+            await_health(&set, 0, ShardHealth::Healthy, Duration::from_secs(5)),
+            "shard must come back after the flaky respawn"
+        );
+        assert!(await_restarts(&supervisor, 1, Duration::from_secs(5)));
+        let stats = supervisor.stats();
+        assert_eq!(stats.failed_restarts, 1);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(boots.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn a_blocked_restart_does_not_freeze_supervision_of_other_shards() {
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 2,
+                ..ShardConfig::default()
+            },
+            |_id| Ok(EchoServer),
+        )
+        .expect("set");
+        let supervisor = Supervisor::spawn(
+            &set,
+            SupervisorConfig {
+                poll_interval: Duration::from_millis(1),
+                backoff_base: Duration::from_millis(1),
+                ..SupervisorConfig::default()
+            },
+        );
+        let acceptor = Acceptor::new(&set, AcceptPolicy::SessionAffinity);
+        let to_zero = (0u64..)
+            .find(|k| crate::acceptor::shard_for_key(*k, 2) == 0)
+            .expect("key");
+        // Shard 0 serves a link whose client stays silent; wait until the
+        // worker holds it.
+        let (held_client, held_server) = duplex_pair("held", "s");
+        let held = acceptor.submit_with_key(held_server, to_zero).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !set.inner().shards[0].queue.lock().is_empty() {
+            assert!(Instant::now() < deadline, "worker never started");
+            thread::sleep(Duration::from_millis(1));
+        }
+        // Kill it: the supervisor's restart attempt must block waiting
+        // out the in-flight link...
+        set.kill_shard(0);
+        // ...but killing shard 1 too must still be noticed and revived.
+        thread::sleep(Duration::from_millis(20));
+        set.kill_shard(1);
+        assert!(
+            await_health(&set, 1, ShardHealth::Healthy, Duration::from_secs(5)),
+            "a stuck shard-0 restart must not freeze shard 1's revival"
+        );
+        assert_ne!(
+            set.health(0),
+            ShardHealth::Healthy,
+            "shard 0 is still waiting out its in-flight link"
+        );
+        // Release the held link: shard 0's restart completes too.
+        held_client.send(b"done").unwrap();
+        assert_eq!(held.join().unwrap(), 0, "the in-flight link finished");
+        assert!(
+            await_health(&set, 0, ShardHealth::Healthy, Duration::from_secs(5)),
+            "shard 0 revives once its in-flight link resolves"
+        );
+        assert!(await_restarts(&supervisor, 2, Duration::from_secs(5)));
+        assert_eq!(supervisor.stats().restarts, 2);
+    }
+
+    #[test]
+    fn supervisor_exits_when_the_set_shuts_down() {
+        let set = ShardSet::new(
+            ShardConfig {
+                shards: 1,
+                ..ShardConfig::default()
+            },
+            |_id| Ok(EchoServer),
+        )
+        .expect("set");
+        let supervisor = Supervisor::spawn(&set, SupervisorConfig::default());
+        drop(set);
+        // Dropping the supervisor joins its monitor thread; the monitor
+        // must have exited on the shutdown flag rather than deadlocking.
+        drop(supervisor);
+    }
+}

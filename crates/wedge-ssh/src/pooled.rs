@@ -9,13 +9,15 @@
 //!
 //! [`PooledWedgeSsh`] forks N fully partitioned monitor shards (all
 //! sharing one host keypair and auth database) behind `wedge-sched`'s
-//! [`ShardSet`] + [`Acceptor`] front-end: each shard boots its own monitor
-//! over an independent simulated kernel (fork cost charged once at boot),
-//! and incoming connections are distributed with per-shard health and
-//! admission backpressure. Each monitor's isolation story — credential
-//! stores in tagged memory reachable only by their gate, dummy-passwd
-//! responses, uid escalation only through successful authentication — is
-//! exactly that of the sequential server.
+//! generic [`ShardedFrontEnd`]: each shard boots its own monitor over an
+//! independent simulated kernel (fork cost charged once at boot), and the
+//! shared serving stack supplies acceptor placement, per-shard health and
+//! admission backpressure, the listener accept loop, and — when
+//! configured — supervisor auto-restart of killed monitors. Each
+//! monitor's isolation story — credential stores in tagged memory
+//! reachable only by their gate, dummy-passwd responses, uid escalation
+//! only through successful authentication — is exactly that of the
+//! sequential server.
 //!
 //! Exactly one piece of state deliberately crosses shard boundaries, as a
 //! narrow shared service rather than shared tagged memory: the
@@ -24,13 +26,14 @@
 //! database) is an independent copy inside its own kernel.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use wedge_core::{KernelStats, Wedge, WedgeError};
 use wedge_crypto::{RsaKeyPair, RsaPublicKey};
-use wedge_net::Duplex;
+use wedge_net::{Duplex, Listener};
 use wedge_sched::{
-    AcceptPolicy, Acceptor, SchedStats, ShardConfig, ShardJobHandle, ShardServer, ShardSet,
-    ShardStats,
+    AcceptPolicy, FrontEndConfig, KillReport, RestartStats, SchedStats, ShardJobHandle,
+    ShardServer, ShardStats, ShardedFrontEnd, SupervisorConfig,
 };
 
 use crate::authdb::{AuthDb, ServerConfig};
@@ -47,6 +50,8 @@ pub struct PooledSshConfig {
     pub max_inflight: Option<u64>,
     /// How the acceptor places links on shards.
     pub policy: AcceptPolicy,
+    /// Enable the shard watchdog (auto-restart of killed monitors).
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for PooledSshConfig {
@@ -56,6 +61,7 @@ impl Default for PooledSshConfig {
             queue_capacity: 64,
             max_inflight: None,
             policy: AcceptPolicy::RoundRobin,
+            supervisor: None,
         }
     }
 }
@@ -77,16 +83,16 @@ impl ShardServer for WedgeSsh {
     }
 }
 
-/// N Wedge-partitioned SSH monitor shards behind one acceptor.
+/// N Wedge-partitioned SSH monitor shards behind the shared front-end.
 pub struct PooledWedgeSsh {
-    set: ShardSet<WedgeSsh>,
-    acceptor: Acceptor<WedgeSsh>,
+    front: ShardedFrontEnd<WedgeSsh>,
     host_public: RsaPublicKey,
 }
 
 impl PooledWedgeSsh {
     /// Fork `config.shards` monitor shards sharing `host_keypair`, `db`
-    /// and one consumed-OTP ledger, plus the connection acceptor.
+    /// and one consumed-OTP ledger, plus the connection acceptor (and the
+    /// supervisor, when configured).
     pub fn new(
         host_keypair: RsaKeyPair,
         db: &AuthDb,
@@ -100,12 +106,14 @@ impl PooledWedgeSsh {
             Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
         let db = db.clone();
         let server_config = server_config.clone();
-        let set = ShardSet::new(
-            ShardConfig {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
                 shards: config.shards,
                 queue_capacity: config.queue_capacity,
                 max_inflight: config.max_inflight,
-                ..ShardConfig::default()
+                policy: config.policy,
+                supervisor: config.supervisor,
+                ..FrontEndConfig::default()
             },
             move |_shard| {
                 WedgeSsh::with_skey_ledger(
@@ -117,10 +125,8 @@ impl PooledWedgeSsh {
                 )
             },
         )?;
-        let acceptor = Acceptor::new(&set, config.policy);
         Ok(PooledWedgeSsh {
-            set,
-            acceptor,
+            front,
             host_public: host_keypair.public,
         })
     }
@@ -132,28 +138,44 @@ impl PooledWedgeSsh {
 
     /// Number of monitor shards.
     pub fn shards(&self) -> usize {
-        self.set.shards()
+        self.front.shards()
     }
 
-    /// Front-end counters (see [`ShardSet::stats`]).
+    /// Front-end counters (see [`ShardedFrontEnd::sched_stats`]).
     pub fn sched_stats(&self) -> SchedStats {
-        self.set.stats()
+        self.front.sched_stats()
     }
 
-    /// Per-shard snapshots (health, boot cost, depth, counters, kernel).
+    /// Per-shard snapshots (health, boot cost, restarts, depth, counters,
+    /// kernel).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.set.shard_stats()
+        self.front.shard_stats()
     }
 
     /// Kernel counters summed across every monitor shard.
     pub fn kernel_stats(&self) -> KernelStats {
-        self.set.kernel_stats()
+        self.front.kernel_stats()
+    }
+
+    /// The supervisor's restart counters (`None` when unsupervised).
+    pub fn restart_stats(&self) -> Option<RestartStats> {
+        self.front.restart_stats()
     }
 
     /// Kill shard `idx` (fault injection): queued links re-route to
-    /// healthy shards. Returns `(rerouted, shed)`.
-    pub fn kill_shard(&self, idx: usize) -> (usize, usize) {
-        self.set.kill_shard(idx)
+    /// healthy shards; a configured supervisor respawns the monitor.
+    pub fn kill_shard(&self, idx: usize) -> KillReport {
+        self.front.kill_shard(idx)
+    }
+
+    /// Manually revive killed monitor shard `idx`.
+    pub fn restart_shard(&self, idx: usize) -> Result<Duration, WedgeError> {
+        self.front.restart_shard(idx)
+    }
+
+    /// Block until shard `idx` is healthy again, up to `timeout`.
+    pub fn await_healthy(&self, idx: usize, timeout: Duration) -> bool {
+        self.front.await_healthy(idx, timeout)
     }
 
     /// Submit one connection; the handle resolves to the session report,
@@ -161,14 +183,25 @@ impl PooledWedgeSsh {
     /// with [`WedgeError::ResourceExhausted`] only when every shard
     /// rejects.
     pub fn serve(&self, link: Duplex) -> Result<ShardJobHandle<SessionReport>, WedgeError> {
-        self.acceptor.submit(link)
+        self.front.serve(link)
     }
 
     /// Serve every link and return the outcomes **in link order** —
     /// `result[i]` is `links[i]`'s outcome — backing off briefly whenever
     /// every shard pushes back.
     pub fn serve_all(&self, links: Vec<Duplex>) -> Vec<Result<SessionReport, WedgeError>> {
-        self.acceptor.serve_all(links)
+        self.front.serve_all(links)
+    }
+
+    /// Run the accept loop over `listener` until it closes, serving every
+    /// accepted connection with source-address affinity (see
+    /// [`ShardedFrontEnd::serve_listener`]).
+    pub fn serve_listener(
+        &self,
+        listener: &Listener,
+        batch: usize,
+    ) -> Vec<Result<SessionReport, WedgeError>> {
+        self.front.serve_listener(listener, batch)
     }
 }
 
@@ -332,7 +365,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 1,
                 max_inflight: Some(1),
-                policy: AcceptPolicy::RoundRobin,
+                ..PooledSshConfig::default()
             },
         )
         .unwrap();

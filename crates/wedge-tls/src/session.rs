@@ -359,6 +359,20 @@ impl SharedSessionCache {
         )
     }
 
+    /// Fraction of lookups that hit, across every consulting shard —
+    /// the resumption health signal operators watch when placement (e.g.
+    /// a dead shard's affinity keys falling over to a sibling) changes
+    /// which shard consults the cache. `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let (hits, misses) = self.stats();
+        let lookups = hits + misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(hits as f64 / lookups as f64)
+        }
+    }
+
     /// Sessions evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)

@@ -25,6 +25,7 @@ fn main() {
             max_inflight: Some(CONNECTIONS as u64),
             recycled: true,
             policy: wedge::sched::AcceptPolicy::RoundRobin,
+            supervisor: None,
         },
     )
     .expect("build pooled server");

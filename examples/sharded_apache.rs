@@ -27,6 +27,7 @@ fn main() {
             max_inflight: Some(CONNECTIONS as u64),
             recycled: true,
             policy: AcceptPolicy::RoundRobin,
+            supervisor: None,
         },
     )
     .expect("build sharded server");

@@ -36,6 +36,7 @@ fn killing_a_shard_mid_batch_reroutes_queued_links() {
             max_inflight: None,
             recycled: true,
             policy: AcceptPolicy::SessionAffinity,
+            supervisor: None,
         },
     );
     let to_zero = affinity_key(0, 2);
@@ -87,9 +88,12 @@ fn killing_a_shard_mid_batch_reroutes_queued_links() {
     assert_eq!(server.shard_stats()[0].depth, 4, "1 serving + 3 queued");
 
     // Kill the shard under the batch.
-    let (rerouted, shed) = server.kill_shard(0);
-    assert_eq!(rerouted, 3, "every queued link moves to the live shard");
-    assert_eq!(shed, 0);
+    let kill = server.kill_shard(0);
+    assert_eq!(
+        kill.rerouted, 3,
+        "every queued link moves to the live shard"
+    );
+    assert_eq!(kill.failed, 0);
     assert!(!server.shard_stats()[0].healthy);
 
     // No connection is silently dropped: the re-routed links serve on
@@ -150,6 +154,7 @@ fn saturated_shard_is_skipped_until_total_exhaustion() {
             max_inflight: Some(1),
             recycled: true,
             policy: AcceptPolicy::SessionAffinity,
+            supervisor: None,
         },
     );
     let to_zero = affinity_key(0, 2);
