@@ -30,7 +30,7 @@ use wedge_sched::{
     AcceptPolicy, FrontEndConfig, KillReport, RestartStats, SchedStats, ShardJobHandle,
     ShardServer, ShardStats, ShardedFrontEnd, SupervisorConfig,
 };
-use wedge_tls::SharedSessionCache;
+use wedge_tls::{SessionStore, SharedSessionCache};
 
 use crate::http::PageStore;
 use crate::partitioned::{ApacheConfig, ConnectionReport, WedgeApache};
@@ -84,16 +84,16 @@ impl ShardServer for WedgeApache {
 }
 
 /// N forked, partitioned HTTPS shards behind the shared front-end,
-/// sharing only the session-cache lookup service.
+/// sharing only the session-lookup service.
 pub struct ConcurrentApache {
     front: ShardedFrontEnd<WedgeApache>,
-    cache: Arc<SharedSessionCache>,
+    store: Arc<dyn SessionStore>,
     public_key: RsaPublicKey,
 }
 
 impl ConcurrentApache {
     /// Fork `config.shards` shard workers, each booting a partitioned
-    /// instance sharing `keypair` and `pages` — and one
+    /// instance sharing `keypair` and `pages` — and one fresh
     /// [`SharedSessionCache`] — plus the acceptor that distributes
     /// connections over them (and the supervisor, when configured).
     pub fn new(
@@ -101,12 +101,31 @@ impl ConcurrentApache {
         pages: PageStore,
         config: ConcurrentApacheConfig,
     ) -> Result<ConcurrentApache, WedgeError> {
-        let cache = Arc::new(SharedSessionCache::new());
-        let factory_cache = cache.clone();
+        ConcurrentApache::with_session_store(
+            keypair,
+            pages,
+            config,
+            Arc::new(SharedSessionCache::new()),
+        )
+    }
+
+    /// [`ConcurrentApache::new`] with an explicit session-lookup service:
+    /// pass a `wedge_cachenet::CacheRing` and this front-end becomes one
+    /// "machine" of a cross-machine serving fleet — a TLS session
+    /// established through any machine on the same ring resumes here with
+    /// the abbreviated handshake, because every shard's key callgates
+    /// consult the ring instead of a process-local cache.
+    pub fn with_session_store(
+        keypair: RsaKeyPair,
+        pages: PageStore,
+        config: ConcurrentApacheConfig,
+        store: Arc<dyn SessionStore>,
+    ) -> Result<ConcurrentApache, WedgeError> {
+        let factory_store = store.clone();
         let apache_config = ApacheConfig {
             recycled: config.recycled,
         };
-        let front = ShardedFrontEnd::new(
+        let front = ShardedFrontEnd::with_session_store(
             FrontEndConfig {
                 shards: config.shards,
                 queue_capacity: config.queue_capacity,
@@ -115,19 +134,20 @@ impl ConcurrentApache {
                 supervisor: config.supervisor,
                 ..FrontEndConfig::default()
             },
+            store.clone(),
             move |_shard| {
-                WedgeApache::with_session_cache(
+                WedgeApache::with_session_store(
                     Wedge::init(),
                     keypair,
                     pages.clone(),
                     apache_config,
-                    factory_cache.clone(),
+                    factory_store.clone(),
                 )
             },
         )?;
         Ok(ConcurrentApache {
             front,
-            cache,
+            store,
             public_key: keypair.public,
         })
     }
@@ -142,10 +162,17 @@ impl ConcurrentApache {
         self.front.shards()
     }
 
-    /// The cross-shard session-cache service (its `stats`/`hit_rate`
-    /// expose resumption health).
-    pub fn session_cache(&self) -> &Arc<SharedSessionCache> {
-        &self.cache
+    /// The session-lookup service every shard consults — the cross-shard
+    /// shared cache, or the cross-machine ring when configured with one
+    /// (its `stats`/`hit_rate` expose resumption health either way).
+    pub fn session_cache(&self) -> &Arc<dyn SessionStore> {
+        &self.store
+    }
+
+    /// Resumption health as the generic front-end reports it (`None`
+    /// until the store serves its first lookup).
+    pub fn resumption_hit_rate(&self) -> Option<f64> {
+        self.front.resumption_hit_rate()
     }
 
     /// Front-end counters (see [`ShardedFrontEnd::sched_stats`]).

@@ -43,7 +43,7 @@ use wedge_tls::handshake::{
 };
 use wedge_tls::messages::{ClientHello, ClientKeyExchange, Finished, ServerHello};
 use wedge_tls::record::RecordLayer;
-use wedge_tls::{SessionId, SessionKeys, SharedSessionCache};
+use wedge_tls::{SessionId, SessionKeys, SessionStore, SharedSessionCache};
 
 use crate::http::{HttpRequest, PageStore};
 use crate::state::{FinishedState, SessionState, FINISHED_STATE_SIZE, SESSION_STATE_SIZE};
@@ -91,7 +91,7 @@ type LinkSlot = Arc<Mutex<Option<Arc<Duplex>>>>;
 struct KeyGateTrusted {
     key_buf: SBuf,
     session_state: SBuf,
-    cache: Arc<SharedSessionCache>,
+    cache: Arc<dyn SessionStore>,
 }
 
 /// Trusted argument shared by `receive_finished` and `send_finished`.
@@ -166,7 +166,7 @@ pub struct WedgeApache {
     wedge: Wedge,
     pages: PageStore,
     config: ApacheConfig,
-    cache: Arc<SharedSessionCache>,
+    cache: Arc<dyn SessionStore>,
     key_tag: Tag,
     key_buf: SBuf,
     session_tag: Tag,
@@ -195,19 +195,32 @@ impl WedgeApache {
         )
     }
 
-    /// Build the server: allocate the private-key, session-key and
-    /// finished-state regions, and register all six callgate entry points.
-    /// `cache` is the session-cache *service* the key callgates consult —
-    /// pass one shared instance to every shard of a sharded front-end so
-    /// resumption survives landing on a different shard; the shards only
-    /// ever reach it through its narrow insert/lookup API, never through
-    /// tagged memory.
+    /// [`WedgeApache::with_session_store`] with the concrete in-process
+    /// cache (the common case for one machine's sharded front-end).
     pub fn with_session_cache(
         wedge: Wedge,
         keypair: RsaKeyPair,
         pages: PageStore,
         config: ApacheConfig,
         cache: Arc<SharedSessionCache>,
+    ) -> Result<WedgeApache, WedgeError> {
+        WedgeApache::with_session_store(wedge, keypair, pages, config, cache)
+    }
+
+    /// Build the server: allocate the private-key, session-key and
+    /// finished-state regions, and register all six callgate entry points.
+    /// `cache` is the session-lookup *service* the key callgates consult —
+    /// pass one shared [`SharedSessionCache`] to every shard of a sharded
+    /// front-end so resumption survives landing on a different shard, or
+    /// a `wedge_cachenet::CacheRing` so it survives landing on a different
+    /// *machine*; the compartments only ever reach it through the narrow
+    /// [`SessionStore`] insert/lookup API, never through tagged memory.
+    pub fn with_session_store(
+        wedge: Wedge,
+        keypair: RsaKeyPair,
+        pages: PageStore,
+        config: ApacheConfig,
+        cache: Arc<dyn SessionStore>,
     ) -> Result<WedgeApache, WedgeError> {
         let root = wedge.root();
         let key_tag = root.tag_new()?;
@@ -323,9 +336,9 @@ impl WedgeApache {
         &self.wedge
     }
 
-    /// The session-cache service this instance consults (shared across
-    /// shards in a sharded front-end).
-    pub fn session_cache(&self) -> &Arc<SharedSessionCache> {
+    /// The session-lookup service this instance consults (shared across
+    /// shards — and, when it is a cache ring, across machines).
+    pub fn session_cache(&self) -> &Arc<dyn SessionStore> {
         &self.cache
     }
 

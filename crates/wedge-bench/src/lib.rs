@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cachenet;
 pub mod fast_path;
 pub mod harness;
 pub mod listener;
@@ -16,6 +17,10 @@ pub mod pooled;
 pub mod sharded;
 pub mod spec;
 
+pub use cachenet::{
+    cachenet_bench_json, measure_lookup_latency, run_cross_machine, CachenetWorkload,
+    LatencyComparison, ResumptionRun,
+};
 pub use fast_path::{
     compare_fast_path, run_concurrent_reads, FastPathComparison, FastPathWorkload, KernelProfile,
 };

@@ -1,0 +1,580 @@
+//! The cache node: one partition of the distributed session cache,
+//! served over a [`wedge_net::Listener`] accept loop.
+//!
+//! A node owns a [`SharedSessionCache`] **partition** (the same bounded
+//! LRU service a single machine's shards share) and speaks the `proto`
+//! frames over every accepted link. Ring clients connect once and keep
+//! the link; a node serves any number of concurrent links, one handler
+//! thread each.
+//!
+//! ## Epochs
+//!
+//! Every node carries an **epoch**, stamped on every response. Entries
+//! are stored with the epoch they were inserted under; a [`CacheNode::restart`]
+//! bumps the epoch, so entries surviving from before the restart are
+//! **stale**: the next lookup that touches one invalidates it and
+//! answers `Miss` instead of serving it. This models the operational
+//! hazard of a cache node coming back with outdated state (a partition
+//! heals, a machine reboots with a warm disk cache) — the protocol
+//! guarantees a restarted node never serves a pre-restart secret, and
+//! clients observe the epoch change on the very first reply.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use wedge_net::{Duplex, Listener, NetError, RecvTimeout, SourceAddr};
+use wedge_tls::SharedSessionCache;
+
+use crate::proto::{ProtoError, Request, Response, MAX_PAYLOAD};
+
+/// How a cache node is sized and named.
+#[derive(Debug, Clone)]
+pub struct CacheNodeConfig {
+    /// The node's name (listener name; shows up in link traces and is the
+    /// ring's routing seed, so both "machines" must use the same names).
+    pub name: String,
+    /// Accept-queue depth of the node's listener.
+    pub backlog: usize,
+    /// Bound on sessions resident in this node's partition.
+    pub capacity: usize,
+}
+
+impl CacheNodeConfig {
+    /// A node named `name` with default sizing.
+    pub fn named(name: &str) -> CacheNodeConfig {
+        CacheNodeConfig {
+            name: name.to_string(),
+            backlog: 64,
+            capacity: wedge_tls::DEFAULT_SESSION_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Counters a node accumulates (all monotonic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheNodeStats {
+    /// Lookup requests served.
+    pub lookups: u64,
+    /// Lookups answered `Hit`.
+    pub hits: u64,
+    /// Lookups answered `Miss` (unknown id).
+    pub misses: u64,
+    /// Lookups that found a **stale** (pre-restart) entry: invalidated
+    /// and answered `Miss`, never served.
+    pub stale_invalidated: u64,
+    /// Insert requests applied.
+    pub inserts: u64,
+    /// Invalidate requests applied.
+    pub invalidations: u64,
+    /// Ping requests answered.
+    pub pings: u64,
+    /// Frames that failed to decode or were refused (answered `Err`).
+    pub bad_frames: u64,
+    /// Links accepted over the node's lifetime.
+    pub links_accepted: u64,
+}
+
+#[derive(Debug, Default)]
+struct NodeCounters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_invalidated: AtomicU64,
+    inserts: AtomicU64,
+    invalidations: AtomicU64,
+    pings: AtomicU64,
+    bad_frames: AtomicU64,
+    links_accepted: AtomicU64,
+}
+
+/// The shared state behind a node and its endpoint handles.
+struct NodeShared {
+    name: String,
+    /// The current listener. Swapped on restart; endpoint handles dial
+    /// through this slot, so a node's "address" survives its restarts.
+    listener: RwLock<Arc<Listener>>,
+    /// The node's partition. Values are `epoch (8 bytes LE) ‖ premaster`.
+    partition: SharedSessionCache,
+    backlog: usize,
+    epoch: AtomicU64,
+    up: AtomicBool,
+    /// Server ends of live links, so a kill can unblock their handlers.
+    links: Mutex<Vec<Arc<Duplex>>>,
+    counters: NodeCounters,
+}
+
+/// A dialable handle to a node's "address": cloneable, cheap, and stable
+/// across node restarts (the listener behind it is swapped in place).
+#[derive(Clone)]
+pub struct CacheEndpoint {
+    shared: Arc<NodeShared>,
+}
+
+impl std::fmt::Debug for CacheEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEndpoint")
+            .field("node", &self.shared.name)
+            .finish()
+    }
+}
+
+impl CacheEndpoint {
+    /// The node's name (the ring's routing seed).
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Dial the node from `source`. Fails with [`NetError::Disconnected`]
+    /// while the node is down.
+    pub fn dial(&self, source: SourceAddr) -> Result<Duplex, NetError> {
+        let listener = self.shared.listener.read().clone();
+        listener.connect(source)
+    }
+}
+
+/// One partition of the distributed session cache, behind its own
+/// listener accept loop. Dropping the node kills it and joins every
+/// thread it spawned.
+pub struct CacheNode {
+    shared: Arc<NodeShared>,
+    /// The accept-loop thread (one per bind; replaced on restart) plus
+    /// every link handler it spawned.
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for CacheNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheNode")
+            .field("name", &self.shared.name)
+            .field("epoch", &self.epoch())
+            .field("up", &self.is_up())
+            .field("sessions", &self.shared.partition.len())
+            .finish()
+    }
+}
+
+impl CacheNode {
+    /// Bind and start a node: its listener accepts immediately.
+    pub fn spawn(config: CacheNodeConfig) -> CacheNode {
+        let shared = Arc::new(NodeShared {
+            listener: RwLock::new(Listener::bind(&config.name, config.backlog.max(1))),
+            name: config.name,
+            partition: SharedSessionCache::with_capacity(config.capacity.max(1)),
+            backlog: config.backlog.max(1),
+            epoch: AtomicU64::new(1),
+            up: AtomicBool::new(true),
+            links: Mutex::new(Vec::new()),
+            counters: NodeCounters::default(),
+        });
+        let node = CacheNode {
+            shared,
+            threads: Mutex::new(Vec::new()),
+        };
+        node.start_accept_loop();
+        node
+    }
+
+    /// The dialable handle ring clients route to. Stable across
+    /// [`CacheNode::restart`].
+    pub fn endpoint(&self) -> CacheEndpoint {
+        CacheEndpoint {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The node's current epoch (starts at 1, +1 per restart).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Is the node accepting links?
+    pub fn is_up(&self) -> bool {
+        self.shared.up.load(Ordering::SeqCst)
+    }
+
+    /// Sessions resident in the partition (stale ones included until a
+    /// lookup invalidates them).
+    pub fn len(&self) -> usize {
+        self.shared.partition.len()
+    }
+
+    /// Is the partition empty?
+    pub fn is_empty(&self) -> bool {
+        self.shared.partition.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheNodeStats {
+        let c = &self.shared.counters;
+        CacheNodeStats {
+            lookups: c.lookups.load(Ordering::Relaxed),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            stale_invalidated: c.stale_invalidated.load(Ordering::Relaxed),
+            inserts: c.inserts.load(Ordering::Relaxed),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+            pings: c.pings.load(Ordering::Relaxed),
+            bad_frames: c.bad_frames.load(Ordering::Relaxed),
+            links_accepted: c.links_accepted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Kill the node (fault injection / planned shutdown): the listener
+    /// closes, every live link is hung up, every handler thread exits and
+    /// is joined. The partition's contents are retained — that is the
+    /// point of the epoch mechanism; see [`CacheNode::restart`].
+    pub fn kill(&self) {
+        self.shared.up.store(false, Ordering::SeqCst);
+        self.shared.listener.read().close();
+        for link in self.shared.links.lock().drain(..) {
+            link.close();
+        }
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for handle in threads {
+            let _ = handle.join();
+        }
+    }
+
+    /// Bring a killed node back with a **bumped epoch**: a fresh listener
+    /// is swapped into the endpoint slot (so existing [`CacheEndpoint`]s
+    /// reconnect without new wiring), and every entry surviving from the
+    /// previous epoch is now stale — served as `Miss` and invalidated on
+    /// first touch, never handed out.
+    pub fn restart(&self) {
+        if self.is_up() {
+            return;
+        }
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        *self.shared.listener.write() = Listener::bind(&self.shared.name, self.shared.backlog);
+        self.shared.up.store(true, Ordering::SeqCst);
+        self.start_accept_loop();
+    }
+
+    fn start_accept_loop(&self) {
+        let shared = self.shared.clone();
+        let listener = shared.listener.read().clone();
+        let node = self.shared.clone();
+        let accept = std::thread::Builder::new()
+            .name(format!("cachenode-{}", node.name))
+            .spawn(move || {
+                let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                loop {
+                    match listener.accept(RecvTimeout::After(Duration::from_millis(20))) {
+                        Ok(link) => {
+                            // Clients churn links (a ring re-dials after
+                            // every failure), so a long-lived node must
+                            // not keep one registry entry and one join
+                            // handle per link *ever accepted*: reap
+                            // finished handlers and dead links (only the
+                            // registry still holds them) on each accept.
+                            handlers = handlers
+                                .into_iter()
+                                .filter_map(|handler| {
+                                    if handler.is_finished() {
+                                        let _ = handler.join();
+                                        None
+                                    } else {
+                                        Some(handler)
+                                    }
+                                })
+                                .collect();
+                            shared
+                                .links
+                                .lock()
+                                .retain(|link| Arc::strong_count(link) > 1);
+                            shared
+                                .counters
+                                .links_accepted
+                                .fetch_add(1, Ordering::Relaxed);
+                            let link = Arc::new(link);
+                            shared.links.lock().push(link.clone());
+                            let shared = shared.clone();
+                            handlers.push(
+                                std::thread::Builder::new()
+                                    .name(format!("cachenode-{}-link", shared.name))
+                                    .spawn(move || serve_link(&shared, &link))
+                                    .expect("spawn link handler"),
+                            );
+                        }
+                        Err(NetError::Timeout) => {
+                            if !shared.up.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for handler in handlers {
+                    let _ = handler.join();
+                }
+            })
+            .expect("spawn accept loop");
+        self.threads.lock().push(accept);
+    }
+}
+
+impl Drop for CacheNode {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Serve one client link until it hangs up or the node dies.
+fn serve_link(shared: &NodeShared, link: &Duplex) {
+    loop {
+        let frame = match link.recv(RecvTimeout::After(Duration::from_millis(50))) {
+            Ok(frame) => frame,
+            Err(NetError::Timeout) => {
+                if shared.up.load(Ordering::SeqCst) {
+                    continue;
+                }
+                return;
+            }
+            Err(_) => return,
+        };
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        let response = match Request::decode(&frame) {
+            Ok(request) => apply(shared, epoch, request),
+            Err(err) => {
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                Response::Err {
+                    epoch,
+                    message: refusal(&err),
+                }
+            }
+        };
+        if link.send(&response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn refusal(err: &ProtoError) -> String {
+    format!("refused: {err}")
+}
+
+/// Apply one request against the partition, epoch rules included.
+fn apply(shared: &NodeShared, epoch: u64, request: Request) -> Response {
+    let c = &shared.counters;
+    match request {
+        Request::Lookup(id) => {
+            c.lookups.fetch_add(1, Ordering::Relaxed);
+            match shared.partition.lookup(&id) {
+                Some(value) => match split_epoch(&value) {
+                    Some((entry_epoch, premaster)) if entry_epoch == epoch => {
+                        c.hits.fetch_add(1, Ordering::Relaxed);
+                        Response::Hit {
+                            epoch,
+                            premaster: premaster.to_vec(),
+                        }
+                    }
+                    _ => {
+                        // Stale (pre-restart) or unparseable: invalidate,
+                        // never serve.
+                        shared.partition.remove(&id);
+                        c.stale_invalidated.fetch_add(1, Ordering::Relaxed);
+                        Response::Miss { epoch }
+                    }
+                },
+                None => {
+                    c.misses.fetch_add(1, Ordering::Relaxed);
+                    Response::Miss { epoch }
+                }
+            }
+        }
+        Request::Insert(id, premaster) => {
+            if premaster.len() > MAX_PAYLOAD - 8 {
+                c.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return Response::Err {
+                    epoch,
+                    message: "refused: oversize premaster".to_string(),
+                };
+            }
+            c.inserts.fetch_add(1, Ordering::Relaxed);
+            shared.partition.insert(id, join_epoch(epoch, &premaster));
+            Response::Ok { epoch }
+        }
+        Request::Invalidate(id) => {
+            c.invalidations.fetch_add(1, Ordering::Relaxed);
+            shared.partition.remove(&id);
+            Response::Ok { epoch }
+        }
+        Request::Ping => {
+            c.pings.fetch_add(1, Ordering::Relaxed);
+            Response::Ok { epoch }
+        }
+    }
+}
+
+/// Tag a premaster with the epoch it was inserted under.
+fn join_epoch(epoch: u64, premaster: &[u8]) -> Vec<u8> {
+    let mut value = Vec::with_capacity(8 + premaster.len());
+    value.extend_from_slice(&epoch.to_le_bytes());
+    value.extend_from_slice(premaster);
+    value
+}
+
+/// Split a stored value back into `(epoch, premaster)`.
+fn split_epoch(value: &[u8]) -> Option<(u64, &[u8])> {
+    if value.len() < 8 {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(value[..8].try_into().ok()?);
+    Some((epoch, &value[8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wedge_tls::SessionId;
+
+    fn id(byte: u8) -> SessionId {
+        SessionId::from_bytes(&[byte; 16]).unwrap()
+    }
+
+    fn source(last: u8) -> SourceAddr {
+        SourceAddr::new([10, 1, 0, last], 50_000)
+    }
+
+    /// Dial, speak one request, await one response.
+    fn roundtrip(endpoint: &CacheEndpoint, request: &Request) -> Response {
+        let link = endpoint.dial(source(1)).expect("dial");
+        link.send(&request.encode()).expect("send");
+        let frame = link
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .expect("response");
+        Response::decode(&frame).expect("decode")
+    }
+
+    #[test]
+    fn insert_then_lookup_hits_with_the_node_epoch() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("n0"));
+        let endpoint = node.endpoint();
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Insert(id(1), b"pm".to_vec())),
+            Response::Ok { epoch: 1 }
+        );
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Lookup(id(1))),
+            Response::Hit {
+                epoch: 1,
+                premaster: b"pm".to_vec()
+            }
+        );
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Lookup(id(2))),
+            Response::Miss { epoch: 1 }
+        );
+        let stats = node.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn one_link_serves_many_requests_in_order() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("pipelined"));
+        let link = node.endpoint().dial(source(2)).expect("dial");
+        for byte in 0..10u8 {
+            link.send(&Request::Insert(id(byte), vec![byte]).encode())
+                .unwrap();
+            let frame = link
+                .recv(RecvTimeout::After(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(Response::decode(&frame).unwrap(), Response::Ok { epoch: 1 });
+        }
+        assert_eq!(node.len(), 10);
+        assert_eq!(node.stats().links_accepted, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_ping_reports_the_epoch() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("inval"));
+        let endpoint = node.endpoint();
+        roundtrip(&endpoint, &Request::Insert(id(3), b"x".to_vec()));
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Invalidate(id(3))),
+            Response::Ok { epoch: 1 }
+        );
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Lookup(id(3))),
+            Response::Miss { epoch: 1 }
+        );
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Ping),
+            Response::Ok { epoch: 1 }
+        );
+        assert!(node.is_empty());
+    }
+
+    #[test]
+    fn malformed_frames_get_err_and_the_link_survives() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("rude"));
+        let link = node.endpoint().dial(source(3)).expect("dial");
+        link.send(b"not a frame").unwrap();
+        let frame = link
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .unwrap();
+        assert!(matches!(
+            Response::decode(&frame).unwrap(),
+            Response::Err { epoch: 1, .. }
+        ));
+        // The same link still serves well-formed traffic.
+        link.send(&Request::Ping.encode()).unwrap();
+        let frame = link
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(Response::decode(&frame).unwrap(), Response::Ok { epoch: 1 });
+        assert_eq!(node.stats().bad_frames, 1);
+    }
+
+    #[test]
+    fn restart_bumps_the_epoch_and_invalidates_stale_entries() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("phoenix"));
+        let endpoint = node.endpoint();
+        roundtrip(&endpoint, &Request::Insert(id(7), b"old-secret".to_vec()));
+        assert_eq!(node.len(), 1, "entry resident before the restart");
+
+        node.kill();
+        assert!(!node.is_up());
+        assert!(
+            endpoint.dial(source(4)).is_err(),
+            "a dead node refuses dials"
+        );
+        node.restart();
+        assert!(node.is_up());
+        assert_eq!(node.epoch(), 2);
+        assert_eq!(node.len(), 1, "the stale entry physically survived");
+
+        // The stale entry is invalidated on first touch — answered Miss,
+        // never served.
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Lookup(id(7))),
+            Response::Miss { epoch: 2 }
+        );
+        assert_eq!(node.stats().stale_invalidated, 1);
+        assert!(node.is_empty(), "the stale entry is gone after the touch");
+
+        // Fresh inserts under the new epoch serve normally.
+        roundtrip(&endpoint, &Request::Insert(id(7), b"new-secret".to_vec()));
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Lookup(id(7))),
+            Response::Hit {
+                epoch: 2,
+                premaster: b"new-secret".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn kill_unblocks_live_links_without_hanging() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("killed"));
+        let link = node.endpoint().dial(source(5)).expect("dial");
+        node.kill();
+        // The client's next receive resolves (disconnect), never hangs.
+        let err = link.recv(RecvTimeout::After(Duration::from_secs(5)));
+        assert!(err.is_err(), "dead node must hang up, not hang");
+    }
+}

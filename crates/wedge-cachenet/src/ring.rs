@@ -1,0 +1,609 @@
+//! The cache ring: a machine's client for the distributed session cache.
+//!
+//! A [`CacheRing`] routes each [`SessionId`] to one [`CacheEndpoint`]
+//! with **rendezvous (highest-random-weight) hashing** — every machine
+//! holding the same node list agrees on the owner of every key with no
+//! coordination, and when a node dies only its own keys move (to their
+//! next-highest-scoring node), which is the consistent-hashing property
+//! the ring needs to survive node churn.
+//!
+//! Remote operations are **bounded-latency**: one routed node, one
+//! request, one reply awaited for at most
+//! [`CacheRingConfig::op_timeout`]. Failures (dial refused, link dropped,
+//! timeout) feed a per-node **circuit breaker** — after
+//! [`CacheRingConfig::breaker_threshold`] consecutive failures the node is
+//! skipped outright for [`CacheRingConfig::breaker_cooldown`], then
+//! probed again (half-open). While a node's circuit is open its keys
+//! route to their next-best node, so a dead node costs the ring one
+//! timeout per key at most once per cooldown, not per lookup.
+//!
+//! The ring is itself a [`SessionStore`]: servers cannot tell it from the
+//! in-process [`SharedSessionCache`]. Lookups **miss through** to a local
+//! cache tier (so a machine keeps resuming its own sessions with every
+//! cache node dead), inserts **write through** (local tier + routed
+//! node), and every reply's epoch is tracked per node so a restarted
+//! node is observable the moment it answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use wedge_net::duplex::fnv1a;
+use wedge_net::{Duplex, RecvTimeout, SourceAddr};
+use wedge_tls::{SessionId, SessionStore, SharedSessionCache};
+
+use crate::node::CacheEndpoint;
+use crate::proto::{Request, Response};
+
+/// Ring-client tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheRingConfig {
+    /// The machine's own source address (stamped on every dialed link, so
+    /// node-side traces and rate limiters see who is asking).
+    pub source: SourceAddr,
+    /// Hard bound on one remote operation's reply wait.
+    pub op_timeout: Duration,
+    /// Consecutive failures that open a node's circuit (minimum 1).
+    pub breaker_threshold: u32,
+    /// How long an open circuit skips the node before a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Capacity of the local miss-through tier.
+    pub local_capacity: usize,
+}
+
+impl Default for CacheRingConfig {
+    fn default() -> Self {
+        CacheRingConfig {
+            source: SourceAddr::new([127, 0, 0, 1], 0),
+            op_timeout: Duration::from_millis(250),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            local_capacity: wedge_tls::DEFAULT_SESSION_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Ring-level counters (all monotonic).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheRingStats {
+    /// Lookups answered by a cache node's `Hit`.
+    pub remote_hits: u64,
+    /// Lookups a cache node answered `Miss`.
+    pub remote_misses: u64,
+    /// Lookups answered by the local tier after the remote path failed or
+    /// missed.
+    pub local_hits: u64,
+    /// Write-through inserts acknowledged `Ok` by a node.
+    pub write_throughs: u64,
+    /// Remote operations that failed (dial, send, timeout, decode) —
+    /// each also feeds the owning node's circuit breaker.
+    pub failures: u64,
+    /// Times a node's circuit breaker opened.
+    pub circuit_opens: u64,
+    /// Epoch changes observed in node replies (each one is a detected
+    /// node restart).
+    pub epoch_changes: u64,
+    /// Operations that found **no** routable node (every circuit open):
+    /// served purely by the local tier.
+    pub all_nodes_down: u64,
+}
+
+/// Breaker state for one node.
+#[derive(Debug)]
+struct Breaker {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+struct RingNode {
+    endpoint: CacheEndpoint,
+    /// Routing seed: FNV-1a of the node name. Machines sharing a node
+    /// list derive identical seeds, hence identical routing.
+    seed: u64,
+    /// The persistent link to the node (re-dialed on demand; dropped on
+    /// any failure so a desynchronised reply can never be mis-paired).
+    conn: Mutex<Option<Duplex>>,
+    breaker: Mutex<Breaker>,
+    /// Last epoch seen in a reply from this node (0 = none yet).
+    last_epoch: AtomicU64,
+}
+
+impl RingNode {
+    /// May this node be routed to right now? An open circuit says no
+    /// until its cooldown passes; then one caller probes it (half-open).
+    fn routable(&self, now: Instant) -> bool {
+        let breaker = self.breaker.lock();
+        match breaker.open_until {
+            Some(until) => now >= until,
+            None => true,
+        }
+    }
+}
+
+/// The distributed session-cache client: rendezvous routing over the
+/// node endpoints, circuit breaking, local miss-through tier.
+pub struct CacheRing {
+    nodes: Vec<RingNode>,
+    local: SharedSessionCache,
+    config: CacheRingConfig,
+    remote_hits: AtomicU64,
+    remote_misses: AtomicU64,
+    local_hits: AtomicU64,
+    write_throughs: AtomicU64,
+    failures: AtomicU64,
+    circuit_opens: AtomicU64,
+    epoch_changes: AtomicU64,
+    all_nodes_down: AtomicU64,
+    /// Store-level hit/miss counters (the [`SessionStore`] contract).
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CacheRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheRing")
+            .field("nodes", &self.nodes.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CacheRing {
+    /// A ring over `endpoints`. Routing depends only on the node *names*,
+    /// so two machines given the same endpoints (in any order) route every
+    /// key identically.
+    pub fn new(endpoints: Vec<CacheEndpoint>, config: CacheRingConfig) -> CacheRing {
+        CacheRing {
+            nodes: endpoints
+                .into_iter()
+                .map(|endpoint| RingNode {
+                    seed: fnv1a(endpoint.name().as_bytes()),
+                    endpoint,
+                    conn: Mutex::new(None),
+                    breaker: Mutex::new(Breaker {
+                        consecutive_failures: 0,
+                        open_until: None,
+                    }),
+                    last_epoch: AtomicU64::new(0),
+                })
+                .collect(),
+            local: SharedSessionCache::with_capacity(config.local_capacity.max(1)),
+            config: CacheRingConfig {
+                breaker_threshold: config.breaker_threshold.max(1),
+                ..config
+            },
+            remote_hits: AtomicU64::new(0),
+            remote_misses: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+            write_throughs: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            circuit_opens: AtomicU64::new(0),
+            epoch_changes: AtomicU64::new(0),
+            all_nodes_down: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of nodes in the ring (routable or not).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ring counters so far.
+    pub fn stats(&self) -> CacheRingStats {
+        CacheRingStats {
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_misses: self.remote_misses.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            write_throughs: self.write_throughs.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            circuit_opens: self.circuit_opens.load(Ordering::Relaxed),
+            epoch_changes: self.epoch_changes.load(Ordering::Relaxed),
+            all_nodes_down: self.all_nodes_down.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The last epoch each node reported, in node order (0 = no reply
+    /// yet). A bump against an earlier snapshot is a detected restart.
+    pub fn node_epochs(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|node| node.last_epoch.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The node index `id` routes to when every node is routable —
+    /// exposed so tests (and operators) can predict placement.
+    pub fn route_of(&self, id: &SessionId) -> Option<usize> {
+        self.ranked(id).first().copied()
+    }
+
+    /// Node indexes ranked by rendezvous score for `id`, best first.
+    fn ranked(&self, id: &SessionId) -> Vec<usize> {
+        let key = id.bucket_key();
+        let mut scored: Vec<(u64, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| {
+                // Mix the node seed with the key; Fibonacci-multiply and
+                // keep the well-mixed high word as the score.
+                let score = (node.seed ^ key).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (score, idx)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored.into_iter().map(|(_, idx)| idx).collect()
+    }
+
+    /// The first routable node for `id`, honouring open circuits.
+    fn routed_node(&self, id: &SessionId) -> Option<&RingNode> {
+        let now = Instant::now();
+        self.ranked(id)
+            .into_iter()
+            .map(|idx| &self.nodes[idx])
+            .find(|node| node.routable(now))
+    }
+
+    /// One remote round trip on `node`'s persistent link, bounded by
+    /// `op_timeout`. Any failure drops the link (the next call re-dials)
+    /// and feeds the breaker.
+    ///
+    /// The conn mutex is held across the round trip, so concurrent ops
+    /// from one machine to the same node serialize — `op_timeout` bounds
+    /// each op once it holds the link, and a caller queued behind k ops
+    /// can wait up to (k+1)× that. With sub-millisecond node round trips
+    /// this is noise; per-node pipelining (request ids on the wire) is
+    /// the upgrade path if node handlers ever become slow.
+    fn remote(&self, node: &RingNode, request: &Request) -> Option<Response> {
+        let mut conn = node.conn.lock();
+        let outcome = self.remote_locked(&mut conn, node, request);
+        match outcome {
+            Some(response) => {
+                {
+                    let mut breaker = node.breaker.lock();
+                    breaker.consecutive_failures = 0;
+                    breaker.open_until = None;
+                }
+                let epoch = response.epoch();
+                let previous = node.last_epoch.swap(epoch, Ordering::Relaxed);
+                if previous != 0 && previous != epoch {
+                    self.epoch_changes.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(response)
+            }
+            None => {
+                *conn = None;
+                drop(conn);
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                let mut breaker = node.breaker.lock();
+                breaker.consecutive_failures += 1;
+                if breaker.consecutive_failures >= self.config.breaker_threshold {
+                    // (Re)open the circuit; a half-open probe that fails
+                    // lands here again and re-arms the cooldown.
+                    breaker.open_until = Some(Instant::now() + self.config.breaker_cooldown);
+                    self.circuit_opens.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
+    }
+
+    fn remote_locked(
+        &self,
+        conn: &mut Option<Duplex>,
+        node: &RingNode,
+        request: &Request,
+    ) -> Option<Response> {
+        if conn.is_none() {
+            *conn = Some(node.endpoint.dial(self.config.source).ok()?);
+        }
+        let link = conn.as_ref().expect("dialed above");
+        link.send(&request.encode()).ok()?;
+        let frame = link.recv(RecvTimeout::After(self.config.op_timeout)).ok()?;
+        Response::decode(&frame).ok()
+    }
+
+    /// The local miss-through tier (a machine's own recently seen
+    /// sessions; also the only tier left when every circuit is open).
+    pub fn local(&self) -> &SharedSessionCache {
+        &self.local
+    }
+}
+
+impl SessionStore for CacheRing {
+    /// Write-through: the local tier always takes the session; the routed
+    /// node takes it best-effort (a failure feeds the breaker and is
+    /// absorbed — the handshake must never block on cache plumbing).
+    fn insert(&self, id: SessionId, premaster: Vec<u8>) {
+        self.local.insert(id, premaster.clone());
+        match self.routed_node(&id) {
+            Some(node) => {
+                if let Some(Response::Ok { .. }) =
+                    self.remote(node, &Request::Insert(id, premaster))
+                {
+                    self.write_throughs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {
+                self.all_nodes_down.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remote-first with local miss-through: ask the routed node (one
+    /// bounded round trip); on `Hit` warm the local tier and return; on
+    /// `Miss`, failure, or an all-open ring fall back to the local tier.
+    fn lookup(&self, id: &SessionId) -> Option<Vec<u8>> {
+        let remote = match self.routed_node(id) {
+            Some(node) => self.remote(node, &Request::Lookup(*id)),
+            None => {
+                self.all_nodes_down.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
+        let found = match remote {
+            Some(Response::Hit { premaster, .. }) => {
+                self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                // Warm the local tier so a node death right after this
+                // still resumes the session locally.
+                self.local.insert(*id, premaster.clone());
+                Some(premaster)
+            }
+            other => {
+                if matches!(other, Some(Response::Miss { .. })) {
+                    self.remote_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let local = self.local.lookup(id);
+                if local.is_some() {
+                    self.local_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                local
+            }
+        };
+        if found.is_some() {
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.store_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Remove everywhere: local tier immediately, then `Invalidate`
+    /// **broadcast to every node, circuits ignored**. Removal is the
+    /// compromise-response path, so it must not inherit the lookup
+    /// path's availability trade-offs: the session may be resident on a
+    /// non-owner node (inserted while the owner's circuit was open), and
+    /// an owner skipped because its breaker is open would come back
+    /// after cooldown still holding — and serving — the revoked
+    /// premaster. Each send is still bounded by `op_timeout`; a node
+    /// that is truly down holds nothing it can serve until it restarts,
+    /// and a restart epoch-invalidates whatever it held.
+    fn remove(&self, id: &SessionId) {
+        self.local.remove(id);
+        for node in &self.nodes {
+            let _ = self.remote(node, &Request::Invalidate(*id));
+        }
+    }
+
+    /// `(hits, misses)` of ring lookups as a whole (remote and local
+    /// tiers combined): one lookup, one count — the same contract
+    /// [`SharedSessionCache::hit_rate`] documents.
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.store_hits.load(Ordering::Relaxed),
+            self.store_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sessions resident in the **local** tier (the distributed total is
+    /// a per-node property; see [`crate::CacheNode::len`]).
+    fn len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{CacheNode, CacheNodeConfig};
+
+    fn id(byte: u8) -> SessionId {
+        SessionId::from_bytes(&[byte; 16]).unwrap()
+    }
+
+    fn quick_config() -> CacheRingConfig {
+        CacheRingConfig {
+            source: SourceAddr::new([10, 2, 0, 1], 40_000),
+            op_timeout: Duration::from_millis(200),
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_millis(50),
+            local_capacity: 128,
+        }
+    }
+
+    fn three_nodes() -> (Vec<CacheNode>, CacheRing) {
+        let nodes: Vec<CacheNode> = (0..3)
+            .map(|n| CacheNode::spawn(CacheNodeConfig::named(&format!("cache-{n}"))))
+            .collect();
+        let ring = CacheRing::new(
+            nodes.iter().map(CacheNode::endpoint).collect(),
+            quick_config(),
+        );
+        (nodes, ring)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let (_nodes, ring) = three_nodes();
+        let (_nodes2, ring2) = three_nodes();
+        let mut used = std::collections::HashSet::new();
+        for byte in 0..64u8 {
+            let route = ring.route_of(&id(byte)).unwrap();
+            assert_eq!(
+                route,
+                ring2.route_of(&id(byte)).unwrap(),
+                "two machines must agree on every key's owner"
+            );
+            used.insert(route);
+        }
+        assert_eq!(used.len(), 3, "64 keys must touch all 3 nodes");
+    }
+
+    #[test]
+    fn insert_on_one_ring_is_visible_to_another_machine() {
+        let (nodes, ring_a) = three_nodes();
+        // Machine B: its own ring over the same endpoints.
+        let ring_b = CacheRing::new(
+            nodes.iter().map(CacheNode::endpoint).collect(),
+            CacheRingConfig {
+                source: SourceAddr::new([10, 2, 0, 2], 40_001),
+                ..quick_config()
+            },
+        );
+        ring_a.insert(id(1), b"premaster".to_vec());
+        assert_eq!(
+            ring_b.lookup(&id(1)).expect("cross-machine hit"),
+            b"premaster"
+        );
+        assert_eq!(ring_b.stats_of_store(), (1, 0));
+        assert_eq!(ring_b.stats().remote_hits, 1);
+        assert_eq!(
+            ring_b.local.len(),
+            1,
+            "a remote hit warms machine B's local tier"
+        );
+        // Totals live on the nodes, one of which holds the key.
+        let resident: usize = nodes.iter().map(CacheNode::len).sum();
+        assert_eq!(resident, 1);
+    }
+
+    #[test]
+    fn dead_node_falls_back_to_local_tier_without_hanging() {
+        let (nodes, ring) = three_nodes();
+        ring.insert(id(9), b"pm".to_vec());
+        let owner = ring.route_of(&id(9)).unwrap();
+        nodes[owner].kill();
+        let started = Instant::now();
+        assert_eq!(
+            ring.lookup(&id(9)).expect("local miss-through"),
+            b"pm",
+            "the local tier must still resume the session"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "bounded latency even with the owner dead"
+        );
+        assert_eq!(ring.stats().local_hits, 1);
+        assert!(ring.stats().failures >= 1);
+        assert_eq!(ring.stats().circuit_opens, 1);
+    }
+
+    #[test]
+    fn open_circuit_reroutes_keys_to_the_next_node() {
+        let (nodes, ring) = three_nodes();
+        let owner = ring.route_of(&id(3)).unwrap();
+        nodes[owner].kill();
+        // First insert eats the failure and opens the circuit...
+        ring.insert(id(3), b"pm".to_vec());
+        assert_eq!(ring.stats().circuit_opens, 1);
+        // ...the next insert routes straight to the runner-up node.
+        ring.insert(id(3), b"pm".to_vec());
+        assert_eq!(ring.stats().write_throughs, 1);
+        let resident: usize = nodes
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| *idx != owner)
+            .map(|(_, node)| node.len())
+            .sum();
+        assert_eq!(resident, 1, "the key lives on a surviving node now");
+        // And a lookup through the rerouted path hits remotely.
+        assert!(ring.lookup(&id(3)).is_some());
+        assert!(ring.stats().remote_hits >= 1);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_a_restarted_node() {
+        let (nodes, ring) = three_nodes();
+        let owner = ring.route_of(&id(5)).unwrap();
+        // Seed an epoch observation so the restart is detectable.
+        ring.insert(id(5), b"pm".to_vec());
+        assert_eq!(ring.stats().write_throughs, 1);
+        nodes[owner].kill();
+        ring.insert(id(5), b"pm".to_vec()); // failure → circuit opens
+        nodes[owner].restart();
+        // After the cooldown the half-open probe finds it again.
+        std::thread::sleep(Duration::from_millis(80));
+        ring.insert(id(5), b"pm2".to_vec());
+        assert_eq!(ring.stats().write_throughs, 2);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while ring.stats().epoch_changes == 0 && Instant::now() < deadline {
+            ring.lookup(&id(5));
+        }
+        assert!(
+            ring.stats().epoch_changes >= 1,
+            "the bumped epoch must be observed: {:?}",
+            ring.stats()
+        );
+    }
+
+    #[test]
+    fn all_nodes_down_serves_purely_locally_and_deterministically() {
+        let (nodes, ring) = three_nodes();
+        ring.insert(id(7), b"pm".to_vec());
+        for node in &nodes {
+            node.kill();
+        }
+        // Open every circuit (threshold 1: one failure each).
+        for byte in 0..12u8 {
+            ring.lookup(&id(byte));
+        }
+        let started = Instant::now();
+        assert_eq!(ring.lookup(&id(7)).expect("local"), b"pm");
+        assert!(ring.lookup(&id(200)).is_none(), "unknown id: clean miss");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "an all-dead ring must not hang"
+        );
+        assert!(ring.stats().all_nodes_down > 0);
+    }
+
+    #[test]
+    fn remove_invalidates_the_remote_copy_too() {
+        let (nodes, ring) = three_nodes();
+        ring.insert(id(11), b"pm".to_vec());
+        SessionStore::remove(&ring, &id(11));
+        assert!(ring.lookup(&id(11)).is_none());
+        let resident: usize = nodes.iter().map(CacheNode::len).sum();
+        assert_eq!(resident, 0, "the invalidate reached the owner node");
+    }
+
+    #[test]
+    fn remove_broadcast_reaches_copies_on_non_owner_nodes() {
+        // A session inserted while its owner's circuit was open lives on
+        // the runner-up node. Removal is the compromise-response path:
+        // it must invalidate that copy too — routing the Invalidate only
+        // to the (skipped) owner would leave the revoked premaster
+        // resident and servable.
+        let (nodes, ring) = three_nodes();
+        let owner = ring.route_of(&id(13)).unwrap();
+        nodes[owner].kill();
+        ring.insert(id(13), b"pm".to_vec()); // failure → owner circuit opens
+        ring.insert(id(13), b"pm".to_vec()); // lands on the runner-up
+        let resident: usize = nodes.iter().map(CacheNode::len).sum();
+        assert_eq!(resident, 1, "the copy lives on a non-owner node");
+        SessionStore::remove(&ring, &id(13));
+        let resident: usize = nodes.iter().map(CacheNode::len).sum();
+        assert_eq!(resident, 0, "the broadcast reached the non-owner copy");
+        assert!(ring.lookup(&id(13)).is_none(), "local tier cleared too");
+    }
+
+    impl CacheRing {
+        /// Test helper naming the trait's `stats` unambiguously.
+        fn stats_of_store(&self) -> (u64, u64) {
+            SessionStore::stats(self)
+        }
+    }
+}

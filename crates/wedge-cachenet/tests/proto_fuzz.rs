@@ -1,0 +1,107 @@
+//! Framing fuzz tests: decoding is *total* (never panics, never
+//! over-reads) and round-trips every valid frame bit-exactly.
+
+use proptest::prelude::*;
+
+use wedge_cachenet::{ProtoError, Request, Response, MAGIC, WIRE_VERSION};
+use wedge_tls::SessionId;
+
+fn arb_session_id() -> impl Strategy<Value = SessionId> {
+    prop::collection::vec(any::<u8>(), 16)
+        .prop_map(|bytes| SessionId::from_bytes(&bytes).expect("16 bytes"))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_session_id().prop_map(Request::Lookup),
+        (arb_session_id(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(id, premaster)| Request::Insert(id, premaster)),
+        arb_session_id().prop_map(Request::Invalidate),
+        Just(Request::Ping),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(epoch, premaster)| Response::Hit { epoch, premaster }),
+        any::<u64>().prop_map(|epoch| Response::Miss { epoch }),
+        any::<u64>().prop_map(|epoch| Response::Ok { epoch }),
+        (
+            any::<u64>(),
+            prop::collection::vec(32u8..127, 0..64)
+                .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+        )
+            .prop_map(|(epoch, message)| Response::Err { epoch, message }),
+    ]
+}
+
+proptest! {
+    /// Any byte string decodes to exactly one frame or one structured
+    /// error — never a panic (the "framing fuzz" half of the protocol's
+    /// contract).
+    #[test]
+    fn arbitrary_bytes_never_panic_either_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Every request round-trips bit-exactly.
+    #[test]
+    fn requests_round_trip(request in arb_request()) {
+        let wire = request.encode();
+        prop_assert_eq!(Request::decode(&wire).expect("self-encoded frame"), request);
+    }
+
+    /// Every response round-trips bit-exactly, and the epoch accessor
+    /// agrees with the decoded frame.
+    #[test]
+    fn responses_round_trip(response in arb_response()) {
+        let wire = response.encode();
+        let decoded = Response::decode(&wire).expect("self-encoded frame");
+        prop_assert_eq!(decoded.epoch(), response.epoch());
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// Truncating a valid frame anywhere never decodes to a frame — a
+    /// partial read cannot be mistaken for a shorter valid message.
+    #[test]
+    fn truncations_never_decode(request in arb_request(), cut in 0usize..64) {
+        let wire = request.encode();
+        if cut < wire.len() {
+            let truncated = &wire[..wire.len() - 1 - cut.min(wire.len() - 1)];
+            prop_assert!(Request::decode(truncated).is_err());
+        }
+    }
+
+    /// Appending garbage to a valid frame is always refused (frames are
+    /// exact, so desynchronised framing surfaces loudly).
+    #[test]
+    fn trailing_garbage_never_decodes(request in arb_request(), extra in 1usize..16) {
+        let mut wire = request.encode();
+        wire.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert!(matches!(
+            Request::decode(&wire),
+            Err(ProtoError::TrailingBytes(_)) | Err(ProtoError::BadLength { .. })
+        ));
+    }
+
+    /// A frame from a different protocol version is refused by the
+    /// header, whatever follows.
+    #[test]
+    fn foreign_versions_are_refused(request in arb_request(), version in any::<u8>()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut wire = request.encode();
+        wire[1] = version;
+        prop_assert_eq!(Request::decode(&wire), Err(ProtoError::BadVersion(version)));
+    }
+
+    /// The magic byte gates everything: without it nothing decodes.
+    #[test]
+    fn foreign_magic_is_refused(request in arb_request(), magic in any::<u8>()) {
+        prop_assume!(magic != MAGIC);
+        let mut wire = request.encode();
+        wire[0] = magic;
+        prop_assert_eq!(Request::decode(&wire), Err(ProtoError::BadMagic(magic)));
+    }
+}

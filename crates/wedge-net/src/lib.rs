@@ -14,7 +14,10 @@
 //!   `accept(2)` loop in front of the serving stack: clients connect with a
 //!   source address, accepted links queue in a bounded backlog (full →
 //!   refused, like a SYN queue) and carry the source address so placement
-//!   layers can hash **source-affinity keys** without protocol help.
+//!   layers can hash **source-affinity keys** without protocol help. A
+//!   per-source token-bucket rate limiter
+//!   ([`listener::Listener::bind_rate_limited`]) sheds flooding hosts
+//!   before any link is built.
 //! * [`mitm::Mitm`] — an interposer that owns both halves of a split link
 //!   and can forward, observe, drop, or inject messages in either direction
 //!   — the paper's man-in-the-middle attacker.
@@ -39,7 +42,7 @@ pub mod wiretap;
 
 pub use cost::LinkCostModel;
 pub use duplex::{duplex_pair, duplex_pair_with_source, Duplex, NetError, RecvTimeout};
-pub use listener::{Listener, ListenerStats, SourceAddr};
+pub use listener::{Listener, ListenerStats, RateLimitConfig, SourceAddr};
 pub use mitm::{Direction, Mitm};
 pub use trace::{NetTrace, TraceEntry};
 pub use wiretap::Wiretap;

@@ -15,10 +15,16 @@
 //! ([`SourceAddr::affinity_key`]) without any protocol cooperation: a
 //! client that reconnects from the same host hashes to the same shard even
 //! though its ephemeral port changed and it has not yet spoken a byte.
+//!
+//! [`Listener::bind_rate_limited`] adds **per-source shedding** in front
+//! of the backlog: a token bucket per client host (same affinity key), so
+//! one flooding host is refused before any link is built instead of
+//! monopolising the queue.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -62,6 +68,104 @@ struct Backlog {
     closed: bool,
 }
 
+/// Per-source connect rate limiting: a token bucket per
+/// [`SourceAddr::affinity_key`] (i.e. per client *host* — spraying
+/// ephemeral ports does not buy an attacker fresh buckets).
+///
+/// The backlog bound already refuses a flood once the queue is full, but
+/// one aggressive host can fill the whole queue and starve everyone. The
+/// limiter sheds per source *before any link is built*: an over-limit
+/// connect costs the listener one hash lookup and nothing else — the
+/// SYN-flood-shedding posture, one layer up.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimitConfig {
+    /// Bucket capacity: connects a single host may burst before refusals
+    /// start (minimum 1).
+    pub burst: u32,
+    /// Sustained refill, in connects per second per host. `0.0` means no
+    /// refill — each host gets `burst` connects for the listener's
+    /// lifetime (useful in tests; production wants a positive rate).
+    pub refill_per_sec: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        RateLimitConfig {
+            burst: 32,
+            refill_per_sec: 16.0,
+        }
+    }
+}
+
+/// One host's token bucket.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// The per-source limiter state. Buckets that have refilled back to full
+/// behave exactly as absent ones, so they are pruned when the table has
+/// grown past `PRUNE_THRESHOLD` — but at most once per `PRUNE_INTERVAL`,
+/// so a spoofed-source flood that keeps the table large cannot turn
+/// every connect into an O(table) scan under the limiter lock. While
+/// refill is positive the table stays bounded in amortised terms; the
+/// flood path's steady-state cost remains one hash lookup.
+#[derive(Debug)]
+struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: HashMap<u64, TokenBucket>,
+    last_prune: Instant,
+}
+
+/// Bucket-table size that makes a prune of fully-refilled buckets due.
+const PRUNE_THRESHOLD: usize = 1024;
+
+/// Minimum spacing between prune scans (each is O(table)).
+const PRUNE_INTERVAL: Duration = Duration::from_millis(250);
+
+impl RateLimiter {
+    fn new(config: RateLimitConfig) -> RateLimiter {
+        RateLimiter {
+            config: RateLimitConfig {
+                burst: config.burst.max(1),
+                refill_per_sec: config.refill_per_sec.max(0.0),
+            },
+            buckets: HashMap::new(),
+            last_prune: Instant::now(),
+        }
+    }
+
+    /// Take one token from `key`'s bucket; `false` means over limit.
+    fn admit(&mut self, key: u64, now: Instant) -> bool {
+        let burst = f64::from(self.config.burst);
+        let refill = self.config.refill_per_sec;
+        if self.buckets.len() >= PRUNE_THRESHOLD
+            && now.duration_since(self.last_prune) >= PRUNE_INTERVAL
+        {
+            self.last_prune = now;
+            self.buckets.retain(|_, bucket| {
+                let refilled =
+                    bucket.tokens + now.duration_since(bucket.refilled).as_secs_f64() * refill;
+                refilled < burst
+            });
+        }
+        let bucket = self.buckets.entry(key).or_insert(TokenBucket {
+            tokens: burst,
+            refilled: now,
+        });
+        bucket.tokens =
+            (bucket.tokens + now.duration_since(bucket.refilled).as_secs_f64() * refill).min(burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Counters accumulated by a listener.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ListenerStats {
@@ -73,6 +177,9 @@ pub struct ListenerStats {
     /// Accept-batch calls that returned more than one connection (how
     /// often batching actually amortised a wakeup).
     pub batches: u64,
+    /// Connections refused by the per-source rate limiter (a subset of
+    /// `refused`): the client host's token bucket was empty.
+    pub rate_limited: u64,
     /// Connections sitting in the backlog right now.
     pub pending: usize,
 }
@@ -85,9 +192,11 @@ pub struct Listener {
     backlog: Mutex<Backlog>,
     ready: Condvar,
     capacity: usize,
+    limiter: Option<Mutex<RateLimiter>>,
     accepted: AtomicU64,
     refused: AtomicU64,
     batches: AtomicU64,
+    rate_limited: AtomicU64,
     seq: AtomicU64,
 }
 
@@ -96,14 +205,31 @@ impl Listener {
     /// The handle is `Arc`-shared so client threads can connect while the
     /// serving stack accepts.
     pub fn bind(name: &str, backlog: usize) -> Arc<Listener> {
+        Listener::build(name, backlog, None)
+    }
+
+    /// [`Listener::bind`] with per-source rate limiting: each client
+    /// *host* (keyed by [`SourceAddr::affinity_key`], so ephemeral-port
+    /// churn shares one bucket) gets a token bucket of `limit.burst`
+    /// connects refilling at `limit.refill_per_sec`. An over-limit
+    /// connect is refused with [`NetError::Refused`] **before any link is
+    /// built** — a flooding host pays the server one hash lookup per
+    /// attempt and cannot fill the backlog.
+    pub fn bind_rate_limited(name: &str, backlog: usize, limit: RateLimitConfig) -> Arc<Listener> {
+        Listener::build(name, backlog, Some(limit))
+    }
+
+    fn build(name: &str, backlog: usize, limit: Option<RateLimitConfig>) -> Arc<Listener> {
         Arc::new(Listener {
             name: name.to_string(),
             backlog: Mutex::new(Backlog::default()),
             ready: Condvar::new(),
             capacity: backlog.max(1),
+            limiter: limit.map(|config| Mutex::new(RateLimiter::new(config))),
             accepted: AtomicU64::new(0),
             refused: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
             seq: AtomicU64::new(0),
         })
     }
@@ -122,9 +248,22 @@ impl Listener {
         // against a full queue (the scenario the refusal models) must not
         // pay the link-construction cost per refused attempt.
         let mut backlog = self.backlog.lock();
+        // Closure wins over everything: `Disconnected` is the permanent
+        // "listener is gone, fail over" signal, and it must not be masked
+        // by the limiter's transient `Refused` (nor cost a token).
         if backlog.closed {
             self.refused.fetch_add(1, Ordering::Relaxed);
             return Err(NetError::Disconnected);
+        }
+        // Per-source shedding next: an over-limit host is refused before
+        // a backlog slot is considered, let alone a link built. (Lock
+        // order backlog → limiter; connect is the only path taking both.)
+        if let Some(limiter) = &self.limiter {
+            if !limiter.lock().admit(source.affinity_key(), Instant::now()) {
+                self.rate_limited.fetch_add(1, Ordering::Relaxed);
+                self.refused.fetch_add(1, Ordering::Relaxed);
+                return Err(NetError::Refused);
+            }
         }
         if backlog.pending.len() >= self.capacity {
             self.refused.fetch_add(1, Ordering::Relaxed);
@@ -198,6 +337,7 @@ impl Listener {
             accepted: self.accepted.load(Ordering::Relaxed),
             refused: self.refused.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            rate_limited: self.rate_limited.load(Ordering::Relaxed),
             pending: self.backlog.lock().pending.len(),
         }
     }
@@ -289,6 +429,125 @@ mod tests {
             .accept(RecvTimeout::After(Duration::from_millis(10)))
             .unwrap_err();
         assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn rate_limiter_sheds_a_bursting_host_before_the_backlog() {
+        let listener = Listener::bind_rate_limited(
+            "limited",
+            64,
+            RateLimitConfig {
+                burst: 2,
+                refill_per_sec: 0.0,
+            },
+        );
+        // Two connects within the burst pass; the third is refused even
+        // though the 64-deep backlog is nearly empty — and a fresh
+        // ephemeral port does not buy a fresh bucket.
+        let _a = listener.connect(addr(1, 40_000)).unwrap();
+        let _b = listener.connect(addr(1, 40_001)).unwrap();
+        assert_eq!(
+            listener.connect(addr(1, 40_002)).unwrap_err(),
+            NetError::Refused
+        );
+        let stats = listener.stats();
+        assert_eq!(stats.rate_limited, 1);
+        assert_eq!(stats.refused, 1, "rate-limited refusals count as refused");
+        assert_eq!(stats.pending, 2, "the backlog never saw the third SYN");
+    }
+
+    #[test]
+    fn rate_limiter_tracks_each_source_host_independently() {
+        let listener = Listener::bind_rate_limited(
+            "per-host",
+            64,
+            RateLimitConfig {
+                burst: 1,
+                refill_per_sec: 0.0,
+            },
+        );
+        assert!(listener.connect(addr(1, 1)).is_ok());
+        assert_eq!(listener.connect(addr(1, 2)).unwrap_err(), NetError::Refused);
+        // A different host has its own untouched bucket.
+        assert!(listener.connect(addr(2, 1)).is_ok());
+        assert_eq!(listener.stats().rate_limited, 1);
+    }
+
+    #[test]
+    fn rate_limiter_refills_over_time() {
+        let listener = Listener::bind_rate_limited(
+            "refilling",
+            64,
+            RateLimitConfig {
+                burst: 1,
+                refill_per_sec: 200.0,
+            },
+        );
+        assert!(listener.connect(addr(3, 1)).is_ok());
+        assert_eq!(listener.connect(addr(3, 2)).unwrap_err(), NetError::Refused);
+        // 200 tokens/sec ⇒ one token back within ~5ms; wait generously.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            listener.connect(addr(3, 3)).is_ok(),
+            "the bucket must refill at the configured rate"
+        );
+    }
+
+    #[test]
+    fn rate_limited_connects_never_consume_backlog_slots() {
+        // Backlog of 1 plus a limiter: the flood is shed by the limiter,
+        // so the one legitimate queued connection still gets accepted.
+        let listener = Listener::bind_rate_limited(
+            "tight",
+            1,
+            RateLimitConfig {
+                burst: 1,
+                refill_per_sec: 0.0,
+            },
+        );
+        let _legit = listener.connect(addr(9, 1)).unwrap();
+        for port in 0..100u16 {
+            assert!(listener.connect(addr(9, 2000 + port)).is_err());
+        }
+        assert_eq!(listener.stats().rate_limited, 100);
+        let served = listener.accept(RecvTimeout::Forever).unwrap();
+        assert_eq!(served.source(), Some(addr(9, 1)));
+    }
+
+    #[test]
+    fn closed_listener_reports_disconnected_even_when_over_limit() {
+        // `Disconnected` (permanent: fail over) must not be masked by the
+        // limiter's transient `Refused` — and a dead listener's refusals
+        // must not drain the host's bucket.
+        let listener = Listener::bind_rate_limited(
+            "closing-limited",
+            8,
+            RateLimitConfig {
+                burst: 1,
+                refill_per_sec: 0.0,
+            },
+        );
+        let _only = listener.connect(addr(6, 1)).unwrap();
+        assert_eq!(listener.connect(addr(6, 2)).unwrap_err(), NetError::Refused);
+        listener.close();
+        assert_eq!(
+            listener.connect(addr(6, 3)).unwrap_err(),
+            NetError::Disconnected,
+            "closure wins over the rate limit"
+        );
+        assert_eq!(
+            listener.connect(addr(7, 1)).unwrap_err(),
+            NetError::Disconnected,
+            "closure wins even with a full bucket"
+        );
+        assert_eq!(listener.stats().rate_limited, 1);
+    }
+
+    #[test]
+    fn unlimited_listener_reports_zero_rate_limited() {
+        let listener = Listener::bind("open", 8);
+        let _c = listener.connect(addr(5, 5)).unwrap();
+        assert_eq!(listener.stats().rate_limited, 0);
     }
 
     #[test]

@@ -199,13 +199,17 @@ impl<S: ShardServer> Acceptor<S> {
             }
             Err(job) => {
                 SchedCounters::bump(&self.inner.aggregate.rejected);
-                // Distinguish transient saturation (retryable backpressure)
-                // from a permanently dead set (shut down, or every shard
-                // killed) — retrying the latter can never succeed.
-                let err = if self.inner.alive() {
-                    all_shards_exhausted(order.len())
+                // Only a *shut-down* set refuses permanently — its workers
+                // are joined and gone, so retrying can never succeed. A set
+                // whose every shard is killed or saturated sheds with the
+                // stack's uniform backpressure signal instead: killed
+                // shards are revivable (`restart_shard` / the supervisor),
+                // so an all-dead ring is deterministic `ResourceExhausted`,
+                // exactly like total saturation.
+                let err = if self.inner.shutdown.load(Ordering::SeqCst) {
+                    WedgeError::InvalidOperation("shard front-end is shut down".to_string())
                 } else {
-                    WedgeError::InvalidOperation("shard front-end has no live shards".to_string())
+                    all_shards_exhausted(order.len())
                 };
                 Err((job.link, err))
             }

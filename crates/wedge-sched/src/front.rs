@@ -24,10 +24,12 @@
 //! 3. **Placement** ([`Acceptor`]) — pluggable policy, per-shard health
 //!    and admission backpressure, kill-time re-routing.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use wedge_core::{KernelStats, WedgeError};
 use wedge_net::{Duplex, Listener, NetError, RecvTimeout};
+use wedge_tls::SessionStore;
 
 use crate::acceptor::{AcceptPolicy, Acceptor, ShardJobHandle};
 use crate::metrics::SchedStats;
@@ -88,6 +90,12 @@ pub struct ShardedFrontEnd<S: ShardServer> {
     set: ShardSet<S>,
     acceptor: Acceptor<S>,
     supervisor: Option<Supervisor>,
+    /// The session store this front-end's shards consult, when the
+    /// protocol has one (TLS front-ends do). Held here so operators can
+    /// watch resumption health at the front-end — and so a front-end can
+    /// be pointed at a **remote cache ring** (`wedge-cachenet`) instead
+    /// of an in-process cache without the generic layer noticing.
+    session_store: Option<Arc<dyn SessionStore>>,
 }
 
 impl<S: ShardServer> std::fmt::Debug for ShardedFrontEnd<S> {
@@ -96,6 +104,7 @@ impl<S: ShardServer> std::fmt::Debug for ShardedFrontEnd<S> {
             .field("shards", &self.set.shards())
             .field("policy", &self.acceptor.policy())
             .field("supervised", &self.supervisor.is_some())
+            .field("session_store", &self.session_store.is_some())
             .finish()
     }
 }
@@ -108,6 +117,34 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
     where
         F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
     {
+        ShardedFrontEnd::build(config, None, factory)
+    }
+
+    /// [`Self::new`], registering the [`SessionStore`] the shards consult
+    /// — the in-process `SharedSessionCache` or a `wedge-cachenet` remote
+    /// ring; the front-end treats both identically. The factory still
+    /// owns wiring the store into each shard's server (it holds its own
+    /// `Arc` clone); registering it here additionally exposes resumption
+    /// health through [`Self::resumption_hit_rate`].
+    pub fn with_session_store<F>(
+        config: FrontEndConfig,
+        store: Arc<dyn SessionStore>,
+        factory: F,
+    ) -> Result<ShardedFrontEnd<S>, WedgeError>
+    where
+        F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
+    {
+        ShardedFrontEnd::build(config, Some(store), factory)
+    }
+
+    fn build<F>(
+        config: FrontEndConfig,
+        session_store: Option<Arc<dyn SessionStore>>,
+        factory: F,
+    ) -> Result<ShardedFrontEnd<S>, WedgeError>
+    where
+        F: Fn(usize) -> Result<S, WedgeError> + Send + Sync + 'static,
+    {
         let set = ShardSet::new(config.shard_config(), factory)?;
         let acceptor = Acceptor::new(&set, config.policy);
         let supervisor = config
@@ -117,7 +154,24 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
             set,
             acceptor,
             supervisor,
+            session_store,
         })
+    }
+
+    /// The session store registered at construction (`None` for
+    /// protocols without TLS-style warm state).
+    pub fn session_store(&self) -> Option<&Arc<dyn SessionStore>> {
+        self.session_store.as_ref()
+    }
+
+    /// Resumption health: the registered session store's hit rate
+    /// (`None` when no store is registered **or** the store has served
+    /// no lookups yet — see `SharedSessionCache::hit_rate` for the
+    /// spec).
+    pub fn resumption_hit_rate(&self) -> Option<f64> {
+        self.session_store
+            .as_ref()
+            .and_then(|store| store.hit_rate())
     }
 
     /// The underlying shard set (per-shard admission, health, servers).
@@ -267,28 +321,31 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
             .collect()
     }
 
-    /// Offer a link until something admits it: backpressure
-    /// (`ResourceExhausted`) always backs off and retries; an all-dead
-    /// set is retried only while a supervisor exists that can still
-    /// revive a shard; a shut-down set — or one whose every shard the
-    /// supervisor has abandoned to the restart-storm guard — fails
-    /// immediately.
+    /// Offer a link until something admits it or the refusal is final.
+    /// Transient saturation (some shard healthy, all momentarily full)
+    /// always backs off and retries; an **all-dead** set is waited out
+    /// only while a supervisor exists that can still revive a shard —
+    /// otherwise its uniform `ResourceExhausted` is surfaced immediately
+    /// (deterministic shedding, never a spin). A shut-down set fails
+    /// immediately with its permanent error.
     fn submit_with_backoff(&self, link: Duplex) -> Result<ShardJobHandle<S::Report>, WedgeError> {
         let key = link.affinity_key();
         let mut link = link;
         loop {
             match self.acceptor.offer(link, key) {
                 Ok(handle) => return Ok(handle),
-                Err((back, WedgeError::ResourceExhausted { .. })) => {
-                    link = back;
-                    std::thread::sleep(Duration::from_millis(1));
-                }
                 Err((back, err)) => {
                     let shut_down = self
                         .set
                         .inner()
                         .shutdown
                         .load(std::sync::atomic::Ordering::SeqCst);
+                    if shut_down {
+                        return Err(err);
+                    }
+                    // A healthy shard exists: the refusal was transient
+                    // saturation — back off and re-offer.
+                    let any_healthy = self.set.inner().alive();
                     // `abandoned_shards` gauges shards the watchdog has
                     // currently written off; once it covers the whole
                     // ring nothing will come back, so waiting would spin
@@ -296,12 +353,12 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
                     let revivable = self.supervisor.as_ref().is_some_and(|supervisor| {
                         (supervisor.stats().abandoned_shards as usize) < self.set.shards()
                     });
-                    if revivable && !shut_down {
-                        // Every shard is dead but the watchdog will bring
-                        // one back: wait it out instead of shedding.
+                    if any_healthy || revivable {
                         link = back;
                         std::thread::sleep(Duration::from_millis(1));
                     } else {
+                        // Every shard dead, nothing reviving them: shed
+                        // deterministically with the acceptor's error.
                         return Err(err);
                     }
                 }
@@ -471,11 +528,98 @@ mod tests {
         let stats = front.restart_stats().expect("supervised");
         assert_eq!(stats.restarts, 0);
         assert_eq!(stats.failed_restarts, 2, "both respawn attempts failed");
-        // serve_all must resolve with an error, not hang.
+        // serve_all must resolve with an error, not hang. The abandoned
+        // set is not shut down, so the error is the uniform shedding
+        // signal, not the permanent one.
         let (_client, server) = wedge_net::duplex_pair("late", "s");
         let outcomes = front.serve_all(vec![server]);
         assert_eq!(outcomes.len(), 1);
-        assert!(matches!(outcomes[0], Err(WedgeError::InvalidOperation(_))));
+        assert!(matches!(
+            outcomes[0],
+            Err(WedgeError::ResourceExhausted { .. })
+        ));
+    }
+
+    /// The all-dead-ring spec for [`AcceptPolicy::SessionAffinity`]: with
+    /// *every* shard killed (not shut down), a submission must fail
+    /// deterministically with `ResourceExhausted` — the same shedding
+    /// signal saturation produces — without spinning or panicking, for
+    /// any affinity key, repeatedly. (The single-dead-shard fallback is
+    /// covered by the restart tests in `shard.rs` and the supervised
+    /// front-end integration tests.)
+    #[test]
+    fn session_affinity_on_an_all_dead_ring_sheds_deterministically() {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 3,
+                policy: AcceptPolicy::SessionAffinity,
+                ..FrontEndConfig::default()
+            },
+            |_id| Ok(TagServer),
+        )
+        .expect("front");
+        for idx in 0..3 {
+            front.kill_shard(idx);
+        }
+        // Every key — whichever dead shard it hashes to, including the
+        // fallback walk finding nothing — fails fast with backpressure.
+        for key in [0u64, 1, 7, 0xFEED_F00D, u64::MAX] {
+            for _attempt in 0..3 {
+                let started = Instant::now();
+                let (_client, server) = wedge_net::duplex_pair("dead-ring", "s");
+                let err = front.serve_with_key(server, key).unwrap_err();
+                assert!(
+                    matches!(err, WedgeError::ResourceExhausted { .. }),
+                    "all-dead ring must shed with backpressure, got {err:?}"
+                );
+                assert!(
+                    started.elapsed() < Duration::from_secs(1),
+                    "shedding must be immediate, not a timeout or a spin"
+                );
+            }
+        }
+        let stats = front.sched_stats();
+        assert_eq!(stats.submitted, 15);
+        assert_eq!(stats.rejected, 15);
+        assert_eq!(stats.completed, 0);
+        // A revived shard turns the same keys back into served links.
+        front.restart_shard(1).expect("revive");
+        let (client, server) = wedge_net::duplex_pair("after-revival", "s");
+        client.send(b"go").unwrap();
+        let report = front.serve_with_key(server, 7).unwrap().join().unwrap();
+        assert_eq!(report.shard, 1, "only healthy shard serves everything");
+    }
+
+    /// Same all-dead ring driven through the listener batch path: every
+    /// accepted connection resolves with an error — no accepted link is
+    /// silently dropped and the accept pump terminates.
+    #[test]
+    fn all_dead_ring_resolves_every_accepted_link_with_an_error() {
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 2,
+                policy: AcceptPolicy::SessionAffinity,
+                ..FrontEndConfig::default()
+            },
+            |_id| Ok(TagServer),
+        )
+        .expect("front");
+        front.kill_shard(0);
+        front.kill_shard(1);
+        let listener = Listener::bind("dead-svc", 16);
+        let _clients: Vec<_> = (0..4u8)
+            .map(|n| {
+                listener
+                    .connect(SourceAddr::new([10, 0, 1, n], 41_000))
+                    .expect("connect")
+            })
+            .collect();
+        listener.close();
+        let outcomes = front.serve_listener(&listener, 4);
+        assert_eq!(outcomes.len(), 4, "every accepted link resolves");
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Err(WedgeError::ResourceExhausted { .. }))));
     }
 
     #[test]

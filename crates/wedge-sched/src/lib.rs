@@ -40,6 +40,11 @@
 //!   [`front::ShardedFrontEnd::serve_listener`], the accept loop over a
 //!   [`wedge_net::Listener`] that derives source-address affinity keys.
 //!   The Apache, SSH and POP3 front-ends are thin wrappers around it.
+//!   A front-end can register the [`wedge_tls::SessionStore`] its shards
+//!   consult ([`front::ShardedFrontEnd::with_session_store`]) — the
+//!   in-process shared cache or a `wedge-cachenet` remote ring — and
+//!   expose resumption health
+//!   ([`front::ShardedFrontEnd::resumption_hit_rate`]).
 //!
 //! `wedge-apache` builds its concurrent front-end and `wedge-ssh` its
 //! pooled privsep monitors on top of this crate; `wedge-bench` measures the

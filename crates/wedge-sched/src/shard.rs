@@ -1062,9 +1062,13 @@ mod tests {
     }
 
     #[test]
-    fn fully_killed_set_refuses_permanently_and_serve_all_terminates() {
+    fn fully_killed_set_sheds_with_backpressure_and_serve_all_terminates() {
         // The batch driver lives on the front-end now; drive it through
-        // one to pin the dead-set semantics of the one shared retry loop.
+        // one to pin the all-dead semantics of the one shared retry loop.
+        // Killed shards are *revivable* (restart_shard / supervisor), so
+        // an all-dead unsupervised set sheds with the stack's uniform
+        // `ResourceExhausted` — deterministically, never a spin — while a
+        // shut-down set (see the test above) refuses permanently.
         let front = crate::front::ShardedFrontEnd::new(
             crate::front::FrontEndConfig {
                 shards: 2,
@@ -1075,17 +1079,22 @@ mod tests {
         .expect("front");
         front.kill_shard(0);
         front.kill_shard(1);
-        // Direct submission: permanent refusal, not ResourceExhausted.
+        // Direct submission: deterministic backpressure.
         let (_c, s) = duplex_pair("late", "s");
         let err = front.serve(s).unwrap_err();
-        assert!(matches!(err, WedgeError::InvalidOperation(_)));
+        assert!(matches!(err, WedgeError::ResourceExhausted { .. }));
         // Batch driver: an unsupervised dead set returns one error per
         // link instead of spinning on the backoff-retry loop forever.
         let outcomes = front.serve_all((0..3).map(|_| duplex_pair("batch", "s").1).collect());
         assert_eq!(outcomes.len(), 3);
         assert!(outcomes
             .iter()
-            .all(|o| matches!(o, Err(WedgeError::InvalidOperation(_)))));
+            .all(|o| matches!(o, Err(WedgeError::ResourceExhausted { .. }))));
+        // Reviving one shard makes the same front door serve again.
+        front.restart_shard(0).expect("manual revival");
+        let (client, server) = duplex_pair("revived", "s");
+        client.send(b"go").unwrap();
+        assert_eq!(front.serve(server).unwrap().join().unwrap(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Session secrets, derived key material, and the server-side session
 //! caches: the single-owner [`SessionCache`] used by the monolithic
-//! baseline, and the concurrent [`SharedSessionCache`] a sharded front-end
-//! consults from every shard.
+//! baseline, the concurrent [`SharedSessionCache`] a sharded front-end
+//! consults from every shard, and the [`SessionStore`] trait behind which
+//! both it and remote cache rings (`wedge-cachenet`) plug into a server.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +79,59 @@ impl SessionKeys {
     }
 }
 
+/// The session-lookup service a TLS server consults during
+/// `begin_handshake`: session id → premaster secret.
+///
+/// Two implementations exist today. [`SharedSessionCache`] is the
+/// *in-process* store — one logical table shared by every shard of one
+/// front-end ("machine"). `wedge_cachenet::CacheRing` is the *remote*
+/// store — a client for the distributed cache protocol, so a session
+/// established through one machine can resume through another. Servers
+/// hold an `Arc<dyn SessionStore>` and cannot tell the difference; the
+/// store is reached only through this narrow insert/lookup surface, never
+/// through tagged memory, so a compromised compartment can at most replay
+/// lookups.
+///
+/// Implementations must be infallible at this boundary: a remote store
+/// that cannot reach its backend degrades to a miss (and its own local
+/// tier), it does not surface transport errors into the handshake.
+pub trait SessionStore: Send + Sync {
+    /// Store the premaster secret for a session id.
+    fn insert(&self, id: SessionId, premaster: Vec<u8>);
+
+    /// Look up a session's premaster secret, refreshing its recency.
+    fn lookup(&self, id: &SessionId) -> Option<Vec<u8>>;
+
+    /// Drop a session outright (compromise response, epoch invalidation).
+    fn remove(&self, id: &SessionId);
+
+    /// `(hits, misses)` across every lookup this store has served.
+    fn stats(&self) -> (u64, u64);
+
+    /// Sessions currently resident in this store's directly-owned tier
+    /// (a remote ring reports its *local* tier — the distributed total is
+    /// a per-node property).
+    fn len(&self) -> usize;
+
+    /// Is the directly-owned tier empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups that hit; `None` before the first lookup (see
+    /// [`SharedSessionCache::hit_rate`] for the exact semantics every
+    /// implementation must match).
+    fn hit_rate(&self) -> Option<f64> {
+        let (hits, misses) = self.stats();
+        let lookups = hits + misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(hits as f64 / lookups as f64)
+        }
+    }
+}
+
 /// Default bound on cached sessions. Before the bound existed an attacker
 /// could flood the server with throwaway handshakes and grow the cache
 /// without limit — a memory DoS through the resumption path.
@@ -148,6 +202,18 @@ impl LruEntries {
         entry.last_used = now;
         self.by_age.insert(now, *id);
         Some(entry.premaster.clone())
+    }
+
+    /// Remove an entry outright. Returns whether it existed. Not a lookup:
+    /// neither hit/miss counters nor recency are touched.
+    fn remove(&mut self, id: &SessionId) -> bool {
+        match self.entries.remove(id) {
+            Some(entry) => {
+                self.by_age.remove(&entry.last_used);
+                true
+            }
+            None => false,
+        }
     }
 
     fn len(&self) -> usize {
@@ -341,6 +407,14 @@ impl SharedSessionCache {
         }
     }
 
+    /// Remove a session outright (compromise response, or a cache node
+    /// invalidating a stale pre-restart entry). Returns whether the
+    /// session was present. **Not a lookup**: hit/miss counters — and
+    /// therefore [`Self::hit_rate`] — are unaffected.
+    pub fn remove(&self, id: &SessionId) -> bool {
+        self.bucket(id).write().remove(id)
+    }
+
     /// Number of cached sessions across all buckets.
     pub fn len(&self) -> usize {
         self.buckets.iter().map(|b| b.read().len()).sum()
@@ -362,7 +436,23 @@ impl SharedSessionCache {
     /// Fraction of lookups that hit, across every consulting shard —
     /// the resumption health signal operators watch when placement (e.g.
     /// a dead shard's affinity keys falling over to a sibling) changes
-    /// which shard consults the cache. `None` before the first lookup.
+    /// which shard consults the cache.
+    ///
+    /// The exact semantics (pinned by tests, and the spec every other
+    /// [`SessionStore`]'s aggregated hit-rate reporting must match):
+    ///
+    /// * **No lookups yet ⇒ `None`**, never `Some(0.0)` — a front-end
+    ///   that has served only fresh handshakes has an *unknown* hit rate,
+    ///   not a zero one, and dashboards must be able to tell the two
+    ///   apart. Inserts, [`Self::remove`] calls and evictions alone never
+    ///   move it off `None`.
+    /// * **Evicted (or removed) sessions count as ordinary misses** when
+    ///   next looked up: eviction does not retroactively adjust the
+    ///   counters for the hits the entry served while resident, and the
+    ///   post-eviction lookup is indistinguishable from a
+    ///   never-inserted one.
+    /// * The rate is cumulative over the cache's lifetime (no windowing);
+    ///   `Some(hits as f64 / (hits + misses) as f64)` exactly.
     pub fn hit_rate(&self) -> Option<f64> {
         let (hits, misses) = self.stats();
         let lookups = hits + misses;
@@ -376,6 +466,32 @@ impl SharedSessionCache {
     /// Sessions evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl SessionStore for SharedSessionCache {
+    fn insert(&self, id: SessionId, premaster: Vec<u8>) {
+        SharedSessionCache::insert(self, id, premaster);
+    }
+
+    fn lookup(&self, id: &SessionId) -> Option<Vec<u8>> {
+        SharedSessionCache::lookup(self, id)
+    }
+
+    fn remove(&self, id: &SessionId) {
+        SharedSessionCache::remove(self, id);
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        SharedSessionCache::stats(self)
+    }
+
+    fn len(&self) -> usize {
+        SharedSessionCache::len(self)
+    }
+
+    fn hit_rate(&self) -> Option<f64> {
+        SharedSessionCache::hit_rate(self)
     }
 }
 
@@ -498,6 +614,79 @@ mod tests {
         }
         let (hits, _misses) = cache.stats();
         assert_eq!(hits, 200);
+    }
+
+    #[test]
+    fn hit_rate_is_none_until_the_first_lookup() {
+        let cache = SharedSessionCache::with_capacity(16);
+        assert_eq!(cache.hit_rate(), None, "fresh cache: unknown, not 0%");
+        // Inserts and removes alone never move it off `None` — only
+        // lookups are rate events.
+        cache.insert(id(1), b"one".to_vec());
+        cache.insert(id(2), b"two".to_vec());
+        cache.remove(&id(2));
+        assert_eq!(cache.hit_rate(), None, "writes are not lookups");
+        assert!(cache.lookup(&id(1)).is_some());
+        assert_eq!(cache.hit_rate(), Some(1.0));
+        assert!(cache.lookup(&id(9)).is_none());
+        assert_eq!(cache.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn hit_rate_counts_post_eviction_lookups_as_plain_misses() {
+        // Total capacity == bucket count ⇒ every bucket holds exactly one
+        // entry, so two ids in the same bucket evict deterministically.
+        // The bucket choice is the high half of the public `bucket_key`.
+        let bucket_of = |byte: u8| (id(byte).bucket_key() >> 32) % SESSION_CACHE_BUCKETS as u64;
+        let victim = 0u8;
+        let evictor = (1..=255u8)
+            .find(|b| bucket_of(*b) == bucket_of(victim))
+            .expect("a colliding id must exist within 256 candidates");
+
+        let cache = SharedSessionCache::with_capacity(SESSION_CACHE_BUCKETS);
+        cache.insert(id(victim), b"victim".to_vec());
+        assert!(cache.lookup(&id(victim)).is_some(), "resident: hit");
+        assert_eq!(cache.hit_rate(), Some(1.0));
+        cache.insert(id(evictor), b"evictor".to_vec());
+        assert_eq!(cache.evictions(), 1, "bucket capacity 1: victim evicted");
+        // The hit the victim served while resident is kept; the
+        // post-eviction lookup is an ordinary miss, indistinguishable
+        // from a never-inserted id's.
+        assert!(cache.lookup(&id(victim)).is_none());
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.hit_rate(), Some(0.5));
+        let never_inserted = (1..=255u8)
+            .find(|b| *b != evictor && bucket_of(*b) != bucket_of(victim))
+            .expect("some id in another bucket");
+        assert!(cache.lookup(&id(never_inserted)).is_none());
+        assert_eq!(cache.stats(), (1, 2), "same accounting as the eviction");
+    }
+
+    #[test]
+    fn remove_deletes_without_touching_the_rate() {
+        let cache = SharedSessionCache::with_capacity(16);
+        cache.insert(id(3), b"three".to_vec());
+        assert!(cache.remove(&id(3)), "present entry removed");
+        assert!(!cache.remove(&id(3)), "second remove is a no-op");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hit_rate(), None, "remove is not a lookup");
+        assert!(cache.lookup(&id(3)).is_none());
+        assert_eq!(cache.stats(), (0, 1));
+    }
+
+    #[test]
+    fn session_store_trait_object_matches_the_inherent_api() {
+        use std::sync::Arc;
+        let cache = Arc::new(SharedSessionCache::with_capacity(32));
+        let store: Arc<dyn SessionStore> = cache.clone();
+        store.insert(id(4), b"four".to_vec());
+        assert_eq!(store.lookup(&id(4)).unwrap(), b"four");
+        assert_eq!(store.stats(), cache.stats());
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.hit_rate(), Some(1.0));
+        store.remove(&id(4));
+        assert!(store.is_empty());
     }
 
     #[test]

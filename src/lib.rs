@@ -15,6 +15,9 @@
 //! * [`crypto`] / [`tls`] / [`net`] — the substrates behind the case
 //!   studies (toy crypto, the SSL-like protocol, the simulated network with
 //!   its man-in-the-middle attacker).
+//! * [`cachenet`] — the distributed session-cache protocol: cache nodes
+//!   behind listeners and the consistent-hash client ring that lets a TLS
+//!   session resume on a different *machine*.
 //! * [`apache`] / [`ssh`] / [`pop3`] — the partitioned applications of §2,
 //!   §5.1 and §5.2, each with its monolithic baseline.
 //!
@@ -28,6 +31,7 @@
 pub use crowbar;
 pub use wedge_alloc as alloc;
 pub use wedge_apache as apache;
+pub use wedge_cachenet as cachenet;
 pub use wedge_core as core;
 pub use wedge_crypto as crypto;
 pub use wedge_net as net;
