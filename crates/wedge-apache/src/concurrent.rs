@@ -81,6 +81,18 @@ impl ShardServer for WedgeApache {
     fn kernel_stats(&self) -> KernelStats {
         self.wedge().kernel().stats()
     }
+
+    fn handshake_kind(report: &ConnectionReport) -> Option<wedge_telemetry::HandshakeKind> {
+        report.handshake_ok.then_some(if report.resumed {
+            wedge_telemetry::HandshakeKind::Abbreviated
+        } else {
+            wedge_telemetry::HandshakeKind::Full
+        })
+    }
+
+    fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.wedge().kernel().instrument(telemetry);
+    }
 }
 
 /// N forked, partitioned HTTPS shards behind the shared front-end,
@@ -194,6 +206,21 @@ impl ConcurrentApache {
     /// The supervisor's restart counters (`None` when unsupervised).
     pub fn restart_stats(&self) -> Option<RestartStats> {
         self.front.restart_stats()
+    }
+
+    /// Register the whole front-end on `telemetry` (see
+    /// [`ShardedFrontEnd::instrument`]): scheduler counters, the
+    /// `shard.serve` latency histogram, the full-vs-abbreviated TLS
+    /// handshake mix, every shard kernel's counters and the session
+    /// store's resumption health.
+    pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.front.instrument(telemetry);
+    }
+
+    /// One aggregated metric snapshot (`None` until
+    /// [`ConcurrentApache::instrument`] is called).
+    pub fn telemetry_snapshot(&self) -> Option<wedge_telemetry::TelemetrySnapshot> {
+        self.front.telemetry_snapshot()
     }
 
     /// Kill shard `idx` (fault injection): queued links are re-routed to

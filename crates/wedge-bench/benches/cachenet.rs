@@ -67,11 +67,7 @@ fn emit_json() {
     let single = run_cross_machine(workload.sessions, 1, true);
     let three = run_cross_machine(workload.sessions, 3, true);
     let json = cachenet_bench_json(workload, &latency, &single, &three);
-    let path = std::env::var("WEDGE_BENCH_JSON").unwrap_or_else(|_| {
-        // Cargo runs bench binaries with the *package* directory as CWD;
-        // anchor the default at the workspace root so CI finds it.
-        format!("{}/../../BENCH_cachenet.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let path = wedge_bench::report::artifact_path("cachenet");
     std::fs::write(&path, &json).expect("write bench artifact");
     println!("wrote {path}:\n{json}");
 }

@@ -61,11 +61,7 @@ fn emit_json() {
     let sharded = run_listener_pop3(workload, 4);
     let restart = measure_restart_latency(4);
     let json = listener_bench_json(workload, 4, &single, &sharded, &restart);
-    let path = std::env::var("WEDGE_BENCH_JSON").unwrap_or_else(|_| {
-        // Cargo runs bench binaries with the *package* directory as CWD;
-        // anchor the default at the workspace root so CI finds it.
-        format!("{}/../../BENCH_listener.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let path = wedge_bench::report::artifact_path("listener");
     std::fs::write(&path, &json).expect("write bench artifact");
     println!("wrote {path}:\n{json}");
 }

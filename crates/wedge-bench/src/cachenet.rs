@@ -217,39 +217,34 @@ pub fn run_cross_machine(sessions: usize, cache_nodes: usize, kill_one: bool) ->
     }
 }
 
-/// The `BENCH_cachenet.json` artifact (no serde in the offline build —
-/// assembled by hand like `BENCH_listener.json`).
+/// The `BENCH_cachenet.json` artifact, emitted through the shared
+/// [`crate::report`] writer (the offline build has no serde).
 pub fn cachenet_bench_json(
     workload: CachenetWorkload,
     latency: &LatencyComparison,
     single_node: &ResumptionRun,
     three_node: &ResumptionRun,
 ) -> String {
-    format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"cachenet\",\n",
-            "  \"workload\": {{\"sessions\": {sessions}, \"lookups\": {lookups}}},\n",
-            "  \"lookup_latency\": {{\"local_us\": {lu:.3}, \"remote_us\": {ru:.3}, ",
-            "\"remote_over_local\": {ov:.3}}},\n",
-            "  \"resumption_under_node_kill\": {{\n",
-            "    \"single_node\": {{\"nodes\": {sn}, \"resumed\": {sr}, \"rate\": {srate:.3}}},\n",
-            "    \"three_node\": {{\"nodes\": {tn}, \"resumed\": {tr}, \"rate\": {trate:.3}}}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        sessions = workload.sessions,
-        lookups = workload.lookups,
-        lu = latency.local_avg.as_secs_f64() * 1e6,
-        ru = latency.remote_avg.as_secs_f64() * 1e6,
-        ov = latency.overhead,
-        sn = single_node.cache_nodes,
-        sr = single_node.resumed,
-        srate = single_node.rate,
-        tn = three_node.cache_nodes,
-        tr = three_node.resumed,
-        trate = three_node.rate,
-    )
+    let resumption = |w: &mut wedge_telemetry::JsonWriter, run: &ResumptionRun| {
+        w.field_u64("nodes", run.cache_nodes as u64);
+        w.field_u64("resumed", run.resumed as u64);
+        w.field_f64("rate", run.rate);
+    };
+    crate::report::bench_artifact("cachenet", |w| {
+        w.nested("workload", |w| {
+            w.field_u64("sessions", workload.sessions as u64);
+            w.field_u64("lookups", workload.lookups as u64);
+        });
+        w.nested("lookup_latency", |w| {
+            w.field_f64("local_us", crate::report::micros(latency.local_avg));
+            w.field_f64("remote_us", crate::report::micros(latency.remote_avg));
+            w.field_f64("remote_over_local", latency.overhead);
+        });
+        w.nested("resumption_under_node_kill", |w| {
+            w.nested("single_node", |w| resumption(w, single_node));
+            w.nested("three_node", |w| resumption(w, three_node));
+        });
+    })
 }
 
 #[cfg(test)]
@@ -324,7 +319,7 @@ mod tests {
         };
         let json = cachenet_bench_json(workload, &latency, &run, &run);
         for key in [
-            "\"bench\": \"cachenet\"",
+            "\"bench\":\"cachenet\"",
             "\"lookup_latency\"",
             "\"remote_over_local\"",
             "\"resumption_under_node_kill\"",

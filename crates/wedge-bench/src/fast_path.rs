@@ -63,6 +63,30 @@ fn build_root(profile: KernelProfile) -> SthreadCtx {
 /// the moment all readers are released to the last reader finishing.
 pub fn run_concurrent_reads(profile: KernelProfile, workload: FastPathWorkload) -> Duration {
     let root = build_root(profile);
+    drive_readers(&root, profile, workload)
+}
+
+/// [`run_concurrent_reads`] on the sharded kernel with the kernel
+/// **instrumented** on a fresh [`wedge_telemetry::Telemetry`] registry (no
+/// sink installed) — the overhead-gate configuration: registration must
+/// not slow the warm read path, because kernel counters are *pulled* at
+/// snapshot time, never pushed per read. Returns the wall time plus the
+/// post-run snapshot so callers can assert the reads actually showed up.
+pub fn run_concurrent_reads_telemetered(
+    workload: FastPathWorkload,
+) -> (Duration, wedge_telemetry::TelemetrySnapshot) {
+    let root = build_root(KernelProfile::Sharded);
+    let telemetry = wedge_telemetry::Telemetry::new();
+    root.kernel().instrument(&telemetry);
+    let elapsed = drive_readers(&root, KernelProfile::Sharded, workload);
+    (elapsed, telemetry.snapshot())
+}
+
+fn drive_readers(
+    root: &SthreadCtx,
+    profile: KernelProfile,
+    workload: FastPathWorkload,
+) -> Duration {
     let tag = root.tag_new().expect("tag");
     let payload: Vec<u8> = (0..workload.payload).map(|i| i as u8).collect();
     let buf = root.smalloc_init(tag, &payload).expect("buf");
@@ -170,6 +194,40 @@ mod tests {
             speedup >= 3.0,
             "expected ≥3x over the legacy kernel at 4 workers, got {speedup:.2}x \
              (legacy {legacy:?}, sharded {sharded:?})"
+        );
+    }
+
+    /// The telemetry overhead gate: with the kernel *instrumented* on a
+    /// live [`wedge_telemetry::Telemetry`] registry but **no sink
+    /// installed**, the ≥3× speedup over the legacy kernel must still
+    /// hold — i.e. registering metrics costs the warm read path nothing
+    /// measurable (kernel counters are pulled at snapshot time, never
+    /// pushed per read). The snapshot check pins that the instrumented
+    /// run really was observed, so this cannot pass vacuously.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn fast_path_3x_gate_holds_with_telemetry_registered_no_sink() {
+        let workload = FastPathWorkload::default();
+        let mut legacy = Duration::MAX;
+        let mut sharded = Duration::MAX;
+        let mut reads_seen = 0u64;
+        for _ in 0..5 {
+            legacy = legacy.min(run_concurrent_reads(KernelProfile::Legacy, workload));
+            let (elapsed, snapshot) = run_concurrent_reads_telemetered(workload);
+            sharded = sharded.min(elapsed);
+            reads_seen = reads_seen.max(snapshot.counter("kernel.read"));
+        }
+        let expected_reads = (workload.workers * workload.iters_per_worker) as u64;
+        assert!(
+            reads_seen >= expected_reads,
+            "instrumented run must surface its reads in the snapshot: \
+             saw {reads_seen}, expected ≥{expected_reads}"
+        );
+        let speedup = legacy.as_secs_f64() / sharded.as_secs_f64().max(f64::EPSILON);
+        assert!(
+            speedup >= 3.0,
+            "telemetry registration (no sink) must not erode the 3x gate: \
+             got {speedup:.2}x (legacy {legacy:?}, instrumented sharded {sharded:?})"
         );
     }
 

@@ -14,6 +14,7 @@ pub mod fast_path;
 pub mod harness;
 pub mod listener;
 pub mod pooled;
+pub mod report;
 pub mod sharded;
 pub mod spec;
 

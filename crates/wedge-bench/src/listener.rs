@@ -170,9 +170,8 @@ pub fn measure_restart_latency(shards: usize) -> RestartMeasurement {
 }
 
 /// The `BENCH_listener.json` artifact: connections/sec at 1 vs `shards`
-/// shards plus the supervised restart latency, as a machine-readable
-/// JSON object (no serde in the offline build — the values are all
-/// numeric, assembled by hand).
+/// shards plus the supervised restart latency, emitted through the
+/// shared [`crate::report`] writer (the offline build has no serde).
 pub fn listener_bench_json(
     workload: ListenerWorkload,
     shards: usize,
@@ -180,31 +179,30 @@ pub fn listener_bench_json(
     sharded: &ListenerRun,
     restart: &RestartMeasurement,
 ) -> String {
-    format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"listener\",\n",
-            "  \"workload\": {{\"connections\": {conns}, \"think_time_ms\": {think:.3}, ",
-            "\"accept_batch\": {batch}}},\n",
-            "  \"single_shard\": {{\"elapsed_ms\": {se:.3}, \"connections_per_sec\": {st:.3}}},\n",
-            "  \"sharded\": {{\"shards\": {shards}, \"elapsed_ms\": {me:.3}, ",
-            "\"connections_per_sec\": {mt:.3}}},\n",
-            "  \"speedup\": {speedup:.3},\n",
-            "  \"restart\": {{\"kill_to_healthy_ms\": {rl:.3}, \"respawn_boot_ms\": {rb:.3}}}\n",
-            "}}\n"
-        ),
-        conns = workload.connections,
-        think = workload.think_time.as_secs_f64() * 1e3,
-        batch = workload.accept_batch,
-        se = single.elapsed.as_secs_f64() * 1e3,
-        st = single.throughput,
-        shards = shards,
-        me = sharded.elapsed.as_secs_f64() * 1e3,
-        mt = sharded.throughput,
-        speedup = sharded.throughput / single.throughput.max(f64::EPSILON),
-        rl = restart.latency.as_secs_f64() * 1e3,
-        rb = restart.boot_cost.as_secs_f64() * 1e3,
-    )
+    crate::report::bench_artifact("listener", |w| {
+        w.nested("workload", |w| {
+            w.field_u64("connections", workload.connections as u64);
+            w.field_f64("think_time_ms", crate::report::millis(workload.think_time));
+            w.field_u64("accept_batch", workload.accept_batch as u64);
+        });
+        w.nested("single_shard", |w| {
+            w.field_f64("elapsed_ms", crate::report::millis(single.elapsed));
+            w.field_f64("connections_per_sec", single.throughput);
+        });
+        w.nested("sharded", |w| {
+            w.field_u64("shards", shards as u64);
+            w.field_f64("elapsed_ms", crate::report::millis(sharded.elapsed));
+            w.field_f64("connections_per_sec", sharded.throughput);
+        });
+        w.field_f64(
+            "speedup",
+            sharded.throughput / single.throughput.max(f64::EPSILON),
+        );
+        w.nested("restart", |w| {
+            w.field_f64("kill_to_healthy_ms", crate::report::millis(restart.latency));
+            w.field_f64("respawn_boot_ms", crate::report::millis(restart.boot_cost));
+        });
+    })
 }
 
 #[cfg(test)]
@@ -257,7 +255,7 @@ mod tests {
         };
         let json = listener_bench_json(tiny(), 4, &run, &run, &restart);
         for key in [
-            "\"bench\": \"listener\"",
+            "\"bench\":\"listener\"",
             "\"connections_per_sec\"",
             "\"speedup\"",
             "\"kill_to_healthy_ms\"",

@@ -68,6 +68,29 @@ fn warm_untraced_mem_read_does_zero_heap_allocations() {
         "warm, untraced mem_read must not allocate (saw {allocs} allocations over 1000 reads)"
     );
 
+    // Telemetry variant: instrument the kernel on a registry with no sink
+    // installed. Kernel counters are pulled at snapshot time, so the warm
+    // read path must stay allocation-free with telemetry registered.
+    let telemetry = wedge_telemetry::Telemetry::new();
+    wedge.kernel().instrument(&telemetry);
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    for _ in 0..1_000 {
+        root.read_into(&buf, 0, &mut dst)
+            .expect("instrumented read");
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "telemetry-registered (no sink) mem_read must not allocate \
+         (saw {allocs} allocations over 1000 reads)"
+    );
+    assert!(
+        telemetry.snapshot().counter("kernel.read") >= 1_000,
+        "the pull-model collector must still see the reads"
+    );
+
     // Control: with a tracer installed the same path *does* allocate (it
     // builds the access event), proving the counter actually observes the
     // read path.

@@ -77,6 +77,35 @@ pub struct CacheNodeStats {
     pub links_accepted: u64,
 }
 
+impl std::ops::AddAssign<&CacheNodeStats> for CacheNodeStats {
+    /// Fold node snapshots into a ring-wide total: every field is a
+    /// monotonic counter and sums. Destructured exhaustively so a new
+    /// field is a compile error here, not a silently dropped stat — the
+    /// same convention as `SchedStats`.
+    fn add_assign(&mut self, other: &CacheNodeStats) {
+        let CacheNodeStats {
+            lookups,
+            hits,
+            misses,
+            stale_invalidated,
+            inserts,
+            invalidations,
+            pings,
+            bad_frames,
+            links_accepted,
+        } = other;
+        self.lookups += lookups;
+        self.hits += hits;
+        self.misses += misses;
+        self.stale_invalidated += stale_invalidated;
+        self.inserts += inserts;
+        self.invalidations += invalidations;
+        self.pings += pings;
+        self.bad_frames += bad_frames;
+        self.links_accepted += links_accepted;
+    }
+}
+
 #[derive(Debug, Default)]
 struct NodeCounters {
     lookups: AtomicU64,
@@ -104,6 +133,9 @@ struct NodeShared {
     /// Server ends of live links, so a kill can unblock their handlers.
     links: Mutex<Vec<Arc<Duplex>>>,
     counters: NodeCounters,
+    /// Set once by [`CacheNode::instrument`]; restarts emit
+    /// [`wedge_telemetry::TelemetryEvent::EpochBump`] through it.
+    telemetry: std::sync::OnceLock<wedge_telemetry::Telemetry>,
 }
 
 /// A dialable handle to a node's "address": cloneable, cheap, and stable
@@ -168,6 +200,7 @@ impl CacheNode {
             up: AtomicBool::new(true),
             links: Mutex::new(Vec::new()),
             counters: NodeCounters::default(),
+            telemetry: std::sync::OnceLock::new(),
         });
         let node = CacheNode {
             shared,
@@ -204,6 +237,47 @@ impl CacheNode {
     /// Is the partition empty?
     pub fn is_empty(&self) -> bool {
         self.shared.partition.is_empty()
+    }
+
+    /// Register this node on `telemetry` (idempotent): a pull collector
+    /// summing its counters into the `cachenet.node.*` namespace (several
+    /// instrumented nodes contribute to one ring-wide total), its
+    /// partition residency and its epoch (max across nodes). After this,
+    /// every [`CacheNode::restart`] emits an
+    /// [`wedge_telemetry::TelemetryEvent::EpochBump`] audit event.
+    pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        if self.shared.telemetry.set(telemetry.clone()).is_err() {
+            return;
+        }
+        let shared = Arc::downgrade(&self.shared);
+        telemetry.register_collector(move |sample| {
+            let Some(shared) = shared.upgrade() else {
+                return;
+            };
+            let c = &shared.counters;
+            sample.counter("cachenet.node.lookups", c.lookups.load(Ordering::Relaxed));
+            sample.counter("cachenet.node.hits", c.hits.load(Ordering::Relaxed));
+            sample.counter("cachenet.node.misses", c.misses.load(Ordering::Relaxed));
+            sample.counter(
+                "cachenet.node.stale_invalidated",
+                c.stale_invalidated.load(Ordering::Relaxed),
+            );
+            sample.counter("cachenet.node.inserts", c.inserts.load(Ordering::Relaxed));
+            sample.counter(
+                "cachenet.node.invalidations",
+                c.invalidations.load(Ordering::Relaxed),
+            );
+            sample.counter(
+                "cachenet.node.bad_frames",
+                c.bad_frames.load(Ordering::Relaxed),
+            );
+            sample.counter(
+                "cachenet.node.links_accepted",
+                c.links_accepted.load(Ordering::Relaxed),
+            );
+            sample.gauge("cachenet.node.resident", shared.partition.len() as u64);
+            sample.gauge_max("cachenet.node.epoch", shared.epoch.load(Ordering::SeqCst));
+        });
     }
 
     /// Counters so far.
@@ -247,9 +321,15 @@ impl CacheNode {
         if self.is_up() {
             return;
         }
-        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         *self.shared.listener.write() = Listener::bind(&self.shared.name, self.shared.backlog);
         self.shared.up.store(true, Ordering::SeqCst);
+        if let Some(telemetry) = self.shared.telemetry.get() {
+            telemetry.emit_with(|| wedge_telemetry::TelemetryEvent::EpochBump {
+                node: self.shared.name.clone(),
+                epoch,
+            });
+        }
         self.start_accept_loop();
     }
 

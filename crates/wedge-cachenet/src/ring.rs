@@ -25,12 +25,14 @@
 //! node is observable the moment it answers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use wedge_net::duplex::fnv1a;
 use wedge_net::{Duplex, RecvTimeout, SourceAddr};
+use wedge_telemetry::{Histogram, Telemetry, TelemetryEvent};
 use wedge_tls::{SessionId, SessionStore, SharedSessionCache};
 
 use crate::node::CacheEndpoint;
@@ -89,6 +91,33 @@ pub struct CacheRingStats {
     pub all_nodes_down: u64,
 }
 
+impl std::ops::AddAssign<&CacheRingStats> for CacheRingStats {
+    /// Fold ring snapshots (e.g. across the machines of a fleet): every
+    /// field is a monotonic counter and sums. Destructured exhaustively
+    /// so a new field is a compile error here, not a silently dropped
+    /// stat — the same convention as `SchedStats`.
+    fn add_assign(&mut self, other: &CacheRingStats) {
+        let CacheRingStats {
+            remote_hits,
+            remote_misses,
+            local_hits,
+            write_throughs,
+            failures,
+            circuit_opens,
+            epoch_changes,
+            all_nodes_down,
+        } = other;
+        self.remote_hits += remote_hits;
+        self.remote_misses += remote_misses;
+        self.local_hits += local_hits;
+        self.write_throughs += write_throughs;
+        self.failures += failures;
+        self.circuit_opens += circuit_opens;
+        self.epoch_changes += epoch_changes;
+        self.all_nodes_down += all_nodes_down;
+    }
+}
+
 /// Breaker state for one node.
 #[derive(Debug)]
 struct Breaker {
@@ -96,7 +125,19 @@ struct Breaker {
     open_until: Option<Instant>,
 }
 
+/// Live instruments installed by [`CacheRing::instrument`]: the overall
+/// lookup latency plus the remote-answered / local-tier split.
+struct RingProbes {
+    telemetry: Telemetry,
+    lookup: Histogram,
+    lookup_remote: Histogram,
+    lookup_local: Histogram,
+}
+
 struct RingNode {
+    /// This node's position in the ring's endpoint list (stable — the
+    /// index [`TelemetryEvent::CircuitOpen`] reports).
+    index: usize,
     endpoint: CacheEndpoint,
     /// Routing seed: FNV-1a of the node name. Machines sharing a node
     /// list derive identical seeds, hence identical routing.
@@ -138,6 +179,8 @@ pub struct CacheRing {
     /// Store-level hit/miss counters (the [`SessionStore`] contract).
     store_hits: AtomicU64,
     store_misses: AtomicU64,
+    /// Set once by [`CacheRing::instrument`].
+    probes: std::sync::OnceLock<RingProbes>,
 }
 
 impl std::fmt::Debug for CacheRing {
@@ -157,7 +200,9 @@ impl CacheRing {
         CacheRing {
             nodes: endpoints
                 .into_iter()
-                .map(|endpoint| RingNode {
+                .enumerate()
+                .map(|(index, endpoint)| RingNode {
+                    index,
                     seed: fnv1a(endpoint.name().as_bytes()),
                     endpoint,
                     conn: Mutex::new(None),
@@ -183,7 +228,46 @@ impl CacheRing {
             all_nodes_down: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             store_misses: AtomicU64::new(0),
+            probes: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Register the ring on `telemetry` (idempotent): live latency
+    /// histograms `cachenet.lookup` (every lookup), and its
+    /// `cachenet.lookup.remote` / `cachenet.lookup.local` split by which
+    /// tier answered, plus a pull collector for the ring counters
+    /// (`cachenet.remote_hits`, `cachenet.failures`,
+    /// `cachenet.circuit_opens`, …), the currently-open breaker count and
+    /// the local tier's residency. Audit events
+    /// ([`TelemetryEvent::CircuitOpen`], [`TelemetryEvent::EpochBump`])
+    /// flow to an installed sink from the moment this returns.
+    pub fn instrument(self: &Arc<Self>, telemetry: &Telemetry) {
+        let probes = RingProbes {
+            telemetry: telemetry.clone(),
+            lookup: telemetry.histogram("cachenet.lookup"),
+            lookup_remote: telemetry.histogram("cachenet.lookup.remote"),
+            lookup_local: telemetry.histogram("cachenet.lookup.local"),
+        };
+        if self.probes.set(probes).is_err() {
+            return;
+        }
+        let ring = Arc::downgrade(self);
+        telemetry.register_collector(move |sample| {
+            let Some(ring) = ring.upgrade() else { return };
+            let stats = ring.stats();
+            sample.counter("cachenet.remote_hits", stats.remote_hits);
+            sample.counter("cachenet.remote_misses", stats.remote_misses);
+            sample.counter("cachenet.local_hits", stats.local_hits);
+            sample.counter("cachenet.write_throughs", stats.write_throughs);
+            sample.counter("cachenet.failures", stats.failures);
+            sample.counter("cachenet.circuit_opens", stats.circuit_opens);
+            sample.counter("cachenet.epoch_changes", stats.epoch_changes);
+            sample.counter("cachenet.all_nodes_down", stats.all_nodes_down);
+            let now = Instant::now();
+            let open = ring.nodes.iter().filter(|n| !n.routable(now)).count();
+            sample.gauge("cachenet.breaker_open", open as u64);
+            sample.gauge("cachenet.local_resident", ring.local.len() as u64);
+        });
     }
 
     /// Number of nodes in the ring (routable or not).
@@ -271,6 +355,12 @@ impl CacheRing {
                 let previous = node.last_epoch.swap(epoch, Ordering::Relaxed);
                 if previous != 0 && previous != epoch {
                     self.epoch_changes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(probes) = self.probes.get() {
+                        probes.telemetry.emit_with(|| TelemetryEvent::EpochBump {
+                            node: node.endpoint.name().to_string(),
+                            epoch,
+                        });
+                    }
                 }
                 Some(response)
             }
@@ -285,6 +375,11 @@ impl CacheRing {
                     // lands here again and re-arms the cooldown.
                     breaker.open_until = Some(Instant::now() + self.config.breaker_cooldown);
                     self.circuit_opens.fetch_add(1, Ordering::Relaxed);
+                    if let Some(probes) = self.probes.get() {
+                        probes
+                            .telemetry
+                            .emit_with(|| TelemetryEvent::CircuitOpen { node: node.index });
+                    }
                 }
                 None
             }
@@ -337,6 +432,8 @@ impl SessionStore for CacheRing {
     /// bounded round trip); on `Hit` warm the local tier and return; on
     /// `Miss`, failure, or an all-open ring fall back to the local tier.
     fn lookup(&self, id: &SessionId) -> Option<Vec<u8>> {
+        let probes = self.probes.get();
+        let started = probes.map(|_| Instant::now());
         let remote = match self.routed_node(id) {
             Some(node) => self.remote(node, &Request::Lookup(*id)),
             None => {
@@ -344,6 +441,7 @@ impl SessionStore for CacheRing {
                 None
             }
         };
+        let remote_answered = matches!(remote, Some(Response::Hit { .. }));
         let found = match remote {
             Some(Response::Hit { premaster, .. }) => {
                 self.remote_hits.fetch_add(1, Ordering::Relaxed);
@@ -367,6 +465,23 @@ impl SessionStore for CacheRing {
             self.store_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.store_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(probes), Some(started)) = (probes, started) {
+            let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            probes.lookup.record(nanos);
+            if remote_answered {
+                probes.lookup_remote.record(nanos);
+            } else {
+                probes.lookup_local.record(nanos);
+            }
+            let hit = found.is_some();
+            probes
+                .telemetry
+                .emit_with(|| TelemetryEvent::CachenetLookup {
+                    remote: remote_answered,
+                    hit,
+                    nanos,
+                });
         }
         found
     }

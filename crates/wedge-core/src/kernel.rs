@@ -50,6 +50,7 @@ use crate::sthread::SthreadCtx;
 use crate::syscall::{DomainTransitions, Syscall};
 use crate::tag::{AccessMode, CompartmentId, IdHashMap, MemProt, Tag};
 use crate::trace::{AccessSink, AllocEvent, CallEvent, MemAccessEvent, MemRegion, ViolationEvent};
+use wedge_telemetry::{Telemetry, TelemetryEvent};
 
 /// Number of independently locked segment-table shards. Tags are assigned
 /// round-robin (`tag_new` increments the tag id), so consecutive tags land
@@ -511,6 +512,10 @@ pub struct Kernel {
     /// Cheap data-path check: is a tracer installed at all? When false, no
     /// event is constructed and no name is cloned anywhere on the fast path.
     tracer_on: AtomicBool,
+    /// The telemetry plane this kernel reports into, if registered (see
+    /// [`Kernel::instrument`]). Only the cold paths (violations, scrubs)
+    /// ever read it, so the fast path stays untouched.
+    telemetry: std::sync::OnceLock<Telemetry>,
     /// Pre-refactor contention profile (see [`Kernel::legacy_baseline`]).
     legacy: bool,
     legacy_gate: Mutex<()>,
@@ -575,6 +580,7 @@ impl Kernel {
             next_fd: AtomicU64::new(1),
             tracer: RwLock::new(None),
             tracer_on: AtomicBool::new(false),
+            telemetry: std::sync::OnceLock::new(),
             legacy,
             legacy_gate: Mutex::new(()),
             // One sentinel each: probing an empty std HashMap short-circuits
@@ -607,6 +613,43 @@ impl Kernel {
     // ------------------------------------------------------------------
     // Configuration and inspection
     // ------------------------------------------------------------------
+
+    /// Register this kernel with a telemetry plane. The kernel's activity
+    /// counters are *pulled* into the shared totals (`kernel.read`,
+    /// `kernel.write`, `kernel.violations`, `kernel.scrubs`, ...) only when
+    /// a snapshot is taken — the data path is untouched, unlike
+    /// [`Kernel::set_tracer`], which observes every access. Protection
+    /// violations and private-scratch scrubs additionally emit audit
+    /// events when the plane has a sink installed.
+    ///
+    /// Idempotent: a second registration (e.g. a supervisor re-wiring a
+    /// restarted shard against the same plane) is a no-op. The collector
+    /// holds the kernel weakly, so a dead shard's kernel simply drops out
+    /// of subsequent snapshots.
+    pub fn instrument(self: &Arc<Kernel>, telemetry: &Telemetry) {
+        if self.telemetry.set(telemetry.clone()).is_err() {
+            return;
+        }
+        let kernel = Arc::downgrade(self);
+        telemetry.register_collector(move |sample| {
+            let Some(kernel) = kernel.upgrade() else {
+                return;
+            };
+            let stats = kernel.stats();
+            sample.counter("kernel.read", stats.mem_reads);
+            sample.counter("kernel.write", stats.mem_writes);
+            sample.counter(
+                "kernel.violations",
+                stats.faults + stats.emulated_violations,
+            );
+            sample.counter("kernel.scrubs", stats.private_scrubs);
+            sample.counter("kernel.sthreads", stats.sthreads_created);
+            sample.counter(
+                "kernel.callgates",
+                stats.callgate_invocations + stats.recycled_invocations,
+            );
+        });
+    }
 
     /// Install (or remove) the instrumentation sink used by Crowbar.
     pub fn set_tracer(&self, tracer: Option<Arc<dyn AccessSink>>) {
@@ -1298,6 +1341,12 @@ impl Kernel {
             StatCells::bump(&self.stats.emulated_violations);
         } else {
             StatCells::bump(&self.stats.faults);
+        }
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.emit_with(|| TelemetryEvent::Violation {
+                compartment: name.clone(),
+                emulated,
+            });
         }
         if let Some(tracer) = self.tracer() {
             tracer.on_violation(&ViolationEvent {
@@ -2203,6 +2252,11 @@ impl Kernel {
             .global_overlays
             .retain(|(c, _), _| *c != id);
         StatCells::bump(&self.stats.private_scrubs);
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.emit_with(|| TelemetryEvent::Scrub {
+                compartment: self.name_of(id).unwrap_or_default(),
+            });
+        }
         Ok(())
     }
 

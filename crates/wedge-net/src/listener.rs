@@ -27,6 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use wedge_telemetry::{Telemetry, TelemetryEvent};
 
 use crate::duplex::{duplex_pair_with_source, Duplex, NetError, RecvTimeout};
 
@@ -184,6 +185,28 @@ pub struct ListenerStats {
     pub pending: usize,
 }
 
+impl std::ops::AddAssign<&ListenerStats> for ListenerStats {
+    /// Field-wise accumulation across listeners (same convention as
+    /// `SchedStats`): counters sum, and `pending` — an instantaneous
+    /// gauge — also sums, giving the total queued across all listeners.
+    /// The exhaustive destructuring (no `..`) makes adding a field
+    /// without extending this impl a compile error.
+    fn add_assign(&mut self, other: &ListenerStats) {
+        let ListenerStats {
+            accepted,
+            refused,
+            batches,
+            rate_limited,
+            pending,
+        } = other;
+        self.accepted += accepted;
+        self.refused += refused;
+        self.batches += batches;
+        self.rate_limited += rate_limited;
+        self.pending += pending;
+    }
+}
+
 /// A simulated listening socket: clients connect with a [`SourceAddr`],
 /// accepted links queue in a bounded backlog.
 #[derive(Debug)]
@@ -198,6 +221,11 @@ pub struct Listener {
     batches: AtomicU64,
     rate_limited: AtomicU64,
     seq: AtomicU64,
+    /// The telemetry plane this listener reports into, if registered (see
+    /// [`Listener::instrument`]). Counters are pulled at snapshot time;
+    /// the connect path only touches it to emit lifecycle events, behind
+    /// the plane's one-relaxed-load sink gate.
+    telemetry: std::sync::OnceLock<Telemetry>,
 }
 
 impl Listener {
@@ -231,7 +259,41 @@ impl Listener {
             batches: AtomicU64::new(0),
             rate_limited: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            telemetry: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Register this listener with a telemetry plane: its counters are
+    /// pulled into `listener.accept` / `listener.refused` /
+    /// `listener.rate_limited` / `listener.batches` (and the
+    /// `listener.pending` gauge) at snapshot time, and connect outcomes
+    /// emit [`TelemetryEvent::Accepted`]/[`TelemetryEvent::Refused`] when
+    /// a sink is installed. Idempotent; the collector holds the listener
+    /// weakly, so a dropped listener falls out of later snapshots.
+    pub fn instrument(self: &Arc<Listener>, telemetry: &Telemetry) {
+        if self.telemetry.set(telemetry.clone()).is_err() {
+            return;
+        }
+        let listener = Arc::downgrade(self);
+        telemetry.register_collector(move |sample| {
+            let Some(listener) = listener.upgrade() else {
+                return;
+            };
+            let stats = listener.stats();
+            sample.counter("listener.accept", stats.accepted);
+            sample.counter("listener.refused", stats.refused);
+            sample.counter("listener.rate_limited", stats.rate_limited);
+            sample.counter("listener.batches", stats.batches);
+            sample.gauge("listener.pending", stats.pending as u64);
+        });
+    }
+
+    /// Emit a lifecycle event if a telemetry plane with a live sink is
+    /// attached; a single relaxed load otherwise.
+    fn emit(&self, make: impl FnOnce(&str) -> TelemetryEvent) {
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.emit_with(|| make(&self.name));
+        }
     }
 
     /// The listener's name (used in accepted endpoints' trace names).
@@ -253,6 +315,10 @@ impl Listener {
         // by the limiter's transient `Refused` (nor cost a token).
         if backlog.closed {
             self.refused.fetch_add(1, Ordering::Relaxed);
+            self.emit(|listener| TelemetryEvent::Refused {
+                listener: listener.to_string(),
+                rate_limited: false,
+            });
             return Err(NetError::Disconnected);
         }
         // Per-source shedding next: an over-limit host is refused before
@@ -262,11 +328,19 @@ impl Listener {
             if !limiter.lock().admit(source.affinity_key(), Instant::now()) {
                 self.rate_limited.fetch_add(1, Ordering::Relaxed);
                 self.refused.fetch_add(1, Ordering::Relaxed);
+                self.emit(|listener| TelemetryEvent::Refused {
+                    listener: listener.to_string(),
+                    rate_limited: true,
+                });
                 return Err(NetError::Refused);
             }
         }
         if backlog.pending.len() >= self.capacity {
             self.refused.fetch_add(1, Ordering::Relaxed);
+            self.emit(|listener| TelemetryEvent::Refused {
+                listener: listener.to_string(),
+                rate_limited: false,
+            });
             return Err(NetError::Refused);
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
@@ -275,6 +349,9 @@ impl Listener {
         backlog.pending.push_back(server);
         drop(backlog);
         self.ready.notify_one();
+        self.emit(|listener| TelemetryEvent::Accepted {
+            listener: listener.to_string(),
+        });
         Ok(client)
     }
 

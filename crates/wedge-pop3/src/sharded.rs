@@ -49,6 +49,10 @@ impl ShardServer for Pop3Server {
     fn kernel_stats(&self) -> KernelStats {
         self.wedge().kernel().stats()
     }
+
+    fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.wedge().kernel().instrument(telemetry);
+    }
 }
 
 /// Configuration of the sharded POP3 front-end.
@@ -129,6 +133,18 @@ impl ShardedPop3 {
     /// The supervisor's restart counters (`None` when unsupervised).
     pub fn restart_stats(&self) -> Option<RestartStats> {
         self.front.restart_stats()
+    }
+
+    /// Register the whole front-end on `telemetry` (see
+    /// [`ShardedFrontEnd::instrument`]).
+    pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.front.instrument(telemetry);
+    }
+
+    /// One aggregated metric snapshot (`None` until
+    /// [`ShardedPop3::instrument`] is called).
+    pub fn telemetry_snapshot(&self) -> Option<wedge_telemetry::TelemetrySnapshot> {
+        self.front.telemetry_snapshot()
     }
 
     /// Kill shard `idx` (fault injection): queued links re-route to

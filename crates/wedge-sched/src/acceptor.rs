@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use wedge_core::WedgeError;
 use wedge_net::Duplex;
+use wedge_telemetry::TelemetryEvent;
 
 use crate::metrics::{SchedCounters, SchedStats};
 use crate::shard::{all_shards_exhausted, ShardJob, ShardServer, ShardSet, ShardSetInner};
@@ -192,6 +193,12 @@ impl<S: ShardServer> Acceptor<S> {
                     // a sibling.
                     SchedCounters::bump(&self.inner.aggregate.stolen);
                 }
+                if let Some(probes) = self.inner.probes.get() {
+                    probes.telemetry.emit_with(|| TelemetryEvent::Placed {
+                        shard: order[position],
+                        stolen: position != 0,
+                    });
+                }
                 Ok(ShardJobHandle {
                     rx,
                     shard: order[position],
@@ -199,6 +206,11 @@ impl<S: ShardServer> Acceptor<S> {
             }
             Err(job) => {
                 SchedCounters::bump(&self.inner.aggregate.rejected);
+                if let Some(probes) = self.inner.probes.get() {
+                    probes
+                        .telemetry
+                        .emit_with(|| TelemetryEvent::PlacementRejected);
+                }
                 // Only a *shut-down* set refuses permanently — its workers
                 // are joined and gone, so retrying can never succeed. A set
                 // whose every shard is killed or saturated sheds with the

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use wedge_core::{KernelStats, WedgeError};
 use wedge_net::{Duplex, Listener, NetError, RecvTimeout};
+use wedge_telemetry::{Telemetry, TelemetrySnapshot};
 use wedge_tls::SessionStore;
 
 use crate::acceptor::{AcceptPolicy, Acceptor, ShardJobHandle};
@@ -96,6 +97,9 @@ pub struct ShardedFrontEnd<S: ShardServer> {
     /// be pointed at a **remote cache ring** (`wedge-cachenet`) instead
     /// of an in-process cache without the generic layer noticing.
     session_store: Option<Arc<dyn SessionStore>>,
+    /// The registry this front-end reports into, once
+    /// [`Self::instrument`] has been called.
+    telemetry: std::sync::OnceLock<Telemetry>,
 }
 
 impl<S: ShardServer> std::fmt::Debug for ShardedFrontEnd<S> {
@@ -155,7 +159,49 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
             acceptor,
             supervisor,
             session_store,
+            telemetry: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Register every layer of this front-end on `telemetry`: the shard
+    /// set (scheduler counters, `shard.serve` latency, handshake mix,
+    /// per-shard kernels via [`ShardServer::instrument`]), the supervisor
+    /// when one runs, and the session store's `tls.session_cache.*`
+    /// resumption counters when one is registered. Idempotent — only the
+    /// first call wires anything. After this,
+    /// [`Self::telemetry_snapshot`] aggregates the whole stack.
+    pub fn instrument(&self, telemetry: &Telemetry) {
+        if self.telemetry.set(telemetry.clone()).is_err() {
+            return;
+        }
+        self.set.instrument(telemetry);
+        if let Some(supervisor) = &self.supervisor {
+            supervisor.instrument(telemetry);
+        }
+        if let Some(store) = &self.session_store {
+            let store = Arc::downgrade(store);
+            telemetry.register_collector(move |sample| {
+                let Some(store) = store.upgrade() else { return };
+                let (hits, misses) = store.stats();
+                sample.counter("tls.session_cache.hits", hits);
+                sample.counter("tls.session_cache.misses", misses);
+                sample.gauge("tls.session_cache.resident", store.len() as u64);
+            });
+        }
+    }
+
+    /// One aggregated snapshot of every metric this front-end (and
+    /// anything else sharing the registry) reports. `None` until
+    /// [`Self::instrument`] has been called.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.get().map(Telemetry::snapshot)
+    }
+
+    /// The registry handed to [`Self::instrument`], if any — so callers
+    /// can install a [`wedge_telemetry::TelemetrySink`] or register more
+    /// collectors on the same registry.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.get()
     }
 
     /// The session store registered at construction (`None` for

@@ -34,7 +34,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -42,6 +42,7 @@ use wedge_core::procsim::ForkSim;
 use wedge_core::resource::{ResourceAccountant, ResourceKind, ResourceLimits};
 use wedge_core::{KernelStats, WedgeError};
 use wedge_net::Duplex;
+use wedge_telemetry::{Counter, HandshakeKind, Histogram, Telemetry, TelemetryEvent};
 
 use crate::metrics::{SchedCounters, SchedStats};
 
@@ -60,6 +61,21 @@ pub trait ShardServer: Send + Sync + 'static {
 
     /// The shard kernel's counters.
     fn kernel_stats(&self) -> KernelStats;
+
+    /// Classify a successful report as a full or abbreviated (resumed)
+    /// TLS handshake, or `None` for non-TLS protocols and reports whose
+    /// handshake failed. The shard worker uses this to keep the
+    /// `tls.handshake.full` / `tls.handshake.abbreviated` counters
+    /// without the generic scheduler depending on any protocol crate.
+    fn handshake_kind(_report: &Self::Report) -> Option<HandshakeKind> {
+        None
+    }
+
+    /// Hook for the server to register its own collectors (typically the
+    /// shard kernel's counters) on the front-end's [`Telemetry`]. Called
+    /// once when the owning [`ShardSet`] is instrumented, and again on
+    /// every freshly forked replacement server after a restart.
+    fn instrument(&self, _telemetry: &Telemetry) {}
 }
 
 /// Shard-set sizing, backpressure and boot-cost configuration.
@@ -220,6 +236,18 @@ impl<S: ShardServer> Shard<S> {
     }
 }
 
+/// Live instruments shared by every shard worker, installed once by
+/// [`ShardSetInner::instrument`]. The serve histogram is recorded on the
+/// worker thread (connection-scale work, so the `Instant::now` pair is
+/// noise); the handshake counters are bumped from the report
+/// classification so TLS mix is visible without a sink installed.
+pub(crate) struct ShardProbes {
+    pub(crate) telemetry: Telemetry,
+    serve: Histogram,
+    handshake_full: Counter,
+    handshake_abbreviated: Counter,
+}
+
 pub(crate) struct ShardSetInner<S: ShardServer> {
     pub(crate) shards: Vec<Shard<S>>,
     /// Front-end-level counters: `submitted` counts every *offer* (a
@@ -236,6 +264,9 @@ pub(crate) struct ShardSetInner<S: ShardServer> {
     factory: Arc<dyn Fn(usize) -> Result<S, WedgeError> + Send + Sync>,
     fork_image_bytes: usize,
     fork_fd_count: usize,
+    /// Set once by [`Self::instrument`]; workers check it with one
+    /// lock-free load per link and skip all timing when absent.
+    pub(crate) probes: std::sync::OnceLock<ShardProbes>,
 }
 
 impl<S: ShardServer> ShardSetInner<S> {
@@ -284,6 +315,48 @@ impl<S: ShardServer> ShardSetInner<S> {
                 .shards
                 .iter()
                 .any(|s| s.health() == ShardHealth::Healthy)
+    }
+
+    /// Register this set's metrics on `telemetry` (idempotent — only the
+    /// first call wires anything). Installs the live serve histogram and
+    /// handshake counters, lets every current server instrument itself,
+    /// and registers a pull collector for the scheduler counters and
+    /// shard health/depth gauges. The collector holds a `Weak`, so a
+    /// dropped set simply vanishes from later snapshots.
+    pub(crate) fn instrument(self: &Arc<Self>, telemetry: &Telemetry) {
+        let probes = ShardProbes {
+            telemetry: telemetry.clone(),
+            serve: telemetry.histogram("shard.serve"),
+            handshake_full: telemetry.counter("tls.handshake.full"),
+            handshake_abbreviated: telemetry.counter("tls.handshake.abbreviated"),
+        };
+        if self.probes.set(probes).is_err() {
+            return;
+        }
+        for shard in &self.shards {
+            shard.server.read().instrument(telemetry);
+        }
+        let weak = Arc::downgrade(self);
+        telemetry.register_collector(move |sample| {
+            let Some(inner) = weak.upgrade() else { return };
+            let stats = inner.front_stats();
+            sample.counter("sched.submitted", stats.submitted);
+            sample.counter("sched.completed", stats.completed);
+            sample.counter("sched.rejected", stats.rejected);
+            sample.counter("sched.stolen", stats.stolen);
+            sample.gauge_max("shard.queue_depth.peak", stats.peak_queue_depth);
+            let mut depth = 0u64;
+            let mut healthy = 0u64;
+            let mut restarts = 0u64;
+            for shard in &inner.shards {
+                depth += shard.depth() as u64;
+                healthy += u64::from(shard.health() == ShardHealth::Healthy);
+                restarts += shard.restarts.load(Ordering::SeqCst);
+            }
+            sample.gauge("shard.queue_depth", depth);
+            sample.gauge("shard.healthy", healthy);
+            sample.counter("shard.restarts", restarts);
+        });
     }
 
     fn spawn_worker(inner: &Arc<ShardSetInner<S>>, me: usize) {
@@ -379,6 +452,11 @@ impl<S: ShardServer> ShardSetInner<S> {
         };
         *shard.server.write() = server;
         *shard.boot_cost.lock() = boot_cost;
+        // The replacement server has a fresh kernel: let it re-register
+        // its collectors so its counters keep flowing into snapshots.
+        if let Some(probes) = self.probes.get() {
+            shard.server.read().instrument(&probes.telemetry);
+        }
         if self.shutdown.load(Ordering::SeqCst) {
             shard.health.store(HEALTH_FAILED, Ordering::SeqCst);
             return RestartOutcome::Skipped(WedgeError::InvalidOperation(
@@ -397,6 +475,11 @@ impl<S: ShardServer> ShardSetInner<S> {
             Ordering::SeqCst,
             Ordering::SeqCst,
         );
+        if let Some(probes) = self.probes.get() {
+            probes
+                .telemetry
+                .emit_with(|| TelemetryEvent::ShardRestarted { shard: idx });
+        }
         RestartOutcome::Restarted(boot_cost)
     }
 }
@@ -436,6 +519,8 @@ fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
             return;
         };
         let ShardJob { link, tx } = job;
+        let probes = inner.probes.get();
+        let started = probes.map(|_| Instant::now());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shard.server.read().serve_link(me, link)
         }));
@@ -448,6 +533,26 @@ fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
                 payload,
             )))
         });
+        if let (Some(probes), Some(started)) = (probes, started) {
+            let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            probes.serve.record(nanos);
+            if let Some(kind) = result.as_ref().ok().and_then(S::handshake_kind) {
+                let resumed = kind == HandshakeKind::Abbreviated;
+                if resumed {
+                    probes.handshake_abbreviated.incr();
+                } else {
+                    probes.handshake_full.incr();
+                }
+                probes
+                    .telemetry
+                    .emit_with(|| TelemetryEvent::Handshake { shard: me, resumed });
+            }
+            probes.telemetry.emit_with(|| TelemetryEvent::Served {
+                shard: me,
+                ok: result.is_ok(),
+                nanos,
+            });
+        }
         let _ = tx.send(result);
     }
 }
@@ -568,6 +673,7 @@ impl<S: ShardServer> ShardSet<S> {
             factory,
             fork_image_bytes: config.fork_image_bytes,
             fork_fd_count: config.fork_fd_count,
+            probes: std::sync::OnceLock::new(),
         });
         for me in 0..shard_count {
             ShardSetInner::spawn_worker(&inner, me);
@@ -577,6 +683,14 @@ impl<S: ShardServer> ShardSet<S> {
 
     pub(crate) fn inner(&self) -> &Arc<ShardSetInner<S>> {
         &self.inner
+    }
+
+    /// Register this set's scheduler counters, shard gauges, the live
+    /// `shard.serve` latency histogram and the TLS handshake-mix counters
+    /// on `telemetry`, and let every shard's server instrument itself.
+    /// Idempotent: only the first call wires anything.
+    pub fn instrument(&self, telemetry: &Telemetry) {
+        self.inner.instrument(telemetry);
     }
 
     /// Number of shards (healthy or not).
@@ -661,6 +775,13 @@ impl<S: ShardServer> ShardSet<S> {
                     let _ = job.tx.send(Err(all_shards_exhausted(n)));
                 }
             }
+        }
+        if let Some(probes) = self.inner.probes.get() {
+            probes.telemetry.emit_with(|| TelemetryEvent::ShardKilled {
+                shard: idx,
+                rerouted: report.rerouted,
+                failed: report.failed,
+            });
         }
         report
     }

@@ -89,6 +89,29 @@ impl RestartStats {
     }
 }
 
+impl std::ops::AddAssign<&RestartStats> for RestartStats {
+    /// Fold supervisor snapshots (counters sum, the `abandoned_shards`
+    /// gauge sums across disjoint shard sets, and the restart latency
+    /// keeps the slowest recent revival). Destructured exhaustively so a
+    /// new field is a compile error here, not a silently dropped stat.
+    fn add_assign(&mut self, other: &RestartStats) {
+        let RestartStats {
+            restarts,
+            failed_restarts,
+            storms,
+            abandoned_shards,
+            last_restart_latency_nanos,
+        } = other;
+        self.restarts += restarts;
+        self.failed_restarts += failed_restarts;
+        self.storms += storms;
+        self.abandoned_shards += abandoned_shards;
+        self.last_restart_latency_nanos = self
+            .last_restart_latency_nanos
+            .max(*last_restart_latency_nanos);
+    }
+}
+
 #[derive(Debug, Default)]
 struct SupervisorCounters {
     restarts: AtomicU64,
@@ -145,6 +168,8 @@ pub struct Supervisor {
     monitor: Option<thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     counters: Arc<SupervisorCounters>,
+    /// Guards [`Supervisor::instrument`] against double registration.
+    instrumented: AtomicBool,
 }
 
 impl std::fmt::Debug for Supervisor {
@@ -173,7 +198,47 @@ impl Supervisor {
             monitor: Some(monitor),
             stop,
             counters,
+            instrumented: AtomicBool::new(false),
         }
+    }
+
+    /// Register the watchdog's counters on `telemetry` as
+    /// `supervisor.restarts` / `supervisor.failed_restarts` /
+    /// `supervisor.storms` (counters), `supervisor.abandoned_shards`
+    /// (gauge) and `supervisor.restart_latency_ns` (gauge, max across
+    /// supervisors). The collector holds a `Weak`: a dropped supervisor
+    /// disappears from later snapshots. Idempotent per supervisor.
+    pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        if self
+            .instrumented
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let counters = Arc::downgrade(&self.counters);
+        telemetry.register_collector(move |sample| {
+            let Some(counters) = counters.upgrade() else {
+                return;
+            };
+            sample.counter(
+                "supervisor.restarts",
+                counters.restarts.load(Ordering::Relaxed),
+            );
+            sample.counter(
+                "supervisor.failed_restarts",
+                counters.failed_restarts.load(Ordering::Relaxed),
+            );
+            sample.counter("supervisor.storms", counters.storms.load(Ordering::Relaxed));
+            sample.gauge(
+                "supervisor.abandoned_shards",
+                counters.abandoned_shards.load(Ordering::Relaxed),
+            );
+            sample.gauge_max(
+                "supervisor.restart_latency_ns",
+                counters.last_restart_latency_nanos.load(Ordering::Relaxed),
+            );
+        });
     }
 
     /// Counters so far.

@@ -81,6 +81,10 @@ impl ShardServer for WedgeSsh {
     fn kernel_stats(&self) -> KernelStats {
         self.wedge().kernel().stats()
     }
+
+    fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.wedge().kernel().instrument(telemetry);
+    }
 }
 
 /// N Wedge-partitioned SSH monitor shards behind the shared front-end.
@@ -160,6 +164,18 @@ impl PooledWedgeSsh {
     /// The supervisor's restart counters (`None` when unsupervised).
     pub fn restart_stats(&self) -> Option<RestartStats> {
         self.front.restart_stats()
+    }
+
+    /// Register the whole front-end on `telemetry` (see
+    /// [`ShardedFrontEnd::instrument`]).
+    pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
+        self.front.instrument(telemetry);
+    }
+
+    /// One aggregated metric snapshot (`None` until
+    /// [`PooledWedgeSsh::instrument`] is called).
+    pub fn telemetry_snapshot(&self) -> Option<wedge_telemetry::TelemetrySnapshot> {
+        self.front.telemetry_snapshot()
     }
 
     /// Kill shard `idx` (fault injection): queued links re-route to

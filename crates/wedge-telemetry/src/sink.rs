@@ -1,0 +1,196 @@
+//! The structured event layer: request-lifecycle and security-audit
+//! events, delivered to an installed [`TelemetrySink`].
+//!
+//! This generalises wedge-core's kernel-only `AccessSink` to the whole
+//! serving stack. The contract mirrors it exactly: callbacks run
+//! synchronously on the emitting thread (sometimes from inside serve
+//! loops), so a sink must record and return — never call back into the
+//! instrumented component. Emission is gated by one `AtomicBool` owned by
+//! the [`crate::Telemetry`] handle: with no sink installed the entire
+//! path is a single relaxed load, and event payloads are never even
+//! constructed when emitted through [`crate::Telemetry::emit_with`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// One structured event from somewhere in the serving stack.
+///
+/// Lifecycle variants trace a connection end to end (accept → placement →
+/// shard serve → handshake/resume → cachenet op → outcome); audit variants
+/// record security-relevant state changes. [`TelemetryEvent::is_audit`]
+/// splits the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TelemetryEvent {
+    /// The listener queued a new connection.
+    Accepted {
+        /// Listener name (the bind label).
+        listener: String,
+    },
+    /// The listener refused a connection.
+    Refused {
+        /// Listener name (the bind label).
+        listener: String,
+        /// Whether the token-bucket rate limiter (vs a full backlog or a
+        /// closed listener) caused the refusal.
+        rate_limited: bool,
+    },
+    /// The acceptor placed a job on a shard.
+    Placed {
+        /// Destination shard index.
+        shard: usize,
+        /// Whether placement fell back from the policy's first choice
+        /// (unhealthy or full preferred shard).
+        stolen: bool,
+    },
+    /// The acceptor could not place a job anywhere.
+    PlacementRejected,
+    /// A shard finished serving one link.
+    Served {
+        /// Serving shard index.
+        shard: usize,
+        /// Whether the server returned `Ok` (panics and `Err` are both
+        /// `false`).
+        ok: bool,
+        /// Wall-clock serve duration in nanoseconds.
+        nanos: u64,
+    },
+    /// A TLS handshake completed on a shard.
+    Handshake {
+        /// Serving shard index.
+        shard: usize,
+        /// Abbreviated (session-resumption) vs full handshake.
+        resumed: bool,
+    },
+    /// A cachenet session lookup completed.
+    CachenetLookup {
+        /// Whether a remote node (vs the local miss-through tier) answered.
+        remote: bool,
+        /// Hit or miss.
+        hit: bool,
+        /// Lookup duration in nanoseconds.
+        nanos: u64,
+    },
+    /// Audit: the kernel denied (or, in emulation mode, permitted and
+    /// recorded) a protection violation.
+    Violation {
+        /// Name of the violating compartment.
+        compartment: String,
+        /// Whether emulation mode let the access proceed.
+        emulated: bool,
+    },
+    /// Audit: a pooled worker's private scratch was zeroized between
+    /// principals.
+    Scrub {
+        /// Name of the scrubbed worker compartment.
+        compartment: String,
+    },
+    /// Audit: a cache node restarted and bumped its epoch, invalidating
+    /// surviving pre-restart entries.
+    EpochBump {
+        /// Node name.
+        node: String,
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Audit: a shard was killed.
+    ShardKilled {
+        /// Shard index.
+        shard: usize,
+        /// Queued links re-routed to surviving shards.
+        rerouted: usize,
+        /// Queued links that could not be re-routed.
+        failed: usize,
+    },
+    /// Audit: the supervisor (or a manual restart) revived a shard.
+    ShardRestarted {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Audit: a cachenet circuit breaker opened against a node.
+    CircuitOpen {
+        /// Index of the node in the ring's endpoint list.
+        node: usize,
+    },
+}
+
+impl TelemetryEvent {
+    /// Whether this is a security-audit event (vs request lifecycle).
+    pub fn is_audit(&self) -> bool {
+        matches!(
+            self,
+            TelemetryEvent::Violation { .. }
+                | TelemetryEvent::Scrub { .. }
+                | TelemetryEvent::EpochBump { .. }
+                | TelemetryEvent::ShardKilled { .. }
+                | TelemetryEvent::ShardRestarted { .. }
+                | TelemetryEvent::CircuitOpen { .. }
+        )
+    }
+}
+
+/// The sink interface, generalising wedge-core's `AccessSink` beyond the
+/// kernel. Implementations must record and return: callbacks run on the
+/// hot serving threads, and re-entering the instrumented component from a
+/// callback deadlocks or recurses.
+pub trait TelemetrySink: Send + Sync {
+    /// One event occurred. `event` is borrowed; clone it to retain it.
+    fn on_event(&self, event: &TelemetryEvent);
+}
+
+/// A sink that counts events by class — the minimal useful sink, and the
+/// overhead-measurement baseline.
+#[derive(Debug, Default)]
+pub struct CountingTelemetrySink {
+    /// Lifecycle events observed.
+    pub lifecycle: AtomicU64,
+    /// Security-audit events observed.
+    pub audit: AtomicU64,
+}
+
+impl CountingTelemetrySink {
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.lifecycle.load(Ordering::Relaxed) + self.audit.load(Ordering::Relaxed)
+    }
+}
+
+impl TelemetrySink for CountingTelemetrySink {
+    fn on_event(&self, event: &TelemetryEvent) {
+        if event.is_audit() {
+            self.audit.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.lifecycle.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A sink that retains every event, for tests and offline inspection.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl RecordingSink {
+    /// Everything recorded so far.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn on_event(&self, event: &TelemetryEvent) {
+        self.events.lock().push(event.clone());
+    }
+}

@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -466,6 +467,27 @@ impl SharedSessionCache {
     /// Sessions evicted to stay within capacity.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Register this cache with a telemetry plane: hits, misses,
+    /// evictions and resident sessions are pulled into
+    /// `tls.session_cache.*` at snapshot time. For standalone use of the
+    /// cache — a store registered with a `ShardedFrontEnd` is already
+    /// pulled under the same names by the front-end's `instrument`, so
+    /// do not also register it here (the totals would double). The
+    /// collector holds the cache weakly.
+    pub fn instrument(self: &Arc<SharedSessionCache>, telemetry: &wedge_telemetry::Telemetry) {
+        let cache = Arc::downgrade(self);
+        telemetry.register_collector(move |sample| {
+            let Some(cache) = cache.upgrade() else {
+                return;
+            };
+            let (hits, misses) = cache.stats();
+            sample.counter("tls.session_cache.hits", hits);
+            sample.counter("tls.session_cache.misses", misses);
+            sample.counter("tls.session_cache.evictions", cache.evictions());
+            sample.gauge("tls.session_cache.resident", cache.len() as u64);
+        });
     }
 }
 

@@ -66,6 +66,17 @@ fn main() {
     let machine_a = machine(keypair, ring_a.clone());
     let machine_b = machine(keypair, ring_b.clone());
 
+    // One registry observes both machines, both ring clients and all
+    // three cache nodes; same-named metrics merge additively.
+    let telemetry = wedge::telemetry::Telemetry::new();
+    machine_a.instrument(&telemetry);
+    machine_b.instrument(&telemetry);
+    ring_a.instrument(&telemetry);
+    ring_b.instrument(&telemetry);
+    for node in &nodes {
+        node.instrument(&telemetry);
+    }
+
     println!("two 2-shard machines sharing a 3-node cache ring; {SESSIONS} roaming clients\n");
 
     // Phase 1: full handshakes on machine A.
@@ -87,15 +98,6 @@ fn main() {
          through to the ring ({:?})",
         started.elapsed()
     );
-    for (idx, node) in nodes.iter().enumerate() {
-        let stats = node.stats();
-        println!(
-            "         cache-{idx}: {} sessions, {} inserts, epoch {}",
-            node.len(),
-            stats.inserts,
-            node.epoch()
-        );
-    }
 
     // Phase 2: the same clients roam to machine B; kill cache-0 mid-run.
     let mut resumed = 0usize;
@@ -108,11 +110,7 @@ fn main() {
             resumed += 1;
         }
     }
-    println!(
-        "phase 2  machine B: {resumed}/{SESSIONS} abbreviated handshakes \
-         (ring stats: {:?})",
-        ring_b.stats()
-    );
+    println!("phase 2  machine B: {resumed}/{SESSIONS} abbreviated handshakes");
     assert!(resumed > 0, "cross-machine resumption must work");
 
     // Phase 3: restart cache-0 — epoch bumps, its surviving pre-restart
@@ -121,7 +119,10 @@ fn main() {
     // served — those clients pay one full handshake; everyone else keeps
     // resuming.
     nodes[0].restart();
-    let machine_c = machine(keypair, ring_for(&nodes, 3));
+    let ring_c = ring_for(&nodes, 3);
+    ring_c.instrument(&telemetry);
+    let machine_c = machine(keypair, ring_c);
+    machine_c.instrument(&telemetry);
     let mut resumed_after = 0usize;
     for client in clients.iter_mut() {
         if connect_once(&machine_c, client) {
@@ -140,17 +141,23 @@ fn main() {
         "some sessions were still owned by cache-0 and must invalidate"
     );
 
-    for (name, front) in [("A", &machine_a), ("B", &machine_b), ("C", &machine_c)] {
-        let sched = front.sched_stats();
-        println!(
-            "machine {name}: submitted {} completed {} rejected {} — resumption hit rate {:?}",
-            sched.submitted,
-            sched.completed,
-            sched.rejected,
-            front.resumption_hit_rate()
-        );
-        assert_eq!(sched.submitted, sched.completed + sched.rejected);
-    }
-    println!("\nOK: sessions roam machines through the cache ring, node death degrades");
+    // Every layer — shards, TLS handshakes, both ring clients, all three
+    // cache nodes — lands in one unified snapshot.
+    let snapshot = telemetry.snapshot();
+    println!("\ntelemetry snapshot:\n{}", snapshot.to_text());
+
+    assert_eq!(
+        snapshot.counter("sched.submitted"),
+        snapshot.counter("sched.completed") + snapshot.counter("sched.rejected")
+    );
+    assert!(snapshot.counter("tls.handshake.abbreviated") >= resumed as u64);
+    assert!(snapshot.counter("cachenet.remote_hits") > 0);
+    assert!(
+        snapshot.counter("cachenet.node.stale_invalidated") > 0,
+        "the restarted node's stale entries must surface in telemetry"
+    );
+    let lookup = snapshot.histogram("cachenet.lookup").expect("ring latency");
+    assert!(lookup.count > 0 && lookup.p99_nanos >= lookup.p50_nanos);
+    println!("OK: sessions roam machines through the cache ring, node death degrades");
     println!("    to bounded full handshakes, and a restarted node never serves stale keys.");
 }

@@ -56,6 +56,11 @@ fn main() {
         .expect("build sharded pop3"),
     );
     let listener = Listener::bind("pop3", CONNECTIONS);
+    // One registry observes the whole stack: listener accept counters,
+    // shard placement/queue depth, serve latency, supervisor restarts.
+    let telemetry = wedge::telemetry::Telemetry::new();
+    server.instrument(&telemetry);
+    listener.instrument(&telemetry);
     println!(
         "serving {CONNECTIONS} POP3 connections through a listener into \
          {SHARDS} supervised shards (killing shard {KILLED} mid-traffic)..."
@@ -120,32 +125,21 @@ fn main() {
          ({:.0} connections/sec aggregate)",
         total as f64 / elapsed.as_secs_f64()
     );
-    let listener_stats = listener.stats();
-    println!(
-        "listener: accepted={} refused={} batched-wakeups={}",
-        listener_stats.accepted, listener_stats.refused, listener_stats.batches
+
+    // The whole stack in one unified snapshot — no per-struct dumps.
+    let snapshot = telemetry.snapshot();
+    println!("\ntelemetry snapshot:\n{}", snapshot.to_text());
+
+    assert_eq!(snapshot.counter("listener.accept"), total as u64);
+    assert_eq!(
+        snapshot.counter("sched.submitted"),
+        snapshot.counter("sched.completed") + snapshot.counter("sched.rejected")
     );
-    let restart = server.restart_stats().expect("supervised");
-    println!(
-        "supervisor: restarts={} failed={} storms={} kill-to-healthy={:?}",
-        restart.restarts,
-        restart.failed_restarts,
-        restart.storms,
-        restart.last_restart_latency()
+    assert!(
+        snapshot.counter("supervisor.restarts") >= 1,
+        "the kill must have been supervised"
     );
-    println!("\nper-shard outcomes:");
-    for stats in server.shard_stats() {
-        println!(
-            "  shard {}: healthy={} restarts={} served={} boot_cost={:?}",
-            stats.shard, stats.healthy, stats.restarts, per_shard[stats.shard], stats.boot_cost
-        );
-    }
-    let sched = server.sched_stats();
-    println!(
-        "\naggregate: submitted={} completed={} rejected={} re-routed/stolen={}",
-        sched.submitted, sched.completed, sched.rejected, sched.stolen
-    );
-    assert_eq!(sched.submitted, sched.completed + sched.rejected);
-    assert!(restart.restarts >= 1, "the kill must have been supervised");
-    println!("\nevery connection served through the crash — nothing dropped.");
+    let serve = snapshot.histogram("shard.serve").expect("serve latency");
+    assert_eq!(serve.count, total as u64);
+    println!("every connection served through the crash — nothing dropped.");
 }

@@ -20,6 +20,10 @@
 //!   session resume on a different *machine*.
 //! * [`apache`] / [`ssh`] / [`pop3`] — the partitioned applications of §2,
 //!   §5.1 and §5.2, each with its monolithic baseline.
+//! * [`telemetry`] — the unified observability plane: the metrics
+//!   registry (counters, gauges, log-bucketed latency histograms), the
+//!   lifecycle/audit event sinks, and the exportable snapshot every layer
+//!   above reports into.
 //!
 //! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory
 //! and substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -38,6 +42,7 @@ pub use wedge_net as net;
 pub use wedge_pop3 as pop3;
 pub use wedge_sched as sched;
 pub use wedge_ssh as ssh;
+pub use wedge_telemetry as telemetry;
 pub use wedge_tls as tls;
 
 /// The version of the reproduction.
