@@ -1,0 +1,113 @@
+//! Open-loop load + chaos: offered connections/sec ramped over the whole
+//! serving stack (Apache + SSH + POP3 behind rate-limited listeners,
+//! TLS resumption through the cachenet ring) while a seeded
+//! `ChaosSchedule` kills shards, bounces cache nodes and floods the rate
+//! limiters mid-run.
+//!
+//! Emits the machine-readable artifact **`BENCH_load.json`** — per-phase
+//! p50/p99/p999 completion latency (measured from the *scheduled*
+//! arrival, so queueing under faults counts), achieved connections/sec,
+//! the injected fault timeline and per-front accounting — to the path in
+//! `WEDGE_BENCH_JSON` (default: `BENCH_load.json` at the workspace
+//! root).
+//!
+//! Set `WEDGE_LOAD_SMOKE=1` for the tiny CI workload.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+use wedge_bench::load::{load_bench_json, run_load, LoadPhase, LoadProfile};
+use wedge_chaos::{ChaosPlan, ChaosSchedule};
+
+fn smoke() -> bool {
+    std::env::var_os("WEDGE_LOAD_SMOKE").is_some()
+}
+
+fn profile() -> LoadProfile {
+    if smoke() {
+        LoadProfile {
+            hosts: 12,
+            phases: vec![
+                LoadPhase::new("warm", 25.0, Duration::from_millis(300)),
+                LoadPhase::new("peak", 75.0, Duration::from_millis(300)),
+            ],
+            workers: 6,
+            ..LoadProfile::default()
+        }
+    } else {
+        LoadProfile {
+            hosts: 256,
+            phases: vec![
+                LoadPhase::new("warm", 40.0, Duration::from_millis(1_000)),
+                LoadPhase::new("ramp", 150.0, Duration::from_millis(1_000)),
+                LoadPhase::new("peak", 400.0, Duration::from_millis(1_000)),
+            ],
+            workers: 16,
+            ..LoadProfile::default()
+        }
+    }
+}
+
+fn schedule(profile: &LoadProfile) -> ChaosSchedule {
+    let horizon: Duration = profile.phases.iter().map(|p| p.duration).sum();
+    ChaosSchedule::generate(&ChaosPlan {
+        seed: 0xC4A05,
+        horizon,
+        shards: 3 * profile.shards_per_front,
+        cache_nodes: 3,
+        flood_sources: 4,
+        shard_kills: 1,
+        cache_restarts: 1,
+        floods: 1,
+        flood_connections: if smoke() { 64 } else { 256 },
+        ..ChaosPlan::default()
+    })
+}
+
+fn load_timing(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("load");
+    group.sample_size(2);
+    group.warm_up_time(Duration::from_millis(10));
+    group.measurement_time(Duration::from_millis(50));
+    // One timed fault-free baseline pass at the warm-phase rate: the
+    // Criterion number tracks harness overhead drift, the JSON artifact
+    // below carries the real latency distributions.
+    let baseline = LoadProfile {
+        phases: vec![LoadPhase::new(
+            "baseline",
+            25.0,
+            Duration::from_millis(if smoke() { 150 } else { 400 }),
+        )],
+        ..profile()
+    };
+    group.bench_function("baseline", |b| {
+        b.iter(|| run_load(&baseline, &ChaosSchedule::explicit(0, Vec::new())));
+    });
+    group.finish();
+}
+
+fn emit_json() {
+    let profile = profile();
+    let schedule = schedule(&profile);
+    let report = run_load(&profile, &schedule);
+    assert!(
+        report.accounts_balance(),
+        "every front-end must balance submitted == completed + rejected"
+    );
+    assert_eq!(
+        report.fault_events,
+        report.faults.len(),
+        "every injected fault must be audited in telemetry"
+    );
+    let json = load_bench_json(&profile, &report);
+    let path = wedge_bench::report::artifact_path("load");
+    std::fs::write(&path, &json).expect("write bench artifact");
+    println!("wrote {path}:\n{json}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    load_timing(&mut criterion);
+    emit_json();
+}

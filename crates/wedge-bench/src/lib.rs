@@ -13,6 +13,7 @@ pub mod cachenet;
 pub mod fast_path;
 pub mod harness;
 pub mod listener;
+pub mod load;
 pub mod pooled;
 pub mod report;
 pub mod sharded;
@@ -29,6 +30,10 @@ pub use harness::{apache_request, ssh_login, ssh_scp, ApacheBed, ApacheVariant, 
 pub use listener::{
     listener_bench_json, measure_restart_latency, run_listener_pop3, ListenerRun, ListenerWorkload,
     RestartMeasurement,
+};
+pub use load::{
+    load_bench_json, run_load, run_load_with_plan, FrontReport, LoadPhase, LoadProfile,
+    LoadRunReport, LoadStack, PhaseReport, ProtocolMix,
 };
 pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
 pub use sharded::{

@@ -123,6 +123,12 @@ impl std::ops::AddAssign<&CacheRingStats> for CacheRingStats {
 struct Breaker {
     consecutive_failures: u32,
     open_until: Option<Instant>,
+    /// A half-open probe is in flight: one caller claimed the right to
+    /// test the recovering node. Everyone else skips it (next-ranked
+    /// node) until the probe resolves — without this, every concurrent
+    /// lookup racing past an expired cooldown thundering-herds a node
+    /// that may still be booting.
+    probing: bool,
 }
 
 /// Live instruments installed by [`CacheRing::instrument`]: the overall
@@ -151,13 +157,35 @@ struct RingNode {
 }
 
 impl RingNode {
-    /// May this node be routed to right now? An open circuit says no
-    /// until its cooldown passes; then one caller probes it (half-open).
+    /// May this node be routed to right now? (Pure read — the gauge and
+    /// tests use this; the routing path claims via
+    /// [`RingNode::claim_routable`].) An open circuit says no until its
+    /// cooldown passes.
     fn routable(&self, now: Instant) -> bool {
         let breaker = self.breaker.lock();
         match breaker.open_until {
             Some(until) => now >= until,
             None => true,
+        }
+    }
+
+    /// [`RingNode::routable`], but with the half-open probe cap: a node
+    /// whose cooldown has passed admits exactly **one** caller (the
+    /// probe) and reads unroutable to everyone else until that probe
+    /// resolves in [`CacheRing::remote`] — success closes the breaker,
+    /// failure re-arms the cooldown. A closed breaker claims nothing.
+    fn claim_routable(&self, now: Instant) -> bool {
+        let mut breaker = self.breaker.lock();
+        match breaker.open_until {
+            None => true,
+            Some(until) if now >= until => {
+                if breaker.probing {
+                    return false;
+                }
+                breaker.probing = true;
+                true
+            }
+            Some(_) => false,
         }
     }
 }
@@ -209,6 +237,7 @@ impl CacheRing {
                     breaker: Mutex::new(Breaker {
                         consecutive_failures: 0,
                         open_until: None,
+                        probing: false,
                     }),
                     last_epoch: AtomicU64::new(0),
                 })
@@ -322,13 +351,18 @@ impl CacheRing {
         scored.into_iter().map(|(_, idx)| idx).collect()
     }
 
-    /// The first routable node for `id`, honouring open circuits.
+    /// The first routable node for `id`, honouring open circuits and the
+    /// half-open probe cap: a recovering node admits one probe at a
+    /// time; every other caller falls through to its next-ranked node.
+    /// The claim is always resolved — each caller feeds the routed node
+    /// straight into [`CacheRing::remote`], whose success/failure paths
+    /// both clear it.
     fn routed_node(&self, id: &SessionId) -> Option<&RingNode> {
         let now = Instant::now();
         self.ranked(id)
             .into_iter()
             .map(|idx| &self.nodes[idx])
-            .find(|node| node.routable(now))
+            .find(|node| node.claim_routable(now))
     }
 
     /// One remote round trip on `node`'s persistent link, bounded by
@@ -350,6 +384,7 @@ impl CacheRing {
                     let mut breaker = node.breaker.lock();
                     breaker.consecutive_failures = 0;
                     breaker.open_until = None;
+                    breaker.probing = false;
                 }
                 let epoch = response.epoch();
                 let previous = node.last_epoch.swap(epoch, Ordering::Relaxed);
@@ -369,6 +404,9 @@ impl CacheRing {
                 drop(conn);
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 let mut breaker = node.breaker.lock();
+                // Release any half-open claim: a failed probe re-arms the
+                // cooldown below, so the next probe waits it out again.
+                breaker.probing = false;
                 breaker.consecutive_failures += 1;
                 if breaker.consecutive_failures >= self.config.breaker_threshold {
                     // (Re)open the circuit; a half-open probe that fails
@@ -660,6 +698,47 @@ mod tests {
         assert!(
             ring.stats().epoch_changes >= 1,
             "the bumped epoch must be observed: {:?}",
+            ring.stats()
+        );
+    }
+
+    #[test]
+    fn half_open_probes_are_capped_at_one_per_node() {
+        // A single-node ring whose node died: once the breaker cooldown
+        // expires, 8 threads race to route to the recovering node at the
+        // same instant. Exactly one may probe it — observable as exactly
+        // one additional remote failure — while the rest fall through to
+        // the local tier instead of thundering-herding the node.
+        let node = CacheNode::spawn(CacheNodeConfig::named("cache-solo"));
+        let ring = CacheRing::new(
+            vec![node.endpoint()],
+            CacheRingConfig {
+                source: SourceAddr::new([10, 2, 0, 3], 40_002),
+                op_timeout: Duration::from_millis(200),
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(500),
+                local_capacity: 128,
+            },
+        );
+        ring.insert(id(21), b"pm".to_vec());
+        node.kill();
+        assert_eq!(ring.lookup(&id(21)).expect("local miss-through"), b"pm");
+        assert_eq!(ring.stats().failures, 1, "the dead node opened its circuit");
+        // Let the cooldown expire, then race the half-open node.
+        std::thread::sleep(Duration::from_millis(650));
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    assert_eq!(ring.lookup(&id(21)).expect("local tier"), b"pm");
+                });
+            }
+        });
+        assert_eq!(
+            ring.stats().failures,
+            2,
+            "exactly one caller probes the recovering node: {:?}",
             ring.stats()
         );
     }

@@ -277,6 +277,17 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
         self.supervisor.as_ref().map(Supervisor::stats)
     }
 
+    /// Shard indices the supervisor's storm guard has written off —
+    /// dead with no pending revival (empty when unsupervised or when
+    /// every failed shard is still being restarted). The health-polling
+    /// counterpart of [`Supervisor::abandoned`].
+    pub fn abandoned_shards(&self) -> Vec<usize> {
+        self.supervisor
+            .as_ref()
+            .map(Supervisor::abandoned)
+            .unwrap_or_default()
+    }
+
     /// Kill shard `idx` (fault injection): queued links re-route to
     /// healthy shards, the link in service finishes, and — when a
     /// supervisor is configured — the shard respawns automatically.

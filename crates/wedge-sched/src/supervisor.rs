@@ -168,6 +168,10 @@ pub struct Supervisor {
     monitor: Option<thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     counters: Arc<SupervisorCounters>,
+    /// Per-shard storm-abandonment flags, mirrored out of the monitor
+    /// thread's private [`WatchState`] so health pollers can tell a shard
+    /// that is "restarting soon" from one the watchdog has written off.
+    abandoned: Arc<Vec<AtomicBool>>,
     /// Guards [`Supervisor::instrument`] against double registration.
     instrumented: AtomicBool,
 }
@@ -186,18 +190,25 @@ impl Supervisor {
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(SupervisorCounters::default());
         let inner = set.inner().clone();
+        let abandoned: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..inner.shards.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        );
         let monitor = {
             let stop = stop.clone();
             let counters = counters.clone();
+            let abandoned = abandoned.clone();
             thread::Builder::new()
                 .name("wedge-supervisor".to_string())
-                .spawn(move || monitor_loop(&inner, &config, &stop, &counters))
+                .spawn(move || monitor_loop(&inner, &config, &stop, &counters, &abandoned))
                 .expect("spawn supervisor")
         };
         Supervisor {
             monitor: Some(monitor),
             stop,
             counters,
+            abandoned,
             instrumented: AtomicBool::new(false),
         }
     }
@@ -239,6 +250,31 @@ impl Supervisor {
                 counters.last_restart_latency_nanos.load(Ordering::Relaxed),
             );
         });
+    }
+
+    /// The shard indices the storm guard has currently written off.
+    ///
+    /// A shard in this list reads [`crate::ShardHealth::Failed`] yet the
+    /// supervisor will **not** revive it — callers polling health need
+    /// this to distinguish "dead but restarting soon" from "given up".
+    /// Manual revival ([`crate::ShardSet::restart_shard`]) followed by
+    /// [`SupervisorConfig::healthy_reset`] of continuous health forgives
+    /// the abandonment and removes the shard from this list.
+    pub fn abandoned(&self) -> Vec<usize> {
+        self.abandoned
+            .iter()
+            .enumerate()
+            .filter(|(_, flag)| flag.load(Ordering::Relaxed))
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Whether the storm guard has currently written off shard `idx`
+    /// (out-of-range indices read as not abandoned).
+    pub fn is_abandoned(&self, idx: usize) -> bool {
+        self.abandoned
+            .get(idx)
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
     }
 
     /// Counters so far.
@@ -307,6 +343,7 @@ fn monitor_loop<S: ShardServer>(
     config: &SupervisorConfig,
     stop: &AtomicBool,
     counters: &Arc<SupervisorCounters>,
+    abandoned: &[AtomicBool],
 ) {
     let now = Instant::now();
     let mut watch: Vec<WatchState> = (0..inner.shards.len())
@@ -333,6 +370,7 @@ fn monitor_loop<S: ShardServer>(
                         if state.abandoned {
                             state.abandoned = false;
                             state.recent.clear();
+                            abandoned[idx].store(false, Ordering::Relaxed);
                             counters.abandoned_shards.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
@@ -359,6 +397,7 @@ fn monitor_loop<S: ShardServer>(
                     }
                     if state.recent.len() >= config.storm_threshold as usize {
                         state.abandoned = true;
+                        abandoned[idx].store(true, Ordering::Relaxed);
                         counters.storms.fetch_add(1, Ordering::Relaxed);
                         counters.abandoned_shards.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -535,6 +574,12 @@ mod tests {
         // survivor.
         thread::sleep(Duration::from_millis(20));
         assert_eq!(set.health(0), ShardHealth::Failed);
+        // Health alone reads Failed for both "restarting soon" and
+        // "given up" — the accessor is what disambiguates.
+        assert_eq!(supervisor.abandoned(), vec![0]);
+        assert!(supervisor.is_abandoned(0));
+        assert!(!supervisor.is_abandoned(1));
+        assert!(!supervisor.is_abandoned(99), "out of range reads false");
         let acceptor = Acceptor::new(&set, AcceptPolicy::RoundRobin);
         let (client, server) = duplex_pair("c", "s");
         client.send(b"go").unwrap();
@@ -573,6 +618,7 @@ mod tests {
         }
         assert_eq!(set.health(0), ShardHealth::Failed);
         assert_eq!(supervisor.stats().abandoned_shards, 1);
+        assert_eq!(supervisor.abandoned(), vec![0]);
         // An operator revives it by hand and it holds healthy past
         // healthy_reset: the watchdog must forgive the abandonment...
         set.restart_shard(0).expect("manual revival");
@@ -581,6 +627,10 @@ mod tests {
             assert!(Instant::now() < deadline, "abandonment never forgiven");
             thread::sleep(Duration::from_millis(1));
         }
+        assert!(
+            supervisor.abandoned().is_empty(),
+            "forgiveness clears the per-shard flag too"
+        );
         // ...and supervise the next failure again.
         let revivals_so_far = supervisor.stats().restarts;
         set.kill_shard(0);

@@ -113,6 +113,21 @@ pub enum TelemetryEvent {
         /// Index of the node in the ring's endpoint list.
         node: usize,
     },
+    /// Audit: a chaos harness injected a fault on purpose. Emitted at
+    /// injection time into the same stream as the organic audit events,
+    /// so a latency spike in the snapshot is attributable to the fault
+    /// that caused it (an `EpochBump` following a `FaultInjected
+    /// {fault: "cache_restart"}` is scheduled chaos, not an incident).
+    FaultInjected {
+        /// Fault kind, e.g. `"kill_shard"`, `"cache_kill"`,
+        /// `"cache_restart"`, `"restart_storm"`, `"flood"`, `"brownout"`.
+        fault: String,
+        /// Index of the victim (shard index, cache-node index, flood
+        /// source ordinal — whatever the fault targets).
+        victim: usize,
+        /// Milliseconds since the schedule started when this fired.
+        at_ms: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -126,6 +141,7 @@ impl TelemetryEvent {
                 | TelemetryEvent::ShardKilled { .. }
                 | TelemetryEvent::ShardRestarted { .. }
                 | TelemetryEvent::CircuitOpen { .. }
+                | TelemetryEvent::FaultInjected { .. }
         )
     }
 }

@@ -24,6 +24,11 @@
 //!   registry (counters, gauges, log-bucketed latency histograms), the
 //!   lifecycle/audit event sinks, and the exportable snapshot every layer
 //!   above reports into.
+//! * [`chaos`] — seeded, replayable fault schedules (shard kills,
+//!   cache-node epoch restarts, restart storms, rate-limit floods,
+//!   cachenet brownouts) injected against the serving stack while the
+//!   wedge-bench open-loop load harness keeps traffic arriving, every
+//!   fault audited through [`telemetry`].
 //!
 //! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory
 //! and substitutions, and `EXPERIMENTS.md` for the paper-vs-measured record
@@ -36,6 +41,7 @@ pub use crowbar;
 pub use wedge_alloc as alloc;
 pub use wedge_apache as apache;
 pub use wedge_cachenet as cachenet;
+pub use wedge_chaos as chaos;
 pub use wedge_core as core;
 pub use wedge_crypto as crypto;
 pub use wedge_net as net;

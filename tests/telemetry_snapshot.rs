@@ -18,7 +18,7 @@ use wedge::cachenet::{CacheNode, CacheNodeConfig, CacheRing, CacheRingConfig};
 use wedge::crypto::{RsaKeyPair, WedgeRng};
 use wedge::net::{duplex_pair, Listener, RateLimitConfig, SourceAddr};
 use wedge::telemetry::Telemetry;
-use wedge::tls::TlsClient;
+use wedge::tls::{SessionId, SessionStore, TlsClient};
 
 const SESSIONS: usize = 12;
 
@@ -83,7 +83,7 @@ fn one_snapshot_observes_every_layer() {
     ring_b.instrument(&telemetry);
     let keypair = RsaKeyPair::generate(&mut WedgeRng::from_seed(8086));
     let machine_a = Arc::new(machine(keypair, ring_a));
-    let machine_b = machine(keypair, ring_b);
+    let machine_b = machine(keypair, ring_b.clone());
     machine_a.instrument(&telemetry);
     machine_b.instrument(&telemetry);
 
@@ -165,6 +165,16 @@ fn one_snapshot_observes_every_layer() {
         resumed > 0,
         "cross-machine resumption must survive the kill"
     );
+    // Whether any roamed session's id ranks the killed node first is up
+    // to this run's session ids — drive a spread of fixed probe ids
+    // through ring B so at least one lookup deterministically routes to
+    // the dead node, fails, and opens its breaker.
+    for probe in 0..16u8 {
+        let _ = SessionStore::lookup(
+            ring_b.as_ref(),
+            &SessionId::from_bytes(&[probe; 16]).expect("16 bytes"),
+        );
+    }
 
     // --- a standalone kernel on the same plane produces a violation.
     let wedge = wedge::core::Wedge::init();
