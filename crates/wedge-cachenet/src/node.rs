@@ -4,8 +4,12 @@
 //! A node owns a [`SharedSessionCache`] **partition** (the same bounded
 //! LRU service a single machine's shards share) and speaks the `proto`
 //! frames over every accepted link. Ring clients connect once and keep
-//! the link; a node serves any number of concurrent links, one handler
-//! thread each.
+//! the link; a node serves any number of concurrent links on **one
+//! reactor sthread** ([`wedge_net::Reactor`]) — accepted links register
+//! a drain handler and idle links cost a map entry, not a stack. Replies
+//! echo the request's wire version: v2 frames get their request id
+//! stamped back (so a pipelining client can demultiplex N in-flight
+//! requests per link), v1 frames get v1 replies.
 //!
 //! ## Epochs
 //!
@@ -25,10 +29,12 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use wedge_net::{Duplex, Listener, NetError, RecvTimeout, SourceAddr};
+use wedge_net::{
+    Duplex, LinkEvent, LinkVerdict, Listener, NetError, Reactor, RecvTimeout, SourceAddr,
+};
 use wedge_tls::SharedSessionCache;
 
-use crate::proto::{ProtoError, Request, Response, MAX_PAYLOAD};
+use crate::proto::{peek_request_id, ProtoError, Request, Response, MAX_PAYLOAD};
 
 /// How a cache node is sized and named.
 #[derive(Debug, Clone)]
@@ -56,7 +62,8 @@ impl CacheNodeConfig {
 /// Counters a node accumulates (all monotonic).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheNodeStats {
-    /// Lookup requests served.
+    /// Lookup requests served — batch ops count **one per key**, so this
+    /// stays comparable with the single-op trajectory.
     pub lookups: u64,
     /// Lookups answered `Hit`.
     pub hits: u64,
@@ -65,12 +72,15 @@ pub struct CacheNodeStats {
     /// Lookups that found a **stale** (pre-restart) entry: invalidated
     /// and answered `Miss`, never served.
     pub stale_invalidated: u64,
-    /// Insert requests applied.
+    /// Insert requests applied (batch ops count one per key).
     pub inserts: u64,
     /// Invalidate requests applied.
     pub invalidations: u64,
     /// Ping requests answered.
     pub pings: u64,
+    /// Batch frames served (`LookupBatch` + `InsertBatch`), whatever
+    /// their key count.
+    pub batches: u64,
     /// Frames that failed to decode or were refused (answered `Err`).
     pub bad_frames: u64,
     /// Links accepted over the node's lifetime.
@@ -91,6 +101,7 @@ impl std::ops::AddAssign<&CacheNodeStats> for CacheNodeStats {
             inserts,
             invalidations,
             pings,
+            batches,
             bad_frames,
             links_accepted,
         } = other;
@@ -101,6 +112,7 @@ impl std::ops::AddAssign<&CacheNodeStats> for CacheNodeStats {
         self.inserts += inserts;
         self.invalidations += invalidations;
         self.pings += pings;
+        self.batches += batches;
         self.bad_frames += bad_frames;
         self.links_accepted += links_accepted;
     }
@@ -115,6 +127,7 @@ struct NodeCounters {
     inserts: AtomicU64,
     invalidations: AtomicU64,
     pings: AtomicU64,
+    batches: AtomicU64,
     bad_frames: AtomicU64,
     links_accepted: AtomicU64,
 }
@@ -130,8 +143,9 @@ struct NodeShared {
     backlog: usize,
     epoch: AtomicU64,
     up: AtomicBool,
-    /// Server ends of live links, so a kill can unblock their handlers.
-    links: Mutex<Vec<Arc<Duplex>>>,
+    /// The reactor driving every accepted link. Swapped on restart;
+    /// shutting it down hangs up all live links (the kill path).
+    reactor: Mutex<Option<Arc<Reactor>>>,
     counters: NodeCounters,
     /// Set once by [`CacheNode::instrument`]; restarts emit
     /// [`wedge_telemetry::TelemetryEvent::EpochBump`] through it.
@@ -172,8 +186,8 @@ impl CacheEndpoint {
 /// thread it spawned.
 pub struct CacheNode {
     shared: Arc<NodeShared>,
-    /// The accept-loop thread (one per bind; replaced on restart) plus
-    /// every link handler it spawned.
+    /// The accept-loop thread (one per bind; replaced on restart). Link
+    /// serving happens on the node's reactor, not here.
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -198,7 +212,7 @@ impl CacheNode {
             backlog: config.backlog.max(1),
             epoch: AtomicU64::new(1),
             up: AtomicBool::new(true),
-            links: Mutex::new(Vec::new()),
+            reactor: Mutex::new(None),
             counters: NodeCounters::default(),
             telemetry: std::sync::OnceLock::new(),
         });
@@ -239,15 +253,29 @@ impl CacheNode {
         self.shared.partition.is_empty()
     }
 
+    /// Links currently registered on the node's reactor (live clients).
+    pub fn live_links(&self) -> usize {
+        self.shared
+            .reactor
+            .lock()
+            .as_ref()
+            .map_or(0, |reactor| reactor.links())
+    }
+
     /// Register this node on `telemetry` (idempotent): a pull collector
     /// summing its counters into the `cachenet.node.*` namespace (several
     /// instrumented nodes contribute to one ring-wide total), its
-    /// partition residency and its epoch (max across nodes). After this,
-    /// every [`CacheNode::restart`] emits an
+    /// partition residency and its epoch (max across nodes). The node's
+    /// reactor (current and post-restart replacements) is instrumented
+    /// too, contributing to the `reactor.*` rows. After this, every
+    /// [`CacheNode::restart`] emits an
     /// [`wedge_telemetry::TelemetryEvent::EpochBump`] audit event.
     pub fn instrument(&self, telemetry: &wedge_telemetry::Telemetry) {
         if self.shared.telemetry.set(telemetry.clone()).is_err() {
             return;
+        }
+        if let Some(reactor) = self.shared.reactor.lock().as_ref() {
+            reactor.instrument(telemetry);
         }
         let shared = Arc::downgrade(&self.shared);
         telemetry.register_collector(move |sample| {
@@ -267,6 +295,7 @@ impl CacheNode {
                 "cachenet.node.invalidations",
                 c.invalidations.load(Ordering::Relaxed),
             );
+            sample.counter("cachenet.node.batches", c.batches.load(Ordering::Relaxed));
             sample.counter(
                 "cachenet.node.bad_frames",
                 c.bad_frames.load(Ordering::Relaxed),
@@ -291,24 +320,26 @@ impl CacheNode {
             inserts: c.inserts.load(Ordering::Relaxed),
             invalidations: c.invalidations.load(Ordering::Relaxed),
             pings: c.pings.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
             bad_frames: c.bad_frames.load(Ordering::Relaxed),
             links_accepted: c.links_accepted.load(Ordering::Relaxed),
         }
     }
 
     /// Kill the node (fault injection / planned shutdown): the listener
-    /// closes, every live link is hung up, every handler thread exits and
-    /// is joined. The partition's contents are retained — that is the
-    /// point of the epoch mechanism; see [`CacheNode::restart`].
+    /// closes, the accept thread exits and is joined, the reactor shuts
+    /// down and hangs up every live link. The partition's contents are
+    /// retained — that is the point of the epoch mechanism; see
+    /// [`CacheNode::restart`].
     pub fn kill(&self) {
         self.shared.up.store(false, Ordering::SeqCst);
         self.shared.listener.read().close();
-        for link in self.shared.links.lock().drain(..) {
-            link.close();
-        }
         let threads: Vec<_> = self.threads.lock().drain(..).collect();
         for handle in threads {
             let _ = handle.join();
+        }
+        if let Some(reactor) = self.shared.reactor.lock().take() {
+            reactor.shutdown();
         }
     }
 
@@ -336,59 +367,37 @@ impl CacheNode {
     fn start_accept_loop(&self) {
         let shared = self.shared.clone();
         let listener = shared.listener.read().clone();
-        let node = self.shared.clone();
+        let reactor = Arc::new(Reactor::spawn(&format!("cachenode-{}", shared.name)));
+        if let Some(telemetry) = shared.telemetry.get() {
+            reactor.instrument(telemetry);
+        }
+        *shared.reactor.lock() = Some(reactor.clone());
         let accept = std::thread::Builder::new()
-            .name(format!("cachenode-{}", node.name))
-            .spawn(move || {
-                let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-                loop {
-                    match listener.accept(RecvTimeout::After(Duration::from_millis(20))) {
-                        Ok(link) => {
-                            // Clients churn links (a ring re-dials after
-                            // every failure), so a long-lived node must
-                            // not keep one registry entry and one join
-                            // handle per link *ever accepted*: reap
-                            // finished handlers and dead links (only the
-                            // registry still holds them) on each accept.
-                            handlers = handlers
-                                .into_iter()
-                                .filter_map(|handler| {
-                                    if handler.is_finished() {
-                                        let _ = handler.join();
-                                        None
-                                    } else {
-                                        Some(handler)
-                                    }
-                                })
-                                .collect();
-                            shared
-                                .links
-                                .lock()
-                                .retain(|link| Arc::strong_count(link) > 1);
-                            shared
-                                .counters
-                                .links_accepted
-                                .fetch_add(1, Ordering::Relaxed);
-                            let link = Arc::new(link);
-                            shared.links.lock().push(link.clone());
-                            let shared = shared.clone();
-                            handlers.push(
-                                std::thread::Builder::new()
-                                    .name(format!("cachenode-{}-link", shared.name))
-                                    .spawn(move || serve_link(&shared, &link))
-                                    .expect("spawn link handler"),
-                            );
-                        }
-                        Err(NetError::Timeout) => {
-                            if !shared.up.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
+            .name(format!("cachenode-{}", shared.name))
+            .spawn(move || loop {
+                match listener.accept(RecvTimeout::After(Duration::from_millis(20))) {
+                    Ok(link) => {
+                        shared
+                            .counters
+                            .links_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        // The reactor owns the link from here: its drain
+                        // handler decodes, applies and replies for every
+                        // arriving frame, and dead links deregister on
+                        // the hang-up event — no per-link thread, no
+                        // per-link registry to reap.
+                        let handler_shared = shared.clone();
+                        reactor.register(Arc::new(link), move |link, event| match event {
+                            LinkEvent::Message(frame) => serve_frame(&handler_shared, link, &frame),
+                            LinkEvent::Closed => LinkVerdict::Done,
+                        });
                     }
-                }
-                for handler in handlers {
-                    let _ = handler.join();
+                    Err(NetError::Timeout) => {
+                        if !shared.up.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
                 }
             })
             .expect("spawn accept loop");
@@ -402,34 +411,37 @@ impl Drop for CacheNode {
     }
 }
 
-/// Serve one client link until it hangs up or the node dies.
-fn serve_link(shared: &NodeShared, link: &Duplex) {
-    loop {
-        let frame = match link.recv(RecvTimeout::After(Duration::from_millis(50))) {
-            Ok(frame) => frame,
-            Err(NetError::Timeout) => {
-                if shared.up.load(Ordering::SeqCst) {
-                    continue;
-                }
-                return;
-            }
-            Err(_) => return,
-        };
-        let epoch = shared.epoch.load(Ordering::SeqCst);
-        let response = match Request::decode(&frame) {
-            Ok(request) => apply(shared, epoch, request),
-            Err(err) => {
-                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+/// Serve one inbound frame on the reactor thread: decode, apply, reply
+/// in the request's own wire version (v2 replies echo the request id so
+/// pipelining clients can demultiplex).
+fn serve_frame(shared: &NodeShared, link: &Duplex, frame: &[u8]) -> LinkVerdict {
+    let epoch = shared.epoch.load(Ordering::SeqCst);
+    let (request_id, response) = match Request::decode(frame) {
+        Ok(framed) => (framed.request_id, apply(shared, epoch, framed.request)),
+        Err(err) => {
+            shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+            // Undecodable frames still get a best-effort id echo: a
+            // v2-magic header names the request it refuses, anything
+            // else is answered in v1 framing.
+            (
+                peek_request_id(frame),
                 Response::Err {
                     epoch,
                     message: refusal(&err),
-                }
-            }
-        };
-        if link.send(&response.encode()).is_err() {
-            return;
+                },
+            )
         }
+    };
+    let reply = match request_id {
+        Some(id) => response.encode(id),
+        // `Batch` only answers v2 batch requests, so a v1 reply always
+        // encodes.
+        None => response.encode_v1().expect("v1-encodable response"),
+    };
+    if link.send(&reply).is_err() {
+        return LinkVerdict::Done;
     }
+    LinkVerdict::Keep
 }
 
 fn refusal(err: &ProtoError) -> String {
@@ -440,41 +452,38 @@ fn refusal(err: &ProtoError) -> String {
 fn apply(shared: &NodeShared, epoch: u64, request: Request) -> Response {
     let c = &shared.counters;
     match request {
-        Request::Lookup(id) => {
-            c.lookups.fetch_add(1, Ordering::Relaxed);
-            match shared.partition.lookup(&id) {
-                Some(value) => match split_epoch(&value) {
-                    Some((entry_epoch, premaster)) if entry_epoch == epoch => {
-                        c.hits.fetch_add(1, Ordering::Relaxed);
-                        Response::Hit {
-                            epoch,
-                            premaster: premaster.to_vec(),
-                        }
-                    }
-                    _ => {
-                        // Stale (pre-restart) or unparseable: invalidate,
-                        // never serve.
-                        shared.partition.remove(&id);
-                        c.stale_invalidated.fetch_add(1, Ordering::Relaxed);
-                        Response::Miss { epoch }
-                    }
-                },
-                None => {
-                    c.misses.fetch_add(1, Ordering::Relaxed);
-                    Response::Miss { epoch }
-                }
-            }
+        Request::Lookup(id) => match lookup_one(shared, epoch, &id) {
+            Some(premaster) => Response::Hit { epoch, premaster },
+            None => Response::Miss { epoch },
+        },
+        Request::LookupBatch(ids) => {
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            let results = ids.iter().map(|id| lookup_one(shared, epoch, id)).collect();
+            Response::Batch { epoch, results }
         }
-        Request::Insert(id, premaster) => {
-            if premaster.len() > MAX_PAYLOAD - 8 {
+        Request::Insert(id, premaster) => match insert_one(shared, epoch, id, &premaster) {
+            Ok(()) => Response::Ok { epoch },
+            Err(response) => response,
+        },
+        Request::InsertBatch(entries) => {
+            // Refuse the whole batch if any key oversizes: partial
+            // application would leave the client guessing which keys
+            // landed.
+            if entries
+                .iter()
+                .any(|(_, premaster)| premaster.len() > MAX_PAYLOAD - 8)
+            {
                 c.bad_frames.fetch_add(1, Ordering::Relaxed);
                 return Response::Err {
                     epoch,
                     message: "refused: oversize premaster".to_string(),
                 };
             }
-            c.inserts.fetch_add(1, Ordering::Relaxed);
-            shared.partition.insert(id, join_epoch(epoch, &premaster));
+            c.batches.fetch_add(1, Ordering::Relaxed);
+            for (id, premaster) in entries {
+                c.inserts.fetch_add(1, Ordering::Relaxed);
+                shared.partition.insert(id, join_epoch(epoch, &premaster));
+            }
             Response::Ok { epoch }
         }
         Request::Invalidate(id) => {
@@ -487,6 +496,53 @@ fn apply(shared: &NodeShared, epoch: u64, request: Request) -> Response {
             Response::Ok { epoch }
         }
     }
+}
+
+/// One key's lookup, shared by the single op and the batch op so stats
+/// count **per key** and stale invalidation applies uniformly.
+fn lookup_one(shared: &NodeShared, epoch: u64, id: &wedge_tls::SessionId) -> Option<Vec<u8>> {
+    let c = &shared.counters;
+    c.lookups.fetch_add(1, Ordering::Relaxed);
+    match shared.partition.lookup(id) {
+        Some(value) => match split_epoch(&value) {
+            Some((entry_epoch, premaster)) if entry_epoch == epoch => {
+                c.hits.fetch_add(1, Ordering::Relaxed);
+                Some(premaster.to_vec())
+            }
+            _ => {
+                // Stale (pre-restart) or unparseable: invalidate, never
+                // serve.
+                shared.partition.remove(id);
+                c.stale_invalidated.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        },
+        None => {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// One key's insert, shared by the single op (batch refusal semantics
+/// differ, so the batch arm checks sizes itself).
+fn insert_one(
+    shared: &NodeShared,
+    epoch: u64,
+    id: wedge_tls::SessionId,
+    premaster: &[u8],
+) -> Result<(), Response> {
+    let c = &shared.counters;
+    if premaster.len() > MAX_PAYLOAD - 8 {
+        c.bad_frames.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::Err {
+            epoch,
+            message: "refused: oversize premaster".to_string(),
+        });
+    }
+    c.inserts.fetch_add(1, Ordering::Relaxed);
+    shared.partition.insert(id, join_epoch(epoch, premaster));
+    Ok(())
 }
 
 /// Tag a premaster with the epoch it was inserted under.
@@ -519,14 +575,17 @@ mod tests {
         SourceAddr::new([10, 1, 0, last], 50_000)
     }
 
-    /// Dial, speak one request, await one response.
+    /// Dial, speak one v2 request, await one response; the echoed id is
+    /// asserted on the way through.
     fn roundtrip(endpoint: &CacheEndpoint, request: &Request) -> Response {
         let link = endpoint.dial(source(1)).expect("dial");
-        link.send(&request.encode()).expect("send");
+        link.send(&request.encode(42)).expect("send");
         let frame = link
             .recv(RecvTimeout::After(Duration::from_secs(5)))
             .expect("response");
-        Response::decode(&frame).expect("decode")
+        let framed = Response::decode(&frame).expect("decode");
+        assert_eq!(framed.request_id, Some(42), "v2 reply echoes the id");
+        framed.response
     }
 
     #[test]
@@ -558,15 +617,100 @@ mod tests {
         let node = CacheNode::spawn(CacheNodeConfig::named("pipelined"));
         let link = node.endpoint().dial(source(2)).expect("dial");
         for byte in 0..10u8 {
-            link.send(&Request::Insert(id(byte), vec![byte]).encode())
+            link.send(&Request::Insert(id(byte), vec![byte]).encode(byte as u16))
                 .unwrap();
             let frame = link
                 .recv(RecvTimeout::After(Duration::from_secs(5)))
                 .unwrap();
-            assert_eq!(Response::decode(&frame).unwrap(), Response::Ok { epoch: 1 });
+            let framed = Response::decode(&frame).unwrap();
+            assert_eq!(framed.request_id, Some(byte as u16));
+            assert_eq!(framed.response, Response::Ok { epoch: 1 });
         }
         assert_eq!(node.len(), 10);
         assert_eq!(node.stats().links_accepted, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order_with_their_ids() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("depth"));
+        let link = node.endpoint().dial(source(9)).expect("dial");
+        // Fire 32 requests without reading a single reply: the node must
+        // serve them all (no head-of-line deadlock on a full window).
+        for n in 0..32u16 {
+            link.send(&Request::Insert(id(n as u8), vec![n as u8]).encode(n))
+                .unwrap();
+        }
+        for n in 0..32u16 {
+            let frame = link
+                .recv(RecvTimeout::After(Duration::from_secs(5)))
+                .unwrap();
+            let framed = Response::decode(&frame).unwrap();
+            assert_eq!(framed.request_id, Some(n), "FIFO order, ids intact");
+            assert_eq!(framed.response, Response::Ok { epoch: 1 });
+        }
+        assert_eq!(node.len(), 32);
+    }
+
+    #[test]
+    fn v1_clients_are_served_with_v1_replies() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("legacy"));
+        let link = node.endpoint().dial(source(6)).expect("dial");
+        let frame = Request::Insert(id(1), b"pm".to_vec())
+            .encode_v1()
+            .expect("v1-encodable");
+        link.send(&frame).unwrap();
+        let reply = link
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .unwrap();
+        let framed = Response::decode(&reply).unwrap();
+        assert_eq!(framed.request_id, None, "v1 reply carries no id");
+        assert_eq!(framed.response, Response::Ok { epoch: 1 });
+    }
+
+    #[test]
+    fn lookup_batch_answers_per_key_and_counts_per_key() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("batch"));
+        let endpoint = node.endpoint();
+        roundtrip(&endpoint, &Request::Insert(id(1), b"a".to_vec()));
+        roundtrip(&endpoint, &Request::Insert(id(3), b"c".to_vec()));
+        let response = roundtrip(&endpoint, &Request::LookupBatch(vec![id(1), id(2), id(3)]));
+        assert_eq!(
+            response,
+            Response::Batch {
+                epoch: 1,
+                results: vec![Some(b"a".to_vec()), None, Some(b"c".to_vec())],
+            }
+        );
+        let stats = node.stats();
+        assert_eq!(stats.batches, 1, "one batch frame");
+        assert_eq!(stats.lookups, 3, "three keys looked up");
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn insert_batch_applies_all_keys_or_refuses_whole() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("batchin"));
+        let endpoint = node.endpoint();
+        assert_eq!(
+            roundtrip(
+                &endpoint,
+                &Request::InsertBatch(vec![(id(1), b"a".to_vec()), (id(2), b"b".to_vec()),]),
+            ),
+            Response::Ok { epoch: 1 }
+        );
+        assert_eq!(node.len(), 2);
+        assert_eq!(node.stats().inserts, 2);
+
+        // One oversize key poisons the whole batch — nothing lands.
+        let oversize = vec![0u8; MAX_PAYLOAD - 7];
+        assert!(matches!(
+            roundtrip(
+                &endpoint,
+                &Request::InsertBatch(vec![(id(3), b"ok".to_vec()), (id(4), oversize)]),
+            ),
+            Response::Err { epoch: 1, .. }
+        ));
+        assert_eq!(node.len(), 2, "refused batch left no partial state");
     }
 
     #[test]
@@ -598,16 +742,34 @@ mod tests {
             .recv(RecvTimeout::After(Duration::from_secs(5)))
             .unwrap();
         assert!(matches!(
-            Response::decode(&frame).unwrap(),
+            Response::decode(&frame).unwrap().response,
             Response::Err { epoch: 1, .. }
         ));
         // The same link still serves well-formed traffic.
-        link.send(&Request::Ping.encode()).unwrap();
+        link.send(&Request::Ping.encode(7)).unwrap();
         let frame = link
             .recv(RecvTimeout::After(Duration::from_secs(5)))
             .unwrap();
-        assert_eq!(Response::decode(&frame).unwrap(), Response::Ok { epoch: 1 });
+        let framed = Response::decode(&frame).unwrap();
+        assert_eq!(framed.request_id, Some(7));
+        assert_eq!(framed.response, Response::Ok { epoch: 1 });
         assert_eq!(node.stats().bad_frames, 1);
+    }
+
+    #[test]
+    fn truncated_v2_frames_echo_the_peeked_id_in_the_refusal() {
+        let node = CacheNode::spawn(CacheNodeConfig::named("peek"));
+        let link = node.endpoint().dial(source(8)).expect("dial");
+        // A v2 header with id 0x1234 and a truncated body.
+        let mut frame = Request::Lookup(id(1)).encode(0x1234);
+        frame.truncate(frame.len() - 1);
+        link.send(&frame).unwrap();
+        let reply = link
+            .recv(RecvTimeout::After(Duration::from_secs(5)))
+            .unwrap();
+        let framed = Response::decode(&reply).unwrap();
+        assert_eq!(framed.request_id, Some(0x1234), "refusal names the request");
+        assert!(matches!(framed.response, Response::Err { .. }));
     }
 
     #[test]
@@ -656,5 +818,32 @@ mod tests {
         // The client's next receive resolves (disconnect), never hangs.
         let err = link.recv(RecvTimeout::After(Duration::from_secs(5)));
         assert!(err.is_err(), "dead node must hang up, not hang");
+    }
+
+    #[test]
+    fn many_idle_links_ride_one_reactor_thread() {
+        let node = CacheNode::spawn(CacheNodeConfig {
+            backlog: 256,
+            ..CacheNodeConfig::named("wide")
+        });
+        let endpoint = node.endpoint();
+        let mut idle = Vec::new();
+        for n in 0..200u8 {
+            idle.push(endpoint.dial(source(n)).expect("dial"));
+        }
+        // Traffic on a fresh link still flows while the rest sit idle.
+        assert_eq!(
+            roundtrip(&endpoint, &Request::Ping),
+            Response::Ok { epoch: 1 }
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while node.live_links() < 200 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "links never registered"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(node.stats().links_accepted, 201);
     }
 }

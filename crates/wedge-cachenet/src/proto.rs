@@ -1,48 +1,78 @@
 //! The cachenet wire protocol: compact, length-prefixed, versioned
 //! frames spoken over a [`wedge_net::Duplex`] link.
 //!
-//! One frame per link message. Every frame starts with the 3-byte header
-//! `[MAGIC, VERSION, opcode]`; fixed-size fields follow little-endian,
-//! variable-size fields carry a `u16` length prefix. The session id is
-//! always its full 16 bytes. Responses additionally carry the serving
-//! node's **epoch** (see `node.rs`) right after the header, so clients
-//! can detect a restarted node from any reply.
+//! One frame per link message. Version 2 — what this build speaks —
+//! stamps every frame with a **`u16` request id** right after the 3-byte
+//! header `[MAGIC, VERSION, opcode]`, so a client can keep many requests
+//! in flight on one link (pipelining) and pair each reply with its
+//! request no matter the order replies arrive in. Fixed-size fields are
+//! little-endian, variable-size fields carry a `u16` length prefix, and
+//! the session id is always its full 16 bytes. Responses additionally
+//! carry the serving node's **epoch** (see `node.rs`) right after the
+//! request id, so clients detect a restarted node from any reply.
 //!
 //! ```text
-//! request  := hdr id(16)                 ; Lookup / Invalidate
-//!           | hdr id(16) len(2) bytes    ; Insert
-//!           | hdr                        ; Ping
-//! response := hdr epoch(8) len(2) bytes  ; Hit / Err
-//!           | hdr epoch(8)               ; Miss / Ok
+//! hdr      := MAGIC ver(1) opcode rid(2)       ; ver = 2
+//! request  := hdr id(16)                       ; Lookup / Invalidate
+//!           | hdr id(16) len(2) bytes          ; Insert
+//!           | hdr                              ; Ping
+//!           | hdr n(2) id(16)*n                ; LookupBatch
+//!           | hdr n(2) (id(16) len(2) bytes)*n ; InsertBatch
+//! response := hdr epoch(8) len(2) bytes        ; Hit / Err
+//!           | hdr epoch(8)                     ; Miss / Ok
+//!           | hdr epoch(8) n(2) result*n       ; Batch
+//! result   := 0x00 | 0x01 len(2) bytes         ; per-key miss / hit
 //! ```
+//!
+//! **Version negotiation:** decoders accept version 1 frames too (the
+//! pre-pipelining format: same layouts, no request id, no batch ops) and
+//! report them with `request_id: None`; a node answers a v1 frame with a
+//! v1 reply. Batch ops do not exist in v1 — [`Request::encode_v1`]
+//! returns `None` for them, and a v1 frame carrying a batch opcode fails
+//! with [`ProtoError::BadOpcode`]. Any other version byte fails with
+//! [`ProtoError::BadVersion`]; mixed-version rings degrade to cache
+//! misses, never to corruption.
 //!
 //! Decoding is total: any byte string either decodes to exactly one frame
 //! or fails with a structured [`ProtoError`] — never a panic, and never a
 //! partial parse (trailing bytes are an error, so a frame boundary can
-//! never silently swallow the start of the next frame). The fuzz tests in
-//! `tests/proto_fuzz.rs` pin both properties.
+//! never silently swallow the start of the next frame). Batches are
+//! bounded by [`MAX_BATCH_KEYS`] at decode time, so a hostile length
+//! prefix cannot force a giant allocation. The fuzz tests in
+//! `tests/proto_fuzz.rs` pin all of these properties.
 
 use wedge_tls::SessionId;
 
 /// First header byte of every cachenet frame.
 pub const MAGIC: u8 = 0xC5;
 
-/// Wire protocol version this build speaks. A node that receives a frame
-/// with a different version answers [`Response::Err`] and ignores it —
-/// mixed-version rings degrade to cache misses, not to corruption.
-pub const WIRE_VERSION: u8 = 1;
+/// Wire protocol version this build speaks: v2 (request ids + batch
+/// ops). Decoders also accept [`V1_WIRE_VERSION`] frames.
+pub const WIRE_VERSION: u8 = 2;
+
+/// The pre-pipelining wire version, still decoded for compatibility: no
+/// request id after the header, no batch opcodes.
+pub const V1_WIRE_VERSION: u8 = 1;
 
 /// Longest premaster secret (or error message) a frame can carry.
 pub const MAX_PAYLOAD: usize = u16::MAX as usize;
+
+/// Most keys one `LookupBatch`/`InsertBatch`/`Batch` frame can carry.
+/// Decoders refuse larger counts with [`ProtoError::BatchTooLarge`]
+/// before allocating, so a hostile count prefix cannot balloon memory.
+pub const MAX_BATCH_KEYS: usize = 1024;
 
 const OP_LOOKUP: u8 = 0x01;
 const OP_INSERT: u8 = 0x02;
 const OP_INVALIDATE: u8 = 0x03;
 const OP_PING: u8 = 0x04;
+const OP_LOOKUP_BATCH: u8 = 0x05;
+const OP_INSERT_BATCH: u8 = 0x06;
 const OP_HIT: u8 = 0x81;
 const OP_MISS: u8 = 0x82;
 const OP_OK: u8 = 0x83;
 const OP_ERR: u8 = 0x84;
+const OP_BATCH: u8 = 0x85;
 
 const ID_LEN: usize = 16;
 
@@ -57,6 +87,12 @@ pub enum Request {
     Invalidate(SessionId),
     /// Health probe; also refreshes the client's view of the node epoch.
     Ping,
+    /// Fetch many premasters in one round trip (v2 only). Answered by
+    /// [`Response::Batch`] with one result per key, in key order.
+    LookupBatch(Vec<SessionId>),
+    /// Store many sessions in one round trip (v2 only). All-or-nothing:
+    /// a single oversize premaster refuses the whole batch.
+    InsertBatch(Vec<(SessionId, Vec<u8>)>),
 }
 
 /// A node → client frame. Every variant carries the node's current epoch
@@ -75,7 +111,7 @@ pub enum Response {
         /// The serving node's epoch.
         epoch: u64,
     },
-    /// An `Insert`/`Invalidate`/`Ping` was applied.
+    /// An `Insert`/`Invalidate`/`Ping`/`InsertBatch` was applied.
     Ok {
         /// The serving node's epoch.
         epoch: u64,
@@ -88,6 +124,33 @@ pub enum Response {
         /// Human-readable reason, for logs and tests.
         message: String,
     },
+    /// Per-key results for a `LookupBatch`, in request key order:
+    /// `Some(premaster)` is a hit, `None` a miss (v2 only).
+    Batch {
+        /// The serving node's epoch.
+        epoch: u64,
+        /// One entry per requested key, in request order.
+        results: Vec<Option<Vec<u8>>>,
+    },
+}
+
+/// A decoded request plus its framing: `request_id` is `Some` for v2
+/// frames and `None` for v1 frames (whose replies must also be v1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramedRequest {
+    /// The pipelining id to echo on the reply; `None` for a v1 frame.
+    pub request_id: Option<u16>,
+    /// The decoded request.
+    pub request: Request,
+}
+
+/// A decoded response plus its framing, mirroring [`FramedRequest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramedResponse {
+    /// The request id this reply answers; `None` for a v1 frame.
+    pub request_id: Option<u16>,
+    /// The decoded response.
+    pub response: Response,
 }
 
 /// Why a byte string failed to decode as a frame.
@@ -97,10 +160,11 @@ pub enum ProtoError {
     Truncated,
     /// The first byte was not [`MAGIC`].
     BadMagic(u8),
-    /// The version byte did not match [`WIRE_VERSION`].
+    /// The version byte was neither [`WIRE_VERSION`] nor
+    /// [`V1_WIRE_VERSION`].
     BadVersion(u8),
-    /// The opcode is not defined (or is a response opcode in a request
-    /// position, and vice versa).
+    /// The opcode is not defined for the frame's version (or is a
+    /// response opcode in a request position, and vice versa).
     BadOpcode(u8),
     /// The declared payload length disagrees with the bytes present.
     BadLength {
@@ -109,6 +173,10 @@ pub enum ProtoError {
         /// Bytes actually available.
         available: usize,
     },
+    /// A batch frame declared more keys than [`MAX_BATCH_KEYS`].
+    BatchTooLarge(usize),
+    /// A `Batch` per-key result tag was neither miss (0) nor hit (1).
+    BadBatchTag(u8),
     /// Well-formed frame followed by garbage.
     TrailingBytes(usize),
 }
@@ -129,6 +197,10 @@ impl std::fmt::Display for ProtoError {
                 f,
                 "length prefix says {declared} bytes, {available} present"
             ),
+            ProtoError::BatchTooLarge(n) => {
+                write!(f, "batch declares {n} keys, limit {MAX_BATCH_KEYS}")
+            }
+            ProtoError::BadBatchTag(tag) => write!(f, "bad batch result tag 0x{tag:02x}"),
             ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
         }
     }
@@ -153,6 +225,19 @@ fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&bytes[..len]);
 }
 
+/// Write a batch count. Encoding more than [`MAX_BATCH_KEYS`] entries is
+/// a caller bug (the ring caps its coalescing far below it) — debug
+/// builds assert; release builds emit the true count, which the decoder
+/// then refuses with [`ProtoError::BatchTooLarge`] rather than parsing a
+/// silently truncated batch.
+fn put_count(out: &mut Vec<u8>, n: usize) {
+    debug_assert!(
+        n <= MAX_BATCH_KEYS,
+        "cachenet batch exceeds MAX_BATCH_KEYS ({n} > {MAX_BATCH_KEYS})"
+    );
+    out.extend_from_slice(&(n.min(u16::MAX as usize) as u16).to_le_bytes());
+}
+
 /// A cursor over a frame body with total (never-panicking) reads.
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -169,6 +254,14 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
     fn u64(&mut self) -> Result<u64, ProtoError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
@@ -179,7 +272,7 @@ impl<'a> Reader<'a> {
     }
 
     fn var_bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
-        let declared = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        let declared = self.u16()? as usize;
         let available = self.bytes.len() - self.at;
         if available < declared {
             return Err(ProtoError::BadLength {
@@ -188,6 +281,14 @@ impl<'a> Reader<'a> {
             });
         }
         Ok(self.take(declared)?.to_vec())
+    }
+
+    fn batch_count(&mut self) -> Result<usize, ProtoError> {
+        let declared = self.u16()? as usize;
+        if declared > MAX_BATCH_KEYS {
+            return Err(ProtoError::BatchTooLarge(declared));
+        }
+        Ok(declared)
     }
 
     fn finish(self) -> Result<(), ProtoError> {
@@ -200,51 +301,108 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn header(bytes: &[u8]) -> Result<(u8, Reader<'_>), ProtoError> {
+/// Parse the common header. Returns the version (1 or 2), the opcode,
+/// the request id (`None` for v1) and a reader positioned at the body.
+fn header(bytes: &[u8]) -> Result<(u8, Option<u16>, Reader<'_>), ProtoError> {
     if bytes.len() < 3 {
         return Err(ProtoError::Truncated);
     }
     if bytes[0] != MAGIC {
         return Err(ProtoError::BadMagic(bytes[0]));
     }
-    if bytes[1] != WIRE_VERSION {
-        return Err(ProtoError::BadVersion(bytes[1]));
+    match bytes[1] {
+        V1_WIRE_VERSION => Ok((bytes[2], None, Reader { bytes, at: 3 })),
+        WIRE_VERSION => {
+            let mut reader = Reader { bytes, at: 3 };
+            let request_id = reader.u16()?;
+            Ok((bytes[2], Some(request_id), reader))
+        }
+        other => Err(ProtoError::BadVersion(other)),
     }
-    Ok((bytes[2], Reader { bytes, at: 3 }))
 }
 
-fn frame(opcode: u8) -> Vec<u8> {
-    vec![MAGIC, WIRE_VERSION, opcode]
+fn frame(opcode: u8, request_id: u16) -> Vec<u8> {
+    let mut out = vec![MAGIC, WIRE_VERSION, opcode];
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out
+}
+
+fn frame_v1(opcode: u8) -> Vec<u8> {
+    vec![MAGIC, V1_WIRE_VERSION, opcode]
+}
+
+/// Cheaply extract the request id of a v2 frame without decoding the
+/// body — what a node's error path uses to echo the id of a frame whose
+/// body it could not parse. `None` for v1 frames and anything too
+/// mangled to carry an id.
+pub fn peek_request_id(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() >= 5 && bytes[0] == MAGIC && bytes[1] == WIRE_VERSION {
+        Some(u16::from_le_bytes([bytes[3], bytes[4]]))
+    } else {
+        None
+    }
 }
 
 impl Request {
-    /// Encode to one wire frame (one link message).
-    pub fn encode(&self) -> Vec<u8> {
+    fn body(&self, out: &mut Vec<u8>) {
         match self {
-            Request::Lookup(id) => {
-                let mut out = frame(OP_LOOKUP);
+            Request::Lookup(id) | Request::Invalidate(id) => {
                 out.extend_from_slice(id.as_bytes());
-                out
             }
             Request::Insert(id, premaster) => {
-                let mut out = frame(OP_INSERT);
                 out.extend_from_slice(id.as_bytes());
-                put_bytes(&mut out, premaster);
-                out
+                put_bytes(out, premaster);
             }
-            Request::Invalidate(id) => {
-                let mut out = frame(OP_INVALIDATE);
-                out.extend_from_slice(id.as_bytes());
-                out
+            Request::Ping => {}
+            Request::LookupBatch(ids) => {
+                put_count(out, ids.len());
+                for id in ids.iter().take(MAX_BATCH_KEYS) {
+                    out.extend_from_slice(id.as_bytes());
+                }
             }
-            Request::Ping => frame(OP_PING),
+            Request::InsertBatch(entries) => {
+                put_count(out, entries.len());
+                for (id, premaster) in entries.iter().take(MAX_BATCH_KEYS) {
+                    out.extend_from_slice(id.as_bytes());
+                    put_bytes(out, premaster);
+                }
+            }
         }
     }
 
-    /// Decode one wire frame. Total: returns a structured error for any
-    /// input that is not exactly one valid request frame.
-    pub fn decode(bytes: &[u8]) -> Result<Request, ProtoError> {
-        let (opcode, mut reader) = header(bytes)?;
+    fn opcode(&self) -> u8 {
+        match self {
+            Request::Lookup(_) => OP_LOOKUP,
+            Request::Insert(..) => OP_INSERT,
+            Request::Invalidate(_) => OP_INVALIDATE,
+            Request::Ping => OP_PING,
+            Request::LookupBatch(_) => OP_LOOKUP_BATCH,
+            Request::InsertBatch(_) => OP_INSERT_BATCH,
+        }
+    }
+
+    /// Encode to one v2 wire frame stamped with `request_id`.
+    pub fn encode(&self, request_id: u16) -> Vec<u8> {
+        let mut out = frame(self.opcode(), request_id);
+        self.body(&mut out);
+        out
+    }
+
+    /// Encode to a v1 frame (no request id). `None` for the batch ops,
+    /// which do not exist in v1 — a v1-only peer can never be sent one.
+    pub fn encode_v1(&self) -> Option<Vec<u8>> {
+        if matches!(self, Request::LookupBatch(_) | Request::InsertBatch(_)) {
+            return None;
+        }
+        let mut out = frame_v1(self.opcode());
+        self.body(&mut out);
+        Some(out)
+    }
+
+    /// Decode one wire frame, v2 or v1. Total: returns a structured
+    /// error for any input that is not exactly one valid request frame.
+    pub fn decode(bytes: &[u8]) -> Result<FramedRequest, ProtoError> {
+        let (opcode, request_id, mut reader) = header(bytes)?;
         let request = match opcode {
             OP_LOOKUP => Request::Lookup(reader.session_id()?),
             OP_INSERT => {
@@ -254,45 +412,95 @@ impl Request {
             }
             OP_INVALIDATE => Request::Invalidate(reader.session_id()?),
             OP_PING => Request::Ping,
+            OP_LOOKUP_BATCH if request_id.is_some() => {
+                let count = reader.batch_count()?;
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(reader.session_id()?);
+                }
+                Request::LookupBatch(ids)
+            }
+            OP_INSERT_BATCH if request_id.is_some() => {
+                let count = reader.batch_count()?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let id = reader.session_id()?;
+                    let premaster = reader.var_bytes()?;
+                    entries.push((id, premaster));
+                }
+                Request::InsertBatch(entries)
+            }
             other => return Err(ProtoError::BadOpcode(other)),
         };
         reader.finish()?;
-        Ok(request)
+        Ok(FramedRequest {
+            request_id,
+            request,
+        })
     }
 }
 
 impl Response {
-    /// Encode to one wire frame (one link message).
-    pub fn encode(&self) -> Vec<u8> {
+    fn body(&self, out: &mut Vec<u8>) {
         match self {
             Response::Hit { epoch, premaster } => {
-                let mut out = frame(OP_HIT);
                 out.extend_from_slice(&epoch.to_le_bytes());
-                put_bytes(&mut out, premaster);
-                out
+                put_bytes(out, premaster);
             }
-            Response::Miss { epoch } => {
-                let mut out = frame(OP_MISS);
+            Response::Miss { epoch } | Response::Ok { epoch } => {
                 out.extend_from_slice(&epoch.to_le_bytes());
-                out
-            }
-            Response::Ok { epoch } => {
-                let mut out = frame(OP_OK);
-                out.extend_from_slice(&epoch.to_le_bytes());
-                out
             }
             Response::Err { epoch, message } => {
-                let mut out = frame(OP_ERR);
                 out.extend_from_slice(&epoch.to_le_bytes());
-                put_bytes(&mut out, message.as_bytes());
-                out
+                put_bytes(out, message.as_bytes());
+            }
+            Response::Batch { epoch, results } => {
+                out.extend_from_slice(&epoch.to_le_bytes());
+                put_count(out, results.len());
+                for result in results.iter().take(MAX_BATCH_KEYS) {
+                    match result {
+                        Some(premaster) => {
+                            out.push(1);
+                            put_bytes(out, premaster);
+                        }
+                        None => out.push(0),
+                    }
+                }
             }
         }
     }
 
-    /// Decode one wire frame. Total, like [`Request::decode`].
-    pub fn decode(bytes: &[u8]) -> Result<Response, ProtoError> {
-        let (opcode, mut reader) = header(bytes)?;
+    fn opcode(&self) -> u8 {
+        match self {
+            Response::Hit { .. } => OP_HIT,
+            Response::Miss { .. } => OP_MISS,
+            Response::Ok { .. } => OP_OK,
+            Response::Err { .. } => OP_ERR,
+            Response::Batch { .. } => OP_BATCH,
+        }
+    }
+
+    /// Encode to one v2 wire frame echoing `request_id`.
+    pub fn encode(&self, request_id: u16) -> Vec<u8> {
+        let mut out = frame(self.opcode(), request_id);
+        self.body(&mut out);
+        out
+    }
+
+    /// Encode to a v1 frame (no request id). `None` for [`Response::Batch`],
+    /// which does not exist in v1 — v1 requests never elicit one.
+    pub fn encode_v1(&self) -> Option<Vec<u8>> {
+        if matches!(self, Response::Batch { .. }) {
+            return None;
+        }
+        let mut out = frame_v1(self.opcode());
+        self.body(&mut out);
+        Some(out)
+    }
+
+    /// Decode one wire frame, v2 or v1. Total, like [`Request::decode`].
+    pub fn decode(bytes: &[u8]) -> Result<FramedResponse, ProtoError> {
+        let (opcode, request_id, mut reader) = header(bytes)?;
         let response = match opcode {
             OP_HIT => {
                 let epoch = reader.u64()?;
@@ -310,10 +518,26 @@ impl Response {
                 let message = String::from_utf8_lossy(&reader.var_bytes()?).into_owned();
                 Response::Err { epoch, message }
             }
+            OP_BATCH if request_id.is_some() => {
+                let epoch = reader.u64()?;
+                let count = reader.batch_count()?;
+                let mut results = Vec::with_capacity(count);
+                for _ in 0..count {
+                    match reader.u8()? {
+                        0 => results.push(None),
+                        1 => results.push(Some(reader.var_bytes()?)),
+                        tag => return Err(ProtoError::BadBatchTag(tag)),
+                    }
+                }
+                Response::Batch { epoch, results }
+            }
             other => return Err(ProtoError::BadOpcode(other)),
         };
         reader.finish()?;
-        Ok(response)
+        Ok(FramedResponse {
+            request_id,
+            response,
+        })
     }
 
     /// The epoch stamped on this response, whatever the variant.
@@ -322,7 +546,8 @@ impl Response {
             Response::Hit { epoch, .. }
             | Response::Miss { epoch }
             | Response::Ok { epoch }
-            | Response::Err { epoch, .. } => *epoch,
+            | Response::Err { epoch, .. }
+            | Response::Batch { epoch, .. } => *epoch,
         }
     }
 }
@@ -336,36 +561,108 @@ mod tests {
     }
 
     #[test]
-    fn requests_round_trip() {
-        for request in [
-            Request::Lookup(id(1)),
-            Request::Insert(id(2), b"premaster-bytes".to_vec()),
-            Request::Insert(id(3), Vec::new()),
-            Request::Invalidate(id(4)),
-            Request::Ping,
+    fn requests_round_trip_with_their_ids() {
+        for (rid, request) in [
+            (0u16, Request::Lookup(id(1))),
+            (1, Request::Insert(id(2), b"premaster-bytes".to_vec())),
+            (u16::MAX, Request::Insert(id(3), Vec::new())),
+            (7, Request::Invalidate(id(4))),
+            (42, Request::Ping),
+            (9, Request::LookupBatch(vec![])),
+            (10, Request::LookupBatch(vec![id(5), id(6)])),
+            (11, Request::InsertBatch(vec![])),
+            (
+                12,
+                Request::InsertBatch(vec![(id(7), b"a".to_vec()), (id(8), Vec::new())]),
+            ),
         ] {
-            let wire = request.encode();
-            assert_eq!(Request::decode(&wire).unwrap(), request, "{request:?}");
+            let wire = request.encode(rid);
+            let framed = Request::decode(&wire).unwrap();
+            assert_eq!(framed.request_id, Some(rid), "{request:?}");
+            assert_eq!(framed.request, request, "{request:?}");
         }
     }
 
     #[test]
-    fn responses_round_trip() {
-        for response in [
-            Response::Hit {
-                epoch: 7,
-                premaster: b"secret".to_vec(),
-            },
-            Response::Miss { epoch: 0 },
-            Response::Ok { epoch: u64::MAX },
-            Response::Err {
-                epoch: 3,
-                message: "bad version".to_string(),
-            },
+    fn responses_round_trip_with_their_ids() {
+        for (rid, response) in [
+            (
+                3u16,
+                Response::Hit {
+                    epoch: 7,
+                    premaster: b"secret".to_vec(),
+                },
+            ),
+            (0, Response::Miss { epoch: 0 }),
+            (u16::MAX, Response::Ok { epoch: u64::MAX }),
+            (
+                5,
+                Response::Err {
+                    epoch: 3,
+                    message: "bad version".to_string(),
+                },
+            ),
+            (
+                6,
+                Response::Batch {
+                    epoch: 2,
+                    results: vec![Some(b"pm".to_vec()), None, Some(Vec::new())],
+                },
+            ),
+            (
+                8,
+                Response::Batch {
+                    epoch: 1,
+                    results: vec![],
+                },
+            ),
         ] {
-            let wire = response.encode();
-            assert_eq!(Response::decode(&wire).unwrap(), response, "{response:?}");
+            let wire = response.encode(rid);
+            let framed = Response::decode(&wire).unwrap();
+            assert_eq!(framed.request_id, Some(rid), "{response:?}");
+            assert_eq!(framed.response, response, "{response:?}");
         }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_without_an_id() {
+        let request = Request::Insert(id(9), b"pm".to_vec());
+        let wire = request.encode_v1().expect("v1-expressible");
+        assert_eq!(wire[1], V1_WIRE_VERSION);
+        let framed = Request::decode(&wire).unwrap();
+        assert_eq!(framed.request_id, None);
+        assert_eq!(framed.request, request);
+
+        let response = Response::Hit {
+            epoch: 4,
+            premaster: b"pm".to_vec(),
+        };
+        let wire = response.encode_v1().expect("v1-expressible");
+        let framed = Response::decode(&wire).unwrap();
+        assert_eq!(framed.request_id, None);
+        assert_eq!(framed.response, response);
+    }
+
+    #[test]
+    fn batch_ops_are_not_expressible_in_v1() {
+        assert_eq!(Request::LookupBatch(vec![id(1)]).encode_v1(), None);
+        assert_eq!(Request::InsertBatch(vec![]).encode_v1(), None);
+        assert_eq!(
+            Response::Batch {
+                epoch: 1,
+                results: vec![]
+            }
+            .encode_v1(),
+            None
+        );
+        // A v1 frame smuggling a batch opcode is refused, not misparsed.
+        let mut wire = Request::LookupBatch(vec![id(1)]).encode(0);
+        wire[1] = V1_WIRE_VERSION;
+        wire.drain(3..5); // strip the request id v1 never carries
+        assert!(matches!(
+            Request::decode(&wire),
+            Err(ProtoError::BadOpcode(OP_LOOKUP_BATCH))
+        ));
     }
 
     #[test]
@@ -375,31 +672,36 @@ mod tests {
             Request::decode(&[MAGIC, WIRE_VERSION]),
             Err(ProtoError::Truncated)
         );
-        let mut wire = Request::Ping.encode();
+        // A v2 header cut off before its request id is truncated too.
+        assert_eq!(
+            Request::decode(&[MAGIC, WIRE_VERSION, OP_PING, 0]),
+            Err(ProtoError::Truncated)
+        );
+        let mut wire = Request::Ping.encode(0);
         wire[0] ^= 0xFF;
         assert!(matches!(
             Request::decode(&wire),
             Err(ProtoError::BadMagic(_))
         ));
-        let mut wire = Request::Ping.encode();
+        let mut wire = Request::Ping.encode(0);
         wire[1] = WIRE_VERSION + 1;
         assert_eq!(
             Request::decode(&wire),
             Err(ProtoError::BadVersion(WIRE_VERSION + 1))
         );
-        let mut wire = Request::Ping.encode();
+        let mut wire = Request::Ping.encode(0);
         wire[2] = 0x7F;
         assert_eq!(Request::decode(&wire), Err(ProtoError::BadOpcode(0x7F)));
     }
 
     #[test]
     fn response_opcodes_do_not_decode_as_requests() {
-        let wire = Response::Miss { epoch: 1 }.encode();
+        let wire = Response::Miss { epoch: 1 }.encode(0);
         assert!(matches!(
             Request::decode(&wire),
             Err(ProtoError::BadOpcode(_))
         ));
-        let wire = Request::Ping.encode();
+        let wire = Request::Ping.encode(0);
         assert!(matches!(
             Response::decode(&wire),
             Err(ProtoError::BadOpcode(_))
@@ -408,9 +710,9 @@ mod tests {
 
     #[test]
     fn length_prefix_must_match_the_bytes_present() {
-        let mut wire = Request::Insert(id(5), b"12345678".to_vec()).encode();
-        // Claim more bytes than follow.
-        let len_at = 3 + 16;
+        let mut wire = Request::Insert(id(5), b"12345678".to_vec()).encode(0);
+        // Claim more bytes than follow (header is 5 bytes in v2).
+        let len_at = 5 + 16;
         wire[len_at] = 0xFF;
         wire[len_at + 1] = 0x00;
         assert!(matches!(
@@ -418,8 +720,40 @@ mod tests {
             Err(ProtoError::BadLength { .. })
         ));
         // Trailing garbage after a well-formed frame is refused too.
-        let mut wire = Request::Lookup(id(6)).encode();
+        let mut wire = Request::Lookup(id(6)).encode(0);
         wire.push(0xAA);
         assert_eq!(Request::decode(&wire), Err(ProtoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn oversize_and_truncated_batches_are_refused() {
+        // A count beyond MAX_BATCH_KEYS fails before any allocation.
+        let mut wire = frame(OP_LOOKUP_BATCH, 1);
+        wire.extend_from_slice(&((MAX_BATCH_KEYS + 1) as u16).to_le_bytes());
+        assert_eq!(
+            Request::decode(&wire),
+            Err(ProtoError::BatchTooLarge(MAX_BATCH_KEYS + 1))
+        );
+        // A count promising more keys than present is truncated.
+        let mut wire = frame(OP_LOOKUP_BATCH, 1);
+        wire.extend_from_slice(&3u16.to_le_bytes());
+        wire.extend_from_slice(&[0u8; ID_LEN]); // only one key follows
+        assert_eq!(Request::decode(&wire), Err(ProtoError::Truncated));
+        // A batch response with a junk per-key tag is refused.
+        let mut wire = frame(OP_BATCH, 1);
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(9);
+        assert_eq!(Response::decode(&wire), Err(ProtoError::BadBatchTag(9)));
+    }
+
+    #[test]
+    fn peek_request_id_reads_v2_headers_only() {
+        let wire = Request::Ping.encode(0xBEEF);
+        assert_eq!(peek_request_id(&wire), Some(0xBEEF));
+        let wire = Request::Ping.encode_v1().unwrap();
+        assert_eq!(peek_request_id(&wire), None);
+        assert_eq!(peek_request_id(&[MAGIC, WIRE_VERSION]), None);
+        assert_eq!(peek_request_id(b"junk-bytes"), None);
     }
 }

@@ -1,9 +1,15 @@
 //! Framing fuzz tests: decoding is *total* (never panics, never
-//! over-reads) and round-trips every valid frame bit-exactly.
+//! over-reads) and round-trips every valid frame — v2 with its request
+//! id bit-exact across the whole `u16` space, v1 without one — while
+//! truncation, trailing garbage, foreign headers and hostile batch
+//! counts are all refused with structured errors.
 
 use proptest::prelude::*;
 
-use wedge_cachenet::{ProtoError, Request, Response, MAGIC, WIRE_VERSION};
+use wedge_cachenet::{
+    peek_request_id, ProtoError, Request, Response, MAGIC, MAX_BATCH_KEYS, V1_WIRE_VERSION,
+    WIRE_VERSION,
+};
 use wedge_tls::SessionId;
 
 fn arb_session_id() -> impl Strategy<Value = SessionId> {
@@ -11,13 +17,49 @@ fn arb_session_id() -> impl Strategy<Value = SessionId> {
         .prop_map(|bytes| SessionId::from_bytes(&bytes).expect("16 bytes"))
 }
 
-fn arb_request() -> impl Strategy<Value = Request> {
+/// The v1-expressible (single-key) requests.
+fn arb_request_v1() -> impl Strategy<Value = Request> {
     prop_oneof![
         arb_session_id().prop_map(Request::Lookup),
         (arb_session_id(), prop::collection::vec(any::<u8>(), 0..256))
             .prop_map(|(id, premaster)| Request::Insert(id, premaster)),
         arb_session_id().prop_map(Request::Invalidate),
         Just(Request::Ping),
+    ]
+}
+
+/// Batch key counts biased to the edges: empty, single-key, and the
+/// decoder's MAX_BATCH_KEYS ceiling, plus the space in between.
+fn arb_batch_len() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(0usize), Just(1usize), Just(MAX_BATCH_KEYS), 2usize..64,]
+}
+
+/// Every v2 request, batch ops included. Batch bodies draw a small pool
+/// of distinct entries and cycle it out to the chosen key count, so the
+/// MAX_BATCH_KEYS edge is exercised without generating a thousand
+/// independent values per case.
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        arb_request_v1(),
+        (
+            arb_batch_len(),
+            prop::collection::vec(arb_session_id(), 1..17)
+        )
+            .prop_map(|(n, pool)| {
+                Request::LookupBatch((0..n).map(|i| pool[i % pool.len()]).collect())
+            }),
+        (
+            arb_batch_len(),
+            // Short premasters keep max-key InsertBatch frames well under
+            // a megabyte while still exercising the count edge.
+            prop::collection::vec(
+                (arb_session_id(), prop::collection::vec(any::<u8>(), 0..16)),
+                1..9
+            )
+        )
+            .prop_map(|(n, pool)| {
+                Request::InsertBatch((0..n).map(|i| pool[i % pool.len()].clone()).collect())
+            }),
     ]
 }
 
@@ -33,6 +75,23 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
         )
             .prop_map(|(epoch, message)| Response::Err { epoch, message }),
+        (
+            any::<u64>(),
+            arb_batch_len(),
+            prop::collection::vec(
+                (any::<bool>(), prop::collection::vec(any::<u8>(), 0..16)),
+                1..9
+            )
+        )
+            .prop_map(|(epoch, n, pool)| {
+                let results = (0..n)
+                    .map(|i| {
+                        let (hit, premaster) = &pool[i % pool.len()];
+                        hit.then(|| premaster.clone())
+                    })
+                    .collect();
+                Response::Batch { epoch, results }
+            }),
     ]
 }
 
@@ -44,30 +103,61 @@ proptest! {
     fn arbitrary_bytes_never_panic_either_decoder(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+        let _ = peek_request_id(&bytes);
     }
 
-    /// Every request round-trips bit-exactly.
+    /// Every v2 request round-trips bit-exactly, request id included,
+    /// across the whole `u16` id space — and `peek_request_id` agrees
+    /// with the full decoder.
     #[test]
-    fn requests_round_trip(request in arb_request()) {
-        let wire = request.encode();
-        prop_assert_eq!(Request::decode(&wire).expect("self-encoded frame"), request);
+    fn requests_round_trip(request in arb_request(), rid in any::<u16>()) {
+        let wire = request.encode(rid);
+        let framed = Request::decode(&wire).expect("self-encoded frame");
+        prop_assert_eq!(framed.request_id, Some(rid));
+        prop_assert_eq!(peek_request_id(&wire), Some(rid));
+        prop_assert_eq!(framed.request, request);
     }
 
-    /// Every response round-trips bit-exactly, and the epoch accessor
-    /// agrees with the decoded frame.
+    /// Every v2 response round-trips bit-exactly with its id, and the
+    /// epoch accessor agrees with the decoded frame.
     #[test]
-    fn responses_round_trip(response in arb_response()) {
-        let wire = response.encode();
-        let decoded = Response::decode(&wire).expect("self-encoded frame");
-        prop_assert_eq!(decoded.epoch(), response.epoch());
-        prop_assert_eq!(decoded, response);
+    fn responses_round_trip(response in arb_response(), rid in any::<u16>()) {
+        let wire = response.encode(rid);
+        let framed = Response::decode(&wire).expect("self-encoded frame");
+        prop_assert_eq!(framed.request_id, Some(rid));
+        prop_assert_eq!(framed.response.epoch(), response.epoch());
+        prop_assert_eq!(framed.response, response);
+    }
+
+    /// v1 frames still decode — same payloads, `request_id: None` — so a
+    /// v2 node keeps serving a pre-pipelining fleet. Batch ops are not
+    /// expressible in v1 at all.
+    #[test]
+    fn v1_frames_still_decode_without_an_id(request in arb_request_v1()) {
+        let wire = request.encode_v1().expect("single-key ops are v1-expressible");
+        prop_assert_eq!(wire[1], V1_WIRE_VERSION);
+        prop_assert_eq!(peek_request_id(&wire), None);
+        let framed = Request::decode(&wire).expect("v1 frame");
+        prop_assert_eq!(framed.request_id, None);
+        prop_assert_eq!(framed.request, request);
+    }
+
+    /// A v1 frame can never smuggle a batch opcode: the decoder refuses
+    /// it as an opcode unknown *to that version*.
+    #[test]
+    fn batch_opcodes_in_v1_frames_are_refused(n in arb_batch_len(), id in arb_session_id()) {
+        let mut wire = Request::LookupBatch(vec![id; n]).encode(0);
+        wire[1] = V1_WIRE_VERSION;
+        wire.drain(3..5); // strip the request id v1 never carries
+        prop_assert!(matches!(Request::decode(&wire), Err(ProtoError::BadOpcode(_))));
     }
 
     /// Truncating a valid frame anywhere never decodes to a frame — a
-    /// partial read cannot be mistaken for a shorter valid message.
+    /// partial read (of a batch body included) cannot be mistaken for a
+    /// shorter valid message.
     #[test]
-    fn truncations_never_decode(request in arb_request(), cut in 0usize..64) {
-        let wire = request.encode();
+    fn truncations_never_decode(request in arb_request(), rid in any::<u16>(), cut in 0usize..64) {
+        let wire = request.encode(rid);
         if cut < wire.len() {
             let truncated = &wire[..wire.len() - 1 - cut.min(wire.len() - 1)];
             prop_assert!(Request::decode(truncated).is_err());
@@ -78,7 +168,7 @@ proptest! {
     /// exact, so desynchronised framing surfaces loudly).
     #[test]
     fn trailing_garbage_never_decodes(request in arb_request(), extra in 1usize..16) {
-        let mut wire = request.encode();
+        let mut wire = request.encode(7);
         wire.extend(std::iter::repeat_n(0xAAu8, extra));
         prop_assert!(matches!(
             Request::decode(&wire),
@@ -86,12 +176,28 @@ proptest! {
         ));
     }
 
-    /// A frame from a different protocol version is refused by the
-    /// header, whatever follows.
+    /// A batch count beyond MAX_BATCH_KEYS is refused before any
+    /// allocation, whatever bytes follow the count.
+    #[test]
+    fn oversize_batch_counts_are_refused(
+        count in (MAX_BATCH_KEYS as u16 + 1)..=u16::MAX,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut wire = vec![MAGIC, WIRE_VERSION, 0x05, 0, 0]; // LookupBatch, rid 0
+        wire.extend_from_slice(&count.to_le_bytes());
+        wire.extend_from_slice(&body);
+        prop_assert_eq!(
+            Request::decode(&wire),
+            Err(ProtoError::BatchTooLarge(count as usize))
+        );
+    }
+
+    /// A frame from an unknown protocol version is refused by the
+    /// header, whatever follows. (Version 1 is *known* — see above.)
     #[test]
     fn foreign_versions_are_refused(request in arb_request(), version in any::<u8>()) {
-        prop_assume!(version != WIRE_VERSION);
-        let mut wire = request.encode();
+        prop_assume!(version != WIRE_VERSION && version != V1_WIRE_VERSION);
+        let mut wire = request.encode(3);
         wire[1] = version;
         prop_assert_eq!(Request::decode(&wire), Err(ProtoError::BadVersion(version)));
     }
@@ -100,7 +206,7 @@ proptest! {
     #[test]
     fn foreign_magic_is_refused(request in arb_request(), magic in any::<u8>()) {
         prop_assume!(magic != MAGIC);
-        let mut wire = request.encode();
+        let mut wire = request.encode(3);
         wire[0] = magic;
         prop_assert_eq!(Request::decode(&wire), Err(ProtoError::BadMagic(magic)));
     }

@@ -54,11 +54,27 @@ struct QueueState {
     closed: bool,
 }
 
+/// Callback a readiness-driven consumer (`crate::reactor::Reactor`)
+/// installs on an endpoint's incoming queue: fired after every message
+/// arrival and on close, never with any queue lock held.
+pub type ReadyWaker = Box<dyn Fn() + Send + Sync>;
+
 /// One direction of a duplex link.
-#[derive(Debug)]
 struct Queue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    /// Readiness hook, outside `state` so firing it (which may take a
+    /// reactor's locks) never happens under a queue lock.
+    waker: Mutex<Option<ReadyWaker>>,
+}
+
+impl std::fmt::Debug for Queue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Queue")
+            .field("state", &self.state)
+            .field("waker", &self.waker.lock().is_some())
+            .finish()
+    }
 }
 
 impl Queue {
@@ -66,17 +82,51 @@ impl Queue {
         Arc::new(Queue {
             state: Mutex::new(QueueState::default()),
             ready: Condvar::new(),
+            waker: Mutex::new(None),
         })
     }
 
     fn push(&self, msg: Vec<u8>) -> Result<(), NetError> {
-        let mut st = self.state.lock();
-        if st.closed {
-            return Err(NetError::Disconnected);
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return Err(NetError::Disconnected);
+            }
+            st.messages.push_back(msg);
+            self.ready.notify_one();
         }
-        st.messages.push_back(msg);
-        self.ready.notify_one();
+        self.wake();
         Ok(())
+    }
+
+    /// Fire the installed waker, if any. Called with the state lock
+    /// released, so a waker may take arbitrary consumer-side locks.
+    fn wake(&self) {
+        let waker = self.waker.lock();
+        if let Some(waker) = waker.as_ref() {
+            waker();
+        }
+    }
+
+    /// Install `waker`, then re-check the queue: if messages are already
+    /// pending (or the queue is closed) the waker fires immediately, so
+    /// installation can never lose a wakeup. Install-then-check pairs
+    /// with [`Queue::push`]'s mutate-then-fire: a push that misses the
+    /// waker happened before installation, and the re-check sees its
+    /// message.
+    fn set_waker(&self, waker: ReadyWaker) {
+        *self.waker.lock() = Some(waker);
+        let fire = {
+            let st = self.state.lock();
+            !st.messages.is_empty() || st.closed
+        };
+        if fire {
+            self.wake();
+        }
+    }
+
+    fn clear_waker(&self) {
+        *self.waker.lock() = None;
     }
 
     fn pop(&self, timeout: RecvTimeout) -> Result<Vec<u8>, NetError> {
@@ -115,9 +165,12 @@ impl Queue {
     }
 
     fn close(&self) {
-        let mut st = self.state.lock();
-        st.closed = true;
-        self.ready.notify_all();
+        {
+            let mut st = self.state.lock();
+            st.closed = true;
+            self.ready.notify_all();
+        }
+        self.wake();
     }
 
     fn pending(&self) -> usize {
@@ -184,6 +237,22 @@ impl Duplex {
     /// Number of messages queued and not yet received by this endpoint.
     pub fn pending(&self) -> usize {
         self.incoming.pending()
+    }
+
+    /// Install a readiness waker on this endpoint's incoming queue: it
+    /// fires after every arriving message and when the link closes,
+    /// always with the queue's locks released. If data is already
+    /// pending (or the link already closed) the waker fires immediately,
+    /// so installation can never lose a wakeup. One waker per endpoint;
+    /// installing replaces the previous one. This is the hook
+    /// [`crate::Reactor`] drives thousands of idle links through.
+    pub fn set_ready_waker(&self, waker: ReadyWaker) {
+        self.incoming.set_waker(waker);
+    }
+
+    /// Remove the installed readiness waker, if any.
+    pub fn clear_ready_waker(&self) {
+        self.incoming.clear_waker();
     }
 
     /// Close this endpoint: the peer's receives will drain remaining

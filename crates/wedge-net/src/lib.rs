@@ -24,6 +24,10 @@
 //! * [`wiretap::Wiretap`] — a passive eavesdropper that records copies of
 //!   every message (the paper's simpler threat model: "the attacker can
 //!   eavesdrop on entire SSL connections").
+//! * [`reactor::Reactor`] — a readiness-driven event loop over [`Duplex`]
+//!   links: one parked sthread drives thousands of idle links (drain-mode
+//!   message dispatch or one-shot readiness hand-off) instead of a thread
+//!   per link.
 //! * [`trace::NetTrace`] — a pcap-like record of messages for debugging and
 //!   for the experiment harnesses.
 //! * [`cost::LinkCostModel`] — an analytical latency/throughput model used
@@ -37,6 +41,7 @@ pub mod cost;
 pub mod duplex;
 pub mod listener;
 pub mod mitm;
+pub mod reactor;
 pub mod trace;
 pub mod wiretap;
 
@@ -44,5 +49,6 @@ pub use cost::LinkCostModel;
 pub use duplex::{duplex_pair, duplex_pair_with_source, Duplex, NetError, RecvTimeout};
 pub use listener::{Listener, ListenerStats, RateLimitConfig, SourceAddr};
 pub use mitm::{Direction, Mitm};
+pub use reactor::{LinkEvent, LinkVerdict, Reactor, ReactorStats};
 pub use trace::{NetTrace, TraceEntry};
 pub use wiretap::Wiretap;

@@ -102,6 +102,11 @@ impl ShardedPop3 {
                 max_inflight: config.max_inflight,
                 policy: config.policy,
                 supervisor: config.supervisor,
+                // POP3 is server-speaks-first (the `+OK` greeting goes
+                // out unprompted), so a link parked until the client's
+                // first byte would deadlock: greeting waits for shard,
+                // client waits for greeting. Submit on accept instead.
+                defer_accept: false,
                 ..FrontEndConfig::default()
             },
             move |_shard| Pop3Server::new(Wedge::init(), &db),

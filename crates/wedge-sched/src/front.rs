@@ -11,10 +11,13 @@
 //!
 //! The front-end composes the three serving-stack layers:
 //!
-//! 1. **Listener** ([`wedge_net::Listener`]) — [`Self::serve_listener`]
-//!    runs the accept loop, draining connection batches and submitting
-//!    each link with the **source-address affinity key** it arrived with,
-//!    so [`AcceptPolicy::SessionAffinity`] works without any protocol
+//! 1. **Listener** ([`wedge_net::Listener`]) — `serve_listener` runs the
+//!    accept loop, draining connection batches; with
+//!    [`FrontEndConfig::defer_accept`] (the default) accepted links park
+//!    on a readiness [`Reactor`] until their first byte arrives and only
+//!    then occupy a shard, each submitted with the **source-address
+//!    affinity key** it arrived with, so
+//!    [`AcceptPolicy::SessionAffinity`] works without any protocol
 //!    cooperation.
 //! 2. **Supervision** ([`crate::Supervisor`]) — enabled with
 //!    [`FrontEndConfig::supervisor`], killed shards respawn automatically
@@ -28,7 +31,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use wedge_core::{KernelStats, WedgeError};
-use wedge_net::{Duplex, Listener, NetError, RecvTimeout};
+use wedge_net::{Duplex, Listener, NetError, Reactor, RecvTimeout};
 use wedge_telemetry::{Telemetry, TelemetrySnapshot};
 use wedge_tls::SessionStore;
 
@@ -56,6 +59,15 @@ pub struct FrontEndConfig {
     pub policy: AcceptPolicy,
     /// Enable the auto-restart watchdog with this configuration.
     pub supervisor: Option<SupervisorConfig>,
+    /// Park accepted links on the front-end's readiness reactor until
+    /// their first byte arrives, and only then occupy a shard slot —
+    /// so thousands of idle connections cost one parked sthread, not a
+    /// queue slot and a serving thread each. Correct for
+    /// client-speaks-first protocols (TLS, SSH: the client sends the
+    /// hello). Protocols where the **server** speaks first (POP3 sends
+    /// its `+OK` greeting unprompted) must disable this, or greeting and
+    /// client would deadlock waiting for each other.
+    pub defer_accept: bool,
 }
 
 impl Default for FrontEndConfig {
@@ -69,6 +81,7 @@ impl Default for FrontEndConfig {
             fork_fd_count: shard.fork_fd_count,
             policy: AcceptPolicy::RoundRobin,
             supervisor: None,
+            defer_accept: true,
         }
     }
 }
@@ -100,6 +113,11 @@ pub struct ShardedFrontEnd<S: ShardServer> {
     /// The registry this front-end reports into, once
     /// [`Self::instrument`] has been called.
     telemetry: std::sync::OnceLock<Telemetry>,
+    /// See [`FrontEndConfig::defer_accept`].
+    defer_accept: bool,
+    /// The readiness reactor idle accepted links park on (spawned lazily
+    /// by the first [`Self::serve_listener`] call that defers).
+    reactor: std::sync::OnceLock<Reactor>,
 }
 
 impl<S: ShardServer> std::fmt::Debug for ShardedFrontEnd<S> {
@@ -160,6 +178,20 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
             supervisor,
             session_store,
             telemetry: std::sync::OnceLock::new(),
+            defer_accept: config.defer_accept,
+            reactor: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The accept reactor, spawned on first use and instrumented if the
+    /// front-end already is.
+    fn accept_reactor(&self) -> &Reactor {
+        self.reactor.get_or_init(|| {
+            let reactor = Reactor::spawn("frontend-accept");
+            if let Some(telemetry) = self.telemetry.get() {
+                reactor.instrument(telemetry);
+            }
+            reactor
         })
     }
 
@@ -177,6 +209,9 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
         self.set.instrument(telemetry);
         if let Some(supervisor) = &self.supervisor {
             supervisor.instrument(telemetry);
+        }
+        if let Some(reactor) = self.reactor.get() {
+            reactor.instrument(telemetry);
         }
         if let Some(store) = &self.session_store {
             let store = Arc::downgrade(store);
@@ -350,31 +385,91 @@ impl<S: ShardServer> ShardedFrontEnd<S> {
     }
 
     /// The accept loop: drain `listener` in batches of up to `batch`
-    /// links, submit each with the source-address affinity key it arrived
-    /// with, and — once the listener closes and its backlog is drained —
+    /// links and — once the listener closes and its backlog is drained —
     /// return every outcome **in arrival order**. No accepted connection
     /// is ever silently dropped: each either serves or resolves with an
     /// error.
+    ///
+    /// With [`FrontEndConfig::defer_accept`] (the default) an accepted
+    /// link does not go to a shard yet: it parks on the front-end's
+    /// readiness [`Reactor`], and only when its first byte arrives is it
+    /// handed back — intact, the byte still queued — and submitted with
+    /// the source-address affinity key it arrived with. One parked
+    /// sthread thus fronts an arbitrary number of idle connections while
+    /// shard queues hold only links with work to do. Protocols where the
+    /// server speaks first disable deferral and submit on accept, as
+    /// this loop always did.
     pub fn serve_listener(
         &self,
         listener: &Listener,
         batch: usize,
     ) -> Vec<Result<S::Report, WedgeError>> {
-        let mut handles: Vec<Result<ShardJobHandle<S::Report>, WedgeError>> = Vec::new();
+        let mut handles: Vec<Option<Result<ShardJobHandle<S::Report>, WedgeError>>> = Vec::new();
+        // Readiness hand-backs: the reactor's notify callbacks send
+        // `(arrival index, link)` here the moment a parked link has data.
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<(usize, Duplex)>();
+        // Arrival index → the reactor id of its still-parked watch.
+        let mut parked: Vec<(usize, u64)> = Vec::new();
         loop {
             match listener.accept_batch(batch, RecvTimeout::After(Duration::from_millis(20))) {
                 Ok(links) => {
                     for link in links {
-                        handles.push(self.submit_with_backoff(link));
+                        let idx = handles.len();
+                        if self.defer_accept {
+                            let tx = ready_tx.clone();
+                            let id = self.accept_reactor().watch(link, move |link| {
+                                // The pump may have returned already (its
+                                // flush reclaims stragglers): a dead
+                                // channel is fine.
+                                let _ = tx.send((idx, link));
+                            });
+                            parked.push((idx, id));
+                            handles.push(None);
+                        } else {
+                            handles.push(Some(self.submit_with_backoff(link)));
+                        }
                     }
                 }
-                Err(NetError::Timeout) => continue,
+                Err(NetError::Timeout) => {}
+                Err(_) => break,
+            }
+            // Submit whatever woke while we were accepting.
+            while let Ok((idx, link)) = ready_rx.try_recv() {
+                handles[idx] = Some(self.submit_with_backoff(link));
+            }
+        }
+        // Flush: the listener is closed, but some links may still be
+        // parked. Reclaim each watch atomically — `take` returning the
+        // link means its callback never fired (the client never spoke;
+        // submit it anyway so it resolves rather than dangles), `None`
+        // means the hand-back is in the channel (or about to be).
+        for (idx, id) in parked {
+            if handles[idx].is_some() {
+                continue;
+            }
+            if let Some(link) = self.accept_reactor().take(id) {
+                handles[idx] = Some(self.submit_with_backoff(link));
+            }
+        }
+        while handles.iter().any(Option::is_none) {
+            // Guaranteed to arrive: every un-taken watch has fired its
+            // callback (or is inside it), and our sender keeps the
+            // channel open.
+            match ready_rx.recv_timeout(Duration::from_secs(1)) {
+                Ok((idx, link)) => handles[idx] = Some(self.submit_with_backoff(link)),
                 Err(_) => break,
             }
         }
         handles
             .into_iter()
-            .map(|handle| handle.and_then(ShardJobHandle::join))
+            .map(|handle| match handle {
+                Some(handle) => handle.and_then(ShardJobHandle::join),
+                // Unreachable by construction; resolve rather than panic
+                // if the impossible happens.
+                None => Err(WedgeError::InvalidOperation(
+                    "accepted link lost between reactor and shard".into(),
+                )),
+            })
             .collect()
     }
 
@@ -508,6 +603,70 @@ mod tests {
         assert_eq!(stats.completed, 9);
         assert_eq!(listener.stats().accepted, 9);
         assert!(listener.stats().batches > 0, "accepts were batched");
+    }
+
+    #[test]
+    fn deferred_accept_parks_idle_links_off_the_shards() {
+        // 12 idle connections against one shard with a 4-slot queue: with
+        // deferred accept they park on the reactor — no slot, no serving
+        // thread — while the 3 links that actually speak get served. A
+        // hang-up (client drop) also counts as readiness, so every parked
+        // link still resolves once the clients leave.
+        let front = ShardedFrontEnd::new(
+            FrontEndConfig {
+                shards: 1,
+                queue_capacity: 4,
+                ..FrontEndConfig::default()
+            },
+            |_id| Ok(TagServer),
+        )
+        .expect("front");
+        let listener = Listener::bind("lazy-svc", 32);
+        let mut idle = Vec::new();
+        for n in 0..12u8 {
+            idle.push(
+                listener
+                    .connect(SourceAddr::new([10, 0, 2, n], 42_000))
+                    .expect("connect"),
+            );
+        }
+        let active: Vec<_> = (0..3u16)
+            .map(|n| {
+                let client = listener
+                    .connect(SourceAddr::new([10, 0, 2, 100], 42_100 + n))
+                    .expect("connect");
+                client.send(b"go").unwrap();
+                client
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let pump = scope.spawn(|| front.serve_listener(&listener, 8));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while front.sched_stats().completed < 3 {
+                assert!(Instant::now() < deadline, "active links never served");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert_eq!(
+                front.sched_stats().submitted,
+                3,
+                "idle links must not occupy shard slots"
+            );
+            assert!(
+                front.reactor.get().expect("reactor spawned").links() >= 12,
+                "idle links park on the reactor"
+            );
+            drop(idle);
+            drop(active);
+            listener.close();
+            let outcomes = pump.join().expect("pump");
+            assert_eq!(outcomes.len(), 15, "every accepted link resolves");
+            assert!(outcomes.iter().all(Result::is_ok));
+        });
+        let stats = front.sched_stats();
+        assert_eq!(stats.completed, 15);
+        // Re-offers after transient saturation count as fresh offers, so
+        // the balance invariant is the precise claim here.
+        assert_eq!(stats.submitted, stats.completed + stats.rejected);
     }
 
     #[test]
