@@ -17,7 +17,9 @@ use std::time::Duration;
 
 use criterion::Criterion;
 
-use wedge_bench::load::{load_bench_json, run_load, LoadPhase, LoadProfile};
+use wedge_bench::load::{
+    load_bench_json, probe_idle_link_memory, run_load, LoadPhase, LoadProfile,
+};
 use wedge_chaos::{ChaosPlan, ChaosSchedule};
 
 fn smoke() -> bool {
@@ -100,7 +102,11 @@ fn emit_json() {
         report.faults.len(),
         "every injected fault must be audited in telemetry"
     );
-    let json = load_bench_json(&profile, &report);
+    // Idle-link memory ceiling: park the host population (silent links)
+    // on a deferred-accept front and record RSS per parked link.
+    let idle_links = if smoke() { 256 } else { 2_048 };
+    let idle = probe_idle_link_memory(&profile, idle_links);
+    let json = load_bench_json(&profile, &report, idle.as_ref());
     let path = wedge_bench::report::artifact_path("load");
     std::fs::write(&path, &json).expect("write bench artifact");
     println!("wrote {path}:\n{json}");

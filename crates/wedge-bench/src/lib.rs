@@ -32,8 +32,8 @@ pub use listener::{
     RestartMeasurement,
 };
 pub use load::{
-    load_bench_json, run_load, run_load_with_plan, FrontReport, LoadPhase, LoadProfile,
-    LoadRunReport, LoadStack, PhaseReport, ProtocolMix,
+    load_bench_json, probe_idle_link_memory, run_load, run_load_with_plan, FrontReport,
+    IdleLinkProbe, LoadPhase, LoadProfile, LoadRunReport, LoadStack, PhaseReport, ProtocolMix,
 };
 pub use pooled::{compare, run_pooled, run_sequential, PooledWorkload, ThroughputComparison};
 pub use sharded::{

@@ -37,7 +37,9 @@ use wedge_chaos::{
 };
 use wedge_core::WedgeError;
 use wedge_crypto::{RsaKeyPair, WedgeRng};
-use wedge_net::{Duplex, Listener, ListenerStats, RateLimitConfig, RecvTimeout, SourceAddr};
+use wedge_net::{
+    Duplex, Listener, ListenerStats, RateLimitConfig, Reactor, RecvTimeout, SourceAddr,
+};
 use wedge_pop3::{MailDb, ShardedPop3, ShardedPop3Config};
 use wedge_sched::{AcceptPolicy, RestartStats, SchedStats, SupervisorConfig};
 use wedge_ssh::authdb::ServerConfig;
@@ -788,10 +790,82 @@ fn recv_ok(link: &Duplex) -> Result<Vec<u8>, ()> {
         .map_err(drop)
 }
 
+/// Outcome of the idle-link memory probe: the RSS ceiling of parking
+/// accepted-but-silent connections on a readiness [`Reactor`] — the
+/// deferred-accept path every front-end's `serve_listener` uses before a
+/// link's first byte arrives — instead of giving each one a shard slot.
+#[derive(Debug, Clone, Copy)]
+pub struct IdleLinkProbe {
+    /// Links parked on the reactor when the after-sample was taken.
+    pub links: usize,
+    /// `VmRSS` before any link was built (KiB).
+    pub rss_before_kib: u64,
+    /// `VmRSS` with every link parked (KiB).
+    pub rss_after_kib: u64,
+}
+
+impl IdleLinkProbe {
+    /// Memory ceiling one parked link costs (bytes; RSS-page granular,
+    /// so small populations round up).
+    pub fn per_link_bytes(&self) -> f64 {
+        (self.rss_after_kib.saturating_sub(self.rss_before_kib) * 1024) as f64
+            / self.links.max(1) as f64
+    }
+}
+
+fn vm_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Park `links` idle connections drawn from `profile`'s host population
+/// on a deferred-accept front (listener + readiness reactor, exactly the
+/// parking path of `serve_listener` before a first byte) and measure the
+/// resident-memory ceiling. The clients never send, so every accepted
+/// link stays parked — no shard slot, no serving thread — and the RSS
+/// delta divided by the population is the per-parked-link cost recorded
+/// in `BENCH_load.json`. Returns `None` where `/proc/self/status` is
+/// unavailable (non-Linux).
+pub fn probe_idle_link_memory(profile: &LoadProfile, links: usize) -> Option<IdleLinkProbe> {
+    let rss_before = vm_rss_kib()?;
+    let listener = Listener::bind("idle-probe", links.max(1) + 8);
+    let reactor = Reactor::spawn("idle-probe");
+    let mut clients = Vec::with_capacity(links);
+    for i in 0..links {
+        let host = i % profile.hosts.max(1);
+        let source = SourceAddr::new(
+            [12, 0, (host >> 8) as u8, host as u8],
+            30_000 + (i % 20_000) as u16,
+        );
+        let client = listener.connect(source).ok()?;
+        let parked = listener
+            .accept(RecvTimeout::After(Duration::from_secs(5)))
+            .ok()?;
+        reactor.watch(parked, |_link| {});
+        clients.push(client);
+    }
+    let parked = reactor.links();
+    let rss_after = vm_rss_kib()?;
+    reactor.shutdown();
+    listener.close();
+    drop(clients);
+    Some(IdleLinkProbe {
+        links: parked,
+        rss_before_kib: rss_before,
+        rss_after_kib: rss_after,
+    })
+}
+
 /// The `BENCH_load.json` artifact: per-phase p50/p99/p999 +
-/// connections/sec, the injected fault timeline, and per-front
-/// accounting — emitted through the shared [`crate::report`] writer.
-pub fn load_bench_json(profile: &LoadProfile, report: &LoadRunReport) -> String {
+/// connections/sec, the injected fault timeline, per-front accounting,
+/// and (when the probe ran) the idle-link memory ceiling — emitted
+/// through the shared [`crate::report`] writer.
+pub fn load_bench_json(
+    profile: &LoadProfile,
+    report: &LoadRunReport,
+    idle_links: Option<&IdleLinkProbe>,
+) -> String {
     crate::report::bench_artifact("load", |w| {
         w.field_u64("seed", report.seed);
         w.field_u64("chaos_seed", report.chaos_seed);
@@ -847,6 +921,14 @@ pub fn load_bench_json(profile: &LoadProfile, report: &LoadRunReport) -> String 
             w.field_f64("resumption_hit_rate", rate);
         }
         w.field_u64("fault_events", report.fault_events as u64);
+        if let Some(idle) = idle_links {
+            w.nested("idle_links", |w| {
+                w.field_u64("links", idle.links as u64);
+                w.field_u64("rss_before_kib", idle.rss_before_kib);
+                w.field_u64("rss_after_kib", idle.rss_after_kib);
+                w.field_f64("per_link_bytes", idle.per_link_bytes());
+            });
+        }
     })
 }
 
@@ -1005,7 +1087,12 @@ mod tests {
             }],
         );
         let report = run_load(&profile, &schedule);
-        let json = load_bench_json(&profile, &report);
+        let probe = IdleLinkProbe {
+            links: 64,
+            rss_before_kib: 10_000,
+            rss_after_kib: 10_256,
+        };
+        let json = load_bench_json(&profile, &report, Some(&probe));
         for key in [
             "\"bench\":\"load\"",
             "\"phases\"",
@@ -1017,6 +1104,8 @@ mod tests {
             "\"accounts_balance\":true",
             "\"fronts\"",
             "\"rate_limited\"",
+            "\"idle_links\"",
+            "\"per_link_bytes\":4096",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1025,5 +1114,20 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn idle_link_probe_parks_the_whole_population() {
+        let profile = tiny_profile();
+        let Some(probe) = probe_idle_link_memory(&profile, 128) else {
+            // /proc/self/status unavailable (non-Linux): the probe is
+            // allowed to opt out, and the artifact simply omits the
+            // "idle_links" section.
+            return;
+        };
+        assert_eq!(probe.links, 128, "every idle link parks on the reactor");
+        assert!(probe.rss_before_kib > 0);
+        assert!(probe.rss_after_kib >= probe.rss_before_kib);
+        assert!(probe.per_link_bytes() >= 0.0);
     }
 }

@@ -21,17 +21,28 @@
 //! * **stats** are relaxed atomics, **violations** and all control-plane
 //!   tables (callgates, globals, fd ownership, the tag cache) live behind
 //!   their own locks, off the data path;
-//! * every compartment carries an **epoch** counter. A
-//!   [`crate::SthreadCtx`] keeps a per-sthread permission cache
-//!   (tag → [`MemProt`], fd → [`crate::FdProt`]) validated against that
-//!   epoch; policy mutations (grants, revocations, identity transitions,
-//!   scrubs) bump the epoch so cached grants are revalidated only when the
-//!   policy actually changed — mirroring the paper's observation that
-//!   grants change rarely relative to accesses.
+//! * policy state is **op-log replicated** (the node-replication design):
+//!   every policy mutation (grants, revocations, widenings, identity
+//!   transitions, scrub resets, compartment creation) is validated against
+//!   the authoritative table and appended as a typed effect to a shared,
+//!   monotonically versioned [`crate::oplog::OpLog`]. Concurrent mutators
+//!   are batched by a **flat-combining** appender (one combiner drains the
+//!   whole queue under a single compartments-lock + tail acquisition).
+//!   Each [`crate::oplog::KernelReplica`] lazily replays the log up to the
+//!   published tail, and per-sthread permission caches (tag →
+//!   [`MemProt`], fd → [`crate::FdProt`]) revalidate on the **log
+//!   version**, scanning only the new suffix for ops naming their own
+//!   compartment — a mutation aimed elsewhere costs a cached reader
+//!   nothing. The PR 2 per-compartment-epoch scheme survives as the
+//!   [`Kernel::sharded_baseline`] ablation tier (full cache flush on any
+//!   epoch bump), and the pre-sharding profile as
+//!   [`Kernel::legacy_baseline`].
 //!
 //! Lock order (outer → inner): `compartments` → segment shard → `fds` →
-//! `fd_owners` → `control` → `tag_cache` → `violations`. The tracer lock is
-//! a leaf and is never held while acquiring any other lock.
+//! `fd_owners` → `control` → `tag_cache` → `violations`. The op log's
+//! entries lock is a leaf acquired under `compartments` (appends) or under
+//! a replica's state lock (replay); the mutation queue and tracer locks
+//! are leaves never held while acquiring any other lock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,10 +52,13 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use wedge_alloc::{Segment, TagCache, TagCacheConfig};
 
+use parking_lot::Condvar;
+
 use crate::callgate::{CallgateFn, CgEntryId, TrustedArg};
 use crate::error::WedgeError;
 use crate::fdtable::{FdEntry, FdId, FdProt};
 use crate::memory::SBuf;
+use crate::oplog::{KernelReplica, OpLog, OpLogStats, PolicyOp, SnapshotView};
 use crate::policy::{SecurityPolicy, Uid};
 use crate::sthread::SthreadCtx;
 use crate::syscall::{DomainTransitions, Syscall};
@@ -356,14 +370,25 @@ struct ControlState {
     next_entry: u64,
 }
 
-/// The per-sthread permission cache: positive grants keyed by tag/fd,
-/// validated against the owning compartment's epoch. Negative results
-/// (denials) are never cached, so every denied access still reaches the
-/// authoritative tables (and the violation log).
+/// The per-sthread permission cache: positive grants keyed by tag/fd.
+/// On the op-log kernel the cache is validated against the log's published
+/// tail version and invalidated *precisely* — only ops naming the caller's
+/// own compartment touch it; on the epoch ablation tiers it is validated
+/// against the owning compartment's epoch and fully flushed on any bump.
+/// Negative results (denials) are never cached, so every denied access
+/// still reaches the authoritative tables (and the violation log).
 pub(crate) struct PermCache {
-    /// The compartment's epoch cell, bound on first use.
+    /// The compartment's epoch cell, bound on first use (epoch tiers only).
     epoch: Option<Arc<AtomicU64>>,
     seen_epoch: u64,
+    /// The kernel replica this cache refills from (op-log mode only; bound
+    /// round-robin by [`Kernel::adopt_cache`]).
+    replica: Option<Arc<KernelReplica>>,
+    /// The log tail version this cache last revalidated against.
+    seen_version: u64,
+    /// Whether the op-log path has completed its first sync (the caller's
+    /// unconfined flag is only trustworthy afterwards).
+    replica_ready: bool,
     unconfined: bool,
     mem: IdHashMap<Tag, MemProt>,
     fds: IdHashMap<FdId, FdProt>,
@@ -403,6 +428,9 @@ impl PermCache {
         PermCache {
             epoch: None,
             seen_epoch: 0,
+            replica: None,
+            seen_version: 0,
+            replica_ready: false,
             unconfined: false,
             mem: IdHashMap::default(),
             fds: IdHashMap::default(),
@@ -489,6 +517,90 @@ impl std::fmt::Debug for MemReadGuard<'_> {
     }
 }
 
+/// One policy mutation travelling through the flat-combining appender.
+/// Carries everything `apply_mutation` needs to validate and apply it
+/// against the authoritative table on the combiner's thread.
+enum PolicyMutation {
+    MemAdd {
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+        prot: MemProt,
+    },
+    MemDel {
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+    },
+    Widen {
+        target: CompartmentId,
+        extra: SecurityPolicy,
+    },
+    Transition {
+        caller: CompartmentId,
+        target: CompartmentId,
+        uid: Uid,
+        fs_root: Option<String>,
+    },
+    ScrubReset {
+        target: CompartmentId,
+        baseline: SecurityPolicy,
+    },
+}
+
+/// A mutator's completion slot (same condvar idiom as the cachenet ring's
+/// batch sender): the combiner fulfills it only *after* the batch's
+/// effects are published to the log, so a returned mutation is visible to
+/// every later-starting read.
+struct MutWaiter {
+    slot: Mutex<Option<Result<(), WedgeError>>>,
+    cv: Condvar,
+}
+
+impl MutWaiter {
+    fn new() -> MutWaiter {
+        MutWaiter {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: Result<(), WedgeError>) {
+        *self.slot.lock() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<(), WedgeError> {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+}
+
+/// The flat-combining mutation queue: pending ops plus whether some thread
+/// is currently draining them. A mutator that finds no combiner active
+/// becomes the combiner and batches everything queued behind it under a
+/// single compartments-lock + log-tail acquisition.
+struct MutQueue {
+    items: Vec<(PolicyMutation, Arc<MutWaiter>)>,
+    combiner_active: bool,
+    /// Reusable effects buffer handed to whichever thread holds the
+    /// combiner role, so a drain round allocates nothing.
+    scratch: Vec<PolicyOp>,
+}
+
+thread_local! {
+    /// Reusable effects buffer for the solo (uncontended) mutation fast
+    /// path, which runs outside the combiner queue and so cannot borrow
+    /// [`MutQueue::scratch`] without paying its lock.
+    static SOLO_EFFECTS: std::cell::RefCell<Vec<PolicyOp>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// The simulated kernel.
 pub struct Kernel {
     compartments: RwLock<HashMap<CompartmentId, CompartmentEntry>>,
@@ -516,6 +628,17 @@ pub struct Kernel {
     /// [`Kernel::instrument`]). Only the cold paths (violations, scrubs)
     /// ever read it, so the fast path stays untouched.
     telemetry: std::sync::OnceLock<Telemetry>,
+    /// The shared policy operation log (`None` on the epoch ablation
+    /// tiers). Appends happen under the compartments write lock; the tail
+    /// is the version every permission cache revalidates against.
+    oplog: Option<Arc<OpLog>>,
+    /// The per-shard kernel replicas permission caches refill from in
+    /// op-log mode (empty on the ablation tiers).
+    replicas: Vec<Arc<KernelReplica>>,
+    /// Round-robin cursor assigning fresh caches to replicas.
+    next_replica: AtomicU64,
+    /// The flat-combining mutation queue (op-log mode only).
+    mutations: Mutex<MutQueue>,
     /// Pre-refactor contention profile (see [`Kernel::legacy_baseline`]).
     legacy: bool,
     legacy_gate: Mutex<()>,
@@ -535,10 +658,36 @@ impl Default for Kernel {
     }
 }
 
+/// Which concurrency profile a kernel is built with (internal; the public
+/// surface is the three named constructors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelMode {
+    /// Op-log replicated policy state (the default).
+    OpLog,
+    /// PR 2 ablation tier: per-compartment epochs, full cache flush on any
+    /// policy mutation.
+    ShardedEpoch,
+    /// Pre-sharding ablation tier: one global lock, caches bypassed.
+    Legacy,
+}
+
 impl Kernel {
-    /// Create a fresh kernel with no compartments, tags or globals.
+    /// Create a fresh kernel with no compartments, tags or globals, using
+    /// the op-log replicated concurrency profile: policy mutations are
+    /// flat-combined onto a shared versioned log and reads are served from
+    /// per-shard replicas (see [`crate::oplog`]).
     pub fn new() -> Kernel {
-        Kernel::build(false)
+        Kernel::build(KernelMode::OpLog)
+    }
+
+    /// Construct a kernel with the **sharded-epoch** concurrency profile —
+    /// the design this repo shipped before op-log replication: policy
+    /// reads cross the shared compartments `RwLock` on every cache miss,
+    /// and any policy mutation bumps a per-compartment epoch that fully
+    /// flushes every permission cache bound to it. Kept as the mid
+    /// ablation tier of the `fast_path` benchmark.
+    pub fn sharded_baseline() -> Kernel {
+        Kernel::build(KernelMode::ShardedEpoch)
     }
 
     /// Construct a kernel that reproduces the **pre-sharding contention
@@ -549,10 +698,30 @@ impl Kernel {
     /// ablation baseline for the `fast_path` benchmark — the same role the
     /// `reuse_enabled = false` switch plays for the Figure 8 tag cache.
     pub fn legacy_baseline() -> Kernel {
-        Kernel::build(true)
+        Kernel::build(KernelMode::Legacy)
     }
 
-    fn build(legacy: bool) -> Kernel {
+    /// Replica count for the op-log profile: one per available core, and
+    /// always at least two so replica-local behaviour (round-robin cache
+    /// binding, lag) is exercised even on a single-core host.
+    fn default_replica_count() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .clamp(2, 8)
+    }
+
+    fn build(mode: KernelMode) -> Kernel {
+        let (oplog, replicas) = match mode {
+            KernelMode::OpLog => (
+                Some(Arc::new(OpLog::new())),
+                (0..Kernel::default_replica_count())
+                    .map(|_| Arc::new(KernelReplica::new()))
+                    .collect(),
+            ),
+            KernelMode::ShardedEpoch | KernelMode::Legacy => (None, Vec::new()),
+        };
+        let legacy = mode == KernelMode::Legacy;
         Kernel {
             compartments: RwLock::new(HashMap::new()),
             segment_shards: (0..SEGMENT_SHARDS)
@@ -581,6 +750,14 @@ impl Kernel {
             tracer: RwLock::new(None),
             tracer_on: AtomicBool::new(false),
             telemetry: std::sync::OnceLock::new(),
+            oplog,
+            replicas,
+            next_replica: AtomicU64::new(0),
+            mutations: Mutex::new(MutQueue {
+                items: Vec::new(),
+                combiner_active: false,
+                scratch: Vec::new(),
+            }),
             legacy,
             legacy_gate: Mutex::new(()),
             // One sentinel each: probing an empty std HashMap short-circuits
@@ -630,6 +807,9 @@ impl Kernel {
         if self.telemetry.set(telemetry.clone()).is_err() {
             return;
         }
+        if let Some(log) = &self.oplog {
+            log.bind_replay_histogram(telemetry.histogram("kernel.replica.replay"));
+        }
         let kernel = Arc::downgrade(self);
         telemetry.register_collector(move |sample| {
             let Some(kernel) = kernel.upgrade() else {
@@ -648,7 +828,42 @@ impl Kernel {
                 "kernel.callgates",
                 stats.callgate_invocations + stats.recycled_invocations,
             );
+            if let Some(log) = &kernel.oplog {
+                let oplog = log.stats();
+                sample.counter("kernel.oplog.appended", oplog.appended);
+                sample.counter("kernel.oplog.combined", oplog.combined_batches);
+                sample.counter("kernel.oplog.replays", oplog.replays);
+                // Worst-case replica staleness right now. Replicas sync
+                // lazily, so a nonzero lag is normal; it bounds how much
+                // replay the next cold read pays, not correctness.
+                let min_applied = kernel
+                    .replicas
+                    .iter()
+                    .map(|r| r.applied())
+                    .min()
+                    .unwrap_or(0);
+                sample.gauge("kernel.replica.lag", oplog.tail.saturating_sub(min_applied));
+            }
         });
+    }
+
+    /// Counter snapshot of the policy op log, or `None` on the epoch
+    /// ablation tiers (which have no log).
+    pub fn oplog_stats(&self) -> Option<OpLogStats> {
+        self.oplog.as_ref().map(|log| log.stats())
+    }
+
+    /// Number of kernel replicas serving permission-cache refills (0 on
+    /// the epoch ablation tiers).
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Serialized size of the policy op log in bytes — the control block a
+    /// replay-based shard boot ships instead of an address-space image.
+    /// `None` on the epoch ablation tiers.
+    pub fn oplog_bytes(&self) -> Option<usize> {
+        self.oplog.as_ref().map(|log| log.encoded_bytes())
     }
 
     /// Install (or remove) the instrumentation sink used by Crowbar.
@@ -733,7 +948,16 @@ impl Kernel {
     /// counter flush targets this kernel's cells, and the registry makes the
     /// cache's live counters visible to [`Kernel::stats`].
     pub(crate) fn adopt_cache(self: &Arc<Self>, cache: &Arc<Mutex<PermCache>>) {
-        cache.lock().kernel = Some(Arc::downgrade(self));
+        {
+            let mut c = cache.lock();
+            c.kernel = Some(Arc::downgrade(self));
+            if !self.replicas.is_empty() {
+                // Op-log mode: spread caches across the replicas so reads
+                // shard naturally (one replica per worker core).
+                let slot = self.next_replica.fetch_add(1, Ordering::Relaxed) as usize;
+                c.replica = Some(self.replicas[slot % self.replicas.len()].clone());
+            }
+        }
         let mut registry = self.cache_registry.lock();
         if registry.len() % 32 == 31 {
             registry.retain(|w| w.strong_count() > 0);
@@ -803,10 +1027,14 @@ impl Kernel {
     // The per-sthread permission cache
     // ------------------------------------------------------------------
 
-    /// Bring `cache` up to date with the caller's current epoch. Cached
-    /// grants survive only while the epoch is unchanged; any policy
-    /// mutation flushes them on the next access.
+    /// Bring `cache` up to date with the policy state it validates
+    /// against. On the op-log kernel that is the log's published tail
+    /// version (precise, per-compartment invalidation); on the epoch
+    /// tiers it is the caller's epoch (full flush on any mutation).
     fn cache_sync(&self, caller: CompartmentId, cache: &mut PermCache) -> Result<(), WedgeError> {
+        if let Some(log) = &self.oplog {
+            return self.cache_sync_replica(log, caller, cache);
+        }
         if let Some(epoch) = &cache.epoch {
             if epoch.load(Ordering::SeqCst) == cache.seen_epoch {
                 return Ok(());
@@ -823,6 +1051,132 @@ impl Kernel {
         cache.unconfined = entry.policy.is_unconfined();
         cache.mem.clear();
         cache.fds.clear();
+        Ok(())
+    }
+
+    /// The op-log revalidation path. The warm case is one load of the
+    /// caller's **version cell** (the same per-compartment counter the
+    /// epoch tiers flush on, repurposed as a precise "last op touching
+    /// this compartment" version) — no locks beyond the cache's own, no
+    /// allocation, and a mutation aimed at *another* compartment leaves
+    /// this cache warm. On a cell change the cache folds the new log
+    /// suffix in directly, applying only the ops naming the caller; the
+    /// bound replica is not touched at all — it replays lazily, on the
+    /// first cache *miss* that actually needs it (see
+    /// [`Kernel::resolve_mem_grant`]).
+    ///
+    /// Ordering: [`Kernel::publish_batch`] stores the log tail before it
+    /// bumps a target's cell, and a mutation's caller is released only
+    /// after the bump. So any read that starts after a `revoke_mem`
+    /// returns observes the bumped cell, and the tail it then loads is
+    /// guaranteed to cover the revocation — the stale grant is dropped on
+    /// every replica. (The apply-time bump the epoch tiers rely on also
+    /// fires *before* publication; a cache that races it merely folds an
+    /// empty suffix and rescans when the post-publish bump lands, since
+    /// the cell is monotone.)
+    fn cache_sync_replica(
+        &self,
+        log: &OpLog,
+        caller: CompartmentId,
+        cache: &mut PermCache,
+    ) -> Result<(), WedgeError> {
+        /// Longest log suffix a cache folds in place; past this it
+        /// resets from its replica instead (one shared replay beats N
+        /// per-cache walks of the same ops).
+        const MAX_SUFFIX_FOLD: u64 = 128;
+        if cache.replica_ready {
+            let cell = cache
+                .epoch
+                .as_ref()
+                .expect("version cell is bound at first sync");
+            let seen = cell.load(Ordering::SeqCst);
+            if seen == cache.seen_epoch {
+                return Ok(());
+            }
+            let tail = log.tail();
+            if tail.saturating_sub(cache.seen_version) > MAX_SUFFIX_FOLD {
+                // A long suffix (this cache slept through a mutation
+                // storm aimed elsewhere): folding it per-cache would
+                // re-walk the same ops once per sthread. Let the shared
+                // replica replay it once — amortised across every cache
+                // bound to it — and refill lazily on miss.
+                let replica = cache.replica.as_ref().expect("replica bound");
+                replica.sync_to(log, tail);
+                cache.unconfined = replica
+                    .unconfined(caller)
+                    .ok_or(WedgeError::UnknownCompartment(caller))?;
+                cache.mem.clear();
+                cache.fds.clear();
+                cache.seen_version = tail;
+                cache.seen_epoch = seen;
+                return Ok(());
+            }
+            // Precise invalidation: fold the new log suffix into the
+            // cached grants, touching only the caller's own ops.
+            let mem = &mut cache.mem;
+            let fds = &mut cache.fds;
+            let unconfined = &mut cache.unconfined;
+            log.scan(cache.seen_version, tail, |op| match op {
+                PolicyOp::MemSet { target, tag, prot } if *target == caller => match prot {
+                    Some(prot) => {
+                        mem.insert(*tag, *prot);
+                    }
+                    None => {
+                        mem.remove(tag);
+                    }
+                },
+                PolicyOp::FdSet { target, fd, prot } if *target == caller => match prot {
+                    Some(prot) => {
+                        fds.insert(*fd, *prot);
+                    }
+                    None => {
+                        fds.remove(fd);
+                    }
+                },
+                PolicyOp::Snapshot { target, view } if *target == caller => {
+                    // Coarse mutation (widen / scrub reset / transition):
+                    // drop everything and refill lazily from the replica.
+                    *unconfined = view.unconfined;
+                    mem.clear();
+                    fds.clear();
+                }
+                _ => {}
+            });
+            cache.seen_version = tail;
+            cache.seen_epoch = seen;
+            return Ok(());
+        }
+        // First sync: bind the caller's version cell and a replica, then
+        // replay the replica up to the tail — the compartment's creation
+        // snapshot was published before this context could exist, so the
+        // replica is the authority on whether the caller even exists.
+        if cache.replica.is_none() {
+            // Cache created outside `adopt_cache` (defensive): bind the
+            // first replica so the path still works.
+            cache.replica = Some(self.replicas[0].clone());
+        }
+        let cell = self
+            .compartments
+            .read()
+            .get(&caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?
+            .epoch
+            .clone();
+        // Cell before tail: an op counted in this cell value published its
+        // tail first, so the sync below cannot miss it.
+        let seen = cell.load(Ordering::SeqCst);
+        cache.epoch = Some(cell);
+        let tail = log.tail();
+        let replica = cache.replica.as_ref().expect("replica bound").clone();
+        replica.sync_to(log, tail);
+        cache.unconfined = replica
+            .unconfined(caller)
+            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        cache.mem.clear();
+        cache.fds.clear();
+        cache.replica_ready = true;
+        cache.seen_version = tail;
+        cache.seen_epoch = seen;
         Ok(())
     }
 
@@ -856,12 +1210,24 @@ impl Kernel {
         if let Some(prot) = c.mem.get(&tag) {
             return Ok(Some(*prot));
         }
-        let grant = self
-            .compartments
-            .read()
-            .get(&caller)
-            .map(|e| e.policy.mem_grant(tag))
-            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        // Miss: refill replica-locally in op-log mode (reads never touch
+        // the authoritative table) — this is where the bound replica
+        // lazily replays the log, up to the version this cache has
+        // already validated against.
+        let grant = match (&self.oplog, &c.replica) {
+            (Some(log), Some(replica)) => {
+                replica.sync_to(log, c.seen_version);
+                replica
+                    .mem_grant(caller, tag)
+                    .ok_or(WedgeError::UnknownCompartment(caller))?
+            }
+            _ => self
+                .compartments
+                .read()
+                .get(&caller)
+                .map(|e| e.policy.mem_grant(tag))
+                .ok_or(WedgeError::UnknownCompartment(caller))?,
+        };
         if let Some(prot) = grant {
             c.mem.insert(tag, prot);
         }
@@ -897,12 +1263,20 @@ impl Kernel {
         if let Some(prot) = c.fds.get(&fd) {
             return Ok(Some(*prot));
         }
-        let grant = self
-            .compartments
-            .read()
-            .get(&caller)
-            .map(|e| e.policy.fd_grant(fd))
-            .ok_or(WedgeError::UnknownCompartment(caller))?;
+        let grant = match (&self.oplog, &c.replica) {
+            (Some(log), Some(replica)) => {
+                replica.sync_to(log, c.seen_version);
+                replica
+                    .fd_grant(caller, fd)
+                    .ok_or(WedgeError::UnknownCompartment(caller))?
+            }
+            _ => self
+                .compartments
+                .read()
+                .get(&caller)
+                .map(|e| e.policy.fd_grant(fd))
+                .ok_or(WedgeError::UnknownCompartment(caller))?,
+        };
         if let Some(prot) = grant {
             c.fds.insert(fd, prot);
         }
@@ -913,13 +1287,45 @@ impl Kernel {
     // Compartment lifecycle
     // ------------------------------------------------------------------
 
+    /// Snapshot effect for `target`'s current policy, for the op log.
+    fn snapshot_of(target: CompartmentId, policy: &SecurityPolicy) -> PolicyOp {
+        PolicyOp::Snapshot {
+            target,
+            view: Box::new(SnapshotView {
+                unconfined: policy.is_unconfined(),
+                mem: policy.mem_grants().iter().map(|(t, p)| (*t, *p)).collect(),
+                fds: policy.fd_grants().iter().map(|(f, p)| (*f, *p)).collect(),
+            }),
+        }
+    }
+
+    /// Publish one effect to the op log, if this kernel has one. Must be
+    /// called while holding the compartments write lock (see
+    /// [`OpLog::publish`]).
+    fn publish_op(&self, op: PolicyOp) {
+        if let Some(log) = &self.oplog {
+            log.publish(vec![op]);
+        }
+    }
+
     /// Create the unconfined root compartment and return its context.
     pub fn create_root_compartment(self: &Arc<Self>, name: &str) -> SthreadCtx {
         let id = CompartmentId(self.next_compartment.fetch_add(1, Ordering::Relaxed));
-        self.compartments.write().insert(
-            id,
-            CompartmentEntry::new(name, None, SecurityPolicy::unconfined()),
-        );
+        {
+            let mut comps = self.compartments.write();
+            comps.insert(
+                id,
+                CompartmentEntry::new(name, None, SecurityPolicy::unconfined()),
+            );
+            self.publish_op(PolicyOp::Snapshot {
+                target: id,
+                view: Box::new(SnapshotView {
+                    unconfined: true,
+                    mem: Vec::new(),
+                    fds: Vec::new(),
+                }),
+            });
+        }
         SthreadCtx::new(self.clone(), id, name)
     }
 
@@ -985,6 +1391,10 @@ impl Kernel {
             }
         }
 
+        // Publish the child's creation snapshot before the compartments
+        // lock drops: replicas learn of the compartment strictly before
+        // any context for it can issue a read.
+        self.publish_op(Kernel::snapshot_of(id, &child_policy));
         comps.insert(id, CompartmentEntry::new(name, Some(parent), child_policy));
         match kind {
             ChildKind::Activation => StatCells::bump(&self.stats.callgate_invocations),
@@ -1002,6 +1412,168 @@ impl Kernel {
         }
     }
 
+    // ------------------------------------------------------------------
+    // The flat-combining mutation appender
+    // ------------------------------------------------------------------
+
+    /// Route one policy mutation through the flat-combining appender (the
+    /// op-log profile's only mutation path). The calling thread enqueues
+    /// its op; if another thread is already combining, it parks until its
+    /// result arrives — otherwise it *becomes* the combiner and drains
+    /// every queued op in batches, each batch validated and applied under
+    /// a single compartments-lock acquisition and published to the log
+    /// under a single tail acquisition. Completions are signalled only
+    /// after the batch's tail store, so a returned mutation is visible to
+    /// every later-starting read, on every replica.
+    ///
+    /// The caller must hold no kernel locks (the combiner takes the
+    /// compartments write lock).
+    fn combine(&self, op: PolicyMutation) -> Result<(), WedgeError> {
+        let log = self
+            .oplog
+            .as_ref()
+            .expect("combine is only reachable on the op-log profile");
+        // Solo fast path: a mutator that wins the appender lock outright
+        // *is* the combiner of a batch of one — apply and publish
+        // directly, with no queue round-trip, no waiter allocation and no
+        // parking. Log order is pinned by the compartments lock either
+        // way, so ops published here serialise correctly against any
+        // combiner draining concurrently queued mutations.
+        if let Some(mut comps) = self.compartments.try_write() {
+            return SOLO_EFFECTS.with(|cell| {
+                let mut effects = cell.borrow_mut();
+                let result = self.apply_mutation(&mut comps, &op, &mut effects);
+                self.publish_batch(&comps, log, &mut effects);
+                result
+            });
+        }
+        let waiter = Arc::new(MutWaiter::new());
+        let scratch = {
+            let mut queue = self.mutations.lock();
+            queue.items.push((op, waiter.clone()));
+            if queue.combiner_active {
+                drop(queue);
+                return waiter.wait();
+            }
+            queue.combiner_active = true;
+            std::mem::take(&mut queue.scratch)
+        };
+        self.drain_as_combiner(log, scratch);
+        waiter.wait()
+    }
+
+    /// The combiner's drain loop: batch everything queued under a single
+    /// compartments-lock + log-tail acquisition per round, until the queue
+    /// stays empty. (Like the cachenet ring's batch sender, a sustained
+    /// mutation storm keeps the current combiner working, which is exactly
+    /// the batching the design wants.) The caller must have set
+    /// `combiner_active`; this clears it before returning.
+    fn drain_as_combiner(&self, log: &OpLog, mut effects: Vec<PolicyOp>) {
+        loop {
+            let batch = {
+                let mut queue = self.mutations.lock();
+                if queue.items.is_empty() {
+                    queue.combiner_active = false;
+                    queue.scratch = effects;
+                    break;
+                }
+                std::mem::take(&mut queue.items)
+            };
+            let mut results = Vec::with_capacity(batch.len());
+            {
+                let mut comps = self.compartments.write();
+                for (op, _) in &batch {
+                    results.push(self.apply_mutation(&mut comps, op, &mut effects));
+                }
+                self.publish_batch(&comps, log, &mut effects);
+            }
+            log.note_combined(batch.len());
+            for ((_, waiter), result) in batch.iter().zip(results) {
+                waiter.fulfill(result);
+            }
+        }
+    }
+
+    /// Publish a batch's effects under one tail acquisition (the caller
+    /// holds the compartments write lock, which pins log order), then bump
+    /// each target's version cell. The tail store happening *before* the
+    /// bump is what lets [`Kernel::cache_sync_replica`]'s warm check trust
+    /// the cell: a cache that observes a bumped cell is guaranteed to load
+    /// a tail covering the op that caused it. Drains `effects` (keeping
+    /// its capacity for reuse) and finds the bump targets by scanning the
+    /// suffix just published, so the whole path allocates nothing.
+    fn publish_batch(
+        &self,
+        comps: &HashMap<CompartmentId, CompartmentEntry>,
+        log: &OpLog,
+        effects: &mut Vec<PolicyOp>,
+    ) {
+        if effects.is_empty() {
+            return;
+        }
+        if effects.len() == 1 {
+            // The common case (one grant or revoke): remember the single
+            // target and skip the post-publish suffix scan.
+            let target = effects[0].target();
+            log.publish_from(effects);
+            if let Some(entry) = comps.get(&target) {
+                entry.bump_epoch();
+            }
+            return;
+        }
+        let count = effects.len() as u64;
+        let new_tail = log.publish_from(effects);
+        log.scan(new_tail - count, new_tail, |op| {
+            if let Some(entry) = comps.get(&op.target()) {
+                entry.bump_epoch();
+            }
+        });
+    }
+
+    /// Validate and apply one mutation against the authoritative table,
+    /// collecting its log effect. Runs on the combiner's thread with the
+    /// compartments write lock held.
+    fn apply_mutation(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        op: &PolicyMutation,
+        effects: &mut Vec<PolicyOp>,
+    ) -> Result<(), WedgeError> {
+        match op {
+            PolicyMutation::MemAdd {
+                caller,
+                target,
+                tag,
+                prot,
+            } => self.apply_policy_add(comps, *caller, *target, *tag, *prot, Some(effects)),
+            PolicyMutation::MemDel {
+                caller,
+                target,
+                tag,
+            } => self.apply_policy_del(comps, *caller, *target, *tag, Some(effects)),
+            PolicyMutation::Widen { target, extra } => {
+                self.apply_widen_policy(comps, *target, extra, Some(effects));
+                Ok(())
+            }
+            PolicyMutation::Transition {
+                caller,
+                target,
+                uid,
+                fs_root,
+            } => self.apply_transition_identity(
+                comps,
+                *caller,
+                *target,
+                *uid,
+                fs_root.as_deref(),
+                Some(effects),
+            ),
+            PolicyMutation::ScrubReset { target, baseline } => {
+                self.apply_scrub_reset(comps, *target, baseline, Some(effects))
+            }
+        }
+    }
+
     /// Change a compartment's uid and filesystem root. Only a caller whose
     /// own uid is root may do this — the idiom used by the OpenSSH
     /// authentication callgates ("the callgate, upon successful
@@ -1013,7 +1585,27 @@ impl Kernel {
         new_uid: Uid,
         new_fs_root: Option<&str>,
     ) -> Result<(), WedgeError> {
+        if self.oplog.is_some() {
+            return self.combine(PolicyMutation::Transition {
+                caller,
+                target,
+                uid: new_uid,
+                fs_root: new_fs_root.map(str::to_string),
+            });
+        }
         let mut comps = self.compartments.write();
+        self.apply_transition_identity(&mut comps, caller, target, new_uid, new_fs_root, None)
+    }
+
+    fn apply_transition_identity(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        caller: CompartmentId,
+        target: CompartmentId,
+        new_uid: Uid,
+        new_fs_root: Option<&str>,
+        effects: Option<&mut Vec<PolicyOp>>,
+    ) -> Result<(), WedgeError> {
         let caller_uid = comps
             .get(&caller)
             .ok_or(WedgeError::UnknownCompartment(caller))?
@@ -1032,7 +1624,15 @@ impl Kernel {
         if let Some(root) = new_fs_root {
             target_entry.policy.fs_root = root.to_string();
         }
-        target_entry.bump_epoch();
+        match effects {
+            // Identity itself is not replicated (uid checks read the
+            // authoritative table), but the snapshot keeps the "once this
+            // returns, later reads revalidate" contract uniform across
+            // every mutation kind; `publish_batch` bumps after the tail
+            // store.
+            Some(effects) => effects.push(Kernel::snapshot_of(target, &target_entry.policy)),
+            None => target_entry.bump_epoch(),
+        }
         Ok(())
     }
 
@@ -1044,8 +1644,9 @@ impl Kernel {
     /// Add a runtime memory grant to `target`'s policy (`policy_add`). The
     /// granter must itself hold a grant that allows delegating `prot` (or
     /// be unconfined), and private tags can never be named in another
-    /// compartment's policy. Bumps the target's epoch so its permission
-    /// cache revalidates.
+    /// compartment's policy. On the op-log kernel the resulting grant is
+    /// published to the log before this returns; on the epoch tiers the
+    /// target's epoch bump plays that role.
     pub(crate) fn policy_add(
         &self,
         caller: CompartmentId,
@@ -1053,7 +1654,27 @@ impl Kernel {
         tag: Tag,
         prot: MemProt,
     ) -> Result<(), WedgeError> {
+        if self.oplog.is_some() {
+            return self.combine(PolicyMutation::MemAdd {
+                caller,
+                target,
+                tag,
+                prot,
+            });
+        }
         let mut comps = self.compartments.write();
+        self.apply_policy_add(&mut comps, caller, target, tag, prot, None)
+    }
+
+    fn apply_policy_add(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+        prot: MemProt,
+        effects: Option<&mut Vec<PolicyOp>>,
+    ) -> Result<(), WedgeError> {
         let caller_entry = comps
             .get(&caller)
             .ok_or(WedgeError::UnknownCompartment(caller))?;
@@ -1077,24 +1698,59 @@ impl Kernel {
         let target_entry = comps
             .get_mut(&target)
             .ok_or(WedgeError::UnknownCompartment(target))?;
+        // With an effects sink the post-publish bump in
+        // [`Kernel::publish_batch`] notifies caches (tail first, then
+        // cell); bumping here too would be a wasted SeqCst RMW. The
+        // epoch tiers (no sink) bump directly.
+        let deferred_bump = effects.is_some();
         if !target_entry.policy.is_unconfined() {
             target_entry.policy.sc_mem_add(tag, prot);
+            if let Some(effects) = effects {
+                // Record the *resulting* grant read back from the table,
+                // so replay is apply-only and cannot diverge.
+                effects.push(PolicyOp::MemSet {
+                    target,
+                    tag,
+                    prot: target_entry.policy.mem_grant(tag),
+                });
+            }
         }
-        target_entry.bump_epoch();
+        if !deferred_bump {
+            target_entry.bump_epoch();
+        }
         Ok(())
     }
 
     /// Revoke a memory grant from `target`'s policy (`policy_del`). Allowed
     /// for the unconfined root, the target's parent, or the target itself.
-    /// The epoch bump guarantees that once this returns, no access started
-    /// afterwards can succeed through a stale cached grant.
+    /// Once this returns, no access started afterwards can succeed through
+    /// a stale cached grant: the revocation's log publication (or, on the
+    /// epoch tiers, the epoch bump) happens before the caller is released.
     pub(crate) fn policy_del(
         &self,
         caller: CompartmentId,
         target: CompartmentId,
         tag: Tag,
     ) -> Result<(), WedgeError> {
+        if self.oplog.is_some() {
+            return self.combine(PolicyMutation::MemDel {
+                caller,
+                target,
+                tag,
+            });
+        }
         let mut comps = self.compartments.write();
+        self.apply_policy_del(&mut comps, caller, target, tag, None)
+    }
+
+    fn apply_policy_del(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        caller: CompartmentId,
+        target: CompartmentId,
+        tag: Tag,
+        effects: Option<&mut Vec<PolicyOp>>,
+    ) -> Result<(), WedgeError> {
         let caller_unconfined = comps
             .get(&caller)
             .ok_or(WedgeError::UnknownCompartment(caller))?
@@ -1109,7 +1765,16 @@ impl Kernel {
             });
         }
         target_entry.policy.sc_mem_del(tag);
-        target_entry.bump_epoch();
+        match effects {
+            Some(effects) => effects.push(PolicyOp::MemSet {
+                target,
+                tag,
+                prot: None,
+            }),
+            // No effects sink (epoch tiers): bump directly. The op-log
+            // path defers to `publish_batch`'s post-publish bump.
+            None => target_entry.bump_epoch(),
+        }
         Ok(())
     }
 
@@ -1156,9 +1821,18 @@ impl Kernel {
         );
         StatCells::bump(&self.stats.tags_created);
         // The creator implicitly gains read-write access (it created the
-        // region, exactly as mmap would map it into the caller).
+        // region, exactly as mmap would map it into the caller). The
+        // caller already holds the compartments write lock, so the effect
+        // is appended directly — no combiner round-trip.
         if !entry.policy.is_unconfined() {
             entry.policy.sc_mem_add(tag, MemProt::ReadWrite);
+            // Tail before bump: a cache that sees the bumped cell must
+            // load a tail covering this op (see `publish_batch`).
+            self.publish_op(PolicyOp::MemSet {
+                target: caller,
+                tag,
+                prot: Some(MemProt::ReadWrite),
+            });
             entry.bump_epoch();
         }
         Ok(tag)
@@ -1951,6 +2625,12 @@ impl Kernel {
         self.fd_owners.lock().insert(fd, caller);
         if !comp.policy.is_unconfined() {
             comp.policy.sc_fd_add(fd, FdProt::ReadWrite);
+            // Tail before bump, as in `publish_batch`.
+            self.publish_op(PolicyOp::FdSet {
+                target: caller,
+                fd,
+                prot: Some(FdProt::ReadWrite),
+            });
             comp.bump_epoch();
         }
         Ok(fd)
@@ -2192,21 +2872,22 @@ impl Kernel {
     /// spawn-time policy), undoing the implicit grants `tag_new` /
     /// `fd_create` accumulate. Used between principals on pooled recycled
     /// workers — the §3.3 residue a reused activation could otherwise leak
-    /// to the next caller. The epoch bump invalidates every cached grant
-    /// the worker accumulated before the scrub.
+    /// to the next caller. The policy reset's log snapshot (epoch bump on
+    /// the ablation tiers) invalidates every cached grant the worker
+    /// accumulated before the scrub.
     pub(crate) fn scrub_compartment(
         &self,
         id: CompartmentId,
         baseline: &SecurityPolicy,
     ) -> Result<(), WedgeError> {
-        {
+        if self.oplog.is_some() {
+            self.combine(PolicyMutation::ScrubReset {
+                target: id,
+                baseline: baseline.clone(),
+            })?;
+        } else {
             let mut comps = self.compartments.write();
-            let entry = comps
-                .get_mut(&id)
-                .ok_or(WedgeError::UnknownCompartment(id))?;
-            entry.private_tag = None;
-            entry.policy = baseline.clone();
-            entry.bump_epoch();
+            self.apply_scrub_reset(&mut comps, id, baseline, None)?;
         }
         for shard in &self.segment_shards {
             let mut shard = shard.write();
@@ -2294,12 +2975,57 @@ impl Kernel {
         self.control.lock().recycled.insert((caller, entry), worker);
     }
 
+    /// The policy-reset half of a scrub: drop the private tag, restore the
+    /// spawn-time baseline, and invalidate every cached grant the worker
+    /// accumulated (log snapshot / epoch bump).
+    fn apply_scrub_reset(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        id: CompartmentId,
+        baseline: &SecurityPolicy,
+        effects: Option<&mut Vec<PolicyOp>>,
+    ) -> Result<(), WedgeError> {
+        let entry = comps
+            .get_mut(&id)
+            .ok_or(WedgeError::UnknownCompartment(id))?;
+        entry.private_tag = None;
+        entry.policy = baseline.clone();
+        match effects {
+            Some(effects) => effects.push(Kernel::snapshot_of(id, &entry.policy)),
+            None => entry.bump_epoch(),
+        }
+        Ok(())
+    }
+
     /// Merge additional grants into an existing compartment's policy (used
     /// by recycled callgates, which trade some isolation for speed).
     pub(crate) fn widen_policy(&self, id: CompartmentId, extra: &SecurityPolicy) {
-        if let Some(c) = self.compartments.write().get_mut(&id) {
+        if self.oplog.is_some() {
+            // An unknown id is silently ignored (matching the epoch-tier
+            // behaviour), so the combined result is always Ok.
+            let _ = self.combine(PolicyMutation::Widen {
+                target: id,
+                extra: extra.clone(),
+            });
+            return;
+        }
+        let mut comps = self.compartments.write();
+        self.apply_widen_policy(&mut comps, id, extra, None);
+    }
+
+    fn apply_widen_policy(
+        &self,
+        comps: &mut HashMap<CompartmentId, CompartmentEntry>,
+        id: CompartmentId,
+        extra: &SecurityPolicy,
+        effects: Option<&mut Vec<PolicyOp>>,
+    ) {
+        if let Some(c) = comps.get_mut(&id) {
             c.policy.merge_grants(extra);
-            c.bump_epoch();
+            match effects {
+                Some(effects) => effects.push(Kernel::snapshot_of(id, &c.policy)),
+                None => c.bump_epoch(),
+            }
         }
     }
 

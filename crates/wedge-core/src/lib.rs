@@ -69,6 +69,7 @@ pub mod exploit;
 pub mod fdtable;
 pub mod kernel;
 pub mod memory;
+pub mod oplog;
 pub mod policy;
 pub mod procsim;
 pub mod resource;
@@ -83,6 +84,7 @@ pub use exploit::Exploit;
 pub use fdtable::{FdId, FdProt};
 pub use kernel::{Kernel, KernelStats, MemReadGuard, ViolationRecord, SEGMENT_SHARDS};
 pub use memory::SBuf;
+pub use oplog::{KernelReplica, OpLog, OpLogStats, PolicyOp, SnapshotView};
 pub use policy::{CallgateGrant, SecurityPolicy, Uid};
 pub use resource::{LimitedCtx, ResourceKind, ResourceLimits, ResourceUsage};
 pub use sthread::{panic_message, RecycledWorkerHandle, SthreadCtx, SthreadHandle};

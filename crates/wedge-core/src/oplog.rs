@@ -1,0 +1,547 @@
+//! The shared policy operation log and per-shard kernel replicas.
+//!
+//! This is the node-replication (NR / "op-log") design applied to the
+//! kernel's policy state: every policy mutation — runtime grants and
+//! revocations, widenings, identity transitions, scrub resets, the
+//! implicit grants `tag_new`/`fd_create` add, and compartment creation
+//! itself — becomes a typed [`PolicyOp`] appended to one shared,
+//! monotonically versioned [`OpLog`]. Readers never consult the
+//! authoritative compartment table on the data path; instead each
+//! [`KernelReplica`] lazily **replays** the log up to the published tail
+//! and serves permission-cache refills from replica-local state.
+//!
+//! Three properties carry the design:
+//!
+//! * **Effects, not requests.** Ops are recorded *post-validation*: a
+//!   [`PolicyOp::MemSet`] carries the resulting grant (or its absence),
+//!   a [`PolicyOp::Snapshot`] carries a compartment's whole replicated
+//!   view. Replay is therefore trivially deterministic — a replica
+//!   applies exactly what the authoritative table did, in log order.
+//! * **One tail, published with `Release`.** Appenders push entries and
+//!   then store the new tail with `Release` *before* any completion is
+//!   signalled; readers load it with `Acquire`. Once a mutation returns
+//!   to its caller, every later-starting read observes a tail at or past
+//!   it — the revoke-linearization point.
+//! * **Version-precise invalidation.** A per-sthread permission cache
+//!   remembers the tail version it last saw and, on change, scans only
+//!   the new suffix for ops naming *its* compartment. Mutations aimed at
+//!   other compartments cost a cached reader nothing — unlike the
+//!   pre-refactor global-epoch scheme, which flushed every cache on any
+//!   policy change.
+//!
+//! The flat-combining appender that batches concurrent mutators lives in
+//! [`crate::kernel`] (it needs the compartments table); this module owns
+//! the log, the replicas, and their counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use wedge_telemetry::Histogram;
+
+use crate::fdtable::{FdId, FdProt};
+use crate::tag::{CompartmentId, IdHashMap, MemProt, Tag};
+
+/// One replicated policy mutation, recorded *after* validation against
+/// the authoritative table — replaying an op can never fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyOp {
+    /// Set (or, with `prot: None`, clear) one compartment's memory grant
+    /// for a tag. Emitted by `policy_add`, `policy_del` and the implicit
+    /// creator grant of `tag_new`.
+    MemSet {
+        /// The compartment whose policy changed.
+        target: CompartmentId,
+        /// The tag the grant names.
+        tag: Tag,
+        /// The resulting grant; `None` means revoked.
+        prot: Option<MemProt>,
+    },
+    /// Set (or clear) one compartment's descriptor grant. Emitted by the
+    /// implicit creator grant of `fd_create`.
+    FdSet {
+        /// The compartment whose policy changed.
+        target: CompartmentId,
+        /// The descriptor the grant names.
+        fd: FdId,
+        /// The resulting grant; `None` means revoked.
+        prot: Option<FdProt>,
+    },
+    /// Replace a compartment's whole replicated view. Emitted on
+    /// compartment creation, `widen_policy` merges, scrub resets and
+    /// identity transitions — the rare, coarse mutations where a full
+    /// snapshot is cheaper than a diff and obviously correct.
+    Snapshot {
+        /// The compartment whose policy changed.
+        target: CompartmentId,
+        /// The replacement view. Boxed so the rare, large snapshot does
+        /// not inflate the enum the common grant/revoke ops are stored
+        /// as — log appends move `PolicyOp` by value.
+        view: Box<SnapshotView>,
+    },
+}
+
+/// The payload of a [`PolicyOp::Snapshot`]: one compartment's complete
+/// replicated policy view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotView {
+    /// Whether the resulting policy is unconfined.
+    pub unconfined: bool,
+    /// The complete set of memory grants after the mutation.
+    pub mem: Vec<(Tag, MemProt)>,
+    /// The complete set of descriptor grants after the mutation.
+    pub fds: Vec<(FdId, FdProt)>,
+}
+
+impl PolicyOp {
+    /// The compartment this op mutates.
+    pub fn target(&self) -> CompartmentId {
+        match self {
+            PolicyOp::MemSet { target, .. }
+            | PolicyOp::FdSet { target, .. }
+            | PolicyOp::Snapshot { target, .. } => *target,
+        }
+    }
+
+    /// The op's serialized wire size in bytes (tag byte + fixed fields +
+    /// grant entries). This is what a replay-based shard boot ships in
+    /// place of an address-space image, so boot cost scales with logged
+    /// operations rather than image size.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            PolicyOp::MemSet { .. } => 1 + 8 + 8 + 2,
+            PolicyOp::FdSet { .. } => 1 + 8 + 8 + 2,
+            PolicyOp::Snapshot { view, .. } => {
+                1 + 8 + 1 + 4 + 10 * (view.mem.len() + view.fds.len())
+            }
+        }
+    }
+}
+
+/// A point-in-time view of the log's counters (see [`OpLog::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpLogStats {
+    /// Published log length (the current tail version).
+    pub tail: u64,
+    /// Total ops appended (direct appends and combined batches alike).
+    pub appended: u64,
+    /// Flat-combined batches drained (each covers one or more mutators'
+    /// ops under a single tail acquisition).
+    pub combined_batches: u64,
+    /// Mutations that travelled through a combined batch.
+    pub combined_ops: u64,
+    /// Replica replay passes (a replica catching up to the tail).
+    pub replays: u64,
+    /// Ops applied across all replay passes.
+    pub replayed_ops: u64,
+}
+
+/// The shared, monotonically versioned operation log.
+///
+/// Appends happen under the kernel's compartments write lock, so total
+/// log order equals that lock's acquisition order; the tail is published
+/// with `Release` after the entries are in place and read with `Acquire`
+/// by every cache revalidation.
+pub struct OpLog {
+    entries: RwLock<Vec<PolicyOp>>,
+    tail: AtomicU64,
+    appended: AtomicU64,
+    combined_batches: AtomicU64,
+    combined_ops: AtomicU64,
+    replays: AtomicU64,
+    replayed_ops: AtomicU64,
+    /// Live replay-latency histogram, bound by `Kernel::instrument`.
+    replay_hist: std::sync::OnceLock<Histogram>,
+}
+
+impl Default for OpLog {
+    fn default() -> Self {
+        OpLog::new()
+    }
+}
+
+impl OpLog {
+    /// An empty log at version 0.
+    pub fn new() -> OpLog {
+        OpLog {
+            entries: RwLock::new(Vec::new()),
+            tail: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            combined_batches: AtomicU64::new(0),
+            combined_ops: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+            replayed_ops: AtomicU64::new(0),
+            replay_hist: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The published tail version (`Acquire`: a reader that sees version
+    /// `v` also sees every entry below `v`).
+    #[inline]
+    pub fn tail(&self) -> u64 {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    /// Append `ops` and publish the new tail. The caller must hold the
+    /// kernel's compartments write lock (the appender serialisation
+    /// point), and must signal any completion only *after* this returns —
+    /// the `Release` store here is what makes a finished mutation visible
+    /// to every later-starting read.
+    pub fn publish(&self, ops: Vec<PolicyOp>) -> u64 {
+        if ops.is_empty() {
+            return self.tail.load(Ordering::Relaxed);
+        }
+        let count = ops.len() as u64;
+        let new_tail = {
+            let mut entries = self.entries.write();
+            entries.extend(ops);
+            entries.len() as u64
+        };
+        self.appended.fetch_add(count, Ordering::Relaxed);
+        self.tail.store(new_tail, Ordering::Release);
+        new_tail
+    }
+
+    /// [`OpLog::publish`], but draining a reusable buffer instead of
+    /// consuming a `Vec` — the flat combiner's allocation-free append
+    /// path (the buffer keeps its capacity for the next batch). The
+    /// one-op case (an uncontended grant or revoke) skips the drain
+    /// iterator entirely.
+    pub fn publish_from(&self, ops: &mut Vec<PolicyOp>) -> u64 {
+        let count = ops.len() as u64;
+        if count == 0 {
+            return self.tail.load(Ordering::Relaxed);
+        }
+        let new_tail = {
+            let mut entries = self.entries.write();
+            if count == 1 {
+                entries.push(ops.pop().expect("len checked"));
+            } else {
+                entries.extend(ops.drain(..));
+            }
+            entries.len() as u64
+        };
+        self.appended.fetch_add(count, Ordering::Relaxed);
+        self.tail.store(new_tail, Ordering::Release);
+        new_tail
+    }
+
+    /// Record that one flat-combined batch of `ops` mutations was drained
+    /// under a single tail acquisition.
+    pub fn note_combined(&self, ops: usize) {
+        self.combined_batches.fetch_add(1, Ordering::Relaxed);
+        self.combined_ops.fetch_add(ops as u64, Ordering::Relaxed);
+    }
+
+    /// Visit the half-open version range `[from, to)` in log order.
+    pub fn scan(&self, from: u64, to: u64, mut visit: impl FnMut(&PolicyOp)) {
+        if from >= to {
+            return;
+        }
+        let entries = self.entries.read();
+        let to = (to as usize).min(entries.len());
+        for op in &entries[from as usize..to] {
+            visit(op);
+        }
+    }
+
+    /// Total serialized size of the log — the control block a
+    /// replay-based shard boot ships instead of an address-space image.
+    pub fn encoded_bytes(&self) -> usize {
+        self.entries.read().iter().map(PolicyOp::encoded_len).sum()
+    }
+
+    /// Bind the live replay-latency histogram (idempotent; the first
+    /// telemetry registration wins).
+    pub fn bind_replay_histogram(&self, hist: Histogram) {
+        let _ = self.replay_hist.set(hist);
+    }
+
+    fn note_replay(&self, elapsed: Duration, ops: u64) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.replayed_ops.fetch_add(ops, Ordering::Relaxed);
+        if let Some(hist) = self.replay_hist.get() {
+            hist.record_duration(elapsed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> OpLogStats {
+        OpLogStats {
+            tail: self.tail.load(Ordering::Acquire),
+            appended: self.appended.load(Ordering::Relaxed),
+            combined_batches: self.combined_batches.load(Ordering::Relaxed),
+            combined_ops: self.combined_ops.load(Ordering::Relaxed),
+            replays: self.replays.load(Ordering::Relaxed),
+            replayed_ops: self.replayed_ops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A compartment's replicated policy view: exactly the state the
+/// permission-cache refill path needs, nothing more.
+#[derive(Debug, Default, Clone)]
+struct ReplicaPolicy {
+    unconfined: bool,
+    mem: IdHashMap<Tag, MemProt>,
+    fds: IdHashMap<FdId, FdProt>,
+}
+
+struct ReplicaState {
+    /// Log version this replica has applied up to.
+    applied: u64,
+    comps: IdHashMap<CompartmentId, ReplicaPolicy>,
+}
+
+impl ReplicaState {
+    fn apply(&mut self, op: &PolicyOp) {
+        match op {
+            PolicyOp::MemSet { target, tag, prot } => {
+                let entry = self.comps.entry(*target).or_default();
+                match prot {
+                    Some(prot) => {
+                        entry.mem.insert(*tag, *prot);
+                    }
+                    None => {
+                        entry.mem.remove(tag);
+                    }
+                }
+            }
+            PolicyOp::FdSet { target, fd, prot } => {
+                let entry = self.comps.entry(*target).or_default();
+                match prot {
+                    Some(prot) => {
+                        entry.fds.insert(*fd, *prot);
+                    }
+                    None => {
+                        entry.fds.remove(fd);
+                    }
+                }
+            }
+            PolicyOp::Snapshot { target, view } => {
+                let mut policy = ReplicaPolicy {
+                    unconfined: view.unconfined,
+                    ..ReplicaPolicy::default()
+                };
+                policy.mem.extend(view.mem.iter().copied());
+                policy.fds.extend(view.fds.iter().copied());
+                self.comps.insert(*target, policy);
+            }
+        }
+    }
+}
+
+/// One kernel replica: a worker-shard-local copy of every compartment's
+/// policy view, advanced by replaying the shared log. Reads (cache
+/// refills) lock only this replica — never the authoritative table — so
+/// the read majority carries zero cross-shard lock traffic.
+pub struct KernelReplica {
+    state: Mutex<ReplicaState>,
+    /// Lock-free mirror of `state.applied` for the lag gauge.
+    applied_hint: AtomicU64,
+}
+
+impl Default for KernelReplica {
+    fn default() -> Self {
+        KernelReplica::new()
+    }
+}
+
+impl KernelReplica {
+    /// A fresh replica at version 0 (it catches up on first use).
+    pub fn new() -> KernelReplica {
+        KernelReplica {
+            state: Mutex::new(ReplicaState {
+                applied: 0,
+                comps: IdHashMap::default(),
+            }),
+            applied_hint: AtomicU64::new(0),
+        }
+    }
+
+    /// The log version this replica has applied (lock-free; may lag the
+    /// locked truth by one in-progress replay).
+    pub fn applied(&self) -> u64 {
+        self.applied_hint.load(Ordering::Relaxed)
+    }
+
+    /// Replay the log forward until this replica has applied at least
+    /// `target`. No-op when already caught up; otherwise one locked pass
+    /// over the new suffix, recorded in the replay-latency histogram.
+    pub fn sync_to(&self, log: &OpLog, target: u64) {
+        let mut state = self.state.lock();
+        if state.applied >= target {
+            return;
+        }
+        let started = Instant::now();
+        let from = state.applied;
+        let st = &mut *state;
+        log.scan(from, target, |op| st.apply(op));
+        state.applied = target;
+        self.applied_hint.store(target, Ordering::Relaxed);
+        log.note_replay(started.elapsed(), target - from);
+    }
+
+    /// Is `comp` known to this replica (i.e. was its creation replayed)?
+    pub fn contains(&self, comp: CompartmentId) -> bool {
+        self.state.lock().comps.contains_key(&comp)
+    }
+
+    /// Whether `comp`'s replicated policy is unconfined, or `None` when
+    /// the compartment is unknown at this replica's applied version.
+    pub fn unconfined(&self, comp: CompartmentId) -> Option<bool> {
+        self.state.lock().comps.get(&comp).map(|c| c.unconfined)
+    }
+
+    /// `comp`'s replicated memory grant for `tag`. Outer `None` means the
+    /// compartment itself is unknown.
+    pub fn mem_grant(&self, comp: CompartmentId, tag: Tag) -> Option<Option<MemProt>> {
+        let state = self.state.lock();
+        let view = state.comps.get(&comp)?;
+        if view.unconfined {
+            return Some(Some(MemProt::ReadWrite));
+        }
+        Some(view.mem.get(&tag).copied())
+    }
+
+    /// `comp`'s replicated descriptor grant for `fd`. Outer `None` means
+    /// the compartment itself is unknown.
+    pub fn fd_grant(&self, comp: CompartmentId, fd: FdId) -> Option<Option<FdProt>> {
+        let state = self.state.lock();
+        let view = state.comps.get(&comp)?;
+        if view.unconfined {
+            return Some(Some(FdProt::ReadWrite));
+        }
+        Some(view.fds.get(&fd).copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: CompartmentId = CompartmentId(1);
+    const C2: CompartmentId = CompartmentId(2);
+
+    #[test]
+    fn publish_advances_the_tail_and_counts() {
+        let log = OpLog::new();
+        assert_eq!(log.tail(), 0);
+        log.publish(vec![PolicyOp::MemSet {
+            target: C1,
+            tag: Tag(7),
+            prot: Some(MemProt::Read),
+        }]);
+        assert_eq!(log.tail(), 1);
+        assert_eq!(log.publish(Vec::new()), 1, "empty publish is a no-op");
+        let stats = log.stats();
+        assert_eq!(stats.appended, 1);
+        assert_eq!(stats.tail, 1);
+    }
+
+    #[test]
+    fn replica_replays_grants_revokes_and_snapshots() {
+        let log = OpLog::new();
+        let replica = KernelReplica::new();
+        log.publish(vec![
+            PolicyOp::Snapshot {
+                target: C1,
+                view: Box::new(SnapshotView {
+                    unconfined: false,
+                    mem: vec![(Tag(1), MemProt::Read)],
+                    fds: vec![(FdId(4), FdProt::Write)],
+                }),
+            },
+            PolicyOp::MemSet {
+                target: C1,
+                tag: Tag(2),
+                prot: Some(MemProt::ReadWrite),
+            },
+        ]);
+        replica.sync_to(&log, log.tail());
+        assert_eq!(replica.mem_grant(C1, Tag(1)), Some(Some(MemProt::Read)));
+        assert_eq!(
+            replica.mem_grant(C1, Tag(2)),
+            Some(Some(MemProt::ReadWrite))
+        );
+        assert_eq!(replica.fd_grant(C1, FdId(4)), Some(Some(FdProt::Write)));
+        assert_eq!(replica.mem_grant(C2, Tag(1)), None, "unknown compartment");
+
+        // A revoke replayed later removes the grant; the snapshot reset
+        // drops everything the diff ops accumulated.
+        log.publish(vec![PolicyOp::MemSet {
+            target: C1,
+            tag: Tag(2),
+            prot: None,
+        }]);
+        replica.sync_to(&log, log.tail());
+        assert_eq!(replica.mem_grant(C1, Tag(2)), Some(None));
+        log.publish(vec![PolicyOp::Snapshot {
+            target: C1,
+            view: Box::new(SnapshotView {
+                unconfined: false,
+                mem: Vec::new(),
+                fds: Vec::new(),
+            }),
+        }]);
+        replica.sync_to(&log, log.tail());
+        assert_eq!(replica.mem_grant(C1, Tag(1)), Some(None));
+        assert_eq!(replica.applied(), log.tail());
+        assert_eq!(log.stats().replays, 3);
+    }
+
+    #[test]
+    fn sync_to_is_idempotent_and_lag_is_visible() {
+        let log = OpLog::new();
+        let replica = KernelReplica::new();
+        log.publish(vec![PolicyOp::MemSet {
+            target: C1,
+            tag: Tag(1),
+            prot: Some(MemProt::Read),
+        }]);
+        assert_eq!(replica.applied(), 0, "lazy: nothing applied yet");
+        replica.sync_to(&log, log.tail());
+        replica.sync_to(&log, log.tail());
+        assert_eq!(log.stats().replays, 1, "caught-up sync is free");
+    }
+
+    #[test]
+    fn unconfined_snapshot_grants_everything() {
+        let log = OpLog::new();
+        let replica = KernelReplica::new();
+        log.publish(vec![PolicyOp::Snapshot {
+            target: C1,
+            view: Box::new(SnapshotView {
+                unconfined: true,
+                mem: Vec::new(),
+                fds: Vec::new(),
+            }),
+        }]);
+        replica.sync_to(&log, log.tail());
+        assert_eq!(
+            replica.mem_grant(C1, Tag(99)),
+            Some(Some(MemProt::ReadWrite))
+        );
+        assert_eq!(
+            replica.fd_grant(C1, FdId(99)),
+            Some(Some(FdProt::ReadWrite))
+        );
+        assert_eq!(replica.unconfined(C1), Some(true));
+        assert!(replica.contains(C1));
+    }
+
+    #[test]
+    fn encoded_bytes_scale_with_ops_not_address_space() {
+        let log = OpLog::new();
+        for i in 0..100u64 {
+            log.publish(vec![PolicyOp::MemSet {
+                target: C1,
+                tag: Tag(i),
+                prot: Some(MemProt::Read),
+            }]);
+        }
+        let bytes = log.encoded_bytes();
+        assert!(bytes > 0 && bytes < 16 * 1024, "compact: {bytes} bytes");
+    }
+}

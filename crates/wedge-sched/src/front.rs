@@ -94,6 +94,7 @@ impl FrontEndConfig {
             max_inflight: self.max_inflight,
             fork_image_bytes: self.fork_image_bytes,
             fork_fd_count: self.fork_fd_count,
+            ..ShardConfig::default()
         }
     }
 }

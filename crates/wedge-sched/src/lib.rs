@@ -69,5 +69,7 @@ pub use metrics::{PoolStats, SchedStats};
 pub use pool::{PoolCheckout, PoolConfig, WorkerPool};
 pub use queue::RunQueue;
 pub use scheduler::{JobHandle, Scheduler, SchedulerConfig};
-pub use shard::{KillReport, ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats};
+pub use shard::{
+    BootStrategy, KillReport, ShardConfig, ShardHealth, ShardServer, ShardSet, ShardStats,
+};
 pub use supervisor::{RestartStats, Supervisor, SupervisorConfig};

@@ -78,6 +78,35 @@ pub trait ShardServer: Send + Sync + 'static {
     fn instrument(&self, _telemetry: &Telemetry) {}
 }
 
+/// How a shard's simulated fork constructs the child kernel's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootStrategy {
+    /// Classic fork semantics: copy the parent's whole address-space
+    /// image (`fork_image_bytes`) into the child. Boot cost scales with
+    /// image size regardless of how much state the child actually needs.
+    ImageCopy,
+    /// Node-replication boot: ship only the compact policy op log and let
+    /// the child's kernel replicas reconstruct state by **replaying** it
+    /// (`wedge_core::oplog`). The fork copies `log_bytes` — the
+    /// serialized log, typically a few KiB — so boot cost scales with
+    /// logged operations, not address-space size.
+    LogReplay {
+        /// Serialized op-log size shipped to the child (see
+        /// `wedge_core::Kernel::oplog_bytes` for a live kernel's value).
+        log_bytes: usize,
+    },
+}
+
+impl BootStrategy {
+    /// Bytes the simulated fork must copy under this strategy.
+    fn image_bytes(self, fork_image_bytes: usize) -> usize {
+        match self {
+            BootStrategy::ImageCopy => fork_image_bytes,
+            BootStrategy::LogReplay { log_bytes } => log_bytes,
+        }
+    }
+}
+
 /// Shard-set sizing, backpressure and boot-cost configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardConfig {
@@ -89,10 +118,13 @@ pub struct ShardConfig {
     /// `None` leaves the quota axis unlimited and only the bounded queue
     /// pushes back.
     pub max_inflight: Option<u64>,
-    /// Address-space image size the simulated fork copies at shard boot.
+    /// Address-space image size the simulated fork copies at shard boot
+    /// (only paid under [`BootStrategy::ImageCopy`]).
     pub fork_image_bytes: usize,
     /// Descriptor-table size the simulated fork copies at shard boot.
     pub fork_fd_count: usize,
+    /// How the child kernel's state is constructed at boot and restart.
+    pub boot: BootStrategy,
 }
 
 impl Default for ShardConfig {
@@ -105,6 +137,10 @@ impl Default for ShardConfig {
             // of listening/log descriptors.
             fork_image_bytes: 1 << 20,
             fork_fd_count: 16,
+            // Replay-based boot is the default: a fresh shard kernel is an
+            // op-log replica reconstructed from a few KiB of logged policy
+            // ops, not a copy of the parent's image.
+            boot: BootStrategy::LogReplay { log_bytes: 4096 },
         }
     }
 }
@@ -264,6 +300,7 @@ pub(crate) struct ShardSetInner<S: ShardServer> {
     factory: Arc<dyn Fn(usize) -> Result<S, WedgeError> + Send + Sync>,
     fork_image_bytes: usize,
     fork_fd_count: usize,
+    boot: BootStrategy,
     /// Set once by [`Self::instrument`]; workers check it with one
     /// lock-free load per link and skip all timing when absent.
     pub(crate) probes: std::sync::OnceLock<ShardProbes>,
@@ -436,9 +473,13 @@ impl<S: ShardServer> ShardSetInner<S> {
         }
         shard.health.store(HEALTH_RESTARTING, Ordering::SeqCst);
 
-        // The same boot a cold shard pays: fork the full image +
-        // descriptor table and build (pre-warm) the server in the child.
-        let parent = ForkSim::new(self.fork_image_bytes, self.fork_fd_count);
+        // The same boot a cold shard pays: under `ImageCopy` fork the full
+        // image + descriptor table; under `LogReplay` ship only the op log
+        // and let the child rebuild by replay.
+        let parent = ForkSim::new(
+            self.boot.image_bytes(self.fork_image_bytes),
+            self.fork_fd_count,
+        );
         let factory = self.factory.clone();
         let (server, boot_cost) = parent.fork_and_wait_timed(move |_image, _fds| factory(idx));
         let server = match server {
@@ -640,10 +681,15 @@ impl<S: ShardServer> ShardSet<S> {
         let factory: Arc<dyn Fn(usize) -> Result<S, WedgeError> + Send + Sync> = Arc::new(factory);
         let mut shards = Vec::with_capacity(shard_count);
         for id in 0..shard_count {
-            let parent = ForkSim::new(config.fork_image_bytes, config.fork_fd_count);
+            let parent = ForkSim::new(
+                config.boot.image_bytes(config.fork_image_bytes),
+                config.fork_fd_count,
+            );
             let factory = factory.clone();
-            // The child starts from a copy of the whole parent image (the
-            // defining fork cost) and then builds + prewarms its server.
+            // Under `ImageCopy` the child starts from a copy of the whole
+            // parent image (the defining fork cost); under `LogReplay` it
+            // copies only the serialized op log and the factory's fresh
+            // kernel reconstructs policy state by replaying it.
             let (server, boot_cost) = parent.fork_and_wait_timed(move |_image, _fds| factory(id));
             let server = server?;
             let mut limits = ResourceLimits::unlimited();
@@ -673,6 +719,7 @@ impl<S: ShardServer> ShardSet<S> {
             factory,
             fork_image_bytes: config.fork_image_bytes,
             fork_fd_count: config.fork_fd_count,
+            boot: config.boot,
             probes: std::sync::OnceLock::new(),
         });
         for me in 0..shard_count {

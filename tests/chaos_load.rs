@@ -142,7 +142,8 @@ fn ramp_under_chaos(scale: f64) {
     );
 
     // The machine-readable artifact, with every acceptance field present.
-    let json = load_bench_json(&profile, &report);
+    let idle = wedge_bench::load::probe_idle_link_memory(&profile, 256);
+    let json = load_bench_json(&profile, &report, idle.as_ref());
     for key in [
         "\"latency_p50_us\"",
         "\"latency_p99_us\"",

@@ -382,6 +382,114 @@ fn revoked_grant_is_immediately_invisible_to_concurrent_pooled_readers() {
     assert!(successes.load(Ordering::SeqCst) >= (WORKERS * 5) as u64);
 }
 
+/// Revoke linearization on the op-log tier: `Wedge::init()` builds a
+/// kernel whose sthread caches are bound round-robin to ≥2 lazily-replayed
+/// replicas, so the four pooled readers below are guaranteed to span every
+/// replica. While they hammer warm reads, a background mutator floods the
+/// log with grants/revokes aimed at an unrelated compartment — building up
+/// genuine replica lag — and then the root revokes the readers' grants.
+/// Once `revoke_mem` returns, a read that *starts* afterwards must fault
+/// no matter which replica its cache is bound to and no matter how far
+/// behind that replica's replay is: version cells are bumped only after
+/// the log tail is published, so a lagging replica can never re-serve the
+/// revoked grant.
+#[test]
+fn revoke_is_linearized_across_lagging_replicas() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use wedge::core::MemProt;
+
+    let wedge = Wedge::init();
+    let root = wedge.root();
+    assert!(
+        wedge.kernel().replica_count() >= 2,
+        "op-log tier must hold at least two kernel replicas for this test \
+         to exercise cross-replica invalidation, got {}",
+        wedge.kernel().replica_count()
+    );
+    let tag = root.tag_new().expect("tag");
+    let buf = root.smalloc_init(tag, b"replicated page").expect("buf");
+    let entry = wedge.kernel().cgate_register(
+        "replica_probe",
+        typed_entry(move |ctx, _t, _i: ()| Ok(ctx.read(&buf, 0, 15).is_ok())),
+    );
+
+    // An unrelated compartment the mutator floods with policy churn, so the
+    // shared log grows and idle replicas fall behind.
+    let distractor_tag = root.tag_new().expect("distractor tag");
+    let bystander = root
+        .sthread_create("bystander", &SecurityPolicy::deny_all(), |_| {})
+        .expect("bystander");
+    let bystander_id = bystander.id();
+    bystander.join().expect("bystander exit");
+
+    const WORKERS: usize = 4;
+    let mut policy = SecurityPolicy::deny_all();
+    policy.sc_mem_add(tag, MemProt::Read);
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|_| {
+            root.recycled_worker_spawn(entry, &policy, None)
+                .expect("prewarm worker")
+        })
+        .collect();
+    let activations: Vec<_> = workers.iter().map(|w| w.activation()).collect();
+
+    let revoked = Arc::new(AtomicBool::new(false));
+    let stop_churn = Arc::new(AtomicBool::new(false));
+    let successes = Arc::new(AtomicU64::new(0));
+    let churner = {
+        let root = root.clone();
+        let stop = stop_churn.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                root.grant_mem(bystander_id, distractor_tag, MemProt::Read)
+                    .expect("churn grant");
+                root.revoke_mem(bystander_id, distractor_tag)
+                    .expect("churn revoke");
+            }
+        })
+    };
+    let threads: Vec<_> = workers
+        .into_iter()
+        .map(|worker| {
+            let revoked = revoked.clone();
+            let successes = successes.clone();
+            std::thread::spawn(move || loop {
+                // Sample the flag *before* the read starts: if the revoke
+                // had already returned by then, the read must fault.
+                let revoke_returned = revoked.load(Ordering::SeqCst);
+                let ok = worker
+                    .invoke_expect::<bool>(Box::new(()))
+                    .expect("invoke probe");
+                if ok {
+                    successes.fetch_add(1, Ordering::SeqCst);
+                    assert!(
+                        !revoke_returned,
+                        "a lagging replica served a read that started after \
+                         revoke returned"
+                    );
+                } else if revoke_returned {
+                    break;
+                }
+            })
+        })
+        .collect();
+
+    // Let every worker serve from a warm cache while the log churns.
+    while successes.load(Ordering::SeqCst) < (WORKERS * 5) as u64 {
+        std::thread::yield_now();
+    }
+    for activation in &activations {
+        root.revoke_mem(*activation, tag).expect("revoke");
+    }
+    revoked.store(true, Ordering::SeqCst);
+    for thread in threads {
+        thread.join().expect("reader thread");
+    }
+    stop_churn.store(true, Ordering::SeqCst);
+    churner.join().expect("churn thread");
+    assert!(successes.load(Ordering::SeqCst) >= (WORKERS * 5) as u64);
+}
+
 /// Scrub resets the policy epoch: a runtime grant cached by a pooled
 /// worker's permission cache must not survive `scrub()` (pool checkin).
 /// The segment itself stays live — the root owns it — so only the epoch

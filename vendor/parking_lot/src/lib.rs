@@ -123,6 +123,17 @@ impl<T: ?Sized> RwLock<T> {
             guard: self.inner.write().unwrap_or_else(|e| e.into_inner()),
         }
     }
+
+    /// Try to acquire an exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(RwLockWriteGuard { guard }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                guard: e.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
