@@ -429,7 +429,10 @@ impl WedgeApache {
         *self.current_link.lock() = Some(link.clone());
         let mut report = ConnectionReport::default();
 
-        // Phase 1: the SSL handshake sthread.
+        // Phase 1: the SSL handshake sthread. The span covers spawn
+        // through join — the full network-facing handshake phase — and
+        // costs one relaxed load when the serving thread is untraced.
+        let mut span = wedge_telemetry::trace::span(wedge_telemetry::SpanKind::Handshake, 0);
         let handshake_policy = self.handshake_policy();
         let gates = self.gates;
         let recycled = self.config.recycled;
@@ -441,12 +444,19 @@ impl WedgeApache {
                     handshake_main(ctx, &handshake_link, gates, recycled)
                 })?;
         let outcome = handshake.join()?;
+        if let Some(span) = span.as_mut() {
+            span.set_ok(outcome.is_ok());
+        }
         let Ok(outcome) = outcome else {
             *self.current_link.lock() = None;
             return Ok(report);
         };
         report.handshake_ok = true;
         report.resumed = outcome.resumed;
+        if let Some(span) = span.as_mut() {
+            span.set_detail(outcome.resumed as u32);
+        }
+        drop(span);
 
         // Phase 2: the client handler sthread (no network, no session key).
         let handler_policy = self.client_handler_policy();

@@ -27,8 +27,8 @@ use std::time::Duration;
 use criterion::{BenchmarkId, Criterion};
 
 use wedge_bench::fast_path::{
-    compare_boot_cost, run_concurrent_reads, run_concurrent_reads_telemetered, run_mixed_reads,
-    FastPathWorkload, KernelProfile,
+    compare_boot_cost, compare_traced_overhead, run_concurrent_reads,
+    run_concurrent_reads_telemetered, run_mixed_reads, FastPathWorkload, KernelProfile,
 };
 use wedge_bench::report::{artifact_path, bench_artifact, micros, millis};
 
@@ -132,6 +132,11 @@ fn emit_json() {
     // One instrumented op-log run for the kernel's own counters.
     let (_, snapshot) = run_concurrent_reads_telemetered(wl);
 
+    // Untriggered-tracing overhead: tracer installed, no trace started.
+    // The release gate asserts ≤1.1×; the artifact pins the measured
+    // ratio so drift is visible between releases.
+    let (trace_baseline, trace_traced) = compare_traced_overhead(wl, rounds.max(3));
+
     let ratio =
         |num: Duration, den: Duration| num.as_secs_f64() / den.as_secs_f64().max(f64::EPSILON);
     let pure_of = |p: KernelProfile| pure.iter().find(|(q, _)| *q == p).expect("tier").1;
@@ -186,6 +191,11 @@ fn emit_json() {
             w.field_u64("appended", snapshot.counter("kernel.oplog.appended"));
             w.field_u64("combined", snapshot.counter("kernel.oplog.combined"));
             w.field_u64("replays", snapshot.counter("kernel.oplog.replays"));
+        });
+        w.nested("tracing", |w| {
+            w.field_f64("baseline_ms", millis(trace_baseline));
+            w.field_f64("traced_untriggered_ms", millis(trace_traced));
+            w.field_f64("traced_over_baseline", ratio(trace_traced, trace_baseline));
         });
     });
 

@@ -119,6 +119,37 @@ pub fn run_concurrent_reads_telemetered(
     (elapsed, telemetry.snapshot())
 }
 
+/// [`run_concurrent_reads_telemetered`] with a [`wedge_telemetry::Tracer`]
+/// **installed but untriggered**: no listener mints a root trace, so every
+/// trace hook on the serving path (sthread spawns, op-log appends) takes
+/// its one-relaxed-load early exit. The tracing overhead gate compares
+/// this against the sink-less telemetered run — the PR 6 baseline.
+pub fn run_concurrent_reads_traced(
+    workload: FastPathWorkload,
+) -> (Duration, wedge_telemetry::TelemetrySnapshot) {
+    let root = build_root(KernelProfile::OpLog);
+    let telemetry = wedge_telemetry::Telemetry::new();
+    root.kernel().instrument(&telemetry);
+    telemetry.install_tracer(wedge_telemetry::Tracer::new(
+        wedge_telemetry::TracerConfig::default(),
+    ));
+    let elapsed = drive_readers(&root, KernelProfile::OpLog, workload);
+    (elapsed, telemetry.snapshot())
+}
+
+/// Untriggered-tracing overhead: `(baseline, traced)` pure-read wall
+/// times, min over `rounds` interleaved rounds (a runner load spike lands
+/// on both variants in the same round instead of biasing one block).
+pub fn compare_traced_overhead(workload: FastPathWorkload, rounds: usize) -> (Duration, Duration) {
+    let mut baseline = Duration::MAX;
+    let mut traced = Duration::MAX;
+    for _ in 0..rounds.max(1) {
+        baseline = baseline.min(run_concurrent_reads_telemetered(workload).0);
+        traced = traced.min(run_concurrent_reads_traced(workload).0);
+    }
+    (baseline, traced)
+}
+
 fn drive_readers(
     root: &SthreadCtx,
     profile: KernelProfile,
@@ -578,6 +609,31 @@ mod tests {
             speedup >= 3.0,
             "telemetry registration (no sink) must not erode the 3x gate: \
              got {speedup:.2}x (legacy {legacy:?}, instrumented oplog {oplog:?})"
+        );
+    }
+
+    /// The tracing overhead gate (the PR 10 satellite): a tracer
+    /// **installed but untriggered** — compiled in, gate armed, no trace
+    /// ever started — must keep the kernel fast-path read within 1.1× of
+    /// the sink-less telemetered baseline. The started-counter check pins
+    /// that the run really was untriggered, so the gate cannot pass by
+    /// accidentally measuring a traced run against itself.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn untriggered_tracing_stays_within_10_percent_of_the_baseline() {
+        let workload = FastPathWorkload::default();
+        let (baseline, traced) = compare_traced_overhead(workload, 9);
+        let (_, snapshot) = run_concurrent_reads_traced(workload);
+        assert_eq!(
+            snapshot.counter("trace.started"),
+            0,
+            "no root trace may start in the untriggered configuration"
+        );
+        let ratio = traced.as_secs_f64() / baseline.as_secs_f64().max(f64::EPSILON);
+        assert!(
+            ratio <= 1.1,
+            "untriggered tracing must cost ≤1.1x the sink-less baseline: \
+             got {ratio:.3}x (baseline {baseline:?}, traced {traced:?})"
         );
     }
 

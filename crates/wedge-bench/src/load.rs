@@ -185,6 +185,14 @@ impl LoadStack {
         let telemetry = Telemetry::new();
         let sink = Arc::new(RecordingSink::default());
         telemetry.install_sink(sink.clone());
+        // Causal tracing over the whole stack: roots minted at the
+        // listeners, spans recorded through shard serve, kernel applies,
+        // handshakes and cachenet ops. The flight recorder retains only
+        // slow/erroneous/fault-window traces; the trace.* histograms
+        // feed the span-level latency breakdown in BENCH_load.json.
+        telemetry.install_tracer(wedge_telemetry::Tracer::new(
+            wedge_telemetry::TracerConfig::default(),
+        ));
 
         let nodes: Vec<CacheNode> = (0..3)
             .map(|n| CacheNode::spawn(CacheNodeConfig::named(&format!("load-cache-{n}"))))
@@ -920,6 +928,26 @@ pub fn load_bench_json(
         if let Some(rate) = report.resumption_hit_rate {
             w.field_f64("resumption_hit_rate", rate);
         }
+        // Span-level latency breakdown: where a request's time went —
+        // accept (backlog → accepted), queue (submit → dequeue), serve
+        // (dequeue → done) and the remote cachenet slice — beside the
+        // end-to-end percentiles above.
+        w.nested("spans", |w| {
+            for phase in ["accept", "queue", "serve", "handshake", "cachenet"] {
+                if let Some(summary) = report.snapshot.histogram(&format!("trace.{phase}")) {
+                    if summary.count == 0 {
+                        continue;
+                    }
+                    w.nested(phase, |w| {
+                        w.field_u64("count", summary.count);
+                        w.field_u64("p50_us", summary.p50_nanos / 1_000);
+                        w.field_u64("p99_us", summary.p99_nanos / 1_000);
+                        w.field_u64("p999_us", summary.p999_nanos / 1_000);
+                        w.field_u64("max_us", summary.max_nanos / 1_000);
+                    });
+                }
+            }
+        });
         w.field_u64("fault_events", report.fault_events as u64);
         if let Some(idle) = idle_links {
             w.nested("idle_links", |w| {

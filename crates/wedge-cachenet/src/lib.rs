@@ -46,6 +46,6 @@ pub mod ring;
 pub use node::{CacheEndpoint, CacheNode, CacheNodeConfig, CacheNodeStats};
 pub use proto::{
     peek_request_id, FramedRequest, FramedResponse, ProtoError, Request, Response, MAGIC,
-    MAX_BATCH_KEYS, MAX_PAYLOAD, V1_WIRE_VERSION, WIRE_VERSION,
+    MAX_BATCH_KEYS, MAX_PAYLOAD, TRACE_EXT_LEN, TRACE_EXT_TAG, V1_WIRE_VERSION, WIRE_VERSION,
 };
 pub use ring::{CacheRing, CacheRingConfig, CacheRingStats};

@@ -417,7 +417,31 @@ impl Drop for CacheNode {
 fn serve_frame(shared: &NodeShared, link: &Duplex, frame: &[u8]) -> LinkVerdict {
     let epoch = shared.epoch.load(Ordering::SeqCst);
     let (request_id, response) = match Request::decode(frame) {
-        Ok(framed) => (framed.request_id, apply(shared, epoch, framed.request)),
+        Ok(framed) => {
+            // A frame carrying the trace extension joins the caller's
+            // trace: the server-side span parents on the remote span id,
+            // so the client's trace tree crosses the machine boundary.
+            let span = framed.trace.and_then(|wire_ctx| {
+                let tracer = shared.telemetry.get()?.tracer()?;
+                let ctx = tracer.join_remote(wire_ctx.trace_id, wire_ctx.span_id);
+                Some((tracer, ctx, framed.request_id))
+            });
+            let started_ns = span.as_ref().map(|(tracer, ..)| tracer.now_ns());
+            let response = apply(shared, epoch, framed.request);
+            if let (Some((tracer, ctx, rid)), Some(started_ns)) = (span, started_ns) {
+                let ok = !matches!(response, Response::Err { .. });
+                let detail = rid.map(u32::from).unwrap_or(0);
+                tracer.record(
+                    ctx,
+                    wedge_telemetry::SpanKind::CachenetServe,
+                    started_ns,
+                    tracer.now_ns(),
+                    ok,
+                    detail,
+                );
+            }
+            (framed.request_id, response)
+        }
         Err(err) => {
             shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
             // Undecodable frames still get a best-effort id echo: a

@@ -22,7 +22,20 @@
 //!           | hdr epoch(8)                     ; Miss / Ok
 //!           | hdr epoch(8) n(2) result*n       ; Batch
 //! result   := 0x00 | 0x01 len(2) bytes         ; per-key miss / hit
+//! ext      := 0x54 trace_id(8) span_id(4)      ; optional, v2 requests only
 //! ```
+//!
+//! **Trace extension:** a v2 *request* may append one optional trailing
+//! block `ext := 0x54 trace_id(8) span_id(4)` carrying the sender's
+//! request-trace context, so a remote node's server-side spans join the
+//! same causal trace. The block is exactly [`TRACE_EXT_LEN`] bytes, so a
+//! decoder can tell "body then extension" from "body then garbage"
+//! without ambiguity: anything trailing that is not a whole, tagged
+//! extension stays a [`ProtoError::TrailingBytes`] error. Peers that
+//! predate the extension never send it ([`Request::encode`] emits none)
+//! and never receive it unless asked ([`Request::encode_traced`] with
+//! `None` is byte-identical to [`Request::encode`]). Responses and v1
+//! frames never carry it.
 //!
 //! **Version negotiation:** decoders accept version 1 frames too (the
 //! pre-pipelining format: same layouts, no request id, no batch ops) and
@@ -41,10 +54,18 @@
 //! prefix cannot force a giant allocation. The fuzz tests in
 //! `tests/proto_fuzz.rs` pin all of these properties.
 
+use wedge_telemetry::TraceContext;
 use wedge_tls::SessionId;
 
 /// First header byte of every cachenet frame.
 pub const MAGIC: u8 = 0xC5;
+
+/// Tag byte opening the optional trailing trace extension on a v2
+/// request frame (`'T'`).
+pub const TRACE_EXT_TAG: u8 = 0x54;
+
+/// Total size of the trace extension: tag + trace id + span id.
+pub const TRACE_EXT_LEN: usize = 1 + 8 + 4;
 
 /// Wire protocol version this build speaks: v2 (request ids + batch
 /// ops). Decoders also accept [`V1_WIRE_VERSION`] frames.
@@ -142,6 +163,11 @@ pub struct FramedRequest {
     pub request_id: Option<u16>,
     /// The decoded request.
     pub request: Request,
+    /// The sender's trace context, when the frame carried the trace
+    /// extension (`parent_id` 0 — the wire does not ship span ancestry;
+    /// a node joins the trace with [`wedge_telemetry::Tracer::join_remote`],
+    /// parenting its server-side span on `span_id`).
+    pub trace: Option<TraceContext>,
 }
 
 /// A decoded response plus its framing, mirroring [`FramedRequest`].
@@ -299,6 +325,29 @@ impl<'a> Reader<'a> {
             Err(ProtoError::TrailingBytes(rest))
         }
     }
+
+    /// Consume the optional trailing trace extension of a v2 request.
+    /// Exactly nothing, or exactly one whole tagged block, may follow
+    /// the body — any other trailer is the same [`ProtoError::TrailingBytes`]
+    /// garbage it always was.
+    fn finish_with_trace_ext(mut self) -> Result<Option<TraceContext>, ProtoError> {
+        let rest = self.bytes.len() - self.at;
+        if rest == 0 {
+            return Ok(None);
+        }
+        if rest != TRACE_EXT_LEN || self.bytes[self.at] != TRACE_EXT_TAG {
+            return Err(ProtoError::TrailingBytes(rest));
+        }
+        self.at += 1;
+        let trace_id = self.u64()?;
+        let span_id = u32::from_le_bytes(self.take(4)?.try_into().expect("4"));
+        self.finish()?;
+        Ok(Some(TraceContext {
+            trace_id,
+            span_id,
+            parent_id: 0,
+        }))
+    }
 }
 
 /// Parse the common header. Returns the version (1 or 2), the opcode,
@@ -388,6 +437,20 @@ impl Request {
         out
     }
 
+    /// [`Request::encode`], optionally appending the trace extension.
+    /// `trace: None` is byte-identical to [`Request::encode`], so an
+    /// untraced client is indistinguishable from one predating the
+    /// extension.
+    pub fn encode_traced(&self, request_id: u16, trace: Option<TraceContext>) -> Vec<u8> {
+        let mut out = self.encode(request_id);
+        if let Some(ctx) = trace {
+            out.push(TRACE_EXT_TAG);
+            out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+            out.extend_from_slice(&ctx.span_id.to_le_bytes());
+        }
+        out
+    }
+
     /// Encode to a v1 frame (no request id). `None` for the batch ops,
     /// which do not exist in v1 — a v1-only peer can never be sent one.
     pub fn encode_v1(&self) -> Option<Vec<u8>> {
@@ -432,10 +495,18 @@ impl Request {
             }
             other => return Err(ProtoError::BadOpcode(other)),
         };
-        reader.finish()?;
+        // Only v2 requests may carry the trailing trace extension; a v1
+        // trailer is garbage exactly as before.
+        let trace = if request_id.is_some() {
+            reader.finish_with_trace_ext()?
+        } else {
+            reader.finish()?;
+            None
+        };
         Ok(FramedRequest {
             request_id,
             request,
+            trace,
         })
     }
 }

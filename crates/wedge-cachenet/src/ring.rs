@@ -49,7 +49,8 @@ use parking_lot::{Condvar, Mutex};
 
 use wedge_net::duplex::fnv1a;
 use wedge_net::{Duplex, LinkEvent, LinkVerdict, Reactor, SourceAddr};
-use wedge_telemetry::{Histogram, Telemetry, TelemetryEvent};
+use wedge_telemetry::trace::{self, SpanGuard};
+use wedge_telemetry::{Histogram, SpanKind, Telemetry, TelemetryEvent, TraceContext};
 use wedge_tls::{SessionId, SessionStore, SharedSessionCache};
 
 use crate::node::CacheEndpoint;
@@ -711,6 +712,23 @@ impl CacheRing {
     /// dial failures, send failures and hang-ups fail every id in flight
     /// and feed the breaker once per pending frame.
     fn remote(&self, node: &Arc<NodeState>, request: &Request) -> Option<Response> {
+        // A caller serving a traced request gets a client-side cachenet
+        // span covering the whole round trip, and the frame carries the
+        // span's context so the node's server-side span joins the trace.
+        let mut span = trace::span(SpanKind::Cachenet, node.index as u32);
+        let result = self.remote_framed(node, request, span.as_ref().map(SpanGuard::ctx));
+        if let Some(span) = span.as_mut() {
+            span.set_ok(result.is_some());
+        }
+        result
+    }
+
+    fn remote_framed(
+        &self,
+        node: &Arc<NodeState>,
+        request: &Request,
+        wire_trace: Option<TraceContext>,
+    ) -> Option<Response> {
         let Some(link) = self.link_of(node) else {
             self.shared.op_failed(node);
             return None;
@@ -720,7 +738,11 @@ impl CacheRing {
         link.inflight
             .lock()
             .insert(id, Pending::One(waiter.clone()));
-        if link.link.send(&request.encode(id)).is_err() {
+        if link
+            .link
+            .send(&request.encode_traced(id, wire_trace))
+            .is_err()
+        {
             link.inflight.lock().remove(&id);
             kill_link(&self.shared, node, &link);
             self.shared.op_failed(node);
@@ -813,11 +835,16 @@ impl CacheRing {
         let keys: Vec<SessionId> = batch.iter().map(|(key, _)| *key).collect();
         let id = link.alloc_id();
         link.inflight.lock().insert(id, Pending::Lookups(batch));
-        if link
-            .link
-            .send(&Request::LookupBatch(keys).encode(id))
-            .is_err()
-        {
+        // The flat-combined frame flies under the *sender's* trace when
+        // it has one (the span covers framing + send; replies land on
+        // the reactor thread). Keys combined in from other callers ride
+        // along untraced — one frame, one context.
+        let mut span = trace::span(SpanKind::Cachenet, node.index as u32);
+        let wire = Request::LookupBatch(keys).encode_traced(id, span.as_ref().map(SpanGuard::ctx));
+        if link.link.send(&wire).is_err() {
+            if let Some(span) = span.as_mut() {
+                span.set_ok(false);
+            }
             let removed = link.inflight.lock().remove(&id);
             kill_link(&self.shared, node, &link);
             self.shared.op_failed(node);

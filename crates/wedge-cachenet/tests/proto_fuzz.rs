@@ -7,9 +7,10 @@
 use proptest::prelude::*;
 
 use wedge_cachenet::{
-    peek_request_id, ProtoError, Request, Response, MAGIC, MAX_BATCH_KEYS, V1_WIRE_VERSION,
-    WIRE_VERSION,
+    peek_request_id, ProtoError, Request, Response, MAGIC, MAX_BATCH_KEYS, TRACE_EXT_LEN,
+    TRACE_EXT_TAG, V1_WIRE_VERSION, WIRE_VERSION,
 };
+use wedge_telemetry::TraceContext;
 use wedge_tls::SessionId;
 
 fn arb_session_id() -> impl Strategy<Value = SessionId> {
@@ -116,6 +117,7 @@ proptest! {
         prop_assert_eq!(framed.request_id, Some(rid));
         prop_assert_eq!(peek_request_id(&wire), Some(rid));
         prop_assert_eq!(framed.request, request);
+        prop_assert_eq!(framed.trace, None, "a plain frame carries no trace");
     }
 
     /// Every v2 response round-trips bit-exactly with its id, and the
@@ -209,5 +211,79 @@ proptest! {
         let mut wire = request.encode(3);
         wire[0] = magic;
         prop_assert_eq!(Request::decode(&wire), Err(ProtoError::BadMagic(magic)));
+    }
+
+    /// The trace extension round-trips bit-exactly — trace id and span
+    /// id over their whole spaces — without disturbing the request or
+    /// its pipelining id. The wire does not carry ancestry, so the
+    /// decoded context always has `parent_id` 0.
+    #[test]
+    fn trace_extension_round_trips(
+        request in arb_request(),
+        rid in any::<u16>(),
+        trace_id in any::<u64>(),
+        span_id in any::<u32>(),
+    ) {
+        let ctx = TraceContext { trace_id, span_id, parent_id: 0 };
+        let wire = request.encode_traced(rid, Some(ctx));
+        let framed = Request::decode(&wire).expect("traced frame");
+        prop_assert_eq!(framed.trace, Some(ctx));
+        prop_assert_eq!(framed.request_id, Some(rid));
+        prop_assert_eq!(peek_request_id(&wire), Some(rid));
+        prop_assert_eq!(framed.request, request);
+    }
+
+    /// `encode_traced(.., None)` is byte-identical to `encode` — an
+    /// untraced client is indistinguishable from a peer that predates
+    /// the extension, so the two interoperate by construction.
+    #[test]
+    fn untraced_encoding_is_byte_identical(request in arb_request(), rid in any::<u16>()) {
+        prop_assert_eq!(request.encode_traced(rid, None), request.encode(rid));
+    }
+
+    /// Arbitrary bytes in the extension position never panic the
+    /// decoder: only a whole, tagged block decodes (to *some* context);
+    /// every other trailer stays structured trailing-bytes garbage.
+    #[test]
+    fn arbitrary_extension_bytes_never_panic(
+        request in arb_request(),
+        rid in any::<u16>(),
+        trailer in prop::collection::vec(any::<u8>(), 1..2 * TRACE_EXT_LEN),
+    ) {
+        let mut wire = request.encode(rid);
+        wire.extend_from_slice(&trailer);
+        match Request::decode(&wire) {
+            Ok(framed) => {
+                // Decoding succeeded, so the trailer must have been a
+                // well-formed extension block — nothing else is accepted.
+                prop_assert_eq!(trailer.len(), TRACE_EXT_LEN);
+                prop_assert_eq!(trailer[0], TRACE_EXT_TAG);
+                prop_assert_eq!(framed.request, request);
+                prop_assert!(framed.trace.is_some());
+            }
+            Err(err) => prop_assert!(matches!(
+                err,
+                ProtoError::TrailingBytes(_) | ProtoError::BadLength { .. }
+            )),
+        }
+    }
+
+    /// v1 frames never accept the extension — their trailer rules are
+    /// unchanged, so a pre-v2 peer sees exactly the protocol it always
+    /// spoke.
+    #[test]
+    fn v1_frames_refuse_the_extension(
+        request in arb_request_v1(),
+        trace_id in any::<u64>(),
+        span_id in any::<u32>(),
+    ) {
+        let mut wire = request.encode_v1().expect("v1-expressible");
+        wire.push(TRACE_EXT_TAG);
+        wire.extend_from_slice(&trace_id.to_le_bytes());
+        wire.extend_from_slice(&span_id.to_le_bytes());
+        prop_assert!(matches!(
+            Request::decode(&wire),
+            Err(ProtoError::TrailingBytes(_)) | Err(ProtoError::BadLength { .. })
+        ));
     }
 }

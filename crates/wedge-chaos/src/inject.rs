@@ -76,7 +76,16 @@ pub fn inject(
             fault: entry.fault.name().to_string(),
             victim: entry.fault.victim(),
             at_ms: entry.at.as_millis() as u64,
+            // The injector thread owns no request, so this is `None`
+            // here; targets that re-emit a fault from a serving thread
+            // stamp the live context.
+            trace: wedge_telemetry::trace::current().map(|active| active.ctx),
         });
+        // Open the tail sampler's fault window: traces overlapping an
+        // injected fault are retained even when fast and successful.
+        if let Some(tracer) = telemetry.tracer() {
+            tracer.note_fault();
+        }
         apply(&entry.fault, target);
         injected.push(entry.clone());
     }
@@ -259,11 +268,13 @@ mod tests {
                     fault,
                     victim,
                     at_ms,
+                    trace,
                 } => {
                     assert!(event.is_audit());
                     assert_eq!(fault, entry.fault.name());
                     assert_eq!(*victim, entry.fault.victim());
                     assert_eq!(*at_ms, entry.at.as_millis() as u64);
+                    assert_eq!(*trace, None, "the injector thread serves no request");
                 }
                 other => panic!("unexpected event {other:?}"),
             }

@@ -350,7 +350,13 @@ pub(crate) struct PreparedCall {
 pub(crate) struct RecycledWorker {
     /// Serialises callers of the same recycled gate.
     pub(crate) call_lock: Mutex<()>,
-    pub(crate) tx: crossbeam::channel::Sender<crate::callgate::CgInput>,
+    /// Inputs paired with the caller's ambient trace (if any), so the
+    /// long-lived worker thread serves each invocation inside the
+    /// invoking request's trace.
+    pub(crate) tx: crossbeam::channel::Sender<(
+        crate::callgate::CgInput,
+        Option<wedge_telemetry::ActiveTrace>,
+    )>,
     pub(crate) rx: crossbeam::channel::Receiver<Result<crate::callgate::CgOutput, WedgeError>>,
     /// The persistent activation compartment.
     pub(crate) activation: CompartmentId,

@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+use wedge_telemetry::trace::{self, SpanKind};
 use wedge_telemetry::Histogram;
 
 use crate::fdtable::{FdId, FdProt};
@@ -193,6 +194,9 @@ impl OpLog {
             return self.tail.load(Ordering::Relaxed);
         }
         let count = ops.len() as u64;
+        // One relaxed load when the appending thread carries no trace;
+        // otherwise the apply lands in the caller's request trace.
+        let _span = trace::span(SpanKind::KernelApply, count as u32);
         let new_tail = {
             let mut entries = self.entries.write();
             entries.extend(ops);
@@ -213,6 +217,7 @@ impl OpLog {
         if count == 0 {
             return self.tail.load(Ordering::Relaxed);
         }
+        let _span = trace::span(SpanKind::KernelApply, count as u32);
         let new_tail = {
             let mut entries = self.entries.write();
             if count == 1 {
@@ -376,6 +381,7 @@ impl KernelReplica {
         }
         let started = Instant::now();
         let from = state.applied;
+        let _span = trace::span(SpanKind::KernelReplay, (target - from) as u32);
         let st = &mut *state;
         log.scan(from, target, |op| st.apply(op));
         state.applied = target;

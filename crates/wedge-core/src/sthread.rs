@@ -16,6 +16,8 @@ use std::thread;
 
 use parking_lot::Mutex;
 
+use wedge_telemetry::trace;
+
 use crate::callgate::{downcast_output, CgEntryId, CgInput, CgOutput, TrustedArg};
 use crate::error::WedgeError;
 use crate::fdtable::FdId;
@@ -331,7 +333,11 @@ impl SthreadCtx {
             .register_child(self.id, name, policy, ChildKind::Sthread)?;
         let child_ctx = SthreadCtx::new(self.kernel.clone(), child_id, name);
         let kernel = self.kernel.clone();
+        // Request traces follow the work: a child sthread spawned while
+        // serving a traced request inherits the caller's ambient trace.
+        let parent_trace = trace::current();
         let join = thread::spawn(move || {
+            let _trace = parent_trace.map(trace::push);
             let _guard = ExitGuard {
                 kernel,
                 id: child_id,
@@ -410,7 +416,9 @@ impl SthreadCtx {
         let entry_fn = prepared.entry_fn;
         let trusted = prepared.trusted;
         let kernel = self.kernel.clone();
+        let parent_trace = trace::current();
         let join = thread::spawn(move || {
+            let _trace = parent_trace.map(trace::push);
             let _guard = ExitGuard { kernel, id: act_id };
             entry_fn(&act_ctx, trusted.as_ref(), input)
         });
@@ -478,7 +486,7 @@ impl SthreadCtx {
         let _serialise = worker.call_lock.lock();
         worker
             .tx
-            .send(input)
+            .send((input, trace::current()))
             .map_err(|_| WedgeError::InvalidOperation("recycled callgate worker exited".into()))?;
         worker
             .rx
@@ -590,11 +598,15 @@ fn spawn_worker_loop(
     trusted: Option<TrustedArg>,
 ) -> Arc<RecycledWorker> {
     let act_id = act_ctx.id();
-    let (in_tx, in_rx) = crossbeam::channel::unbounded::<CgInput>();
+    let (in_tx, in_rx) =
+        crossbeam::channel::unbounded::<(CgInput, Option<wedge_telemetry::ActiveTrace>)>();
     let (out_tx, out_rx) = crossbeam::channel::unbounded::<Result<CgOutput, WedgeError>>();
     let loop_kernel = kernel.clone();
     thread::spawn(move || {
-        while let Ok(input) = in_rx.recv() {
+        while let Ok((input, caller_trace)) = in_rx.recv() {
+            // Each invocation runs under the *invoking* request's trace —
+            // the worker thread itself is long-lived and trace-less.
+            let _trace = caller_trace.map(trace::push);
             let result = catch_unwind(AssertUnwindSafe(|| {
                 entry_fn(&act_ctx, trusted.as_ref(), input)
             }))
@@ -653,7 +665,7 @@ impl RecycledWorkerHandle {
         self.kernel.note_recycled_invocation();
         self.worker
             .tx
-            .send(input)
+            .send((input, trace::current()))
             .map_err(|_| WedgeError::InvalidOperation("pooled worker exited".into()))?;
         self.worker
             .rx

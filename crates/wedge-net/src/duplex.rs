@@ -204,6 +204,11 @@ pub struct Duplex {
     /// The client's source address, when the link came through a
     /// [`crate::Listener`]; `None` for bare `duplex_pair` links.
     source: Option<SourceAddr>,
+    /// The root trace context this link carries, stamped at
+    /// [`crate::Listener`] accept when a tracer is installed; `None`
+    /// otherwise. Rides with the endpoint so whichever shard worker later
+    /// serves the link can hang its spans under the right root.
+    trace: Option<wedge_telemetry::LinkTrace>,
 }
 
 impl Duplex {
@@ -278,6 +283,18 @@ impl Duplex {
         self.source
     }
 
+    /// Stamp this endpoint with its request's root trace context (done by
+    /// [`crate::Listener`] accept paths; links not accepted through a
+    /// traced listener carry none).
+    pub fn set_trace(&mut self, trace: wedge_telemetry::LinkTrace) {
+        self.trace = Some(trace);
+    }
+
+    /// The root trace context stamped at accept, if any.
+    pub fn trace(&self) -> Option<wedge_telemetry::LinkTrace> {
+        self.trace
+    }
+
     /// The affinity key placement layers should hash for this link: the
     /// source address's host key when the link carries one, else FNV-1a
     /// over the endpoint name (stable for clients that reconnect under the
@@ -331,6 +348,7 @@ fn pair(name_a: &str, name_b: &str, source: Option<SourceAddr>) -> (Duplex, Dupl
             counters: Mutex::new(TrafficCounters::default()),
             name: name_a.to_string(),
             source,
+            trace: None,
         },
         Duplex {
             outgoing: ba,
@@ -338,6 +356,7 @@ fn pair(name_a: &str, name_b: &str, source: Option<SourceAddr>) -> (Duplex, Dupl
             counters: Mutex::new(TrafficCounters::default()),
             name: name_b.to_string(),
             source,
+            trace: None,
         },
     )
 }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use wedge_telemetry::{Telemetry, TelemetryEvent};
+use wedge_telemetry::{LinkTrace, SpanKind, Telemetry, TelemetryEvent};
 
 use crate::duplex::{duplex_pair_with_source, Duplex, NetError, RecvTimeout};
 
@@ -65,7 +65,9 @@ impl std::fmt::Display for SourceAddr {
 
 #[derive(Debug, Default)]
 struct Backlog {
-    pending: VecDeque<Duplex>,
+    /// Queued server-side links, each with its connect-time enqueue stamp
+    /// — the start of the request's `accept` span when tracing is on.
+    pending: VecDeque<(Duplex, Instant)>,
     closed: bool,
 }
 
@@ -346,7 +348,7 @@ impl Listener {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let (client, server) =
             duplex_pair_with_source(source, &source.to_string(), &format!("{}#{seq}", self.name));
-        backlog.pending.push_back(server);
+        backlog.pending.push_back((server, Instant::now()));
         drop(backlog);
         self.ready.notify_one();
         self.emit(|listener| TelemetryEvent::Accepted {
@@ -373,13 +375,40 @@ impl Listener {
         loop {
             if !backlog.pending.is_empty() {
                 let take = backlog.pending.len().min(max);
-                let links: Vec<Duplex> = backlog.pending.drain(..take).collect();
+                let drained: Vec<(Duplex, Instant)> = backlog.pending.drain(..take).collect();
                 drop(backlog);
                 self.accepted
-                    .fetch_add(links.len() as u64, Ordering::Relaxed);
-                if links.len() > 1 {
+                    .fetch_add(drained.len() as u64, Ordering::Relaxed);
+                if drained.len() > 1 {
                     self.batches.fetch_add(1, Ordering::Relaxed);
                 }
+                // Accept is where a request's trace is born: mint the root
+                // context, record the backlog-wait (`accept`) span, and
+                // stamp the link so the serving stack joins the same tree.
+                let tracer = self.telemetry.get().and_then(Telemetry::tracer);
+                let links = drained
+                    .into_iter()
+                    .map(|(mut link, enqueued)| {
+                        if let Some(tracer) = &tracer {
+                            let root = tracer.begin_root();
+                            let enqueued_ns = tracer.stamp(enqueued);
+                            let accept = tracer.child_of(root);
+                            tracer.record(
+                                accept,
+                                SpanKind::Accept,
+                                enqueued_ns,
+                                tracer.now_ns(),
+                                true,
+                                0,
+                            );
+                            link.set_trace(LinkTrace {
+                                ctx: root,
+                                root_start_ns: enqueued_ns,
+                            });
+                        }
+                        link
+                    })
+                    .collect();
                 return Ok(links);
             }
             if backlog.closed {
@@ -625,6 +654,38 @@ mod tests {
         let listener = Listener::bind("open", 8);
         let _c = listener.connect(addr(5, 5)).unwrap();
         assert_eq!(listener.stats().rate_limited, 0);
+    }
+
+    #[test]
+    fn accept_mints_a_root_trace_when_a_tracer_is_installed() {
+        let listener = Listener::bind("traced", 8);
+        let telemetry = Telemetry::new();
+        listener.instrument(&telemetry);
+        let _untraced_client = listener.connect(addr(1, 1)).unwrap();
+        let untraced = listener.accept(RecvTimeout::Forever).unwrap();
+        assert!(untraced.trace().is_none(), "no tracer: no stamp");
+
+        telemetry.install_tracer(wedge_telemetry::Tracer::new(
+            wedge_telemetry::TracerConfig::default(),
+        ));
+        let _client = listener.connect(addr(1, 2)).unwrap();
+        let server = listener.accept(RecvTimeout::Forever).unwrap();
+        let trace = server.trace().expect("accept stamps the link");
+        assert_eq!(trace.ctx.parent_id, 0, "the link carries the root span");
+        assert_eq!(
+            telemetry.snapshot().counter("trace.started"),
+            1,
+            "one trace minted"
+        );
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .histogram("trace.accept")
+                .expect("accept span histogram")
+                .count,
+            1,
+            "the backlog-wait span was recorded"
+        );
     }
 
     #[test]

@@ -184,7 +184,20 @@ impl<S: ShardServer> Acceptor<S> {
     ) -> Result<ShardJobHandle<S::Report>, (Duplex, WedgeError)> {
         SchedCounters::bump(&self.inner.aggregate.submitted);
         let (tx, rx) = crossbeam::channel::bounded(1);
-        let job = ShardJob { link, tx };
+        // A link stamped at a traced listener carries its root context;
+        // attach the tracer and the submit stamp so the serving shard can
+        // close the queue span no matter which worker dequeues it.
+        let trace = link.trace().and_then(|lt| {
+            let tracer = self.inner.probes.get()?.telemetry.tracer()?;
+            let submitted_ns = tracer.now_ns();
+            Some(Box::new(crate::shard::JobTrace {
+                tracer,
+                ctx: lt.ctx,
+                root_start_ns: lt.root_start_ns,
+                submitted_ns,
+            }))
+        });
+        let job = ShardJob { link, tx, trace };
         let order = self.order(Some(key));
         match self.inner.place(job, &order, false) {
             Ok(position) => {

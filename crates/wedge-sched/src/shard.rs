@@ -171,12 +171,31 @@ pub struct KillReport {
     pub failed: usize,
 }
 
+/// The trace a job carries from placement to serve: the root context the
+/// listener minted (read off the link), the tracer that owns it, and the
+/// stamps the worker needs to close the `queue` span and the root. Rides
+/// through re-routes unchanged, so a stolen link's queue span covers its
+/// whole wait, first shard included.
+pub(crate) struct JobTrace {
+    pub(crate) tracer: std::sync::Arc<wedge_telemetry::Tracer>,
+    /// The root span's context.
+    pub(crate) ctx: wedge_telemetry::TraceContext,
+    /// Root-span start (backlog enqueue), in tracer-clock ns.
+    pub(crate) root_start_ns: u64,
+    /// When the acceptor submitted the job, in tracer-clock ns.
+    pub(crate) submitted_ns: u64,
+}
+
 /// One queued unit of work: a link plus the channel its report resolves
 /// through. Public only to the crate so the acceptor can build and
 /// re-route jobs.
 pub(crate) struct ShardJob<R> {
     pub(crate) link: Duplex,
     pub(crate) tx: crossbeam::channel::Sender<Result<R, WedgeError>>,
+    /// The request's trace, when the link came through a traced listener.
+    /// Boxed so the untraced job (the common case) stays small enough to
+    /// bounce through `Result` re-routes by value.
+    pub(crate) trace: Option<Box<JobTrace>>,
 }
 
 pub(crate) struct Shard<S: ShardServer> {
@@ -222,6 +241,9 @@ impl<S: ShardServer> Shard<S> {
     /// Try to enqueue a job. `rerouted` marks jobs drained from a dead
     /// sibling (counted as `stolen` on this shard instead of `submitted`,
     /// so aggregate submissions count each link once).
+    // Err hands the whole job back for re-routing — it is the normal
+    // refusal path, not a rare error, so its size is the job's size.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_enqueue(
         &self,
         job: ShardJob<S::Report>,
@@ -324,6 +346,8 @@ impl<S: ShardServer> ShardSetInner<S> {
     /// it wins. Returns the winning position within `order`, or the job
     /// back when every shard refuses. A shut-down set refuses outright —
     /// its workers are gone, so an enqueued job would never be served.
+    // Err hands the whole job back (see `try_enqueue`).
+    #[allow(clippy::result_large_err)]
     pub(crate) fn place(
         &self,
         mut job: ShardJob<S::Report>,
@@ -559,9 +583,32 @@ fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
             // with an empty queue: this worker is done.
             return;
         };
-        let ShardJob { link, tx } = job;
+        let ShardJob { link, tx, trace } = job;
         let probes = inner.probes.get();
         let started = probes.map(|_| Instant::now());
+        // Close the queue span (submit → dequeue), open the serve span,
+        // and make it this thread's ambient trace: everything the server
+        // does underneath — TLS handshake, kernel op-log applies, remote
+        // cachenet ops — hangs its spans under `serve_ctx`, across
+        // sthread spawns (wedge-core propagates the ambient trace).
+        let serving = trace.as_ref().map(|jt| {
+            let dequeued_ns = jt.tracer.now_ns();
+            let queue_ctx = jt.tracer.child_of(jt.ctx);
+            jt.tracer.record(
+                queue_ctx,
+                wedge_telemetry::SpanKind::Queue,
+                jt.submitted_ns,
+                dequeued_ns,
+                true,
+                me as u32,
+            );
+            let serve_ctx = jt.tracer.child_of(jt.ctx);
+            let scope = wedge_telemetry::trace::push(wedge_telemetry::ActiveTrace {
+                ctx: serve_ctx,
+                tracer: jt.tracer.clone(),
+            });
+            (serve_ctx, dequeued_ns, scope)
+        });
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shard.server.read().serve_link(me, link)
         }));
@@ -593,6 +640,23 @@ fn shard_worker<S: ShardServer>(inner: &ShardSetInner<S>, me: usize) {
                 ok: result.is_ok(),
                 nanos,
             });
+        }
+        // Record the serve span, drop the ambient scope, then end the
+        // trace — the tail sampler decides whether this request's spans
+        // are promoted to retention or left to be overwritten.
+        if let (Some(jt), Some((serve_ctx, dequeued_ns, scope))) = (trace.as_ref(), serving) {
+            let end_ns = jt.tracer.now_ns();
+            jt.tracer.record(
+                serve_ctx,
+                wedge_telemetry::SpanKind::Serve,
+                dequeued_ns,
+                end_ns,
+                result.is_ok(),
+                me as u32,
+            );
+            drop(scope);
+            jt.tracer
+                .end_trace(jt.ctx, jt.root_start_ns, end_ns, result.is_ok(), me as u32);
         }
         let _ = tx.send(result);
     }

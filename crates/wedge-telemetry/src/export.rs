@@ -98,10 +98,61 @@ impl JsonWriter {
         self.buf.push_str(&inner.finish());
     }
 
+    /// An array field, built by `fill` (empty `fill` renders `[]`).
+    pub fn field_arr(&mut self, name: &str, fill: impl FnOnce(&mut JsonArrayWriter)) {
+        self.key(name);
+        let mut arr = JsonArrayWriter {
+            buf: String::from("["),
+            first: true,
+        };
+        fill(&mut arr);
+        arr.buf.push(']');
+        self.buf.push_str(&arr.buf);
+    }
+
     /// Close the object and return the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
+    }
+}
+
+/// The array half of [`JsonWriter`]: append items inside a
+/// [`JsonWriter::field_arr`] callback.
+#[derive(Debug)]
+pub struct JsonArrayWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArrayWriter {
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Append an object item, built by `fill`.
+    pub fn item_obj(&mut self, fill: impl FnOnce(&mut JsonWriter)) {
+        self.sep();
+        let mut inner = JsonWriter::object();
+        fill(&mut inner);
+        self.buf.push_str(&inner.finish());
+    }
+
+    /// Append a string item (escaped).
+    pub fn item_str(&mut self, value: &str) {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&escape_json(value));
+        self.buf.push('"');
+    }
+
+    /// Append an unsigned integer item.
+    pub fn item_u64(&mut self, value: u64) {
+        self.sep();
+        self.buf.push_str(&value.to_string());
     }
 }
 
@@ -144,5 +195,23 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonWriter::object().finish(), "{}");
+    }
+
+    #[test]
+    fn arrays_of_scalars_and_objects() {
+        let mut w = JsonWriter::object();
+        w.field_arr("empty", |_| {});
+        w.field_arr("nums", |a| {
+            a.item_u64(1);
+            a.item_u64(2);
+        });
+        w.field_arr("mixed", |a| {
+            a.item_str("a\"b");
+            a.item_obj(|w| w.field_u64("x", 7));
+        });
+        assert_eq!(
+            w.finish(),
+            r#"{"empty":[],"nums":[1,2],"mixed":["a\"b",{"x":7}]}"#
+        );
     }
 }

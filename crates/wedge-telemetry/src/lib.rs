@@ -25,6 +25,12 @@
 //!   every registered metric and collector into one sorted tree, rendered
 //!   as JSON ([`TelemetrySnapshot::to_json`]) or human-readable text
 //!   ([`TelemetrySnapshot::to_text`]).
+//! * [`trace`] — end-to-end causal request tracing: a [`TraceContext`]
+//!   minted at listener accept and carried through placement, shard serve,
+//!   kernel op-log apply/replay, TLS handshakes and (as a wire-frame
+//!   extension) remote cachenet ops; a striped ring-buffer flight recorder;
+//!   and a tail sampler that retains only slow/erroneous/fault-stamped
+//!   traces, exported as `TRACES_snapshot.json`.
 //! * [`export`] — the hand-rolled (offline build: no serde) JSON writer with
 //!   correct string escaping, shared with `wedge_bench::report`'s
 //!   `BENCH_*.json` artifacts.
@@ -39,12 +45,16 @@ pub mod metrics;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
+pub mod trace;
 
-pub use export::JsonWriter;
+pub use export::{JsonArrayWriter, JsonWriter};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{Sample, Telemetry};
 pub use sink::{CountingTelemetrySink, RecordingSink, TelemetryEvent, TelemetrySink};
 pub use snapshot::{MetricValue, TelemetrySnapshot};
+pub use trace::{
+    ActiveTrace, LinkTrace, RetainedTrace, SpanKind, SpanRecord, TraceContext, Tracer, TracerConfig,
+};
 
 /// How a TLS handshake completed — full key exchange or abbreviated
 /// (session-cache resumption). Lives here so the generic scheduler layer

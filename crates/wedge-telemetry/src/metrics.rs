@@ -54,6 +54,12 @@ impl Gauge {
     }
 
     /// Raise the value to `v` if it is higher (peak tracking).
+    ///
+    /// A single `fetch_max`, so concurrent `set_max` calls can never lose
+    /// a peak. Mixing `set` and `set_max` on one gauge is *not* coherent
+    /// under concurrency — a racing `set` may overwrite a higher peak —
+    /// so each gauge should use one style or the other (see the
+    /// "Concurrency and ordering" contract in `README.md`).
     pub fn set_max(&self, v: u64) {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
@@ -152,11 +158,24 @@ impl Histogram {
 
     /// Point-in-time percentile summary.
     ///
-    /// Taken with relaxed loads while writers may be active, so the summary
-    /// is a consistent-enough estimate, not a linearizable cut — fine for
-    /// reporting, which is its only use.
+    /// Coherent under concurrent recording: the buckets are frozen into a
+    /// local copy with one pass of relaxed loads, `count` is derived from
+    /// that frozen copy, and every percentile is computed against it — so
+    /// one summary's percentiles are always mutually consistent
+    /// (`p50 ≤ p99 ≤ p999 ≤ max`) even while writers are active. The cut
+    /// is still not linearizable across *metrics* (relaxed loads only);
+    /// see the "Concurrency and ordering" contract in `README.md`.
     pub fn summary(&self) -> HistogramSummary {
-        let count = self.0.count.load(Ordering::Relaxed);
+        // Freeze first, then read max/sum: `record` bumps the bucket
+        // before max, so a max read *after* the freeze covers every
+        // sample the frozen buckets contain (percentiles clamp to it).
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
         let max = self.0.max.load(Ordering::Relaxed);
         let sum = self.0.sum.load(Ordering::Relaxed);
         let mut summary = HistogramSummary {
@@ -173,8 +192,8 @@ impl Histogram {
         let percentile = |quantile: f64| {
             let rank = ((quantile * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
-            for (index, bucket) in self.0.buckets.iter().enumerate() {
-                seen += bucket.load(Ordering::Relaxed);
+            for (index, &bucket) in buckets.iter().enumerate() {
+                seen += bucket;
                 if seen >= rank {
                     let lower = Self::bucket_lower(index);
                     let width = Self::bucket_lower(index + 1).saturating_sub(lower);

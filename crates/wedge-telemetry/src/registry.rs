@@ -27,6 +27,7 @@ use parking_lot::{Mutex, RwLock};
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::sink::{TelemetryEvent, TelemetrySink};
 use crate::snapshot::{MetricValue, TelemetrySnapshot};
+use crate::trace::Tracer;
 
 /// A live registered metric.
 #[derive(Debug, Clone)]
@@ -43,6 +44,8 @@ struct Inner {
     collectors: Mutex<Vec<Collector>>,
     sink: RwLock<Option<Arc<dyn TelemetrySink>>>,
     sink_on: AtomicBool,
+    tracer: RwLock<Option<Arc<Tracer>>>,
+    tracer_on: AtomicBool,
 }
 
 /// The shared telemetry handle. Cloning is an `Arc` bump; every layer of a
@@ -78,6 +81,8 @@ impl Telemetry {
                 collectors: Mutex::new(Vec::new()),
                 sink: RwLock::new(None),
                 sink_on: AtomicBool::new(false),
+                tracer: RwLock::new(None),
+                tracer_on: AtomicBool::new(false),
             }),
         }
     }
@@ -151,6 +156,34 @@ impl Telemetry {
     #[inline]
     pub fn sink_enabled(&self) -> bool {
         self.inner.sink_on.load(Ordering::Relaxed)
+    }
+
+    /// Install `tracer` and enable request tracing: its counters and
+    /// per-kind `trace.*` histograms are registered here, and layers that
+    /// ask via [`Telemetry::tracer`] start minting contexts. Replaces any
+    /// prior tracer (metrics stay bound to the first registry a tracer
+    /// was installed on).
+    pub fn install_tracer(&self, tracer: Arc<Tracer>) {
+        tracer.bind(self);
+        *self.inner.tracer.write() = Some(tracer);
+        self.inner.tracer_on.store(true, Ordering::SeqCst);
+    }
+
+    /// Remove the tracer; [`Telemetry::tracer`] reverts to a single
+    /// relaxed load returning `None`.
+    pub fn clear_tracer(&self) {
+        self.inner.tracer_on.store(false, Ordering::SeqCst);
+        *self.inner.tracer.write() = None;
+    }
+
+    /// The installed tracer, if any. The untraced path is a single
+    /// relaxed load — the same contract as [`Telemetry::emit_with`].
+    #[inline]
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        if !self.inner.tracer_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner.tracer.read().clone()
     }
 
     /// Emit an already-built event. Prefer [`Telemetry::emit_with`] on hot

@@ -127,6 +127,11 @@ pub enum TelemetryEvent {
         victim: usize,
         /// Milliseconds since the schedule started when this fired.
         at_ms: u64,
+        /// The trace active on the injecting thread, when one exists —
+        /// joins the fault to the request trace it perturbed in
+        /// `TRACES_snapshot.json`. `None` for faults fired from the
+        /// chaos harness's own scheduler thread (the common case).
+        trace: Option<crate::trace::TraceContext>,
     },
 }
 

@@ -292,7 +292,28 @@ impl ServerConnection {
 /// Run the complete server side of the handshake in one compartment — the
 /// monolithic OpenSSL behaviour the vanilla Apache baseline uses. The
 /// private key, premaster, and session keys all live together here.
+///
+/// When the serving thread carries an ambient request trace, the whole
+/// exchange lands as one `handshake` span (detail `1` when resumed,
+/// `0` for a full key exchange; failures mark the span not-ok).
 pub fn server_handshake(
+    link: &Duplex,
+    keypair: &RsaKeyPair,
+    session_cache: &mut SessionCache,
+    rng: &mut WedgeRng,
+) -> Result<ServerConnection, TlsError> {
+    let mut span = wedge_telemetry::trace::span(wedge_telemetry::SpanKind::Handshake, 0);
+    let result = server_handshake_steps(link, keypair, session_cache, rng);
+    if let Some(span) = span.as_mut() {
+        span.set_ok(result.is_ok());
+        if let Ok(conn) = &result {
+            span.set_detail(conn.resumed as u32);
+        }
+    }
+    result
+}
+
+fn server_handshake_steps(
     link: &Duplex,
     keypair: &RsaKeyPair,
     session_cache: &mut SessionCache,

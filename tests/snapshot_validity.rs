@@ -1,0 +1,327 @@
+//! Snapshot artifacts are strict JSON: a hand-rolled recursive-descent
+//! reader (no dependency, so the check cannot share a bug with the
+//! writer) parses `TELEMETRY_snapshot.json` and `TRACES_snapshot.json`
+//! shapes end to end — balanced structure, legal string escapes, finite
+//! numbers (no `NaN`/`Infinity`, which `JsonWriter` must never emit),
+//! no trailing commas, nothing after the root value.
+//!
+//! The test validates freshly generated snapshots in-process, and any
+//! artifact files already on disk at the workspace root (as left by the
+//! snapshot tests or a bench run).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use wedge::telemetry::{SpanKind, Telemetry, Tracer, TracerConfig};
+
+// ---------------------------------------------------------------------
+// The strict reader.
+// ---------------------------------------------------------------------
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+type Verdict = Result<(), String>;
+
+impl<'a> Json<'a> {
+    /// Validate `text` as exactly one JSON value with nothing after it.
+    fn validate(text: &'a str) -> Verdict {
+        let mut p = Json {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.ws();
+        p.value()?;
+        p.ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Verdict {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char,
+                self.at - 1,
+                got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Verdict {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            // The IEEE spellings JSON forbids, caught by name so the
+            // error says what the writer actually leaked.
+            b'N' => Err("bare NaN is not JSON".to_string()),
+            b'I' => Err("bare Infinity is not JSON".to_string()),
+            other => Err(format!("unexpected byte {:?}", other as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Verdict {
+        for want in word.bytes() {
+            self.expect(want)?;
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Verdict {
+        self.expect(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?; // keys are strings, always
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.bump()? {
+                b',' => continue, // a `}` next is a trailing comma → key error
+                b'}' => return Ok(()),
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Verdict {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Verdict {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump()? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            if !self.bump()?.is_ascii_hexdigit() {
+                                return Err("bad \\u escape".to_string());
+                            }
+                        }
+                    }
+                    other => return Err(format!("illegal escape \\{}", other as char)),
+                },
+                // Control characters must be escaped, never raw.
+                b if b < 0x20 => return Err(format!("raw control byte 0x{b:02x} in string")),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Verdict {
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        // Integer part: a lone 0, or a nonzero-led digit run.
+        match self.bump()? {
+            b'0' => {
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err("leading zero".to_string());
+                }
+            }
+            b'1'..=b'9' => self.digits(),
+            other => return Err(format!("expected digit, got {:?}", other as char)),
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err("digit required after '.'".to_string());
+            }
+            self.digits();
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.at += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err("digit required in exponent".to_string());
+            }
+            self.digits();
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+    }
+}
+
+fn assert_valid(what: &str, text: &str) {
+    if let Err(err) = Json::validate(text) {
+        panic!("{what} is not strict JSON: {err}\n---\n{text}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reader itself is strict.
+// ---------------------------------------------------------------------
+
+#[test]
+fn the_reader_rejects_what_json_forbids() {
+    for bad in [
+        "",
+        "{",
+        "}",
+        r#"{"a":1,}"#,
+        r#"[1,2,]"#,
+        r#"{"a" 1}"#,
+        r#"{'a':1}"#,
+        "NaN",
+        r#"{"a":NaN}"#,
+        r#"{"a":Infinity}"#,
+        r#"{"a":-Infinity}"#,
+        r#"{"a":01}"#,
+        r#"{"a":1.}"#,
+        r#"{"a":"\x41"}"#,
+        r#"{"a":"\u12G4"}"#,
+        "\u{7b}\"a\":\"\u{1}\"\u{7d}", // raw control byte in a string
+        r#"{"a":1} {"b":2}"#,
+        r#"{"a":1}]"#,
+    ] {
+        assert!(Json::validate(bad).is_err(), "accepted invalid: {bad}");
+    }
+    for good in [
+        "{}",
+        "[]",
+        r#"{"a":[1,-2.5,3e-7],"b":{"c":"d\n\"eA"},"t":true,"n":null}"#,
+        "  { \"a\" : 0 }  ",
+    ] {
+        Json::validate(good).unwrap_or_else(|e| panic!("rejected valid {good}: {e}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Freshly generated snapshots parse.
+// ---------------------------------------------------------------------
+
+#[test]
+fn telemetry_snapshot_json_is_strict() {
+    let telemetry = Telemetry::new();
+    telemetry.counter("test.hits").add(41);
+    telemetry.gauge("test.depth").set_max(7);
+    let histogram = telemetry.histogram("test.latency");
+    for n in 1..=100u64 {
+        histogram.record(n * 1_000);
+    }
+    // Names that exercise string escaping in keys.
+    telemetry.counter("test.\"quoted\"\\slash").add(1);
+    telemetry.counter("test.newline\nkey").add(1);
+    assert_valid(
+        "TelemetrySnapshot::to_json",
+        &telemetry.snapshot().to_json(),
+    );
+}
+
+#[test]
+fn traces_snapshot_json_is_strict() {
+    let tracer = Tracer::new(TracerConfig {
+        slo_total: Duration::ZERO,
+        ..TracerConfig::default()
+    });
+    // A small multi-span trace, plus one erroneous trace.
+    for ok in [true, false] {
+        let root = tracer.begin_root();
+        let start = tracer.now_ns();
+        let child = tracer.child_of(root);
+        tracer.record(child, SpanKind::Serve, start, tracer.now_ns(), ok, 3);
+        let remote = tracer.join_remote(root.trace_id, child.span_id);
+        tracer.record(
+            remote,
+            SpanKind::CachenetServe,
+            start,
+            tracer.now_ns(),
+            ok,
+            0,
+        );
+        tracer.end_trace(root, start, tracer.now_ns(), ok, 0);
+    }
+    assert_eq!(tracer.retained_count(), 2);
+    assert_valid("Tracer::to_json", &tracer.to_json());
+
+    // Installing on a registry must not perturb the artifact shape.
+    let telemetry = Telemetry::new();
+    telemetry.install_tracer(Arc::clone(&tracer));
+    assert_valid("installed Tracer::to_json", &tracer.to_json());
+}
+
+// ---------------------------------------------------------------------
+// Artifacts already on disk parse too.
+// ---------------------------------------------------------------------
+
+#[test]
+fn on_disk_artifacts_are_strict_json() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(root).expect("workspace root") {
+        let path = entry.expect("dir entry").path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let is_artifact = name.ends_with(".json")
+            && (name.starts_with("TELEMETRY_")
+                || name.starts_with("TRACES_")
+                || name.starts_with("BENCH_"));
+        if !is_artifact {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read artifact");
+        assert_valid(name, &text);
+        checked += 1;
+    }
+    println!("validated {checked} on-disk artifacts");
+}
